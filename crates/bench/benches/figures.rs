@@ -1,0 +1,26 @@
+//! `cargo bench --bench figures` — regenerates every paper table/figure.
+//!
+//! This is not a timing benchmark: it is the reproduction harness, wired
+//! into `cargo bench` so the standard workflow produces the paper's
+//! evaluation output. Set JAVMM_BENCH=quick for a fast pass.
+
+use javmm_bench::{ablations, figs, FigOpts};
+
+fn main() {
+    let opts = FigOpts::from_env();
+    print!("{}", figs::tables::table1());
+    print!("{}", figs::fig01::run(&opts));
+    print!("{}", figs::fig05::run(&opts));
+    print!("{}", figs::fig08::run(&opts));
+    print!("{}", figs::fig10::run(&opts));
+    print!("{}", figs::fig11::run(&opts));
+    print!("{}", figs::fig12::run(&opts));
+    print!("{}", ablations::compression(&opts));
+    print!("{}", ablations::final_update_strategy(&opts));
+    print!("{}", ablations::adaptive_policy(&opts));
+    print!("{}", ablations::scaling(&opts));
+    print!("{}", ablations::parallel_walks(&opts));
+    print!("{}", ablations::checkpointing(&opts));
+    print!("{}", ablations::baselines(&opts));
+    print!("{}", ablations::g1_collector(&opts));
+}

@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks of the hot substrate operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guestos::frames::FrameAllocator;
+use guestos::kernel::{GuestKernel, GuestOsConfig};
+use jheap::config::JvmConfig;
+use jheap::gc::GcKind;
+use jheap::heap::JvmHeap;
+use jheap::mutator::MutatorProfile;
+use simkit::units::MIB;
+use simkit::{DetRng, SimTime};
+use vmem::{Bitmap, DirtyLog, PageClass, Pfn, TransferBitmap, VaRange, Vaddr, VmSpec, PAGE_SIZE};
+
+fn bitmap_ops(c: &mut Criterion) {
+    let npages = 524_288; // 2 GiB VM.
+    c.bench_function("bitmap/set_clear_1k", |b| {
+        let mut bm = Bitmap::new(npages);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                bm.set(Pfn(i * 512 % npages));
+            }
+            for i in 0..1024u64 {
+                bm.clear(Pfn(i * 512 % npages));
+            }
+        });
+    });
+    c.bench_function("bitmap/iter_set_sparse", |b| {
+        let mut bm = Bitmap::new(npages);
+        for i in (0..npages).step_by(97) {
+            bm.set(Pfn(i));
+        }
+        b.iter(|| bm.iter_set().count());
+    });
+    c.bench_function("bitmap/union_2gib", |b| {
+        let a = Bitmap::new_all_set(npages);
+        let mut target = Bitmap::new(npages);
+        b.iter(|| target.union_with(&a));
+    });
+}
+
+fn dirty_log_ops(c: &mut Criterion) {
+    c.bench_function("dirty_log/mark_and_clean", |b| {
+        let mut log = DirtyLog::new(524_288);
+        log.enable();
+        b.iter(|| {
+            for i in 0..4096u64 {
+                log.mark(Pfn(i * 127 % 524_288));
+            }
+            log.read_and_clear()
+        });
+    });
+}
+
+fn transfer_bitmap_ops(c: &mut Criterion) {
+    c.bench_function("transfer_bitmap/clear_young_gen", |b| {
+        // Clearing the bits of a 1 GiB Young generation (the first update).
+        let pfns: Vec<Pfn> = (0..262_144u64).map(|i| Pfn(i * 2 % 524_288)).collect();
+        b.iter_batched(
+            || TransferBitmap::new(524_288),
+            |mut tb| {
+                for &p in &pfns {
+                    tb.clear(p);
+                }
+                tb
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn frame_allocator_ops(c: &mut Criterion) {
+    c.bench_function("frames/alloc_free_64k_pages", |b| {
+        b.iter_batched(
+            || FrameAllocator::new(0, 262_144),
+            |mut fa| {
+                let frames = fa.alloc(65_536).expect("fits");
+                fa.free(frames);
+                fa
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn guest_write_path(c: &mut Criterion) {
+    c.bench_function("guest/write_range_1mib", |b| {
+        let mut kernel = GuestKernel::boot(
+            GuestOsConfig {
+                spec: VmSpec::new(256 * MIB, 2),
+                kernel_bytes: 8 * MIB,
+                pagecache_bytes: 8 * MIB,
+                kernel_dirty_rate: 0.0,
+                pagecache_dirty_rate: 0.0,
+            },
+            DetRng::new(1),
+        );
+        let pid = kernel.spawn("bench");
+        let range = kernel
+            .alloc_map(pid, Vaddr(0), 16 * MIB / PAGE_SIZE, PageClass::Anon)
+            .expect("fits");
+        kernel.memory_mut().dirty_log_mut().enable();
+        let chunk = VaRange::new(range.start(), Vaddr(range.start().0 + MIB));
+        b.iter(|| kernel.write_range(pid, chunk, PageClass::Anon));
+    });
+}
+
+fn minor_gc(c: &mut Criterion) {
+    c.bench_function("jvm/minor_gc_512mib_young", |b| {
+        let mut kernel = GuestKernel::boot(
+            GuestOsConfig {
+                spec: VmSpec::new(2048 * MIB, 2),
+                kernel_bytes: 8 * MIB,
+                pagecache_bytes: 8 * MIB,
+                kernel_dirty_rate: 0.0,
+                pagecache_dirty_rate: 0.0,
+            },
+            DetRng::new(1),
+        );
+        let pid = kernel.spawn("java");
+        let mut config = JvmConfig::with_young_max(512 * MIB);
+        config.young_init = 512 * MIB;
+        let mut heap = JvmHeap::launch(&mut kernel, pid, config);
+        let mut rng = DetRng::new(2);
+        // No promotion: the Old generation must stay flat across the
+        // thousands of iterations Criterion runs.
+        let profile = MutatorProfile {
+            eden_survival: 0.01,
+            from_survival: 0.0,
+            ..MutatorProfile::quiet()
+        };
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let headroom = heap.eden_headroom();
+            heap.bump_eden(&mut kernel, headroom);
+            now += simkit::SimDuration::from_secs(10);
+            heap.perform_minor_gc(&mut kernel, &mut rng, &profile, now, GcKind::Minor)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bitmap_ops,
+    dirty_log_ops,
+    transfer_bitmap_ops,
+    frame_allocator_ops,
+    guest_write_path,
+    minor_gc
+);
+criterion_main!(benches);

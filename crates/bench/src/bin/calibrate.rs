@@ -1,0 +1,75 @@
+//! Calibration tool: migrate one workload with Xen and JAVMM, print the
+//! key metrics next to the paper's numbers.
+//!
+//! Usage: `calibrate [workload] [warmup_secs] [young_max_mb] [mbps] [g1]`
+
+use javmm::orchestrator::{run_scenario, Scenario};
+use javmm::vm::{Collector, JavaVmConfig};
+use migrate::config::MigrationConfig;
+use simkit::units::{fmt_bytes, Bandwidth, MIB};
+use workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("derby");
+    let warmup: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let young_max: Option<u64> = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .map(|m: u64| m * MIB);
+    let mbps: Option<f64> = args.get(4).and_then(|s| s.parse().ok());
+    let g1 = args.iter().any(|a| a == "g1");
+    let spec = catalog::by_name(name).expect("unknown workload");
+
+    for (label, assisted, config) in [
+        ("Xen  ", false, MigrationConfig::xen_default()),
+        ("JAVMM", true, MigrationConfig::javmm_default()),
+    ] {
+        let mut vmc = JavaVmConfig::paper(spec.clone(), assisted, 1);
+        vmc.young_max = young_max;
+        if g1 {
+            vmc.collector = Collector::G1 {
+                region_bytes: 4 * MIB,
+            };
+        }
+        let mut config = config;
+        if let Some(mbps) = mbps {
+            config.bandwidth = Bandwidth::from_mbytes_per_sec(mbps);
+        }
+        let mut sc = Scenario::paper(vmc, config);
+        sc.warmup = simkit::SimDuration::from_secs(warmup);
+        sc.total = sc.warmup + simkit::SimDuration::from_secs(150);
+        let t0 = std::time::Instant::now();
+        let out = run_scenario(&sc);
+        let r = &out.report;
+        println!(
+            "{label} {name}: young={} old={} | time={} traffic={} iters={} downtime={} (gc={} last={} sp_wait={}) cpu={} mismatch={} ops_before={:.2} ops_after={:.2} [wall {:?}]",
+            fmt_bytes(out.observed.young),
+            fmt_bytes(out.observed.old),
+            r.total_duration,
+            fmt_bytes(r.total_bytes),
+            r.iteration_count(),
+            r.downtime.workload_downtime(),
+            r.downtime.enforced_gc,
+            r.downtime.last_iteration,
+            r.downtime.safepoint_wait,
+            r.cpu_time,
+            r.verification.mismatched,
+            out.mean_ops_before,
+            out.mean_ops_after,
+            t0.elapsed(),
+        );
+        for it in &r.iterations {
+            let (t, d, s) = it.processed_bytes();
+            println!(
+                "   it{:>2}: dur={} sent={} skip_dirty={} skip_young={} dirtied={}",
+                it.index,
+                it.duration,
+                fmt_bytes(t),
+                fmt_bytes(d),
+                fmt_bytes(s),
+                it.pages_dirtied_during
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!   figures [--quick] [--out DIR] [fig1|fig5|fig8|fig10|fig11|fig12|table1|table2|table3|ablations|all]
+//!
+//! `--quick` (or JAVMM_BENCH=quick) shortens warmups and uses two seeds.
+//! `--out DIR` additionally writes each section to `DIR/<name>.txt`.
+
+use javmm_bench::{ablations, figs, FigOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let opts = if quick {
+        FigOpts::quick()
+    } else {
+        FigOpts::from_env()
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || args.get(i - 1).map(String::as_str) != Some("--out"))
+        })
+        .map(|(_, a)| a.as_str())
+        .collect();
+    let want =
+        |name: &str| targets.is_empty() || targets.contains(&name) || targets.contains(&"all");
+    let emit = |name: &str, body: String| {
+        print!("{body}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            std::fs::write(format!("{dir}/{name}.txt"), body).expect("write section");
+        }
+    };
+
+    if want("table1") {
+        emit("table1", figs::tables::table1());
+    }
+    if want("fig1") {
+        emit("fig1", figs::fig01::run(&opts));
+    }
+    if want("fig5") {
+        emit("fig5", figs::fig05::run(&opts));
+    }
+    if want("fig8") || want("fig9") {
+        emit("fig8-9", figs::fig08::run(&opts));
+    }
+    if want("fig10") {
+        emit("fig10-table2", figs::fig10::run(&opts));
+    }
+    if want("fig11") {
+        emit("fig11", figs::fig11::run(&opts));
+    }
+    if want("fig12") {
+        emit("fig12-table3", figs::fig12::run(&opts));
+    }
+    if want("table2") && !want("fig10") {
+        emit("table2", figs::tables::table2(&opts));
+    }
+    if want("table3") && !want("fig12") {
+        emit("table3", figs::tables::table3(&opts));
+    }
+    if want("ablations") {
+        emit("ablation-compression", ablations::compression(&opts));
+        emit(
+            "ablation-final-update",
+            ablations::final_update_strategy(&opts),
+        );
+        emit("ablation-policy", ablations::adaptive_policy(&opts));
+        emit("ablation-scaling", ablations::scaling(&opts));
+        emit("ablation-parallel-walks", ablations::parallel_walks(&opts));
+        emit("ablation-checkpointing", ablations::checkpointing(&opts));
+        emit("ablation-baselines", ablations::baselines(&opts));
+        emit("ablation-g1", ablations::g1_collector(&opts));
+    }
+}

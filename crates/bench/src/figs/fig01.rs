@@ -1,0 +1,54 @@
+//! Figure 1: live migration of a 2 GB Xen VM running derby.
+//!
+//! The paper's motivating figure: per-iteration duration alongside the
+//! transfer and dirtying rates (pages/second). The database dirties memory
+//! faster than the link can carry it, so the dirty set never shrinks,
+//! iterations stay long, and migration is forced to stop after generating
+//! excessive traffic.
+
+use crate::opts::FigOpts;
+use crate::render::{gb, heading, table};
+use workloads::catalog;
+
+/// Generates the figure data.
+pub fn run(opts: &FigOpts) -> String {
+    let out = super::run_one(&catalog::derby(), None, false, 1, opts);
+    let r = &out.report;
+
+    let rows: Vec<Vec<String>> = r
+        .iterations
+        .iter()
+        .map(|it| {
+            vec![
+                it.index.to_string(),
+                format!("{:.2}", it.duration.as_secs_f64()),
+                format!("{:.0}", it.transfer_rate_pps()),
+                format!("{:.0}", it.dirtying_rate_pps()),
+                format!("{:.0}", it.bytes_sent as f64 / 1e6),
+            ]
+        })
+        .collect();
+
+    let mut s = heading("Figure 1: vanilla Xen migration of a 2GB derby VM");
+    s.push_str(&table(
+        &[
+            "iter",
+            "duration(s)",
+            "xfer(pages/s)",
+            "dirty(pages/s)",
+            "sent(MB)",
+        ],
+        &rows,
+    ));
+    s.push_str(&format!(
+        "\ntotal: {:.1}s, {} GB traffic, {} iterations, downtime {:.2}s, \
+         throughput before {:.2} ops/s vs during-migration degradation visible\n",
+        r.total_duration.as_secs_f64(),
+        gb(r.total_bytes),
+        r.iteration_count(),
+        r.downtime.vm_downtime().as_secs_f64(),
+        out.mean_ops_before,
+    ));
+    s.push_str("paper: 66s, 7GB, ~30 iterations, 8s downtime, >20% throughput degradation\n");
+    s
+}

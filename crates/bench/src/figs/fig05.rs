@@ -1,0 +1,75 @@
+//! Figure 5: Java heap usage and GC behaviour of the nine workloads.
+//!
+//! (a) average Young/Old generation consumption, (b) garbage vs live data
+//! in a minor GC, (c) minor-GC duration — all with the Young generation
+//! allowed at most 1 GiB, as in the paper's profiling runs (§4.2).
+
+use crate::opts::FigOpts;
+use crate::render::{bar, heading, mb, table};
+use javmm::profiles::profile_heap;
+use simkit::units::GIB;
+use workloads::catalog;
+
+/// Generates all three panels.
+pub fn run(opts: &FigOpts) -> String {
+    let profiles: Vec<_> = catalog::all()
+        .iter()
+        .map(|w| profile_heap(w, GIB, opts.profile, 1))
+        .collect();
+
+    let mut s = heading("Figure 5a: memory consumption of the Java heap (MB)");
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                mb(p.avg_young as u64),
+                mb(p.avg_old as u64),
+                bar(p.avg_young, GIB as f64, 24),
+            ]
+        })
+        .collect();
+    s.push_str(&table(&["workload", "young", "old", "young-gen"], &rows));
+
+    s.push_str(&heading(
+        "Figure 5b: garbage vs live data in a minor GC (MB)",
+    ));
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            let total = p.gc_garbage + p.gc_live;
+            let pct = if total > 0.0 {
+                p.gc_garbage / total * 100.0
+            } else {
+                0.0
+            };
+            vec![
+                p.name.to_string(),
+                mb(p.gc_garbage as u64),
+                mb(p.gc_live as u64),
+                format!("{pct:.1}%"),
+            ]
+        })
+        .collect();
+    s.push_str(&table(&["workload", "garbage", "live", "garbage%"], &rows));
+    s.push_str("paper: >97% garbage for all workloads except scimark\n");
+
+    s.push_str(&heading("Figure 5c: duration of a minor GC (s)"));
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                format!("{:.2}", p.gc_duration.as_secs_f64()),
+                format!("{}", p.gc_count),
+                format!("{:.1}", p.gc_interval_secs),
+            ]
+        })
+        .collect();
+    s.push_str(&table(
+        &["workload", "gc(s)", "gc-count", "interval(s)"],
+        &rows,
+    ));
+    s.push_str("paper: compiler longest (~1.5s); Category-1 workloads GC every ~3s\n");
+    s
+}

@@ -1,0 +1,60 @@
+//! Figures 8 and 9: migration progress of a compiler VM, Xen vs JAVMM.
+//!
+//! Figure 8 plots each iteration as a box (width = duration, area =
+//! traffic); Figure 9 stacks the memory *processed* per iteration into
+//! transferred / skipped-already-dirtied / skipped-Young-generation.
+
+use crate::opts::FigOpts;
+use crate::render::{gb, heading, mb, table};
+use migrate::report::MigrationReport;
+use workloads::catalog;
+
+fn progress_rows(r: &MigrationReport) -> Vec<Vec<String>> {
+    r.iterations
+        .iter()
+        .map(|it| {
+            let (sent, skip_dirty, skip_young) = it.processed_bytes();
+            vec![
+                it.index.to_string(),
+                format!("{:.2}", it.duration.as_secs_f64()),
+                mb(sent),
+                mb(skip_dirty),
+                mb(skip_young),
+            ]
+        })
+        .collect()
+}
+
+/// Generates both figures.
+pub fn run(opts: &FigOpts) -> String {
+    let xen = super::run_one(&catalog::compiler(), None, false, 1, opts);
+    let javmm = super::run_one(&catalog::compiler(), None, true, 1, opts);
+
+    let headers = [
+        "iter",
+        "duration(s)",
+        "sent(MB)",
+        "skip:dirtied(MB)",
+        "skip:young(MB)",
+    ];
+    let mut s = heading("Figures 8a+9a: Xen migrating the compiler VM");
+    s.push_str(&table(&headers, &progress_rows(&xen.report)));
+    s.push_str(&format!(
+        "total: {:.1}s, {} GB\npaper:  58s, 6.1GB, forced stop\n",
+        xen.report.total_duration.as_secs_f64(),
+        gb(xen.report.total_bytes),
+    ));
+
+    s.push_str(&heading("Figures 8b+9b: JAVMM migrating the compiler VM"));
+    s.push_str(&table(&headers, &progress_rows(&javmm.report)));
+    s.push_str(&format!(
+        "total: {:.1}s, {} GB; second-last iteration waits for safepoint \
+         ({:.2}s) + enforced GC ({:.2}s)\npaper:  17s, 1.6GB, 11 iterations, \
+         0.7s safepoint wait, 0.1s GC\n",
+        javmm.report.total_duration.as_secs_f64(),
+        gb(javmm.report.total_bytes),
+        javmm.report.downtime.safepoint_wait.as_secs_f64(),
+        javmm.report.downtime.enforced_gc.as_secs_f64(),
+    ));
+    s
+}

@@ -1,0 +1,146 @@
+//! Figure 10 (+ Table 2 + the §5.3 resource numbers): migration
+//! performance for workloads of different heap-usage categories.
+//!
+//! Total migration time (a), total traffic (b) and workload downtime (c)
+//! for derby (Category 1), crypto (Category 2) and scimark (Category 3),
+//! under vanilla Xen and JAVMM, averaged over seeds with 90% CIs.
+
+use crate::opts::FigOpts;
+use crate::render::{heading, mb, reduction, table};
+use javmm::experiment::Summary;
+use javmm::orchestrator::ScenarioOutcome;
+use workloads::spec::WorkloadSpec;
+
+struct Cell {
+    time: Summary,
+    traffic: Summary,
+    downtime: Summary,
+    cpu: Summary,
+    outcomes: Vec<ScenarioOutcome>,
+}
+
+fn run_cell(w: &WorkloadSpec, young: Option<u64>, assisted: bool, opts: &FigOpts) -> Cell {
+    let outcomes: Vec<ScenarioOutcome> = (1..=opts.seeds)
+        .map(|seed| super::run_one(w, young, assisted, seed, opts))
+        .collect();
+    let metric = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
+        Summary::of(&outcomes.iter().map(f).collect::<Vec<_>>())
+    };
+    Cell {
+        time: metric(&|o| o.report.total_duration.as_secs_f64()),
+        traffic: metric(&|o| o.report.total_bytes as f64 / 1e9),
+        downtime: metric(&|o| o.report.downtime.workload_downtime().as_secs_f64()),
+        cpu: metric(&|o| o.report.cpu_time.as_secs_f64()),
+        outcomes,
+    }
+}
+
+/// Shared by Figures 10 and 12: render the three panels for a set of
+/// (workload, young_max) rows.
+pub fn render_panels(
+    title: &str,
+    entries: &[(WorkloadSpec, Option<u64>)],
+    opts: &FigOpts,
+    paper_note: &str,
+) -> String {
+    let cells: Vec<(String, Cell, Cell)> = entries
+        .iter()
+        .map(|(w, young)| {
+            (
+                w.name.to_string(),
+                run_cell(w, *young, false, opts),
+                run_cell(w, *young, true, opts),
+            )
+        })
+        .collect();
+
+    let mut s = heading(title);
+    for (panel, label, get) in [
+        ("(a) total migration time (s)", "time", 0usize),
+        ("(b) total migration traffic (GB)", "traffic", 1),
+        ("(c) workload downtime (s)", "downtime", 2),
+    ] {
+        let _ = label;
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|(name, xen, javmm)| {
+                let (x, j) = match get {
+                    0 => (&xen.time, &javmm.time),
+                    1 => (&xen.traffic, &javmm.traffic),
+                    _ => (&xen.downtime, &javmm.downtime),
+                };
+                vec![
+                    name.clone(),
+                    format!("{}", x),
+                    format!("{}", j),
+                    reduction(x.mean, j.mean),
+                ]
+            })
+            .collect();
+        s.push_str(&format!("\n{panel}\n"));
+        s.push_str(&table(&["workload", "Xen", "JAVMM", "JAVMM vs Xen"], &rows));
+    }
+
+    s.push_str("\nresource details (§5.3):\n");
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|(name, xen, javmm)| {
+            let o = &javmm.outcomes[0];
+            let lkm_bytes = o
+                .report
+                .lkm
+                .as_ref()
+                .map(|l| l.peak_cache_bytes + 64 * 1024)
+                .unwrap_or(0);
+            vec![
+                name.clone(),
+                format!("{}", xen.cpu),
+                format!("{}", javmm.cpu),
+                format!("{:.0}", o.report.downtime.final_update.as_secs_f64() * 1e6),
+                format!("{:.2}", lkm_bytes as f64 / 1e6),
+                format!("{:.2}", o.report.downtime.enforced_gc.as_secs_f64()),
+            ]
+        })
+        .collect();
+    s.push_str(&table(
+        &[
+            "workload",
+            "Xen cpu(s)",
+            "JAVMM cpu(s)",
+            "final-update(us)",
+            "bitmap+cache(MB)",
+            "enforced-gc(s)",
+        ],
+        &rows,
+    ));
+    s.push_str(paper_note);
+
+    s.push_str("\nobserved heap at migration (first seed):\n");
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|(name, xen, _)| {
+            let o = &xen.outcomes[0];
+            vec![name.clone(), mb(o.observed.young), mb(o.observed.old)]
+        })
+        .collect();
+    s.push_str(&table(&["workload", "young(MB)", "old(MB)"], &rows));
+    s
+}
+
+/// Generates Figure 10 with Table 2.
+pub fn run(opts: &FigOpts) -> String {
+    let entries = vec![
+        (workloads::catalog::derby(), None),
+        (workloads::catalog::crypto(), None),
+        (workloads::catalog::scimark(), None),
+    ];
+    render_panels(
+        "Figure 10 + Table 2: migration across heap-usage categories",
+        &entries,
+        opts,
+        "paper: JAVMM reduces derby time/traffic/downtime by 82%/84%/83%, \
+         crypto by 69%/72%/73%; scimark comparable time, 10% less traffic, \
+         slightly longer downtime. Final update <300us, bitmap+cache <=1MB, \
+         derby enforced GC 0.9s, CPU up to 84% less.\n",
+    )
+}

@@ -1,0 +1,33 @@
+//! One module per figure/table of the paper's evaluation.
+
+pub mod fig01;
+pub mod fig05;
+pub mod fig08;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod tables;
+
+use crate::opts::FigOpts;
+use javmm::orchestrator::{run_scenario, Scenario, ScenarioOutcome};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use workloads::spec::WorkloadSpec;
+
+/// Runs the paper's procedure once: warm up, migrate, keep running.
+pub fn run_one(
+    workload: &WorkloadSpec,
+    young_max: Option<u64>,
+    assisted: bool,
+    seed: u64,
+    opts: &FigOpts,
+) -> ScenarioOutcome {
+    let mut vm = JavaVmConfig::paper(workload.clone(), assisted, seed);
+    vm.young_max = young_max;
+    let migration = if assisted {
+        MigrationConfig::javmm_default()
+    } else {
+        MigrationConfig::xen_default()
+    };
+    run_scenario(&Scenario::quick(vm, migration, opts.warmup, opts.tail))
+}

@@ -1,0 +1,86 @@
+//! Tables 1-3 of the paper.
+//!
+//! Table 1 is the workload catalog. Tables 2 and 3 (experimental settings
+//! with observed heap sizes) are emitted alongside Figures 10 and 12, which
+//! produce the observations; standalone variants here run the warmup only.
+
+use crate::opts::FigOpts;
+use crate::render::{heading, mb, table};
+use javmm::orchestrator::{run_scenario, Scenario};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use simkit::units::MIB;
+use workloads::catalog;
+use workloads::spec::WorkloadSpec;
+
+/// Table 1: the workload descriptions.
+pub fn table1() -> String {
+    let rows: Vec<Vec<String>> = catalog::all()
+        .iter()
+        .map(|w| {
+            vec![
+                w.name.to_string(),
+                w.description.to_string(),
+                format!("{}", w.category.number()),
+            ]
+        })
+        .collect();
+    let mut s = heading("Table 1: SPECjvm2008 workloads");
+    s.push_str(&table(&["workload", "description", "category"], &rows));
+    s
+}
+
+fn observed_rows(entries: &[(WorkloadSpec, u64)], opts: &FigOpts) -> Vec<Vec<String>> {
+    entries
+        .iter()
+        .map(|(w, young_max)| {
+            let mut vm = JavaVmConfig::paper(w.clone(), false, 1);
+            vm.young_max = Some(*young_max);
+            let scenario = Scenario::quick(
+                vm,
+                MigrationConfig::xen_default(),
+                opts.warmup,
+                simkit::SimDuration::from_secs(1),
+            );
+            let out = run_scenario(&scenario);
+            vec![
+                w.name.to_string(),
+                mb(*young_max),
+                mb(out.observed.young),
+                mb(out.observed.old),
+            ]
+        })
+        .collect()
+}
+
+/// Table 2: settings/observations for the category representatives.
+pub fn table2(opts: &FigOpts) -> String {
+    let entries = vec![
+        (catalog::derby(), 1024 * MIB),
+        (catalog::crypto(), 1024 * MIB),
+        (catalog::scimark(), 1024 * MIB),
+    ];
+    let mut s = heading("Table 2: workloads with different heap-usage characteristics");
+    s.push_str(&table(
+        &["workload", "max young(MB)", "young(MB)", "old(MB)"],
+        &observed_rows(&entries, opts),
+    ));
+    s.push_str("paper: derby 1024/259, crypto 456/18, scimark 128/486 (MB)\n");
+    s
+}
+
+/// Table 3: settings/observations for the Young-size sweep.
+pub fn table3(opts: &FigOpts) -> String {
+    let entries = vec![
+        (catalog::xml(), 1536 * MIB),
+        (catalog::derby(), 1024 * MIB),
+        (catalog::compiler(), 512 * MIB),
+    ];
+    let mut s = heading("Table 3: Category-1 workloads with different max Young sizes");
+    s.push_str(&table(
+        &["workload", "max young(MB)", "young(MB)", "old(MB)"],
+        &observed_rows(&entries, opts),
+    ));
+    s.push_str("paper: xml 1536/28, derby 1024/259, compiler 512/86 (MB)\n");
+    s
+}

@@ -1,0 +1,59 @@
+//! Harness options.
+
+use simkit::SimDuration;
+
+/// How thoroughly to run the figure generators.
+#[derive(Debug, Clone, Copy)]
+pub struct FigOpts {
+    /// Independent seeds per data point (the paper repeats ≥3 times).
+    pub seeds: u64,
+    /// Workload runtime before migration begins.
+    pub warmup: SimDuration,
+    /// Workload runtime after migration completes.
+    pub tail: SimDuration,
+    /// Duration of the heap-profiling runs (Figure 5).
+    pub profile: SimDuration,
+}
+
+impl FigOpts {
+    /// The paper's methodology: 10-minute runs migrated halfway, 3 repeats.
+    pub fn full() -> Self {
+        Self {
+            seeds: 3,
+            warmup: SimDuration::from_secs(300),
+            tail: SimDuration::from_secs(150),
+            profile: SimDuration::from_secs(300),
+        }
+    }
+
+    /// A fast variant for smoke tests and CI.
+    pub fn quick() -> Self {
+        Self {
+            seeds: 2,
+            warmup: SimDuration::from_secs(45),
+            tail: SimDuration::from_secs(45),
+            profile: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Reads `JAVMM_BENCH=quick|full` from the environment (default full).
+    pub fn from_env() -> Self {
+        match std::env::var("JAVMM_BENCH").as_deref() {
+            Ok("quick") => Self::quick(),
+            _ => Self::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = FigOpts::quick();
+        let f = FigOpts::full();
+        assert!(q.warmup < f.warmup);
+        assert!(q.seeds <= f.seeds);
+    }
+}

@@ -1,0 +1,112 @@
+//! Plain-text rendering helpers for figures and tables.
+
+/// Renders a horizontal bar of `value` against `max`, `width` chars wide.
+///
+/// # Examples
+///
+/// ```
+/// use javmm_bench::render::bar;
+///
+/// assert_eq!(bar(5.0, 10.0, 10), "#####     ");
+/// assert_eq!(bar(0.0, 10.0, 4), "    ");
+/// ```
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
+    } else {
+        0
+    };
+    format!("{}{}", "#".repeat(filled), " ".repeat(width - filled))
+}
+
+/// Renders rows as a fixed-width table with a header and separator.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats bytes as decimal gigabytes, like the paper's traffic axis.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+/// Formats bytes as mebibytes.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.0}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Percentage reduction from `base` to `new` (positive = improvement).
+pub fn reduction(base: f64, new: f64) -> String {
+    if base <= 0.0 {
+        return "-".into();
+    }
+    format!("{:+.0}%", (new - base) / base * 100.0)
+}
+
+/// A section heading.
+pub fn heading(title: &str) -> String {
+    format!("\n==== {title} ====\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(20.0, 10.0, 5), "#####");
+        assert_eq!(bar(-1.0, 10.0, 5), "     ");
+        assert_eq!(bar(1.0, 0.0, 3), "   ");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("22"));
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(gb(7_000_000_000), "7.00");
+        assert_eq!(mb(1024 * 1024 * 10), "10");
+        assert_eq!(reduction(10.0, 2.0), "-80%");
+        assert_eq!(reduction(0.0, 2.0), "-");
+    }
+}

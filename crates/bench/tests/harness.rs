@@ -1,0 +1,27 @@
+//! Fast checks of the figure harness (no long simulations).
+
+use javmm_bench::figs::tables::table1;
+use javmm_bench::render::{bar, reduction, table};
+
+#[test]
+fn table1_lists_the_paper_workloads() {
+    let out = table1();
+    for name in [
+        "derby", "compiler", "xml", "sunflow", "serial", "crypto", "scimark", "mpeg", "compress",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+    assert!(out.contains("Apache Derby database"));
+    assert!(out.contains("Lempel-Ziv"));
+}
+
+#[test]
+fn render_primitives_compose() {
+    let t = table(
+        &["a", "b"],
+        &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+    );
+    assert_eq!(t.lines().count(), 4);
+    assert_eq!(bar(2.0, 4.0, 8), "####    ");
+    assert_eq!(reduction(100.0, 9.0), "-91%");
+}

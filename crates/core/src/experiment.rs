@@ -1,0 +1,82 @@
+//! Repeated-run experiment helpers.
+//!
+//! The paper repeats each experiment at least three times and reports means
+//! with 90% confidence intervals. These helpers run a closure across seeds
+//! and summarize any extracted metric the same way.
+
+use simkit::stats::SampleStats;
+
+/// Mean and 90% confidence half-width of a repeated measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 90% confidence interval.
+    pub ci90: f64,
+    /// Number of runs.
+    pub n: u64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    pub fn of(values: &[f64]) -> Self {
+        let mut stats = SampleStats::new();
+        for &v in values {
+            stats.add(v);
+        }
+        Self {
+            mean: stats.mean(),
+            ci90: stats.ci90_half_width(),
+            n: stats.count(),
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean, self.ci90)
+    }
+}
+
+/// Runs `f` once per seed (`1..=runs`), collecting its outputs.
+pub fn across_seeds<T>(runs: u64, f: impl FnMut(u64) -> T) -> Vec<T> {
+    (1..=runs).map(f).collect()
+}
+
+/// Runs `f` across seeds and summarizes the metric it returns.
+pub fn summarize_across_seeds(runs: u64, f: impl FnMut(u64) -> f64) -> Summary {
+    let values: Vec<f64> = (1..=runs).map(f).collect();
+    Summary::of(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_runs() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn across_seeds_passes_distinct_seeds() {
+        let seeds = across_seeds(3, |s| s);
+        assert_eq!(seeds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn summarize_matches_manual() {
+        let s = summarize_across_seeds(3, |seed| seed as f64 * 2.0);
+        assert_eq!(s.mean, 4.0);
+        assert!(s.ci90 > 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!(s.to_string().starts_with("2.00 ±"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Scenario orchestration: warm up, migrate, cool down, measure.
+//!
+//! Reproduces the paper's experimental procedure (§5.1): run the workload
+//! for ten minutes in the VM and migrate it halfway through, observing
+//! throughput from outside with a suspension-immune time source.
+
+use crate::vm::{JavaVm, JavaVmConfig};
+use migrate::config::MigrationConfig;
+use migrate::precopy::PrecopyEngine;
+use migrate::report::MigrationReport;
+use simkit::{SimClock, SimDuration};
+
+/// A full experimental scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The VM under test.
+    pub vm: JavaVmConfig,
+    /// The migration engine configuration.
+    pub migration: MigrationConfig,
+    /// Workload runtime before migration begins (paper: 300 s).
+    pub warmup: SimDuration,
+    /// Total workload runtime (paper: 600 s).
+    pub total: SimDuration,
+    /// Guest tick outside of migration (migration itself uses the engine's
+    /// quantum).
+    pub tick: SimDuration,
+}
+
+impl Scenario {
+    /// The paper's procedure with the given VM and engine configs.
+    pub fn paper(vm: JavaVmConfig, migration: MigrationConfig) -> Self {
+        Self {
+            vm,
+            migration,
+            warmup: SimDuration::from_secs(300),
+            total: SimDuration::from_secs(600),
+            tick: SimDuration::from_millis(2),
+        }
+    }
+
+    /// A shortened variant for tests: migrate after `warmup`, run `tail`
+    /// afterwards.
+    pub fn quick(
+        vm: JavaVmConfig,
+        migration: MigrationConfig,
+        warmup: SimDuration,
+        tail: SimDuration,
+    ) -> Self {
+        Self {
+            vm,
+            migration,
+            warmup,
+            total: warmup + tail,
+            tick: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Heap state observed right before migration begins (Tables 2 and 3).
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedHeap {
+    /// Committed Young generation bytes.
+    pub young: u64,
+    /// Used Old generation bytes.
+    pub old: u64,
+}
+
+/// Everything one scenario run produces.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The migration report.
+    pub report: MigrationReport,
+    /// Heap sizes when migration began.
+    pub observed: ObservedHeap,
+    /// Throughput points `(second, ops)` across the whole run.
+    pub throughput: Vec<(f64, f64)>,
+    /// Mean throughput before migration began.
+    pub mean_ops_before: f64,
+    /// Mean throughput between migration end and run end.
+    pub mean_ops_after: f64,
+    /// When migration began, in seconds from run start.
+    pub migration_started_at: f64,
+    /// When the VM resumed, in seconds from run start.
+    pub migration_ended_at: f64,
+}
+
+/// Runs one scenario to completion.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let mut vm = JavaVm::launch(scenario.vm.clone());
+    let mut clock = SimClock::new();
+
+    vm.run_for(&mut clock, scenario.warmup, scenario.tick);
+    let observed = ObservedHeap {
+        young: vm.jvm().heap().young_committed(),
+        old: vm.jvm().heap().old_used(),
+    };
+    let started_at = clock.now().as_secs_f64();
+
+    let engine = PrecopyEngine::new(scenario.migration.clone());
+    let report = engine.migrate(&mut vm, &mut clock);
+    let ended_at = clock.now().as_secs_f64();
+
+    // Keep running at the destination for the rest of the ten minutes.
+    let remaining = scenario
+        .total
+        .saturating_sub(clock.now().saturating_since(simkit::SimTime::ZERO));
+    if !remaining.is_zero() {
+        vm.run_for(&mut clock, remaining, scenario.tick);
+    }
+    vm.finish_analyzer(clock.now());
+
+    let analyzer = vm.analyzer();
+    let mean_ops_before = analyzer.mean_between(10.0, started_at);
+    let mean_ops_after = analyzer.mean_between(ended_at + 1.0, scenario.total.as_secs_f64());
+
+    ScenarioOutcome {
+        report,
+        observed,
+        throughput: analyzer.points(),
+        mean_ops_before,
+        mean_ops_after,
+        migration_started_at: started_at,
+        migration_ended_at: ended_at,
+    }
+}

@@ -1,0 +1,86 @@
+//! Heap-usage profiling (the paper's §4.2 / Figure 5 methodology).
+//!
+//! Runs a workload in a VM for a while — no migration — sampling the heap
+//! once a second and reading the GC log, to reproduce: average Young/Old
+//! consumption (Figure 5a), garbage vs live data per minor GC (Figure 5b),
+//! and minor-GC duration (Figure 5c).
+
+use crate::vm::{JavaVm, JavaVmConfig};
+use simkit::stats::SampleStats;
+use simkit::{SimClock, SimDuration};
+use workloads::spec::WorkloadSpec;
+
+/// Aggregated heap profile of one workload run.
+#[derive(Debug, Clone)]
+pub struct HeapProfile {
+    /// Workload name.
+    pub name: &'static str,
+    /// Mean committed Young generation over the run, bytes.
+    pub avg_young: f64,
+    /// Mean used Old generation over the run, bytes.
+    pub avg_old: f64,
+    /// Mean garbage reclaimed per minor GC, bytes.
+    pub gc_garbage: f64,
+    /// Mean live data (copied + promoted) per minor GC, bytes.
+    pub gc_live: f64,
+    /// Mean minor-GC duration.
+    pub gc_duration: SimDuration,
+    /// Number of minor GCs observed.
+    pub gc_count: usize,
+    /// Mean interval between minor GCs, seconds.
+    pub gc_interval_secs: f64,
+}
+
+/// Profiles `workload` for `duration` with the Young generation capped at
+/// `young_max` (the paper's Figure 5 uses 1 GiB for every workload).
+pub fn profile_heap(
+    workload: &WorkloadSpec,
+    young_max: u64,
+    duration: SimDuration,
+    seed: u64,
+) -> HeapProfile {
+    let mut config = JavaVmConfig::paper(workload.clone(), false, seed);
+    config.young_max = Some(young_max);
+    let mut vm = JavaVm::launch(config);
+    let mut clock = SimClock::new();
+
+    let mut young = SampleStats::new();
+    let mut old = SampleStats::new();
+    let second = SimDuration::from_secs(1);
+    let steps = duration.as_secs();
+    for _ in 0..steps {
+        vm.run_for(&mut clock, second, SimDuration::from_millis(2));
+        young.add(vm.jvm().heap().young_committed() as f64);
+        old.add(vm.jvm().heap().old_used() as f64);
+    }
+
+    let log = vm.jvm().heap().gc_log();
+    let (gc_garbage, gc_live) = log.mean_minor_garbage_live();
+    let minors: Vec<_> = log
+        .records()
+        .iter()
+        .filter(|r| r.kind != jheap::gc::GcKind::Full)
+        .collect();
+    let gc_interval_secs = if minors.len() >= 2 {
+        let span = minors
+            .last()
+            .expect("len checked")
+            .at
+            .saturating_since(minors[0].at)
+            .as_secs_f64();
+        span / (minors.len() - 1) as f64
+    } else {
+        f64::INFINITY
+    };
+
+    HeapProfile {
+        name: workload.name,
+        avg_young: young.mean(),
+        avg_old: old.mean(),
+        gc_garbage,
+        gc_live,
+        gc_duration: log.mean_minor_duration(),
+        gc_count: minors.len(),
+        gc_interval_secs,
+    }
+}

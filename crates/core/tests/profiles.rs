@@ -1,0 +1,82 @@
+//! Heap-profiling behaviour (the §4.2 observations behind Figure 5).
+
+use javmm::profiles::profile_heap;
+use simkit::units::{GIB, MIB};
+use simkit::SimDuration;
+use workloads::catalog;
+
+#[test]
+fn category1_young_grows_to_the_cap() {
+    // Observation 1: derby/xml-like workloads quickly grow the Young
+    // generation to its maximum.
+    let p = profile_heap(&catalog::derby(), GIB, SimDuration::from_secs(60), 1);
+    assert!(
+        p.avg_young > 0.75 * GIB as f64,
+        "derby avg young {:.0} MB",
+        p.avg_young / MIB as f64
+    );
+    // GCs every ~3 s (paper §4.2).
+    assert!(
+        (1.5..5.0).contains(&p.gc_interval_secs),
+        "interval {:.1}s",
+        p.gc_interval_secs
+    );
+}
+
+#[test]
+fn category1_young_is_mostly_garbage() {
+    // Observation 2: >97% of the Young generation is garbage at a GC.
+    let p = profile_heap(&catalog::xml(), GIB, SimDuration::from_secs(60), 1);
+    let garbage_frac = p.gc_garbage / (p.gc_garbage + p.gc_live);
+    assert!(
+        garbage_frac > 0.97,
+        "xml garbage fraction {garbage_frac:.3}"
+    );
+}
+
+#[test]
+fn scimark_is_old_heavy() {
+    // Category 3: small Young generation, large Old generation.
+    let p = profile_heap(&catalog::scimark(), GIB, SimDuration::from_secs(60), 1);
+    assert!(
+        p.avg_old > p.avg_young,
+        "old {:.0} MB vs young {:.0} MB",
+        p.avg_old / MIB as f64,
+        p.avg_young / MIB as f64
+    );
+    assert!(p.avg_young < 256.0 * MIB as f64);
+    // And its Young generation keeps much more live data than Category 1.
+    let live_frac = p.gc_live / (p.gc_garbage + p.gc_live);
+    assert!(live_frac > 0.08, "scimark live fraction {live_frac:.3}");
+}
+
+#[test]
+fn gc_duration_reflects_collection_cost() {
+    // Observation 3: collecting Young garbage is faster than sending it
+    // over gigabit Ethernet for every workload except scimark-like ones.
+    let link_bytes_per_sec = 117.5e6;
+    for w in catalog::all() {
+        let p = profile_heap(&w, GIB, SimDuration::from_secs(45), 1);
+        if p.gc_count == 0 {
+            continue;
+        }
+        let transfer_secs = p.gc_garbage / link_bytes_per_sec;
+        let collect_secs = p.gc_duration.as_secs_f64();
+        if w.name != "scimark" && p.gc_garbage > 100.0 * MIB as f64 {
+            assert!(
+                collect_secs < transfer_secs * 1.2,
+                "{}: collect {collect_secs:.2}s vs transfer {transfer_secs:.2}s",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn profiles_are_deterministic_per_seed() {
+    let a = profile_heap(&catalog::crypto(), GIB, SimDuration::from_secs(30), 7);
+    let b = profile_heap(&catalog::crypto(), GIB, SimDuration::from_secs(30), 7);
+    assert_eq!(a.avg_young, b.avg_young);
+    assert_eq!(a.gc_count, b.gc_count);
+    assert_eq!(a.gc_duration, b.gc_duration);
+}

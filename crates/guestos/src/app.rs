@@ -1,0 +1,36 @@
+//! The contract an assisting application fulfils.
+//!
+//! The gray boxes of the paper's Figure 4 describe what an application must
+//! do to assist in migration: report skip-over areas when queried, notify
+//! the LKM immediately when an area shrinks, make skip-over contents
+//! recoverable-or-unneeded when asked to prepare for suspension, and recover
+//! or forget those contents once the VM resumes. In JAVMM all of this is
+//! done by the JVM TI agent on behalf of Java applications; the §6 cache
+//! extension does it inside a cache server.
+//!
+//! Concrete applications own a [`crate::netlink::NetlinkSocket`] and
+//! exchange [`crate::messages`] with the LKM from inside their
+//! [`GuestApp::advance`]; the orchestrator only needs this object-safe
+//! trait to drive them.
+
+use crate::kernel::GuestKernel;
+use crate::process::Pid;
+use simkit::{SimDuration, SimTime};
+
+/// A guest application driven by the co-simulation.
+pub trait GuestApp {
+    /// The application's process id.
+    fn pid(&self) -> Pid;
+
+    /// Advances the application's execution by `dt` of guest time.
+    ///
+    /// The application performs its workload (dirtying guest memory through
+    /// `kernel`), drains its netlink socket, and sends any protocol replies.
+    /// `dt` already excludes time the VM was suspended; application-internal
+    /// pauses (GC safepoints, cache locks) are the app's own business.
+    fn advance(&mut self, now: SimTime, dt: SimDuration, kernel: &mut GuestKernel);
+
+    /// Returns how many work operations the application has completed so
+    /// far (the paper's analyzer samples this once a second from outside).
+    fn ops_completed(&self) -> u64;
+}

@@ -1,0 +1,143 @@
+//! A simulated Xen event channel between the migration daemon and the LKM.
+//!
+//! A special event channel port is created with the guest VM (§3.3.1);
+//! through it the migration daemon in domain 0 and the LKM exchange
+//! notifications throughout the migration. Like the netlink bus, delivery
+//! is asynchronous with a small latency.
+
+use crate::messages::{DaemonToLkm, LkmToDaemon};
+use simkit::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Default one-way latency of an event-channel notification.
+pub const EVTCHN_LATENCY: SimDuration = SimDuration::from_micros(20);
+
+#[derive(Debug)]
+struct ChannelCore {
+    latency: SimDuration,
+    to_lkm: VecDeque<(SimTime, DaemonToLkm)>,
+    to_daemon: VecDeque<(SimTime, LkmToDaemon)>,
+}
+
+/// Creates a connected (daemon-side, LKM-side) endpoint pair.
+///
+/// # Examples
+///
+/// ```
+/// use guestos::evtchn::{channel_pair, EVTCHN_LATENCY};
+/// use guestos::messages::DaemonToLkm;
+/// use simkit::SimTime;
+///
+/// let (daemon, lkm) = channel_pair();
+/// daemon.send(SimTime::ZERO, DaemonToLkm::MigrationBegin);
+/// let later = SimTime::ZERO + EVTCHN_LATENCY;
+/// assert_eq!(lkm.recv(later), vec![DaemonToLkm::MigrationBegin]);
+/// ```
+pub fn channel_pair() -> (DaemonPort, LkmPort) {
+    channel_pair_with_latency(EVTCHN_LATENCY)
+}
+
+/// Creates a pair with a custom one-way latency.
+pub fn channel_pair_with_latency(latency: SimDuration) -> (DaemonPort, LkmPort) {
+    let core = Rc::new(RefCell::new(ChannelCore {
+        latency,
+        to_lkm: VecDeque::new(),
+        to_daemon: VecDeque::new(),
+    }));
+    (
+        DaemonPort {
+            core: Rc::clone(&core),
+        },
+        LkmPort { core },
+    )
+}
+
+/// The domain-0 (migration daemon) endpoint.
+#[derive(Debug, Clone)]
+pub struct DaemonPort {
+    core: Rc<RefCell<ChannelCore>>,
+}
+
+impl DaemonPort {
+    /// Sends a notification to the LKM.
+    pub fn send(&self, now: SimTime, msg: DaemonToLkm) {
+        let mut core = self.core.borrow_mut();
+        let ready = now + core.latency;
+        core.to_lkm.push_back((ready, msg));
+    }
+
+    /// Receives all LKM notifications that have arrived by `now`.
+    pub fn recv(&self, now: SimTime) -> Vec<LkmToDaemon> {
+        drain_ready(&mut self.core.borrow_mut().to_daemon, now)
+    }
+}
+
+/// The guest (LKM) endpoint.
+#[derive(Debug, Clone)]
+pub struct LkmPort {
+    core: Rc<RefCell<ChannelCore>>,
+}
+
+impl LkmPort {
+    /// Sends a notification to the daemon.
+    pub fn send(&self, now: SimTime, msg: LkmToDaemon) {
+        let mut core = self.core.borrow_mut();
+        let ready = now + core.latency;
+        core.to_daemon.push_back((ready, msg));
+    }
+
+    /// Receives all daemon notifications that have arrived by `now`.
+    pub fn recv(&self, now: SimTime) -> Vec<DaemonToLkm> {
+        drain_ready(&mut self.core.borrow_mut().to_lkm, now)
+    }
+}
+
+fn drain_ready<T>(queue: &mut VecDeque<(SimTime, T)>, now: SimTime) -> Vec<T> {
+    let mut out = Vec::new();
+    while let Some(&(ready, _)) = queue.front() {
+        if ready <= now {
+            out.push(queue.pop_front().expect("front checked").1);
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn bidirectional_delivery() {
+        let (daemon, lkm) = channel_pair();
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        assert!(lkm.recv(t(0)).is_empty(), "latency not yet elapsed");
+        assert_eq!(lkm.recv(t(20)), vec![DaemonToLkm::MigrationBegin]);
+        lkm.send(
+            t(30),
+            LkmToDaemon::ReadyToSuspend {
+                final_update: SimDuration::from_micros(250),
+                stragglers: 0,
+            },
+        );
+        assert_eq!(daemon.recv(t(50)).len(), 1);
+    }
+
+    #[test]
+    fn order_preserved() {
+        let (daemon, lkm) = channel_pair_with_latency(SimDuration::ZERO);
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), DaemonToLkm::EnteringLastIter);
+        assert_eq!(
+            lkm.recv(t(0)),
+            vec![DaemonToLkm::MigrationBegin, DaemonToLkm::EnteringLastIter]
+        );
+    }
+}

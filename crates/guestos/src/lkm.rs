@@ -1,0 +1,465 @@
+//! The Loadable Kernel Module: coordinator of application-assisted migration.
+//!
+//! The LKM is the system-level component of the framework (§3.3). It:
+//!
+//! * relays messages between the migration daemon (event channel) and the
+//!   assisting applications (netlink multicast), bridging the
+//!   *communication gap*;
+//! * translates application-supplied VA ranges into PFNs by page-table
+//!   walks, bridging the *semantic gap*;
+//! * owns the transfer bitmap and keeps it current through the first update
+//!   (migration begin), immediate shrink updates, and the final update right
+//!   before the last iteration (§3.3.4);
+//! * caches the PFNs of skip-over pages so shrink notifications can be
+//!   answered after the underlying frames were reclaimed;
+//! * transitions through the five operating states of Figure 4 and handles
+//!   stragglers with a reply deadline (§6).
+
+use crate::evtchn::{channel_pair, LkmPort};
+use crate::messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
+use crate::netlink::KernelNetlink;
+use crate::process::{Pid, Process};
+use simkit::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use vmem::addr::subtract_ranges;
+use vmem::{Pfn, PfnCache, TransferBitmap, VaRange};
+
+pub use crate::evtchn::DaemonPort;
+
+/// Tunable costs and policies of the LKM.
+#[derive(Debug, Clone)]
+pub struct LkmConfig {
+    /// CPU time per page-table walk step (one page looked up).
+    pub walk_cost_per_page: SimDuration,
+    /// CPU time per transfer-bitmap bit flipped.
+    pub bit_cost_per_page: SimDuration,
+    /// Deadline for application replies to `PrepareSuspension`; stragglers
+    /// past this deadline are forcibly un-skipped so migration is not
+    /// delayed unboundedly (§6).
+    pub reply_timeout: SimDuration,
+    /// Use the §3.3.4 alternative final-update strategy: re-walk all
+    /// skip-over areas instead of relying on shrink notifications. Slower
+    /// final update, no intermediate bookkeeping.
+    pub rewalk_final_update: bool,
+    /// Number of worker threads the LKM uses for page-table walks and
+    /// bitmap updates (§6: "investigating parallelization of transfer
+    /// bitmap updates to handle large skip-over areas efficiently").
+    pub walk_parallelism: u32,
+}
+
+impl Default for LkmConfig {
+    fn default() -> Self {
+        Self {
+            walk_cost_per_page: SimDuration::from_nanos(90),
+            bit_cost_per_page: SimDuration::from_nanos(30),
+            reply_timeout: SimDuration::from_secs(5),
+            rewalk_final_update: false,
+            walk_parallelism: 1,
+        }
+    }
+}
+
+/// The LKM's operating state (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LkmState {
+    /// Loaded and ready for a migration.
+    Initialized,
+    /// Migration in progress; first bitmap update done/ongoing.
+    MigrationStarted,
+    /// Waiting for applications to prepare for suspension.
+    EnteringLastIter,
+    /// Final bitmap update done; daemon told to pause the VM.
+    SuspensionReady,
+}
+
+/// Counters and timings the LKM accumulates across one migration.
+#[derive(Debug, Clone, Default)]
+pub struct LkmStats {
+    /// Pages whose transfer bits were cleared in the first update.
+    pub first_update_pages: u64,
+    /// CPU time of the first update (walks + bit flips).
+    pub first_update_duration: SimDuration,
+    /// Pages cleared by the final update (expansion).
+    pub final_expand_pages: u64,
+    /// Pages set by the final update (shrink + must-send).
+    pub final_set_pages: u64,
+    /// CPU time of the final update.
+    pub final_update_duration: SimDuration,
+    /// Number of shrink notifications processed.
+    pub shrink_events: u64,
+    /// Pages un-skipped by shrink notifications.
+    pub shrink_pages: u64,
+    /// Applications that missed the suspension-prep deadline.
+    pub stragglers: u32,
+    /// Peak PFN-cache footprint in bytes.
+    pub peak_cache_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct AppRecord {
+    /// Remembered (page-aligned) skip-over areas.
+    areas: Vec<VaRange>,
+    cache: PfnCache,
+    suspension_ready: bool,
+    straggler: bool,
+}
+
+/// The Loadable Kernel Module.
+pub struct Lkm {
+    config: LkmConfig,
+    state: LkmState,
+    transfer: TransferBitmap,
+    apps: BTreeMap<Pid, AppRecord>,
+    netlink: KernelNetlink,
+    port: LkmPort,
+    prepare_deadline: Option<SimTime>,
+    pending_final_update: SimDuration,
+    stats: LkmStats,
+}
+
+impl Lkm {
+    /// Loads the LKM: creates the transfer bitmap and the event channel,
+    /// returning the daemon-side endpoint.
+    pub fn load(npages: u64, netlink: KernelNetlink, config: LkmConfig) -> (Self, DaemonPort) {
+        let (daemon_port, lkm_port) = channel_pair();
+        (
+            Self {
+                config,
+                state: LkmState::Initialized,
+                transfer: TransferBitmap::new(npages),
+                apps: BTreeMap::new(),
+                netlink,
+                port: lkm_port,
+                prepare_deadline: None,
+                pending_final_update: SimDuration::ZERO,
+                stats: LkmStats::default(),
+            },
+            daemon_port,
+        )
+    }
+
+    /// Returns the current operating state.
+    pub fn state(&self) -> LkmState {
+        self.state
+    }
+
+    /// Returns whether a page should be transferred when dirty.
+    pub fn should_transfer(&self, pfn: Pfn) -> bool {
+        self.transfer.should_transfer(pfn)
+    }
+
+    /// Returns a reference to the transfer bitmap (shared with the daemon
+    /// when migration begins, §3.3.3).
+    pub fn transfer_bitmap(&self) -> &TransferBitmap {
+        &self.transfer
+    }
+
+    /// Returns the stats accumulated for the current/most recent migration.
+    pub fn stats(&self) -> &LkmStats {
+        &self.stats
+    }
+
+    /// Returns the memory footprint of the LKM's data structures: transfer
+    /// bitmap plus all PFN caches (the paper reports ≤1 MiB total).
+    pub fn memory_footprint(&self) -> u64 {
+        self.transfer.byte_size() + self.apps.values().map(|a| a.cache.byte_size()).sum::<u64>()
+    }
+
+    /// Drains and processes all pending daemon and application messages.
+    ///
+    /// Call once per simulation tick with the kernel's process table, which
+    /// the LKM needs for page-table walks.
+    pub fn service(&mut self, now: SimTime, procs: &mut BTreeMap<Pid, Process>) {
+        for msg in self.port.recv(now) {
+            self.on_daemon_msg(now, msg);
+        }
+        for (pid, msg) in self.netlink.recv(now) {
+            self.on_app_msg(now, pid, msg, procs);
+        }
+        self.check_deadline(now, procs);
+        self.maybe_finish_final_update(now);
+    }
+
+    fn on_daemon_msg(&mut self, now: SimTime, msg: DaemonToLkm) {
+        match msg {
+            DaemonToLkm::MigrationBegin => {
+                self.state = LkmState::MigrationStarted;
+                self.stats = LkmStats::default();
+                self.pending_final_update = SimDuration::ZERO;
+                for rec in self.apps.values_mut() {
+                    rec.suspension_ready = false;
+                    rec.straggler = false;
+                }
+                self.netlink.multicast(now, LkmToApp::QuerySkipOver);
+            }
+            DaemonToLkm::EnteringLastIter => {
+                self.state = LkmState::EnteringLastIter;
+                self.prepare_deadline = Some(now + self.config.reply_timeout);
+                self.netlink.multicast(now, LkmToApp::PrepareSuspension);
+            }
+            DaemonToLkm::VmResumed => {
+                self.netlink.multicast(now, LkmToApp::VmResumed);
+                self.reset_after_migration();
+            }
+        }
+    }
+
+    fn on_app_msg(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        msg: AppToLkm,
+        procs: &mut BTreeMap<Pid, Process>,
+    ) {
+        match msg {
+            AppToLkm::SkipOverAreas(areas) => {
+                if self.state == LkmState::MigrationStarted {
+                    self.first_update(pid, &areas, procs);
+                }
+            }
+            AppToLkm::AreaShrunk { left } => {
+                if self.state != LkmState::Initialized && !self.config.rewalk_final_update {
+                    self.shrink_update(pid, &left);
+                }
+            }
+            AppToLkm::SuspensionReady { areas, must_send } => {
+                if self.state == LkmState::EnteringLastIter {
+                    self.final_update_for(now, pid, &areas, &must_send, procs);
+                }
+            }
+        }
+    }
+
+    /// First transfer-bitmap update: clear the bits of every page found in
+    /// the application's skip-over areas, caching the PFNs (§3.3.4).
+    fn first_update(&mut self, pid: Pid, areas: &[VaRange], procs: &mut BTreeMap<Pid, Process>) {
+        let Some(proc) = procs.get_mut(&pid) else {
+            return;
+        };
+        let rec = self.apps.entry(pid).or_default();
+        let mut walked = 0u64;
+        let mut cleared = 0u64;
+        for area in areas {
+            let aligned = area.align_inward();
+            if aligned.is_empty() {
+                continue;
+            }
+            for (vpn, pfn) in proc.page_table.walk_range(aligned) {
+                walked += 1;
+                if self.transfer.clear(pfn) {
+                    cleared += 1;
+                }
+                rec.cache.insert(vpn, pfn);
+            }
+            rec.areas.push(aligned);
+        }
+        self.stats.first_update_pages += cleared;
+        self.stats.first_update_duration += self.parallel_cost(walked, cleared);
+        self.stats.peak_cache_bytes = self.stats.peak_cache_bytes.max(self.cache_bytes());
+    }
+
+    /// Immediate shrink update: the PFNs of pages leaving an area are fetched
+    /// from the PFN cache (not the page tables — the frames may already be
+    /// reclaimed) and their transfer bits are set (§3.3.4).
+    fn shrink_update(&mut self, pid: Pid, left: &[VaRange]) {
+        let Some(rec) = self.apps.get_mut(&pid) else {
+            return;
+        };
+        self.stats.shrink_events += 1;
+        let mut set = 0u64;
+        for range in left {
+            for pfn in rec.cache.take_range(*range) {
+                if self.transfer.set(pfn) {
+                    set += 1;
+                }
+            }
+        }
+        rec.areas = subtract_ranges(&rec.areas, left)
+            .into_iter()
+            .map(|r| r.align_inward())
+            .filter(|r| !r.is_empty())
+            .collect();
+        self.stats.shrink_pages += set;
+    }
+
+    /// Final transfer-bitmap update for one suspension-ready application:
+    /// reconcile expanded and shrunk space, then force transfer of the
+    /// `must_send` ranges (the From space holding enforced-GC survivors).
+    fn final_update_for(
+        &mut self,
+        _now: SimTime,
+        pid: Pid,
+        new_areas: &[VaRange],
+        must_send: &[VaRange],
+        procs: &mut BTreeMap<Pid, Process>,
+    ) {
+        let Some(proc) = procs.get_mut(&pid) else {
+            return;
+        };
+        let rec = self.apps.entry(pid).or_default();
+        let new_aligned: Vec<VaRange> = new_areas
+            .iter()
+            .map(|r| r.align_inward())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut walked = 0u64;
+        let mut flips = 0u64;
+
+        if self.config.rewalk_final_update {
+            // Alternative strategy (§3.3.4): forget the incremental state,
+            // un-skip everything previously cleared, and re-walk the current
+            // areas from scratch. Costs a full walk of old + new areas.
+            for pfn in rec.cache_drain() {
+                if self.transfer.set(pfn) {
+                    flips += 1;
+                }
+            }
+            for area in &new_aligned {
+                for (vpn, pfn) in proc.page_table.walk_range(*area) {
+                    walked += 1;
+                    if self.transfer.clear(pfn) {
+                        flips += 1;
+                    }
+                    rec.cache.insert(vpn, pfn);
+                }
+            }
+        } else {
+            // Expanded space: pages joining the areas get their bits cleared
+            // now (deferred from during migration, §3.3.4).
+            let expanded = subtract_ranges(&new_aligned, &rec.areas);
+            for range in &expanded {
+                for (vpn, pfn) in proc.page_table.walk_range(*range) {
+                    walked += 1;
+                    if self.transfer.clear(pfn) {
+                        flips += 1;
+                        self.stats.final_expand_pages += 1;
+                    }
+                    rec.cache.insert(vpn, pfn);
+                }
+            }
+            // Shrunk space: pages that left since the last notification.
+            let shrunk = subtract_ranges(&rec.areas, &new_aligned);
+            for range in &shrunk {
+                for pfn in rec.cache.take_range(*range) {
+                    if self.transfer.set(pfn) {
+                        flips += 1;
+                        self.stats.final_set_pages += 1;
+                    }
+                }
+            }
+        }
+
+        // Must-send ranges "leave" the areas: their live contents (e.g. the
+        // occupied From space) must go out in the last iteration.
+        for range in must_send {
+            for pfn in rec.cache.take_range(*range) {
+                if self.transfer.set(pfn) {
+                    flips += 1;
+                    self.stats.final_set_pages += 1;
+                }
+            }
+        }
+
+        rec.areas = new_aligned;
+        rec.suspension_ready = true;
+        self.pending_final_update += self.parallel_cost(walked, flips);
+        self.stats.peak_cache_bytes = self.stats.peak_cache_bytes.max(self.cache_bytes());
+    }
+
+    /// Forcibly un-skips the pages of applications that missed the reply
+    /// deadline, so their (possibly live) contents are transferred and
+    /// migration can proceed (§6 straggler handling).
+    fn check_deadline(&mut self, now: SimTime, _procs: &mut BTreeMap<Pid, Process>) {
+        if self.state != LkmState::EnteringLastIter {
+            return;
+        }
+        let Some(deadline) = self.prepare_deadline else {
+            return;
+        };
+        if now < deadline {
+            return;
+        }
+        let mut flips = 0u64;
+        for rec in self.apps.values_mut() {
+            if !rec.suspension_ready {
+                for pfn in rec.cache_drain() {
+                    if self.transfer.set(pfn) {
+                        flips += 1;
+                    }
+                }
+                rec.areas.clear();
+                rec.suspension_ready = true;
+                rec.straggler = true;
+                self.stats.stragglers += 1;
+            }
+        }
+        self.pending_final_update += self.config.bit_cost_per_page * flips;
+    }
+
+    /// Once every known application is suspension-ready, report readiness to
+    /// the daemon with the measured final-update duration.
+    fn maybe_finish_final_update(&mut self, now: SimTime) {
+        if self.state != LkmState::EnteringLastIter {
+            return;
+        }
+        let all_ready = self.apps.values().all(|r| r.suspension_ready);
+        // Applications that never reported areas have no record; they are
+        // not waited for (they never subscribed intent to assist).
+        if all_ready {
+            self.state = LkmState::SuspensionReady;
+            self.stats.final_update_duration = self.pending_final_update;
+            self.port.send(
+                now,
+                LkmToDaemon::ReadyToSuspend {
+                    final_update: self.pending_final_update,
+                    stragglers: self.stats.stragglers,
+                },
+            );
+            self.prepare_deadline = None;
+        }
+    }
+
+    fn reset_after_migration(&mut self) {
+        self.state = LkmState::Initialized;
+        self.transfer.reset();
+        for rec in self.apps.values_mut() {
+            rec.areas.clear();
+            rec.cache.clear();
+            rec.suspension_ready = false;
+        }
+        self.prepare_deadline = None;
+        self.pending_final_update = SimDuration::ZERO;
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.apps.values().map(|a| a.cache.byte_size()).sum()
+    }
+
+    /// CPU time of a walk + bit-flip batch, divided across the configured
+    /// worker threads (with a 10% coordination overhead per extra worker).
+    fn parallel_cost(&self, walked: u64, flipped: u64) -> SimDuration {
+        let serial =
+            self.config.walk_cost_per_page * walked + self.config.bit_cost_per_page * flipped;
+        let workers = self.config.walk_parallelism.max(1) as f64;
+        serial.mul_f64((1.0 + 0.1 * (workers - 1.0)) / workers)
+    }
+}
+
+impl AppRecord {
+    /// Drains the PFN cache, returning every cached PFN.
+    fn cache_drain(&mut self) -> Vec<Pfn> {
+        // take_range over the full VA space empties the cache.
+        let all = VaRange::new(vmem::Vaddr(0), vmem::Vaddr(!(vmem::PAGE_SIZE - 1)));
+        self.cache.take_range(all)
+    }
+}
+
+impl core::fmt::Debug for Lkm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Lkm")
+            .field("state", &self.state)
+            .field("apps", &self.apps.len())
+            .field("skip_pages", &self.transfer.skip_count())
+            .finish()
+    }
+}

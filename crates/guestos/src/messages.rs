@@ -1,0 +1,93 @@
+//! Message vocabulary of the application-assisted migration protocol.
+//!
+//! Three parties talk (Figure 4 of the paper): the migration daemon in
+//! domain 0, the LKM in the guest kernel, and the assisting applications.
+//! The daemon↔LKM leg rides a Xen event channel; the LKM↔application leg
+//! rides a netlink multicast group.
+
+use simkit::SimDuration;
+use vmem::VaRange;
+
+/// Daemon → LKM notifications over the event channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaemonToLkm {
+    /// Migration has begun; the LKM should query applications and perform
+    /// the first transfer-bitmap update.
+    MigrationBegin,
+    /// The daemon wants to pause the VM and enter the last iteration; the
+    /// LKM should ask applications to prepare for suspension.
+    EnteringLastIter,
+    /// The VM has resumed at the destination.
+    VmResumed,
+}
+
+/// LKM → daemon notifications over the event channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LkmToDaemon {
+    /// All applications are suspension-ready and the final transfer-bitmap
+    /// update is complete; the daemon may pause the VM.
+    ReadyToSuspend {
+        /// Time the final bitmap update took (the paper measures ≤300 µs).
+        final_update: SimDuration,
+        /// Applications that missed the reply deadline and were forcibly
+        /// un-skipped (§6 straggler handling).
+        stragglers: u32,
+    },
+}
+
+/// LKM → application multicast messages over netlink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LkmToApp {
+    /// "Migration has begun — report your skip-over areas."
+    QuerySkipOver,
+    /// "Prepare for VM suspension, then report your current skip-over
+    /// areas." For JAVMM the preparation is the enforced minor GC.
+    PrepareSuspension,
+    /// "The VM has resumed at the destination."
+    VmResumed,
+}
+
+/// Application → LKM messages over netlink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppToLkm {
+    /// Reply to [`LkmToApp::QuerySkipOver`]: the application's skip-over
+    /// areas as raw (possibly unaligned) VA ranges.
+    SkipOverAreas(Vec<VaRange>),
+    /// Unsolicited notification that VA ranges left a skip-over area (the
+    /// area shrank); must be sent immediately per §3.3.4.
+    AreaShrunk {
+        /// The VA ranges that left the area.
+        left: Vec<VaRange>,
+    },
+    /// Reply to [`LkmToApp::PrepareSuspension`]: the application finished
+    /// preparing (e.g. the enforced GC completed) and reports its current
+    /// areas.
+    SuspensionReady {
+        /// Current skip-over areas (used for the final bitmap update's
+        /// expansion/shrink reconciliation).
+        areas: Vec<VaRange>,
+        /// Sub-ranges inside `areas` whose contents must nevertheless be
+        /// transferred in the last iteration. For JAVMM this is the occupied
+        /// From space holding the data that survived the enforced GC; the
+        /// LKM treats these pages as "leaving" the area and sets their
+        /// transfer bits.
+        must_send: Vec<VaRange>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::Vaddr;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = AppToLkm::SkipOverAreas(vec![VaRange::new(Vaddr(0), Vaddr(4096))]);
+        assert_eq!(m.clone(), m);
+        let d = DaemonToLkm::MigrationBegin;
+        assert_ne!(
+            format!("{d:?}"),
+            format!("{:?}", DaemonToLkm::EnteringLastIter)
+        );
+    }
+}

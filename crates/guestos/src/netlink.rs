@@ -1,0 +1,303 @@
+//! A simulated netlink multicast socket family.
+//!
+//! The LKM talks to applications over a netlink multicast group because
+//! netlink is bi-directional, asynchronous, and capable of multicasting
+//! (§3.3.1). The simulation preserves all three properties: messages are
+//! queued with a delivery latency and become visible to receivers only once
+//! the clock passes their ready time, and a kernel-side multicast fans out
+//! to every subscribed socket.
+
+use crate::process::Pid;
+use simkit::{DetRng, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use crate::messages::{AppToLkm, LkmToApp};
+
+/// Default one-way latency of a netlink message (kernel↔user round trips
+/// are tens of microseconds on commodity hardware).
+pub const NETLINK_LATENCY: SimDuration = SimDuration::from_micros(50);
+
+#[derive(Debug)]
+struct BusCore {
+    latency: SimDuration,
+    to_apps: BTreeMap<u32, VecDeque<(SimTime, LkmToApp)>>,
+    to_kernel: VecDeque<(SimTime, Pid, AppToLkm)>,
+    sock_pid: BTreeMap<u32, Pid>,
+    next_sock: u32,
+    /// Fault injection: probability of silently dropping a message.
+    loss: Option<(f64, DetRng)>,
+    dropped: u64,
+}
+
+impl BusCore {
+    /// Returns `true` when fault injection decides to drop this message.
+    fn drops(&mut self) -> bool {
+        match &mut self.loss {
+            Some((p, rng)) => {
+                let p = *p;
+                if rng.chance(p) {
+                    self.dropped += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+/// The netlink bus: created by the LKM on load, subscribed to by apps.
+///
+/// # Examples
+///
+/// ```
+/// use guestos::netlink::NetlinkBus;
+/// use guestos::messages::{AppToLkm, LkmToApp};
+/// use guestos::process::Pid;
+/// use simkit::SimTime;
+///
+/// let bus = NetlinkBus::new();
+/// let sock = bus.subscribe(Pid(10));
+/// let kernel = bus.kernel_end();
+/// kernel.multicast(SimTime::ZERO, LkmToApp::QuerySkipOver);
+/// // Not yet delivered: latency has not elapsed.
+/// assert!(sock.recv(SimTime::ZERO).is_empty());
+/// let later = SimTime::from_nanos(1_000_000);
+/// assert_eq!(sock.recv(later), vec![LkmToApp::QuerySkipOver]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlinkBus {
+    core: Rc<RefCell<BusCore>>,
+}
+
+impl NetlinkBus {
+    /// Creates a bus with the default latency.
+    pub fn new() -> Self {
+        Self::with_latency(NETLINK_LATENCY)
+    }
+
+    /// Creates a bus with a custom one-way latency.
+    pub fn with_latency(latency: SimDuration) -> Self {
+        Self {
+            core: Rc::new(RefCell::new(BusCore {
+                latency,
+                to_apps: BTreeMap::new(),
+                to_kernel: VecDeque::new(),
+                sock_pid: BTreeMap::new(),
+                next_sock: 0,
+                loss: None,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Enables fault injection: every message (either direction) is
+    /// independently dropped with probability `loss`.
+    ///
+    /// Real netlink is lossy under memory pressure (`ENOBUFS`); the
+    /// framework must degrade to straggler handling rather than hang.
+    pub fn inject_loss(&self, loss: f64, rng: DetRng) {
+        self.core.borrow_mut().loss = Some((loss.clamp(0.0, 1.0), rng));
+    }
+
+    /// Messages dropped by fault injection so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.core.borrow().dropped
+    }
+
+    /// Subscribes a process to the multicast group, returning its socket.
+    pub fn subscribe(&self, pid: Pid) -> NetlinkSocket {
+        let mut core = self.core.borrow_mut();
+        let sock = core.next_sock;
+        core.next_sock += 1;
+        core.to_apps.insert(sock, VecDeque::new());
+        core.sock_pid.insert(sock, pid);
+        NetlinkSocket {
+            core: Rc::clone(&self.core),
+            sock,
+            pid,
+        }
+    }
+
+    /// Returns the kernel-side endpoint used by the LKM.
+    pub fn kernel_end(&self) -> KernelNetlink {
+        KernelNetlink {
+            core: Rc::clone(&self.core),
+        }
+    }
+
+    /// Returns the number of subscribed sockets.
+    pub fn subscriber_count(&self) -> usize {
+        self.core.borrow().to_apps.len()
+    }
+}
+
+impl Default for NetlinkBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An application's netlink socket.
+#[derive(Debug)]
+pub struct NetlinkSocket {
+    core: Rc<RefCell<BusCore>>,
+    sock: u32,
+    pid: Pid,
+}
+
+impl NetlinkSocket {
+    /// Returns the owning process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Receives all messages that have arrived by `now`.
+    pub fn recv(&self, now: SimTime) -> Vec<LkmToApp> {
+        let mut core = self.core.borrow_mut();
+        let queue = core
+            .to_apps
+            .get_mut(&self.sock)
+            .expect("socket unsubscribed");
+        let mut out = Vec::new();
+        while let Some(&(ready, _)) = queue.front() {
+            if ready <= now {
+                out.push(queue.pop_front().expect("front checked").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Sends a message to the kernel.
+    pub fn send(&self, now: SimTime, msg: AppToLkm) {
+        let mut core = self.core.borrow_mut();
+        if core.drops() {
+            return;
+        }
+        let ready = now + core.latency;
+        core.to_kernel.push_back((ready, self.pid, msg));
+    }
+}
+
+impl Drop for NetlinkSocket {
+    fn drop(&mut self) {
+        // Unsubscribe so multicasts stop queueing for a dead socket.
+        let mut core = self.core.borrow_mut();
+        core.to_apps.remove(&self.sock);
+        core.sock_pid.remove(&self.sock);
+    }
+}
+
+/// The kernel-side (LKM) endpoint of the bus.
+#[derive(Debug, Clone)]
+pub struct KernelNetlink {
+    core: Rc<RefCell<BusCore>>,
+}
+
+impl KernelNetlink {
+    /// Multicasts `msg` to every subscribed socket; under fault injection
+    /// each receiver's copy is dropped independently.
+    pub fn multicast(&self, now: SimTime, msg: LkmToApp) {
+        let mut core = self.core.borrow_mut();
+        let ready = now + core.latency;
+        let socks: Vec<u32> = core.to_apps.keys().copied().collect();
+        for sock in socks {
+            if core.drops() {
+                continue;
+            }
+            core.to_apps
+                .get_mut(&sock)
+                .expect("sock key just listed")
+                .push_back((ready, msg.clone()));
+        }
+    }
+
+    /// Receives all application messages that have arrived by `now`.
+    pub fn recv(&self, now: SimTime) -> Vec<(Pid, AppToLkm)> {
+        let mut core = self.core.borrow_mut();
+        let mut out = Vec::new();
+        while let Some(&(ready, _, _)) = core.to_kernel.front() {
+            if ready <= now {
+                let (_, pid, msg) = core.to_kernel.pop_front().expect("front checked");
+                out.push((pid, msg));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Returns the number of subscribed application sockets.
+    pub fn subscriber_count(&self) -> usize {
+        self.core.borrow().to_apps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn multicast_reaches_all_subscribers() {
+        let bus = NetlinkBus::new();
+        let a = bus.subscribe(Pid(1));
+        let b = bus.subscribe(Pid(2));
+        bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
+        assert_eq!(a.recv(t(1)), vec![LkmToApp::QuerySkipOver]);
+        assert_eq!(b.recv(t(1)), vec![LkmToApp::QuerySkipOver]);
+        assert!(a.recv(t(2)).is_empty(), "message consumed");
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let bus = NetlinkBus::with_latency(SimDuration::from_millis(5));
+        let sock = bus.subscribe(Pid(1));
+        bus.kernel_end().multicast(t(0), LkmToApp::VmResumed);
+        assert!(sock.recv(t(4)).is_empty());
+        assert_eq!(sock.recv(t(5)).len(), 1);
+    }
+
+    #[test]
+    fn app_to_kernel_is_tagged_with_pid() {
+        let bus = NetlinkBus::new();
+        let sock = bus.subscribe(Pid(42));
+        let kernel = bus.kernel_end();
+        sock.send(t(0), AppToLkm::SkipOverAreas(vec![]));
+        let got = kernel.recv(t(1));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, Pid(42));
+    }
+
+    #[test]
+    fn dropped_socket_unsubscribes() {
+        let bus = NetlinkBus::new();
+        let sock = bus.subscribe(Pid(1));
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(sock);
+        assert_eq!(bus.subscriber_count(), 0);
+        // Multicasting to nobody is fine.
+        bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
+    }
+
+    #[test]
+    fn messages_preserve_fifo_order() {
+        let bus = NetlinkBus::new();
+        let sock = bus.subscribe(Pid(1));
+        let kernel = bus.kernel_end();
+        kernel.multicast(t(0), LkmToApp::QuerySkipOver);
+        kernel.multicast(t(0), LkmToApp::PrepareSuspension);
+        assert_eq!(
+            sock.recv(t(1)),
+            vec![LkmToApp::QuerySkipOver, LkmToApp::PrepareSuspension]
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Guest processes and their address spaces.
+
+use core::fmt;
+use vmem::PageTable;
+
+/// A guest process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A guest process: a name and an address space.
+///
+/// The simulation only models what migration needs — the page table that
+/// maps the process's virtual pages to guest page frames.
+#[derive(Debug)]
+pub struct Process {
+    /// The process identifier.
+    pub pid: Pid,
+    /// Human-readable name (e.g. `"java"`).
+    pub name: String,
+    /// The process's page table.
+    pub page_table: PageTable,
+}
+
+impl Process {
+    /// Creates a process with an empty address space.
+    pub fn new(pid: Pid, name: impl Into<String>) -> Self {
+        Self {
+            pid,
+            name: name.into(),
+            page_table: PageTable::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::{Pfn, Vaddr};
+
+    #[test]
+    fn process_has_empty_table() {
+        let p = Process::new(Pid(1), "java");
+        assert_eq!(p.page_table.mapped_count(), 0);
+        assert_eq!(p.name, "java");
+    }
+
+    #[test]
+    fn pid_formatting() {
+        assert_eq!(format!("{:?}", Pid(7)), "pid:7");
+        assert_eq!(Pid(7).to_string(), "7");
+    }
+
+    #[test]
+    fn table_is_per_process() {
+        let mut a = Process::new(Pid(1), "a");
+        let b = Process::new(Pid(2), "b");
+        a.page_table.map(Vaddr(0x1000), Pfn(5));
+        assert_eq!(b.page_table.translate(Vaddr(0x1000)), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! The LKM's `/proc` entry for skip-over area registration.
+//!
+//! §3.3.2: applications "specify each skip-over area by a VA range, and
+//! pass the VA range to the LKM via a /proc entry". Queries and
+//! notifications ride netlink; the bulk registration of areas is a textual
+//! write to `/proc/javmm/skip_over`, one area per line:
+//!
+//! ```text
+//! 0x7f4000000000-0x7f4040000000
+//! 0x7f5000000000-0x7f5004000000
+//! ```
+//!
+//! The parser is strict — a kernel interface must reject garbage rather
+//! than guess — and the accepted ranges are handed to the LKM exactly as a
+//! netlink `SkipOverAreas` reply would be.
+
+use crate::messages::AppToLkm;
+use crate::netlink::NetlinkSocket;
+use simkit::SimTime;
+use vmem::{VaRange, Vaddr};
+
+/// Errors a `/proc` write can produce (mapped to `-EINVAL` in a real LKM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcWriteError {
+    /// A line was not of the form `0xSTART-0xEND`.
+    Malformed {
+        /// The offending 0-based line number.
+        line: usize,
+    },
+    /// A hex address failed to parse.
+    BadAddress {
+        /// The offending 0-based line number.
+        line: usize,
+    },
+    /// `end` was not strictly greater than `start`.
+    EmptyRange {
+        /// The offending 0-based line number.
+        line: usize,
+    },
+}
+
+/// Parses the textual `/proc` format into VA ranges.
+///
+/// # Examples
+///
+/// ```
+/// use guestos::procfs::parse_ranges;
+///
+/// let ranges = parse_ranges("0x1000-0x3000\n0x8000-0x9000\n").unwrap();
+/// assert_eq!(ranges.len(), 2);
+/// assert!(parse_ranges("garbage").is_err());
+/// ```
+pub fn parse_ranges(text: &str) -> Result<Vec<VaRange>, ProcWriteError> {
+    let mut out = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (start, end) = line
+            .split_once('-')
+            .ok_or(ProcWriteError::Malformed { line: line_no })?;
+        let parse = |s: &str| -> Result<u64, ProcWriteError> {
+            let s = s.trim();
+            let hex = s
+                .strip_prefix("0x")
+                .or_else(|| s.strip_prefix("0X"))
+                .ok_or(ProcWriteError::Malformed { line: line_no })?;
+            u64::from_str_radix(hex, 16).map_err(|_| ProcWriteError::BadAddress { line: line_no })
+        };
+        let start = parse(start)?;
+        let end = parse(end)?;
+        if end <= start {
+            return Err(ProcWriteError::EmptyRange { line: line_no });
+        }
+        out.push(VaRange::new(Vaddr(start), Vaddr(end)));
+    }
+    Ok(out)
+}
+
+/// Renders ranges in the `/proc` text format (what an application writes).
+pub fn format_ranges(ranges: &[VaRange]) -> String {
+    let mut s = String::new();
+    for r in ranges {
+        s.push_str(&format!("{:#x}-{:#x}\n", r.start().0, r.end().0));
+    }
+    s
+}
+
+/// Writes skip-over areas through the `/proc` path using a borrowed
+/// netlink identity (for applications that keep their socket for the
+/// notification traffic).
+pub fn write_skip_over(
+    sock: &NetlinkSocket,
+    now: SimTime,
+    ranges: &[VaRange],
+) -> Result<usize, ProcWriteError> {
+    let text = format_ranges(ranges);
+    let parsed = parse_ranges(&text)?;
+    let n = parsed.len();
+    sock.send(now, AppToLkm::SkipOverAreas(parsed));
+    Ok(n)
+}
+
+/// An application's handle to `/proc/javmm/skip_over`.
+///
+/// The handle validates the written text and forwards the parsed areas to
+/// the LKM attributed to the writing process — exactly the effect of a
+/// netlink `SkipOverAreas` report, which is how the LKM treats it.
+#[derive(Debug)]
+pub struct ProcSkipOverEntry {
+    sock: NetlinkSocket,
+}
+
+impl ProcSkipOverEntry {
+    /// Opens the entry for the process owning `sock`.
+    pub fn open(sock: NetlinkSocket) -> Self {
+        Self { sock }
+    }
+
+    /// Writes `text` to the entry, registering the parsed skip-over areas.
+    ///
+    /// Returns the number of areas registered.
+    pub fn write(&self, now: SimTime, text: &str) -> Result<usize, ProcWriteError> {
+        let ranges = parse_ranges(text)?;
+        let n = ranges.len();
+        self.sock.send(now, AppToLkm::SkipOverAreas(ranges));
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_style_ranges() {
+        // Figure 3's example area.
+        let ranges = parse_ranges("0x3b00-0x8aff\n").unwrap();
+        assert_eq!(ranges, vec![VaRange::new(Vaddr(0x3b00), Vaddr(0x8aff))]);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_whitespace() {
+        let ranges = parse_ranges("\n  0x1000 - 0x2000  \n\n0X3000-0X4000\n").unwrap();
+        assert_eq!(ranges.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            parse_ranges("hello world"),
+            Err(ProcWriteError::Malformed { line: 0 })
+        );
+        assert_eq!(
+            parse_ranges("0x1000-0xZZZZ"),
+            Err(ProcWriteError::BadAddress { line: 0 })
+        );
+        assert_eq!(
+            parse_ranges("1000-2000"),
+            Err(ProcWriteError::Malformed { line: 0 }),
+            "decimal without 0x is rejected"
+        );
+        assert_eq!(
+            parse_ranges("0x2000-0x1000"),
+            Err(ProcWriteError::EmptyRange { line: 0 })
+        );
+        assert_eq!(
+            parse_ranges("0x1000-0x2000\nbroken"),
+            Err(ProcWriteError::Malformed { line: 1 })
+        );
+    }
+
+    #[test]
+    fn format_and_parse_roundtrip() {
+        let ranges = vec![
+            VaRange::new(Vaddr(0x7f40_0000_0000), Vaddr(0x7f40_4000_0000)),
+            VaRange::new(Vaddr(0x1000), Vaddr(0x2000)),
+        ];
+        assert_eq!(parse_ranges(&format_ranges(&ranges)).unwrap(), ranges);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the LKM's transfer-bitmap maintenance.
+//!
+//! The central safety property: at any point of the protocol, the set of
+//! skip-marked pages is exactly the set of currently-cached PFNs of the
+//! registered skip-over areas — no page outside an area is ever skip-marked,
+//! and a VmResumed reset always restores the all-transfer default.
+
+use guestos::kernel::{GuestKernel, GuestOsConfig};
+use guestos::lkm::LkmConfig;
+use guestos::messages::{AppToLkm, DaemonToLkm};
+use proptest::prelude::*;
+use simkit::{DetRng, SimDuration, SimTime};
+use vmem::{PageClass, VaRange, Vaddr, VmSpec, PAGE_SIZE};
+
+fn t(step: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(step * 10)
+}
+
+fn guest() -> GuestKernel {
+    GuestKernel::boot(
+        GuestOsConfig {
+            spec: VmSpec::new(128 * 1024 * 1024, 1),
+            kernel_bytes: 1024 * 1024,
+            pagecache_bytes: 1024 * 1024,
+            kernel_dirty_rate: 0.0,
+            pagecache_dirty_rate: 0.0,
+        },
+        DetRng::new(3),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random area shape + random shrink cuts: the skip set always equals
+    /// the mapped pages of the remaining area, and freed pages always get
+    /// their transfer bits back.
+    #[test]
+    fn skip_set_tracks_area_through_shrinks(
+        area_pages in 1u64..64,
+        cuts in prop::collection::vec((0u64..64, 1u64..16), 0..6),
+    ) {
+        let mut g = guest();
+        let pid = g.spawn("app");
+        let base = 0x100u64;
+        let area = g
+            .alloc_map(pid, Vaddr(base * PAGE_SIZE), area_pages, PageClass::Anon)
+            .expect("fits");
+        let daemon = g.load_lkm(LkmConfig::default());
+        let sock = g.subscribe_netlink(pid);
+
+        fn tick(step: &mut u64, g: &mut GuestKernel) -> SimTime {
+            *step += 1;
+            g.service_lkm(t(*step));
+            t(*step)
+        }
+        let mut step = 0u64;
+
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        let now = tick(&mut step, &mut g);
+        sock.recv(now);
+        sock.send(now, AppToLkm::SkipOverAreas(vec![area]));
+        tick(&mut step, &mut g);
+        prop_assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), area_pages);
+
+        // Track which pages remain in the area.
+        let mut in_area: Vec<bool> = vec![true; area_pages as usize];
+        for (start, len) in cuts {
+            let start = start % area_pages;
+            let end = (start + len).min(area_pages);
+            let cut = VaRange::new(
+                Vaddr((base + start) * PAGE_SIZE),
+                Vaddr((base + end) * PAGE_SIZE),
+            );
+            // Free the frames, then notify the shrink (deallocation order).
+            g.unmap_free(pid, cut);
+            let now = tick(&mut step, &mut g);
+            sock.send(now, AppToLkm::AreaShrunk { left: vec![cut] });
+            tick(&mut step, &mut g);
+            for i in start..end {
+                in_area[i as usize] = false;
+            }
+            let expect: u64 = in_area.iter().filter(|&&x| x).count() as u64;
+            prop_assert_eq!(
+                g.lkm().unwrap().transfer_bitmap().skip_count(),
+                expect,
+                "after cutting [{}, {})", start, end
+            );
+        }
+
+        // Finish the protocol: every still-skipped page must belong to the
+        // remaining area; the reset clears everything.
+        daemon.send(t(step + 1), DaemonToLkm::EnteringLastIter);
+        tick(&mut step, &mut g);
+        tick(&mut step, &mut g);
+        let remaining: Vec<VaRange> = in_area
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x)
+            .map(|(i, _)| {
+                VaRange::new(
+                    Vaddr((base + i as u64) * PAGE_SIZE),
+                    Vaddr((base + i as u64 + 1) * PAGE_SIZE),
+                )
+            })
+            .collect();
+        let now = tick(&mut step, &mut g);
+        sock.send(
+            now,
+            AppToLkm::SuspensionReady {
+                areas: remaining,
+                must_send: vec![],
+            },
+        );
+        tick(&mut step, &mut g);
+        tick(&mut step, &mut g);
+        let expect: u64 = in_area.iter().filter(|&&x| x).count() as u64;
+        prop_assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), expect);
+
+        daemon.send(t(step + 1), DaemonToLkm::VmResumed);
+        tick(&mut step, &mut g);
+        tick(&mut step, &mut g);
+        prop_assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), 0);
+    }
+
+    /// must_send ranges always end up transfer-marked, no matter how they
+    /// slice the area.
+    #[test]
+    fn must_send_always_unskips(
+        area_pages in 4u64..64,
+        live_start in 0u64..64,
+        live_len in 1u64..32,
+    ) {
+        let live_start = live_start % area_pages;
+        let live_end = (live_start + live_len).min(area_pages);
+        let mut g = guest();
+        let pid = g.spawn("app");
+        let base = 0x200u64;
+        let area = g
+            .alloc_map(pid, Vaddr(base * PAGE_SIZE), area_pages, PageClass::Anon)
+            .expect("fits");
+        let daemon = g.load_lkm(LkmConfig::default());
+        let sock = g.subscribe_netlink(pid);
+
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        g.service_lkm(t(1));
+        sock.recv(t(1));
+        sock.send(t(1), AppToLkm::SkipOverAreas(vec![area]));
+        g.service_lkm(t(2));
+        daemon.send(t(2), DaemonToLkm::EnteringLastIter);
+        g.service_lkm(t(3));
+        sock.recv(t(3));
+        let live = VaRange::new(
+            Vaddr((base + live_start) * PAGE_SIZE),
+            Vaddr((base + live_end) * PAGE_SIZE),
+        );
+        sock.send(
+            t(3),
+            AppToLkm::SuspensionReady {
+                areas: vec![area],
+                must_send: vec![live],
+            },
+        );
+        g.service_lkm(t(4));
+
+        let lkm = g.lkm().unwrap();
+        for i in 0..area_pages {
+            let pfn = g
+                .translate(pid, Vaddr((base + i) * PAGE_SIZE))
+                .expect("mapped");
+            let should = (live_start..live_end).contains(&i);
+            prop_assert_eq!(
+                lkm.should_transfer(pfn),
+                should,
+                "page {} (live range [{}, {}))", i, live_start, live_end
+            );
+        }
+    }
+}

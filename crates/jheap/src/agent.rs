@@ -1,0 +1,101 @@
+//! The JVM TI agent: JAVMM's glue between HotSpot and the LKM (§4.3.1).
+//!
+//! The agent is loaded as the Java application starts, creates a netlink
+//! socket, and fulfils the framework's application contract on behalf of
+//! every Java application in the JVM:
+//!
+//! * `QuerySkipOver` → reply with the Young generation's committed VA
+//!   ranges (Eden + both survivor spaces);
+//! * Young-generation shrink (a GC-end event) → immediate `AreaShrunk`;
+//! * `PrepareSuspension` → request an enforced minor GC; when it finishes —
+//!   with Java threads still paused at the safepoint — reply
+//!   `SuspensionReady`, reporting the current Young ranges and the occupied
+//!   From space as must-send;
+//! * keep the threads held until `VmResumed` arrives, guaranteeing Eden and
+//!   To stay empty through the stop-and-copy.
+
+use crate::model::HeapModel;
+use guestos::messages::{AppToLkm, LkmToApp};
+use guestos::netlink::NetlinkSocket;
+use simkit::SimTime;
+use vmem::VaRange;
+
+/// What the agent asks the JVM to do after a poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentDirective {
+    /// Nothing to do.
+    None,
+    /// Perform a minor GC now (must not be silently ignored, §4.3.2).
+    EnforceGc,
+}
+
+/// The JAVMM TI agent.
+#[derive(Debug)]
+pub struct JavmmAgent {
+    sock: NetlinkSocket,
+    holding: bool,
+}
+
+impl JavmmAgent {
+    /// Loads the agent with its netlink socket.
+    pub fn new(sock: NetlinkSocket) -> Self {
+        Self {
+            sock,
+            holding: false,
+        }
+    }
+
+    /// Returns `true` while the agent is holding Java threads at the
+    /// safepoint (between the enforced GC and VM resumption).
+    pub fn is_holding(&self) -> bool {
+        self.holding
+    }
+
+    /// Drains LKM messages and reacts; returns a directive for the JVM.
+    pub fn poll(&mut self, now: SimTime, heap: &dyn HeapModel) -> AgentDirective {
+        let mut directive = AgentDirective::None;
+        for msg in self.sock.recv(now) {
+            match msg {
+                LkmToApp::QuerySkipOver => {
+                    self.sock
+                        .send(now, AppToLkm::SkipOverAreas(heap.young_ranges()));
+                }
+                LkmToApp::PrepareSuspension => {
+                    directive = AgentDirective::EnforceGc;
+                }
+                LkmToApp::VmResumed => {
+                    // Return control to the JVM, which releases the Java
+                    // threads from the safepoint.
+                    self.holding = false;
+                }
+            }
+        }
+        directive
+    }
+
+    /// GC-end callback: the Young generation shrank; notify the LKM of the
+    /// VA ranges whose pages were freed (§4.3.2).
+    pub fn on_young_shrunk(&mut self, now: SimTime, ranges: &[VaRange]) {
+        if !ranges.is_empty() {
+            self.sock.send(
+                now,
+                AppToLkm::AreaShrunk {
+                    left: ranges.to_vec(),
+                },
+            );
+        }
+    }
+
+    /// GC-end callback for the enforced collection: report readiness without
+    /// releasing the Java threads.
+    pub fn on_enforced_gc_finished(&mut self, now: SimTime, heap: &dyn HeapModel) {
+        self.holding = true;
+        self.sock.send(
+            now,
+            AppToLkm::SuspensionReady {
+                areas: heap.young_ranges(),
+                must_send: heap.must_send_ranges(),
+            },
+        );
+    }
+}

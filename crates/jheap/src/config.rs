@@ -1,0 +1,164 @@
+//! JVM configuration: heap geometry, GC cost model, virtual address layout.
+
+use simkit::units::MIB;
+use simkit::SimDuration;
+
+/// Virtual address bases of the JVM's memory regions.
+///
+/// Chosen to mimic a 64-bit HotSpot layout: large, well-separated reserved
+/// regions. Each region below is reserved at launch; pages are committed
+/// (backed by frames) on demand.
+pub mod va {
+    /// JIT code cache.
+    pub const CODE_BASE: u64 = 0x7f10_0000_0000;
+    /// Metaspace (class metadata, interned strings).
+    pub const META_BASE: u64 = 0x7f20_0000_0000;
+    /// Old generation.
+    pub const OLD_BASE: u64 = 0x7f30_0000_0000;
+    /// Eden space.
+    pub const EDEN_BASE: u64 = 0x7f40_0000_0000;
+    /// Survivor space 0.
+    pub const S0_BASE: u64 = 0x7f50_0000_0000;
+    /// Survivor space 1.
+    pub const S1_BASE: u64 = 0x7f60_0000_0000;
+}
+
+/// Cost model of garbage collection pauses.
+///
+/// Minor-GC duration is dominated by scanning the committed Young
+/// generation and copying live data; the constants are calibrated so the
+/// paper's measured pauses come out (derby's 1 GiB Young ≈ 0.9 s, Figure 5c).
+#[derive(Debug, Clone, Copy)]
+pub struct GcCostModel {
+    /// Fixed pause overhead (safepoint bookkeeping, root scan).
+    pub minor_base: SimDuration,
+    /// Seconds per byte of committed Young generation scanned.
+    pub scan_cost_per_byte: f64,
+    /// Seconds per byte of live data copied.
+    pub copy_cost_per_byte: f64,
+    /// Fixed overhead of a full GC.
+    pub full_base: SimDuration,
+    /// Seconds per byte of Old generation processed in a full GC.
+    pub full_cost_per_byte: f64,
+}
+
+impl Default for GcCostModel {
+    fn default() -> Self {
+        Self {
+            minor_base: SimDuration::from_millis(25),
+            scan_cost_per_byte: 0.78e-9,
+            copy_cost_per_byte: 3.0e-9,
+            full_base: SimDuration::from_millis(150),
+            full_cost_per_byte: 8.0e-9,
+        }
+    }
+}
+
+/// Static JVM configuration.
+#[derive(Debug, Clone)]
+pub struct JvmConfig {
+    /// Maximum Young generation size (`-Xmn` / `MaxNewSize`).
+    pub young_max: u64,
+    /// Initial committed Young generation size.
+    pub young_init: u64,
+    /// Maximum Old generation size.
+    pub old_max: u64,
+    /// Long-lived data resident in the Old generation at launch.
+    pub old_resident: u64,
+    /// JIT code cache size (committed and written at launch).
+    pub codecache: u64,
+    /// Metaspace size (committed and written at launch).
+    pub metaspace: u64,
+    /// Eden gets `survivor_ratio` shares for every 1 share per survivor
+    /// space (HotSpot default 8 → Eden is 8/10 of Young).
+    pub survivor_ratio: u64,
+    /// Grow the Young generation after a GC when the inter-GC interval is
+    /// below this target (allocation pressure), until `young_max`.
+    pub grow_below_interval: SimDuration,
+    /// Shrink the Young generation after a GC when the interval exceeds
+    /// this (idle heap), down to `young_init`.
+    pub shrink_above_interval: SimDuration,
+    /// GC pause cost model.
+    pub gc_costs: GcCostModel,
+}
+
+impl JvmConfig {
+    /// A paper-like configuration: Young up to `young_max`, Old generation
+    /// taking the rest of a 2 GiB VM's budget.
+    pub fn with_young_max(young_max: u64) -> Self {
+        Self {
+            young_max,
+            young_init: (64 * MIB).min(young_max),
+            old_max: 1024 * MIB,
+            old_resident: 32 * MIB,
+            codecache: 48 * MIB,
+            metaspace: 64 * MIB,
+            survivor_ratio: 8,
+            grow_below_interval: SimDuration::from_secs(4),
+            shrink_above_interval: SimDuration::from_secs(30),
+            gc_costs: GcCostModel::default(),
+        }
+    }
+
+    /// Splits a committed Young size into `(eden, survivor)` byte sizes,
+    /// page-aligned, with two survivor spaces of the returned size.
+    pub fn split_young(&self, committed: u64) -> (u64, u64) {
+        let shares = self.survivor_ratio + 2;
+        let survivor = page_align_down(committed / shares);
+        let eden = page_align_down(committed - 2 * survivor);
+        (eden, survivor)
+    }
+}
+
+/// Rounds `bytes` down to a whole number of pages (at least one page).
+pub fn page_align_down(bytes: u64) -> u64 {
+    let aligned = bytes & !(vmem::PAGE_SIZE - 1);
+    aligned.max(vmem::PAGE_SIZE)
+}
+
+/// Rounds `bytes` up to a whole number of pages.
+pub fn page_align_up(bytes: u64) -> u64 {
+    bytes.div_ceil(vmem::PAGE_SIZE) * vmem::PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_young_shares() {
+        let config = JvmConfig::with_young_max(1024 * MIB);
+        let (eden, surv) = config.split_young(1000 * MIB);
+        // 8:1:1 split, page aligned.
+        assert!((799 * MIB..=801 * MIB).contains(&eden), "eden {eden}");
+        assert!((99 * MIB..=101 * MIB).contains(&surv), "survivor {surv}");
+        assert!(eden + 2 * surv <= 1000 * MIB);
+        assert_eq!(eden % vmem::PAGE_SIZE, 0);
+        assert_eq!(surv % vmem::PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn young_init_capped_by_max() {
+        let config = JvmConfig::with_young_max(16 * MIB);
+        assert_eq!(config.young_init, 16 * MIB);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(page_align_down(5000), 4096);
+        assert_eq!(page_align_down(100), 4096, "never below one page");
+        assert_eq!(page_align_up(5000), 8192);
+        assert_eq!(page_align_up(4096), 4096);
+    }
+
+    #[test]
+    fn gc_cost_model_matches_paper_scale() {
+        // A 1 GiB Young generation with ~10 MB live should collect in
+        // roughly 0.9 s (derby's enforced GC, §5.3).
+        let m = GcCostModel::default();
+        let secs = m.minor_base.as_secs_f64()
+            + 1024.0 * 1024.0 * 1024.0 * m.scan_cost_per_byte
+            + 10e6 * m.copy_cost_per_byte;
+        assert!((0.8..1.0).contains(&secs), "derby-like GC = {secs}s");
+    }
+}

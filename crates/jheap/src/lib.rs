@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! `jheap` — a HotSpot-like generational Java heap simulator.
+//!
+//! Reproduces the heap behaviour JAVMM depends on (§4 of the paper):
+//!
+//! * a generational heap with Eden, two survivor spaces and an Old
+//!   generation ([`heap::JvmHeap`]), bump allocation, copying minor GCs
+//!   with promotion, full GCs, and ParallelGC-style ergonomics that grow
+//!   the Young generation under allocation pressure;
+//! * a mutator abstraction ([`mutator::Mutator`]) carrying each workload's
+//!   allocation rate, survival fractions, Old-generation working set and
+//!   throughput;
+//! * the JVM execution state machine ([`jvm::JvmProcess`]) with safepoints,
+//!   GC pauses, and log-dirty fault *time debt* (the source of migration's
+//!   throughput penalty);
+//! * the JAVMM TI agent ([`agent::JavmmAgent`]) implementing the protocol
+//!   of Figure 7: report Young ranges, notify shrink, run the enforced GC,
+//!   hold threads at the safepoint, report the occupied From space.
+
+pub mod agent;
+pub mod config;
+pub mod g1;
+pub mod gc;
+pub mod heap;
+pub mod jvm;
+pub mod model;
+pub mod mutator;
+
+pub use agent::{AgentDirective, JavmmAgent};
+pub use config::{GcCostModel, JvmConfig};
+pub use g1::G1Heap;
+pub use gc::{GcKind, GcLog, GcRecord};
+pub use heap::JvmHeap;
+pub use jvm::{JvmProcess, JvmStats};
+pub use model::HeapModel;
+pub use mutator::{Mutator, MutatorProfile, Phase, PhasedMutator, SteadyMutator};

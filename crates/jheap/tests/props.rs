@@ -1,0 +1,171 @@
+//! Property-based tests of the generational heap's invariants.
+
+use guestos::kernel::{GuestKernel, GuestOsConfig};
+use jheap::config::JvmConfig;
+use jheap::gc::GcKind;
+use jheap::heap::JvmHeap;
+use jheap::mutator::MutatorProfile;
+use proptest::prelude::*;
+use simkit::units::MIB;
+use simkit::{DetRng, SimDuration, SimTime};
+use vmem::{VmSpec, PAGE_SIZE};
+
+fn boot() -> GuestKernel {
+    GuestKernel::boot(
+        GuestOsConfig {
+            spec: VmSpec::new(1024 * MIB, 2),
+            kernel_bytes: 8 * MIB,
+            pagecache_bytes: 8 * MIB,
+            kernel_dirty_rate: 0.0,
+            pagecache_dirty_rate: 0.0,
+        },
+        DetRng::new(77),
+    )
+}
+
+/// One randomly-parameterised heap workout.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a fraction of the current Eden headroom.
+    Alloc(f64),
+    /// Rewrite some Old-generation working set.
+    OldWrite(u64),
+    /// Collect, advancing time by the given millis since the last GC.
+    Gc { after_ms: u64, enforced: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.01f64..1.0).prop_map(Op::Alloc),
+        (1u64..64).prop_map(|mb| Op::OldWrite(mb * MIB)),
+        ((1u64..8000), any::<bool>())
+            .prop_map(|(after_ms, enforced)| Op::Gc { after_ms, enforced }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the op sequence, the heap's structural invariants hold and
+    /// every GC's byte accounting balances exactly.
+    #[test]
+    fn heap_invariants_hold(
+        survival in 0.0f64..0.9,
+        from_survival in 0.0f64..1.0,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut kernel = boot();
+        let pid = kernel.spawn("java");
+        let config = JvmConfig::with_young_max(256 * MIB);
+        let young_max = config.young_max;
+        let mut heap = JvmHeap::launch(&mut kernel, pid, config);
+        let mut rng = DetRng::new(5);
+        let profile = MutatorProfile {
+            eden_survival: survival,
+            from_survival,
+            old_ws_bytes: 16 * MIB,
+            ..MutatorProfile::quiet()
+        };
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                Op::Alloc(frac) => {
+                    let bytes = (heap.eden_headroom() as f64 * frac) as u64;
+                    if bytes > 0 {
+                        heap.bump_eden(&mut kernel, bytes);
+                    }
+                }
+                Op::OldWrite(bytes) => {
+                    heap.write_old_ws(&mut kernel, &mut rng, bytes, 16 * MIB);
+                }
+                Op::Gc { after_ms, enforced } => {
+                    now += SimDuration::from_millis(after_ms);
+                    let kind = if enforced {
+                        GcKind::EnforcedMinor
+                    } else {
+                        GcKind::Minor
+                    };
+                    let used_before = heap.young_used();
+                    let (rec, _) =
+                        heap.perform_minor_gc(&mut kernel, &mut rng, &profile, now, kind);
+                    // Exact byte conservation: garbage + live + promoted
+                    // equals what the Young generation held.
+                    prop_assert_eq!(
+                        rec.garbage_collected + rec.live_copied + rec.promoted,
+                        used_before
+                    );
+                    // Eden is empty after any minor collection: the Young
+                    // generation holds exactly the copied survivors.
+                    prop_assert_eq!(heap.young_used(), rec.live_copied);
+                    prop_assert!(rec.duration > SimDuration::ZERO);
+                }
+            }
+            // Structural invariants after every op.
+            prop_assert!(heap.young_committed() <= young_max + 2 * PAGE_SIZE);
+            prop_assert!(heap.young_used() <= heap.young_committed());
+            prop_assert!(heap.old_used() <= heap.old_committed());
+            let from = heap.occupied_from_range();
+            prop_assert!(from.start().is_page_aligned());
+            for r in heap.young_ranges() {
+                prop_assert!(r.start().is_page_aligned());
+                prop_assert!(r.end().is_page_aligned());
+            }
+        }
+    }
+
+    /// The From space swaps sides on every GC, and the committed young
+    /// ranges always translate to mapped frames.
+    #[test]
+    fn survivor_swap_and_mapping(gcs in 1usize..12, survival in 0.0f64..0.5) {
+        let mut kernel = boot();
+        let pid = kernel.spawn("java");
+        let mut heap = JvmHeap::launch(&mut kernel, pid, JvmConfig::with_young_max(128 * MIB));
+        let mut rng = DetRng::new(9);
+        let profile = MutatorProfile {
+            eden_survival: survival,
+            ..MutatorProfile::quiet()
+        };
+        let mut now = SimTime::ZERO;
+        let mut prev_base = heap.occupied_from_range().start();
+        for _ in 0..gcs {
+            let headroom = heap.eden_headroom();
+            heap.bump_eden(&mut kernel, headroom);
+            now += SimDuration::from_secs(10);
+            heap.perform_minor_gc(&mut kernel, &mut rng, &profile, now, GcKind::Minor);
+            let base = heap.occupied_from_range().start();
+            prop_assert_ne!(base, prev_base, "survivor spaces must swap");
+            prev_base = base;
+            // Every committed young page is mapped.
+            for r in heap.young_ranges() {
+                if !r.is_empty() {
+                    prop_assert!(kernel.translate(pid, r.start()).is_some());
+                    let last = vmem::Vaddr(r.end().0 - PAGE_SIZE);
+                    prop_assert!(kernel.translate(pid, last).is_some());
+                }
+            }
+        }
+    }
+
+    /// Identical seeds and op sequences produce identical heaps.
+    #[test]
+    fn heap_is_deterministic(seed in 0u64..1000) {
+        let run = || {
+            let mut kernel = boot();
+            let pid = kernel.spawn("java");
+            let mut heap =
+                JvmHeap::launch(&mut kernel, pid, JvmConfig::with_young_max(128 * MIB));
+            let mut rng = DetRng::new(seed);
+            let profile = MutatorProfile::quiet();
+            let mut now = SimTime::ZERO;
+            for _ in 0..5 {
+                let headroom = heap.eden_headroom();
+                heap.bump_eden(&mut kernel, headroom / 2 + 1);
+                now += SimDuration::from_millis(700);
+                heap.perform_minor_gc(&mut kernel, &mut rng, &profile, now, GcKind::Minor);
+            }
+            (heap.young_committed(), heap.old_used(), heap.young_used())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

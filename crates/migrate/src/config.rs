@@ -1,0 +1,119 @@
+//! Migration engine configuration.
+
+use netsim::CompressionMethod;
+use simkit::units::Bandwidth;
+use simkit::SimDuration;
+
+/// How the engine decides when to stop iterating (Xen's policy).
+///
+/// Xen's `xc_domain_save` enters the stop-and-copy phase when any of three
+/// conditions holds: few enough dirty pages remain for a short last
+/// iteration, the iteration cap is reached, or the traffic cap (a multiple
+/// of the VM's RAM) is exceeded. The paper's derby run hits the iteration
+/// cap after sending ~3.5× the VM size.
+#[derive(Debug, Clone, Copy)]
+pub struct StopPolicy {
+    /// Maximum number of live (pre-copy) iterations; Xen defaults to 30.
+    pub max_iterations: u32,
+    /// Stop once total traffic exceeds this multiple of VM RAM.
+    pub max_factor: f64,
+    /// Enter the last iteration when fewer dirty pages than this remain.
+    pub dirty_threshold_pages: u64,
+}
+
+impl Default for StopPolicy {
+    fn default() -> Self {
+        Self {
+            max_iterations: 30,
+            max_factor: 3.0,
+            dirty_threshold_pages: 50,
+        }
+    }
+}
+
+/// Per-page compression selection for the §6 extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionPolicy {
+    /// Vanilla behaviour: raw pages.
+    Off,
+    /// Compress every transferred page with one method.
+    Uniform(CompressionMethod),
+    /// Choose the method per page class via the widened transfer map:
+    /// highly compressible classes get the strong method, code-like pages
+    /// the fast one.
+    PerClass,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Use the application-assisted protocol (requires an LKM in the guest).
+    pub assisted: bool,
+    /// Link bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Co-simulation quantum.
+    pub quantum: SimDuration,
+    /// Stop policy.
+    pub stop: StopPolicy,
+    /// Device reconnection + activation time at the destination (the paper
+    /// measures ≈170 ms).
+    pub resume_time: SimDuration,
+    /// §3.3.4 alternative: in the last iteration, consider every page
+    /// dirtied at any point during migration (required for correctness when
+    /// the LKM uses the re-walk final-update strategy).
+    pub last_iter_considers_all_dirtied: bool,
+    /// Compression extension.
+    pub compression: CompressionPolicy,
+    /// Daemon CPU cost per byte copied/sent.
+    pub cpu_cost_per_byte: f64,
+    /// Daemon CPU cost per page examined during scans.
+    pub cpu_cost_per_page_scan: SimDuration,
+}
+
+impl MigrationConfig {
+    /// Vanilla Xen live migration over the paper's testbed link.
+    pub fn xen_default() -> Self {
+        Self {
+            assisted: false,
+            bandwidth: Bandwidth::gigabit_ethernet(),
+            quantum: SimDuration::from_millis(1),
+            stop: StopPolicy::default(),
+            resume_time: SimDuration::from_millis(170),
+            last_iter_considers_all_dirtied: false,
+            compression: CompressionPolicy::Off,
+            cpu_cost_per_byte: 1.1e-9,
+            cpu_cost_per_page_scan: SimDuration::from_nanos(250),
+        }
+    }
+
+    /// JAVMM: the assisted protocol on the same link.
+    pub fn javmm_default() -> Self {
+        Self {
+            assisted: true,
+            ..Self::xen_default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_xen() {
+        let c = MigrationConfig::xen_default();
+        assert!(!c.assisted);
+        assert_eq!(c.stop.max_iterations, 30);
+        assert_eq!(c.stop.max_factor, 3.0);
+        assert_eq!(c.compression, CompressionPolicy::Off);
+    }
+
+    #[test]
+    fn javmm_only_differs_in_assistance() {
+        let x = MigrationConfig::xen_default();
+        let j = MigrationConfig::javmm_default();
+        assert!(j.assisted);
+        assert_eq!(j.stop.max_iterations, x.stop.max_iterations);
+        assert_eq!(j.resume_time, x.resume_time);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! `migrate` — pre-copy live migration with optional application assistance.
+//!
+//! The engine ([`precopy::PrecopyEngine`]) reproduces Xen's iterative
+//! pre-copy policy (iteration cap, traffic cap, dirty threshold,
+//! skip-if-redirtied) and layers the paper's assisted protocol on top:
+//! transfer-bitmap consultation on every send decision, the
+//! `EnteringLastIter` → `ReadyToSuspend` handshake with the guest LKM, and
+//! a stop-and-copy that honours the final transfer bitmap. Destination
+//! correctness is checked exactly via page content versions
+//! ([`destination`]). The §6 extensions live in [`policy`] (adaptive
+//! strategy choice) and the compression options of
+//! [`config::CompressionPolicy`]; [`checkpoint`] applies the same
+//! skip-over machinery to RemusDB-style continuous replication.
+
+pub mod checkpoint;
+pub mod config;
+pub mod destination;
+pub mod policy;
+pub mod postcopy;
+pub mod precopy;
+pub mod report;
+pub mod vmhost;
+
+pub use checkpoint::{CheckpointConfig, CheckpointEngine, CheckpointReport};
+pub use config::{CompressionPolicy, MigrationConfig, StopPolicy};
+pub use destination::{DestinationVm, VerifyReport};
+pub use policy::{choose_strategy, Decision, Strategy, WorkloadProbe};
+pub use postcopy::{PostcopyConfig, PostcopyEngine, PostcopyReport};
+pub use precopy::PrecopyEngine;
+pub use report::{
+    DowntimeBreakdown, EngineEvent, IterationStats, MigrationReport, StopReason, TrafficByClass,
+};
+pub use vmhost::MigratableVm;

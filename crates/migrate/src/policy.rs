@@ -1,0 +1,201 @@
+//! Adaptive strategy selection: when (not) to use JAVMM.
+//!
+//! §6 of the paper identifies workload scenarios where JAVMM should be used
+//! "with consideration of the resulting application downtime": long minor
+//! GCs, high object survival, and read-intensive workloads. It proposes
+//! incorporating this knowledge back into the system — in the simplest
+//! form, turning JAVMM off and using traditional pre-copy for those
+//! scenarios. This module implements that policy: estimate the downtime of
+//! both strategies from observable workload characteristics and pick the
+//! smaller.
+
+use simkit::units::Bandwidth;
+use simkit::SimDuration;
+
+/// Observable characteristics of the candidate VM's workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadProbe {
+    /// VM memory size in bytes.
+    pub vm_bytes: u64,
+    /// Committed Young generation size.
+    pub young_committed: u64,
+    /// Young-generation allocation rate, bytes/second.
+    pub alloc_rate: f64,
+    /// Non-Young dirty rate (Old gen working set + OS), bytes/second.
+    pub other_dirty_rate: f64,
+    /// Size of the non-Young working set being rewritten, bytes.
+    pub other_ws_bytes: u64,
+    /// Expected live data surviving an enforced minor GC, bytes.
+    pub expected_survivors: u64,
+    /// Expected duration of a minor GC at the current Young size.
+    pub minor_gc_duration: SimDuration,
+    /// Migration link bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Destination resumption time.
+    pub resume_time: SimDuration,
+}
+
+/// The strategy chosen for a migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Traditional pre-copy (vanilla Xen).
+    Precopy,
+    /// Application-assisted migration with the enforced GC.
+    Javmm,
+}
+
+/// Estimated downtimes behind a [`Strategy`] decision.
+#[derive(Debug, Clone, Copy)]
+pub struct Decision {
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// Estimated workload downtime under vanilla pre-copy.
+    pub precopy_downtime: SimDuration,
+    /// Estimated workload downtime under JAVMM.
+    pub javmm_downtime: SimDuration,
+}
+
+/// Solves for the equilibrium dirty residue of an iterative pre-copy.
+///
+/// One iteration of duration `d` accumulates `rate x d` dirty bytes in each
+/// region, capped by the region's working-set size; the next iteration's
+/// duration is that residue over the link bandwidth. Iterating this map
+/// finds the fixed point: zero when the dirtying is slower than the link
+/// (pre-copy converges) and a working-set-sized residue when it is not.
+fn equilibrium_residual(bw: f64, regions: &[(f64, u64)], extra: u64) -> u64 {
+    let mut d = 1.0f64;
+    for _ in 0..64 {
+        let w: f64 = regions
+            .iter()
+            .map(|&(rate, ws)| (rate * d).min(ws as f64))
+            .sum::<f64>()
+            + extra as f64;
+        d = w / bw;
+        if d < 1e-4 {
+            break;
+        }
+    }
+    ((bw * d) as u64).max(extra)
+}
+
+/// Estimates the dirty set remaining at pause time under vanilla pre-copy.
+fn precopy_residual(probe: &WorkloadProbe) -> u64 {
+    equilibrium_residual(
+        probe.bandwidth.bytes_per_sec(),
+        &[
+            (probe.alloc_rate, probe.young_committed),
+            (probe.other_dirty_rate, probe.other_ws_bytes),
+        ],
+        0,
+    )
+    .min(probe.vm_bytes)
+}
+
+/// Chooses a migration strategy for the probed workload.
+///
+/// # Examples
+///
+/// ```
+/// use migrate::policy::{choose_strategy, Strategy, WorkloadProbe};
+/// use simkit::units::Bandwidth;
+/// use simkit::SimDuration;
+///
+/// // A derby-like workload: 1 GiB Young gen dirtied at 340 MB/s.
+/// let derby = WorkloadProbe {
+///     vm_bytes: 2 << 30,
+///     young_committed: 1 << 30,
+///     alloc_rate: 340e6,
+///     other_dirty_rate: 5e6,
+///     other_ws_bytes: 40 << 20,
+///     expected_survivors: 11 << 20,
+///     minor_gc_duration: SimDuration::from_millis(900),
+///     bandwidth: Bandwidth::gigabit_ethernet(),
+///     resume_time: SimDuration::from_millis(170),
+/// };
+/// assert_eq!(choose_strategy(&derby).strategy, Strategy::Javmm);
+/// ```
+pub fn choose_strategy(probe: &WorkloadProbe) -> Decision {
+    let residual = precopy_residual(probe);
+    let precopy_downtime = probe.bandwidth.time_to_send(residual) + probe.resume_time;
+
+    // JAVMM pays the enforced GC and sends the survivors plus whatever
+    // non-Young residue its own (shorter) iterations leave behind.
+    let javmm_residual = equilibrium_residual(
+        probe.bandwidth.bytes_per_sec(),
+        &[(probe.other_dirty_rate, probe.other_ws_bytes)],
+        probe.expected_survivors,
+    );
+    let javmm_downtime =
+        probe.minor_gc_duration + probe.bandwidth.time_to_send(javmm_residual) + probe.resume_time;
+
+    let strategy = if javmm_downtime <= precopy_downtime {
+        Strategy::Javmm
+    } else {
+        Strategy::Precopy
+    };
+    Decision {
+        strategy,
+        precopy_downtime,
+        javmm_downtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_probe() -> WorkloadProbe {
+        WorkloadProbe {
+            vm_bytes: 2 << 30,
+            young_committed: 1 << 30,
+            alloc_rate: 340e6,
+            other_dirty_rate: 5e6,
+            other_ws_bytes: 40 << 20,
+            expected_survivors: 11 << 20,
+            minor_gc_duration: SimDuration::from_millis(900),
+            bandwidth: Bandwidth::gigabit_ethernet(),
+            resume_time: SimDuration::from_millis(170),
+        }
+    }
+
+    #[test]
+    fn high_allocation_short_lived_picks_javmm() {
+        let d = choose_strategy(&base_probe());
+        assert_eq!(d.strategy, Strategy::Javmm);
+        assert!(d.precopy_downtime > SimDuration::from_secs(5));
+        assert!(d.javmm_downtime < SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn scimark_like_picks_precopy() {
+        // Low allocation, high survival, long-lived objects: the enforced
+        // GC buys nothing and costs pause time.
+        let probe = WorkloadProbe {
+            young_committed: 128 << 20,
+            alloc_rate: 20e6,
+            other_dirty_rate: 500e6,
+            other_ws_bytes: 130 << 20,
+            expected_survivors: 40 << 20,
+            minor_gc_duration: SimDuration::from_millis(600),
+            ..base_probe()
+        };
+        let d = choose_strategy(&probe);
+        assert_eq!(d.strategy, Strategy::Precopy);
+    }
+
+    #[test]
+    fn read_intensive_picks_precopy() {
+        // Barely any dirtying: pre-copy converges to a near-zero last
+        // iteration, while JAVMM would add a GC pause.
+        let probe = WorkloadProbe {
+            alloc_rate: 2e6,
+            other_dirty_rate: 1e6,
+            expected_survivors: 5 << 20,
+            minor_gc_duration: SimDuration::from_millis(500),
+            ..base_probe()
+        };
+        let d = choose_strategy(&probe);
+        assert_eq!(d.strategy, Strategy::Precopy);
+        assert!(d.precopy_downtime < SimDuration::from_millis(500));
+    }
+}

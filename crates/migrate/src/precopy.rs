@@ -1,0 +1,508 @@
+//! The iterative pre-copy migration engine.
+//!
+//! Implements Xen's `xc_domain_save` behaviour plus the paper's
+//! application-assisted extension:
+//!
+//! * **Iteration 1** sends every VM page; **iteration k** sends the pages
+//!   dirtied during iteration k-1 (the hypervisor's log-dirty bitmap is
+//!   read-and-cleared at each iteration boundary).
+//! * A page already re-dirtied when the scanner reaches it is **skipped** —
+//!   transferring it now would be redundant (Xen's heuristic).
+//! * With assistance, the daemon additionally consults the LKM's
+//!   **transfer bitmap** and skips any page whose bit is cleared (§3.3.3).
+//! * When the stop policy triggers, a vanilla migration pauses the VM
+//!   immediately; an assisted migration first notifies the LKM
+//!   (`EnteringLastIter`) and keeps transferring — generating little
+//!   traffic — until the LKM reports `ReadyToSuspend` (the paper's Figure
+//!   8b "second-last iteration"), then pauses.
+//! * The **stop-and-copy** sends every remaining dirty page that the final
+//!   transfer bitmap allows, then the VM resumes at the destination.
+//!
+//! Guest execution and page transfer are co-simulated in small quanta: each
+//! quantum the engine sends a link-budget's worth of pages and advances the
+//! guest, so dirtying races transfer exactly as on real hardware.
+
+use crate::config::{CompressionPolicy, MigrationConfig};
+use crate::destination::DestinationVm;
+use crate::report::{DowntimeBreakdown, EngineEvent, IterationStats, MigrationReport, StopReason};
+use crate::vmhost::MigratableVm;
+use guestos::lkm::DaemonPort;
+use guestos::messages::{DaemonToLkm, LkmToDaemon};
+use netsim::{CompressionMethod, Link, PAGE_HEADER_BYTES};
+use simkit::{SimClock, SimDuration};
+use vmem::{Bitmap, PageClass, Pfn, PAGE_SIZE};
+
+/// Safety cap on how long the engine waits for `ReadyToSuspend` after
+/// notifying the LKM; longer than any LKM straggler timeout so the LKM's
+/// own policy governs.
+const READY_WAIT_CAP: SimDuration = SimDuration::from_secs(60);
+
+/// The migration engine.
+///
+/// # Examples
+///
+/// ```no_run
+/// use migrate::config::MigrationConfig;
+/// use migrate::precopy::PrecopyEngine;
+/// use migrate::vmhost::MigratableVm;
+/// use simkit::SimClock;
+///
+/// fn migrate_it(vm: &mut dyn MigratableVm) {
+///     let mut clock = SimClock::new();
+///     let engine = PrecopyEngine::new(MigrationConfig::javmm_default());
+///     let report = engine.migrate(vm, &mut clock);
+///     assert!(report.verification.is_correct());
+///     println!(
+///         "{} iterations, {} bytes, downtime {}",
+///         report.iteration_count(),
+///         report.total_bytes,
+///         report.downtime.workload_downtime(),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrecopyEngine {
+    config: MigrationConfig,
+}
+
+/// Disposition of one scanned page.
+enum Scan {
+    Send(Pfn),
+    SkipDirty,
+    SkipTransfer,
+}
+
+struct RunState {
+    link: Link,
+    dest: DestinationVm,
+    by_class: crate::report::TrafficByClass,
+    timeline: simkit::trace::Trace<EngineEvent>,
+    ever_dirtied: Bitmap,
+    /// Pages ever skipped because of a cleared transfer bit; re-examined at
+    /// the stop-and-copy under the *final* bitmap so nothing live is lost.
+    deferred_skips: Bitmap,
+    cpu: SimDuration,
+    wire_bytes: u64,
+    ready: Option<(SimDuration, u32)>,
+}
+
+impl PrecopyEngine {
+    /// Creates an engine.
+    pub fn new(config: MigrationConfig) -> Self {
+        Self { config }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &MigrationConfig {
+        &self.config
+    }
+
+    /// Migrates `vm`, advancing `clock` through the whole operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if assisted migration is requested but the guest has no LKM.
+    pub fn migrate(&self, vm: &mut dyn MigratableVm, clock: &mut SimClock) -> MigrationReport {
+        let t0 = clock.now();
+        let npages = vm.kernel().memory().page_count();
+        let port = if self.config.assisted {
+            Some(
+                vm.daemon_port()
+                    .expect("assisted migration requires a loaded LKM"),
+            )
+        } else {
+            None
+        };
+
+        let mut state = RunState {
+            link: Link::new(self.config.bandwidth),
+            dest: DestinationVm::new(npages),
+            by_class: crate::report::TrafficByClass::default(),
+            timeline: simkit::trace::Trace::new(),
+            ever_dirtied: Bitmap::new(npages),
+            deferred_skips: Bitmap::new(npages),
+            cpu: SimDuration::ZERO,
+            wire_bytes: 0,
+            ready: None,
+        };
+
+        vm.kernel_mut().memory_mut().dirty_log_mut().enable();
+        state.timeline.push(clock.now(), EngineEvent::Begin);
+        if let Some(port) = &port {
+            port.send(clock.now(), DaemonToLkm::MigrationBegin);
+        }
+
+        let mut iterations: Vec<IterationStats> = Vec::new();
+        let mut to_send = Bitmap::new_all_set(npages);
+        let mut t_enter_last = None;
+
+        // Live pre-copy iterations.
+        let mut stop_reason = None;
+        loop {
+            let index = iterations.len() as u32 + 1;
+            let waiting = t_enter_last.is_some();
+            state
+                .timeline
+                .push(clock.now(), EngineEvent::IterationStart { index });
+            let stats = self.run_live_iteration(
+                vm,
+                clock,
+                &mut state,
+                &mut to_send,
+                index,
+                port.as_ref(),
+                waiting,
+            );
+            iterations.push(stats);
+
+            if state.ready.is_some() {
+                state.timeline.push(clock.now(), EngineEvent::ReadyReceived);
+                break;
+            }
+            if !waiting {
+                let pending = self.pending_transferable(vm);
+                let ram = npages * PAGE_SIZE;
+                let stop = if iterations.len() as u32 >= self.config.stop.max_iterations {
+                    Some(StopReason::MaxIterations)
+                } else if state.wire_bytes as f64 > self.config.stop.max_factor * ram as f64 {
+                    Some(StopReason::TrafficCap)
+                } else if pending <= self.config.stop.dirty_threshold_pages {
+                    Some(StopReason::DirtyThreshold)
+                } else {
+                    None
+                };
+                if let Some(reason) = stop {
+                    stop_reason = Some(reason);
+                    state
+                        .timeline
+                        .push(clock.now(), EngineEvent::StopCondition(reason));
+                    match &port {
+                        Some(port) => {
+                            port.send(clock.now(), DaemonToLkm::EnteringLastIter);
+                            state.timeline.push(clock.now(), EngineEvent::NotifiedLkm);
+                            t_enter_last = Some(clock.now());
+                        }
+                        None => break,
+                    }
+                }
+            }
+
+            // Next iteration transfers what was dirtied during this one.
+            let snapshot = vm
+                .kernel_mut()
+                .memory_mut()
+                .dirty_log_mut()
+                .read_and_clear();
+            state.ever_dirtied.union_with(&snapshot);
+            // Pages of the previous set never reached (or re-dirty-skipped)
+            // are dirty again by construction, so the snapshot covers them.
+            to_send = snapshot;
+        }
+
+        // Stop-and-copy: pause the VM and send everything still pending.
+        let t_pause = clock.now();
+        state.timeline.push(t_pause, EngineEvent::Paused);
+        let last_stats =
+            self.run_stop_and_copy(vm, clock, &mut state, to_send, iterations.len() as u32 + 1);
+        let last_iter_duration = last_stats.duration;
+        iterations.push(last_stats);
+
+        // Resume at the destination: log-dirty mode is over.
+        vm.kernel_mut().memory_mut().dirty_log_mut().disable();
+        clock.advance(self.config.resume_time);
+        state.timeline.push(clock.now(), EngineEvent::Resumed);
+        if let Some(port) = &port {
+            port.send(clock.now(), DaemonToLkm::VmResumed);
+        }
+
+        // Verification against the paused source.
+        let skip_at_pause = self.skip_bitmap(vm, npages);
+        let verification = state.dest.verify(vm.kernel(), &skip_at_pause);
+
+        let (final_update, stragglers) = state.ready.unwrap_or((SimDuration::ZERO, 0));
+        let enforced_gc = vm.enforced_gc_duration().unwrap_or(SimDuration::ZERO);
+        let safepoint_wait = match t_enter_last {
+            Some(t) => t_pause
+                .saturating_since(t)
+                .saturating_sub(enforced_gc)
+                .saturating_sub(final_update),
+            None => SimDuration::ZERO,
+        };
+
+        MigrationReport {
+            total_duration: clock.now().saturating_since(t0),
+            total_bytes: state.wire_bytes,
+            downtime: DowntimeBreakdown {
+                safepoint_wait,
+                enforced_gc,
+                final_update,
+                last_iteration: last_iter_duration,
+                resume: self.config.resume_time,
+            },
+            cpu_time: state.cpu,
+            verification,
+            traffic_by_class: state.by_class,
+            stop_reason: stop_reason.unwrap_or(StopReason::DirtyThreshold),
+            timeline: state.timeline,
+            lkm: vm.kernel().lkm().map(|l| l.stats().clone()),
+            stragglers,
+            iterations,
+        }
+    }
+
+    /// One live iteration: scan `to_send`, transferring at link speed while
+    /// the guest keeps running. In `waiting` mode the iteration ends when
+    /// the LKM reports readiness (refreshing its snapshot if it drains).
+    #[allow(clippy::too_many_arguments)]
+    fn run_live_iteration(
+        &self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+        state: &mut RunState,
+        to_send: &mut Bitmap,
+        index: u32,
+        port: Option<&DaemonPort>,
+        waiting: bool,
+    ) -> IterationStats {
+        let start = clock.now();
+        let pages_to_send = to_send.count_set();
+        let mut cursor = 0u64;
+        let mut sent = 0u64;
+        let mut bytes = 0u64;
+        let mut skip_dirty = 0u64;
+        let mut skip_transfer = 0u64;
+        let mut quanta = 0u64;
+
+        'outer: loop {
+            // Send a quantum's worth of pages.
+            let mut budget = state.link.budget(self.config.quantum) as i64;
+            let mut cpu_budget = self.config.quantum;
+            while budget > 0 && !cpu_budget.is_zero() {
+                let Some(pfn) = to_send.next_set_at(cursor) else {
+                    if waiting {
+                        // Snapshot drained but the guest is still preparing:
+                        // pick up newly dirtied pages under the same
+                        // iteration box.
+                        let snap = vm
+                            .kernel_mut()
+                            .memory_mut()
+                            .dirty_log_mut()
+                            .read_and_clear();
+                        state.ever_dirtied.union_with(&snap);
+                        *to_send = snap;
+                        cursor = 0;
+                        if to_send.all_clear() {
+                            break;
+                        }
+                        continue;
+                    }
+                    break 'outer;
+                };
+                cursor = pfn.0 + 1;
+                // Processed pages leave the snapshot; whatever the scanner
+                // never reaches is the leftover the stop-and-copy inherits.
+                to_send.clear(pfn);
+                state.cpu += self.config.cpu_cost_per_page_scan;
+                match self.classify(vm, pfn) {
+                    Scan::SkipDirty => skip_dirty += 1,
+                    Scan::SkipTransfer => {
+                        skip_transfer += 1;
+                        state.deferred_skips.set(pfn);
+                    }
+                    Scan::Send(pfn) => {
+                        let (wire, cpu) = self.send_page(vm, state, pfn);
+                        budget -= wire as i64;
+                        cpu_budget = cpu_budget.saturating_sub(cpu);
+                        bytes += wire;
+                        sent += 1;
+                    }
+                }
+            }
+
+            // Let the guest run for the quantum.
+            vm.advance_guest(clock.now(), self.config.quantum);
+            clock.advance(self.config.quantum);
+            quanta += 1;
+
+            if let (Some(port), None) = (port, &state.ready) {
+                for msg in port.recv(clock.now()) {
+                    let LkmToDaemon::ReadyToSuspend {
+                        final_update,
+                        stragglers,
+                    } = msg;
+                    state.ready = Some((final_update, stragglers));
+                }
+            }
+            if waiting {
+                if state.ready.is_some() {
+                    break;
+                }
+                assert!(
+                    clock.now().saturating_since(start) < READY_WAIT_CAP,
+                    "LKM never reported ReadyToSuspend; its straggler \
+                     timeout should have fired"
+                );
+            }
+        }
+
+        // An empty iteration still costs (at least) one bitmap read.
+        if quanta == 0 {
+            vm.advance_guest(clock.now(), self.config.quantum);
+            clock.advance(self.config.quantum);
+        }
+
+        IterationStats {
+            index,
+            start,
+            duration: clock.now().saturating_since(start),
+            pages_to_send,
+            pages_sent: sent,
+            bytes_sent: bytes,
+            pages_skipped_dirty: skip_dirty,
+            pages_skipped_transfer: skip_transfer,
+            pages_dirtied_during: vm.kernel().memory().dirty_log().dirty_count(),
+        }
+    }
+
+    /// The stop-and-copy: VM paused, remaining pages pushed at line rate.
+    fn run_stop_and_copy(
+        &self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+        state: &mut RunState,
+        leftover: Bitmap,
+        index: u32,
+    ) -> IterationStats {
+        let start = clock.now();
+        // Everything still dirty, everything left over from the interrupted
+        // snapshot, and every page we ever skipped on transfer-bit grounds —
+        // all filtered through the *final* transfer bitmap below.
+        let mut final_set = vm
+            .kernel_mut()
+            .memory_mut()
+            .dirty_log_mut()
+            .read_and_clear();
+        state.ever_dirtied.union_with(&final_set);
+        final_set.union_with(&leftover);
+        final_set.union_with(&state.deferred_skips);
+        if self.config.last_iter_considers_all_dirtied {
+            final_set.union_with(&state.ever_dirtied);
+        }
+
+        let pages_to_send = final_set.count_set();
+        let mut sent = 0u64;
+        let mut bytes = 0u64;
+        let mut skip_transfer = 0u64;
+        for pfn in final_set.iter_set() {
+            state.cpu += self.config.cpu_cost_per_page_scan;
+            if !self.transfer_allowed(vm, pfn) {
+                skip_transfer += 1;
+                continue;
+            }
+            let (wire, _) = self.send_page(vm, state, pfn);
+            bytes += wire;
+            sent += 1;
+        }
+        // The VM is paused: transfer time passes without guest execution.
+        let duration = state.link.time_to_send(bytes);
+        clock.advance(duration);
+
+        IterationStats {
+            index,
+            start,
+            duration,
+            pages_to_send,
+            pages_sent: sent,
+            bytes_sent: bytes,
+            pages_skipped_dirty: 0,
+            pages_skipped_transfer: skip_transfer,
+            pages_dirtied_during: 0,
+        }
+    }
+
+    fn classify(&self, vm: &dyn MigratableVm, pfn: Pfn) -> Scan {
+        if !self.transfer_allowed(vm, pfn) {
+            return Scan::SkipTransfer;
+        }
+        if vm.kernel().memory().dirty_log().is_dirty(pfn) {
+            // Dirtied again since this iteration's snapshot: sending now
+            // would be redundant; the next iteration will carry it.
+            return Scan::SkipDirty;
+        }
+        Scan::Send(pfn)
+    }
+
+    fn transfer_allowed(&self, vm: &dyn MigratableVm, pfn: Pfn) -> bool {
+        if !self.config.assisted {
+            return true;
+        }
+        match vm.kernel().lkm() {
+            Some(lkm) => lkm.should_transfer(pfn),
+            None => true,
+        }
+    }
+
+    /// Sends one page; returns (wire bytes, compression CPU time).
+    fn send_page(
+        &self,
+        vm: &mut dyn MigratableVm,
+        state: &mut RunState,
+        pfn: Pfn,
+    ) -> (u64, SimDuration) {
+        let page = vm.kernel().memory().page(pfn);
+        let method = self.method_for(page.class);
+        let body = method.compressed_size(PAGE_SIZE, page.class.compression_ratio());
+        let wire = body + PAGE_HEADER_BYTES;
+        let cpu = method.cpu_cost(PAGE_SIZE);
+        state.dest.receive(pfn, page);
+        state.link.record_send(wire);
+        state.wire_bytes += wire;
+        state.by_class.add(page.class, wire);
+        state.cpu += cpu + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
+        (wire, cpu)
+    }
+
+    fn method_for(&self, class: PageClass) -> CompressionMethod {
+        match self.config.compression {
+            CompressionPolicy::Off => CompressionMethod::None,
+            CompressionPolicy::Uniform(m) => m,
+            CompressionPolicy::PerClass => {
+                if class.compression_ratio() < 0.5 {
+                    CompressionMethod::Strong
+                } else {
+                    CompressionMethod::Fast
+                }
+            }
+        }
+    }
+
+    /// Dirty pages the transfer bitmap still allows sending — what the
+    /// stop policy's threshold really cares about. For vanilla migration
+    /// this equals the dirty count.
+    fn pending_transferable(&self, vm: &dyn MigratableVm) -> u64 {
+        let log = vm.kernel().memory().dirty_log();
+        if !self.config.assisted {
+            return log.dirty_count();
+        }
+        log.peek()
+            .iter_set()
+            .filter(|&pfn| self.transfer_allowed(vm, pfn))
+            .count() as u64
+    }
+
+    /// The skip set at pause time: pages whose final transfer bit is clear.
+    fn skip_bitmap(&self, vm: &dyn MigratableVm, npages: u64) -> Bitmap {
+        let mut skip = Bitmap::new(npages);
+        if !self.config.assisted {
+            return skip;
+        }
+        if let Some(lkm) = vm.kernel().lkm() {
+            for p in 0..npages {
+                if !lkm.should_transfer(Pfn(p)) {
+                    skip.set(Pfn(p));
+                }
+            }
+        }
+        skip
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests of the migration engine: correctness holds for
+//! arbitrary guest shapes, dirtying intensities, and engine policies.
+
+use guestos::kernel::{GuestKernel, GuestOsConfig};
+use guestos::lkm::{DaemonPort, LkmConfig};
+use guestos::messages::{AppToLkm, LkmToApp};
+use guestos::netlink::NetlinkSocket;
+use guestos::process::Pid;
+use migrate::config::{CompressionPolicy, MigrationConfig, StopPolicy};
+use migrate::precopy::PrecopyEngine;
+use migrate::vmhost::MigratableVm;
+use netsim::CompressionMethod;
+use proptest::prelude::*;
+use simkit::units::{Bandwidth, MIB};
+use simkit::{DetRng, SimClock, SimDuration, SimTime};
+use vmem::{PageClass, VaRange, Vaddr, VmSpec, PAGE_SIZE};
+
+/// A randomly-shaped guest: one app rewriting a hot buffer, optionally
+/// assisting with a random live prefix.
+struct RandomVm {
+    kernel: GuestKernel,
+    port: Option<DaemonPort>,
+    sock: Option<NetlinkSocket>,
+    pid: Pid,
+    hot: VaRange,
+    dirty_rate: f64,
+    rng: DetRng,
+    carry: f64,
+    ops: u64,
+    live_pages: u64,
+    prep: bool,
+}
+
+impl RandomVm {
+    fn new(mem_mb: u64, hot_pages: u64, dirty_rate: f64, assisted: bool, live_pages: u64) -> Self {
+        let mut kernel = GuestKernel::boot(
+            GuestOsConfig {
+                spec: VmSpec::new(mem_mb * MIB, 1),
+                kernel_bytes: 4 * MIB,
+                pagecache_bytes: 4 * MIB,
+                kernel_dirty_rate: 0.3e6,
+                pagecache_dirty_rate: 0.2e6,
+            },
+            DetRng::new(17),
+        );
+        let pid = kernel.spawn("rand");
+        let hot = kernel
+            .alloc_map(pid, Vaddr(0x40_0000_0000), hot_pages, PageClass::Anon)
+            .expect("fits");
+        kernel.write_range(pid, hot, PageClass::Anon);
+        let (port, sock) = if assisted {
+            let port = kernel.load_lkm(LkmConfig::default());
+            let sock = kernel.subscribe_netlink(pid);
+            (Some(port), Some(sock))
+        } else {
+            (None, None)
+        };
+        Self {
+            kernel,
+            port,
+            sock,
+            pid,
+            hot,
+            dirty_rate,
+            rng: DetRng::new(23),
+            carry: 0.0,
+            ops: 0,
+            live_pages: live_pages.min(hot_pages),
+            prep: false,
+        }
+    }
+}
+
+impl MigratableVm for RandomVm {
+    fn kernel(&self) -> &GuestKernel {
+        &self.kernel
+    }
+
+    fn kernel_mut(&mut self) -> &mut GuestKernel {
+        &mut self.kernel
+    }
+
+    fn advance_guest(&mut self, now: SimTime, dt: SimDuration) {
+        self.kernel.service_lkm(now);
+        self.kernel.tick_noise(now, dt);
+        if let Some(sock) = &self.sock {
+            for msg in sock.recv(now) {
+                match msg {
+                    LkmToApp::QuerySkipOver => {
+                        sock.send(now, AppToLkm::SkipOverAreas(vec![self.hot]))
+                    }
+                    LkmToApp::PrepareSuspension => self.prep = true,
+                    LkmToApp::VmResumed => {}
+                }
+            }
+            if self.prep {
+                self.prep = false;
+                let live = VaRange::new(
+                    self.hot.start(),
+                    Vaddr(self.hot.start().0 + self.live_pages * PAGE_SIZE),
+                );
+                if !live.is_empty() {
+                    self.kernel.write_range(self.pid, live, PageClass::Anon);
+                }
+                sock.send(
+                    now,
+                    AppToLkm::SuspensionReady {
+                        areas: vec![self.hot],
+                        must_send: vec![live],
+                    },
+                );
+            }
+        }
+        // Random-page rewrites of the hot buffer.
+        let f = self.dirty_rate * dt.as_secs_f64() / PAGE_SIZE as f64 + self.carry;
+        let pages = f as u64;
+        self.carry = f - pages as f64;
+        let hot_pages = self.hot.page_count();
+        for _ in 0..pages {
+            let p = self.rng.below(hot_pages);
+            let va = Vaddr(self.hot.start().0 + p * PAGE_SIZE);
+            self.kernel
+                .write_range(self.pid, VaRange::from_len(va, 1), PageClass::Anon);
+        }
+        self.ops += 1;
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops
+    }
+
+    fn daemon_port(&self) -> Option<DaemonPort> {
+        self.port.clone()
+    }
+
+    fn enforced_gc_duration(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary guest shapes and engine settings, migration always
+    /// verifies correct, obeys the stop policy, and accounts consistently.
+    #[test]
+    fn migration_is_always_correct(
+        mem_mb in 64u64..192,
+        hot_mb in 4u64..48,
+        rate_mb in 0u64..60,
+        assisted in any::<bool>(),
+        live_pages in 0u64..64,
+        max_iterations in 3u32..20,
+        compress in 0u8..3,
+    ) {
+        let mut vm = RandomVm::new(
+            mem_mb,
+            (hot_mb * MIB / PAGE_SIZE).min(mem_mb * MIB / PAGE_SIZE / 4),
+            rate_mb as f64 * 1e6,
+            assisted,
+            live_pages,
+        );
+        let mut config = if assisted {
+            MigrationConfig::javmm_default()
+        } else {
+            MigrationConfig::xen_default()
+        };
+        config.bandwidth = Bandwidth::from_mbytes_per_sec(25.0);
+        config.stop = StopPolicy {
+            max_iterations,
+            ..StopPolicy::default()
+        };
+        config.compression = match compress {
+            0 => CompressionPolicy::Off,
+            1 => CompressionPolicy::Uniform(CompressionMethod::Fast),
+            _ => CompressionPolicy::PerClass,
+        };
+        let mut clock = SimClock::new();
+        let report = PrecopyEngine::new(config).migrate(&mut vm, &mut clock);
+
+        // The one inviolable property.
+        prop_assert_eq!(report.verification.mismatched, 0, "{:?}", report.verification);
+
+        // Stop policy: live iterations ≤ cap (+1 wait iteration when
+        // assisted, +1 stop-and-copy).
+        let slack = if assisted { 2 } else { 1 };
+        prop_assert!(report.iteration_count() <= max_iterations + slack);
+
+        // Accounting consistency.
+        let sent: u64 = report.iterations.iter().map(|i| i.bytes_sent).sum();
+        prop_assert_eq!(sent, report.total_bytes);
+        prop_assert!(report.downtime.vm_downtime() >= config_resume());
+        prop_assert!(report.total_duration >= report.downtime.vm_downtime());
+        if !assisted {
+            prop_assert_eq!(report.pages_skipped_transfer(), 0);
+            prop_assert_eq!(report.stragglers, 0);
+        }
+    }
+}
+
+fn config_resume() -> SimDuration {
+    MigrationConfig::xen_default().resume_time
+}

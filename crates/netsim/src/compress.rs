@@ -1,0 +1,74 @@
+//! Page compression model for the §6 selective-compression extension.
+//!
+//! Compression trades CPU for network bandwidth. The paper proposes
+//! compressing only the pages that were *not* skipped over, with a widened
+//! transfer map choosing the method per page. We model two methods with
+//! measured-shape characteristics: a fast LZ-class compressor and a slower,
+//! stronger one.
+
+use simkit::SimDuration;
+
+/// A compression method for page contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// No compression.
+    None,
+    /// Fast LZ-class compression: cheap, moderate ratio.
+    Fast,
+    /// Stronger (deflate-class) compression: slower, better ratio.
+    Strong,
+}
+
+impl Method {
+    /// Compressed size of `bytes` whose intrinsic compressibility is
+    /// `class_ratio` (the `vmem` page-class ratio, compressed/original
+    /// under a strong compressor).
+    ///
+    /// The fast method realises only part of the achievable reduction.
+    pub fn compressed_size(self, bytes: u64, class_ratio: f64) -> u64 {
+        let ratio = match self {
+            Method::None => 1.0,
+            // A fast compressor leaves ~40% of the achievable reduction
+            // on the table.
+            Method::Fast => 1.0 - (1.0 - class_ratio) * 0.6,
+            Method::Strong => class_ratio,
+        };
+        ((bytes as f64) * ratio.clamp(0.0, 1.0)).ceil() as u64
+    }
+
+    /// CPU time to compress `bytes` on the source host.
+    pub fn cpu_cost(self, bytes: u64) -> SimDuration {
+        let per_byte = match self {
+            Method::None => 0.0,
+            Method::Fast => 0.45e-9,
+            Method::Strong => 2.4e-9,
+        };
+        SimDuration::from_secs_f64(bytes as f64 * per_byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity_and_free() {
+        assert_eq!(Method::None.compressed_size(4096, 0.4), 4096);
+        assert_eq!(Method::None.cpu_cost(1 << 30), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn strong_beats_fast_beats_none() {
+        let strong = Method::Strong.compressed_size(4096, 0.4);
+        let fast = Method::Fast.compressed_size(4096, 0.4);
+        assert!(strong < fast);
+        assert!(fast < 4096);
+        assert!(Method::Strong.cpu_cost(4096) > Method::Fast.cpu_cost(4096));
+    }
+
+    #[test]
+    fn incompressible_page_stays_put() {
+        assert_eq!(Method::Strong.compressed_size(4096, 1.0), 4096);
+        assert_eq!(Method::Fast.compressed_size(4096, 1.0), 4096);
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! `netsim` — the migration network substrate.
+//!
+//! The network is the forcing function of the whole paper: when VM memory
+//! dirties faster than the link can carry it, pre-copy cannot converge.
+//! [`link::Link`] models the paper's gigabit Ethernet testbed as a
+//! rate-limited pipe with deterministic byte budgeting; [`compress`] models
+//! the per-page compression methods of the §6 extension.
+
+pub mod compress;
+pub mod link;
+
+pub use compress::Method as CompressionMethod;
+pub use link::{achieved_rate, Link, PAGE_HEADER_BYTES};

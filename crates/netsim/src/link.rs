@@ -1,0 +1,141 @@
+//! The migration network link.
+//!
+//! Models the paper's testbed link — gigabit Ethernet between two blades —
+//! as a rate-limited pipe with a small per-batch latency. The co-simulation
+//! driver asks the link for a byte budget each quantum and accounts what it
+//! actually sent; the link tracks cumulative traffic and busy time, from
+//! which migration reports compute per-iteration transfer rates.
+
+use simkit::units::Bandwidth;
+use simkit::{SimDuration, SimTime};
+
+/// Per-page wire overhead: PFN metadata in the migration stream.
+pub const PAGE_HEADER_BYTES: u64 = 8;
+
+/// A point-to-point migration link.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::link::Link;
+/// use simkit::units::Bandwidth;
+/// use simkit::SimDuration;
+///
+/// let mut link = Link::new(Bandwidth::from_mbytes_per_sec(100.0));
+/// let budget = link.budget(SimDuration::from_millis(10));
+/// assert_eq!(budget, 1_000_000);
+/// link.record_send(budget);
+/// assert_eq!(link.bytes_sent(), 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth: Bandwidth,
+    bytes_sent: u64,
+    carry: f64,
+}
+
+impl Link {
+    /// Creates a link with the given application-level bandwidth.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        Self {
+            bandwidth,
+            bytes_sent: 0,
+            carry: 0.0,
+        }
+    }
+
+    /// The paper's testbed link.
+    pub fn gigabit() -> Self {
+        Self::new(Bandwidth::gigabit_ethernet())
+    }
+
+    /// Returns the link bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Returns how many bytes may be sent during `dt`.
+    ///
+    /// Sub-byte residue carries over to the next call so long runs do not
+    /// systematically under-use the link.
+    pub fn budget(&mut self, dt: SimDuration) -> u64 {
+        let exact = self.bandwidth.bytes_per_sec() * dt.as_secs_f64() + self.carry;
+        let whole = exact as u64;
+        self.carry = exact - whole as f64;
+        whole
+    }
+
+    /// Accounts `bytes` as sent.
+    pub fn record_send(&mut self, bytes: u64) {
+        self.bytes_sent += bytes;
+    }
+
+    /// Total bytes sent over the link's lifetime.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Time the link needs to drain `bytes`.
+    pub fn time_to_send(&self, bytes: u64) -> SimDuration {
+        self.bandwidth.time_to_send(bytes)
+    }
+
+    /// Resets the traffic counter (e.g. between migrations).
+    pub fn reset(&mut self) {
+        self.bytes_sent = 0;
+        self.carry = 0.0;
+    }
+}
+
+/// A windowless transfer-rate observation helper: given bytes sent between
+/// two instants, the achieved rate in bytes/second.
+pub fn achieved_rate(bytes: u64, from: SimTime, to: SimTime) -> f64 {
+    let secs = to.saturating_since(from).as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bytes as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_carries_residue() {
+        // 3 bytes/s at 0.5 s per call: budgets alternate 1, 2, 1, 2...
+        let mut link = Link::new(Bandwidth::from_bytes_per_sec(3.0));
+        let mut total = 0;
+        for _ in 0..10 {
+            total += link.budget(SimDuration::from_millis(500));
+        }
+        assert_eq!(total, 15, "5 s at 3 B/s");
+    }
+
+    #[test]
+    fn gigabit_budget_per_ms() {
+        let mut link = Link::gigabit();
+        let b = link.budget(SimDuration::from_millis(1));
+        // ~117.5 KB per millisecond.
+        assert!((117_000..118_000).contains(&b), "budget {b}");
+    }
+
+    #[test]
+    fn send_accounting_and_reset() {
+        let mut link = Link::gigabit();
+        link.record_send(500);
+        link.record_send(1500);
+        assert_eq!(link.bytes_sent(), 2000);
+        link.reset();
+        assert_eq!(link.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn achieved_rate_computes() {
+        let from = SimTime::ZERO;
+        let to = SimTime::from_nanos(2_000_000_000);
+        assert_eq!(achieved_rate(200, from, to), 100.0);
+        assert_eq!(achieved_rate(200, to, from), 0.0, "inverted interval");
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the link and compression models.
+
+use netsim::link::Link;
+use netsim::CompressionMethod;
+use proptest::prelude::*;
+use simkit::units::Bandwidth;
+use simkit::SimDuration;
+
+proptest! {
+    /// Budgeting in arbitrary quanta never drifts from the exact rate by
+    /// more than one byte, thanks to the fractional carry.
+    #[test]
+    fn link_budget_is_exact_over_time(
+        mbps in 1u64..2000,
+        quanta_ms in prop::collection::vec(1u64..50, 1..200),
+    ) {
+        let mut link = Link::new(Bandwidth::from_mbytes_per_sec(mbps as f64));
+        let mut total = 0u64;
+        let mut elapsed_ms = 0u64;
+        for ms in quanta_ms {
+            total += link.budget(SimDuration::from_millis(ms));
+            elapsed_ms += ms;
+        }
+        let exact = mbps as f64 * 1e6 * elapsed_ms as f64 / 1e3;
+        prop_assert!(
+            (total as f64 - exact).abs() <= 1.0,
+            "budgeted {total} vs exact {exact}"
+        );
+    }
+
+    /// time_to_send is the inverse of budget at every rate.
+    #[test]
+    fn send_time_inverts_budget(mbps in 1u64..2000, bytes in 1u64..(1 << 30)) {
+        let link = Link::new(Bandwidth::from_mbytes_per_sec(mbps as f64));
+        let t = link.time_to_send(bytes);
+        let back = Bandwidth::from_mbytes_per_sec(mbps as f64).bytes_in(t);
+        let diff = back.abs_diff(bytes);
+        prop_assert!(diff <= 2, "{bytes} -> {t} -> {back}");
+    }
+
+    /// Compression never inflates, stronger never loses to faster, and CPU
+    /// cost is monotone in strength.
+    #[test]
+    fn compression_is_monotone(bytes in 1u64..(1 << 22), ratio in 0.0f64..1.0) {
+        let none = CompressionMethod::None.compressed_size(bytes, ratio);
+        let fast = CompressionMethod::Fast.compressed_size(bytes, ratio);
+        let strong = CompressionMethod::Strong.compressed_size(bytes, ratio);
+        prop_assert_eq!(none, bytes);
+        prop_assert!(fast <= bytes + 1);
+        prop_assert!(strong <= fast);
+        prop_assert!(strong >= (bytes as f64 * ratio) as u64);
+        prop_assert!(
+            CompressionMethod::Strong.cpu_cost(bytes)
+                >= CompressionMethod::Fast.cpu_cost(bytes)
+        );
+    }
+}

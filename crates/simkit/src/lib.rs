@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! `simkit` — deterministic discrete-time simulation substrate.
+//!
+//! Provides the shared building blocks every other crate of the JAVMM
+//! reproduction rests on: a simulated clock ([`clock::SimClock`]),
+//! nanosecond time types ([`time::SimTime`], [`time::SimDuration`]),
+//! deterministic random numbers ([`rng::DetRng`]), statistics matching the
+//! paper's methodology ([`stats`]), byte/bandwidth units ([`units`]) and a
+//! generic event trace ([`trace::Trace`]).
+//!
+//! # Design
+//!
+//! The simulation is *co-operative discrete time*: a single driver advances a
+//! [`clock::SimClock`] in small quanta and each component performs its share
+//! of work for that quantum. There is no global event queue; the dynamics of
+//! interest (pre-copy iterations racing page dirtying) are continuous-rate
+//! processes, which quantised time models precisely and cheaply.
+//!
+//! Determinism is an invariant: given the same seed, every run produces
+//! bit-identical results. All randomness must flow from [`rng::DetRng`]
+//! streams forked off a single per-run seed.
+
+pub mod clock;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use clock::SimClock;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use units::Bandwidth;

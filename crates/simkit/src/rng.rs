@@ -1,0 +1,247 @@
+//! Deterministic random numbers for reproducible experiments.
+//!
+//! Every run of an experiment is driven by a single `u64` seed; components
+//! derive independent streams with [`DetRng::fork`] so that adding a consumer
+//! of randomness in one subsystem never perturbs another subsystem's stream.
+
+use rand::RngCore;
+
+/// A deterministic pseudo-random generator (SplitMix64 core).
+///
+/// SplitMix64 passes BigCrush, needs only one word of state, and — unlike
+/// many stream ciphers — makes forking sub-streams trivially cheap, which is
+/// exactly what a multi-component simulation needs.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::rng::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Avalanche the seed once so that adjacent seeds (0, 1, 2, ...)
+            // still produce uncorrelated streams.
+            state: splitmix64(&mut { seed ^ 0x9e37_79b9_7f4a_7c15 }),
+        }
+    }
+
+    /// Derives an independent sub-stream labelled by `stream`.
+    ///
+    /// Forking with distinct labels yields generators whose outputs are
+    /// uncorrelated with each other and with the parent.
+    pub fn fork(&self, stream: u64) -> Self {
+        let mut s = self.state ^ stream.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        Self {
+            state: splitmix64(&mut s),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: bound must be positive");
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range: empty interval [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// Returns zero when `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse CDF; 1 - U avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Samples a normal distribution via Box-Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Samples a multiplicative jitter factor in `[1-spread, 1+spread]`.
+    ///
+    /// Used to model run-to-run variation of durations and rates the way the
+    /// paper's repeated runs vary.
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        1.0 + (self.next_f64() * 2.0 - 1.0) * spread.clamp(0.0, 1.0)
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        DetRng::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = DetRng::next_u64(self).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// One SplitMix64 step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_consumption() {
+        let parent = DetRng::new(99);
+        let mut f1 = parent.fork(3);
+        let mut parent2 = DetRng::new(99);
+        parent2.next_u64();
+        let mut f2 = DetRng::new(99).fork(3);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let _ = parent2;
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = DetRng::new(5);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::new(13);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = DetRng::new(17);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.normal(10.0, 3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = DetRng::new(23);
+        for _ in 0..10_000 {
+            let j = rng.jitter(0.05);
+            assert!((0.95..=1.05).contains(&j));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = DetRng::new(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,108 @@
+//! A lightweight timestamped event trace.
+//!
+//! Components append structured events while a simulation runs; tests and
+//! the figure harness inspect the trace afterwards. Tracing is generic over
+//! the event type so each subsystem can define its own vocabulary.
+
+use crate::time::SimTime;
+
+/// An append-only log of `(time, event)` records.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::trace::Trace;
+/// use simkit::time::SimTime;
+///
+/// let mut trace: Trace<&str> = Trace::new();
+/// trace.push(SimTime::from_nanos(10), "gc-start");
+/// trace.push(SimTime::from_nanos(20), "gc-end");
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.iter().last().unwrap().1, "gc-end");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace<E> {
+    records: Vec<(SimTime, E)>,
+}
+
+impl<E> Trace<E> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends an event at the given instant.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.records.push((at, event));
+    }
+
+    /// Returns the number of recorded events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over `(time, event)` records in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.records.iter()
+    }
+
+    /// Returns events matching a predicate, with their timestamps.
+    pub fn matching<'a>(
+        &'a self,
+        mut pred: impl FnMut(&E) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a (SimTime, E)> {
+        self.records.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// Discards all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl<E> Default for Trace<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut t = Trace::new();
+        for i in 0..5u64 {
+            t.push(SimTime::from_nanos(i), i);
+        }
+        let order: Vec<u64> = t.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matching_filters() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, 1);
+        t.push(SimTime::ZERO, 2);
+        t.push(SimTime::ZERO, 3);
+        let evens: Vec<i32> = t.matching(|e| e % 2 == 0).map(|&(_, e)| e).collect();
+        assert_eq!(evens, vec![2]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, ());
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Byte quantities and bandwidth.
+
+use crate::time::SimDuration;
+use core::fmt;
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Formats a byte count with a human-friendly unit.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::units::{fmt_bytes, MIB};
+///
+/// assert_eq!(fmt_bytes(512), "512B");
+/// assert_eq!(fmt_bytes(3 * MIB / 2), "1.50MiB");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.2}GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2}MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2}KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// A data rate in bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::units::Bandwidth;
+/// use simkit::time::SimDuration;
+///
+/// let link = Bandwidth::from_mbytes_per_sec(100.0);
+/// let t = link.time_to_send(50_000_000);
+/// assert_eq!(t, SimDuration::from_millis(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not finite and positive.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(
+            bps.is_finite() && bps > 0.0,
+            "bandwidth must be positive, got {bps}"
+        );
+        Self { bytes_per_sec: bps }
+    }
+
+    /// Creates a bandwidth from megabytes (10^6 bytes) per second.
+    pub fn from_mbytes_per_sec(mbps: f64) -> Self {
+        Self::from_bytes_per_sec(mbps * 1e6)
+    }
+
+    /// Creates a bandwidth from a nominal link speed in gigabits per second,
+    /// derated by `efficiency` for protocol overhead.
+    ///
+    /// A gigabit Ethernet link with TCP framing typically delivers ~94% of
+    /// line rate to the application, i.e. ~117 MB/s.
+    pub fn from_gbit_per_sec(gbps: f64, efficiency: f64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1e9 / 8.0 * efficiency.clamp(0.01, 1.0))
+    }
+
+    /// The effective application-level throughput of the paper's testbed:
+    /// gigabit Ethernet at 94% efficiency.
+    pub fn gigabit_ethernet() -> Self {
+        Self::from_gbit_per_sec(1.0, 0.94)
+    }
+
+    /// Returns the rate in bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Returns the time needed to send `bytes` at this rate.
+    pub fn time_to_send(self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Returns how many whole bytes fit in `dt` at this rate.
+    pub fn bytes_in(self, dt: SimDuration) -> u64 {
+        (self.bytes_per_sec * dt.as_secs_f64()) as u64
+    }
+
+    /// Scales the bandwidth by `factor` (e.g. for contention).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self::from_bytes_per_sec(self.bytes_per_sec * factor)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}MB/s", self.bytes_per_sec / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_is_about_117_mb_s() {
+        let bw = Bandwidth::gigabit_ethernet();
+        assert!((bw.bytes_per_sec() - 117.5e6).abs() < 1e6, "{bw}");
+    }
+
+    #[test]
+    fn send_time_and_bytes_in_are_inverse() {
+        let bw = Bandwidth::from_mbytes_per_sec(10.0);
+        let dt = bw.time_to_send(1_000_000);
+        let back = bw.bytes_in(dt);
+        assert!((back as i64 - 1_000_000i64).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::from_bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(GIB), "1.00GiB");
+    }
+}

@@ -1,0 +1,345 @@
+//! Addresses: guest-virtual addresses, page frame numbers, and ranges.
+//!
+//! The migration daemon thinks in *page frame numbers* (PFNs) — indices into
+//! the VM's pseudo-physical memory — while applications think in *virtual
+//! addresses* (VAs). Bridging that semantic gap with page-table walks is one
+//! of the three responsibilities of the paper's guest kernel module.
+
+use core::fmt;
+
+/// Size of a guest memory page in bytes (4 KiB, as in the paper).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A page frame number: the index of a page in the VM's contiguous
+/// pseudo-physical memory space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// Returns the byte address of the start of this frame.
+    pub const fn base(self) -> u64 {
+        self.0 << PAGE_SHIFT
+    }
+}
+
+impl fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// A guest-virtual address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vaddr(pub u64);
+
+impl Vaddr {
+    /// Returns the virtual page number containing this address.
+    pub const fn vpn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Returns the offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns `true` when the address is page-aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Rounds up to the next page boundary (identity on aligned addresses).
+    pub const fn align_up(self) -> Vaddr {
+        Vaddr((self.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+    }
+
+    /// Rounds down to the containing page boundary.
+    pub const fn align_down(self) -> Vaddr {
+        Vaddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Vaddr {
+        Vaddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Vaddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// A half-open range of virtual addresses `[start, end)`.
+///
+/// Applications report skip-over areas as VA ranges; the kernel module aligns
+/// them *inward* (start up, end down) so that every page covered is covered
+/// in its entirety, per §3.3.2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use vmem::addr::{VaRange, Vaddr, PAGE_SIZE};
+///
+/// let raw = VaRange::new(Vaddr(0x3b00), Vaddr(0x8b00));
+/// let aligned = raw.align_inward();
+/// assert_eq!(aligned.start(), Vaddr(0x4000));
+/// assert_eq!(aligned.end(), Vaddr(0x8000));
+/// assert_eq!(aligned.page_count(), (0x8000 - 0x4000) / PAGE_SIZE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VaRange {
+    start: Vaddr,
+    end: Vaddr,
+}
+
+impl VaRange {
+    /// Creates a range; an inverted range collapses to empty at `start`.
+    pub fn new(start: Vaddr, end: Vaddr) -> Self {
+        if end < start {
+            Self { start, end: start }
+        } else {
+            Self { start, end }
+        }
+    }
+
+    /// Creates a range from a start address and a length in bytes.
+    pub fn from_len(start: Vaddr, len: u64) -> Self {
+        Self::new(start, Vaddr(start.0 + len))
+    }
+
+    /// An empty range at address zero.
+    pub const fn empty() -> Self {
+        Self {
+            start: Vaddr(0),
+            end: Vaddr(0),
+        }
+    }
+
+    /// Returns the inclusive lower bound.
+    pub fn start(&self) -> Vaddr {
+        self.start
+    }
+
+    /// Returns the exclusive upper bound.
+    pub fn end(&self) -> Vaddr {
+        self.end
+    }
+
+    /// Returns the length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Returns `true` when the range covers no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` when `va` lies inside the range.
+    pub fn contains(&self, va: Vaddr) -> bool {
+        self.start <= va && va < self.end
+    }
+
+    /// Returns `true` when `other` lies entirely inside this range.
+    pub fn contains_range(&self, other: &VaRange) -> bool {
+        other.is_empty() || (self.start <= other.start && other.end <= self.end)
+    }
+
+    /// Returns the overlap of two ranges, or an empty range.
+    pub fn intersect(&self, other: &VaRange) -> VaRange {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        VaRange::new(start, end)
+    }
+
+    /// Shrinks both ends inward to page boundaries.
+    ///
+    /// This is the paper's alignment rule: the start VA rounds *up* and the
+    /// end VA rounds *down*, so any page included is included in its
+    /// entirety and the migration daemon may skip it wholesale.
+    pub fn align_inward(&self) -> VaRange {
+        let start = self.start.align_up();
+        let end = self.end.align_down();
+        VaRange::new(start, end)
+    }
+
+    /// Expands both ends outward to page boundaries.
+    pub fn align_outward(&self) -> VaRange {
+        VaRange::new(self.start.align_down(), self.end.align_up())
+    }
+
+    /// Returns the number of whole pages in a page-aligned range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not page-aligned.
+    pub fn page_count(&self) -> u64 {
+        assert!(
+            self.start.is_page_aligned() && self.end.is_page_aligned(),
+            "page_count on unaligned range {self:?}"
+        );
+        self.len() / PAGE_SIZE
+    }
+
+    /// Iterates over the virtual page numbers covered by the aligned range.
+    pub fn vpns(&self) -> impl Iterator<Item = u64> {
+        let r = self.align_inward();
+        r.start.vpn()..r.end.vpn()
+    }
+
+    /// Returns the parts of `self` not covered by `other` (zero, one or two
+    /// sub-ranges).
+    pub fn difference(&self, other: &VaRange) -> Vec<VaRange> {
+        let mut out = Vec::new();
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            if !self.is_empty() {
+                out.push(*self);
+            }
+            return out;
+        }
+        if self.start < inter.start {
+            out.push(VaRange::new(self.start, inter.start));
+        }
+        if inter.end < self.end {
+            out.push(VaRange::new(inter.end, self.end));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for VaRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:[{:#x}..{:#x})", self.start.0, self.end.0)
+    }
+}
+
+/// Subtracts every range in `cuts` from every range in `base`.
+///
+/// Returns the surviving sub-ranges in order. Used by the kernel module to
+/// compute the expanded and shrunk spaces of skip-over areas during the
+/// final transfer-bitmap update (§3.3.4).
+///
+/// # Examples
+///
+/// ```
+/// use vmem::addr::{subtract_ranges, VaRange, Vaddr};
+///
+/// let base = vec![VaRange::new(Vaddr(0), Vaddr(100))];
+/// let cuts = vec![VaRange::new(Vaddr(20), Vaddr(30)), VaRange::new(Vaddr(50), Vaddr(60))];
+/// let out = subtract_ranges(&base, &cuts);
+/// assert_eq!(out, vec![
+///     VaRange::new(Vaddr(0), Vaddr(20)),
+///     VaRange::new(Vaddr(30), Vaddr(50)),
+///     VaRange::new(Vaddr(60), Vaddr(100)),
+/// ]);
+/// ```
+pub fn subtract_ranges(base: &[VaRange], cuts: &[VaRange]) -> Vec<VaRange> {
+    let mut current: Vec<VaRange> = base.iter().copied().filter(|r| !r.is_empty()).collect();
+    for cut in cuts {
+        current = current.iter().flat_map(|r| r.difference(cut)).collect();
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vaddr_alignment() {
+        assert_eq!(Vaddr(0x3b00).align_up(), Vaddr(0x4000));
+        assert_eq!(Vaddr(0x3b00).align_down(), Vaddr(0x3000));
+        assert_eq!(Vaddr(0x4000).align_up(), Vaddr(0x4000));
+        assert!(Vaddr(0x4000).is_page_aligned());
+        assert_eq!(Vaddr(0x4001).page_offset(), 1);
+        assert_eq!(Vaddr(0x4001).vpn(), 4);
+    }
+
+    #[test]
+    fn paper_alignment_example() {
+        // Figure 3 uses a skip-over area 0x3b00-0x8aff; the pages fully
+        // covered are 0x4000-0x7fff.
+        let area = VaRange::new(Vaddr(0x3b00), Vaddr(0x8b00));
+        let aligned = area.align_inward();
+        assert_eq!(aligned, VaRange::new(Vaddr(0x4000), Vaddr(0x8000)));
+        assert_eq!(aligned.page_count(), 4);
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let r = VaRange::new(Vaddr(100), Vaddr(50));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn tiny_range_aligns_to_empty() {
+        let r = VaRange::new(Vaddr(0x4100), Vaddr(0x4200)).align_inward();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn contains_and_intersect() {
+        let a = VaRange::new(Vaddr(0x1000), Vaddr(0x5000));
+        let b = VaRange::new(Vaddr(0x3000), Vaddr(0x9000));
+        assert!(a.contains(Vaddr(0x1000)));
+        assert!(!a.contains(Vaddr(0x5000)));
+        assert_eq!(a.intersect(&b), VaRange::new(Vaddr(0x3000), Vaddr(0x5000)));
+        assert!(a.contains_range(&VaRange::new(Vaddr(0x2000), Vaddr(0x3000))));
+        assert!(!a.contains_range(&b));
+    }
+
+    #[test]
+    fn difference_splits() {
+        let a = VaRange::new(Vaddr(0x1000), Vaddr(0x9000));
+        let hole = VaRange::new(Vaddr(0x3000), Vaddr(0x5000));
+        let parts = a.difference(&hole);
+        assert_eq!(
+            parts,
+            vec![
+                VaRange::new(Vaddr(0x1000), Vaddr(0x3000)),
+                VaRange::new(Vaddr(0x5000), Vaddr(0x9000)),
+            ]
+        );
+        // Disjoint difference returns self.
+        let disjoint = VaRange::new(Vaddr(0xa000), Vaddr(0xb000));
+        assert_eq!(a.difference(&disjoint), vec![a]);
+        // Fully covered difference is empty.
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn subtract_ranges_handles_overlapping_cuts() {
+        let base = vec![
+            VaRange::new(Vaddr(0), Vaddr(50)),
+            VaRange::new(Vaddr(100), Vaddr(150)),
+        ];
+        let cuts = vec![
+            VaRange::new(Vaddr(40), Vaddr(120)),
+            VaRange::new(Vaddr(10), Vaddr(20)),
+        ];
+        let out = subtract_ranges(&base, &cuts);
+        assert_eq!(
+            out,
+            vec![
+                VaRange::new(Vaddr(0), Vaddr(10)),
+                VaRange::new(Vaddr(20), Vaddr(40)),
+                VaRange::new(Vaddr(120), Vaddr(150)),
+            ]
+        );
+        assert!(subtract_ranges(&base, &base).is_empty());
+        assert_eq!(subtract_ranges(&base, &[]), base);
+    }
+
+    #[test]
+    fn vpn_iteration() {
+        let r = VaRange::new(Vaddr(0x4000), Vaddr(0x7000));
+        let vpns: Vec<u64> = r.vpns().collect();
+        assert_eq!(vpns, vec![4, 5, 6]);
+    }
+}

@@ -1,0 +1,75 @@
+//! VM sizing and configuration.
+
+use crate::addr::PAGE_SIZE;
+use simkit::units::{GIB, MIB};
+
+/// Static configuration of a guest VM, mirroring the paper's testbed
+/// (2 GiB of memory, 4 vCPUs).
+///
+/// # Examples
+///
+/// ```
+/// use vmem::layout::VmSpec;
+///
+/// let spec = VmSpec::paper_testbed();
+/// assert_eq!(spec.mem_bytes, 2 * 1024 * 1024 * 1024);
+/// assert_eq!(spec.page_count(), 524_288);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmSpec {
+    /// Guest memory size in bytes.
+    pub mem_bytes: u64,
+    /// Number of virtual CPUs.
+    pub vcpus: u32,
+}
+
+impl VmSpec {
+    /// Creates a spec with the given memory size and vCPU count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory is smaller than 64 MiB (too small to host a guest
+    /// kernel plus a JVM) or `vcpus` is zero.
+    pub fn new(mem_bytes: u64, vcpus: u32) -> Self {
+        assert!(
+            mem_bytes >= 64 * MIB,
+            "VM memory must be at least 64 MiB, got {mem_bytes}"
+        );
+        assert!(vcpus > 0, "VM needs at least one vCPU");
+        Self { mem_bytes, vcpus }
+    }
+
+    /// The paper's experimental configuration: 2 GiB, 4 vCPUs.
+    pub fn paper_testbed() -> Self {
+        Self::new(2 * GIB, 4)
+    }
+
+    /// Returns the number of 4 KiB pages of guest memory.
+    pub fn page_count(&self) -> u64 {
+        self.mem_bytes.div_ceil(PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_dimensions() {
+        let spec = VmSpec::paper_testbed();
+        assert_eq!(spec.vcpus, 4);
+        assert_eq!(spec.page_count() * PAGE_SIZE, 2 * GIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 64 MiB")]
+    fn rejects_tiny_vm() {
+        let _ = VmSpec::new(MIB, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn rejects_zero_vcpus() {
+        let _ = VmSpec::new(GIB, 0);
+    }
+}

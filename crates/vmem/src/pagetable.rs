@@ -1,0 +1,146 @@
+//! Per-process page tables: the VA→PFN mapping the kernel module walks.
+//!
+//! Applications report skip-over areas as VA ranges; only the guest kernel
+//! can turn those into the PFNs the migration daemon understands. The LKM
+//! performs page-table walks for this translation (§3.3.2). We model the
+//! table as a sorted map from virtual page number to PFN plus an explicit
+//! walk counter, so the cost of the final-update strategies (§3.3.4) can be
+//! measured.
+
+use crate::addr::{Pfn, VaRange, Vaddr};
+use std::collections::BTreeMap;
+
+/// A simulated page table for one address space.
+///
+/// # Examples
+///
+/// ```
+/// use vmem::addr::{Pfn, Vaddr};
+/// use vmem::pagetable::PageTable;
+///
+/// let mut pt = PageTable::new();
+/// pt.map(Vaddr(0x4000), Pfn(99));
+/// assert_eq!(pt.translate(Vaddr(0x4123)), Some(Pfn(99)));
+/// assert_eq!(pt.translate(Vaddr(0x5000)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: BTreeMap<u64, Pfn>,
+    walks: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps the page containing `va` to `pfn`, replacing any prior mapping.
+    ///
+    /// Returns the previous PFN if the page was already mapped (a remap, the
+    /// case (2) of §3.3.4 the paper assumes absent in skip-over areas).
+    pub fn map(&mut self, va: Vaddr, pfn: Pfn) -> Option<Pfn> {
+        self.entries.insert(va.vpn(), pfn)
+    }
+
+    /// Removes the mapping of the page containing `va`.
+    pub fn unmap(&mut self, va: Vaddr) -> Option<Pfn> {
+        self.entries.remove(&va.vpn())
+    }
+
+    /// Looks up the PFN backing `va` without charging a walk.
+    pub fn translate(&self, va: Vaddr) -> Option<Pfn> {
+        self.entries.get(&va.vpn()).copied()
+    }
+
+    /// Walks the table for every page of `range` (aligned inward), charging
+    /// one walk per page and returning `(vpn, pfn)` for the mapped ones.
+    ///
+    /// Unmapped pages are skipped silently: a skip-over area may legitimately
+    /// contain not-yet-faulted-in virtual pages, which simply have no frame
+    /// to skip.
+    pub fn walk_range(&mut self, range: VaRange) -> Vec<(u64, Pfn)> {
+        let aligned = range.align_inward();
+        let mut out = Vec::new();
+        for vpn in aligned.start().vpn()..aligned.end().vpn() {
+            self.walks += 1;
+            if let Some(&pfn) = self.entries.get(&vpn) {
+                out.push((vpn, pfn));
+            }
+        }
+        out
+    }
+
+    /// Returns the number of mapped pages.
+    pub fn mapped_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Returns how many page-walk steps have been charged so far.
+    pub fn walk_count(&self) -> u64 {
+        self.walks
+    }
+
+    /// Resets the walk counter (e.g. between migration phases).
+    pub fn reset_walk_count(&mut self) {
+        self.walks = 0;
+    }
+
+    /// Returns all mapped `(vpn, pfn)` pairs in VA order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Pfn)> + '_ {
+        self.entries.iter().map(|(&vpn, &pfn)| (vpn, pfn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.map(Vaddr(0x1000), Pfn(7)), None);
+        assert_eq!(pt.translate(Vaddr(0x1fff)), Some(Pfn(7)));
+        assert_eq!(
+            pt.map(Vaddr(0x1000), Pfn(8)),
+            Some(Pfn(7)),
+            "remap returns old"
+        );
+        assert_eq!(pt.unmap(Vaddr(0x1000)), Some(Pfn(8)));
+        assert_eq!(pt.translate(Vaddr(0x1000)), None);
+    }
+
+    #[test]
+    fn walk_range_counts_every_page() {
+        let mut pt = PageTable::new();
+        for i in 0..10u64 {
+            pt.map(Vaddr(i * PAGE_SIZE), Pfn(100 + i));
+        }
+        // Walk 4 pages, 2 of which we unmap first.
+        pt.unmap(Vaddr(2 * PAGE_SIZE));
+        pt.unmap(Vaddr(3 * PAGE_SIZE));
+        let found = pt.walk_range(VaRange::new(Vaddr(PAGE_SIZE), Vaddr(5 * PAGE_SIZE)));
+        assert_eq!(found.len(), 2);
+        assert_eq!(pt.walk_count(), 4, "walk charged for holes too");
+    }
+
+    #[test]
+    fn walk_range_aligns_inward() {
+        let mut pt = PageTable::new();
+        pt.map(Vaddr(0x4000), Pfn(1));
+        pt.map(Vaddr(0x5000), Pfn(2));
+        // Partial first and last pages are excluded.
+        let found = pt.walk_range(VaRange::new(Vaddr(0x3b00), Vaddr(0x5b00)));
+        assert_eq!(found, vec![(4, Pfn(1))]);
+    }
+
+    #[test]
+    fn iter_is_va_ordered() {
+        let mut pt = PageTable::new();
+        pt.map(Vaddr(0x9000), Pfn(3));
+        pt.map(Vaddr(0x1000), Pfn(1));
+        let vpns: Vec<u64> = pt.iter().map(|(vpn, _)| vpn).collect();
+        assert_eq!(vpns, vec![1, 9]);
+    }
+}

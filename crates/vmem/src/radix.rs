@@ -1,0 +1,246 @@
+//! A 4-level radix page table, matching x86-64 structure.
+//!
+//! [`crate::pagetable::PageTable`] models translation with a sorted map —
+//! compact and fast for the simulation's hot paths. This module provides a
+//! structurally faithful alternative: a 4-level radix tree with 512-entry
+//! nodes (9 bits per level, as on x86-64), so walk costs and table memory
+//! overheads can be studied directly. The two implementations are checked
+//! against each other property-wise in `tests/props.rs`.
+
+use crate::addr::{Pfn, VaRange, Vaddr};
+
+/// Entries per node: 9 bits per level.
+const FANOUT: usize = 512;
+/// Number of levels (PML4 → PDPT → PD → PT).
+const LEVELS: u32 = 4;
+
+#[derive(Debug)]
+enum Node {
+    /// An interior node (levels 1-3).
+    Interior(Box<[Option<Node>; FANOUT]>),
+    /// A leaf node holding PTEs.
+    Leaf(Box<[Option<Pfn>; FANOUT]>),
+}
+
+impl Node {
+    fn new_interior() -> Self {
+        Node::Interior(Box::new([const { None }; FANOUT]))
+    }
+
+    fn new_leaf() -> Self {
+        Node::Leaf(Box::new([const { None }; FANOUT]))
+    }
+}
+
+/// A structurally faithful 4-level page table.
+///
+/// # Examples
+///
+/// ```
+/// use vmem::addr::{Pfn, Vaddr};
+/// use vmem::radix::RadixTable;
+///
+/// let mut pt = RadixTable::new();
+/// pt.map(Vaddr(0x7f00_dead_b000), Pfn(42));
+/// let (pfn, steps) = pt.translate_counted(Vaddr(0x7f00_dead_bfff));
+/// assert_eq!(pfn, Some(Pfn(42)));
+/// assert_eq!(steps, 4, "one step per level");
+/// ```
+#[derive(Debug)]
+pub struct RadixTable {
+    root: Node,
+    mapped: u64,
+    nodes: u64,
+}
+
+impl RadixTable {
+    /// Creates an empty table (one root node).
+    pub fn new() -> Self {
+        Self {
+            root: Node::new_interior(),
+            mapped: 0,
+            nodes: 1,
+        }
+    }
+
+    /// The 9-bit index of `vpn` at `level` (level 0 = leaf).
+    fn index_at(vpn: u64, level: u32) -> usize {
+        ((vpn >> (9 * level)) & 0x1ff) as usize
+    }
+
+    /// Maps the page containing `va` to `pfn`; returns the previous mapping.
+    pub fn map(&mut self, va: Vaddr, pfn: Pfn) -> Option<Pfn> {
+        let vpn = va.vpn();
+        let mut node = &mut self.root;
+        for level in (1..LEVELS).rev() {
+            let idx = Self::index_at(vpn, level);
+            let Node::Interior(slots) = node else {
+                unreachable!("interior levels hold interior nodes");
+            };
+            if slots[idx].is_none() {
+                slots[idx] = Some(if level == 1 {
+                    Node::new_leaf()
+                } else {
+                    Node::new_interior()
+                });
+                self.nodes += 1;
+            }
+            node = slots[idx].as_mut().expect("just filled");
+        }
+        let Node::Leaf(ptes) = node else {
+            unreachable!("level 0 is a leaf");
+        };
+        let prev = ptes[Self::index_at(vpn, 0)].replace(pfn);
+        if prev.is_none() {
+            self.mapped += 1;
+        }
+        prev
+    }
+
+    /// Unmaps the page containing `va`; returns the previous mapping.
+    ///
+    /// Empty nodes are not reclaimed (as in most kernels, which defer it).
+    pub fn unmap(&mut self, va: Vaddr) -> Option<Pfn> {
+        let vpn = va.vpn();
+        let mut node = &mut self.root;
+        for level in (1..LEVELS).rev() {
+            let idx = Self::index_at(vpn, level);
+            let Node::Interior(slots) = node else {
+                unreachable!();
+            };
+            node = slots[idx].as_mut()?;
+        }
+        let Node::Leaf(ptes) = node else {
+            unreachable!();
+        };
+        let prev = ptes[Self::index_at(vpn, 0)].take();
+        if prev.is_some() {
+            self.mapped -= 1;
+        }
+        prev
+    }
+
+    /// Translates `va`, returning the PFN and the number of node visits
+    /// (4 on a complete walk, fewer when an upper level is absent).
+    pub fn translate_counted(&self, va: Vaddr) -> (Option<Pfn>, u32) {
+        let vpn = va.vpn();
+        let mut node = &self.root;
+        let mut steps = 0;
+        for level in (1..LEVELS).rev() {
+            steps += 1;
+            let idx = Self::index_at(vpn, level);
+            let Node::Interior(slots) = node else {
+                unreachable!();
+            };
+            match &slots[idx] {
+                Some(next) => node = next,
+                None => return (None, steps),
+            }
+        }
+        steps += 1;
+        let Node::Leaf(ptes) = node else {
+            unreachable!();
+        };
+        (ptes[Self::index_at(vpn, 0)], steps)
+    }
+
+    /// Translates `va` without counting.
+    pub fn translate(&self, va: Vaddr) -> Option<Pfn> {
+        self.translate_counted(va).0
+    }
+
+    /// Walks every page of `range` (aligned inward), returning the mapped
+    /// `(vpn, pfn)` pairs and the total node visits.
+    pub fn walk_range(&self, range: VaRange) -> (Vec<(u64, Pfn)>, u64) {
+        let aligned = range.align_inward();
+        let mut out = Vec::new();
+        let mut steps = 0u64;
+        for vpn in aligned.start().vpn()..aligned.end().vpn() {
+            let (pfn, s) = self.translate_counted(Vaddr(vpn << 12));
+            steps += s as u64;
+            if let Some(pfn) = pfn {
+                out.push((vpn, pfn));
+            }
+        }
+        (out, steps)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_count(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Number of table nodes allocated (each models one 4 KiB table page).
+    pub fn node_count(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Modelled memory footprint of the table structure itself.
+    pub fn table_bytes(&self) -> u64 {
+        self.nodes * crate::addr::PAGE_SIZE
+    }
+}
+
+impl Default for RadixTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    #[test]
+    fn map_translate_unmap_roundtrip() {
+        let mut pt = RadixTable::new();
+        assert_eq!(pt.map(Vaddr(0x1000), Pfn(7)), None);
+        assert_eq!(pt.translate(Vaddr(0x1fff)), Some(Pfn(7)));
+        assert_eq!(pt.map(Vaddr(0x1000), Pfn(8)), Some(Pfn(7)));
+        assert_eq!(pt.unmap(Vaddr(0x1000)), Some(Pfn(8)));
+        assert_eq!(pt.translate(Vaddr(0x1000)), None);
+        assert_eq!(pt.mapped_count(), 0);
+    }
+
+    #[test]
+    fn missing_upper_levels_shorten_the_walk() {
+        let pt = RadixTable::new();
+        let (pfn, steps) = pt.translate_counted(Vaddr(0x7f00_0000_0000));
+        assert_eq!(pfn, None);
+        assert_eq!(steps, 1, "PML4 miss ends the walk");
+    }
+
+    #[test]
+    fn distant_addresses_allocate_separate_subtrees() {
+        let mut pt = RadixTable::new();
+        pt.map(Vaddr(0x0000_1000), Pfn(1));
+        let n1 = pt.node_count();
+        pt.map(Vaddr(0x7f00_0000_0000), Pfn(2));
+        assert!(pt.node_count() > n1, "a new subtree was built");
+        // Neighbouring page shares the whole path.
+        let n2 = pt.node_count();
+        pt.map(Vaddr(0x7f00_0000_1000), Pfn(3));
+        assert_eq!(pt.node_count(), n2);
+    }
+
+    #[test]
+    fn walk_range_counts_node_visits() {
+        let mut pt = RadixTable::new();
+        for i in 0..8u64 {
+            pt.map(Vaddr(i * PAGE_SIZE), Pfn(100 + i));
+        }
+        let (found, steps) = pt.walk_range(VaRange::new(Vaddr(0), Vaddr(8 * PAGE_SIZE)));
+        assert_eq!(found.len(), 8);
+        assert_eq!(steps, 8 * 4, "complete walks take 4 visits each");
+    }
+
+    #[test]
+    fn table_overhead_is_counted_in_pages() {
+        let mut pt = RadixTable::new();
+        pt.map(Vaddr(0x1000), Pfn(1));
+        // Root + 2 interiors + 1 leaf.
+        assert_eq!(pt.node_count(), 4);
+        assert_eq!(pt.table_bytes(), 4 * PAGE_SIZE);
+    }
+}

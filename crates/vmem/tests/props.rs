@@ -1,0 +1,212 @@
+//! Property-based tests for the vmem substrate.
+
+use proptest::prelude::*;
+use vmem::addr::{Pfn, VaRange, Vaddr, PAGE_SIZE};
+use vmem::bitmap::Bitmap;
+use vmem::pagetable::PageTable;
+use vmem::pfncache::PfnCache;
+use vmem::transfer::{TransferCode, TransferMap};
+
+proptest! {
+    /// A bitmap built from an arbitrary set of indices reports exactly that
+    /// set back, regardless of insertion order and duplicates.
+    #[test]
+    fn bitmap_matches_reference_set(
+        len in 1u64..2048,
+        ops in prop::collection::vec((0u64..2048, any::<bool>()), 0..256),
+    ) {
+        let mut bm = Bitmap::new(len);
+        let mut reference = std::collections::BTreeSet::new();
+        for (idx, set) in ops {
+            let idx = idx % len;
+            if set {
+                bm.set(Pfn(idx));
+                reference.insert(idx);
+            } else {
+                bm.clear(Pfn(idx));
+                reference.remove(&idx);
+            }
+        }
+        prop_assert_eq!(bm.count_set(), reference.len() as u64);
+        let got: Vec<u64> = bm.iter_set().map(|p| p.0).collect();
+        let want: Vec<u64> = reference.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// union/subtract obey set algebra against a reference implementation.
+    #[test]
+    fn bitmap_set_algebra(
+        len in 1u64..512,
+        a_bits in prop::collection::btree_set(0u64..512, 0..64),
+        b_bits in prop::collection::btree_set(0u64..512, 0..64),
+    ) {
+        let mut a = Bitmap::new(len);
+        let mut b = Bitmap::new(len);
+        let a_set: std::collections::BTreeSet<u64> =
+            a_bits.into_iter().map(|x| x % len).collect();
+        let b_set: std::collections::BTreeSet<u64> =
+            b_bits.into_iter().map(|x| x % len).collect();
+        for &x in &a_set { a.set(Pfn(x)); }
+        for &x in &b_set { b.set(Pfn(x)); }
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        let want_union: Vec<u64> = a_set.union(&b_set).copied().collect();
+        prop_assert_eq!(u.iter_set().map(|p| p.0).collect::<Vec<_>>(), want_union);
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        let want_diff: Vec<u64> = a_set.difference(&b_set).copied().collect();
+        prop_assert_eq!(d.iter_set().map(|p| p.0).collect::<Vec<_>>(), want_diff);
+    }
+
+    /// Inward alignment always produces a page-aligned sub-range of the
+    /// original, and it is idempotent.
+    #[test]
+    fn align_inward_is_contracting_and_idempotent(
+        start in 0u64..(1 << 30),
+        len in 0u64..(1 << 22),
+    ) {
+        let r = VaRange::new(Vaddr(start), Vaddr(start + len));
+        let a = r.align_inward();
+        prop_assert!(a.start().is_page_aligned());
+        prop_assert!(a.end().is_page_aligned());
+        prop_assert!(r.contains_range(&a));
+        prop_assert_eq!(a.align_inward(), a);
+    }
+
+    /// difference() + intersect() partition the original range exactly.
+    #[test]
+    fn range_difference_partitions(
+        s1 in 0u64..10_000, l1 in 0u64..10_000,
+        s2 in 0u64..10_000, l2 in 0u64..10_000,
+    ) {
+        let a = VaRange::new(Vaddr(s1), Vaddr(s1 + l1));
+        let b = VaRange::new(Vaddr(s2), Vaddr(s2 + l2));
+        let inter = a.intersect(&b);
+        let parts = a.difference(&b);
+        let covered: u64 = parts.iter().map(|p| p.len()).sum::<u64>() + inter.len();
+        prop_assert_eq!(covered, a.len());
+        for p in &parts {
+            prop_assert!(p.intersect(&b).is_empty());
+        }
+    }
+
+    /// Page-table walks find exactly the mapped pages of the queried range.
+    #[test]
+    fn walk_range_finds_mapped_pages(
+        mapped in prop::collection::btree_map(0u64..256, 0u64..100_000, 0..128),
+        q_start in 0u64..256,
+        q_len in 0u64..256,
+    ) {
+        let mut pt = PageTable::new();
+        for (&vpn, &pfn) in &mapped {
+            pt.map(Vaddr(vpn * PAGE_SIZE), Pfn(pfn));
+        }
+        let range = VaRange::new(
+            Vaddr(q_start * PAGE_SIZE),
+            Vaddr((q_start + q_len) * PAGE_SIZE),
+        );
+        let found = pt.walk_range(range);
+        let want: Vec<(u64, Pfn)> = mapped
+            .range(q_start..q_start + q_len)
+            .map(|(&vpn, &pfn)| (vpn, Pfn(pfn)))
+            .collect();
+        prop_assert_eq!(found, want);
+        prop_assert_eq!(pt.walk_count(), q_len);
+    }
+
+    /// The PFN cache returns each inserted PFN exactly once across any
+    /// sequence of take_range calls.
+    #[test]
+    fn pfn_cache_takes_each_pfn_once(
+        vpns in prop::collection::btree_set(0u64..512, 1..64),
+        cuts in prop::collection::vec((0u64..512, 0u64..64), 1..16),
+    ) {
+        let mut cache = PfnCache::new();
+        for &vpn in &vpns {
+            cache.insert(vpn, Pfn(vpn + 10_000));
+        }
+        let mut taken = Vec::new();
+        for (start, len) in cuts {
+            let r = VaRange::new(
+                Vaddr(start * PAGE_SIZE),
+                Vaddr((start + len) * PAGE_SIZE),
+            );
+            taken.extend(cache.take_range(r));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for pfn in &taken {
+            prop_assert!(seen.insert(pfn.0), "pfn {} returned twice", pfn.0);
+            prop_assert!(vpns.contains(&(pfn.0 - 10_000)));
+        }
+        prop_assert_eq!(taken.len() + cache.len(), vpns.len());
+    }
+
+    /// TransferMap get/set round-trips for arbitrary lanes without
+    /// disturbing neighbours.
+    #[test]
+    fn transfer_map_roundtrip(
+        npages in 1u64..512,
+        writes in prop::collection::vec((0u64..512, 0u8..4), 0..128),
+    ) {
+        let mut tm = TransferMap::new(npages);
+        let mut reference = vec![TransferCode::Plain; npages as usize];
+        for (idx, code) in writes {
+            let idx = idx % npages;
+            let code = match code {
+                0 => TransferCode::Skip,
+                1 => TransferCode::Plain,
+                2 => TransferCode::CompressFast,
+                _ => TransferCode::CompressStrong,
+            };
+            tm.set(Pfn(idx), code);
+            reference[idx as usize] = code;
+        }
+        for i in 0..npages {
+            prop_assert_eq!(tm.get(Pfn(i)), reference[i as usize]);
+        }
+    }
+}
+
+mod radix_equivalence {
+    use proptest::prelude::*;
+    use vmem::addr::{Pfn, VaRange, Vaddr, PAGE_SIZE};
+    use vmem::pagetable::PageTable;
+    use vmem::radix::RadixTable;
+
+    proptest! {
+        /// The radix table and the map-based table agree on every
+        /// operation's result for arbitrary map/unmap sequences.
+        #[test]
+        fn radix_matches_map_table(
+            ops in prop::collection::vec(
+                (0u64..4096, 0u64..100_000, any::<bool>()),
+                0..256,
+            ),
+            q_start in 0u64..4096,
+            q_len in 0u64..512,
+        ) {
+            let mut a = PageTable::new();
+            let mut b = RadixTable::new();
+            for (vpn, pfn, do_map) in ops {
+                let va = Vaddr(vpn * PAGE_SIZE);
+                if do_map {
+                    prop_assert_eq!(a.map(va, Pfn(pfn)), b.map(va, Pfn(pfn)));
+                } else {
+                    prop_assert_eq!(a.unmap(va), b.unmap(va));
+                }
+            }
+            prop_assert_eq!(a.mapped_count(), b.mapped_count());
+            let range = VaRange::new(
+                Vaddr(q_start * PAGE_SIZE),
+                Vaddr((q_start + q_len) * PAGE_SIZE),
+            );
+            let from_a = a.walk_range(range);
+            let (from_b, steps) = b.walk_range(range);
+            prop_assert_eq!(from_a, from_b);
+            // A radix walk takes at most 4 visits per page.
+            prop_assert!(steps <= q_len * 4);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! A memcached-like caching application (§6 extension).
+//!
+//! The paper's framework also applies to applications with caching
+//! functionality: the application registers part of its caching memory as a
+//! skip-over area, effectively shrinking the cache at the destination. When
+//! asked to prepare for suspension it purges the least-recently-used
+//! entries so the remaining valid data are compact, and after resumption it
+//! serves with a colder cache — paying a temporary hit-rate penalty while
+//! the purged region refills.
+
+use guestos::app::GuestApp;
+use guestos::kernel::GuestKernel;
+use guestos::messages::{AppToLkm, LkmToApp};
+use guestos::netlink::NetlinkSocket;
+use guestos::process::Pid;
+use simkit::{DetRng, SimDuration, SimTime};
+use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
+
+/// VA base of the cache region.
+const CACHE_BASE: u64 = 0x7e00_0000_0000;
+
+/// Configuration of the cache application.
+#[derive(Debug, Clone)]
+pub struct CacheAppConfig {
+    /// Total cache memory.
+    pub cache_bytes: u64,
+    /// Fraction of the cache (the LRU tail) offered as skip-over area.
+    pub skip_fraction: f64,
+    /// Cache churn: bytes written per second (inserts and updates).
+    pub write_rate: f64,
+    /// Request throughput at full cache warmth.
+    pub ops_per_sec: f64,
+    /// Fraction of throughput lost right after resuming with the purged
+    /// region cold.
+    pub miss_penalty: f64,
+    /// Seconds to refill the purged region to full warmth.
+    pub refill_secs: f64,
+}
+
+impl Default for CacheAppConfig {
+    fn default() -> Self {
+        Self {
+            cache_bytes: 512 * 1024 * 1024,
+            skip_fraction: 0.5,
+            write_rate: 20e6,
+            ops_per_sec: 10_000.0,
+            miss_penalty: 0.3,
+            refill_secs: 30.0,
+        }
+    }
+}
+
+/// The cache server process.
+pub struct CacheApp {
+    pid: Pid,
+    sock: Option<NetlinkSocket>,
+    region: VaRange,
+    config: CacheAppConfig,
+    rng: DetRng,
+    ops: f64,
+    write_carry: f64,
+    /// Tail purged and considered empty (between prepare and refill).
+    purged: bool,
+    resumed_at: Option<SimTime>,
+}
+
+impl CacheApp {
+    /// Launches the cache app, warming the whole cache region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest cannot back the cache region.
+    pub fn launch(
+        kernel: &mut GuestKernel,
+        config: CacheAppConfig,
+        assisted: bool,
+        rng: DetRng,
+    ) -> Self {
+        let pid = kernel.spawn("cached");
+        let pages = config.cache_bytes / PAGE_SIZE;
+        let region = kernel
+            .alloc_map(pid, Vaddr(CACHE_BASE), pages, PageClass::AppCache)
+            .expect("cache region fits in guest memory");
+        kernel.write_range(pid, region, PageClass::AppCache);
+        let sock = assisted.then(|| kernel.subscribe_netlink(pid));
+        Self {
+            pid,
+            sock,
+            region,
+            config,
+            rng,
+            ops: 0.0,
+            write_carry: 0.0,
+            purged: false,
+            resumed_at: None,
+        }
+    }
+
+    /// The skip-over area: the LRU tail of the cache.
+    pub fn tail_range(&self) -> VaRange {
+        let keep = ((self.region.len() as f64) * (1.0 - self.config.skip_fraction)) as u64;
+        VaRange::new(Vaddr(self.region.start().0 + keep), self.region.end()).align_inward()
+    }
+
+    /// Returns `true` once the tail was purged for a migration.
+    pub fn is_purged(&self) -> bool {
+        self.purged
+    }
+
+    /// Current warmth factor in `[1 - miss_penalty, 1]`.
+    fn warmth(&self, now: SimTime) -> f64 {
+        let Some(resumed) = self.resumed_at else {
+            return 1.0;
+        };
+        let since = now.saturating_since(resumed).as_secs_f64();
+        let progress = (since / self.config.refill_secs).min(1.0);
+        1.0 - self.config.miss_penalty * (1.0 - progress)
+    }
+
+    fn handle_messages(&mut self, now: SimTime) {
+        let Some(sock) = &self.sock else { return };
+        for msg in sock.recv(now) {
+            match msg {
+                LkmToApp::QuerySkipOver => {
+                    // Cache servers register through the /proc entry
+                    // (§3.3.2); the LKM treats it like a netlink report.
+                    guestos::procfs::write_skip_over(sock, now, &[self.tail_range()])
+                        .expect("page-aligned tail range is always valid");
+                }
+                LkmToApp::PrepareSuspension => {
+                    // Purge the LRU tail: the remaining valid entries are
+                    // already compact in the head of the region.
+                    self.purged = true;
+                    sock.send(
+                        now,
+                        AppToLkm::SuspensionReady {
+                            areas: vec![self.tail_range()],
+                            must_send: vec![],
+                        },
+                    );
+                }
+                LkmToApp::VmResumed => {
+                    self.resumed_at = Some(now);
+                }
+            }
+        }
+    }
+}
+
+impl GuestApp for CacheApp {
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn advance(&mut self, now: SimTime, dt: SimDuration, kernel: &mut GuestKernel) {
+        self.handle_messages(now);
+        let warmth = self.warmth(now);
+
+        // Cache churn: updates hit the hot head mostly; inserts refill the
+        // tail once it was purged and the VM resumed.
+        let bytes = self.config.write_rate * dt.as_secs_f64() + self.write_carry;
+        let pages = (bytes / PAGE_SIZE as f64) as u64;
+        self.write_carry = bytes - (pages * PAGE_SIZE) as f64;
+        let total_pages = self.region.page_count();
+        let tail_start_page = self.tail_range().start().vpn() - self.region.start().vpn();
+        for _ in 0..pages {
+            let page = if self.purged && self.resumed_at.is_none() {
+                // Between purge and resume: only the compact head is
+                // touched, keeping the tail empty as the paper requires.
+                self.rng.below(tail_start_page.max(1))
+            } else if self.rng.chance(0.8) {
+                self.rng.below(tail_start_page.max(1))
+            } else {
+                tail_start_page + self.rng.below((total_pages - tail_start_page).max(1))
+            };
+            let va = Vaddr(self.region.start().0 + page * PAGE_SIZE);
+            kernel.write_range(self.pid, VaRange::from_len(va, 1), PageClass::AppCache);
+        }
+
+        self.ops += self.config.ops_per_sec * warmth * dt.as_secs_f64();
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guestos::kernel::GuestOsConfig;
+    use simkit::units::MIB;
+    use vmem::VmSpec;
+
+    fn boot() -> GuestKernel {
+        GuestKernel::boot(
+            GuestOsConfig {
+                spec: VmSpec::new(1024 * MIB, 2),
+                kernel_bytes: 16 * MIB,
+                pagecache_bytes: 16 * MIB,
+                kernel_dirty_rate: 0.0,
+                pagecache_dirty_rate: 0.0,
+            },
+            DetRng::new(2),
+        )
+    }
+
+    #[test]
+    fn launch_warms_cache() {
+        let mut kernel = boot();
+        let app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        let pfn = kernel.translate(app.pid(), Vaddr(CACHE_BASE)).unwrap();
+        assert_eq!(kernel.memory().page(pfn).class, PageClass::AppCache);
+        assert_eq!(kernel.memory().page(pfn).version, 1);
+    }
+
+    #[test]
+    fn tail_is_half_by_default() {
+        let mut kernel = boot();
+        let app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        assert_eq!(app.tail_range().len(), 32 * MIB);
+    }
+
+    #[test]
+    fn warmth_recovers_after_resume() {
+        let mut kernel = boot();
+        let mut app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                write_rate: 0.0,
+                miss_penalty: 0.4,
+                refill_secs: 10.0,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        app.resumed_at = Some(SimTime::ZERO);
+        let cold = app.warmth(SimTime::ZERO);
+        assert!((cold - 0.6).abs() < 1e-9);
+        let mid = app.warmth(SimTime::ZERO + SimDuration::from_secs(5));
+        assert!((mid - 0.8).abs() < 1e-9);
+        let warm = app.warmth(SimTime::ZERO + SimDuration::from_secs(20));
+        assert!((warm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ops_accumulate_with_dt() {
+        let mut kernel = boot();
+        let mut app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                ops_per_sec: 100.0,
+                write_rate: 1e6,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            app.advance(now, SimDuration::from_millis(10), &mut kernel);
+            now += SimDuration::from_millis(10);
+        }
+        let ops = app.ops_completed();
+        assert!((995..=1005).contains(&ops), "ops {ops}");
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! `workloads` — SPECjvm2008-like workload models and auxiliary apps.
+//!
+//! The paper's evaluation rests on nine SPECjvm2008 workloads whose heap
+//! behaviour spans three categories (§5.3). [`catalog`] provides models of
+//! all nine, calibrated to the paper's Tables 2-3 and Figure 5 (allocation
+//! rates, survival fractions, Old-generation footprints, GC costs).
+//! [`analyzer::Analyzer`] reproduces the external throughput probe of §5.1,
+//! and [`cacheapp::CacheApp`] implements the §6 cache-application
+//! extension of the framework.
+
+pub mod analyzer;
+pub mod cacheapp;
+pub mod catalog;
+pub mod spec;
+
+pub use analyzer::Analyzer;
+pub use cacheapp::{CacheApp, CacheAppConfig};
+pub use spec::{Category, WorkloadSpec};

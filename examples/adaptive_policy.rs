@@ -1,0 +1,54 @@
+//! §6 extension: make the framework intelligent.
+//!
+//! Profiles every catalog workload, estimates the workload downtime under
+//! vanilla pre-copy and under JAVMM from the observed heap behaviour, and
+//! picks a migration strategy — turning JAVMM off for workloads where the
+//! enforced GC would not pay for itself (scimark-like cases).
+//!
+//! Run with: `cargo run --release --example adaptive_policy`
+
+use javmm::profiles::profile_heap;
+use migrate::policy::{choose_strategy, Strategy, WorkloadProbe};
+use simkit::units::Bandwidth;
+use simkit::SimDuration;
+use workloads::catalog;
+
+fn main() {
+    println!(
+        "{:<10} {:>9} {:>9} {:>12} {:>12}  choice",
+        "workload", "young(MB)", "gc(s)", "est.Xen(s)", "est.JAVMM(s)"
+    );
+    for spec in catalog::all() {
+        // Observe the workload for two minutes (in simulation time).
+        let profile = profile_heap(
+            &spec,
+            spec.default_young_max,
+            SimDuration::from_secs(120),
+            1,
+        );
+        let probe = WorkloadProbe {
+            vm_bytes: 2 << 30,
+            young_committed: profile.avg_young as u64,
+            alloc_rate: spec.alloc_rate,
+            other_dirty_rate: spec.old_write_rate + 2.5e6,
+            other_ws_bytes: spec.old_ws_bytes + (8 << 20),
+            expected_survivors: profile.gc_live as u64,
+            minor_gc_duration: profile.gc_duration,
+            bandwidth: Bandwidth::gigabit_ethernet(),
+            resume_time: SimDuration::from_millis(170),
+        };
+        let decision = choose_strategy(&probe);
+        println!(
+            "{:<10} {:>9.0} {:>9.2} {:>12.2} {:>12.2}  {}",
+            spec.name,
+            profile.avg_young / (1024.0 * 1024.0),
+            profile.gc_duration.as_secs_f64(),
+            decision.precopy_downtime.as_secs_f64(),
+            decision.javmm_downtime.as_secs_f64(),
+            match decision.strategy {
+                Strategy::Javmm => "JAVMM",
+                Strategy::Precopy => "pre-copy (JAVMM would not pay off)",
+            }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! RemusDB-style high availability with memory deprotection.
+//!
+//! Continuously replicates a derby VM's checkpoints to a backup host, with
+//! and without application assistance. Skip-over memory "also needs no
+//! replication in high-availability systems" (§3.1): deprotecting the Young
+//! generation turns an overloaded replication stream into a comfortable one.
+//!
+//! Run with: `cargo run --release --example checkpoint_ha`
+
+use javmm::vm::{JavaVm, JavaVmConfig};
+use migrate::checkpoint::{CheckpointConfig, CheckpointEngine};
+use simkit::{SimClock, SimDuration};
+use workloads::catalog;
+
+fn main() {
+    for assisted in [false, true] {
+        let mut vm = JavaVm::launch(JavaVmConfig::paper(catalog::derby(), assisted, 13));
+        let mut clock = SimClock::new();
+        vm.run_for(
+            &mut clock,
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(2),
+        );
+
+        let engine = CheckpointEngine::new(CheckpointConfig {
+            epochs: 50,
+            assisted,
+            interval: SimDuration::from_millis(200),
+            ..CheckpointConfig::default()
+        });
+        let report = engine.replicate(&mut vm, &mut clock);
+
+        let throttle: SimDuration = report.epochs.iter().map(|e| e.backlog_wait).sum();
+        let deprotected: u64 = report.epochs.iter().map(|e| e.pages_deprotected).sum();
+        println!(
+            "{}: 50 epochs x 200ms, mean checkpoint {:.1} MB, total {:.2} GB, \
+             snapshot stalls {:.0} ms, guest throttled {:.1}s, \
+             {} pages deprotected",
+            if assisted {
+                "deprotected (JAVMM-assisted)"
+            } else {
+                "plain Remus               "
+            },
+            report.mean_bytes() / 1e6,
+            report.total_bytes as f64 / 1e9,
+            report.total_stall.as_secs_f64() * 1e3,
+            throttle.as_secs_f64(),
+            deprotected,
+        );
+    }
+    println!(
+        "\nthe Young generation churns ~380 MB/s of garbage; without \
+         deprotection every checkpoint carries it across the wire and the \
+         1 Gb/s link cannot keep up."
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: migrate a Java VM with JAVMM in a dozen lines.
+//!
+//! Boots the paper's 2 GiB guest running the crypto workload, warms it up,
+//! migrates it with application assistance, and prints the report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use javmm::orchestrator::{run_scenario, Scenario};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use simkit::units::fmt_bytes;
+use simkit::SimDuration;
+use workloads::catalog;
+
+fn main() {
+    // A 2 GiB / 4 vCPU guest running crypto, with the JAVMM TI agent
+    // loaded (assisted = true), seeded for reproducibility.
+    let vm = JavaVmConfig::paper(catalog::crypto(), true, 42);
+
+    // Warm up for 60 s, migrate over gigabit Ethernet, run 60 s more.
+    let scenario = Scenario::quick(
+        vm,
+        MigrationConfig::javmm_default(),
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(60),
+    );
+    let outcome = run_scenario(&scenario);
+    let report = &outcome.report;
+
+    println!("migrated a crypto VM with JAVMM:");
+    println!("  iterations      : {}", report.iteration_count());
+    println!("  completion time : {}", report.total_duration);
+    println!("  network traffic : {}", fmt_bytes(report.total_bytes));
+    println!(
+        "  downtime        : {} (enforced GC {}, stop-and-copy {}, resume {})",
+        report.downtime.workload_downtime(),
+        report.downtime.enforced_gc,
+        report.downtime.last_iteration,
+        report.downtime.resume,
+    );
+    println!(
+        "  young gen skipped: {}",
+        fmt_bytes(report.pages_skipped_transfer() * vmem::PAGE_SIZE)
+    );
+    println!(
+        "  correctness     : {} mismatched pages",
+        report.verification.mismatched
+    );
+    assert!(report.verification.is_correct());
+}

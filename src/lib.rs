@@ -1,0 +1,18 @@
+//! Root package of the JAVMM reproduction workspace.
+//!
+//! This crate exists to host the repository-level examples
+//! (`examples/`) and cross-crate integration tests (`tests/`); the library
+//! surface lives in the workspace crates, re-exported here for convenience:
+//!
+//! * [`javmm`] — the assembled system (start here),
+//! * [`migrate`], [`jheap`], [`guestos`], [`workloads`], [`netsim`],
+//!   [`vmem`], [`simkit`] — the substrates.
+
+pub use guestos;
+pub use javmm;
+pub use jheap;
+pub use migrate;
+pub use netsim;
+pub use simkit;
+pub use vmem;
+pub use workloads;

@@ -1,0 +1,119 @@
+//! Time-varying (phased) workloads: migration outcomes depend on which
+//! phase pre-copy races, while JAVMM stays insensitive — it skips the Young
+//! generation whether or not a storm is in progress.
+
+use javmm::vm::{JavaVm, JavaVmConfig};
+use jheap::mutator::{MutatorProfile, Phase, PhasedMutator};
+use migrate::config::MigrationConfig;
+use migrate::precopy::PrecopyEngine;
+use migrate::report::MigrationReport;
+use simkit::units::MIB;
+use simkit::{SimClock, SimDuration};
+use workloads::catalog;
+
+fn quiet_profile() -> MutatorProfile {
+    MutatorProfile {
+        alloc_rate: 5e6,
+        old_write_rate: 1e6,
+        old_ws_bytes: 16 * MIB,
+        ops_per_sec: 10.0,
+        eden_survival: 0.02,
+        from_survival: 0.05,
+        safepoint_max: SimDuration::from_millis(50),
+    }
+}
+
+fn storm_profile() -> MutatorProfile {
+    MutatorProfile {
+        alloc_rate: 300e6,
+        ..quiet_profile()
+    }
+}
+
+/// Launches a derby-configured VM whose mutator alternates two phases of
+/// `phase_secs` each, starting with the storm when `storm_first`.
+fn bursty_vm(assisted: bool, phase_secs: u64, storm_first: bool) -> JavaVm {
+    let mut config = JavaVmConfig::paper(catalog::derby(), assisted, 1);
+    config.young_max = Some(512 * MIB);
+    let (a, b) = if storm_first {
+        (storm_profile(), quiet_profile())
+    } else {
+        (quiet_profile(), storm_profile())
+    };
+    let mutator = PhasedMutator::new(
+        "bursty",
+        vec![
+            Phase {
+                duration: SimDuration::from_secs(phase_secs),
+                profile: a,
+            },
+            Phase {
+                duration: SimDuration::from_secs(phase_secs),
+                profile: b,
+            },
+        ],
+    );
+    JavaVm::launch_with_mutator(config, Box::new(mutator))
+}
+
+fn migrate(vm: &mut JavaVm, assisted: bool) -> MigrationReport {
+    let mut clock = SimClock::new();
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(25),
+        SimDuration::from_millis(2),
+    );
+    let config = if assisted {
+        MigrationConfig::javmm_default()
+    } else {
+        MigrationConfig::xen_default()
+    };
+    PrecopyEngine::new(config).migrate(vm, &mut clock)
+}
+
+#[test]
+fn phased_guest_migrates_correctly() {
+    for assisted in [false, true] {
+        let mut vm = bursty_vm(assisted, 10, false);
+        let report = migrate(&mut vm, assisted);
+        assert!(
+            report.verification.is_correct(),
+            "assisted={assisted}: {:?}",
+            report.verification
+        );
+    }
+}
+
+#[test]
+fn storm_phase_hurts_precopy_much_more_than_javmm() {
+    // A long storm phase means vanilla pre-copy races 300 MB/s of garbage.
+    let mut storm_xen = bursty_vm(false, 120, true);
+    let xen = migrate(&mut storm_xen, false);
+    let mut storm_javmm = bursty_vm(true, 120, true);
+    let javmm = migrate(&mut storm_javmm, true);
+    assert!(
+        javmm.total_duration.as_secs_f64() < xen.total_duration.as_secs_f64() * 0.5,
+        "JAVMM {} vs Xen {}",
+        javmm.total_duration,
+        xen.total_duration
+    );
+    assert!(javmm.total_bytes < xen.total_bytes / 2);
+}
+
+#[test]
+fn quiet_phase_lets_precopy_converge() {
+    // Migrating entirely within a long quiet phase: pre-copy converges and
+    // the storm never materializes during migration.
+    let mut vm = bursty_vm(false, 600, false);
+    let report = migrate(&mut vm, false);
+    assert!(report.verification.is_correct());
+    assert!(
+        report.downtime.vm_downtime() < SimDuration::from_millis(600),
+        "quiet-phase migration should converge, downtime {}",
+        report.downtime.vm_downtime()
+    );
+    assert!(
+        report.total_bytes < 3 * (2u64 << 30) / 2,
+        "little retransmission"
+    );
+}

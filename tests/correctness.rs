@@ -1,0 +1,146 @@
+//! Migration correctness across the whole workload catalog.
+//!
+//! Every page the protocol promises to transfer must hold the source's
+//! final content version at the destination; the only excusable staleness
+//! is declared garbage (skip-over areas) and free frames. This must hold
+//! for every workload, assisted or not.
+
+use javmm::orchestrator::{run_scenario, Scenario};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use simkit::SimDuration;
+use workloads::catalog;
+
+fn check(name: &str, assisted: bool, seed: u64) {
+    let spec = catalog::by_name(name).expect("workload exists");
+    let vm = JavaVmConfig::paper(spec, assisted, seed);
+    let migration = if assisted {
+        MigrationConfig::javmm_default()
+    } else {
+        MigrationConfig::xen_default()
+    };
+    let out = run_scenario(&Scenario::quick(
+        vm,
+        migration,
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(5),
+    ));
+    let v = &out.report.verification;
+    assert_eq!(v.mismatched, 0, "{name} assisted={assisted}: {v:?}");
+    if assisted {
+        assert!(
+            v.excused_skipped > 0,
+            "{name}: assisted migration should actually skip pages"
+        );
+        assert_eq!(out.report.stragglers, 0, "{name}: TI agent must not lag");
+    } else {
+        assert_eq!(
+            out.report.pages_skipped_transfer(),
+            0,
+            "{name}: vanilla migration must not consult a transfer bitmap"
+        );
+    }
+}
+
+#[test]
+fn all_workloads_migrate_correctly_with_javmm() {
+    for w in catalog::all() {
+        check(w.name, true, 1);
+    }
+}
+
+#[test]
+fn all_workloads_migrate_correctly_with_xen() {
+    for w in catalog::all() {
+        check(w.name, false, 1);
+    }
+}
+
+#[test]
+fn correctness_holds_across_seeds() {
+    for seed in [2, 3, 4] {
+        check("derby", true, seed);
+        check("scimark", true, seed);
+    }
+}
+
+#[test]
+fn traffic_breakdown_reflects_skipping() {
+    use javmm::orchestrator::{run_scenario, Scenario};
+    use javmm::vm::JavaVmConfig;
+    use vmem::PageClass;
+
+    let run = |assisted: bool| {
+        let vm = JavaVmConfig::paper(catalog::by_name("derby").unwrap(), assisted, 1);
+        let migration = if assisted {
+            MigrationConfig::javmm_default()
+        } else {
+            MigrationConfig::xen_default()
+        };
+        run_scenario(&Scenario::quick(
+            vm,
+            migration,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+        ))
+    };
+    let xen = run(false);
+    let javmm = run(true);
+
+    // The breakdown accounts for every byte.
+    assert_eq!(xen.report.traffic_by_class.total(), xen.report.total_bytes);
+    assert_eq!(
+        javmm.report.traffic_by_class.total(),
+        javmm.report.total_bytes
+    );
+
+    // Vanilla migration's traffic is dominated by Young-generation garbage;
+    // JAVMM's Young traffic collapses to (at most) the first-sweep residue
+    // while Old-generation traffic stays comparable.
+    let xen_young = xen.report.traffic_by_class.get(PageClass::HeapYoung);
+    let javmm_young = javmm.report.traffic_by_class.get(PageClass::HeapYoung);
+    assert!(
+        javmm_young < xen_young / 10,
+        "young traffic: JAVMM {javmm_young} vs Xen {xen_young}"
+    );
+    let xen_old = xen.report.traffic_by_class.get(PageClass::HeapOld);
+    let javmm_old = javmm.report.traffic_by_class.get(PageClass::HeapOld);
+    assert!(
+        javmm_old > xen_old / 4,
+        "old traffic should not collapse: {javmm_old} vs {xen_old}"
+    );
+    // Largest class for Xen is the Young generation.
+    let (top_class, _) = xen.report.traffic_by_class.sorted()[0];
+    assert_eq!(top_class, PageClass::HeapYoung);
+}
+
+#[test]
+fn jvm_language_runtimes_leverage_javmm_as_is() {
+    // §6: Jython and JRuby run on the JVM and use its collectors, so the
+    // unmodified TI agent covers them.
+    for name in ["jython", "jruby"] {
+        let spec = catalog::by_name(name).expect("JVM-language workload");
+        let xen_vm = JavaVmConfig::paper(spec.clone(), false, 1);
+        let javmm_vm = JavaVmConfig::paper(spec, true, 1);
+        let xen = run_scenario(&Scenario::quick(
+            xen_vm,
+            MigrationConfig::xen_default(),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+        ));
+        let javmm = run_scenario(&Scenario::quick(
+            javmm_vm,
+            MigrationConfig::javmm_default(),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+        ));
+        assert!(xen.report.verification.is_correct());
+        assert!(javmm.report.verification.is_correct());
+        assert!(
+            javmm.report.total_bytes < xen.report.total_bytes / 3,
+            "{name}: {} vs {}",
+            javmm.report.total_bytes,
+            xen.report.total_bytes
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Determinism and seed-sensitivity of the whole stack.
+
+use javmm::orchestrator::{run_scenario, Scenario, ScenarioOutcome};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use simkit::SimDuration;
+use workloads::catalog;
+
+fn run(seed: u64) -> ScenarioOutcome {
+    run_scenario(&Scenario::quick(
+        JavaVmConfig::paper(catalog::crypto(), true, seed),
+        MigrationConfig::javmm_default(),
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(5),
+    ))
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a.report.total_bytes, b.report.total_bytes);
+    assert_eq!(a.report.total_duration, b.report.total_duration);
+    assert_eq!(a.report.iteration_count(), b.report.iteration_count());
+    assert_eq!(
+        a.report.downtime.workload_downtime(),
+        b.report.downtime.workload_downtime()
+    );
+    assert_eq!(a.report.cpu_time, b.report.cpu_time);
+    assert_eq!(a.observed.young, b.observed.young);
+    assert_eq!(a.observed.old, b.observed.old);
+    for (x, y) in a.report.iterations.iter().zip(&b.report.iterations) {
+        assert_eq!(x.pages_sent, y.pages_sent);
+        assert_eq!(x.pages_skipped_dirty, y.pages_skipped_dirty);
+        assert_eq!(x.pages_skipped_transfer, y.pages_skipped_transfer);
+        assert_eq!(x.duration, y.duration);
+    }
+    assert_eq!(a.throughput, b.throughput);
+}
+
+#[test]
+fn different_seeds_differ_but_agree_qualitatively() {
+    let a = run(1);
+    let b = run(2);
+    // Different randomness: at least some observable difference.
+    assert_ne!(
+        (a.report.total_bytes, a.report.total_duration),
+        (b.report.total_bytes, b.report.total_duration)
+    );
+    // But the same physics: within 15% on headline metrics.
+    let ratio = a.report.total_duration.as_secs_f64() / b.report.total_duration.as_secs_f64();
+    assert!((0.85..1.18).contains(&ratio), "time ratio {ratio}");
+    let tratio = a.report.total_bytes as f64 / b.report.total_bytes as f64;
+    assert!((0.85..1.18).contains(&tratio), "traffic ratio {tratio}");
+}

@@ -1,0 +1,257 @@
+//! Framework-level behaviour: multiple assisting applications, cache
+//! skip-over, stragglers, and repeated migrations of the same VM.
+
+use guestos::app::GuestApp;
+use guestos::kernel::GuestKernel;
+use guestos::netlink::NetlinkSocket;
+use guestos::process::Pid;
+use javmm::vm::{JavaVm, JavaVmConfig};
+use migrate::config::MigrationConfig;
+use migrate::precopy::PrecopyEngine;
+use migrate::vmhost::MigratableVm;
+use simkit::units::MIB;
+use simkit::{DetRng, SimClock, SimDuration, SimTime};
+use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
+use workloads::cacheapp::{CacheApp, CacheAppConfig};
+use workloads::catalog;
+
+fn small_vm(assisted: bool, seed: u64) -> JavaVm {
+    let mut config = JavaVmConfig::paper(catalog::mpeg(), assisted, seed);
+    config.young_max = Some(256 * MIB);
+    JavaVm::launch(config)
+}
+
+#[test]
+fn jvm_plus_cache_app_both_skip() {
+    let mut vm = small_vm(true, 1);
+    let cache = CacheApp::launch(
+        vm.kernel_handle(),
+        CacheAppConfig {
+            cache_bytes: 256 * MIB,
+            skip_fraction: 0.5,
+            write_rate: 10e6,
+            ..CacheAppConfig::default()
+        },
+        true,
+        DetRng::new(2),
+    );
+    vm.add_app(Box::new(cache));
+
+    let mut clock = SimClock::new();
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(20),
+        SimDuration::from_millis(2),
+    );
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+
+    assert!(
+        report.verification.is_correct(),
+        "{:?}",
+        report.verification
+    );
+    assert_eq!(report.stragglers, 0);
+    // At least the Young generation (~256 MiB committed) AND the cache tail
+    // (128 MiB) were skipped.
+    let skipped_bytes = report.verification.excused_skipped * PAGE_SIZE;
+    assert!(
+        skipped_bytes > 200 * MIB,
+        "skipped only {skipped_bytes} bytes"
+    );
+}
+
+/// An application that subscribes to assist but never answers — the §6
+/// non-cooperative case the straggler timeout exists for.
+struct DeadbeatApp {
+    pid: Pid,
+    sock: NetlinkSocket,
+    region: VaRange,
+    replied_once: bool,
+}
+
+impl DeadbeatApp {
+    fn launch(kernel: &mut GuestKernel) -> Self {
+        let pid = kernel.spawn("deadbeat");
+        let region = kernel
+            .alloc_map(pid, Vaddr(0x7d00_0000_0000), 4096, PageClass::Anon)
+            .expect("fits");
+        kernel.write_range(pid, region, PageClass::Anon);
+        let sock = kernel.subscribe_netlink(pid);
+        Self {
+            pid,
+            sock,
+            region,
+            replied_once: false,
+        }
+    }
+}
+
+impl GuestApp for DeadbeatApp {
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn advance(&mut self, now: SimTime, _dt: SimDuration, _kernel: &mut GuestKernel) {
+        for msg in self.sock.recv(now) {
+            // Reports a skip-over area once, then goes silent: never
+            // answers PrepareSuspension.
+            if let guestos::messages::LkmToApp::QuerySkipOver = msg {
+                if !self.replied_once {
+                    self.replied_once = true;
+                    self.sock.send(
+                        now,
+                        guestos::messages::AppToLkm::SkipOverAreas(vec![self.region]),
+                    );
+                }
+            }
+        }
+    }
+
+    fn ops_completed(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn straggler_app_is_unskipped_and_migration_stays_correct() {
+    // Shorten the LKM deadline so the test stays fast.
+    let mut config = JavaVmConfig::paper(catalog::mpeg(), true, 3);
+    config.young_max = Some(256 * MIB);
+    config.lkm.reply_timeout = SimDuration::from_millis(500);
+    let mut vm = JavaVm::launch(config);
+    let deadbeat = DeadbeatApp::launch(vm.kernel_handle());
+    let dead_region = deadbeat.region;
+    let dead_pid = deadbeat.pid;
+    vm.add_app(Box::new(deadbeat));
+
+    let mut clock = SimClock::new();
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(15),
+        SimDuration::from_millis(2),
+    );
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+
+    assert_eq!(report.stragglers, 1, "the deadbeat must be timed out");
+    assert!(
+        report.verification.is_correct(),
+        "{:?}",
+        report.verification
+    );
+    // The deadbeat's memory was forcibly un-skipped: its pages must be
+    // transferable at pause time.
+    let pfn = vm
+        .kernel()
+        .translate(dead_pid, dead_region.start())
+        .unwrap();
+    assert!(vm.kernel().lkm().unwrap().should_transfer(pfn));
+}
+
+#[test]
+fn same_vm_can_be_migrated_twice() {
+    // After VmResumed the LKM re-initializes; a second migration of the
+    // same guest must work and stay correct.
+    let mut vm = small_vm(true, 5);
+    let mut clock = SimClock::new();
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(15),
+        SimDuration::from_millis(2),
+    );
+
+    let engine = PrecopyEngine::new(MigrationConfig::javmm_default());
+    let first = engine.migrate(&mut vm, &mut clock);
+    assert!(first.verification.is_correct());
+
+    // Keep running (the resume notification must drain and release the
+    // safepoint hold), then migrate again.
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(15),
+        SimDuration::from_millis(2),
+    );
+    assert!(!vm.jvm().is_held(), "threads released after resume");
+    let second = engine.migrate(&mut vm, &mut clock);
+    assert!(
+        second.verification.is_correct(),
+        "{:?}",
+        second.verification
+    );
+    assert!(
+        second.pages_skipped_transfer() > 0,
+        "assistance worked again"
+    );
+}
+
+#[test]
+fn unassisted_jvm_in_assisted_engine_times_out_gracefully() {
+    // The LKM is loaded but the JVM has no TI agent: nobody ever replies.
+    // With no registered skip-over areas the LKM proceeds immediately.
+    let mut vm = small_vm(false, 7);
+    let mut clock = SimClock::new();
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(10),
+        SimDuration::from_millis(2),
+    );
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+    assert!(report.verification.is_correct());
+    assert_eq!(report.pages_skipped_transfer(), 0);
+    assert_eq!(report.stragglers, 0);
+}
+
+#[test]
+fn two_jvms_in_one_guest_both_assist() {
+    use guestos::kernel::GuestOsConfig;
+    use jheap::jvm::JvmProcess;
+    use simkit::units::GIB;
+    use simkit::DetRng;
+    use workloads::spec::WorkloadSpec;
+
+    // A 3 GiB guest hosting two JVMs (§6 "support large and multiple
+    // applications"): a derby-like service and a crypto-like one, each with
+    // its own TI agent and Young generation.
+    let mut config = JavaVmConfig::paper(catalog::derby(), true, 11);
+    config.os = GuestOsConfig::sized(3 * GIB);
+    config.young_max = Some(512 * MIB);
+    let mut vm = JavaVm::launch(config);
+
+    let second_spec: WorkloadSpec = catalog::crypto();
+    let second = JvmProcess::launch(
+        vm.kernel_handle(),
+        second_spec.jvm_config(512 * MIB),
+        second_spec.mutator(),
+        true,
+        DetRng::new(12),
+    );
+    vm.add_app(Box::new(second));
+
+    let mut clock = SimClock::new();
+    vm.run_for(
+        &mut clock,
+        SimDuration::from_secs(25),
+        SimDuration::from_millis(2),
+    );
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+
+    assert!(
+        report.verification.is_correct(),
+        "{:?}",
+        report.verification
+    );
+    assert_eq!(report.stragglers, 0, "both agents must cooperate");
+    // Both Young generations (2 x 512 MiB committed) were skipped: far more
+    // than one JVM could account for.
+    let skipped = report.verification.excused_skipped * PAGE_SIZE;
+    assert!(
+        skipped > 700 * MIB,
+        "only {skipped} bytes skipped — did both JVMs assist?"
+    );
+    // Both JVMs registered their (512 MiB) Young generations.
+    let lkm = report.lkm.as_ref().expect("assisted");
+    assert_eq!(
+        lkm.first_update_pages,
+        2 * 512 * MIB / PAGE_SIZE,
+        "both Young generations must be skip-marked"
+    );
+}
