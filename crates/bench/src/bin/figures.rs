@@ -1,32 +1,42 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! Usage:
-//!   figures [--quick] [--out DIR] [fig1|fig5|fig8|fig10|fig11|fig12|table1|table2|table3|ablations|all]
+//!   figures [--quick] [--out DIR] [--trace FILE] [fig1|fig5|fig8|fig10|fig11|fig12|table1|table2|table3|ablations|all]
 //!
 //! `--quick` (or JAVMM_BENCH=quick) shortens warmups and uses two seeds.
 //! `--out DIR` additionally writes each section to `DIR/<name>.txt`.
+//! `--trace FILE` flight-records each figure migration and writes the last
+//! run as a Chrome trace (plus a `.jsonl` flight log) to FILE; combine with
+//! a single-figure target, e.g. `figures --quick fig10 --trace t.json`.
 
 use javmm_bench::{ablations, figs, FigOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let opts = if quick {
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_dir = flag_value("--out");
+    let mut opts = if quick {
         FigOpts::quick()
     } else {
         FigOpts::from_env()
     };
+    opts.trace = flag_value("--trace");
     let targets: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && (*i == 0 || args.get(i - 1).map(String::as_str) != Some("--out"))
+                && (*i == 0
+                    || !matches!(
+                        args.get(i - 1).map(String::as_str),
+                        Some("--out") | Some("--trace")
+                    ))
         })
         .map(|(_, a)| a.as_str())
         .collect();

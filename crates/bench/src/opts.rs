@@ -3,7 +3,7 @@
 use simkit::SimDuration;
 
 /// How thoroughly to run the figure generators.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FigOpts {
     /// Independent seeds per data point (the paper repeats ≥3 times).
     pub seeds: u64,
@@ -13,6 +13,11 @@ pub struct FigOpts {
     pub tail: SimDuration,
     /// Duration of the heap-profiling runs (Figure 5).
     pub profile: SimDuration,
+    /// Record each figure migration with the flight recorder and export a
+    /// Chrome trace (plus a `.jsonl` flight log) to this path. The file is
+    /// rewritten per run — the last migration wins — so pair it with a
+    /// single-figure filter (e.g. `figures --quick fig10 --trace t.json`).
+    pub trace: Option<String>,
 }
 
 impl FigOpts {
@@ -23,6 +28,7 @@ impl FigOpts {
             warmup: SimDuration::from_secs(300),
             tail: SimDuration::from_secs(150),
             profile: SimDuration::from_secs(300),
+            trace: None,
         }
     }
 
@@ -33,6 +39,7 @@ impl FigOpts {
             warmup: SimDuration::from_secs(45),
             tail: SimDuration::from_secs(45),
             profile: SimDuration::from_secs(60),
+            trace: None,
         }
     }
 

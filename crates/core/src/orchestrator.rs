@@ -8,7 +8,7 @@ use crate::vm::{JavaVm, JavaVmConfig};
 use migrate::config::MigrationConfig;
 use migrate::precopy::PrecopyEngine;
 use migrate::report::MigrationReport;
-use simkit::{SimClock, SimDuration};
+use simkit::{Recorder, SimClock, SimDuration};
 
 /// A full experimental scenario.
 #[derive(Debug, Clone)]
@@ -86,6 +86,13 @@ pub struct ScenarioOutcome {
 
 /// Runs one scenario to completion.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario_recorded(scenario, Recorder::disabled())
+}
+
+/// Like [`run_scenario`] but with a cross-layer flight recorder attached
+/// for the migration window; the frozen snapshot lands in
+/// `outcome.report.telemetry` (export it with [`simkit::telemetry::export`]).
+pub fn run_scenario_recorded(scenario: &Scenario, recorder: Recorder) -> ScenarioOutcome {
     let mut vm = JavaVm::launch(scenario.vm.clone());
     let mut clock = SimClock::new();
 
@@ -97,7 +104,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let started_at = clock.now().as_secs_f64();
 
     let engine = PrecopyEngine::new(scenario.migration.clone());
-    let report = engine.migrate(&mut vm, &mut clock);
+    let report = engine.migrate_recorded(&mut vm, &mut clock, recorder);
     let ended_at = clock.now().as_secs_f64();
 
     // Keep running at the destination for the rest of the ten minutes.

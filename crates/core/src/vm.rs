@@ -205,6 +205,11 @@ impl MigratableVm for JavaVm {
             .find(|r| r.kind == GcKind::EnforcedMinor)
             .map(|r| r.duration)
     }
+
+    fn attach_telemetry(&mut self, recorder: simkit::Recorder) {
+        self.kernel.attach_telemetry(recorder.clone());
+        self.jvm.attach_telemetry(recorder);
+    }
 }
 
 impl core::fmt::Debug for JavaVm {

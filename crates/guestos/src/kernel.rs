@@ -186,6 +186,15 @@ impl GuestKernel {
         self.lkm.as_ref()
     }
 
+    /// Attaches a telemetry recorder to the loaded LKM (no-op when no LKM
+    /// is loaded): state transitions, bitmap-update spans and walk counters
+    /// of subsequent migrations are recorded into it.
+    pub fn attach_telemetry(&mut self, recorder: simkit::Recorder) {
+        if let Some(lkm) = &mut self.lkm {
+            lkm.attach_telemetry(recorder);
+        }
+    }
+
     /// Subscribes an application to the LKM's netlink multicast group.
     pub fn subscribe_netlink(&self, pid: Pid) -> NetlinkSocket {
         self.netlink.subscribe(pid)

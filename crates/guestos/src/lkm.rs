@@ -19,7 +19,7 @@ use crate::evtchn::{channel_pair, LkmPort};
 use crate::messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
 use crate::netlink::KernelNetlink;
 use crate::process::{Pid, Process};
-use simkit::{SimDuration, SimTime};
+use simkit::{Recorder, SimDuration, SimTime, Subsystem};
 use std::collections::BTreeMap;
 use vmem::addr::subtract_ranges;
 use vmem::{Pfn, PfnCache, TransferBitmap, VaRange};
@@ -72,6 +72,18 @@ pub enum LkmState {
     SuspensionReady,
 }
 
+impl LkmState {
+    /// Stable upper-case name used in telemetry state-transition events.
+    pub fn name(self) -> &'static str {
+        match self {
+            LkmState::Initialized => "INITIALIZED",
+            LkmState::MigrationStarted => "MIGRATION_STARTED",
+            LkmState::EnteringLastIter => "ENTERING_LAST_ITER",
+            LkmState::SuspensionReady => "SUSPENSION_READY",
+        }
+    }
+}
+
 /// Counters and timings the LKM accumulates across one migration.
 #[derive(Debug, Clone, Default)]
 pub struct LkmStats {
@@ -115,6 +127,7 @@ pub struct Lkm {
     prepare_deadline: Option<SimTime>,
     pending_final_update: SimDuration,
     stats: LkmStats,
+    telemetry: Recorder,
 }
 
 impl Lkm {
@@ -133,14 +146,33 @@ impl Lkm {
                 prepare_deadline: None,
                 pending_final_update: SimDuration::ZERO,
                 stats: LkmStats::default(),
+                telemetry: Recorder::disabled(),
             },
             daemon_port,
         )
     }
 
+    /// Attaches a telemetry recorder; every state transition, bitmap-update
+    /// span and walk counter of subsequent migrations lands in it.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.telemetry = recorder;
+    }
+
     /// Returns the current operating state.
     pub fn state(&self) -> LkmState {
         self.state
+    }
+
+    /// Moves to `to`, emitting a telemetry state-transition event.
+    fn set_state(&mut self, now: SimTime, to: LkmState) {
+        let from = self.state;
+        self.state = to;
+        self.telemetry.instant(
+            now,
+            Subsystem::Lkm,
+            "state_transition",
+            vec![("from", from.name().into()), ("to", to.name().into())],
+        );
     }
 
     /// Returns whether a page should be transferred when dirty.
@@ -183,7 +215,7 @@ impl Lkm {
     fn on_daemon_msg(&mut self, now: SimTime, msg: DaemonToLkm) {
         match msg {
             DaemonToLkm::MigrationBegin => {
-                self.state = LkmState::MigrationStarted;
+                self.set_state(now, LkmState::MigrationStarted);
                 self.stats = LkmStats::default();
                 self.pending_final_update = SimDuration::ZERO;
                 for rec in self.apps.values_mut() {
@@ -193,13 +225,13 @@ impl Lkm {
                 self.netlink.multicast(now, LkmToApp::QuerySkipOver);
             }
             DaemonToLkm::EnteringLastIter => {
-                self.state = LkmState::EnteringLastIter;
+                self.set_state(now, LkmState::EnteringLastIter);
                 self.prepare_deadline = Some(now + self.config.reply_timeout);
                 self.netlink.multicast(now, LkmToApp::PrepareSuspension);
             }
             DaemonToLkm::VmResumed => {
                 self.netlink.multicast(now, LkmToApp::VmResumed);
-                self.reset_after_migration();
+                self.reset_after_migration(now);
             }
         }
     }
@@ -214,12 +246,12 @@ impl Lkm {
         match msg {
             AppToLkm::SkipOverAreas(areas) => {
                 if self.state == LkmState::MigrationStarted {
-                    self.first_update(pid, &areas, procs);
+                    self.first_update(now, pid, &areas, procs);
                 }
             }
             AppToLkm::AreaShrunk { left } => {
                 if self.state != LkmState::Initialized && !self.config.rewalk_final_update {
-                    self.shrink_update(pid, &left);
+                    self.shrink_update(now, pid, &left);
                 }
             }
             AppToLkm::SuspensionReady { areas, must_send } => {
@@ -232,7 +264,13 @@ impl Lkm {
 
     /// First transfer-bitmap update: clear the bits of every page found in
     /// the application's skip-over areas, caching the PFNs (§3.3.4).
-    fn first_update(&mut self, pid: Pid, areas: &[VaRange], procs: &mut BTreeMap<Pid, Process>) {
+    fn first_update(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        areas: &[VaRange],
+        procs: &mut BTreeMap<Pid, Process>,
+    ) {
         let Some(proc) = procs.get_mut(&pid) else {
             return;
         };
@@ -253,15 +291,31 @@ impl Lkm {
             }
             rec.areas.push(aligned);
         }
+        let cost = self.parallel_cost(walked, cleared);
         self.stats.first_update_pages += cleared;
-        self.stats.first_update_duration += self.parallel_cost(walked, cleared);
+        self.stats.first_update_duration += cost;
         self.stats.peak_cache_bytes = self.stats.peak_cache_bytes.max(self.cache_bytes());
+        self.telemetry
+            .counter_add(Subsystem::Lkm, "pages_walked", walked);
+        self.telemetry
+            .counter_add(Subsystem::Lkm, "bits_cleared", cleared);
+        self.telemetry.record_span(
+            now,
+            Subsystem::Lkm,
+            "first_bitmap_update",
+            cost,
+            vec![
+                ("pid", pid.0.into()),
+                ("walked", walked.into()),
+                ("cleared", cleared.into()),
+            ],
+        );
     }
 
     /// Immediate shrink update: the PFNs of pages leaving an area are fetched
     /// from the PFN cache (not the page tables — the frames may already be
     /// reclaimed) and their transfer bits are set (§3.3.4).
-    fn shrink_update(&mut self, pid: Pid, left: &[VaRange]) {
+    fn shrink_update(&mut self, now: SimTime, pid: Pid, left: &[VaRange]) {
         let Some(rec) = self.apps.get_mut(&pid) else {
             return;
         };
@@ -280,6 +334,14 @@ impl Lkm {
             .filter(|r| !r.is_empty())
             .collect();
         self.stats.shrink_pages += set;
+        self.telemetry.counter_add(Subsystem::Lkm, "bits_set", set);
+        self.telemetry.record_span(
+            now,
+            Subsystem::Lkm,
+            "shrink_update",
+            self.config.bit_cost_per_page * set,
+            vec![("pid", pid.0.into()), ("pages", set.into())],
+        );
     }
 
     /// Final transfer-bitmap update for one suspension-ready application:
@@ -287,7 +349,7 @@ impl Lkm {
     /// `must_send` ranges (the From space holding enforced-GC survivors).
     fn final_update_for(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         pid: Pid,
         new_areas: &[VaRange],
         must_send: &[VaRange],
@@ -362,8 +424,22 @@ impl Lkm {
 
         rec.areas = new_aligned;
         rec.suspension_ready = true;
-        self.pending_final_update += self.parallel_cost(walked, flips);
+        let cost = self.parallel_cost(walked, flips);
+        self.pending_final_update += cost;
         self.stats.peak_cache_bytes = self.stats.peak_cache_bytes.max(self.cache_bytes());
+        self.telemetry
+            .counter_add(Subsystem::Lkm, "pages_walked", walked);
+        self.telemetry.record_span(
+            now,
+            Subsystem::Lkm,
+            "final_update_walk",
+            cost,
+            vec![
+                ("pid", pid.0.into()),
+                ("walked", walked.into()),
+                ("flips", flips.into()),
+            ],
+        );
     }
 
     /// Forcibly un-skips the pages of applications that missed the reply
@@ -380,7 +456,7 @@ impl Lkm {
             return;
         }
         let mut flips = 0u64;
-        for rec in self.apps.values_mut() {
+        for (&pid, rec) in self.apps.iter_mut() {
             if !rec.suspension_ready {
                 for pfn in rec.cache_drain() {
                     if self.transfer.set(pfn) {
@@ -391,6 +467,12 @@ impl Lkm {
                 rec.suspension_ready = true;
                 rec.straggler = true;
                 self.stats.stragglers += 1;
+                self.telemetry.instant(
+                    now,
+                    Subsystem::Lkm,
+                    "straggler_forced",
+                    vec![("pid", pid.0.into())],
+                );
             }
         }
         self.pending_final_update += self.config.bit_cost_per_page * flips;
@@ -406,8 +488,34 @@ impl Lkm {
         // Applications that never reported areas have no record; they are
         // not waited for (they never subscribed intent to assist).
         if all_ready {
-            self.state = LkmState::SuspensionReady;
+            self.set_state(now, LkmState::SuspensionReady);
             self.stats.final_update_duration = self.pending_final_update;
+            // The final update's work finished "just now": back-date the
+            // span so it covers the accumulated walk + flip cost.
+            let start = SimTime::from_nanos(
+                now.as_nanos()
+                    .saturating_sub(self.pending_final_update.as_nanos()),
+            );
+            self.telemetry.record_span(
+                start,
+                Subsystem::Lkm,
+                "final_bitmap_update",
+                self.pending_final_update,
+                vec![
+                    ("expand_pages", self.stats.final_expand_pages.into()),
+                    ("set_pages", self.stats.final_set_pages.into()),
+                    ("stragglers", self.stats.stragglers.into()),
+                ],
+            );
+            self.telemetry.instant(
+                now,
+                Subsystem::Lkm,
+                "ready_to_suspend",
+                vec![
+                    ("final_update", self.pending_final_update.into()),
+                    ("stragglers", self.stats.stragglers.into()),
+                ],
+            );
             self.port.send(
                 now,
                 LkmToDaemon::ReadyToSuspend {
@@ -419,8 +527,8 @@ impl Lkm {
         }
     }
 
-    fn reset_after_migration(&mut self) {
-        self.state = LkmState::Initialized;
+    fn reset_after_migration(&mut self, now: SimTime) {
+        self.set_state(now, LkmState::Initialized);
         self.transfer.reset();
         for rec in self.apps.values_mut() {
             rec.areas.clear();

@@ -21,7 +21,8 @@ use crate::mutator::Mutator;
 use guestos::app::GuestApp;
 use guestos::kernel::{GuestKernel, WriteOutcome};
 use guestos::process::Pid;
-use simkit::{DetRng, SimDuration, SimTime};
+use simkit::telemetry::SpanId;
+use simkit::{DetRng, Recorder, SimDuration, SimTime, Subsystem};
 use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
 
 /// Cost of one log-dirty (shadow paging) fault.
@@ -81,6 +82,8 @@ pub struct JvmProcess {
     fault_debt: SimDuration,
     stats: JvmStats,
     pending_shrunk: Vec<VaRange>,
+    telemetry: Recorder,
+    hold_span: Option<SpanId>,
 }
 
 impl JvmProcess {
@@ -139,7 +142,16 @@ impl JvmProcess {
             fault_debt: SimDuration::ZERO,
             stats: JvmStats::default(),
             pending_shrunk: Vec::new(),
+            telemetry: Recorder::disabled(),
+            hold_span: None,
         }
+    }
+
+    /// Attaches a telemetry recorder: GC pauses become `Gc` spans,
+    /// safepoint holds become `Jvm` spans, heap occupancy is sampled as
+    /// gauges and log-dirty faults are counted.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.telemetry = recorder;
     }
 
     /// The heap (for profiling and tests).
@@ -169,9 +181,13 @@ impl JvmProcess {
         let penalty = FAULT_COST * out.faults;
         self.fault_debt += penalty;
         self.stats.fault_time += penalty;
+        if out.faults > 0 {
+            self.telemetry
+                .counter_add(Subsystem::Jvm, "log_dirty_faults", out.faults);
+        }
     }
 
-    fn start_safepoint(&mut self, enforced: bool) {
+    fn start_safepoint(&mut self, now: SimTime, enforced: bool) {
         let profile = self.mutator.profile();
         let wait = if enforced {
             // The enforced GC arrives asynchronously: threads finish their
@@ -180,6 +196,13 @@ impl JvmProcess {
         } else {
             ALLOC_SAFEPOINT
         };
+        self.telemetry.record_span(
+            now,
+            Subsystem::Jvm,
+            "safepoint_reach",
+            wait,
+            vec![("enforced", enforced.into())],
+        );
         self.state = ExecState::ReachingSafepoint {
             remaining: wait,
             enforced,
@@ -197,6 +220,31 @@ impl JvmProcess {
             .heap
             .perform_minor_gc(kernel, &mut self.rng, &profile, now, kind);
         self.charge(writes);
+        self.telemetry.record_span(
+            now,
+            Subsystem::Gc,
+            if enforced { "enforced_gc" } else { "minor_gc" },
+            rec.duration,
+            vec![
+                ("eden_used_before", rec.eden_used_before.into()),
+                ("live_copied", rec.live_copied.into()),
+                ("promoted", rec.promoted.into()),
+                ("garbage_collected", rec.garbage_collected.into()),
+            ],
+        );
+        // Post-GC heap occupancy, sampled at the pause start instant.
+        self.telemetry.gauge(
+            now,
+            Subsystem::Gc,
+            "young_used_bytes",
+            self.heap.young_used() as f64,
+        );
+        self.telemetry.gauge(
+            now,
+            Subsystem::Gc,
+            "old_used_bytes",
+            self.heap.old_used() as f64,
+        );
         self.pending_shrunk = rec.shrunk.clone();
         self.state = ExecState::InGc {
             remaining: rec.duration,
@@ -212,6 +260,11 @@ impl JvmProcess {
             if enforced {
                 agent.on_enforced_gc_finished(now, self.heap.as_ref());
                 self.state = ExecState::Held;
+                self.hold_span =
+                    Some(
+                        self.telemetry
+                            .begin_span(now, Subsystem::Jvm, "safepoint_hold", vec![]),
+                    );
                 self.pending_shrunk.clear();
                 return;
             }
@@ -273,6 +326,9 @@ impl GuestApp for JvmProcess {
             }
             if matches!(self.state, ExecState::Held) && !agent.is_holding() {
                 self.state = ExecState::Running;
+                if let Some(id) = self.hold_span.take() {
+                    self.telemetry.end_span(now, id, vec![]);
+                }
             }
         }
 
@@ -284,7 +340,7 @@ impl GuestApp for JvmProcess {
                 ExecState::Running => {
                     if self.enforced_pending {
                         self.enforced_pending = false;
-                        self.start_safepoint(true);
+                        self.start_safepoint(t, true);
                         continue;
                     }
                     // Pay outstanding fault debt before doing new work.
@@ -295,7 +351,7 @@ impl GuestApp for JvmProcess {
                         continue;
                     }
                     if self.heap.eden_headroom() < PAGE_SIZE {
-                        self.start_safepoint(false);
+                        self.start_safepoint(t, false);
                         continue;
                     }
                     let profile = self.mutator.profile();

@@ -29,7 +29,7 @@ use crate::vmhost::MigratableVm;
 use guestos::lkm::DaemonPort;
 use guestos::messages::{DaemonToLkm, LkmToDaemon};
 use netsim::{CompressionMethod, Link, PAGE_HEADER_BYTES};
-use simkit::{SimClock, SimDuration};
+use simkit::{Recorder, SimClock, SimDuration, Subsystem};
 use vmem::{Bitmap, PageClass, Pfn, PAGE_SIZE};
 
 /// Safety cap on how long the engine waits for `ReadyToSuspend` after
@@ -84,6 +84,7 @@ struct RunState {
     cpu: SimDuration,
     wire_bytes: u64,
     ready: Option<(SimDuration, u32)>,
+    recorder: Recorder,
 }
 
 impl PrecopyEngine {
@@ -103,8 +104,24 @@ impl PrecopyEngine {
     ///
     /// Panics if assisted migration is requested but the guest has no LKM.
     pub fn migrate(&self, vm: &mut dyn MigratableVm, clock: &mut SimClock) -> MigrationReport {
+        self.migrate_recorded(vm, clock, Recorder::disabled())
+    }
+
+    /// Like [`PrecopyEngine::migrate`], but with a cross-layer flight
+    /// recorder attached: the engine threads `recorder` through the guest
+    /// stack (LKM, JVM) and the network link, records its own phase spans
+    /// and events, and returns the frozen snapshot in
+    /// [`MigrationReport::telemetry`]. The downtime breakdown is derived
+    /// from the recorded spans where available.
+    pub fn migrate_recorded(
+        &self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+        recorder: Recorder,
+    ) -> MigrationReport {
         let t0 = clock.now();
         let npages = vm.kernel().memory().page_count();
+        vm.attach_telemetry(recorder.clone());
         let port = if self.config.assisted {
             Some(
                 vm.daemon_port()
@@ -114,8 +131,10 @@ impl PrecopyEngine {
             None
         };
 
+        let mut link = Link::new(self.config.bandwidth);
+        link.attach_telemetry(recorder.clone());
         let mut state = RunState {
-            link: Link::new(self.config.bandwidth),
+            link,
             dest: DestinationVm::new(npages),
             by_class: crate::report::TrafficByClass::default(),
             timeline: simkit::trace::Trace::new(),
@@ -124,10 +143,20 @@ impl PrecopyEngine {
             cpu: SimDuration::ZERO,
             wire_bytes: 0,
             ready: None,
+            recorder,
         };
 
         vm.kernel_mut().memory_mut().dirty_log_mut().enable();
         state.timeline.push(clock.now(), EngineEvent::Begin);
+        state.recorder.instant(
+            clock.now(),
+            Subsystem::Engine,
+            "begin",
+            vec![
+                ("assisted", self.config.assisted.into()),
+                ("npages", npages.into()),
+            ],
+        );
         if let Some(port) = &port {
             port.send(clock.now(), DaemonToLkm::MigrationBegin);
         }
@@ -144,6 +173,18 @@ impl PrecopyEngine {
             state
                 .timeline
                 .push(clock.now(), EngineEvent::IterationStart { index });
+            state.recorder.instant(
+                clock.now(),
+                Subsystem::Engine,
+                "iteration_start",
+                vec![("index", index.into()), ("waiting", waiting.into())],
+            );
+            let span = state.recorder.begin_span(
+                clock.now(),
+                Subsystem::Engine,
+                "precopy_iteration",
+                vec![("index", index.into()), ("waiting", waiting.into())],
+            );
             let stats = self.run_live_iteration(
                 vm,
                 clock,
@@ -153,10 +194,35 @@ impl PrecopyEngine {
                 port.as_ref(),
                 waiting,
             );
+            state.recorder.end_span(
+                clock.now(),
+                span,
+                vec![
+                    ("pages_sent", stats.pages_sent.into()),
+                    ("bytes_sent", stats.bytes_sent.into()),
+                    ("skip_dirty", stats.pages_skipped_dirty.into()),
+                    ("skip_transfer", stats.pages_skipped_transfer.into()),
+                ],
+            );
+            state.recorder.gauge(
+                clock.now(),
+                Subsystem::Workload,
+                "ops_completed",
+                vm.ops_completed() as f64,
+            );
             iterations.push(stats);
 
-            if state.ready.is_some() {
+            if let Some((fu, stragglers)) = state.ready {
                 state.timeline.push(clock.now(), EngineEvent::ReadyReceived);
+                state.recorder.instant(
+                    clock.now(),
+                    Subsystem::Engine,
+                    "ready_received",
+                    vec![
+                        ("final_update", fu.into()),
+                        ("stragglers", stragglers.into()),
+                    ],
+                );
                 break;
             }
             if !waiting {
@@ -176,10 +242,22 @@ impl PrecopyEngine {
                     state
                         .timeline
                         .push(clock.now(), EngineEvent::StopCondition(reason));
+                    state.recorder.instant(
+                        clock.now(),
+                        Subsystem::Engine,
+                        "stop_condition",
+                        vec![("reason", format!("{reason:?}").into())],
+                    );
                     match &port {
                         Some(port) => {
                             port.send(clock.now(), DaemonToLkm::EnteringLastIter);
                             state.timeline.push(clock.now(), EngineEvent::NotifiedLkm);
+                            state.recorder.instant(
+                                clock.now(),
+                                Subsystem::Engine,
+                                "notified_lkm",
+                                vec![],
+                            );
                             t_enter_last = Some(clock.now());
                         }
                         None => break,
@@ -202,15 +280,46 @@ impl PrecopyEngine {
         // Stop-and-copy: pause the VM and send everything still pending.
         let t_pause = clock.now();
         state.timeline.push(t_pause, EngineEvent::Paused);
+        state
+            .recorder
+            .instant(t_pause, Subsystem::Engine, "paused", vec![]);
+        let sc_span =
+            state
+                .recorder
+                .begin_span(t_pause, Subsystem::Engine, "stop_and_copy", vec![]);
         let last_stats =
             self.run_stop_and_copy(vm, clock, &mut state, to_send, iterations.len() as u32 + 1);
         let last_iter_duration = last_stats.duration;
+        state.recorder.end_span(
+            clock.now(),
+            sc_span,
+            vec![
+                ("pages_sent", last_stats.pages_sent.into()),
+                ("bytes_sent", last_stats.bytes_sent.into()),
+            ],
+        );
         iterations.push(last_stats);
 
         // Resume at the destination: log-dirty mode is over.
         vm.kernel_mut().memory_mut().dirty_log_mut().disable();
+        state.recorder.record_span(
+            clock.now(),
+            Subsystem::Engine,
+            "resume",
+            self.config.resume_time,
+            vec![],
+        );
         clock.advance(self.config.resume_time);
         state.timeline.push(clock.now(), EngineEvent::Resumed);
+        state
+            .recorder
+            .instant(clock.now(), Subsystem::Engine, "resumed", vec![]);
+        state.recorder.gauge(
+            clock.now(),
+            Subsystem::Workload,
+            "ops_completed",
+            vm.ops_completed() as f64,
+        );
         if let Some(port) = &port {
             port.send(clock.now(), DaemonToLkm::VmResumed);
         }
@@ -219,8 +328,26 @@ impl PrecopyEngine {
         let skip_at_pause = self.skip_bitmap(vm, npages);
         let verification = state.dest.verify(vm.kernel(), &skip_at_pause);
 
-        let (final_update, stragglers) = state.ready.unwrap_or((SimDuration::ZERO, 0));
-        let enforced_gc = vm.enforced_gc_duration().unwrap_or(SimDuration::ZERO);
+        // Freeze the flight recorder and derive the downtime breakdown from
+        // its spans where they exist; the LKM-message / VM-query fallbacks
+        // keep unrecorded runs reporting identically.
+        let telemetry = state.recorder.snapshot();
+        let (msg_final_update, stragglers) = state.ready.unwrap_or((SimDuration::ZERO, 0));
+        let final_update = telemetry
+            .spans_named(Subsystem::Lkm, "final_bitmap_update")
+            .last()
+            .map(|s| s.duration())
+            .unwrap_or(msg_final_update);
+        let enforced_gc = telemetry
+            .spans_named(Subsystem::Gc, "enforced_gc")
+            .iter()
+            .map(|s| s.duration())
+            .fold(SimDuration::ZERO, |acc, d| acc + d);
+        let enforced_gc = if enforced_gc.is_zero() {
+            vm.enforced_gc_duration().unwrap_or(SimDuration::ZERO)
+        } else {
+            enforced_gc
+        };
         let safepoint_wait = match t_enter_last {
             Some(t) => t_pause
                 .saturating_since(t)
@@ -247,6 +374,7 @@ impl PrecopyEngine {
             lkm: vm.kernel().lkm().map(|l| l.stats().clone()),
             stragglers,
             iterations,
+            telemetry,
         }
     }
 
@@ -275,6 +403,8 @@ impl PrecopyEngine {
 
         'outer: loop {
             // Send a quantum's worth of pages.
+            let q_start = clock.now();
+            let q_bytes = bytes;
             let mut budget = state.link.budget(self.config.quantum) as i64;
             let mut cpu_budget = self.config.quantum;
             while budget > 0 && !cpu_budget.is_zero() {
@@ -296,6 +426,10 @@ impl PrecopyEngine {
                         }
                         continue;
                     }
+                    // Credit the partial quantum's traffic before leaving.
+                    state
+                        .link
+                        .sample_utilization(q_start, SimDuration::ZERO, bytes - q_bytes);
                     break 'outer;
                 };
                 cursor = pfn.0 + 1;
@@ -322,6 +456,9 @@ impl PrecopyEngine {
             // Let the guest run for the quantum.
             vm.advance_guest(clock.now(), self.config.quantum);
             clock.advance(self.config.quantum);
+            state
+                .link
+                .sample_utilization(q_start, self.config.quantum, bytes - q_bytes);
             quanta += 1;
 
             if let (Some(port), None) = (port, &state.ready) {
@@ -405,6 +542,7 @@ impl PrecopyEngine {
         }
         // The VM is paused: transfer time passes without guest execution.
         let duration = state.link.time_to_send(bytes);
+        state.link.sample_utilization(start, duration, bytes);
         clock.advance(duration);
 
         IterationStats {

@@ -3,7 +3,7 @@
 use crate::destination::VerifyReport;
 use guestos::lkm::LkmStats;
 use simkit::trace::Trace;
-use simkit::{SimDuration, SimTime};
+use simkit::{RunTelemetry, SimDuration, SimTime};
 use vmem::{PageClass, PAGE_SIZE};
 
 /// Why the engine left the live pre-copy phase (Xen's three exits).
@@ -186,6 +186,10 @@ pub struct MigrationReport {
     pub lkm: Option<LkmStats>,
     /// Stragglers forcibly un-skipped (assisted runs only).
     pub stragglers: u32,
+    /// Cross-layer flight-recorder snapshot. Empty (with `enabled ==
+    /// false`) unless the run was started through
+    /// [`crate::precopy::PrecopyEngine::migrate_recorded`].
+    pub telemetry: RunTelemetry,
 }
 
 impl MigrationReport {

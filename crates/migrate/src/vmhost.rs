@@ -2,7 +2,7 @@
 
 use guestos::kernel::GuestKernel;
 use guestos::lkm::DaemonPort;
-use simkit::{SimDuration, SimTime};
+use simkit::{Recorder, SimDuration, SimTime};
 
 /// A VM the engine can migrate.
 ///
@@ -31,4 +31,13 @@ pub trait MigratableVm {
     /// Duration of the enforced minor GC performed for the in-flight
     /// migration, if the guest ran one (used for the downtime breakdown).
     fn enforced_gc_duration(&self) -> Option<SimDuration>;
+
+    /// Attaches a telemetry recorder to the guest stack.
+    ///
+    /// The default wires up the kernel (and thereby the LKM, if loaded);
+    /// implementations with richer stacks override to also attach their
+    /// JVMs and other instrumented components.
+    fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.kernel_mut().attach_telemetry(recorder);
+    }
 }

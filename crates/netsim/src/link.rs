@@ -7,7 +7,10 @@
 //! which migration reports compute per-iteration transfer rates.
 
 use simkit::units::Bandwidth;
-use simkit::{SimDuration, SimTime};
+use simkit::{Recorder, SimDuration, SimTime, Subsystem};
+
+/// Width of the utilization-gauge averaging window.
+const UTIL_WINDOW: SimDuration = SimDuration::from_millis(100);
 
 /// Per-page wire overhead: PFN metadata in the migration stream.
 pub const PAGE_HEADER_BYTES: u64 = 8;
@@ -32,6 +35,9 @@ pub struct Link {
     bandwidth: Bandwidth,
     bytes_sent: u64,
     carry: f64,
+    telemetry: Recorder,
+    window_start: Option<SimTime>,
+    window_sent: u64,
 }
 
 impl Link {
@@ -41,6 +47,43 @@ impl Link {
             bandwidth,
             bytes_sent: 0,
             carry: 0.0,
+            telemetry: Recorder::disabled(),
+            window_start: None,
+            window_sent: 0,
+        }
+    }
+
+    /// Attaches a telemetry recorder: sampled quanta feed a `net`
+    /// utilization gauge (averaged over 100 ms windows) and a cumulative
+    /// `wire_bytes` counter.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.telemetry = recorder;
+    }
+
+    /// Accounts the utilization of the quantum `[at, at + dt)` during which
+    /// `sent` bytes went out. Call once per driver quantum while the link
+    /// is in use; gauge samples are emitted once per 100 ms window.
+    pub fn sample_utilization(&mut self, at: SimTime, dt: SimDuration, sent: u64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add(Subsystem::Net, "wire_bytes", sent);
+        let start = *self.window_start.get_or_insert(at);
+        self.window_sent += sent;
+        let end = at + dt;
+        let elapsed = end.saturating_since(start);
+        if elapsed >= UTIL_WINDOW {
+            let capacity = self.bandwidth.bytes_per_sec() * elapsed.as_secs_f64();
+            let util = if capacity > 0.0 {
+                (self.window_sent as f64 / capacity).min(1.0)
+            } else {
+                0.0
+            };
+            self.telemetry
+                .gauge(end, Subsystem::Net, "utilization", util);
+            self.window_start = Some(end);
+            self.window_sent = 0;
         }
     }
 
@@ -84,6 +127,8 @@ impl Link {
     pub fn reset(&mut self) {
         self.bytes_sent = 0;
         self.carry = 0.0;
+        self.window_start = None;
+        self.window_sent = 0;
     }
 }
 

@@ -5,8 +5,9 @@
 //! reproduction rests on: a simulated clock ([`clock::SimClock`]),
 //! nanosecond time types ([`time::SimTime`], [`time::SimDuration`]),
 //! deterministic random numbers ([`rng::DetRng`]), statistics matching the
-//! paper's methodology ([`stats`]), byte/bandwidth units ([`units`]) and a
-//! generic event trace ([`trace::Trace`]).
+//! paper's methodology ([`stats`]), byte/bandwidth units ([`units`]), a
+//! generic event trace ([`trace::Trace`]) and a cross-layer flight
+//! recorder with JSONL / Chrome-trace export ([`telemetry`]).
 //!
 //! # Design
 //!
@@ -23,11 +24,13 @@
 pub mod clock;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod units;
 
 pub use clock::SimClock;
 pub use rng::DetRng;
+pub use telemetry::{Recorder, RunTelemetry, Subsystem};
 pub use time::{SimDuration, SimTime};
 pub use units::Bandwidth;

@@ -123,6 +123,36 @@ fn t_critical_90(df: u64) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// Uses the classic nearest-rank definition (`rank = ceil(p/100 * n)`), so
+/// the result is always an observed sample — appropriate for the small
+/// per-phase latency populations the telemetry span table summarises.
+/// Returns zero for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::percentile_nearest_rank;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_nearest_rank(&sorted, 50.0), 2.0);
+/// assert_eq!(percentile_nearest_rank(&sorted, 95.0), 4.0);
+/// ```
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 /// A fixed-interval time series sampled on an external clock.
 ///
 /// This mirrors the paper's analyzer, which reports the number of operations
@@ -289,6 +319,17 @@ mod tests {
     #[test]
     fn t_critical_large_df_is_normal() {
         assert_eq!(t_critical_90(1000), 1.645);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_matches_definition() {
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile_nearest_rank(&sorted, 20.0), 10.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 50.0), 30.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 95.0), 50.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 100.0), 50.0);
+        assert_eq!(percentile_nearest_rank(&[7.5], 95.0), 7.5);
+        assert_eq!(percentile_nearest_rank(&[], 95.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Deterministic exporters: JSONL and Chrome trace-event JSON.
+//!
+//! Both formats are emitted with hand-rolled serialisation (no external
+//! JSON dependency) and fully deterministic ordering/formatting, so two
+//! same-seed runs produce byte-identical files. The Chrome trace output
+//! follows the trace-event format understood by Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`: one `M` metadata
+//! record naming each subsystem lane, `X` complete events for spans, `i`
+//! instant events, and `C` counter events for gauge samples.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use super::recorder::{Event, EventKind, RunTelemetry, Value};
+use super::Subsystem;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Rust's shortest-roundtrip Display never uses an exponent, so the
+        // output is always a valid JSON number; it is also deterministic.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::U64(x) => format!("{x}"),
+        Value::F64(x) => fmt_f64(*x),
+        Value::Bool(b) => format!("{b}"),
+        Value::Str(s) => format!("\"{}\"", escape_json(s)),
+        Value::Dur(d) => format!("{}", d.as_nanos()),
+    }
+}
+
+fn fmt_fields(fields: &[(&'static str, Value)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape_json(k), fmt_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Microseconds with fixed 3-decimal nanosecond precision, via integer
+/// math so formatting is exact and deterministic.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Serialises the telemetry as JSON Lines: one record per line — events in
+/// sequence order, then spans by `(start, id)`, then counters, then gauge
+/// summaries. Byte-identical across same-seed runs.
+pub fn jsonl_to_string(t: &RunTelemetry) -> String {
+    let mut out = String::new();
+    for e in &t.events {
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"seq\":{},\"at_ns\":{},\"sub\":\"{}\",\"name\":\"{}\"",
+            e.seq,
+            e.at.as_nanos(),
+            e.subsystem,
+            escape_json(e.name),
+        );
+        match e.kind {
+            EventKind::Instant => out.push_str(",\"kind\":\"instant\""),
+            EventKind::Gauge(v) => {
+                let _ = write!(out, ",\"kind\":\"gauge\",\"value\":{}", fmt_f64(v));
+            }
+        }
+        if !e.fields.is_empty() {
+            let _ = write!(out, ",\"fields\":{}", fmt_fields(&e.fields));
+        }
+        out.push_str("}\n");
+    }
+    for s in &t.spans {
+        let _ = write!(
+            out,
+            "{{\"type\":\"span\",\"sub\":\"{}\",\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"dur_ns\":{}",
+            s.subsystem,
+            escape_json(s.name),
+            s.start.as_nanos(),
+            s.end.as_nanos(),
+            s.duration().as_nanos(),
+        );
+        if !s.fields.is_empty() {
+            let _ = write!(out, ",\"fields\":{}", fmt_fields(&s.fields));
+        }
+        out.push_str("}\n");
+    }
+    for c in &t.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"sub\":\"{}\",\"name\":\"{}\",\"value\":{}}}",
+            c.subsystem,
+            escape_json(c.name),
+            c.value,
+        );
+    }
+    for g in &t.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"sub\":\"{}\",\"name\":\"{}\",\"last\":{},\"min\":{},\"max\":{},\"samples\":{}}}",
+            g.subsystem,
+            escape_json(g.name),
+            fmt_f64(g.last),
+            fmt_f64(g.min),
+            fmt_f64(g.max),
+            g.samples,
+        );
+    }
+    out
+}
+
+/// Writes [`jsonl_to_string`] to `w`.
+pub fn write_jsonl<W: Write>(t: &RunTelemetry, w: &mut W) -> io::Result<()> {
+    w.write_all(jsonl_to_string(t).as_bytes())
+}
+
+fn chrome_instant(out: &mut String, e: &Event) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{}",
+        escape_json(e.name),
+        e.subsystem,
+        e.subsystem.lane(),
+        fmt_us(e.at.as_nanos()),
+    );
+    if !e.fields.is_empty() {
+        let _ = write!(out, ",\"args\":{}", fmt_fields(&e.fields));
+    }
+    out.push('}');
+}
+
+fn chrome_gauge(out: &mut String, e: &Event, value: f64) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+        escape_json(e.name),
+        e.subsystem,
+        e.subsystem.lane(),
+        fmt_us(e.at.as_nanos()),
+        fmt_f64(value),
+    );
+}
+
+/// Serialises the telemetry in Chrome trace-event format (a JSON object
+/// with a `traceEvents` array), loadable in Perfetto. Spans become `X`
+/// complete events so overlapping phases in one lane render correctly.
+pub fn chrome_trace_to_string(t: &RunTelemetry) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+    for sub in Subsystem::ALL {
+        push(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            sub.lane(),
+            sub,
+        );
+    }
+    for s in &t.spans {
+        push(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+            escape_json(s.name),
+            s.subsystem,
+            s.subsystem.lane(),
+            fmt_us(s.start.as_nanos()),
+            fmt_us(s.duration().as_nanos()),
+        );
+        if !s.fields.is_empty() {
+            let _ = write!(out, ",\"args\":{}", fmt_fields(&s.fields));
+        }
+        out.push('}');
+    }
+    for e in &t.events {
+        push(&mut out, &mut first);
+        match e.kind {
+            EventKind::Instant => chrome_instant(&mut out, e),
+            EventKind::Gauge(v) => chrome_gauge(&mut out, e, v),
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`chrome_trace_to_string`] to `w`.
+pub fn write_chrome_trace<W: Write>(t: &RunTelemetry, w: &mut W) -> io::Result<()> {
+    w.write_all(chrome_trace_to_string(t).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Recorder;
+    use crate::time::{SimDuration, SimTime};
+
+    fn sample() -> RunTelemetry {
+        let rec = Recorder::new();
+        let t1 = SimTime::from_nanos(1_500);
+        rec.instant(
+            t1,
+            Subsystem::Engine,
+            "begin",
+            vec![("label", "say \"hi\"\n".into()), ("iter", 3u64.into())],
+        );
+        rec.gauge(
+            SimTime::from_nanos(2_000),
+            Subsystem::Net,
+            "utilization",
+            0.25,
+        );
+        rec.record_span(
+            t1,
+            Subsystem::Gc,
+            "minor_gc",
+            SimDuration::from_nanos(4_500),
+            vec![("promoted", 7u64.into()), ("enforced", false.into())],
+        );
+        rec.counter_add(Subsystem::Lkm, "pages_walked", 42);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(
+            escape_json("a\"b\\c\nd\te\u{1}"),
+            "a\\\"b\\\\c\\nd\\te\\u0001"
+        );
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn jsonl_has_one_record_per_line_in_fixed_order() {
+        let text = jsonl_to_string(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"type\":\"event\"") && lines[0].contains("\"seq\":0"));
+        assert!(lines[0].contains("\"label\":\"say \\\"hi\\\"\\n\""));
+        assert!(lines[1].contains("\"kind\":\"gauge\"") && lines[1].contains("\"value\":0.25"));
+        assert!(lines[2].contains("\"type\":\"span\"") && lines[2].contains("\"dur_ns\":4500"));
+        assert!(lines[3].contains("\"type\":\"counter\"") && lines[3].contains("\"value\":42"));
+        assert!(lines[4].contains("\"type\":\"gauge\"") && lines[4].contains("\"samples\":1"));
+        // Every line is a balanced JSON object.
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            let opens = line.matches('{').count();
+            assert_eq!(opens, line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_contains_all_record_shapes() {
+        let text = chrome_trace_to_string(&sample());
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        // Lane metadata for all six subsystems.
+        for sub in Subsystem::ALL {
+            assert!(text.contains(&format!("\"args\":{{\"name\":\"{sub}\"}}")));
+        }
+        // Span -> X with microsecond ts/dur (1500 ns = 1.500 us).
+        assert!(text.contains("\"ph\":\"X\"") && text.contains("\"ts\":1.500"));
+        assert!(text.contains("\"dur\":4.500"));
+        // Instant and gauge records.
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(jsonl_to_string(&a), jsonl_to_string(&b));
+        assert_eq!(chrome_trace_to_string(&a), chrome_trace_to_string(&b));
+    }
+}

@@ -1,0 +1,128 @@
+//! Counter / gauge registry backing the recorder's metrics.
+
+use std::collections::BTreeMap;
+
+use super::Subsystem;
+
+/// Final value of one monotone counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Counter name, e.g. `"pages_walked"`.
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Summary of one gauge over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeValue {
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Gauge name, e.g. `"eden_used_bytes"`.
+    pub name: &'static str,
+    /// Last sampled value.
+    pub last: f64,
+    /// Smallest sampled value.
+    pub min: f64,
+    /// Largest sampled value.
+    pub max: f64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+#[derive(Debug, Clone)]
+struct GaugeState {
+    last: f64,
+    min: f64,
+    max: f64,
+    samples: u64,
+}
+
+/// The registry: monotone counters and last-value gauges, keyed by
+/// `(subsystem, name)`. BTreeMap keys give deterministic export order.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsRegistry {
+    counters: BTreeMap<(Subsystem, &'static str), u64>,
+    gauges: BTreeMap<(Subsystem, &'static str), GaugeState>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn counter_add(&mut self, subsystem: Subsystem, name: &'static str, delta: u64) {
+        *self.counters.entry((subsystem, name)).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set(&mut self, subsystem: Subsystem, name: &'static str, value: f64) {
+        self.gauges
+            .entry((subsystem, name))
+            .and_modify(|g| {
+                g.last = value;
+                g.min = g.min.min(value);
+                g.max = g.max.max(value);
+                g.samples += 1;
+            })
+            .or_insert(GaugeState {
+                last: value,
+                min: value,
+                max: value,
+                samples: 1,
+            });
+    }
+
+    pub(crate) fn counter_values(&self) -> Vec<CounterValue> {
+        self.counters
+            .iter()
+            .map(|(&(subsystem, name), &value)| CounterValue {
+                subsystem,
+                name,
+                value,
+            })
+            .collect()
+    }
+
+    pub(crate) fn gauge_values(&self) -> Vec<GaugeValue> {
+        self.gauges
+            .iter()
+            .map(|(&(subsystem, name), g)| GaugeValue {
+                subsystem,
+                name,
+                last: g.last,
+                min: g.min,
+                max: g.max,
+                samples: g.samples,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add(Subsystem::Net, "bytes", 10);
+        reg.counter_add(Subsystem::Lkm, "pages_walked", 3);
+        reg.counter_add(Subsystem::Net, "bytes", 5);
+        let values = reg.counter_values();
+        assert_eq!(values.len(), 2);
+        // Lkm < Net in the Subsystem ordering.
+        assert_eq!(values[0].name, "pages_walked");
+        assert_eq!(values[1].value, 15);
+    }
+
+    #[test]
+    fn gauges_track_last_min_max() {
+        let mut reg = MetricsRegistry::default();
+        for v in [5.0, 2.0, 9.0, 4.0] {
+            reg.gauge_set(Subsystem::Gc, "eden_used", v);
+        }
+        let g = &reg.gauge_values()[0];
+        assert_eq!(g.last, 4.0);
+        assert_eq!(g.min, 2.0);
+        assert_eq!(g.max, 9.0);
+        assert_eq!(g.samples, 4);
+    }
+}

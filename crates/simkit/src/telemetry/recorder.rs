@@ -1,0 +1,503 @@
+//! The flight recorder proper: shared handle, event log, snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+use super::metrics::{CounterValue, GaugeValue, MetricsRegistry};
+use super::span::{build_span_table, SpanId, SpanRecord, SpanTableRow};
+use super::Subsystem;
+
+/// A structured field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (counts, byte totals, page numbers).
+    U64(u64),
+    /// A floating point quantity (rates, ratios).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A short free-form label.
+    Str(String),
+    /// A duration, exported as nanoseconds.
+    Dur(SimDuration),
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::U64(x)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(x: u32) -> Self {
+        Value::U64(x as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::U64(x as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F64(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Self {
+        Value::Bool(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(x: &str) -> Self {
+        Value::Str(x.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(x: String) -> Self {
+        Value::Str(x)
+    }
+}
+
+impl From<SimDuration> for Value {
+    fn from(x: SimDuration) -> Self {
+        Value::Dur(x)
+    }
+}
+
+/// What shape of record an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A point-in-time occurrence.
+    Instant,
+    /// A gauge sample: the instrument's value at this instant.
+    Gauge(f64),
+}
+
+/// One timestamped, sequence-numbered record in the flight recorder.
+///
+/// Instants and gauge samples are always recorded at the current simulated
+/// time, so within one recording their timestamps are non-decreasing in
+/// sequence order. Phase intervals are tracked separately as
+/// [`SpanRecord`]s because computed-cost spans may extend past the
+/// recording instant.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global record sequence number, strictly increasing.
+    pub seq: u64,
+    /// Simulated instant the event was recorded at.
+    pub at: SimTime,
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Event name, e.g. `"iteration_start"`.
+    pub name: &'static str,
+    /// Instant or gauge sample.
+    pub kind: EventKind,
+    /// Structured key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    subsystem: Subsystem,
+    name: &'static str,
+    start: SimTime,
+    fields: Vec<(&'static str, Value)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    spans: Vec<SpanRecord>,
+    open: BTreeMap<u64, OpenSpan>,
+    next_seq: u64,
+    next_span: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Inner {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+/// A cheap clonable handle to a shared flight recorder.
+///
+/// Every layer of a migration run holds a clone of the same recorder and
+/// contributes events, spans and metrics tagged with its [`Subsystem`].
+/// A [`Recorder::disabled`] handle turns every operation into a no-op so
+/// instrumentation costs a single branch when telemetry is off.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder(Option<Arc<Mutex<Inner>>>);
+
+impl Recorder {
+    /// Creates an enabled recorder.
+    pub fn new() -> Self {
+        Recorder(Some(Arc::new(Mutex::new(Inner::default()))))
+    }
+
+    /// Creates a disabled (no-op) recorder.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn with_inner<R: Default>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        match &self.0 {
+            Some(inner) => f(&mut inner.lock().expect("telemetry lock poisoned")),
+            None => R::default(),
+        }
+    }
+
+    /// Records a point-in-time event.
+    pub fn instant(
+        &self,
+        at: SimTime,
+        subsystem: Subsystem,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        self.with_inner(|inner| {
+            let seq = inner.next_seq();
+            inner.events.push(Event {
+                seq,
+                at,
+                subsystem,
+                name,
+                kind: EventKind::Instant,
+                fields,
+            });
+        })
+    }
+
+    /// Opens a phase span; close it with [`Recorder::end_span`].
+    ///
+    /// Returns an invalid id (accepted and ignored by `end_span`) when the
+    /// recorder is disabled.
+    pub fn begin_span(
+        &self,
+        at: SimTime,
+        subsystem: Subsystem,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> SpanId {
+        match &self.0 {
+            Some(cell) => {
+                let mut inner = cell.lock().expect("telemetry lock poisoned");
+                let id = inner.next_span;
+                inner.next_span += 1;
+                inner.open.insert(
+                    id,
+                    OpenSpan {
+                        subsystem,
+                        name,
+                        start: at,
+                        fields,
+                    },
+                );
+                SpanId::new(id)
+            }
+            None => SpanId::invalid(),
+        }
+    }
+
+    /// Closes a span opened with [`Recorder::begin_span`], appending
+    /// `fields` to the ones given at open. Unknown or invalid ids are
+    /// ignored.
+    pub fn end_span(&self, at: SimTime, id: SpanId, fields: Vec<(&'static str, Value)>) {
+        self.with_inner(|inner| {
+            if let Some(open) = inner.open.remove(&id.raw()) {
+                let mut all = open.fields;
+                all.extend(fields);
+                inner.spans.push(SpanRecord {
+                    id,
+                    subsystem: open.subsystem,
+                    name: open.name,
+                    start: open.start,
+                    end: at,
+                    fields: all,
+                });
+            }
+        })
+    }
+
+    /// Records a whole span at once: the phase ran `[start, start + duration]`.
+    ///
+    /// For costs computed up front (a GC whose duration the heap model
+    /// yields at trigger time, a bitmap walk costed analytically).
+    pub fn record_span(
+        &self,
+        start: SimTime,
+        subsystem: Subsystem,
+        name: &'static str,
+        duration: SimDuration,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        self.with_inner(|inner| {
+            let id = inner.next_span;
+            inner.next_span += 1;
+            inner.spans.push(SpanRecord {
+                id: SpanId::new(id),
+                subsystem,
+                name,
+                start,
+                end: start + duration,
+                fields,
+            });
+        })
+    }
+
+    /// Adds `delta` to a monotone counter (no per-increment event).
+    pub fn counter_add(&self, subsystem: Subsystem, name: &'static str, delta: u64) {
+        self.with_inner(|inner| inner.metrics.counter_add(subsystem, name, delta))
+    }
+
+    /// Samples a gauge: records a gauge event and updates the registry.
+    pub fn gauge(&self, at: SimTime, subsystem: Subsystem, name: &'static str, value: f64) {
+        self.with_inner(|inner| {
+            inner.metrics.gauge_set(subsystem, name, value);
+            let seq = inner.next_seq();
+            inner.events.push(Event {
+                seq,
+                at,
+                subsystem,
+                name,
+                kind: EventKind::Gauge(value),
+                fields: Vec::new(),
+            });
+        })
+    }
+
+    /// Freezes the recording into a plain-data snapshot.
+    ///
+    /// Spans still open at snapshot time are truncated at the latest
+    /// timestamp seen anywhere in the recording (their own start if later)
+    /// and flagged with an `open: true` field — a phase that outlives the
+    /// recording window still shows up in the span table. Closed spans are
+    /// sorted by `(start, id)`. Disabled recorders yield an empty snapshot
+    /// with `enabled == false`.
+    pub fn snapshot(&self) -> RunTelemetry {
+        match &self.0 {
+            Some(cell) => {
+                let inner = cell.lock().expect("telemetry lock poisoned");
+                let mut spans = inner.spans.clone();
+                let horizon = inner
+                    .events
+                    .iter()
+                    .map(|e| e.at)
+                    .chain(spans.iter().map(|s| s.end))
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                for (&id, open) in &inner.open {
+                    let mut fields = open.fields.clone();
+                    fields.push(("open", Value::Bool(true)));
+                    spans.push(SpanRecord {
+                        id: SpanId::new(id),
+                        subsystem: open.subsystem,
+                        name: open.name,
+                        start: open.start,
+                        end: horizon.max(open.start),
+                        fields,
+                    });
+                }
+                spans.sort_by_key(|s| (s.start, s.id.raw()));
+                RunTelemetry {
+                    enabled: true,
+                    events: inner.events.clone(),
+                    spans,
+                    counters: inner.metrics.counter_values(),
+                    gauges: inner.metrics.gauge_values(),
+                }
+            }
+            None => RunTelemetry::default(),
+        }
+    }
+}
+
+/// A frozen, plain-data view of one run's telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Whether a real recorder produced this (false: disabled run).
+    pub enabled: bool,
+    /// All instants and gauge samples, in record (sequence) order.
+    pub events: Vec<Event>,
+    /// All closed spans, sorted by `(start, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Final counter values, sorted by `(subsystem, name)`.
+    pub counters: Vec<CounterValue>,
+    /// Gauge summaries, sorted by `(subsystem, name)`.
+    pub gauges: Vec<GaugeValue>,
+}
+
+impl RunTelemetry {
+    /// Per-phase latency table: count / mean / p95 / max / total per
+    /// distinct `(subsystem, name)`, sorted by subsystem lane then name.
+    pub fn span_table(&self) -> Vec<SpanTableRow> {
+        build_span_table(&self.spans)
+    }
+
+    /// All spans of one phase, in start order.
+    pub fn spans_named(&self, subsystem: Subsystem, name: &str) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.subsystem == subsystem && s.name == name)
+            .collect()
+    }
+
+    /// All instant/gauge events with the given name, in sequence order.
+    pub fn events_named(&self, subsystem: Subsystem, name: &str) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| e.subsystem == subsystem && e.name == name)
+            .collect()
+    }
+
+    /// Final value of a counter, if it was ever incremented.
+    pub fn counter(&self, subsystem: Subsystem, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.subsystem == subsystem && c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Summary of a gauge, if it was ever sampled.
+    pub fn gauge(&self, subsystem: Subsystem, name: &str) -> Option<&GaugeValue> {
+        self.gauges
+            .iter()
+            .find(|g| g.subsystem == subsystem && g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn events_get_increasing_seqs_and_keep_order() {
+        let rec = Recorder::new();
+        rec.instant(t(1), Subsystem::Engine, "begin", vec![]);
+        rec.gauge(t(2), Subsystem::Net, "utilization", 0.5);
+        rec.instant(
+            t(3),
+            Subsystem::Lkm,
+            "state",
+            vec![("to", "MIGRATION_STARTED".into())],
+        );
+        let snap = rec.snapshot();
+        assert!(snap.enabled);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(snap.events[1].kind, EventKind::Gauge(0.5));
+        assert_eq!(
+            snap.events[2].fields[0].1,
+            Value::Str("MIGRATION_STARTED".into())
+        );
+    }
+
+    #[test]
+    fn spans_close_and_sort_by_start() {
+        let rec = Recorder::new();
+        let a = rec.begin_span(t(10), Subsystem::Engine, "stop_and_copy", vec![]);
+        rec.record_span(
+            t(2),
+            Subsystem::Gc,
+            "minor_gc",
+            SimDuration::from_millis(3),
+            vec![("promoted", 7u64.into())],
+        );
+        rec.end_span(t(15), a, vec![("bytes", 123u64.into())]);
+        // Left open on purpose: truncated at the recording horizon (t=15,
+        // later than its own start) and flagged `open`.
+        let _ = rec.begin_span(t(12), Subsystem::Jvm, "dangling", vec![]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].name, "minor_gc");
+        assert_eq!(snap.spans[0].duration(), SimDuration::from_millis(3));
+        assert_eq!(snap.spans[1].name, "stop_and_copy");
+        assert_eq!(snap.spans[1].fields, vec![("bytes", Value::U64(123))]);
+        assert_eq!(snap.spans[2].name, "dangling");
+        assert_eq!(snap.spans[2].end, t(15));
+        assert_eq!(snap.spans[2].field("open"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_noop() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.instant(t(1), Subsystem::Engine, "begin", vec![]);
+        let id = rec.begin_span(t(1), Subsystem::Engine, "x", vec![]);
+        rec.end_span(t(2), id, vec![]);
+        rec.counter_add(Subsystem::Lkm, "pages", 4);
+        rec.gauge(t(2), Subsystem::Net, "u", 1.0);
+        let snap = rec.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.events.is_empty() && snap.spans.is_empty());
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_log() {
+        let rec = Recorder::new();
+        let other = rec.clone();
+        rec.instant(t(1), Subsystem::Engine, "a", vec![]);
+        other.instant(t(2), Subsystem::Jvm, "b", vec![]);
+        other.counter_add(Subsystem::Jvm, "faults", 2);
+        rec.counter_add(Subsystem::Jvm, "faults", 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.counter(Subsystem::Jvm, "faults"), Some(5));
+    }
+
+    #[test]
+    fn query_helpers_filter_by_subsystem_and_name() {
+        let rec = Recorder::new();
+        rec.record_span(
+            t(1),
+            Subsystem::Gc,
+            "minor_gc",
+            SimDuration::from_millis(1),
+            vec![],
+        );
+        rec.record_span(
+            t(4),
+            Subsystem::Gc,
+            "minor_gc",
+            SimDuration::from_millis(2),
+            vec![],
+        );
+        rec.record_span(
+            t(6),
+            Subsystem::Gc,
+            "enforced_gc",
+            SimDuration::from_millis(2),
+            vec![],
+        );
+        rec.gauge(t(1), Subsystem::Gc, "eden_used", 10.0);
+        rec.gauge(t(2), Subsystem::Gc, "eden_used", 30.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans_named(Subsystem::Gc, "minor_gc").len(), 2);
+        assert_eq!(snap.events_named(Subsystem::Gc, "eden_used").len(), 2);
+        let g = snap.gauge(Subsystem::Gc, "eden_used").unwrap();
+        assert_eq!(g.last, 30.0);
+        assert_eq!(g.max, 30.0);
+        assert_eq!(g.samples, 2);
+        assert!(snap.gauge(Subsystem::Net, "eden_used").is_none());
+    }
+}

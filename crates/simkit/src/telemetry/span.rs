@@ -1,0 +1,159 @@
+//! Phase spans and the post-hoc latency table.
+
+use crate::stats::{percentile_nearest_rank, SampleStats};
+use crate::time::{SimDuration, SimTime};
+
+use super::recorder::Value;
+use super::Subsystem;
+
+/// Opaque identifier of one span within a recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    pub(crate) fn new(raw: u64) -> Self {
+        SpanId(raw)
+    }
+
+    /// The id handed out by disabled recorders; never matches a real span.
+    pub(crate) fn invalid() -> Self {
+        SpanId(u64::MAX)
+    }
+
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One closed phase interval.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Recording-unique span id.
+    pub id: SpanId,
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Phase name, e.g. `"precopy_iteration"`.
+    pub name: &'static str,
+    /// When the phase started.
+    pub start: SimTime,
+    /// When the phase ended (`>= start`).
+    pub end: SimTime,
+    /// Structured payload (open-time fields, then close-time fields).
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl SpanRecord {
+    /// The phase's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// Looks up a field by key (last write wins).
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// One row of the per-phase latency table.
+#[derive(Debug, Clone)]
+pub struct SpanTableRow {
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Phase name.
+    pub name: &'static str,
+    /// Number of spans of this phase.
+    pub count: u64,
+    /// Mean duration.
+    pub mean: SimDuration,
+    /// 95th-percentile duration (nearest rank).
+    pub p95: SimDuration,
+    /// Longest duration.
+    pub max: SimDuration,
+    /// Summed duration across all spans of the phase.
+    pub total: SimDuration,
+}
+
+/// Builds the latency table: one row per distinct `(subsystem, name)`,
+/// sorted by subsystem lane then name.
+pub fn build_span_table(spans: &[SpanRecord]) -> Vec<SpanTableRow> {
+    let mut groups: std::collections::BTreeMap<(u32, &'static str), Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        groups
+            .entry((s.subsystem.lane(), s.name))
+            .or_default()
+            .push(s.duration().as_nanos() as f64);
+    }
+    groups
+        .into_iter()
+        .map(|((lane, name), mut durs)| {
+            durs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            let mut stats = SampleStats::new();
+            let mut total = 0.0;
+            for &d in &durs {
+                stats.add(d);
+                total += d;
+            }
+            SpanTableRow {
+                subsystem: Subsystem::ALL[lane as usize],
+                name,
+                count: stats.count(),
+                mean: SimDuration::from_nanos(stats.mean().round() as u64),
+                p95: SimDuration::from_nanos(percentile_nearest_rank(&durs, 95.0).round() as u64),
+                max: SimDuration::from_nanos(stats.max().round() as u64),
+                total: SimDuration::from_nanos(total.round() as u64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(sub: Subsystem, name: &'static str, start_ms: u64, dur_ms: u64) -> SpanRecord {
+        let start = SimTime::from_nanos(start_ms * 1_000_000);
+        SpanRecord {
+            id: SpanId::new(start_ms),
+            subsystem: sub,
+            name,
+            start,
+            end: start + SimDuration::from_millis(dur_ms),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_groups_and_summarises() {
+        let spans = vec![
+            span(Subsystem::Gc, "minor_gc", 0, 10),
+            span(Subsystem::Gc, "minor_gc", 20, 30),
+            span(Subsystem::Gc, "minor_gc", 60, 20),
+            span(Subsystem::Engine, "stop_and_copy", 100, 50),
+        ];
+        let table = build_span_table(&spans);
+        assert_eq!(table.len(), 2);
+        // Engine lane sorts before Gc lane.
+        assert_eq!(table[0].name, "stop_and_copy");
+        assert_eq!(table[0].count, 1);
+        let gc = &table[1];
+        assert_eq!(gc.count, 3);
+        assert_eq!(gc.mean, SimDuration::from_millis(20));
+        assert_eq!(gc.p95, SimDuration::from_millis(30));
+        assert_eq!(gc.max, SimDuration::from_millis(30));
+        assert_eq!(gc.total, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn field_lookup_is_last_write_wins() {
+        let mut s = span(Subsystem::Lkm, "final_bitmap_update", 0, 1);
+        s.fields.push(("pages", Value::U64(1)));
+        s.fields.push(("pages", Value::U64(9)));
+        assert_eq!(s.field("pages"), Some(&Value::U64(9)));
+        assert_eq!(s.field("missing"), None);
+    }
+}

@@ -3,10 +3,17 @@
 //! Components append structured events while a simulation runs; tests and
 //! the figure harness inspect the trace afterwards. Tracing is generic over
 //! the event type so each subsystem can define its own vocabulary.
+//!
+//! Traces come in two flavours: unbounded ([`Trace::new`]) and bounded
+//! flight-recorder mode ([`Trace::with_capacity`]) that keeps only the
+//! newest records, evicting the oldest — useful for long soak runs where
+//! only the window around an incident matters.
+
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
-/// An append-only log of `(time, event)` records.
+/// An append-only log of `(time, event)` records, optionally bounded.
 ///
 /// # Examples
 ///
@@ -22,30 +29,66 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Trace<E> {
-    records: Vec<(SimTime, E)>,
+    records: VecDeque<(SimTime, E)>,
+    capacity: Option<usize>,
+    evicted: u64,
 }
 
 impl<E> Trace<E> {
-    /// Creates an empty trace.
+    /// Creates an empty, unbounded trace.
     pub fn new() -> Self {
         Self {
-            records: Vec::new(),
+            records: VecDeque::new(),
+            capacity: None,
+            evicted: 0,
         }
     }
 
-    /// Appends an event at the given instant.
-    pub fn push(&mut self, at: SimTime, event: E) {
-        self.records.push((at, event));
+    /// Creates a bounded trace keeping only the newest `capacity` records
+    /// (ring-buffer semantics: pushing to a full trace evicts the oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            records: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            evicted: 0,
+        }
     }
 
-    /// Returns the number of recorded events.
+    /// Appends an event at the given instant, evicting the oldest record
+    /// when a bounded trace is full.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                self.records.pop_front();
+                self.evicted += 1;
+            }
+        }
+        self.records.push_back((at, event));
+    }
+
+    /// Returns the number of retained events.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// Returns `true` when nothing has been recorded.
+    /// Returns `true` when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Returns the retention bound, or `None` for unbounded traces.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Returns how many records were evicted by ring-buffer wrap-around.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Iterates over `(time, event)` records in insertion order.
@@ -61,7 +104,19 @@ impl<E> Trace<E> {
         self.records.iter().filter(move |(_, e)| pred(e))
     }
 
-    /// Discards all records.
+    /// Returns retained records in the half-open window `[t0, t1)`, in
+    /// insertion order.
+    ///
+    /// Insertion order and time order coincide for the simulation's
+    /// monotone clocks, but no sorting is assumed: the filter is by
+    /// timestamp alone.
+    pub fn between(&self, t0: SimTime, t1: SimTime) -> impl Iterator<Item = &(SimTime, E)> {
+        self.records
+            .iter()
+            .filter(move |&&(at, _)| at >= t0 && at < t1)
+    }
+
+    /// Discards all records (the eviction count is kept).
     pub fn clear(&mut self) {
         self.records.clear();
     }
@@ -104,5 +159,67 @@ mod tests {
         assert!(!t.is_empty());
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_keeps_newest() {
+        let mut t = Trace::with_capacity(3);
+        assert_eq!(t.capacity(), Some(3));
+        for i in 0..7u64 {
+            t.push(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 4);
+        let kept: Vec<u64> = t.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn unbounded_trace_never_evicts() {
+        let mut t = Trace::new();
+        assert_eq!(t.capacity(), None);
+        for i in 0..1000u64 {
+            t.push(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.evicted(), 0);
+    }
+
+    #[test]
+    fn between_is_half_open() {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.push(SimTime::from_nanos(i * 10), i);
+        }
+        let window: Vec<u64> = t
+            .between(SimTime::from_nanos(20), SimTime::from_nanos(50))
+            .map(|&(_, e)| e)
+            .collect();
+        assert_eq!(window, vec![2, 3, 4]);
+        // Empty and inverted windows yield nothing.
+        assert_eq!(
+            t.between(SimTime::from_nanos(25), SimTime::from_nanos(25))
+                .count(),
+            0
+        );
+        assert_eq!(
+            t.between(SimTime::from_nanos(50), SimTime::from_nanos(20))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn between_respects_ring_eviction() {
+        let mut t = Trace::with_capacity(4);
+        for i in 0..8u64 {
+            t.push(SimTime::from_nanos(i), i);
+        }
+        // Records 0..4 were evicted; the window only sees what's retained.
+        let window: Vec<u64> = t
+            .between(SimTime::ZERO, SimTime::from_nanos(100))
+            .map(|&(_, e)| e)
+            .collect();
+        assert_eq!(window, vec![4, 5, 6, 7]);
     }
 }

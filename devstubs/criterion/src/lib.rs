@@ -1,0 +1,123 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of criterion's API its benches use. There is no statistical
+//! machinery: each registered benchmark body is executed a handful of
+//! times with a coarse wall-clock timing printed, which keeps
+//! `cargo bench` working as a smoke test of the bench code paths.
+
+use std::time::Instant;
+
+/// How a batched benchmark's inputs are grouped. Only a marker here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Fresh setup for every single iteration.
+    PerIteration,
+}
+
+/// Mirror of `criterion::Criterion`, the benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs `f` once with a [`Bencher`] and prints a coarse timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed_ns: 0,
+        };
+        let wall = Instant::now();
+        f(&mut b);
+        let total = wall.elapsed();
+        let per_iter = b.elapsed_ns.checked_div(b.iters).unwrap_or(0);
+        println!(
+            "bench {id}: {} iters, ~{per_iter} ns/iter ({:.1} ms total)",
+            b.iters,
+            total.as_secs_f64() * 1e3,
+        );
+        self
+    }
+}
+
+/// Mirror of `criterion::Bencher`: runs the measured closure a few times.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+/// Number of measured iterations per benchmark in the stub driver.
+const STUB_ITERS: u64 = 3;
+
+impl Bencher {
+    /// Times `routine` over a fixed small number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..STUB_ITERS {
+            let t = Instant::now();
+            let out = routine();
+            self.elapsed_ns += t.elapsed().as_nanos() as u64;
+            self.iters += 1;
+            black_box(out);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.elapsed_ns += t.elapsed().as_nanos() as u64;
+            self.iters += 1;
+            black_box(out);
+        }
+    }
+}
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirror of `criterion_group!`: defines a function running each listed
+/// benchmark with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: emits `main` calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,129 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A strategy producing `Vec`s with lengths drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// Generates `Vec<S::Value>` with a length in `size`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = pick_len(&self.size, rng);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing `BTreeSet`s with sizes drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// Generates `BTreeSet<S::Value>` with a size in `size` (best effort: if
+/// the element domain is too small to reach the requested size, the set is
+/// returned smaller after a bounded number of attempts).
+pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = pick_len(&self.size, rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = target * 10 + 16;
+        while out.len() < target && attempts > 0 {
+            out.insert(self.elem.generate(rng));
+            attempts -= 1;
+        }
+        out
+    }
+}
+
+/// A strategy producing `BTreeMap`s with sizes drawn from `size`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates `BTreeMap<K::Value, V::Value>` with a size in `size` (best
+/// effort, like [`btree_set`]).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = pick_len(&self.size, rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = target * 10 + 16;
+        while out.len() < target && attempts > 0 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts -= 1;
+        }
+        out
+    }
+}
+
+fn pick_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(size.start < size.end, "empty collection size range");
+    let width = (size.end - size.start) as u64;
+    size.start + rng.below(width) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_len_in_range() {
+        let mut rng = TestRng::from_name("vec_len");
+        for _ in 0..200 {
+            let v = vec(0u64..100, 3..9).generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn set_and_map_reach_target_when_domain_allows() {
+        let mut rng = TestRng::from_name("set_map");
+        for _ in 0..100 {
+            let s = btree_set(0u64..1000, 5..6).generate(&mut rng);
+            assert_eq!(s.len(), 5);
+            let m = btree_map(0u64..1000, 0u64..10, 4..5).generate(&mut rng);
+            assert_eq!(m.len(), 4);
+        }
+    }
+}

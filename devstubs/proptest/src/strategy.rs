@@ -1,0 +1,215 @@
+//! Strategies: deterministic value generators mirroring `proptest`'s.
+
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+use core::ops::Range;
+
+/// A value generator. Mirrors `proptest::strategy::Strategy`, minus
+/// shrinking: `generate` produces one value per call.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A strategy mapped through a function.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A uniform choice among several strategies of the same value type.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only, spanning a wide magnitude range.
+        let magnitude = (rng.next_f64() * 2.0 - 1.0) * 1e12;
+        magnitude * rng.next_f64()
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let x = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&x));
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = crate::prop_oneof![
+            (0u64..10).prop_map(|x| x * 2),
+            (100u64..110).prop_map(|x| x + 1),
+        ];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v < 20 || (101..111).contains(&v), "v = {v}");
+        }
+    }
+}

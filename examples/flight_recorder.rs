@@ -1,0 +1,65 @@
+//! Flight-record a migration and read the cross-layer span table.
+//!
+//! Attaches a `simkit::Recorder` to a derby JAVMM migration, then prints
+//! the post-hoc latency table (count / mean / p95 / max per phase across
+//! every subsystem) and writes both export formats: a JSONL flight log and
+//! a Chrome trace-event file openable in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`.
+//!
+//! Run with: `cargo run --release --example flight_recorder`
+
+use javmm::orchestrator::{run_scenario_recorded, Scenario};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use simkit::telemetry::export;
+use simkit::{Recorder, SimDuration};
+use workloads::catalog;
+
+fn main() {
+    let outcome = run_scenario_recorded(
+        &Scenario::quick(
+            JavaVmConfig::paper(catalog::derby(), true, 21),
+            MigrationConfig::javmm_default(),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(30),
+        ),
+        Recorder::new(),
+    );
+    let t = &outcome.report.telemetry;
+
+    println!(
+        "{} events, {} spans recorded\n",
+        t.events.len(),
+        t.spans.len()
+    );
+    println!(
+        "{:<9} {:<20} {:>6} {:>12} {:>12} {:>12}",
+        "subsystem", "phase", "count", "mean", "p95", "max"
+    );
+    for row in t.span_table() {
+        println!(
+            "{:<9} {:<20} {:>6} {:>12} {:>12} {:>12}",
+            row.subsystem.as_str(),
+            row.name,
+            row.count,
+            format!("{}", row.mean),
+            format!("{}", row.p95),
+            format!("{}", row.max),
+        );
+    }
+
+    for c in &t.counters {
+        println!("counter {}/{} = {}", c.subsystem, c.name, c.value);
+    }
+    for g in &t.gauges {
+        println!(
+            "gauge {}/{}: last {:.3} (min {:.3}, max {:.3}, {} samples)",
+            g.subsystem, g.name, g.last, g.min, g.max, g.samples
+        );
+    }
+
+    std::fs::write("derby.trace.jsonl", export::jsonl_to_string(t)).expect("write JSONL");
+    std::fs::write("derby.trace.json", export::chrome_trace_to_string(t))
+        .expect("write Chrome trace");
+    println!("\nwrote derby.trace.jsonl and derby.trace.json (open in Perfetto)");
+}

@@ -75,5 +75,8 @@ fn partial_loss_may_cost_a_straggler_but_never_correctness() {
     );
     // Straggler handling is the expected degradation mode; with eight seeds
     // at 50% loss at least one prepare/ready leg should have failed.
-    assert!(straggler_seen, "expected at least one straggler across seeds");
+    assert!(
+        straggler_seen,
+        "expected at least one straggler across seeds"
+    );
 }
