@@ -38,6 +38,59 @@ fn bitmap_ops(c: &mut Criterion) {
     });
 }
 
+/// The word-granular combinators the pre-copy scan pipeline is built on.
+fn bitmap_word_ops(c: &mut Criterion) {
+    let npages = 524_288;
+    let mut dirty = Bitmap::new(npages);
+    for i in (0..npages).step_by(5) {
+        dirty.set(Pfn(i));
+    }
+    let mut transfer = Bitmap::new_all_set(npages);
+    for p in npages / 2..3 * npages / 4 {
+        transfer.clear(Pfn(p));
+    }
+
+    c.bench_function("bitmap/count_and_2gib", |b| {
+        b.iter(|| dirty.count_and(&transfer));
+    });
+    c.bench_function("bitmap/count_and_not_2gib", |b| {
+        b.iter(|| dirty.count_and_not(&transfer));
+    });
+    c.bench_function("bitmap/intersect_with_2gib", |b| {
+        b.iter_batched(
+            || Bitmap::new_all_set(npages),
+            |mut bm| {
+                bm.intersect_with(&transfer);
+                bm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("bitmap/invert_2gib", |b| {
+        b.iter_batched(
+            || transfer.clone(),
+            |mut bm| {
+                bm.invert();
+                bm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("bitmap/word_scan_classify_2gib", |b| {
+        // The engine's per-quantum classification: three word ops + popcounts.
+        let snap = Bitmap::new_all_set(npages);
+        b.iter(|| {
+            let mut sends = 0u64;
+            snap.for_each_set_word(|wi, w| {
+                let d = dirty.words()[wi];
+                let t = transfer.words()[wi];
+                sends += u64::from((w & t & !d).count_ones());
+            });
+            sends
+        });
+    });
+}
+
 fn dirty_log_ops(c: &mut Criterion) {
     c.bench_function("dirty_log/mark_and_clean", |b| {
         let mut log = DirtyLog::new(524_288);
@@ -141,6 +194,7 @@ fn minor_gc(c: &mut Criterion) {
 criterion_group!(
     benches,
     bitmap_ops,
+    bitmap_word_ops,
     dirty_log_ops,
     transfer_bitmap_ops,
     frame_allocator_ops,

@@ -1,0 +1,246 @@
+//! `bench` — performance evidence for the pre-copy scan pipeline.
+//!
+//! Usage:
+//!   bench [--scan-only] [--out PATH]
+//!
+//! Two measurements, both taken in the same run so they share a machine
+//! and a build:
+//!
+//! 1. **Scan microbenchmark** — classifies the same page sets with the
+//!    word-granular pipeline the engine now uses and with a per-bit
+//!    reference that replicates the seed engine's scan loop
+//!    (`next_set_at` / `clear` / per-PFN bitmap queries). Both kernels
+//!    must produce identical tallies; the JSON records pages/second for
+//!    each and the speedup.
+//! 2. **Harness wall-clock** — renders the Figure 10 grid serially and
+//!    through the parallel cell runner, asserts the outputs are
+//!    byte-identical, and records both times plus the worker count.
+//!    Skipped under `--scan-only` (the CI smoke mode).
+//!
+//! Results land in `BENCH_precopy.json` (override with `--out`).
+
+use javmm_bench::{figs, runner, FigOpts};
+use simkit::rng::DetRng;
+use simkit::SimDuration;
+use std::time::Instant;
+use vmem::{Bitmap, Pfn};
+
+/// Pages per synthetic VM: 2 GiB of 4 KiB pages, the paper's VM size.
+const NPAGES: u64 = 524_288;
+/// Timed repetitions per scan kernel.
+const REPS: u32 = 40;
+
+#[derive(PartialEq, Eq, Debug)]
+struct Tallies {
+    sends: u64,
+    skip_dirty: u64,
+    skip_transfer: u64,
+    deferred: u64,
+}
+
+struct Fixture {
+    name: &'static str,
+    to_send: Bitmap,
+    dirty: Bitmap,
+    transfer: Bitmap,
+}
+
+impl Fixture {
+    /// Iteration-1 shape: everything pending, a Young-generation region
+    /// skip-marked, a quarter of memory re-dirtied.
+    fn first_iter(seed: u64) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut transfer = Bitmap::new_all_set(NPAGES);
+        for p in NPAGES / 2..3 * NPAGES / 4 {
+            transfer.clear(Pfn(p));
+        }
+        let mut dirty = Bitmap::new(NPAGES);
+        for _ in 0..NPAGES / 4 {
+            dirty.set(Pfn(rng.next_u64() % NPAGES));
+        }
+        Self {
+            name: "first_iter",
+            to_send: Bitmap::new_all_set(NPAGES),
+            dirty,
+            transfer,
+        }
+    }
+
+    /// Late-iteration shape: a sparse working set still pending.
+    fn later_iter(seed: u64) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut to_send = Bitmap::new(NPAGES);
+        for _ in 0..NPAGES / 10 {
+            to_send.set(Pfn(rng.next_u64() % NPAGES));
+        }
+        let mut dirty = Bitmap::new(NPAGES);
+        for _ in 0..NPAGES / 20 {
+            dirty.set(Pfn(rng.next_u64() % NPAGES));
+        }
+        let mut transfer = Bitmap::new_all_set(NPAGES);
+        for _ in 0..NPAGES / 8 {
+            transfer.clear(Pfn(rng.next_u64() % NPAGES));
+        }
+        Self {
+            name: "later_iter",
+            to_send,
+            dirty,
+            transfer,
+        }
+    }
+}
+
+/// The seed engine's scan loop: walk set bits one PFN at a time, querying
+/// the transfer and dirty bitmaps per page.
+fn per_bit_scan(fix: &Fixture) -> Tallies {
+    let mut to_send = fix.to_send.clone();
+    let mut deferred = Bitmap::new(NPAGES);
+    let mut t = Tallies {
+        sends: 0,
+        skip_dirty: 0,
+        skip_transfer: 0,
+        deferred: 0,
+    };
+    let mut cursor = 0u64;
+    while let Some(pfn) = to_send.next_set_at(cursor) {
+        cursor = pfn.0 + 1;
+        to_send.clear(pfn);
+        if !fix.transfer.get(pfn) {
+            t.skip_transfer += 1;
+            deferred.set(pfn);
+            continue;
+        }
+        if fix.dirty.get(pfn) {
+            t.skip_dirty += 1;
+            continue;
+        }
+        t.sends += 1;
+    }
+    t.deferred = deferred.count_set();
+    t
+}
+
+/// The engine's current pipeline: classify 64 pages per step with word
+/// algebra, retiring whole words at once.
+fn word_scan(fix: &Fixture) -> Tallies {
+    let mut to_send = fix.to_send.clone();
+    let mut deferred = Bitmap::new(NPAGES);
+    let mut t = Tallies {
+        sends: 0,
+        skip_dirty: 0,
+        skip_transfer: 0,
+        deferred: 0,
+    };
+    for wi in 0..to_send.word_count() {
+        let w = to_send.words()[wi];
+        if w == 0 {
+            continue;
+        }
+        let d = fix.dirty.words()[wi];
+        let tr = fix.transfer.words()[wi];
+        let skips_t = w & !tr;
+        t.skip_transfer += u64::from(skips_t.count_ones());
+        t.skip_dirty += u64::from((w & tr & d).count_ones());
+        t.sends += u64::from((w & tr & !d).count_ones());
+        deferred.set_bits_in_word(wi, skips_t);
+        to_send.clear_bits_in_word(wi, w);
+    }
+    t.deferred = deferred.count_set();
+    t
+}
+
+fn time_scans(fixtures: &[Fixture], scan: fn(&Fixture) -> Tallies) -> f64 {
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for fix in fixtures {
+            std::hint::black_box(scan(std::hint::black_box(fix)));
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scan_only = args.iter().any(|a| a == "--scan-only");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_precopy.json".to_string());
+
+    // -- Scan microbenchmark ------------------------------------------------
+    let fixtures = [Fixture::first_iter(9), Fixture::later_iter(5)];
+    for fix in &fixtures {
+        assert_eq!(
+            per_bit_scan(fix),
+            word_scan(fix),
+            "scan kernels disagree on {}",
+            fix.name
+        );
+    }
+    let pages_per_rep: u64 = fixtures.iter().map(|f| f.to_send.count_set()).sum();
+    let total_pages = pages_per_rep * u64::from(REPS);
+    let bit_secs = time_scans(&fixtures, per_bit_scan);
+    let word_secs = time_scans(&fixtures, word_scan);
+    let bit_rate = total_pages as f64 / bit_secs;
+    let word_rate = total_pages as f64 / word_secs;
+    let scan_speedup = word_rate / bit_rate;
+    eprintln!(
+        "scan: per-bit {bit_rate:.3e} pages/s, word {word_rate:.3e} pages/s, \
+         speedup {scan_speedup:.1}x over {total_pages} pages"
+    );
+
+    // -- Harness wall-clock -------------------------------------------------
+    let harness_json = if scan_only {
+        "null".to_string()
+    } else {
+        let mut opts = FigOpts::quick();
+        opts.warmup = SimDuration::from_secs(20);
+        opts.tail = SimDuration::from_secs(10);
+        opts.parallel = false;
+        let t0 = Instant::now();
+        let serial_out = figs::fig10::run(&opts);
+        let serial_secs = t0.elapsed().as_secs_f64();
+        opts.parallel = true;
+        let t1 = Instant::now();
+        let parallel_out = figs::fig10::run(&opts);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            serial_out, parallel_out,
+            "parallel harness output diverged from serial"
+        );
+        let workers = runner::worker_count();
+        eprintln!(
+            "harness: fig10 serial {serial_secs:.1}s, parallel {parallel_secs:.1}s \
+             ({workers} workers), outputs byte-identical"
+        );
+        format!(
+            "{{\n    \"workers\": {workers},\n    \"serial_secs\": {serial_secs:.3},\n    \
+             \"parallel_secs\": {parallel_secs:.3},\n    \"speedup\": {:.3},\n    \
+             \"outputs_identical\": true\n  }}",
+            serial_secs / parallel_secs
+        )
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"javmm-bench-precopy-v1\",\n  \"scan\": {{\n    \
+         \"pages_per_rep\": {pages_per_rep},\n    \"reps\": {REPS},\n    \
+         \"per_bit_pages_per_sec\": {bit_rate:.0},\n    \
+         \"word_pages_per_sec\": {word_rate:.0},\n    \
+         \"speedup\": {scan_speedup:.2}\n  }},\n  \"harness\": {harness_json}\n}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark results");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    assert!(
+        scan_speedup >= 2.0,
+        "word-granular scan must be at least 2x the per-bit reference \
+         (measured {scan_speedup:.2}x)"
+    );
+}

@@ -1,9 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! Usage:
-//!   figures [--quick] [--out DIR] [--trace FILE] [fig1|fig5|fig8|fig10|fig11|fig12|table1|table2|table3|ablations|all]
+//!   figures [--quick] [--serial] [--out DIR] [--trace FILE] [fig1|fig5|fig8|fig10|fig11|fig12|table1|table2|table3|ablations|all]
 //!
 //! `--quick` (or JAVMM_BENCH=quick) shortens warmups and uses two seeds.
+//! `--serial` disables the parallel cell runner (output is byte-identical
+//! either way; `--trace` implies serial).
 //! `--out DIR` additionally writes each section to `DIR/<name>.txt`.
 //! `--trace FILE` flight-records each figure migration and writes the last
 //! run as a Chrome trace (plus a `.jsonl` flight log) to FILE; combine with
@@ -27,6 +29,9 @@ fn main() {
         FigOpts::from_env()
     };
     opts.trace = flag_value("--trace");
+    if args.iter().any(|a| a == "--serial") {
+        opts.parallel = false;
+    }
     let targets: Vec<&str> = args
         .iter()
         .enumerate()

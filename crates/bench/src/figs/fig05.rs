@@ -6,16 +6,17 @@
 
 use crate::opts::FigOpts;
 use crate::render::{bar, heading, mb, table};
+use crate::runner;
 use javmm::profiles::profile_heap;
 use simkit::units::GIB;
 use workloads::catalog;
 
-/// Generates all three panels.
+/// Generates all three panels. The nine profiling runs are independent,
+/// so they fan out through [`runner::par_map`].
 pub fn run(opts: &FigOpts) -> String {
-    let profiles: Vec<_> = catalog::all()
-        .iter()
-        .map(|w| profile_heap(w, GIB, opts.profile, 1))
-        .collect();
+    let profiles = runner::par_map(opts.run_parallel(), &catalog::all(), |w| {
+        profile_heap(w, GIB, opts.profile, 1)
+    });
 
     let mut s = heading("Figure 5a: memory consumption of the Java heap (MB)");
     let rows: Vec<Vec<String>> = profiles

@@ -25,10 +25,18 @@ fn progress_rows(r: &MigrationReport) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Generates both figures.
+/// Generates both figures. The two runs are independent co-simulations
+/// and execute concurrently when the harness allows it.
 pub fn run(opts: &FigOpts) -> String {
-    let xen = super::run_one(&catalog::compiler(), None, false, 1, opts);
-    let javmm = super::run_one(&catalog::compiler(), None, true, 1, opts);
+    let spec = catalog::compiler();
+    let mut outcomes = crate::runner::par_map(opts.run_parallel(), &[false, true], |&assisted| {
+        super::run_one(&spec, None, assisted, 1, opts)
+    })
+    .into_iter();
+    let (xen, javmm) = (
+        outcomes.next().expect("xen run"),
+        outcomes.next().expect("javmm run"),
+    );
 
     let headers = [
         "iter",

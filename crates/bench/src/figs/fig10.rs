@@ -7,6 +7,7 @@
 
 use crate::opts::FigOpts;
 use crate::render::{heading, mb, reduction, table};
+use crate::runner;
 use javmm::experiment::Summary;
 use javmm::orchestrator::ScenarioOutcome;
 use workloads::spec::WorkloadSpec;
@@ -19,10 +20,7 @@ struct Cell {
     outcomes: Vec<ScenarioOutcome>,
 }
 
-fn run_cell(w: &WorkloadSpec, young: Option<u64>, assisted: bool, opts: &FigOpts) -> Cell {
-    let outcomes: Vec<ScenarioOutcome> = (1..=opts.seeds)
-        .map(|seed| super::run_one(w, young, assisted, seed, opts))
-        .collect();
+fn build_cell(outcomes: Vec<ScenarioOutcome>) -> Cell {
     let metric = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
         Summary::of(&outcomes.iter().map(f).collect::<Vec<_>>())
     };
@@ -37,19 +35,38 @@ fn run_cell(w: &WorkloadSpec, young: Option<u64>, assisted: bool, opts: &FigOpts
 
 /// Shared by Figures 10 and 12: render the three panels for a set of
 /// (workload, young_max) rows.
+///
+/// Every (workload, mode, seed) triple is an independent co-simulation, so
+/// the whole grid fans out through [`runner::par_map`]; cells come back in
+/// input order, keeping the rendering byte-identical to a serial run.
 pub fn render_panels(
     title: &str,
     entries: &[(WorkloadSpec, Option<u64>)],
     opts: &FigOpts,
     paper_note: &str,
 ) -> String {
+    let jobs: Vec<(usize, bool, u64)> = entries
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [false, true]
+                .into_iter()
+                .flat_map(move |assisted| (1..=opts.seeds).map(move |seed| (i, assisted, seed)))
+        })
+        .collect();
+    let mut outcomes = runner::par_map(opts.run_parallel(), &jobs, |&(i, assisted, seed)| {
+        let (w, young) = &entries[i];
+        super::run_one(w, *young, assisted, seed, opts)
+    })
+    .into_iter();
     let cells: Vec<(String, Cell, Cell)> = entries
         .iter()
-        .map(|(w, young)| {
+        .map(|(w, _)| {
+            let per_mode = opts.seeds as usize;
             (
                 w.name.to_string(),
-                run_cell(w, *young, false, opts),
-                run_cell(w, *young, true, opts),
+                build_cell(outcomes.by_ref().take(per_mode).collect()),
+                build_cell(outcomes.by_ref().take(per_mode).collect()),
             )
         })
         .collect();

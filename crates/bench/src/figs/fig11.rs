@@ -66,12 +66,22 @@ impl GapExt for ScenarioOutcome {
     }
 }
 
-/// Generates the three panels (derby, crypto, scimark).
+/// Generates the three panels (derby, crypto, scimark). All six runs fan
+/// out through the deterministic runner and render in fixed order.
 pub fn run(opts: &FigOpts) -> String {
+    let specs = [catalog::derby(), catalog::crypto(), catalog::scimark()];
+    let jobs: Vec<(usize, bool)> = (0..specs.len())
+        .flat_map(|i| [(i, false), (i, true)])
+        .collect();
+    let mut outcomes = crate::runner::par_map(opts.run_parallel(), &jobs, |&(i, assisted)| {
+        super::run_one(&specs[i], None, assisted, 1, opts)
+    })
+    .into_iter();
+
     let mut s = heading("Figure 11: workload throughput across migration");
-    for spec in [catalog::derby(), catalog::crypto(), catalog::scimark()] {
-        let xen = super::run_one(&spec, None, false, 1, opts);
-        let javmm = super::run_one(&spec, None, true, 1, opts);
+    for spec in &specs {
+        let xen = outcomes.next().expect("xen run");
+        let javmm = outcomes.next().expect("javmm run");
         let w0 = (xen.migration_started_at - 20.0).max(0.0);
         let w1 = xen.migration_ended_at + 20.0;
         s.push_str(&format!("\n--- {} ---\n", spec.name));

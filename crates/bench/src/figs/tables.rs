@@ -31,26 +31,23 @@ pub fn table1() -> String {
 }
 
 fn observed_rows(entries: &[(WorkloadSpec, u64)], opts: &FigOpts) -> Vec<Vec<String>> {
-    entries
-        .iter()
-        .map(|(w, young_max)| {
-            let mut vm = JavaVmConfig::paper(w.clone(), false, 1);
-            vm.young_max = Some(*young_max);
-            let scenario = Scenario::quick(
-                vm,
-                MigrationConfig::xen_default(),
-                opts.warmup,
-                simkit::SimDuration::from_secs(1),
-            );
-            let out = run_scenario(&scenario);
-            vec![
-                w.name.to_string(),
-                mb(*young_max),
-                mb(out.observed.young),
-                mb(out.observed.old),
-            ]
-        })
-        .collect()
+    crate::runner::par_map(opts.run_parallel(), entries, |(w, young_max)| {
+        let mut vm = JavaVmConfig::paper(w.clone(), false, 1);
+        vm.young_max = Some(*young_max);
+        let scenario = Scenario::quick(
+            vm,
+            MigrationConfig::xen_default(),
+            opts.warmup,
+            simkit::SimDuration::from_secs(1),
+        );
+        let out = run_scenario(&scenario);
+        vec![
+            w.name.to_string(),
+            mb(*young_max),
+            mb(out.observed.young),
+            mb(out.observed.old),
+        ]
+    })
 }
 
 /// Table 2: settings/observations for the category representatives.

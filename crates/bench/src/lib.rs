@@ -11,5 +11,6 @@ pub mod ablations;
 pub mod figs;
 pub mod opts;
 pub mod render;
+pub mod runner;
 
 pub use opts::FigOpts;

@@ -18,6 +18,10 @@ pub struct FigOpts {
     /// rewritten per run — the last migration wins — so pair it with a
     /// single-figure filter (e.g. `figures --quick fig10 --trace t.json`).
     pub trace: Option<String>,
+    /// Run independent scenario cells on a thread pool (`figures --serial`
+    /// turns this off). Output is byte-identical either way; see
+    /// [`crate::runner`] for the determinism contract.
+    pub parallel: bool,
 }
 
 impl FigOpts {
@@ -29,6 +33,7 @@ impl FigOpts {
             tail: SimDuration::from_secs(150),
             profile: SimDuration::from_secs(300),
             trace: None,
+            parallel: true,
         }
     }
 
@@ -40,6 +45,7 @@ impl FigOpts {
             tail: SimDuration::from_secs(45),
             profile: SimDuration::from_secs(60),
             trace: None,
+            parallel: true,
         }
     }
 
@@ -49,6 +55,14 @@ impl FigOpts {
             Ok("quick") => Self::quick(),
             _ => Self::full(),
         }
+    }
+
+    /// Whether the figure generators should fan cells out to the thread
+    /// pool. Tracing forces serial execution: the flight-recorder files are
+    /// rewritten per run and "the last migration wins" only has a meaning
+    /// when runs happen in order.
+    pub fn run_parallel(&self) -> bool {
+        self.parallel && self.trace.is_none()
     }
 }
 

@@ -1,0 +1,98 @@
+//! Deterministic parallel execution of independent scenario cells.
+//!
+//! Every data point in the harness is a self-contained co-simulation: it
+//! owns its [`simkit::SimClock`], derives all randomness from a fixed seed,
+//! and touches no global state. That makes the figure generators
+//! embarrassingly parallel — *as long as the merge is deterministic*. The
+//! contract here is:
+//!
+//! * each cell is computed by a pure-ish closure over its input;
+//! * cells are claimed from an atomic work queue (so thread scheduling only
+//!   affects *who* computes a cell, never *what* it computes);
+//! * results are written into a slot table indexed by input position and
+//!   read back in input order.
+//!
+//! Output is therefore byte-identical to a serial run by construction,
+//! which `figures --serial` (and the CI smoke job) cross-checks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Returns the worker count a parallel map will use: the machine's
+/// available parallelism, or 1 when it cannot be determined.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a scoped thread pool, returning results in
+/// input order regardless of completion order.
+///
+/// With `parallel` false (or a single-core machine, or fewer than two
+/// items) this degenerates to a plain serial map on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item; the panic is propagated once all
+/// workers have stopped.
+pub fn par_map<T, R, F>(parallel: bool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = if parallel { worker_count() } else { 1 };
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every slot filled by the work queue")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(false, &items, |&x| x * x);
+        let parallel = par_map(true, &items, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[7], 49);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u64> = vec![];
+        assert!(par_map(true, &none, |&x| x).is_empty());
+        assert_eq!(par_map(true, &[42u64], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! The parallel cell runner's determinism contract: fanning scenario
+//! cells out to the thread pool must not change a single byte of the
+//! rendered figures relative to a serial run.
+
+use javmm_bench::{figs, FigOpts};
+use simkit::SimDuration;
+
+/// A deliberately tiny configuration so the double render stays fast.
+fn tiny() -> FigOpts {
+    let mut opts = FigOpts::quick();
+    opts.seeds = 1;
+    opts.warmup = SimDuration::from_secs(5);
+    opts.tail = SimDuration::from_secs(2);
+    opts.profile = SimDuration::from_secs(5);
+    opts
+}
+
+#[test]
+fn fig10_grid_renders_identically_serial_and_parallel() {
+    let entries = vec![
+        (workloads::catalog::derby(), None),
+        (workloads::catalog::crypto(), None),
+    ];
+    let mut opts = tiny();
+    opts.parallel = false;
+    let serial = figs::fig10::render_panels("determinism probe", &entries, &opts, "");
+    opts.parallel = true;
+    let parallel = figs::fig10::render_panels("determinism probe", &entries, &opts, "");
+    assert_eq!(serial, parallel, "parallel render diverged from serial");
+    assert!(serial.contains("derby"), "render produced real content");
+}
+
+#[test]
+fn fig05_profiles_render_identically_serial_and_parallel() {
+    let mut opts = tiny();
+    opts.parallel = false;
+    let serial = figs::fig05::run(&opts);
+    opts.parallel = true;
+    let parallel = figs::fig05::run(&opts);
+    assert_eq!(serial, parallel, "parallel profiling diverged from serial");
+}
+
+#[test]
+fn tracing_forces_serial_execution() {
+    let mut opts = tiny();
+    opts.trace = Some("/tmp/never-written.json".into());
+    assert!(!opts.run_parallel(), "trace output requires ordered runs");
+    opts.trace = None;
+    assert!(opts.run_parallel());
+}

@@ -21,6 +21,16 @@
 //! Guest execution and page transfer are co-simulated in small quanta: each
 //! quantum the engine sends a link-budget's worth of pages and advances the
 //! guest, so dirtying races transfer exactly as on real hardware.
+//!
+//! # Scan pipeline
+//!
+//! The scanner is word-granular: all three inputs — the iteration snapshot,
+//! the hypervisor dirty log and the LKM transfer bitmap — are dense
+//! `u64`-word bitmaps, and the guest only runs *between* quanta, so within
+//! a quantum the sendable set is exactly `to_send & transfer & !dirty`
+//! computed 64 pages at a time. Skip classification and the per-class
+//! traffic/CPU accounting are batched per word run; only the pages actually
+//! transferred are visited individually.
 
 use crate::config::{CompressionPolicy, MigrationConfig};
 use crate::destination::DestinationVm;
@@ -63,13 +73,6 @@ const READY_WAIT_CAP: SimDuration = SimDuration::from_secs(60);
 #[derive(Debug, Clone)]
 pub struct PrecopyEngine {
     config: MigrationConfig,
-}
-
-/// Disposition of one scanned page.
-enum Scan {
-    Send(Pfn),
-    SkipDirty,
-    SkipTransfer,
 }
 
 struct RunState {
@@ -381,6 +384,11 @@ impl PrecopyEngine {
     /// One live iteration: scan `to_send`, transferring at link speed while
     /// the guest keeps running. In `waiting` mode the iteration ends when
     /// the LKM reports readiness (refreshing its snapshot if it drains).
+    ///
+    /// Scanning is word-granular (see the module docs): each step classifies
+    /// 64 pages with three word operations, retires send-free words
+    /// wholesale, and walks only the sendable pages bit by bit so the link
+    /// budget cuts off at exactly the same page as a per-bit scan would.
     #[allow(clippy::too_many_arguments)]
     fn run_live_iteration(
         &self,
@@ -407,8 +415,8 @@ impl PrecopyEngine {
             let q_bytes = bytes;
             let mut budget = state.link.budget(self.config.quantum) as i64;
             let mut cpu_budget = self.config.quantum;
-            while budget > 0 && !cpu_budget.is_zero() {
-                let Some(pfn) = to_send.next_set_at(cursor) else {
+            'scan: while budget > 0 && !cpu_budget.is_zero() {
+                let Some(first) = to_send.next_set_at(cursor) else {
                     if waiting {
                         // Snapshot drained but the guest is still preparing:
                         // pick up newly dirtied pages under the same
@@ -422,9 +430,9 @@ impl PrecopyEngine {
                         *to_send = snap;
                         cursor = 0;
                         if to_send.all_clear() {
-                            break;
+                            break 'scan;
                         }
-                        continue;
+                        continue 'scan;
                     }
                     // Credit the partial quantum's traffic before leaving.
                     state
@@ -432,25 +440,93 @@ impl PrecopyEngine {
                         .sample_utilization(q_start, SimDuration::ZERO, bytes - q_bytes);
                     break 'outer;
                 };
-                cursor = pfn.0 + 1;
-                // Processed pages leave the snapshot; whatever the scanner
-                // never reaches is the leftover the stop-and-copy inherits.
-                to_send.clear(pfn);
-                state.cpu += self.config.cpu_cost_per_page_scan;
-                match self.classify(vm, pfn) {
-                    Scan::SkipDirty => skip_dirty += 1,
-                    Scan::SkipTransfer => {
-                        skip_transfer += 1;
-                        state.deferred_skips.set(pfn);
+                let wi = (first.0 / 64) as usize;
+                // Processed pages always leave the snapshot, so the whole
+                // word is still-pending work; whatever the scanner never
+                // reaches is the leftover the stop-and-copy inherits.
+                let w = to_send.words()[wi];
+                let (d, t) = self.scan_words(vm, wi);
+                let skips_t = w & !t;
+                let skips_d = w & t & d;
+                let sends = w & t & !d;
+
+                if sends == 0 {
+                    // A word with no sendable page consumes no link budget:
+                    // retire all 64 pages in one step.
+                    state.cpu += self.config.cpu_cost_per_page_scan * u64::from(w.count_ones());
+                    skip_transfer += u64::from(skips_t.count_ones());
+                    skip_dirty += u64::from(skips_d.count_ones());
+                    state.deferred_skips.set_bits_in_word(wi, skips_t);
+                    to_send.clear_bits_in_word(wi, w);
+                    cursor = (wi as u64 + 1) * 64;
+                    continue 'scan;
+                }
+
+                // The word contains sends: walk them in PFN order, retiring
+                // the budget-free skips between consecutive sends in bulk
+                // and batching the traffic/CPU accounting for the word run.
+                let mut pending_sends = sends;
+                let mut word_wire = 0u64;
+                let mut word_cpu = SimDuration::ZERO;
+                let mut class_bytes = [0u64; PageClass::ALL.len()];
+                loop {
+                    let bit = u64::from(pending_sends.trailing_zeros());
+                    // Unprocessed pages below the send are skips (earlier
+                    // sends were already cleared from the snapshot).
+                    let below = to_send.words()[wi] & ((1u64 << bit) - 1);
+                    if below != 0 {
+                        state.cpu +=
+                            self.config.cpu_cost_per_page_scan * u64::from(below.count_ones());
+                        skip_transfer += u64::from((below & skips_t).count_ones());
+                        skip_dirty += u64::from((below & skips_d).count_ones());
+                        state.deferred_skips.set_bits_in_word(wi, below & skips_t);
+                        to_send.clear_bits_in_word(wi, below);
                     }
-                    Scan::Send(pfn) => {
-                        let (wire, cpu) = self.send_page(vm, state, pfn);
-                        budget -= wire as i64;
-                        cpu_budget = cpu_budget.saturating_sub(cpu);
-                        bytes += wire;
-                        sent += 1;
+                    let pfn = Pfn(wi as u64 * 64 + bit);
+                    to_send.clear_bits_in_word(wi, 1u64 << bit);
+                    cursor = pfn.0 + 1;
+                    state.cpu += self.config.cpu_cost_per_page_scan;
+                    let (wire, cpu, class) = self.transmit_page(vm, state, pfn);
+                    budget -= wire as i64;
+                    cpu_budget = cpu_budget.saturating_sub(cpu);
+                    bytes += wire;
+                    sent += 1;
+                    word_wire += wire;
+                    class_bytes[class.index()] += wire;
+                    word_cpu += cpu
+                        + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
+                    pending_sends &= pending_sends - 1;
+                    if budget <= 0 || cpu_budget.is_zero() {
+                        // Budget cut off mid-word: the unreached pages (skips
+                        // included) stay in the snapshot for the next quantum,
+                        // exactly as a per-bit scan would leave them.
+                        break;
+                    }
+                    if pending_sends == 0 {
+                        // Trailing skips after the last send are budget-free.
+                        let rest = to_send.words()[wi];
+                        if rest != 0 {
+                            state.cpu +=
+                                self.config.cpu_cost_per_page_scan * u64::from(rest.count_ones());
+                            skip_transfer += u64::from((rest & skips_t).count_ones());
+                            skip_dirty += u64::from((rest & skips_d).count_ones());
+                            state.deferred_skips.set_bits_in_word(wi, rest & skips_t);
+                            to_send.clear_bits_in_word(wi, rest);
+                        }
+                        cursor = (wi as u64 + 1) * 64;
+                        break;
                     }
                 }
+                // Flush the word run's batched accounting.
+                state.link.record_send(word_wire);
+                state.wire_bytes += word_wire;
+                for class in PageClass::ALL {
+                    let b = class_bytes[class.index()];
+                    if b != 0 {
+                        state.by_class.add(class, b);
+                    }
+                }
+                state.cpu += word_cpu;
             }
 
             // Let the guest run for the quantum.
@@ -526,19 +602,57 @@ impl PrecopyEngine {
             final_set.union_with(&state.ever_dirtied);
         }
 
+        // The VM is paused, so the final transfer bitmap is immutable: the
+        // whole skip classification collapses to one word-wise intersection,
+        // and every surviving bit is a send.
         let pages_to_send = final_set.count_set();
+        state.cpu += self.config.cpu_cost_per_page_scan * pages_to_send;
+        let mut sendable = final_set;
+        let skip_transfer = if self.config.assisted {
+            match vm.kernel().lkm() {
+                Some(lkm) => {
+                    let tb = lkm.transfer_bitmap().as_bitmap();
+                    let skipped = sendable.count_and_not(tb);
+                    sendable.intersect_with(tb);
+                    skipped
+                }
+                None => 0,
+            }
+        } else {
+            0
+        };
+
         let mut sent = 0u64;
         let mut bytes = 0u64;
-        let mut skip_transfer = 0u64;
-        for pfn in final_set.iter_set() {
-            state.cpu += self.config.cpu_cost_per_page_scan;
-            if !self.transfer_allowed(vm, pfn) {
-                skip_transfer += 1;
+        for wi in 0..sendable.word_count() {
+            let mut bits = sendable.words()[wi];
+            if bits == 0 {
                 continue;
             }
-            let (wire, _) = self.send_page(vm, state, pfn);
-            bytes += wire;
-            sent += 1;
+            let mut word_wire = 0u64;
+            let mut word_cpu = SimDuration::ZERO;
+            let mut class_bytes = [0u64; PageClass::ALL.len()];
+            while bits != 0 {
+                let bit = u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
+                let pfn = Pfn(wi as u64 * 64 + bit);
+                let (wire, cpu, class) = self.transmit_page(vm, state, pfn);
+                bytes += wire;
+                sent += 1;
+                word_wire += wire;
+                class_bytes[class.index()] += wire;
+                word_cpu +=
+                    cpu + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
+            }
+            state.link.record_send(word_wire);
+            state.wire_bytes += word_wire;
+            for class in PageClass::ALL {
+                let b = class_bytes[class.index()];
+                if b != 0 {
+                    state.by_class.add(class, b);
+                }
+            }
+            state.cpu += word_cpu;
         }
         // The VM is paused: transfer time passes without guest execution.
         let duration = state.link.time_to_send(bytes);
@@ -558,46 +672,40 @@ impl PrecopyEngine {
         }
     }
 
-    fn classify(&self, vm: &dyn MigratableVm, pfn: Pfn) -> Scan {
-        if !self.transfer_allowed(vm, pfn) {
-            return Scan::SkipTransfer;
-        }
-        if vm.kernel().memory().dirty_log().is_dirty(pfn) {
-            // Dirtied again since this iteration's snapshot: sending now
-            // would be redundant; the next iteration will carry it.
-            return Scan::SkipDirty;
-        }
-        Scan::Send(pfn)
+    /// Copies the dirty-log and transfer-bitmap words covering word `wi` of
+    /// the scan. A cleared transfer bit means skip; a missing LKM (or
+    /// vanilla migration) behaves as all-transfer.
+    fn scan_words(&self, vm: &dyn MigratableVm, wi: usize) -> (u64, u64) {
+        let kernel = vm.kernel();
+        let d = kernel.memory().dirty_log().peek_ref().words()[wi];
+        let t = if !self.config.assisted {
+            u64::MAX
+        } else {
+            match kernel.lkm() {
+                Some(lkm) => lkm.transfer_bitmap().as_bitmap().words()[wi],
+                None => u64::MAX,
+            }
+        };
+        (d, t)
     }
 
-    fn transfer_allowed(&self, vm: &dyn MigratableVm, pfn: Pfn) -> bool {
-        if !self.config.assisted {
-            return true;
-        }
-        match vm.kernel().lkm() {
-            Some(lkm) => lkm.should_transfer(pfn),
-            None => true,
-        }
-    }
-
-    /// Sends one page; returns (wire bytes, compression CPU time).
-    fn send_page(
+    /// Computes the wire cost of one page and stores it at the destination.
+    ///
+    /// Traffic and CPU accounting are left to the caller, which batches
+    /// them per word run; returns (wire bytes, compression CPU, class).
+    fn transmit_page(
         &self,
-        vm: &mut dyn MigratableVm,
+        vm: &dyn MigratableVm,
         state: &mut RunState,
         pfn: Pfn,
-    ) -> (u64, SimDuration) {
+    ) -> (u64, SimDuration, PageClass) {
         let page = vm.kernel().memory().page(pfn);
         let method = self.method_for(page.class);
         let body = method.compressed_size(PAGE_SIZE, page.class.compression_ratio());
         let wire = body + PAGE_HEADER_BYTES;
         let cpu = method.cpu_cost(PAGE_SIZE);
         state.dest.receive(pfn, page);
-        state.link.record_send(wire);
-        state.wire_bytes += wire;
-        state.by_class.add(page.class, wire);
-        state.cpu += cpu + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
-        (wire, cpu)
+        (wire, cpu, page.class)
     }
 
     fn method_for(&self, class: PageClass) -> CompressionMethod {
@@ -622,25 +730,23 @@ impl PrecopyEngine {
         if !self.config.assisted {
             return log.dirty_count();
         }
-        log.peek()
-            .iter_set()
-            .filter(|&pfn| self.transfer_allowed(vm, pfn))
-            .count() as u64
+        match vm.kernel().lkm() {
+            // One allocation-free word-AND popcount over both bitmaps.
+            Some(lkm) => log.peek_ref().count_and(lkm.transfer_bitmap().as_bitmap()),
+            None => log.dirty_count(),
+        }
     }
 
-    /// The skip set at pause time: pages whose final transfer bit is clear.
+    /// The skip set at pause time: pages whose final transfer bit is clear —
+    /// the word-wise negation of the LKM's transfer bitmap.
     fn skip_bitmap(&self, vm: &dyn MigratableVm, npages: u64) -> Bitmap {
-        let mut skip = Bitmap::new(npages);
-        if !self.config.assisted {
-            return skip;
-        }
-        if let Some(lkm) = vm.kernel().lkm() {
-            for p in 0..npages {
-                if !lkm.should_transfer(Pfn(p)) {
-                    skip.set(Pfn(p));
-                }
+        if self.config.assisted {
+            if let Some(lkm) = vm.kernel().lkm() {
+                let mut skip = lkm.transfer_bitmap().as_bitmap().clone();
+                skip.invert();
+                return skip;
             }
         }
-        skip
+        Bitmap::new(npages)
     }
 }

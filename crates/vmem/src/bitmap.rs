@@ -56,6 +56,21 @@ impl Bitmap {
         self.words.len() as u64 * 8
     }
 
+    /// Borrows the backing `u64` words, least-significant bit first.
+    ///
+    /// Bits past `len()` in the final word are always zero, so word-wise
+    /// consumers need no tail special-casing on reads.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns the number of backing words (`len().div_ceil(64)`).
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
     #[inline]
     fn index(&self, pfn: Pfn) -> (usize, u64) {
         assert!(pfn.0 < self.len, "{pfn:?} out of range (len {})", self.len);
@@ -193,6 +208,99 @@ impl Bitmap {
         }
     }
 
+    /// Sets `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Flips every bit (`self = !self`).
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Returns `popcount(self & other)` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn count_and(&self, other: &Bitmap) -> u64 {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Returns `popcount(self & !other)` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn count_and_not(&self, other: &Bitmap) -> u64 {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Calls `f(word_index, word)` for every *non-zero* backing word, in
+    /// ascending index order. The hot-path alternative to [`Bitmap::iter_set`]
+    /// when the consumer wants to apply set algebra a word at a time.
+    #[inline]
+    pub fn for_each_set_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (idx, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                f(idx, w);
+            }
+        }
+    }
+
+    /// Iterates over the non-zero backing words as `(word_index, word)`
+    /// pairs in ascending index order.
+    pub fn iter_words(&self) -> SetWords<'_> {
+        SetWords {
+            words: &self.words,
+            idx: 0,
+        }
+    }
+
+    /// ORs `mask` into the word at `word_idx`; bits past `len()` are
+    /// discarded so the tail invariant holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx` is out of range.
+    #[inline]
+    pub fn set_bits_in_word(&mut self, word_idx: usize, mask: u64) {
+        self.words[word_idx] |= mask;
+        if word_idx + 1 == self.words.len() {
+            self.mask_tail();
+        }
+    }
+
+    /// Clears every bit of `mask` in the word at `word_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx` is out of range.
+    #[inline]
+    pub fn clear_bits_in_word(&mut self, word_idx: usize, mask: u64) {
+        self.words[word_idx] &= !mask;
+    }
+
     /// Clears any set bits beyond `len` (the tail of the last word).
     fn mask_tail(&mut self) {
         let rem = self.len % 64;
@@ -207,6 +315,28 @@ impl Bitmap {
 impl core::fmt::Debug for Bitmap {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "Bitmap({} set / {} bits)", self.count_set(), self.len)
+    }
+}
+
+/// Iterator over the non-zero words of a [`Bitmap`].
+pub struct SetWords<'a> {
+    words: &'a [u64],
+    idx: usize,
+}
+
+impl Iterator for SetWords<'_> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        while self.idx < self.words.len() {
+            let idx = self.idx;
+            self.idx += 1;
+            let w = self.words[idx];
+            if w != 0 {
+                return Some((idx, w));
+            }
+        }
+        None
     }
 }
 
@@ -317,6 +447,76 @@ mod tests {
         // 1 GiB of 4 KiB pages = 262144 pages -> 32 KiB of bitmap (paper §3.3.3).
         let bm = Bitmap::new(262_144);
         assert_eq!(bm.byte_size(), 32 * 1024);
+    }
+
+    #[test]
+    fn intersect_count_and_invert() {
+        let mut a = Bitmap::new(130);
+        let mut b = Bitmap::new(130);
+        for p in [0u64, 63, 64, 100, 129] {
+            a.set(Pfn(p));
+        }
+        for p in [63u64, 100, 128] {
+            b.set(Pfn(p));
+        }
+        assert_eq!(a.count_and(&b), 2, "63 and 100");
+        assert_eq!(a.count_and_not(&b), 3, "0, 64, 129");
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_set().map(|p| p.0).collect::<Vec<_>>(), vec![63, 100]);
+        let mut inv = b.clone();
+        inv.invert();
+        assert_eq!(inv.count_set(), 130 - 3);
+        assert!(!inv.get(Pfn(63)) && inv.get(Pfn(0)) && inv.get(Pfn(129)));
+    }
+
+    #[test]
+    fn tail_word_lengths_not_divisible_by_64() {
+        for len in [1u64, 63, 65, 70, 127, 130, 191] {
+            let mut bm = Bitmap::new(len);
+            bm.set_all();
+            assert_eq!(bm.count_set(), len, "set_all at len {len}");
+            assert_eq!(bm.next_set_at(len - 1), Some(Pfn(len - 1)));
+            assert_eq!(bm.next_set_at(len), None, "beyond the tail at len {len}");
+            assert_eq!(
+                bm.next_set_at(len + 1000),
+                None,
+                "far beyond the tail at len {len}"
+            );
+            // The tail invariant: no stray bits past `len` in the last word.
+            let rem = len % 64;
+            if rem != 0 {
+                assert_eq!(bm.words().last().unwrap() >> rem, 0, "tail at len {len}");
+            }
+            let mut inv = bm.clone();
+            inv.invert();
+            assert!(inv.all_clear(), "invert of all-set is empty at len {len}");
+            assert_eq!(bm.count_and(&bm), len);
+            assert_eq!(bm.count_and_not(&bm), 0);
+        }
+    }
+
+    #[test]
+    fn word_views_and_word_edits() {
+        let mut bm = Bitmap::new(100);
+        bm.set(Pfn(3));
+        bm.set(Pfn(64));
+        assert_eq!(bm.word_count(), 2);
+        assert_eq!(bm.words()[0], 1 << 3);
+        assert_eq!(bm.words()[1], 1);
+        let collected: Vec<(usize, u64)> = bm.iter_words().collect();
+        assert_eq!(collected, vec![(0, 1 << 3), (1, 1)]);
+        let mut visited = Vec::new();
+        bm.for_each_set_word(|i, w| visited.push((i, w)));
+        assert_eq!(visited, collected);
+
+        bm.clear_bits_in_word(0, 1 << 3);
+        assert!(!bm.get(Pfn(3)));
+        bm.set_bits_in_word(1, u64::MAX);
+        // Bits past len (100) must have been discarded by the tail mask.
+        assert_eq!(bm.count_set(), 100 - 64);
+        assert!(bm.get(Pfn(99)));
+        assert_eq!(bm.next_set_at(100), None);
     }
 
     #[test]

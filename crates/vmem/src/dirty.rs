@@ -96,6 +96,16 @@ impl DirtyLog {
         self.dirty.clone()
     }
 
+    /// Borrows the live dirty bitmap without cloning it.
+    ///
+    /// The word-granular scan pipeline reads the log through this view a
+    /// `u64` word at a time; [`DirtyLog::peek`] remains for callers that
+    /// need an owned snapshot.
+    #[inline]
+    pub fn peek_ref(&self) -> &Bitmap {
+        &self.dirty
+    }
+
     /// Returns the number of pages currently logged dirty.
     pub fn dirty_count(&self) -> u64 {
         self.dirty.count_set()
@@ -138,6 +148,18 @@ mod tests {
         let snap = log.peek();
         assert_eq!(snap.count_set(), 1);
         assert_eq!(log.dirty_count(), 1);
+    }
+
+    #[test]
+    fn peek_ref_tracks_live_state_without_cloning() {
+        let mut log = DirtyLog::new(70);
+        log.enable();
+        log.mark(Pfn(2));
+        log.mark(Pfn(69));
+        assert_eq!(log.peek_ref().count_set(), 2);
+        assert_eq!(log.peek_ref().words()[1], 1 << 5);
+        log.read_and_clear();
+        assert!(log.peek_ref().all_clear(), "view follows the live log");
     }
 
     #[test]

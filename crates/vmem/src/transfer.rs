@@ -46,6 +46,16 @@ impl TransferBitmap {
         self.bits.get(pfn)
     }
 
+    /// Borrows the underlying bitmap (set bit = transfer when dirty).
+    ///
+    /// This is the daemon's shared word-level view of application intent:
+    /// the scan pipeline combines it with the dirty log and the iteration
+    /// snapshot a `u64` word at a time instead of querying per PFN.
+    #[inline]
+    pub fn as_bitmap(&self) -> &Bitmap {
+        &self.bits
+    }
+
     /// Marks the page as requiring transfer; returns `true` if it was
     /// previously marked skip.
     pub fn set(&mut self, pfn: Pfn) -> bool {
@@ -205,6 +215,19 @@ mod tests {
         assert_eq!(tb.skip_count(), 1);
         assert!(tb.set(Pfn(42)));
         assert_eq!(tb.skip_count(), 0);
+    }
+
+    #[test]
+    fn as_bitmap_mirrors_should_transfer() {
+        let mut tb = TransferBitmap::new(70);
+        tb.clear(Pfn(65));
+        assert!(tb.as_bitmap().get(Pfn(0)));
+        assert!(!tb.as_bitmap().get(Pfn(65)));
+        assert_eq!(tb.as_bitmap().count_set(), 69);
+        // Word view usable for set algebra: skip set = !transfer.
+        let mut skip = tb.as_bitmap().clone();
+        skip.invert();
+        assert_eq!(skip.iter_set().map(|p| p.0).collect::<Vec<_>>(), vec![65]);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Regression lock for the word-granular scan pipeline.
+//!
+//! The engine's scan loop was rewritten from per-bit queries to word
+//! algebra (`to_send & transfer & !dirty`, 64 pages per step). The rewrite
+//! claims *bit-for-bit* equivalence, so these tests pin entire
+//! [`migrate::report::MigrationReport`]s — totals, downtime breakdown,
+//! verification counts and every per-iteration stat — to values recorded
+//! with the per-bit seed engine for three fixed-seed scenarios covering
+//! vanilla Xen, assisted migration and the waiting-mode snapshot refresh.
+//! Any semantic drift in the scan pipeline shows up here as a hard diff.
+
+use javmm::orchestrator::{run_scenario, Scenario};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use migrate::report::MigrationReport;
+use simkit::SimDuration;
+use workloads::catalog;
+use workloads::spec::WorkloadSpec;
+
+/// (to_send, sent, bytes, skip_dirty, skip_transfer, duration_ns)
+type IterRow = (u64, u64, u64, u64, u64, u64);
+
+struct Expected {
+    total_bytes: u64,
+    total_duration_ns: u64,
+    cpu_time_ns: u64,
+    /// (safepoint, gc, final_update, last_iteration, resume) in ns.
+    downtime_ns: (u64, u64, u64, u64, u64),
+    /// (matching, excused_skipped, excused_free, mismatched).
+    verification: (u64, u64, u64, u64),
+    iterations: Vec<IterRow>,
+}
+
+fn run(workload: WorkloadSpec, assisted: bool, seed: u64) -> MigrationReport {
+    let config = if assisted {
+        MigrationConfig::javmm_default()
+    } else {
+        MigrationConfig::xen_default()
+    };
+    run_scenario(&Scenario::quick(
+        JavaVmConfig::paper(workload, assisted, seed),
+        config,
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(5),
+    ))
+    .report
+}
+
+fn assert_report(name: &str, r: &MigrationReport, want: &Expected) {
+    assert_eq!(r.total_bytes, want.total_bytes, "{name}: total_bytes");
+    assert_eq!(
+        r.total_duration.as_nanos(),
+        want.total_duration_ns,
+        "{name}: total_duration"
+    );
+    assert_eq!(r.cpu_time.as_nanos(), want.cpu_time_ns, "{name}: cpu_time");
+    assert_eq!(
+        (
+            r.downtime.safepoint_wait.as_nanos(),
+            r.downtime.enforced_gc.as_nanos(),
+            r.downtime.final_update.as_nanos(),
+            r.downtime.last_iteration.as_nanos(),
+            r.downtime.resume.as_nanos(),
+        ),
+        want.downtime_ns,
+        "{name}: downtime breakdown"
+    );
+    assert_eq!(
+        (
+            r.verification.matching,
+            r.verification.excused_skipped,
+            r.verification.excused_free,
+            r.verification.mismatched,
+        ),
+        want.verification,
+        "{name}: verification"
+    );
+    let got: Vec<IterRow> = r
+        .iterations
+        .iter()
+        .map(|it| {
+            (
+                it.pages_to_send,
+                it.pages_sent,
+                it.bytes_sent,
+                it.pages_skipped_dirty,
+                it.pages_skipped_transfer,
+                it.duration.as_nanos(),
+            )
+        })
+        .collect();
+    assert_eq!(got, want.iterations, "{name}: per-iteration stats");
+}
+
+/// Assisted migration with transfer-bitmap skips on every iteration plus
+/// the ReadyToSuspend handshake.
+#[test]
+fn crypto_assisted_seed9_report_is_locked() {
+    let r = run(catalog::crypto(), true, 9);
+    assert_report(
+        "crypto-assisted-seed9",
+        &r,
+        &Expected {
+            total_bytes: 1_646_988_552,
+            total_duration_ns: 14_518_722_791,
+            cpu_time_ns: 2_008_193_382,
+            downtime_ns: (76_363_048, 447_627_772, 9_180, 10_722_791, 170_000_000),
+            verification: (417_956, 106_332, 0, 0),
+            iterations: vec![
+                (
+                    524_288,
+                    390_788,
+                    1_603_793_952,
+                    2_428,
+                    131_072,
+                    13_475_000_000,
+                ),
+                (116_274, 9_348, 38_364_192, 288, 106_638, 322_000_000),
+                (13_593, 512, 2_101_248, 2, 13_079, 17_000_000),
+                (718, 358, 1_469_232, 0, 1_080, 524_000_000),
+                (131_073, 307, 1_259_928, 0, 130_766, 10_722_791),
+            ],
+        },
+    );
+}
+
+/// Vanilla Xen: no transfer bitmap, re-dirty skips only, max iterations.
+#[test]
+fn derby_xen_seed1_report_is_locked() {
+    let r = run(catalog::derby(), false, 1);
+    assert_report(
+        "derby-xen-seed1",
+        &r,
+        &Expected {
+            total_bytes: 7_158_385_584,
+            total_duration_ns: 60_384_685_991,
+            cpu_time_ns: 8_675_893_194,
+            downtime_ns: (0, 0, 0, 5_841_685_991, 170_000_000),
+            verification: (524_288, 0, 0, 0),
+            iterations: vec![
+                (524_288, 313_351, 1_285_992_504, 210_937, 0, 10_805_000_000),
+                (226_876, 103_312, 423_992_448, 123_564, 0, 3_562_000_000),
+                (199_361, 100_983, 414_434_232, 98_378, 0, 3_482_000_000),
+                (193_489, 99_748, 409_365_792, 93_741, 0, 3_439_000_000),
+                (190_273, 97_217, 398_978_568, 93_056, 0, 3_352_000_000),
+                (183_843, 87_793, 360_302_472, 96_050, 0, 3_027_000_000),
+                (169_078, 81_978, 336_437_712, 87_100, 0, 2_826_000_000),
+                (199_493, 101_539, 416_716_056, 97_954, 0, 3_501_000_000),
+                (194_889, 102_259, 419_670_936, 92_630, 0, 3_526_000_000),
+                (196_706, 101_762, 417_631_248, 94_944, 0, 3_509_000_000),
+                (195_473, 101_049, 414_705_096, 94_424, 0, 3_484_000_000),
+                (193_619, 99_844, 409_759_776, 93_775, 0, 3_442_000_000),
+                (190_531, 97_399, 399_725_496, 93_132, 0, 3_358_000_000),
+                (184_297, 88_761, 364_275_144, 95_536, 0, 3_060_000_000),
+                (167_251, 167_251, 686_398_104, 0, 0, 5_841_685_991),
+            ],
+        },
+    );
+}
+
+/// Assisted migration whose waiting iteration drains its snapshot and
+/// refreshes it mid-iteration (`pages_sent` exceeds the initial
+/// `pages_to_send` in iteration 4) — the trickiest scan-loop path.
+#[test]
+fn derby_assisted_seed3_report_is_locked() {
+    let r = run(catalog::derby(), true, 3);
+    assert_report(
+        "derby-assisted-seed3",
+        &r,
+        &Expected {
+            total_bytes: 1_108_190_808,
+            total_duration_ns: 10_454_990_877,
+            cpu_time_ns: 1_473_473_878,
+            downtime_ns: (142_858_474, 868_139_846, 1_680, 1_990_877, 170_000_000),
+            verification: (309_408, 214_880, 0, 0),
+            iterations: vec![
+                (
+                    524_288,
+                    257_861,
+                    1_058_261_544,
+                    4_283,
+                    262_144,
+                    8_891_000_000,
+                ),
+                (225_741, 10_792, 44_290_368, 13, 214_936, 372_000_000),
+                (4_223, 281, 1_153_224, 0, 3_942, 9_000_000),
+                (667, 1_036, 4_251_744, 0, 855, 1_011_000_000),
+                (262_145, 57, 233_928, 0, 262_088, 1_990_877),
+            ],
+        },
+    );
+}
