@@ -38,7 +38,8 @@ pub fn compression(opts: &FigOpts) -> String {
             let mut config = MigrationConfig::javmm_default();
             config.compression = policy;
             let vm = JavaVmConfig::paper(catalog::derby(), true, 1);
-            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail));
+            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail))
+                .expect("scenario failed");
             vec![
                 name.to_string(),
                 format!("{:.1}", out.report.total_duration.as_secs_f64()),
@@ -74,7 +75,8 @@ pub fn final_update_strategy(opts: &FigOpts) -> String {
             // The rewalk strategy performs no intermediate updates, so the
             // last iteration must consider everything dirtied (§3.3.4).
             config.last_iter_considers_all_dirtied = rewalk;
-            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail));
+            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail))
+                .expect("scenario failed");
             let lkm = out.report.lkm.as_ref().expect("assisted run has LKM stats");
             vec![
                 name.to_string(),
@@ -205,7 +207,8 @@ pub fn scaling(opts: &FigOpts) -> String {
                 MigrationConfig::xen_default()
             };
             config.bandwidth = Bandwidth::from_gbit_per_sec(gbps, 0.94).scaled(share);
-            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail));
+            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail))
+                .expect("scenario failed");
             assert!(out.report.verification.is_correct());
             results.push(out);
         }
@@ -257,7 +260,8 @@ pub fn parallel_walks(opts: &FigOpts) -> String {
             vm.lkm.walk_parallelism = workers;
             let mut config = MigrationConfig::javmm_default();
             config.last_iter_considers_all_dirtied = true;
-            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail));
+            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail))
+                .expect("scenario failed");
             assert!(out.report.verification.is_correct());
             vec![
                 workers.to_string(),
@@ -369,7 +373,9 @@ pub fn baselines(opts: &FigOpts) -> String {
                 } else {
                     MigrationConfig::xen_default()
                 };
-                let r = PrecopyEngine::new(config).migrate(&mut vm, &mut clock);
+                let r = PrecopyEngine::new(config)
+                    .migrate(&mut vm, &mut clock)
+                    .expect("migration failed");
                 assert!(r.verification.is_correct());
                 vec![
                     name.to_string(),
@@ -429,7 +435,8 @@ pub fn g1_collector(opts: &FigOpts) -> String {
             } else {
                 MigrationConfig::xen_default()
             };
-            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail));
+            let out = run_scenario(&Scenario::quick(vm, config, opts.warmup, opts.tail))
+                .expect("scenario failed");
             assert!(out.report.verification.is_correct());
             rows.push(vec![
                 format!("{name} / {}", if assisted { "JAVMM" } else { "Xen" }),

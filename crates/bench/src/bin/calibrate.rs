@@ -40,7 +40,7 @@ fn main() {
         sc.warmup = simkit::SimDuration::from_secs(warmup);
         sc.total = sc.warmup + simkit::SimDuration::from_secs(150);
         let t0 = std::time::Instant::now();
-        let out = run_scenario(&sc);
+        let out = run_scenario(&sc).expect("scenario failed");
         let r = &out.report;
         println!(
             "{label} {name}: young={} old={} | time={} traffic={} iters={} downtime={} (gc={} last={} sp_wait={}) cpu={} mismatch={} ops_before={:.2} ops_after={:.2} [wall {:?}]",

@@ -42,7 +42,8 @@ pub fn run_one(
     let outcome = run_scenario_recorded(
         &Scenario::quick(vm, migration, opts.warmup, opts.tail),
         recorder,
-    );
+    )
+    .expect("scenario failed");
     if let Some(path) = &opts.trace {
         write_trace(path, &outcome.report.telemetry);
     }

@@ -40,7 +40,7 @@ fn observed_rows(entries: &[(WorkloadSpec, u64)], opts: &FigOpts) -> Vec<Vec<Str
             opts.warmup,
             simkit::SimDuration::from_secs(1),
         );
-        let out = run_scenario(&scenario);
+        let out = run_scenario(&scenario).expect("scenario failed");
         vec![
             w.name.to_string(),
             mb(*young_max),

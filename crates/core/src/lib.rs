@@ -25,11 +25,13 @@
 //! let javmm = run_scenario(&Scenario::paper(
 //!     JavaVmConfig::paper(catalog::derby(), true, 1),
 //!     MigrationConfig::javmm_default(),
-//! ));
+//! ))
+//! .expect("scenario failed");
 //! let xen = run_scenario(&Scenario::paper(
 //!     JavaVmConfig::paper(catalog::derby(), false, 1),
 //!     MigrationConfig::xen_default(),
-//! ));
+//! ))
+//! .expect("scenario failed");
 //! assert!(javmm.report.total_duration < xen.report.total_duration);
 //! ```
 

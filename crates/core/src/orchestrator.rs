@@ -6,6 +6,7 @@
 
 use crate::vm::{JavaVm, JavaVmConfig};
 use migrate::config::MigrationConfig;
+use migrate::error::MigrateError;
 use migrate::precopy::PrecopyEngine;
 use migrate::report::MigrationReport;
 use simkit::{Recorder, SimClock, SimDuration};
@@ -85,14 +86,25 @@ pub struct ScenarioOutcome {
 }
 
 /// Runs one scenario to completion.
-pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+///
+/// # Errors
+///
+/// Propagates any [`MigrateError`] from the migration engine (invalid
+/// config, missing LKM, dead link, exhausted coordination under the `Fail`
+/// fallback). A degraded-but-completed migration is *not* an error: it
+/// returns an outcome whose report carries
+/// [`MigrationOutcome::DegradedVanilla`](migrate::error::MigrationOutcome::DegradedVanilla).
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, MigrateError> {
     run_scenario_recorded(scenario, Recorder::disabled())
 }
 
 /// Like [`run_scenario`] but with a cross-layer flight recorder attached
 /// for the migration window; the frozen snapshot lands in
 /// `outcome.report.telemetry` (export it with [`simkit::telemetry::export`]).
-pub fn run_scenario_recorded(scenario: &Scenario, recorder: Recorder) -> ScenarioOutcome {
+pub fn run_scenario_recorded(
+    scenario: &Scenario,
+    recorder: Recorder,
+) -> Result<ScenarioOutcome, MigrateError> {
     let mut vm = JavaVm::launch(scenario.vm.clone());
     let mut clock = SimClock::new();
 
@@ -104,7 +116,7 @@ pub fn run_scenario_recorded(scenario: &Scenario, recorder: Recorder) -> Scenari
     let started_at = clock.now().as_secs_f64();
 
     let engine = PrecopyEngine::new(scenario.migration.clone());
-    let report = engine.migrate_recorded(&mut vm, &mut clock, recorder);
+    let report = engine.migrate_recorded(&mut vm, &mut clock, recorder)?;
     let ended_at = clock.now().as_secs_f64();
 
     // Keep running at the destination for the rest of the ten minutes.
@@ -120,7 +132,7 @@ pub fn run_scenario_recorded(scenario: &Scenario, recorder: Recorder) -> Scenari
     let mean_ops_before = analyzer.mean_between(10.0, started_at);
     let mean_ops_after = analyzer.mean_between(ended_at + 1.0, scenario.total.as_secs_f64());
 
-    ScenarioOutcome {
+    Ok(ScenarioOutcome {
         report,
         observed,
         throughput: analyzer.points(),
@@ -128,5 +140,5 @@ pub fn run_scenario_recorded(scenario: &Scenario, recorder: Recorder) -> Scenari
         mean_ops_after,
         migration_started_at: started_at,
         migration_ended_at: ended_at,
-    }
+    })
 }

@@ -210,6 +210,24 @@ impl MigratableVm for JavaVm {
         self.kernel.attach_telemetry(recorder.clone());
         self.jvm.attach_telemetry(recorder);
     }
+
+    fn install_faults(&mut self, plan: &simkit::FaultPlan) {
+        // Strict no-op for an inert plan: no RNG forks, no transport state
+        // changes, so zero-fault runs stay bit-for-bit identical.
+        if !plan.is_active() {
+            return;
+        }
+        let root = DetRng::new(plan.seed);
+        if plan.evtchn.is_active() {
+            self.port.install_faults(plan.evtchn, root.fork(1));
+        }
+        if plan.netlink.is_active() {
+            self.kernel
+                .install_netlink_faults(plan.netlink, root.fork(2));
+        }
+        self.jvm.set_agent_stall(plan.agent_stall);
+        self.jvm.set_gc_overrun(plan.gc_overrun);
+    }
 }
 
 impl core::fmt::Debug for JavaVm {

@@ -1,0 +1,305 @@
+//! The coordination-plane envelope: one versioned message type for every
+//! hop of the assisted-migration protocol.
+//!
+//! Historically each direction had its own enum (`DaemonToLkm`,
+//! `LkmToDaemon`, `LkmToApp`, `AppToLkm`), which made cross-cutting
+//! concerns — sequence numbers for duplicate/stale detection, deadlines,
+//! fault injection, telemetry — impossible to express once. [`CoordMsg`]
+//! replaces the four with a single envelope: a protocol version, a
+//! per-direction sequence number stamped by the transport at send time, an
+//! optional sender deadline, the source [`Lane`], and a [`CoordPayload`]
+//! covering the full vocabulary of Figure 4 plus the abort handshake of the
+//! degradation ladder.
+//!
+//! The legacy enums remain in [`crate::messages`] for one release; `From`
+//! impls below let existing senders pass them anywhere an
+//! `impl Into<CoordMsg>` is accepted. Receivers should match on
+//! [`CoordMsg::payload`].
+
+use crate::messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
+use simkit::{SimDuration, SimTime};
+use vmem::VaRange;
+
+/// Wire version of the coordination protocol.
+pub const COORD_VERSION: u8 = 1;
+
+/// The transport a coordination message rides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Daemon ↔ LKM over the Xen event channel.
+    Evtchn,
+    /// LKM ↔ applications over the netlink multicast group.
+    Netlink,
+}
+
+/// The unified coordination message envelope.
+///
+/// `seq` and `lane` are stamped by the transport when the message is sent;
+/// constructing a `CoordMsg` by hand (or via the compat `From` impls)
+/// leaves them at neutral defaults. `deadline` is the sender's intent — "I
+/// will stop waiting for the effect of this message at `deadline`" — and is
+/// purely informational: receivers keep their own timeout policies so that
+/// stamping a deadline never changes protocol timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordMsg {
+    /// Protocol version ([`COORD_VERSION`]).
+    pub version: u8,
+    /// Per-direction sequence number, stamped at send. Duplicates injected
+    /// by the transport share the original's seq so receivers can detect
+    /// them; retries sent by the caller get fresh numbers.
+    pub seq: u64,
+    /// Sender's give-up instant, if it has one.
+    pub deadline: Option<SimTime>,
+    /// Source transport, stamped at send.
+    pub lane: Lane,
+    /// The actual protocol message.
+    pub payload: CoordPayload,
+}
+
+impl CoordMsg {
+    /// Wraps a payload in a fresh envelope (seq/lane are stamped at send).
+    pub fn new(payload: CoordPayload) -> Self {
+        Self {
+            version: COORD_VERSION,
+            seq: 0,
+            deadline: None,
+            lane: Lane::Evtchn,
+            payload,
+        }
+    }
+
+    /// Sets the sender deadline.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl From<CoordPayload> for CoordMsg {
+    fn from(payload: CoordPayload) -> Self {
+        CoordMsg::new(payload)
+    }
+}
+
+/// Every message of the coordination protocol, all hops.
+///
+/// The [`Lane`] and direction a payload is valid on is part of the protocol
+/// (documented per variant); receivers treat out-of-place payloads as
+/// protocol violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordPayload {
+    // ---- daemon → LKM (evtchn) ----
+    /// Migration has begun; the LKM should query applications and perform
+    /// the first transfer-bitmap update.
+    MigrationBegin,
+    /// The daemon wants to pause the VM and enter the last iteration; the
+    /// LKM should ask applications to prepare for suspension.
+    EnteringLastIter,
+    /// Abandon assistance: clear every transfer-bitmap exclusion and stop
+    /// coordinating — the migration continues as vanilla pre-copy. Also
+    /// multicast by the LKM to applications so they release held threads.
+    AbortAssist,
+    /// The VM has resumed at the destination (daemon → LKM on evtchn, and
+    /// relayed LKM → applications on netlink).
+    VmResumed,
+
+    // ---- LKM → daemon (evtchn) ----
+    /// Acknowledges [`CoordPayload::MigrationBegin`]; lets the daemon
+    /// distinguish a live LKM from a dead coordination channel.
+    BeginAck,
+    /// All applications are suspension-ready and the final transfer-bitmap
+    /// update is complete; the daemon may pause the VM.
+    ReadyToSuspend {
+        /// Time the final bitmap update took (the paper measures ≤300 µs).
+        final_update: SimDuration,
+        /// Applications that missed the reply deadline and were forcibly
+        /// un-skipped (§6 straggler handling).
+        stragglers: u32,
+    },
+
+    // ---- LKM → applications (netlink multicast) ----
+    /// "Migration has begun — report your skip-over areas."
+    QuerySkipOver,
+    /// "Prepare for VM suspension, then report your current skip-over
+    /// areas." For JAVMM the preparation is the enforced minor GC.
+    PrepareSuspension,
+
+    // ---- applications → LKM (netlink) ----
+    /// Reply to [`CoordPayload::QuerySkipOver`]: the application's
+    /// skip-over areas as raw (possibly unaligned) VA ranges.
+    SkipOverAreas(Vec<VaRange>),
+    /// Unsolicited notification that VA ranges left a skip-over area (the
+    /// area shrank); must be sent immediately per §3.3.4.
+    AreaShrunk {
+        /// The VA ranges that left the area.
+        left: Vec<VaRange>,
+    },
+    /// Reply to [`CoordPayload::PrepareSuspension`]: the application
+    /// finished preparing (e.g. the enforced GC completed) and reports its
+    /// current areas.
+    SuspensionReady {
+        /// Current skip-over areas (used for the final bitmap update's
+        /// expansion/shrink reconciliation).
+        areas: Vec<VaRange>,
+        /// Sub-ranges inside `areas` whose contents must nevertheless be
+        /// transferred in the last iteration. For JAVMM this is the
+        /// occupied From space holding the data that survived the enforced
+        /// GC; the LKM treats these pages as "leaving" the area and sets
+        /// their transfer bits.
+        must_send: Vec<VaRange>,
+    },
+}
+
+impl CoordPayload {
+    /// Stable payload name for telemetry and protocol-violation reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoordPayload::MigrationBegin => "migration_begin",
+            CoordPayload::EnteringLastIter => "entering_last_iter",
+            CoordPayload::AbortAssist => "abort_assist",
+            CoordPayload::VmResumed => "vm_resumed",
+            CoordPayload::BeginAck => "begin_ack",
+            CoordPayload::ReadyToSuspend { .. } => "ready_to_suspend",
+            CoordPayload::QuerySkipOver => "query_skip_over",
+            CoordPayload::PrepareSuspension => "prepare_suspension",
+            CoordPayload::SkipOverAreas(_) => "skip_over_areas",
+            CoordPayload::AreaShrunk { .. } => "area_shrunk",
+            CoordPayload::SuspensionReady { .. } => "suspension_ready",
+        }
+    }
+}
+
+// ---- compat layer: legacy per-direction enums → envelope --------------
+//
+// Kept for one release so downstream senders keep compiling; receivers have
+// all moved to `CoordMsg`. Not marked deprecated yet: the workspace builds
+// with `-D warnings` and the legacy enums are still used by tests pinned to
+// the old surface.
+
+impl From<DaemonToLkm> for CoordPayload {
+    fn from(m: DaemonToLkm) -> Self {
+        match m {
+            DaemonToLkm::MigrationBegin => CoordPayload::MigrationBegin,
+            DaemonToLkm::EnteringLastIter => CoordPayload::EnteringLastIter,
+            DaemonToLkm::VmResumed => CoordPayload::VmResumed,
+        }
+    }
+}
+
+impl From<LkmToDaemon> for CoordPayload {
+    fn from(m: LkmToDaemon) -> Self {
+        match m {
+            LkmToDaemon::ReadyToSuspend {
+                final_update,
+                stragglers,
+            } => CoordPayload::ReadyToSuspend {
+                final_update,
+                stragglers,
+            },
+        }
+    }
+}
+
+impl From<LkmToApp> for CoordPayload {
+    fn from(m: LkmToApp) -> Self {
+        match m {
+            LkmToApp::QuerySkipOver => CoordPayload::QuerySkipOver,
+            LkmToApp::PrepareSuspension => CoordPayload::PrepareSuspension,
+            LkmToApp::VmResumed => CoordPayload::VmResumed,
+        }
+    }
+}
+
+impl From<AppToLkm> for CoordPayload {
+    fn from(m: AppToLkm) -> Self {
+        match m {
+            AppToLkm::SkipOverAreas(areas) => CoordPayload::SkipOverAreas(areas),
+            AppToLkm::AreaShrunk { left } => CoordPayload::AreaShrunk { left },
+            AppToLkm::SuspensionReady { areas, must_send } => {
+                CoordPayload::SuspensionReady { areas, must_send }
+            }
+        }
+    }
+}
+
+impl From<DaemonToLkm> for CoordMsg {
+    fn from(m: DaemonToLkm) -> Self {
+        CoordMsg::new(m.into())
+    }
+}
+
+impl From<LkmToDaemon> for CoordMsg {
+    fn from(m: LkmToDaemon) -> Self {
+        CoordMsg::new(m.into())
+    }
+}
+
+impl From<LkmToApp> for CoordMsg {
+    fn from(m: LkmToApp) -> Self {
+        CoordMsg::new(m.into())
+    }
+}
+
+impl From<AppToLkm> for CoordMsg {
+    fn from(m: AppToLkm) -> Self {
+        CoordMsg::new(m.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::Vaddr;
+
+    #[test]
+    fn compat_layer_maps_every_legacy_variant() {
+        assert_eq!(
+            CoordPayload::from(DaemonToLkm::MigrationBegin),
+            CoordPayload::MigrationBegin
+        );
+        assert_eq!(
+            CoordPayload::from(LkmToApp::VmResumed),
+            CoordPayload::VmResumed
+        );
+        let areas = vec![VaRange::new(Vaddr(0), Vaddr(4096))];
+        assert_eq!(
+            CoordPayload::from(AppToLkm::SkipOverAreas(areas.clone())),
+            CoordPayload::SkipOverAreas(areas)
+        );
+        let m: CoordMsg = LkmToDaemon::ReadyToSuspend {
+            final_update: SimDuration::from_micros(250),
+            stragglers: 1,
+        }
+        .into();
+        assert_eq!(m.version, COORD_VERSION);
+        assert_eq!(
+            m.payload,
+            CoordPayload::ReadyToSuspend {
+                final_update: SimDuration::from_micros(250),
+                stragglers: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_builder_sets_deadline() {
+        let t = SimTime::from_nanos(99);
+        let m = CoordMsg::new(CoordPayload::EnteringLastIter).with_deadline(t);
+        assert_eq!(m.deadline, Some(t));
+    }
+
+    #[test]
+    fn payload_names_are_distinct() {
+        let names = [
+            CoordPayload::MigrationBegin.name(),
+            CoordPayload::EnteringLastIter.name(),
+            CoordPayload::AbortAssist.name(),
+            CoordPayload::VmResumed.name(),
+            CoordPayload::BeginAck.name(),
+            CoordPayload::QuerySkipOver.name(),
+            CoordPayload::PrepareSuspension.name(),
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

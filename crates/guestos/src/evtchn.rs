@@ -4,9 +4,17 @@
 //! through it the migration daemon in domain 0 and the LKM exchange
 //! notifications throughout the migration. Like the netlink bus, delivery
 //! is asynchronous with a small latency.
+//!
+//! The channel carries [`CoordMsg`] envelopes: each endpoint stamps a
+//! monotonically increasing per-direction sequence number and the
+//! [`Lane::Evtchn`] lane at send time. Fault injection (see
+//! [`simkit::faults`]) can drop, delay or duplicate messages on this hop;
+//! delayed messages are kept ready-time-sorted so reordering is observable
+//! at the receiver, while the fault-free path degenerates to plain FIFO.
 
-use crate::messages::{DaemonToLkm, LkmToDaemon};
-use simkit::{SimDuration, SimTime};
+use crate::coord::{CoordMsg, Lane};
+use simkit::faults::{insert_by_ready, LaneFaultState, MessageFate};
+use simkit::{DetRng, LaneFaults, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -17,8 +25,43 @@ pub const EVTCHN_LATENCY: SimDuration = SimDuration::from_micros(20);
 #[derive(Debug)]
 struct ChannelCore {
     latency: SimDuration,
-    to_lkm: VecDeque<(SimTime, DaemonToLkm)>,
-    to_daemon: VecDeque<(SimTime, LkmToDaemon)>,
+    to_lkm: VecDeque<(SimTime, CoordMsg)>,
+    to_daemon: VecDeque<(SimTime, CoordMsg)>,
+    daemon_seq: u64,
+    lkm_seq: u64,
+    faults: Option<LaneFaultState>,
+}
+
+impl ChannelCore {
+    /// Stamps, applies fault fate, and enqueues one message.
+    fn deliver(&mut self, now: SimTime, mut msg: CoordMsg, to_lkm: bool) {
+        msg.lane = Lane::Evtchn;
+        msg.seq = if to_lkm {
+            self.daemon_seq += 1;
+            self.daemon_seq
+        } else {
+            self.lkm_seq += 1;
+            self.lkm_seq
+        };
+        let mut ready = now + self.latency;
+        let mut copies = 1;
+        if let Some(faults) = &mut self.faults {
+            match faults.fate() {
+                MessageFate::Deliver => {}
+                MessageFate::Drop => return,
+                MessageFate::Delay(extra) => ready += extra,
+                MessageFate::Duplicate => copies = 2,
+            }
+        }
+        let queue = if to_lkm {
+            &mut self.to_lkm
+        } else {
+            &mut self.to_daemon
+        };
+        for _ in 0..copies {
+            insert_by_ready(queue, ready, msg.clone());
+        }
+    }
 }
 
 /// Creates a connected (daemon-side, LKM-side) endpoint pair.
@@ -26,14 +69,17 @@ struct ChannelCore {
 /// # Examples
 ///
 /// ```
+/// use guestos::coord::CoordPayload;
 /// use guestos::evtchn::{channel_pair, EVTCHN_LATENCY};
-/// use guestos::messages::DaemonToLkm;
 /// use simkit::SimTime;
 ///
 /// let (daemon, lkm) = channel_pair();
-/// daemon.send(SimTime::ZERO, DaemonToLkm::MigrationBegin);
+/// daemon.send(SimTime::ZERO, CoordPayload::MigrationBegin);
 /// let later = SimTime::ZERO + EVTCHN_LATENCY;
-/// assert_eq!(lkm.recv(later), vec![DaemonToLkm::MigrationBegin]);
+/// let got = lkm.recv(later);
+/// assert_eq!(got.len(), 1);
+/// assert_eq!(got[0].payload, CoordPayload::MigrationBegin);
+/// assert_eq!(got[0].seq, 1);
 /// ```
 pub fn channel_pair() -> (DaemonPort, LkmPort) {
     channel_pair_with_latency(EVTCHN_LATENCY)
@@ -45,6 +91,9 @@ pub fn channel_pair_with_latency(latency: SimDuration) -> (DaemonPort, LkmPort) 
         latency,
         to_lkm: VecDeque::new(),
         to_daemon: VecDeque::new(),
+        daemon_seq: 0,
+        lkm_seq: 0,
+        faults: None,
     }));
     (
         DaemonPort {
@@ -62,15 +111,19 @@ pub struct DaemonPort {
 
 impl DaemonPort {
     /// Sends a notification to the LKM.
-    pub fn send(&self, now: SimTime, msg: DaemonToLkm) {
-        let mut core = self.core.borrow_mut();
-        let ready = now + core.latency;
-        core.to_lkm.push_back((ready, msg));
+    pub fn send(&self, now: SimTime, msg: impl Into<CoordMsg>) {
+        self.core.borrow_mut().deliver(now, msg.into(), true);
     }
 
     /// Receives all LKM notifications that have arrived by `now`.
-    pub fn recv(&self, now: SimTime) -> Vec<LkmToDaemon> {
+    pub fn recv(&self, now: SimTime) -> Vec<CoordMsg> {
         drain_ready(&mut self.core.borrow_mut().to_daemon, now)
+    }
+
+    /// Arms fault injection on this hop (both directions share one fate
+    /// stream so a plan replays identically regardless of traffic mix).
+    pub fn install_faults(&self, faults: LaneFaults, rng: DetRng) {
+        self.core.borrow_mut().faults = Some(LaneFaultState::new(faults, rng));
     }
 }
 
@@ -82,19 +135,17 @@ pub struct LkmPort {
 
 impl LkmPort {
     /// Sends a notification to the daemon.
-    pub fn send(&self, now: SimTime, msg: LkmToDaemon) {
-        let mut core = self.core.borrow_mut();
-        let ready = now + core.latency;
-        core.to_daemon.push_back((ready, msg));
+    pub fn send(&self, now: SimTime, msg: impl Into<CoordMsg>) {
+        self.core.borrow_mut().deliver(now, msg.into(), false);
     }
 
     /// Receives all daemon notifications that have arrived by `now`.
-    pub fn recv(&self, now: SimTime) -> Vec<DaemonToLkm> {
+    pub fn recv(&self, now: SimTime) -> Vec<CoordMsg> {
         drain_ready(&mut self.core.borrow_mut().to_lkm, now)
     }
 }
 
-fn drain_ready<T>(queue: &mut VecDeque<(SimTime, T)>, now: SimTime) -> Vec<T> {
+fn drain_ready(queue: &mut VecDeque<(SimTime, CoordMsg)>, now: SimTime) -> Vec<CoordMsg> {
     let mut out = Vec::new();
     while let Some(&(ready, _)) = queue.front() {
         if ready <= now {
@@ -109,6 +160,8 @@ fn drain_ready<T>(queue: &mut VecDeque<(SimTime, T)>, now: SimTime) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coord::CoordPayload;
+    use crate::messages::{DaemonToLkm, LkmToDaemon};
 
     fn t(us: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_micros(us)
@@ -119,7 +172,10 @@ mod tests {
         let (daemon, lkm) = channel_pair();
         daemon.send(t(0), DaemonToLkm::MigrationBegin);
         assert!(lkm.recv(t(0)).is_empty(), "latency not yet elapsed");
-        assert_eq!(lkm.recv(t(20)), vec![DaemonToLkm::MigrationBegin]);
+        let got = lkm.recv(t(20));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, CoordPayload::MigrationBegin);
+        assert_eq!(got[0].lane, Lane::Evtchn);
         lkm.send(
             t(30),
             LkmToDaemon::ReadyToSuspend {
@@ -131,13 +187,67 @@ mod tests {
     }
 
     #[test]
-    fn order_preserved() {
+    fn order_and_seq_preserved() {
         let (daemon, lkm) = channel_pair_with_latency(SimDuration::ZERO);
         daemon.send(t(0), DaemonToLkm::MigrationBegin);
         daemon.send(t(0), DaemonToLkm::EnteringLastIter);
+        let got = lkm.recv(t(0));
         assert_eq!(
-            lkm.recv(t(0)),
-            vec![DaemonToLkm::MigrationBegin, DaemonToLkm::EnteringLastIter]
+            got.iter().map(|m| m.payload.clone()).collect::<Vec<_>>(),
+            vec![CoordPayload::MigrationBegin, CoordPayload::EnteringLastIter]
         );
+        assert_eq!(got.iter().map(|m| m.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_fault_loses_messages() {
+        let (daemon, lkm) = channel_pair_with_latency(SimDuration::ZERO);
+        daemon.install_faults(
+            LaneFaults {
+                drop: 1.0,
+                ..LaneFaults::NONE
+            },
+            DetRng::new(1),
+        );
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        assert!(lkm.recv(t(10)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_fault_shares_seq() {
+        let (daemon, lkm) = channel_pair_with_latency(SimDuration::ZERO);
+        daemon.install_faults(
+            LaneFaults {
+                duplicate: 1.0,
+                ..LaneFaults::NONE
+            },
+            DetRng::new(1),
+        );
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        let got = lkm.recv(t(10));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, got[1].seq);
+    }
+
+    #[test]
+    fn delay_fault_reorders_behind_later_sends() {
+        let (daemon, lkm) = channel_pair_with_latency(SimDuration::ZERO);
+        // First message delayed; second sent fault-free afterwards.
+        daemon.install_faults(
+            LaneFaults {
+                delay: 1.0,
+                delay_max: SimDuration::from_millis(10),
+                ..LaneFaults::NONE
+            },
+            DetRng::new(3),
+        );
+        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.install_faults(LaneFaults::NONE, DetRng::new(0));
+        daemon.send(t(1), DaemonToLkm::EnteringLastIter);
+        let got = lkm.recv(t(20_000));
+        assert_eq!(got.len(), 2);
+        // The delayed MigrationBegin (seq 1) arrives after seq 2.
+        assert_eq!(got[0].seq, 2);
+        assert_eq!(got[1].seq, 1);
     }
 }

@@ -206,6 +206,12 @@ impl GuestKernel {
         self.netlink.inject_loss(loss, rng);
     }
 
+    /// Arms structured fault injection (drop/delay/duplicate) on the
+    /// netlink hop; see [`NetlinkBus::install_faults`].
+    pub fn install_netlink_faults(&self, faults: simkit::LaneFaults, rng: DetRng) {
+        self.netlink.install_faults(faults, rng);
+    }
+
     /// Netlink messages dropped by fault injection so far.
     pub fn netlink_dropped(&self) -> u64 {
         self.netlink.dropped_count()

@@ -14,9 +14,12 @@
 //! * [`lkm::Lkm`] — the Loadable Kernel Module: state machine, transfer
 //!   bitmap ownership, first/shrink/final bitmap updates, PFN caching, and
 //!   straggler timeouts;
+//! * [`coord`] — the versioned [`coord::CoordMsg`] envelope every hop
+//!   carries (seq numbers, deadlines, source lane);
 //! * [`app::GuestApp`] — the contract assisting applications fulfil.
 
 pub mod app;
+pub mod coord;
 pub mod evtchn;
 pub mod frames;
 pub mod kernel;
@@ -27,8 +30,9 @@ pub mod process;
 pub mod procfs;
 
 pub use app::GuestApp;
+pub use coord::{CoordMsg, CoordPayload, Lane, COORD_VERSION};
 pub use kernel::{GuestKernel, GuestOsConfig, WriteOutcome};
-pub use lkm::{DaemonPort, Lkm, LkmConfig, LkmState, LkmStats};
+pub use lkm::{DaemonPort, Lkm, LkmConfig, LkmConfigBuilder, LkmConfigError, LkmState, LkmStats};
 pub use messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
 pub use netlink::{NetlinkBus, NetlinkSocket};
 pub use process::{Pid, Process};

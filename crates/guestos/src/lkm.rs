@@ -12,11 +12,20 @@
 //!   before the last iteration (§3.3.4);
 //! * caches the PFNs of skip-over pages so shrink notifications can be
 //!   answered after the underlying frames were reclaimed;
-//! * transitions through the five operating states of Figure 4 and handles
-//!   stragglers with a reply deadline (§6).
+//! * transitions through the five operating states of Figure 4 — including
+//!   the [`LkmState::Degraded`] terminal of the degradation ladder — and
+//!   handles stragglers with a reply deadline (§6).
+//!
+//! All coordination rides [`CoordMsg`] envelopes. The LKM gates daemon
+//! messages by sequence number: retries (fresh seq) are re-handled
+//! idempotently, transport duplicates and stale reorderings (seq at or
+//! below the watermark) are counted and dropped. Application messages are
+//! deduplicated per pid the same way; a message lost there is reconciled by
+//! the final bitmap update or, past the reply deadline, by straggler
+//! handling — never by hanging.
 
+use crate::coord::{CoordMsg, CoordPayload};
 use crate::evtchn::{channel_pair, LkmPort};
-use crate::messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
 use crate::netlink::KernelNetlink;
 use crate::process::{Pid, Process};
 use simkit::{Recorder, SimDuration, SimTime, Subsystem};
@@ -27,6 +36,9 @@ use vmem::{Pfn, PfnCache, TransferBitmap, VaRange};
 pub use crate::evtchn::DaemonPort;
 
 /// Tunable costs and policies of the LKM.
+///
+/// Construct via [`LkmConfig::builder`] for validated settings, or use
+/// [`LkmConfig::default`] for the paper's calibration.
 #[derive(Debug, Clone)]
 pub struct LkmConfig {
     /// CPU time per page-table walk step (one page looked up).
@@ -59,7 +71,105 @@ impl Default for LkmConfig {
     }
 }
 
-/// The LKM's operating state (Figure 4).
+impl LkmConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> LkmConfigBuilder {
+        LkmConfigBuilder {
+            cfg: LkmConfig::default(),
+        }
+    }
+}
+
+/// Why an [`LkmConfigBuilder`] rejected its settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LkmConfigError {
+    /// `reply_timeout` must be positive; a zero deadline would declare
+    /// every application a straggler on the first service tick.
+    ZeroReplyTimeout,
+    /// `walk_parallelism` must be at least one worker.
+    ZeroParallelism,
+}
+
+impl core::fmt::Display for LkmConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LkmConfigError::ZeroReplyTimeout => write!(f, "reply_timeout must be positive"),
+            LkmConfigError::ZeroParallelism => write!(f, "walk_parallelism must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for LkmConfigError {}
+
+/// Validating builder for [`LkmConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use guestos::lkm::LkmConfig;
+/// use simkit::SimDuration;
+///
+/// let cfg = LkmConfig::builder()
+///     .reply_timeout(SimDuration::from_millis(800))
+///     .walk_parallelism(2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.reply_timeout, SimDuration::from_millis(800));
+///
+/// assert!(LkmConfig::builder()
+///     .reply_timeout(SimDuration::ZERO)
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LkmConfigBuilder {
+    cfg: LkmConfig,
+}
+
+impl LkmConfigBuilder {
+    /// Sets the CPU cost per page-table walk step.
+    pub fn walk_cost_per_page(mut self, cost: SimDuration) -> Self {
+        self.cfg.walk_cost_per_page = cost;
+        self
+    }
+
+    /// Sets the CPU cost per transfer-bitmap bit flipped.
+    pub fn bit_cost_per_page(mut self, cost: SimDuration) -> Self {
+        self.cfg.bit_cost_per_page = cost;
+        self
+    }
+
+    /// Sets the straggler reply deadline.
+    pub fn reply_timeout(mut self, timeout: SimDuration) -> Self {
+        self.cfg.reply_timeout = timeout;
+        self
+    }
+
+    /// Selects the §3.3.4 re-walk final-update strategy.
+    pub fn rewalk_final_update(mut self, rewalk: bool) -> Self {
+        self.cfg.rewalk_final_update = rewalk;
+        self
+    }
+
+    /// Sets the walk/bitmap worker count.
+    pub fn walk_parallelism(mut self, workers: u32) -> Self {
+        self.cfg.walk_parallelism = workers;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<LkmConfig, LkmConfigError> {
+        if self.cfg.reply_timeout.is_zero() {
+            return Err(LkmConfigError::ZeroReplyTimeout);
+        }
+        if self.cfg.walk_parallelism == 0 {
+            return Err(LkmConfigError::ZeroParallelism);
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// The LKM's operating state (Figure 4, plus the degraded terminal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LkmState {
     /// Loaded and ready for a migration.
@@ -70,6 +180,10 @@ pub enum LkmState {
     EnteringLastIter,
     /// Final bitmap update done; daemon told to pause the VM.
     SuspensionReady,
+    /// Assistance aborted: every transfer-bitmap exclusion has been
+    /// cleared and the migration completes as vanilla pre-copy. Left only
+    /// by `VmResumed`.
+    Degraded,
 }
 
 impl LkmState {
@@ -80,6 +194,7 @@ impl LkmState {
             LkmState::MigrationStarted => "MIGRATION_STARTED",
             LkmState::EnteringLastIter => "ENTERING_LAST_ITER",
             LkmState::SuspensionReady => "SUSPENSION_READY",
+            LkmState::Degraded => "DEGRADED",
         }
     }
 }
@@ -105,6 +220,8 @@ pub struct LkmStats {
     pub stragglers: u32,
     /// Peak PFN-cache footprint in bytes.
     pub peak_cache_bytes: u64,
+    /// Duplicate or stale coordination messages discarded by seq gating.
+    pub dup_msgs: u64,
 }
 
 #[derive(Debug, Default)]
@@ -126,6 +243,11 @@ pub struct Lkm {
     port: LkmPort,
     prepare_deadline: Option<SimTime>,
     pending_final_update: SimDuration,
+    /// Highest daemon seq handled; retries arrive above it, duplicates and
+    /// stale reorderings at or below it.
+    last_daemon_seq: u64,
+    /// Per-application seq watermarks for duplicate suppression.
+    app_seq_seen: BTreeMap<Pid, u64>,
     stats: LkmStats,
     telemetry: Recorder,
 }
@@ -145,6 +267,8 @@ impl Lkm {
                 port: lkm_port,
                 prepare_deadline: None,
                 pending_final_update: SimDuration::ZERO,
+                last_daemon_seq: 0,
+                app_seq_seen: BTreeMap::new(),
                 stats: LkmStats::default(),
                 telemetry: Recorder::disabled(),
             },
@@ -212,26 +336,74 @@ impl Lkm {
         self.maybe_finish_final_update(now);
     }
 
-    fn on_daemon_msg(&mut self, now: SimTime, msg: DaemonToLkm) {
-        match msg {
-            DaemonToLkm::MigrationBegin => {
-                self.set_state(now, LkmState::MigrationStarted);
-                self.stats = LkmStats::default();
-                self.pending_final_update = SimDuration::ZERO;
-                for rec in self.apps.values_mut() {
-                    rec.suspension_ready = false;
-                    rec.straggler = false;
+    fn on_daemon_msg(&mut self, now: SimTime, msg: CoordMsg) {
+        let fresh = msg.seq > self.last_daemon_seq;
+        if fresh {
+            self.last_daemon_seq = msg.seq;
+        } else {
+            self.stats.dup_msgs += 1;
+        }
+        match msg.payload {
+            CoordPayload::MigrationBegin => {
+                // Always (re-)acknowledge: the daemon retries with backoff
+                // until it sees the ack, and re-acking is free.
+                self.port.send(now, CoordPayload::BeginAck);
+                if fresh && self.state == LkmState::Initialized {
+                    self.set_state(now, LkmState::MigrationStarted);
+                    self.stats = LkmStats::default();
+                    self.pending_final_update = SimDuration::ZERO;
+                    for rec in self.apps.values_mut() {
+                        rec.suspension_ready = false;
+                        rec.straggler = false;
+                    }
+                    // Track every current subscriber: an assistant that goes
+                    // fully silent must surface as a straggler at the reply
+                    // deadline, not be silently un-waited.
+                    for pid in self.netlink.subscriber_pids() {
+                        self.apps.entry(pid).or_default();
+                    }
+                    self.netlink.multicast(now, CoordPayload::QuerySkipOver);
+                } else if fresh && self.state == LkmState::MigrationStarted {
+                    // Daemon retry (our ack was lost). Re-querying is
+                    // idempotent: already-cleared bits stay cleared.
+                    self.netlink.multicast(now, CoordPayload::QuerySkipOver);
                 }
-                self.netlink.multicast(now, LkmToApp::QuerySkipOver);
             }
-            DaemonToLkm::EnteringLastIter => {
-                self.set_state(now, LkmState::EnteringLastIter);
-                self.prepare_deadline = Some(now + self.config.reply_timeout);
-                self.netlink.multicast(now, LkmToApp::PrepareSuspension);
+            CoordPayload::EnteringLastIter => match self.state {
+                LkmState::MigrationStarted if fresh => {
+                    self.set_state(now, LkmState::EnteringLastIter);
+                    self.prepare_deadline = Some(now + self.config.reply_timeout);
+                    self.netlink.multicast(now, CoordPayload::PrepareSuspension);
+                }
+                LkmState::EnteringLastIter if fresh => {
+                    // Retry: re-prompt the applications but keep the original
+                    // straggler deadline so retries cannot extend it forever.
+                    self.netlink.multicast(now, CoordPayload::PrepareSuspension);
+                }
+                LkmState::SuspensionReady => {
+                    // The daemon did not see our ready notification: repeat.
+                    self.send_ready(now);
+                }
+                _ => {}
+            },
+            CoordPayload::AbortAssist => {
+                if fresh && self.state != LkmState::Degraded {
+                    self.abort_assist(now);
+                }
             }
-            DaemonToLkm::VmResumed => {
-                self.netlink.multicast(now, LkmToApp::VmResumed);
-                self.reset_after_migration(now);
+            CoordPayload::VmResumed => {
+                if fresh {
+                    self.netlink.multicast(now, CoordPayload::VmResumed);
+                    self.reset_after_migration(now);
+                }
+            }
+            other => {
+                self.telemetry.instant(
+                    now,
+                    Subsystem::Lkm,
+                    "protocol_violation",
+                    vec![("payload", other.name().into())],
+                );
             }
         }
     }
@@ -240,24 +412,48 @@ impl Lkm {
         &mut self,
         now: SimTime,
         pid: Pid,
-        msg: AppToLkm,
+        msg: CoordMsg,
         procs: &mut BTreeMap<Pid, Process>,
     ) {
-        match msg {
-            AppToLkm::SkipOverAreas(areas) => {
+        // Seq gate: transport duplicates and stale reorderings are dropped.
+        // A stale message carries information the final bitmap update (or
+        // straggler handling) reconciles anyway, so dropping is safe; a
+        // duplicate must not double-apply shrink stats.
+        let seen = self.app_seq_seen.entry(pid).or_insert(0);
+        if msg.seq <= *seen {
+            self.stats.dup_msgs += 1;
+            return;
+        }
+        *seen = msg.seq;
+        match msg.payload {
+            CoordPayload::SkipOverAreas(areas) => {
                 if self.state == LkmState::MigrationStarted {
                     self.first_update(now, pid, &areas, procs);
                 }
             }
-            AppToLkm::AreaShrunk { left } => {
-                if self.state != LkmState::Initialized && !self.config.rewalk_final_update {
+            CoordPayload::AreaShrunk { left } => {
+                let tracking = matches!(
+                    self.state,
+                    LkmState::MigrationStarted
+                        | LkmState::EnteringLastIter
+                        | LkmState::SuspensionReady
+                );
+                if tracking && !self.config.rewalk_final_update {
                     self.shrink_update(now, pid, &left);
                 }
             }
-            AppToLkm::SuspensionReady { areas, must_send } => {
+            CoordPayload::SuspensionReady { areas, must_send } => {
                 if self.state == LkmState::EnteringLastIter {
                     self.final_update_for(now, pid, &areas, &must_send, procs);
                 }
+            }
+            other => {
+                self.telemetry.instant(
+                    now,
+                    Subsystem::Lkm,
+                    "protocol_violation",
+                    vec![("payload", other.name().into()), ("pid", pid.0.into())],
+                );
             }
         }
     }
@@ -516,15 +712,45 @@ impl Lkm {
                     ("stragglers", self.stats.stragglers.into()),
                 ],
             );
-            self.port.send(
-                now,
-                LkmToDaemon::ReadyToSuspend {
-                    final_update: self.pending_final_update,
-                    stragglers: self.stats.stragglers,
-                },
-            );
+            self.send_ready(now);
             self.prepare_deadline = None;
         }
+    }
+
+    /// (Re-)sends the `ReadyToSuspend` notification with the recorded
+    /// final-update stats; idempotent, used for daemon retries.
+    fn send_ready(&mut self, now: SimTime) {
+        self.port.send(
+            now,
+            CoordPayload::ReadyToSuspend {
+                final_update: self.stats.final_update_duration,
+                stragglers: self.stats.stragglers,
+            },
+        );
+    }
+
+    /// Abandons assistance (the degradation ladder's last rung): clears
+    /// every transfer-bitmap exclusion so all memory is eligible for
+    /// transfer, tells applications to release held threads, and enters
+    /// [`LkmState::Degraded`] until `VmResumed`.
+    fn abort_assist(&mut self, now: SimTime) {
+        let restored = self.transfer.skip_count();
+        self.transfer.reset();
+        for rec in self.apps.values_mut() {
+            rec.cache.clear();
+            rec.areas.clear();
+            rec.suspension_ready = true;
+        }
+        self.prepare_deadline = None;
+        self.pending_final_update = SimDuration::ZERO;
+        self.set_state(now, LkmState::Degraded);
+        self.telemetry.instant(
+            now,
+            Subsystem::Lkm,
+            "assist_aborted",
+            vec![("restored_pages", restored.into())],
+        );
+        self.netlink.multicast(now, CoordPayload::AbortAssist);
     }
 
     fn reset_after_migration(&mut self, now: SimTime) {
@@ -534,6 +760,7 @@ impl Lkm {
             rec.areas.clear();
             rec.cache.clear();
             rec.suspension_ready = false;
+            rec.straggler = false;
         }
         self.prepare_deadline = None;
         self.pending_final_update = SimDuration::ZERO;

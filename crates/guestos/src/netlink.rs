@@ -6,14 +6,21 @@
 //! queued with a delivery latency and become visible to receivers only once
 //! the clock passes their ready time, and a kernel-side multicast fans out
 //! to every subscribed socket.
+//!
+//! Messages are [`CoordMsg`] envelopes stamped with [`Lane::Netlink`] and a
+//! per-direction sequence number. Two independent fault mechanisms exist:
+//! the legacy loss model ([`NetlinkBus::inject_loss`], modelling `ENOBUFS`
+//! under memory pressure) and the structured [`simkit::faults`] lane
+//! (drop/delay/duplicate) armed via [`NetlinkBus::install_faults`].
 
 use crate::process::Pid;
-use simkit::{DetRng, SimDuration, SimTime};
+use simkit::faults::{insert_by_ready, LaneFaultState, MessageFate};
+use simkit::{DetRng, LaneFaults, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use crate::messages::{AppToLkm, LkmToApp};
+use crate::coord::{CoordMsg, Lane};
 
 /// Default one-way latency of a netlink message (kernel↔user round trips
 /// are tens of microseconds on commodity hardware).
@@ -22,17 +29,22 @@ pub const NETLINK_LATENCY: SimDuration = SimDuration::from_micros(50);
 #[derive(Debug)]
 struct BusCore {
     latency: SimDuration,
-    to_apps: BTreeMap<u32, VecDeque<(SimTime, LkmToApp)>>,
-    to_kernel: VecDeque<(SimTime, Pid, AppToLkm)>,
+    to_apps: BTreeMap<u32, VecDeque<(SimTime, CoordMsg)>>,
+    to_kernel: VecDeque<(SimTime, Pid, CoordMsg)>,
     sock_pid: BTreeMap<u32, Pid>,
     next_sock: u32,
-    /// Fault injection: probability of silently dropping a message.
+    kernel_seq: u64,
+    app_seq: u64,
+    /// Legacy fault injection: probability of silently dropping a message.
     loss: Option<(f64, DetRng)>,
     dropped: u64,
+    /// Structured fault injection (drop/delay/duplicate) for the plan-driven
+    /// harness; independent of `loss`.
+    faults: Option<LaneFaultState>,
 }
 
 impl BusCore {
-    /// Returns `true` when fault injection decides to drop this message.
+    /// Returns `true` when legacy loss injection drops this message.
     fn drops(&mut self) -> bool {
         match &mut self.loss {
             Some((p, rng)) => {
@@ -47,6 +59,20 @@ impl BusCore {
             None => false,
         }
     }
+
+    /// Applies the structured fault lane to one stamped message copy.
+    /// Returns the delivery plan: (ready time, number of copies).
+    fn fate(&mut self, ready: SimTime) -> Option<(SimTime, u32)> {
+        match &mut self.faults {
+            None => Some((ready, 1)),
+            Some(state) => match state.fate() {
+                MessageFate::Deliver => Some((ready, 1)),
+                MessageFate::Drop => None,
+                MessageFate::Delay(extra) => Some((ready + extra, 1)),
+                MessageFate::Duplicate => Some((ready, 2)),
+            },
+        }
+    }
 }
 
 /// The netlink bus: created by the LKM on load, subscribed to by apps.
@@ -54,19 +80,21 @@ impl BusCore {
 /// # Examples
 ///
 /// ```
+/// use guestos::coord::CoordPayload;
 /// use guestos::netlink::NetlinkBus;
-/// use guestos::messages::{AppToLkm, LkmToApp};
 /// use guestos::process::Pid;
 /// use simkit::SimTime;
 ///
 /// let bus = NetlinkBus::new();
 /// let sock = bus.subscribe(Pid(10));
 /// let kernel = bus.kernel_end();
-/// kernel.multicast(SimTime::ZERO, LkmToApp::QuerySkipOver);
+/// kernel.multicast(SimTime::ZERO, CoordPayload::QuerySkipOver);
 /// // Not yet delivered: latency has not elapsed.
 /// assert!(sock.recv(SimTime::ZERO).is_empty());
 /// let later = SimTime::from_nanos(1_000_000);
-/// assert_eq!(sock.recv(later), vec![LkmToApp::QuerySkipOver]);
+/// let got = sock.recv(later);
+/// assert_eq!(got.len(), 1);
+/// assert_eq!(got[0].payload, CoordPayload::QuerySkipOver);
 /// ```
 #[derive(Debug, Clone)]
 pub struct NetlinkBus {
@@ -88,13 +116,16 @@ impl NetlinkBus {
                 to_kernel: VecDeque::new(),
                 sock_pid: BTreeMap::new(),
                 next_sock: 0,
+                kernel_seq: 0,
+                app_seq: 0,
                 loss: None,
                 dropped: 0,
+                faults: None,
             })),
         }
     }
 
-    /// Enables fault injection: every message (either direction) is
+    /// Enables legacy loss injection: every message (either direction) is
     /// independently dropped with probability `loss`.
     ///
     /// Real netlink is lossy under memory pressure (`ENOBUFS`); the
@@ -103,7 +134,12 @@ impl NetlinkBus {
         self.core.borrow_mut().loss = Some((loss.clamp(0.0, 1.0), rng));
     }
 
-    /// Messages dropped by fault injection so far.
+    /// Arms structured fault injection (drop/delay/duplicate) on this hop.
+    pub fn install_faults(&self, faults: LaneFaults, rng: DetRng) {
+        self.core.borrow_mut().faults = Some(LaneFaultState::new(faults, rng));
+    }
+
+    /// Messages dropped by legacy loss injection so far.
     pub fn dropped_count(&self) -> u64 {
         self.core.borrow().dropped
     }
@@ -133,6 +169,11 @@ impl NetlinkBus {
     pub fn subscriber_count(&self) -> usize {
         self.core.borrow().to_apps.len()
     }
+
+    /// Returns the pids of all subscribed sockets (sorted by socket id).
+    pub fn subscriber_pids(&self) -> Vec<Pid> {
+        self.core.borrow().sock_pid.values().copied().collect()
+    }
 }
 
 impl Default for NetlinkBus {
@@ -156,7 +197,7 @@ impl NetlinkSocket {
     }
 
     /// Receives all messages that have arrived by `now`.
-    pub fn recv(&self, now: SimTime) -> Vec<LkmToApp> {
+    pub fn recv(&self, now: SimTime) -> Vec<CoordMsg> {
         let mut core = self.core.borrow_mut();
         let queue = core
             .to_apps
@@ -174,13 +215,22 @@ impl NetlinkSocket {
     }
 
     /// Sends a message to the kernel.
-    pub fn send(&self, now: SimTime, msg: AppToLkm) {
+    pub fn send(&self, now: SimTime, msg: impl Into<CoordMsg>) {
         let mut core = self.core.borrow_mut();
         if core.drops() {
             return;
         }
+        let mut msg = msg.into();
+        msg.lane = Lane::Netlink;
+        core.app_seq += 1;
+        msg.seq = core.app_seq;
         let ready = now + core.latency;
-        core.to_kernel.push_back((ready, self.pid, msg));
+        if let Some((ready, copies)) = core.fate(ready) {
+            for _ in 0..copies {
+                let at = core.to_kernel.partition_point(|&(r, _, _)| r <= ready);
+                core.to_kernel.insert(at, (ready, self.pid, msg.clone()));
+            }
+        }
     }
 }
 
@@ -201,24 +251,31 @@ pub struct KernelNetlink {
 
 impl KernelNetlink {
     /// Multicasts `msg` to every subscribed socket; under fault injection
-    /// each receiver's copy is dropped independently.
-    pub fn multicast(&self, now: SimTime, msg: LkmToApp) {
+    /// each receiver's copy is dropped/delayed/duplicated independently.
+    pub fn multicast(&self, now: SimTime, msg: impl Into<CoordMsg>) {
         let mut core = self.core.borrow_mut();
-        let ready = now + core.latency;
+        let mut msg = msg.into();
+        msg.lane = Lane::Netlink;
+        core.kernel_seq += 1;
+        msg.seq = core.kernel_seq;
+        let base_ready = now + core.latency;
         let socks: Vec<u32> = core.to_apps.keys().copied().collect();
         for sock in socks {
             if core.drops() {
                 continue;
             }
-            core.to_apps
-                .get_mut(&sock)
-                .expect("sock key just listed")
-                .push_back((ready, msg.clone()));
+            let Some((ready, copies)) = core.fate(base_ready) else {
+                continue;
+            };
+            let queue = core.to_apps.get_mut(&sock).expect("sock key just listed");
+            for _ in 0..copies {
+                insert_by_ready(queue, ready, msg.clone());
+            }
         }
     }
 
     /// Receives all application messages that have arrived by `now`.
-    pub fn recv(&self, now: SimTime) -> Vec<(Pid, AppToLkm)> {
+    pub fn recv(&self, now: SimTime) -> Vec<(Pid, CoordMsg)> {
         let mut core = self.core.borrow_mut();
         let mut out = Vec::new();
         while let Some(&(ready, _, _)) = core.to_kernel.front() {
@@ -236,14 +293,25 @@ impl KernelNetlink {
     pub fn subscriber_count(&self) -> usize {
         self.core.borrow().to_apps.len()
     }
+
+    /// Returns the pids of all subscribed sockets (sorted by socket id).
+    pub fn subscriber_pids(&self) -> Vec<Pid> {
+        self.core.borrow().sock_pid.values().copied().collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coord::CoordPayload;
+    use crate::messages::{AppToLkm, LkmToApp};
 
     fn t(ms: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn payloads(msgs: Vec<CoordMsg>) -> Vec<CoordPayload> {
+        msgs.into_iter().map(|m| m.payload).collect()
     }
 
     #[test]
@@ -252,8 +320,8 @@ mod tests {
         let a = bus.subscribe(Pid(1));
         let b = bus.subscribe(Pid(2));
         bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
-        assert_eq!(a.recv(t(1)), vec![LkmToApp::QuerySkipOver]);
-        assert_eq!(b.recv(t(1)), vec![LkmToApp::QuerySkipOver]);
+        assert_eq!(payloads(a.recv(t(1))), vec![CoordPayload::QuerySkipOver]);
+        assert_eq!(payloads(b.recv(t(1))), vec![CoordPayload::QuerySkipOver]);
         assert!(a.recv(t(2)).is_empty(), "message consumed");
     }
 
@@ -275,6 +343,8 @@ mod tests {
         let got = kernel.recv(t(1));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, Pid(42));
+        assert_eq!(got[0].1.lane, Lane::Netlink);
+        assert_eq!(got[0].1.seq, 1);
     }
 
     #[test]
@@ -282,6 +352,7 @@ mod tests {
         let bus = NetlinkBus::new();
         let sock = bus.subscribe(Pid(1));
         assert_eq!(bus.subscriber_count(), 1);
+        assert_eq!(bus.subscriber_pids(), vec![Pid(1)]);
         drop(sock);
         assert_eq!(bus.subscriber_count(), 0);
         // Multicasting to nobody is fine.
@@ -296,8 +367,41 @@ mod tests {
         kernel.multicast(t(0), LkmToApp::QuerySkipOver);
         kernel.multicast(t(0), LkmToApp::PrepareSuspension);
         assert_eq!(
-            sock.recv(t(1)),
-            vec![LkmToApp::QuerySkipOver, LkmToApp::PrepareSuspension]
+            payloads(sock.recv(t(1))),
+            vec![CoordPayload::QuerySkipOver, CoordPayload::PrepareSuspension]
         );
+    }
+
+    #[test]
+    fn structured_drop_fault_loses_multicast_copies() {
+        let bus = NetlinkBus::with_latency(SimDuration::ZERO);
+        let sock = bus.subscribe(Pid(1));
+        bus.install_faults(
+            LaneFaults {
+                drop: 1.0,
+                ..LaneFaults::NONE
+            },
+            DetRng::new(9),
+        );
+        bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
+        assert!(sock.recv(t(10)).is_empty());
+    }
+
+    #[test]
+    fn structured_duplicate_fault_repeats_seq() {
+        let bus = NetlinkBus::with_latency(SimDuration::ZERO);
+        let sock = bus.subscribe(Pid(1));
+        bus.install_faults(
+            LaneFaults {
+                duplicate: 1.0,
+                ..LaneFaults::NONE
+            },
+            DetRng::new(9),
+        );
+        bus.kernel_end()
+            .multicast(t(0), LkmToApp::PrepareSuspension);
+        let got = sock.recv(t(10));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, got[1].seq);
     }
 }

@@ -4,14 +4,19 @@
 //! daemon (event channel side) and an assisting application (netlink side) —
 //! and check every transfer-bitmap rule of §3.3.4.
 
+use guestos::coord::{CoordMsg, CoordPayload};
 use guestos::kernel::{GuestKernel, GuestOsConfig};
 use guestos::lkm::{LkmConfig, LkmState};
-use guestos::messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
+use guestos::messages::{AppToLkm, DaemonToLkm};
 use simkit::{DetRng, SimDuration, SimTime};
 use vmem::{PageClass, VaRange, Vaddr, VmSpec, PAGE_SIZE};
 
 fn t(ms: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn payloads(msgs: Vec<CoordMsg>) -> Vec<CoordPayload> {
+    msgs.into_iter().map(|m| m.payload).collect()
 }
 
 fn guest() -> GuestKernel {
@@ -44,7 +49,9 @@ fn full_protocol_happy_path() {
     daemon.send(t(0), DaemonToLkm::MigrationBegin);
     g.service_lkm(t(1));
     assert_eq!(g.lkm().unwrap().state(), LkmState::MigrationStarted);
-    assert_eq!(sock.recv(t(2)), vec![LkmToApp::QuerySkipOver]);
+    assert_eq!(payloads(sock.recv(t(2))), vec![CoordPayload::QuerySkipOver]);
+    // The LKM acknowledges MigrationBegin on the event channel.
+    assert_eq!(payloads(daemon.recv(t(2))), vec![CoordPayload::BeginAck]);
 
     // App reports its skip-over area; first bitmap update clears 32 bits.
     sock.send(t(2), AppToLkm::SkipOverAreas(vec![area]));
@@ -58,7 +65,10 @@ fn full_protocol_happy_path() {
     // Entering last iteration: app is asked to prepare.
     daemon.send(t(10), DaemonToLkm::EnteringLastIter);
     g.service_lkm(t(11));
-    assert_eq!(sock.recv(t(12)), vec![LkmToApp::PrepareSuspension]);
+    assert_eq!(
+        payloads(sock.recv(t(12))),
+        vec![CoordPayload::PrepareSuspension]
+    );
     assert_eq!(g.lkm().unwrap().state(), LkmState::EnteringLastIter);
 
     // App prepares (say, collects garbage) and reports ready, flagging the
@@ -82,10 +92,13 @@ fn full_protocol_happy_path() {
     // Daemon learns it may suspend, with the final-update duration.
     let msgs = daemon.recv(t(14));
     assert_eq!(msgs.len(), 1);
-    let LkmToDaemon::ReadyToSuspend {
+    let CoordPayload::ReadyToSuspend {
         final_update,
         stragglers,
-    } = &msgs[0];
+    } = &msgs[0].payload
+    else {
+        panic!("expected ReadyToSuspend, got {:?}", msgs[0].payload);
+    };
     assert_eq!(*stragglers, 0);
     assert!(
         *final_update < SimDuration::from_micros(300),
@@ -98,7 +111,7 @@ fn full_protocol_happy_path() {
     let lkm = g.lkm().unwrap();
     assert_eq!(lkm.state(), LkmState::Initialized);
     assert_eq!(lkm.transfer_bitmap().skip_count(), 0, "bitmap reset");
-    assert_eq!(sock.recv(t(22)), vec![LkmToApp::VmResumed]);
+    assert_eq!(payloads(sock.recv(t(22))), vec![CoordPayload::VmResumed]);
 }
 
 #[test]
@@ -226,9 +239,14 @@ fn straggler_is_unskipped_after_timeout() {
         8,
         "only the cooperative app's pages stay skipped"
     );
+    // BeginAck (from MigrationBegin) followed by the straggler-flagged
+    // ready notification.
     let msgs = daemon.recv(t(121));
-    assert_eq!(msgs.len(), 1);
-    let LkmToDaemon::ReadyToSuspend { stragglers, .. } = &msgs[0];
+    assert_eq!(msgs.len(), 2);
+    assert_eq!(msgs[0].payload, CoordPayload::BeginAck);
+    let CoordPayload::ReadyToSuspend { stragglers, .. } = &msgs[1].payload else {
+        panic!("expected ReadyToSuspend, got {:?}", msgs[1].payload);
+    };
     assert_eq!(*stragglers, 1);
 }
 

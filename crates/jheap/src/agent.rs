@@ -12,12 +12,19 @@
 //!   `SuspensionReady`, reporting the current Young ranges and the occupied
 //!   From space as must-send;
 //! * keep the threads held until `VmResumed` arrives, guaranteeing Eden and
-//!   To stay empty through the stop-and-copy.
+//!   To stay empty through the stop-and-copy;
+//! * on `AbortAssist` — the daemon degraded to vanilla pre-copy — drop any
+//!   safepoint hold and stop assisting for the rest of the migration.
+//!
+//! For fault injection the agent can be *stalled* at any protocol state
+//! ([`StallPoint`]): a stalled agent stops reacting from that state on,
+//! modelling a hung, crashed, or misbehaving guest application. The daemon's
+//! coordination timeouts must then degrade the migration gracefully.
 
 use crate::model::HeapModel;
-use guestos::messages::{AppToLkm, LkmToApp};
+use guestos::coord::CoordPayload;
 use guestos::netlink::NetlinkSocket;
-use simkit::SimTime;
+use simkit::{SimTime, StallPoint};
 use vmem::VaRange;
 
 /// What the agent asks the JVM to do after a poll.
@@ -34,6 +41,8 @@ pub enum AgentDirective {
 pub struct JavmmAgent {
     sock: NetlinkSocket,
     holding: bool,
+    aborted: bool,
+    stall: Option<StallPoint>,
 }
 
 impl JavmmAgent {
@@ -42,6 +51,8 @@ impl JavmmAgent {
         Self {
             sock,
             holding: false,
+            aborted: false,
+            stall: None,
         }
     }
 
@@ -51,23 +62,68 @@ impl JavmmAgent {
         self.holding
     }
 
+    /// Injects a stall: from the named protocol state on, the agent stops
+    /// reacting (it still drains its socket, like a hung process whose
+    /// kernel-side queue keeps filling).
+    pub fn set_stall(&mut self, stall: Option<StallPoint>) {
+        self.stall = stall;
+    }
+
+    /// How far through the assist pipeline the agent gets before hanging.
+    /// `None` = no stall; a stalled agent is unresponsive from the named
+    /// state *onward* (a hung process does not resume for later messages).
+    fn stall_rank(&self) -> Option<u8> {
+        self.stall.map(|s| match s {
+            StallPoint::Initialized | StallPoint::Degraded => 0,
+            StallPoint::MigrationStarted => 1,
+            StallPoint::EnteringLastIter => 2,
+            StallPoint::SuspensionReady => 3,
+        })
+    }
+
+    fn stalled_before(&self, rank: u8) -> bool {
+        self.stall_rank().is_some_and(|r| r <= rank)
+    }
+
+    /// A fully frozen agent: deaf to every message, including the abort.
+    fn frozen(&self) -> bool {
+        self.stalled_before(0)
+    }
+
     /// Drains LKM messages and reacts; returns a directive for the JVM.
     pub fn poll(&mut self, now: SimTime, heap: &dyn HeapModel) -> AgentDirective {
         let mut directive = AgentDirective::None;
         for msg in self.sock.recv(now) {
-            match msg {
-                LkmToApp::QuerySkipOver => {
+            if self.frozen() {
+                continue;
+            }
+            match msg.payload {
+                CoordPayload::QuerySkipOver => {
+                    if self.aborted || self.stalled_before(1) {
+                        continue;
+                    }
                     self.sock
-                        .send(now, AppToLkm::SkipOverAreas(heap.young_ranges()));
+                        .send(now, CoordPayload::SkipOverAreas(heap.young_ranges()));
                 }
-                LkmToApp::PrepareSuspension => {
+                CoordPayload::PrepareSuspension => {
+                    if self.aborted || self.stalled_before(2) {
+                        continue;
+                    }
                     directive = AgentDirective::EnforceGc;
                 }
-                LkmToApp::VmResumed => {
+                CoordPayload::VmResumed => {
                     // Return control to the JVM, which releases the Java
                     // threads from the safepoint.
                     self.holding = false;
+                    self.aborted = false;
                 }
+                CoordPayload::AbortAssist => {
+                    // The daemon fell back to vanilla pre-copy: release any
+                    // hold and ignore further assist requests until resume.
+                    self.holding = false;
+                    self.aborted = true;
+                }
+                _ => {}
             }
         }
         directive
@@ -76,10 +132,13 @@ impl JavmmAgent {
     /// GC-end callback: the Young generation shrank; notify the LKM of the
     /// VA ranges whose pages were freed (§4.3.2).
     pub fn on_young_shrunk(&mut self, now: SimTime, ranges: &[VaRange]) {
+        if self.aborted || self.stalled_before(1) {
+            return;
+        }
         if !ranges.is_empty() {
             self.sock.send(
                 now,
-                AppToLkm::AreaShrunk {
+                CoordPayload::AreaShrunk {
                     left: ranges.to_vec(),
                 },
             );
@@ -89,10 +148,18 @@ impl JavmmAgent {
     /// GC-end callback for the enforced collection: report readiness without
     /// releasing the Java threads.
     pub fn on_enforced_gc_finished(&mut self, now: SimTime, heap: &dyn HeapModel) {
+        if self.aborted {
+            return;
+        }
         self.holding = true;
+        if self.stalled_before(3) {
+            // The GC ran and threads are held, but the readiness report is
+            // never sent — the daemon's straggler deadline must fire.
+            return;
+        }
         self.sock.send(
             now,
-            AppToLkm::SuspensionReady {
+            CoordPayload::SuspensionReady {
                 areas: heap.young_ranges(),
                 must_send: heap.must_send_ranges(),
             },

@@ -22,7 +22,7 @@ use guestos::app::GuestApp;
 use guestos::kernel::{GuestKernel, WriteOutcome};
 use guestos::process::Pid;
 use simkit::telemetry::SpanId;
-use simkit::{DetRng, Recorder, SimDuration, SimTime, Subsystem};
+use simkit::{DetRng, GcOverrun, Recorder, SimDuration, SimTime, StallPoint, Subsystem};
 use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
 
 /// Cost of one log-dirty (shadow paging) fault.
@@ -84,6 +84,7 @@ pub struct JvmProcess {
     pending_shrunk: Vec<VaRange>,
     telemetry: Recorder,
     hold_span: Option<SpanId>,
+    gc_overrun: Option<GcOverrun>,
 }
 
 impl JvmProcess {
@@ -144,7 +145,22 @@ impl JvmProcess {
             pending_shrunk: Vec::new(),
             telemetry: Recorder::disabled(),
             hold_span: None,
+            gc_overrun: None,
         }
+    }
+
+    /// Stalls the JAVMM agent at the given protocol state (fault injection).
+    /// No-op on an unassisted JVM.
+    pub fn set_agent_stall(&mut self, stall: Option<StallPoint>) {
+        if let Some(agent) = &mut self.agent {
+            agent.set_stall(stall);
+        }
+    }
+
+    /// Makes every *enforced* minor GC overrun by the given extra pause
+    /// (fault injection: a heap in a pathological state).
+    pub fn set_gc_overrun(&mut self, overrun: Option<GcOverrun>) {
+        self.gc_overrun = overrun;
     }
 
     /// Attaches a telemetry recorder: GC pauses become `Gc` spans,
@@ -220,11 +236,16 @@ impl JvmProcess {
             .heap
             .perform_minor_gc(kernel, &mut self.rng, &profile, now, kind);
         self.charge(writes);
+        let duration = match (enforced, self.gc_overrun) {
+            // Fault injection: the enforced collection overruns its budget.
+            (true, Some(o)) => rec.duration + o.extra,
+            _ => rec.duration,
+        };
         self.telemetry.record_span(
             now,
             Subsystem::Gc,
             if enforced { "enforced_gc" } else { "minor_gc" },
-            rec.duration,
+            duration,
             vec![
                 ("eden_used_before", rec.eden_used_before.into()),
                 ("live_copied", rec.live_copied.into()),
@@ -247,7 +268,7 @@ impl JvmProcess {
         );
         self.pending_shrunk = rec.shrunk.clone();
         self.state = ExecState::InGc {
-            remaining: rec.duration,
+            remaining: duration,
             enforced,
         };
     }

@@ -12,10 +12,18 @@
 //! strategy choice) and the compression options of
 //! [`config::CompressionPolicy`]; [`checkpoint`] applies the same
 //! skip-over machinery to RemusDB-style continuous replication.
+//!
+//! Coordination with the guest is fallible: every handshake carries a
+//! timeout from [`config::CoordPolicy`] with bounded retries, and when the
+//! budget runs out the engine degrades to vanilla pre-copy (or fails, per
+//! [`config::FallbackPolicy`]) — see [`error::MigrationOutcome`] and
+//! [`error::MigrateError`]. Deterministic fault injection is configured
+//! through the [`simkit::FaultPlan`] carried by the config.
 
 pub mod checkpoint;
 pub mod config;
 pub mod destination;
+pub mod error;
 pub mod policy;
 pub mod postcopy;
 pub mod precopy;
@@ -23,8 +31,12 @@ pub mod report;
 pub mod vmhost;
 
 pub use checkpoint::{CheckpointConfig, CheckpointEngine, CheckpointReport};
-pub use config::{CompressionPolicy, MigrationConfig, StopPolicy};
+pub use config::{
+    CompressionPolicy, CoordPolicy, FallbackPolicy, MigrationConfig, MigrationConfigBuilder,
+    StopPolicy,
+};
 pub use destination::{DestinationVm, VerifyReport};
+pub use error::{ConfigError, CoordPhase, MigrateError, MigrationOutcome};
 pub use policy::{choose_strategy, Decision, Strategy, WorkloadProbe};
 pub use postcopy::{PostcopyConfig, PostcopyEngine, PostcopyReport};
 pub use precopy::PrecopyEngine;

@@ -22,6 +22,21 @@
 //! quantum the engine sends a link-budget's worth of pages and advances the
 //! guest, so dirtying races transfer exactly as on real hardware.
 //!
+//! # Coordination timeouts and graceful degradation
+//!
+//! Every daemon→LKM handshake is guarded by a deadline from
+//! [`CoordPolicy`](crate::config::CoordPolicy): `MigrationBegin` must be
+//! acknowledged (`BeginAck`) and `EnteringLastIter` must eventually be
+//! answered with `ReadyToSuspend`. Both messages are idempotent (the LKM
+//! gates on sequence numbers), so expired deadlines trigger bounded resends
+//! with exponential backoff. When the retry budget runs out the engine
+//! either **degrades**: it sends `AbortAssist`, abandons skip-over areas,
+//! stops consulting the transfer bitmap, re-sends every page it ever
+//! skipped on transfer-bit grounds, and completes as vanilla Xen pre-copy
+//! (reported as [`MigrationOutcome::DegradedVanilla`]) — or fails with
+//! [`MigrateError::CoordTimeout`], per the configured
+//! [`FallbackPolicy`](crate::config::FallbackPolicy).
+//!
 //! # Scan pipeline
 //!
 //! The scanner is word-granular: all three inputs — the iteration snapshot,
@@ -32,20 +47,17 @@
 //! traffic/CPU accounting are batched per word run; only the pages actually
 //! transferred are visited individually.
 
-use crate::config::{CompressionPolicy, MigrationConfig};
+use crate::config::{CompressionPolicy, FallbackPolicy, MigrationConfig};
 use crate::destination::DestinationVm;
+use crate::error::{CoordPhase, MigrateError, MigrationOutcome};
 use crate::report::{DowntimeBreakdown, EngineEvent, IterationStats, MigrationReport, StopReason};
 use crate::vmhost::MigratableVm;
+use guestos::coord::CoordPayload;
 use guestos::lkm::DaemonPort;
-use guestos::messages::{DaemonToLkm, LkmToDaemon};
 use netsim::{CompressionMethod, Link, PAGE_HEADER_BYTES};
-use simkit::{Recorder, SimClock, SimDuration, Subsystem};
+use simkit::units::Bandwidth;
+use simkit::{FaultKind, LinkDegrade, Recorder, SimClock, SimDuration, SimTime, Subsystem};
 use vmem::{Bitmap, PageClass, Pfn, PAGE_SIZE};
-
-/// Safety cap on how long the engine waits for `ReadyToSuspend` after
-/// notifying the LKM; longer than any LKM straggler timeout so the LKM's
-/// own policy governs.
-const READY_WAIT_CAP: SimDuration = SimDuration::from_secs(60);
 
 /// The migration engine.
 ///
@@ -60,7 +72,7 @@ const READY_WAIT_CAP: SimDuration = SimDuration::from_secs(60);
 /// fn migrate_it(vm: &mut dyn MigratableVm) {
 ///     let mut clock = SimClock::new();
 ///     let engine = PrecopyEngine::new(MigrationConfig::javmm_default());
-///     let report = engine.migrate(vm, &mut clock);
+///     let report = engine.migrate(vm, &mut clock).expect("migration failed");
 ///     assert!(report.verification.is_correct());
 ///     println!(
 ///         "{} iterations, {} bytes, downtime {}",
@@ -73,6 +85,18 @@ const READY_WAIT_CAP: SimDuration = SimDuration::from_secs(60);
 #[derive(Debug, Clone)]
 pub struct PrecopyEngine {
     config: MigrationConfig,
+}
+
+/// Coordination-deadline bookkeeping for the two guarded handshakes.
+struct CoordTrack {
+    begin_acked: bool,
+    begin_deadline: Option<SimTime>,
+    begin_wait: SimDuration,
+    begin_attempts: u32,
+    ready_deadline: Option<SimTime>,
+    ready_wait: SimDuration,
+    ready_attempts: u32,
+    ready_since: Option<SimTime>,
 }
 
 struct RunState {
@@ -88,6 +112,17 @@ struct RunState {
     wire_bytes: u64,
     ready: Option<(SimDuration, u32)>,
     recorder: Recorder,
+    /// Whether the assisted protocol is still live. Starts as
+    /// `config.assisted`; flips to `false` on degradation, after which the
+    /// engine behaves exactly like vanilla pre-copy.
+    assist: bool,
+    /// The fault that degraded the run, if any.
+    degraded: Option<FaultKind>,
+    coord: CoordTrack,
+    t0: SimTime,
+    /// Pending link-degrade fault, consumed when its time arrives.
+    link_plan: Option<LinkDegrade>,
+    base_bandwidth: Bandwidth,
 }
 
 impl PrecopyEngine {
@@ -103,10 +138,18 @@ impl PrecopyEngine {
 
     /// Migrates `vm`, advancing `clock` through the whole operation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if assisted migration is requested but the guest has no LKM.
-    pub fn migrate(&self, vm: &mut dyn MigratableVm, clock: &mut SimClock) -> MigrationReport {
+    /// [`MigrateError::MissingLkm`] if assisted migration is requested but
+    /// the guest has no LKM; [`MigrateError::Config`] for an invalid
+    /// configuration; [`MigrateError::LinkDown`] if a fault kills the link;
+    /// [`MigrateError::CoordTimeout`] when coordination fails for good
+    /// under [`FallbackPolicy::Fail`].
+    pub fn migrate(
+        &self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+    ) -> Result<MigrationReport, MigrateError> {
         self.migrate_recorded(vm, clock, Recorder::disabled())
     }
 
@@ -121,15 +164,14 @@ impl PrecopyEngine {
         vm: &mut dyn MigratableVm,
         clock: &mut SimClock,
         recorder: Recorder,
-    ) -> MigrationReport {
+    ) -> Result<MigrationReport, MigrateError> {
+        self.config.validate()?;
         let t0 = clock.now();
         let npages = vm.kernel().memory().page_count();
         vm.attach_telemetry(recorder.clone());
+        vm.install_faults(&self.config.faults);
         let port = if self.config.assisted {
-            Some(
-                vm.daemon_port()
-                    .expect("assisted migration requires a loaded LKM"),
-            )
+            Some(vm.daemon_port().ok_or(MigrateError::MissingLkm)?)
         } else {
             None
         };
@@ -147,6 +189,21 @@ impl PrecopyEngine {
             wire_bytes: 0,
             ready: None,
             recorder,
+            assist: self.config.assisted,
+            degraded: None,
+            coord: CoordTrack {
+                begin_acked: !self.config.assisted,
+                begin_deadline: None,
+                begin_wait: self.config.coord.begin_ack_timeout,
+                begin_attempts: 0,
+                ready_deadline: None,
+                ready_wait: self.config.coord.ready_timeout,
+                ready_attempts: 0,
+                ready_since: None,
+            },
+            t0,
+            link_plan: self.config.faults.link,
+            base_bandwidth: self.config.bandwidth,
         };
 
         vm.kernel_mut().memory_mut().dirty_log_mut().enable();
@@ -161,7 +218,8 @@ impl PrecopyEngine {
             ],
         );
         if let Some(port) = &port {
-            port.send(clock.now(), DaemonToLkm::MigrationBegin);
+            port.send(clock.now(), CoordPayload::MigrationBegin);
+            state.coord.begin_deadline = Some(t0 + self.config.coord.begin_ack_timeout);
         }
 
         let mut iterations: Vec<IterationStats> = Vec::new();
@@ -196,7 +254,7 @@ impl PrecopyEngine {
                 index,
                 port.as_ref(),
                 waiting,
-            );
+            )?;
             state.recorder.end_span(
                 clock.now(),
                 span,
@@ -226,10 +284,25 @@ impl PrecopyEngine {
                         ("stragglers", stragglers.into()),
                     ],
                 );
+                if stragglers > 0 && self.config.coord.degrade_on_stragglers {
+                    // The LKM gave up on some assistants; instead of trusting
+                    // its forcible un-skip, abandon assistance wholesale.
+                    self.degrade(
+                        &mut state,
+                        port.as_ref(),
+                        clock.now(),
+                        FaultKind::AgentStraggler,
+                    );
+                }
+                break;
+            }
+            if waiting && !state.assist {
+                // Degraded while waiting for readiness: the stop policy
+                // already fired, so go straight to the stop-and-copy.
                 break;
             }
             if !waiting {
-                let pending = self.pending_transferable(vm);
+                let pending = self.pending_transferable(vm, state.assist);
                 let ram = npages * PAGE_SIZE;
                 let stop = if iterations.len() as u32 >= self.config.stop.max_iterations {
                     Some(StopReason::MaxIterations)
@@ -252,8 +325,8 @@ impl PrecopyEngine {
                         vec![("reason", format!("{reason:?}").into())],
                     );
                     match &port {
-                        Some(port) => {
-                            port.send(clock.now(), DaemonToLkm::EnteringLastIter);
+                        Some(port) if state.assist => {
+                            port.send(clock.now(), CoordPayload::EnteringLastIter);
                             state.timeline.push(clock.now(), EngineEvent::NotifiedLkm);
                             state.recorder.instant(
                                 clock.now(),
@@ -262,8 +335,11 @@ impl PrecopyEngine {
                                 vec![],
                             );
                             t_enter_last = Some(clock.now());
+                            state.coord.ready_since = Some(clock.now());
+                            state.coord.ready_deadline =
+                                Some(clock.now() + self.config.coord.ready_timeout);
                         }
-                        None => break,
+                        _ => break,
                     }
                 }
             }
@@ -324,11 +400,12 @@ impl PrecopyEngine {
             vm.ops_completed() as f64,
         );
         if let Some(port) = &port {
-            port.send(clock.now(), DaemonToLkm::VmResumed);
+            port.send(clock.now(), CoordPayload::VmResumed);
         }
 
-        // Verification against the paused source.
-        let skip_at_pause = self.skip_bitmap(vm, npages);
+        // Verification against the paused source. A degraded run abandoned
+        // its skip-over areas, so every page must match.
+        let skip_at_pause = self.skip_bitmap(vm, npages, state.assist);
         let verification = state.dest.verify(vm.kernel(), &skip_at_pause);
 
         // Freeze the flight recorder and derive the downtime breakdown from
@@ -359,7 +436,7 @@ impl PrecopyEngine {
             None => SimDuration::ZERO,
         };
 
-        MigrationReport {
+        Ok(MigrationReport {
             total_duration: clock.now().saturating_since(t0),
             total_bytes: state.wire_bytes,
             downtime: DowntimeBreakdown {
@@ -373,17 +450,166 @@ impl PrecopyEngine {
             verification,
             traffic_by_class: state.by_class,
             stop_reason: stop_reason.unwrap_or(StopReason::DirtyThreshold),
+            outcome: match state.degraded {
+                Some(fault) => MigrationOutcome::DegradedVanilla { fault },
+                None => MigrationOutcome::Completed,
+            },
             timeline: state.timeline,
             lkm: vm.kernel().lkm().map(|l| l.stats().clone()),
             stragglers,
             iterations,
             telemetry,
+        })
+    }
+
+    /// Abandons the assisted protocol: notify the LKM (`AbortAssist`, so it
+    /// restores its transfer bitmap and releases held applications), stop
+    /// consulting the transfer bitmap, and record the triggering fault.
+    fn degrade(
+        &self,
+        state: &mut RunState,
+        port: Option<&DaemonPort>,
+        now: SimTime,
+        fault: FaultKind,
+    ) {
+        if !state.assist {
+            return;
+        }
+        state.assist = false;
+        state.degraded = Some(fault);
+        if let Some(port) = port {
+            port.send(now, CoordPayload::AbortAssist);
+        }
+        state.timeline.push(now, EngineEvent::Degraded(fault));
+        state.recorder.instant(
+            now,
+            Subsystem::Engine,
+            "degraded",
+            vec![("fault", fault.name().into())],
+        );
+    }
+
+    /// Applies a scheduled mid-run link degrade once its time arrives.
+    fn apply_link_plan(&self, state: &mut RunState, now: SimTime) -> Result<(), MigrateError> {
+        if let Some(plan) = state.link_plan {
+            if now.saturating_since(state.t0) >= plan.after {
+                state.link_plan = None;
+                if plan.factor <= 0.0 {
+                    return Err(MigrateError::LinkDown);
+                }
+                state.link.set_bandwidth(Bandwidth::from_bytes_per_sec(
+                    state.base_bandwidth.bytes_per_sec() * plan.factor,
+                ));
+                state.recorder.instant(
+                    now,
+                    Subsystem::Engine,
+                    "link_degraded",
+                    vec![("factor", plan.factor.into())],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the coordination deadlines; resends idempotent handshake
+    /// messages with backoff, degrading (or failing) once the retry budget
+    /// is exhausted.
+    fn check_coord_deadlines(
+        &self,
+        state: &mut RunState,
+        port: &DaemonPort,
+        now: SimTime,
+    ) -> Result<(), MigrateError> {
+        let coord = &self.config.coord;
+        if !state.coord.begin_acked && state.coord.begin_deadline.is_some_and(|dl| now >= dl) {
+            if state.coord.begin_attempts < coord.retry_limit {
+                state.coord.begin_attempts += 1;
+                state.coord.begin_wait = SimDuration::from_secs_f64(
+                    state.coord.begin_wait.as_secs_f64() * coord.retry_backoff,
+                );
+                port.send(now, CoordPayload::MigrationBegin);
+                state.coord.begin_deadline = Some(now + state.coord.begin_wait);
+                self.record_retry(state, now, "migration_begin", state.coord.begin_attempts);
+            } else {
+                state.coord.begin_deadline = None;
+                return self.coord_exhausted(
+                    state,
+                    port,
+                    now,
+                    FaultKind::BeginAckTimeout,
+                    CoordPhase::BeginAck,
+                    now.saturating_since(state.t0),
+                );
+            }
+        }
+        if state.assist
+            && state.ready.is_none()
+            && state.coord.ready_deadline.is_some_and(|dl| now >= dl)
+        {
+            if state.coord.ready_attempts < coord.retry_limit {
+                state.coord.ready_attempts += 1;
+                state.coord.ready_wait = SimDuration::from_secs_f64(
+                    state.coord.ready_wait.as_secs_f64() * coord.retry_backoff,
+                );
+                port.send(now, CoordPayload::EnteringLastIter);
+                state.coord.ready_deadline = Some(now + state.coord.ready_wait);
+                self.record_retry(state, now, "entering_last_iter", state.coord.ready_attempts);
+            } else {
+                state.coord.ready_deadline = None;
+                let since = state.coord.ready_since.unwrap_or(state.t0);
+                return self.coord_exhausted(
+                    state,
+                    port,
+                    now,
+                    FaultKind::ReadyTimeout,
+                    CoordPhase::Ready,
+                    now.saturating_since(since),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn record_retry(
+        &self,
+        state: &mut RunState,
+        now: SimTime,
+        message: &'static str,
+        attempt: u32,
+    ) {
+        state
+            .timeline
+            .push(now, EngineEvent::CoordRetry { attempt });
+        state.recorder.instant(
+            now,
+            Subsystem::Engine,
+            "coord_retry",
+            vec![("message", message.into()), ("attempt", attempt.into())],
+        );
+    }
+
+    fn coord_exhausted(
+        &self,
+        state: &mut RunState,
+        port: &DaemonPort,
+        now: SimTime,
+        fault: FaultKind,
+        phase: CoordPhase,
+        waited: SimDuration,
+    ) -> Result<(), MigrateError> {
+        match self.config.fallback {
+            FallbackPolicy::Fail => Err(MigrateError::CoordTimeout { phase, waited }),
+            FallbackPolicy::DegradeToVanilla => {
+                self.degrade(state, Some(port), now, fault);
+                Ok(())
+            }
         }
     }
 
     /// One live iteration: scan `to_send`, transferring at link speed while
     /// the guest keeps running. In `waiting` mode the iteration ends when
-    /// the LKM reports readiness (refreshing its snapshot if it drains).
+    /// the LKM reports readiness — or when the coordination machinery gives
+    /// up and degrades the run.
     ///
     /// Scanning is word-granular (see the module docs): each step classifies
     /// 64 pages with three word operations, retires send-free words
@@ -399,7 +625,7 @@ impl PrecopyEngine {
         index: u32,
         port: Option<&DaemonPort>,
         waiting: bool,
-    ) -> IterationStats {
+    ) -> Result<IterationStats, MigrateError> {
         let start = clock.now();
         let pages_to_send = to_send.count_set();
         let mut cursor = 0u64;
@@ -417,7 +643,7 @@ impl PrecopyEngine {
             let mut cpu_budget = self.config.quantum;
             'scan: while budget > 0 && !cpu_budget.is_zero() {
                 let Some(first) = to_send.next_set_at(cursor) else {
-                    if waiting {
+                    if waiting && state.assist {
                         // Snapshot drained but the guest is still preparing:
                         // pick up newly dirtied pages under the same
                         // iteration box.
@@ -445,7 +671,7 @@ impl PrecopyEngine {
                 // word is still-pending work; whatever the scanner never
                 // reaches is the leftover the stop-and-copy inherits.
                 let w = to_send.words()[wi];
-                let (d, t) = self.scan_words(vm, wi);
+                let (d, t) = self.scan_words(vm, wi, state.assist);
                 let skips_t = w & !t;
                 let skips_d = w & t & d;
                 let sends = w & t & !d;
@@ -537,24 +763,30 @@ impl PrecopyEngine {
                 .sample_utilization(q_start, self.config.quantum, bytes - q_bytes);
             quanta += 1;
 
-            if let (Some(port), None) = (port, &state.ready) {
-                for msg in port.recv(clock.now()) {
-                    let LkmToDaemon::ReadyToSuspend {
-                        final_update,
-                        stragglers,
-                    } = msg;
-                    state.ready = Some((final_update, stragglers));
+            self.apply_link_plan(state, clock.now())?;
+
+            if let Some(port) = port {
+                if state.assist && state.ready.is_none() {
+                    for msg in port.recv(clock.now()) {
+                        match msg.payload {
+                            CoordPayload::BeginAck => {
+                                state.coord.begin_acked = true;
+                                state.coord.begin_deadline = None;
+                            }
+                            CoordPayload::ReadyToSuspend {
+                                final_update,
+                                stragglers,
+                            } => {
+                                state.ready = Some((final_update, stragglers));
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.check_coord_deadlines(state, port, clock.now())?;
                 }
             }
-            if waiting {
-                if state.ready.is_some() {
-                    break;
-                }
-                assert!(
-                    clock.now().saturating_since(start) < READY_WAIT_CAP,
-                    "LKM never reported ReadyToSuspend; its straggler \
-                     timeout should have fired"
-                );
+            if waiting && (state.ready.is_some() || !state.assist) {
+                break;
             }
         }
 
@@ -564,7 +796,7 @@ impl PrecopyEngine {
             clock.advance(self.config.quantum);
         }
 
-        IterationStats {
+        Ok(IterationStats {
             index,
             start,
             duration: clock.now().saturating_since(start),
@@ -574,7 +806,7 @@ impl PrecopyEngine {
             pages_skipped_dirty: skip_dirty,
             pages_skipped_transfer: skip_transfer,
             pages_dirtied_during: vm.kernel().memory().dirty_log().dirty_count(),
-        }
+        })
     }
 
     /// The stop-and-copy: VM paused, remaining pages pushed at line rate.
@@ -604,11 +836,12 @@ impl PrecopyEngine {
 
         // The VM is paused, so the final transfer bitmap is immutable: the
         // whole skip classification collapses to one word-wise intersection,
-        // and every surviving bit is a send.
+        // and every surviving bit is a send. A degraded run ignores the
+        // bitmap entirely — everything pending goes on the wire.
         let pages_to_send = final_set.count_set();
         state.cpu += self.config.cpu_cost_per_page_scan * pages_to_send;
         let mut sendable = final_set;
-        let skip_transfer = if self.config.assisted {
+        let skip_transfer = if state.assist {
             match vm.kernel().lkm() {
                 Some(lkm) => {
                     let tb = lkm.transfer_bitmap().as_bitmap();
@@ -673,12 +906,12 @@ impl PrecopyEngine {
     }
 
     /// Copies the dirty-log and transfer-bitmap words covering word `wi` of
-    /// the scan. A cleared transfer bit means skip; a missing LKM (or
-    /// vanilla migration) behaves as all-transfer.
-    fn scan_words(&self, vm: &dyn MigratableVm, wi: usize) -> (u64, u64) {
+    /// the scan. A cleared transfer bit means skip; a missing LKM, vanilla
+    /// migration, or a degraded run behaves as all-transfer.
+    fn scan_words(&self, vm: &dyn MigratableVm, wi: usize, assist: bool) -> (u64, u64) {
         let kernel = vm.kernel();
         let d = kernel.memory().dirty_log().peek_ref().words()[wi];
-        let t = if !self.config.assisted {
+        let t = if !assist {
             u64::MAX
         } else {
             match kernel.lkm() {
@@ -723,11 +956,11 @@ impl PrecopyEngine {
     }
 
     /// Dirty pages the transfer bitmap still allows sending — what the
-    /// stop policy's threshold really cares about. For vanilla migration
-    /// this equals the dirty count.
-    fn pending_transferable(&self, vm: &dyn MigratableVm) -> u64 {
+    /// stop policy's threshold really cares about. For vanilla (or
+    /// degraded) migration this equals the dirty count.
+    fn pending_transferable(&self, vm: &dyn MigratableVm, assist: bool) -> u64 {
         let log = vm.kernel().memory().dirty_log();
-        if !self.config.assisted {
+        if !assist {
             return log.dirty_count();
         }
         match vm.kernel().lkm() {
@@ -738,9 +971,10 @@ impl PrecopyEngine {
     }
 
     /// The skip set at pause time: pages whose final transfer bit is clear —
-    /// the word-wise negation of the LKM's transfer bitmap.
-    fn skip_bitmap(&self, vm: &dyn MigratableVm, npages: u64) -> Bitmap {
-        if self.config.assisted {
+    /// the word-wise negation of the LKM's transfer bitmap. Empty for
+    /// vanilla and degraded runs (everything is verified).
+    fn skip_bitmap(&self, vm: &dyn MigratableVm, npages: u64, assist: bool) -> Bitmap {
+        if assist {
             if let Some(lkm) = vm.kernel().lkm() {
                 let mut skip = lkm.transfer_bitmap().as_bitmap().clone();
                 skip.invert();

@@ -1,9 +1,10 @@
 //! Migration reports: per-iteration statistics and end-to-end metrics.
 
 use crate::destination::VerifyReport;
+use crate::error::MigrationOutcome;
 use guestos::lkm::LkmStats;
 use simkit::trace::Trace;
-use simkit::{RunTelemetry, SimDuration, SimTime};
+use simkit::{FaultKind, RunTelemetry, SimDuration, SimTime};
 use vmem::{PageClass, PAGE_SIZE};
 
 /// Why the engine left the live pre-copy phase (Xen's three exits).
@@ -33,6 +34,14 @@ pub enum EngineEvent {
     NotifiedLkm,
     /// `ReadyToSuspend` arrived from the LKM (assisted only).
     ReadyReceived,
+    /// A coordination retry: the named handshake message was resent.
+    CoordRetry {
+        /// 1-based resend attempt.
+        attempt: u32,
+    },
+    /// The assisted protocol was abandoned; the run continues as vanilla
+    /// pre-copy (the triggering fault is recorded).
+    Degraded(FaultKind),
     /// The VM was paused for the stop-and-copy.
     Paused,
     /// The VM was activated at the destination.
@@ -180,6 +189,9 @@ pub struct MigrationReport {
     pub traffic_by_class: TrafficByClass,
     /// Why live iteration ended.
     pub stop_reason: StopReason,
+    /// Whether the requested protocol completed or degraded to vanilla
+    /// pre-copy mid-run (with the triggering fault).
+    pub outcome: MigrationOutcome,
     /// Timestamped engine events.
     pub timeline: Trace<EngineEvent>,
     /// LKM statistics (assisted runs only).

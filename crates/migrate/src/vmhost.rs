@@ -2,7 +2,7 @@
 
 use guestos::kernel::GuestKernel;
 use guestos::lkm::DaemonPort;
-use simkit::{Recorder, SimDuration, SimTime};
+use simkit::{FaultPlan, Recorder, SimDuration, SimTime};
 
 /// A VM the engine can migrate.
 ///
@@ -39,5 +39,15 @@ pub trait MigratableVm {
     /// JVMs and other instrumented components.
     fn attach_telemetry(&mut self, recorder: Recorder) {
         self.kernel_mut().attach_telemetry(recorder);
+    }
+
+    /// Installs the guest-side parts of a fault plan (transport lane faults,
+    /// agent stalls, GC overruns) before the migration begins.
+    ///
+    /// The default ignores the plan; implementations with coordination
+    /// transports and agents override it. Must be a strict no-op when
+    /// `!plan.is_active()` so a zero plan leaves runs bit-for-bit identical.
+    fn install_faults(&mut self, plan: &FaultPlan) {
+        let _ = plan;
     }
 }

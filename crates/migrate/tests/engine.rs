@@ -1,9 +1,9 @@
 //! End-to-end engine tests against a synthetic guest (no JVM involved):
 //! convergence, non-convergence, assistance, compression, determinism.
 
+use guestos::coord::CoordPayload;
 use guestos::kernel::{GuestKernel, GuestOsConfig};
 use guestos::lkm::{DaemonPort, LkmConfig};
-use guestos::messages::{AppToLkm, LkmToApp};
 use guestos::netlink::NetlinkSocket;
 use guestos::process::Pid;
 use migrate::config::{CompressionPolicy, MigrationConfig};
@@ -79,14 +79,14 @@ impl SyntheticVm {
     fn handle_messages(&mut self, now: SimTime) {
         let Some(sock) = &self.sock else { return };
         for msg in sock.recv(now) {
-            match msg {
-                LkmToApp::QuerySkipOver => {
-                    sock.send(now, AppToLkm::SkipOverAreas(vec![self.hot]));
+            match msg.payload {
+                CoordPayload::QuerySkipOver => {
+                    sock.send(now, CoordPayload::SkipOverAreas(vec![self.hot]));
                 }
-                LkmToApp::PrepareSuspension => {
+                CoordPayload::PrepareSuspension => {
                     self.prep_requested = true;
                 }
-                LkmToApp::VmResumed => {}
+                _ => {}
             }
         }
         if self.prep_requested {
@@ -100,7 +100,7 @@ impl SyntheticVm {
             self.kernel.write_range(self.pid, must, PageClass::Anon);
             sock.send(
                 now,
-                AppToLkm::SuspensionReady {
+                CoordPayload::SuspensionReady {
                     areas: vec![self.hot],
                     must_send: vec![must],
                 },
@@ -163,7 +163,9 @@ fn fast_config(assisted: bool) -> MigrationConfig {
 fn idle_vm_converges_quickly_and_correctly() {
     let mut vm = SyntheticVm::new(128 * MIB, 16 * MIB, 0.0, false);
     let mut clock = SimClock::new();
-    let report = PrecopyEngine::new(fast_config(false)).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(fast_config(false))
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     assert!(
         report.verification.is_correct(),
@@ -192,7 +194,9 @@ fn hot_vm_is_forced_to_stop_and_pays_downtime() {
     // 40 MB/s of dirtying over a 20 MB/s link: cannot converge.
     let mut vm = SyntheticVm::new(128 * MIB, 32 * MIB, 40e6, false);
     let mut clock = SimClock::new();
-    let report = PrecopyEngine::new(fast_config(false)).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(fast_config(false))
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     assert!(
         report.verification.is_correct(),
@@ -219,7 +223,9 @@ fn assistance_skips_the_hot_region() {
     let run = |assisted: bool| {
         let mut vm = SyntheticVm::new(128 * MIB, 32 * MIB, 40e6, assisted);
         let mut clock = SimClock::new();
-        let report = PrecopyEngine::new(fast_config(assisted)).migrate(&mut vm, &mut clock);
+        let report = PrecopyEngine::new(fast_config(assisted))
+            .migrate(&mut vm, &mut clock)
+            .expect("migration failed");
         assert!(
             report.verification.is_correct(),
             "{:?}",
@@ -261,7 +267,9 @@ fn must_send_pages_arrive_despite_skipping() {
     let hot_start = vm.hot.start();
     let pid = vm.pid;
     let mut clock = SimClock::new();
-    let report = PrecopyEngine::new(fast_config(true)).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(fast_config(true))
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
     assert!(report.verification.is_correct());
 
     // Check the "live" pages explicitly: destination guarantees hold via
@@ -286,7 +294,9 @@ fn compression_cuts_traffic_not_correctness() {
         let mut clock = SimClock::new();
         let mut config = fast_config(false);
         config.compression = policy;
-        let report = PrecopyEngine::new(config).migrate(&mut vm, &mut clock);
+        let report = PrecopyEngine::new(config)
+            .migrate(&mut vm, &mut clock)
+            .expect("migration failed");
         assert!(report.verification.is_correct());
         report
     };
@@ -311,7 +321,9 @@ fn migration_is_deterministic() {
     let run = || {
         let mut vm = SyntheticVm::new(128 * MIB, 32 * MIB, 40e6, true);
         let mut clock = SimClock::new();
-        PrecopyEngine::new(fast_config(true)).migrate(&mut vm, &mut clock)
+        PrecopyEngine::new(fast_config(true))
+            .migrate(&mut vm, &mut clock)
+            .expect("migration failed")
     };
     let a = run();
     let b = run();
@@ -334,7 +346,9 @@ fn timeline_reflects_protocol_causality() {
 
     let mut vm = SyntheticVm::new(128 * MIB, 32 * MIB, 40e6, true);
     let mut clock = SimClock::new();
-    let report = PrecopyEngine::new(fast_config(true)).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(fast_config(true))
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     let events: Vec<&EngineEvent> = report.timeline.iter().map(|(_, e)| e).collect();
     // Ordering invariants of Figure 4.
@@ -367,12 +381,16 @@ fn stop_reasons_distinguish_workload_shapes() {
     // Idle guest: convergence.
     let mut idle = SyntheticVm::new(128 * MIB, 16 * MIB, 0.0, false);
     let mut clock = SimClock::new();
-    let r = PrecopyEngine::new(fast_config(false)).migrate(&mut idle, &mut clock);
+    let r = PrecopyEngine::new(fast_config(false))
+        .migrate(&mut idle, &mut clock)
+        .expect("migration failed");
     assert_eq!(r.stop_reason, StopReason::DirtyThreshold);
 
     // Hot unassisted guest: forced out by iterations or traffic.
     let mut hot = SyntheticVm::new(128 * MIB, 32 * MIB, 40e6, false);
     let mut clock = SimClock::new();
-    let r = PrecopyEngine::new(fast_config(false)).migrate(&mut hot, &mut clock);
+    let r = PrecopyEngine::new(fast_config(false))
+        .migrate(&mut hot, &mut clock)
+        .expect("migration failed");
     assert_ne!(r.stop_reason, StopReason::DirtyThreshold);
 }

@@ -1,9 +1,9 @@
 //! Property-based tests of the migration engine: correctness holds for
 //! arbitrary guest shapes, dirtying intensities, and engine policies.
 
+use guestos::coord::CoordPayload;
 use guestos::kernel::{GuestKernel, GuestOsConfig};
 use guestos::lkm::{DaemonPort, LkmConfig};
-use guestos::messages::{AppToLkm, LkmToApp};
 use guestos::netlink::NetlinkSocket;
 use guestos::process::Pid;
 use migrate::config::{CompressionPolicy, MigrationConfig, StopPolicy};
@@ -85,12 +85,12 @@ impl MigratableVm for RandomVm {
         self.kernel.tick_noise(now, dt);
         if let Some(sock) = &self.sock {
             for msg in sock.recv(now) {
-                match msg {
-                    LkmToApp::QuerySkipOver => {
-                        sock.send(now, AppToLkm::SkipOverAreas(vec![self.hot]))
+                match msg.payload {
+                    CoordPayload::QuerySkipOver => {
+                        sock.send(now, CoordPayload::SkipOverAreas(vec![self.hot]))
                     }
-                    LkmToApp::PrepareSuspension => self.prep = true,
-                    LkmToApp::VmResumed => {}
+                    CoordPayload::PrepareSuspension => self.prep = true,
+                    _ => {}
                 }
             }
             if self.prep {
@@ -104,7 +104,7 @@ impl MigratableVm for RandomVm {
                 }
                 sock.send(
                     now,
-                    AppToLkm::SuspensionReady {
+                    CoordPayload::SuspensionReady {
                         areas: vec![self.hot],
                         must_send: vec![live],
                     },
@@ -176,7 +176,9 @@ proptest! {
             _ => CompressionPolicy::PerClass,
         };
         let mut clock = SimClock::new();
-        let report = PrecopyEngine::new(config).migrate(&mut vm, &mut clock);
+        let report = PrecopyEngine::new(config)
+            .migrate(&mut vm, &mut clock)
+            .expect("migration failed");
 
         // The one inviolable property.
         prop_assert_eq!(report.verification.mismatched, 0, "{:?}", report.verification);

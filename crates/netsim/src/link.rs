@@ -97,6 +97,13 @@ impl Link {
         self.bandwidth
     }
 
+    /// Changes the link bandwidth mid-run (e.g. fault injection degrading
+    /// the migration network). Takes effect from the next [`Link::budget`]
+    /// call; accumulated traffic counters are untouched.
+    pub fn set_bandwidth(&mut self, bandwidth: Bandwidth) {
+        self.bandwidth = bandwidth;
+    }
+
     /// Returns how many bytes may be sent during `dt`.
     ///
     /// Sub-byte residue carries over to the next call so long runs do not

@@ -22,6 +22,7 @@
 //! streams forked off a single per-run seed.
 
 pub mod clock;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -30,6 +31,7 @@ pub mod trace;
 pub mod units;
 
 pub use clock::SimClock;
+pub use faults::{FaultKind, FaultPlan, GcOverrun, LaneFaults, LinkDegrade, StallPoint};
 pub use rng::DetRng;
 pub use telemetry::{Recorder, RunTelemetry, Subsystem};
 pub use time::{SimDuration, SimTime};

@@ -9,8 +9,8 @@
 //! the purged region refills.
 
 use guestos::app::GuestApp;
+use guestos::coord::CoordPayload;
 use guestos::kernel::GuestKernel;
-use guestos::messages::{AppToLkm, LkmToApp};
 use guestos::netlink::NetlinkSocket;
 use guestos::process::Pid;
 use simkit::{DetRng, SimDuration, SimTime};
@@ -120,28 +120,29 @@ impl CacheApp {
     fn handle_messages(&mut self, now: SimTime) {
         let Some(sock) = &self.sock else { return };
         for msg in sock.recv(now) {
-            match msg {
-                LkmToApp::QuerySkipOver => {
+            match msg.payload {
+                CoordPayload::QuerySkipOver => {
                     // Cache servers register through the /proc entry
                     // (§3.3.2); the LKM treats it like a netlink report.
                     guestos::procfs::write_skip_over(sock, now, &[self.tail_range()])
                         .expect("page-aligned tail range is always valid");
                 }
-                LkmToApp::PrepareSuspension => {
+                CoordPayload::PrepareSuspension => {
                     // Purge the LRU tail: the remaining valid entries are
                     // already compact in the head of the region.
                     self.purged = true;
                     sock.send(
                         now,
-                        AppToLkm::SuspensionReady {
+                        CoordPayload::SuspensionReady {
                             areas: vec![self.tail_range()],
                             must_send: vec![],
                         },
                     );
                 }
-                LkmToApp::VmResumed => {
+                CoordPayload::VmResumed => {
                     self.resumed_at = Some(now);
                 }
+                _ => {}
             }
         }
     }

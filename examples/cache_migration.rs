@@ -46,7 +46,9 @@ fn main() {
     );
 
     let engine = PrecopyEngine::new(MigrationConfig::javmm_default());
-    let report = engine.migrate(&mut vm, &mut clock);
+    let report = engine
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     println!("migrated a JVM + cache-server guest with application assistance:");
     println!("  completion time  : {}", report.total_duration);

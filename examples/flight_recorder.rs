@@ -24,7 +24,8 @@ fn main() {
             SimDuration::from_secs(30),
         ),
         Recorder::new(),
-    );
+    )
+    .expect("scenario failed");
     let t = &outcome.report.telemetry;
 
     println!(

@@ -28,6 +28,7 @@ fn migrate(assisted: bool) -> ScenarioOutcome {
         SimDuration::from_secs(90),
         SimDuration::from_secs(120),
     ))
+    .expect("scenario failed")
 }
 
 fn describe(label: &str, out: &ScenarioOutcome) {

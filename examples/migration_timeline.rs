@@ -25,7 +25,8 @@ fn main() {
         MigrationConfig::javmm_default(),
         SimDuration::from_secs(60),
         SimDuration::from_secs(30),
-    ));
+    ))
+    .expect("scenario failed");
     let report = &outcome.report;
 
     println!("timeline (seconds are absolute simulation time):");

@@ -24,7 +24,7 @@ fn main() {
         SimDuration::from_secs(60),
         SimDuration::from_secs(60),
     );
-    let outcome = run_scenario(&scenario);
+    let outcome = run_scenario(&scenario).expect("scenario failed");
     let report = &outcome.report;
 
     println!("migrated a crypto VM with JAVMM:");

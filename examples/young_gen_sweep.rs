@@ -32,7 +32,8 @@ fn main() {
                 migration,
                 SimDuration::from_secs(45),
                 SimDuration::from_secs(30),
-            ));
+            ))
+            .expect("scenario failed");
             assert!(out.report.verification.is_correct());
             results.push(out);
         }

@@ -26,7 +26,9 @@ fn precopy(assisted: bool) -> MigrationReport {
     } else {
         MigrationConfig::xen_default()
     };
-    PrecopyEngine::new(config).migrate(&mut vm, &mut clock)
+    PrecopyEngine::new(config)
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed")
 }
 
 fn postcopy() -> PostcopyReport {

@@ -68,7 +68,9 @@ fn migrate(vm: &mut JavaVm, assisted: bool) -> MigrationReport {
     } else {
         MigrationConfig::xen_default()
     };
-    PrecopyEngine::new(config).migrate(vm, &mut clock)
+    PrecopyEngine::new(config)
+        .migrate(vm, &mut clock)
+        .expect("migration failed")
 }
 
 #[test]

@@ -24,7 +24,8 @@ fn check(name: &str, assisted: bool, seed: u64) {
         migration,
         SimDuration::from_secs(15),
         SimDuration::from_secs(5),
-    ));
+    ))
+    .expect("scenario failed");
     let v = &out.report.verification;
     assert_eq!(v.mismatched, 0, "{name} assisted={assisted}: {v:?}");
     if assisted {
@@ -83,6 +84,7 @@ fn traffic_breakdown_reflects_skipping() {
             SimDuration::from_secs(20),
             SimDuration::from_secs(5),
         ))
+        .expect("scenario failed")
     };
     let xen = run(false);
     let javmm = run(true);
@@ -127,13 +129,15 @@ fn jvm_language_runtimes_leverage_javmm_as_is() {
             MigrationConfig::xen_default(),
             SimDuration::from_secs(20),
             SimDuration::from_secs(5),
-        ));
+        ))
+        .expect("scenario failed");
         let javmm = run_scenario(&Scenario::quick(
             javmm_vm,
             MigrationConfig::javmm_default(),
             SimDuration::from_secs(20),
             SimDuration::from_secs(5),
-        ));
+        ))
+        .expect("scenario failed");
         assert!(xen.report.verification.is_correct());
         assert!(javmm.report.verification.is_correct());
         assert!(

@@ -13,6 +13,7 @@ fn run(seed: u64) -> ScenarioOutcome {
         SimDuration::from_secs(20),
         SimDuration::from_secs(5),
     ))
+    .expect("scenario failed")
 }
 
 #[test]

@@ -17,6 +17,7 @@ fn run(config: MigrationConfig, vm: JavaVmConfig) -> ScenarioOutcome {
         SimDuration::from_secs(20),
         SimDuration::from_secs(5),
     ))
+    .expect("scenario failed")
 }
 
 #[test]

@@ -27,7 +27,9 @@ fn migrate_with_loss(loss: f64, seed: u64) -> MigrationReport {
         SimDuration::from_secs(15),
         SimDuration::from_millis(2),
     );
-    PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock)
+    PrecopyEngine::new(MigrationConfig::javmm_default())
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed")
 }
 
 #[test]

@@ -43,7 +43,9 @@ fn jvm_plus_cache_app_both_skip() {
         SimDuration::from_secs(20),
         SimDuration::from_millis(2),
     );
-    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default())
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     assert!(
         report.verification.is_correct(),
@@ -95,12 +97,12 @@ impl GuestApp for DeadbeatApp {
         for msg in self.sock.recv(now) {
             // Reports a skip-over area once, then goes silent: never
             // answers PrepareSuspension.
-            if let guestos::messages::LkmToApp::QuerySkipOver = msg {
+            if let guestos::coord::CoordPayload::QuerySkipOver = msg.payload {
                 if !self.replied_once {
                     self.replied_once = true;
                     self.sock.send(
                         now,
-                        guestos::messages::AppToLkm::SkipOverAreas(vec![self.region]),
+                        guestos::coord::CoordPayload::SkipOverAreas(vec![self.region]),
                     );
                 }
             }
@@ -130,7 +132,9 @@ fn straggler_app_is_unskipped_and_migration_stays_correct() {
         SimDuration::from_secs(15),
         SimDuration::from_millis(2),
     );
-    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default())
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     assert_eq!(report.stragglers, 1, "the deadbeat must be timed out");
     assert!(
@@ -160,7 +164,9 @@ fn same_vm_can_be_migrated_twice() {
     );
 
     let engine = PrecopyEngine::new(MigrationConfig::javmm_default());
-    let first = engine.migrate(&mut vm, &mut clock);
+    let first = engine
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
     assert!(first.verification.is_correct());
 
     // Keep running (the resume notification must drain and release the
@@ -171,7 +177,9 @@ fn same_vm_can_be_migrated_twice() {
         SimDuration::from_millis(2),
     );
     assert!(!vm.jvm().is_held(), "threads released after resume");
-    let second = engine.migrate(&mut vm, &mut clock);
+    let second = engine
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
     assert!(
         second.verification.is_correct(),
         "{:?}",
@@ -194,7 +202,9 @@ fn unassisted_jvm_in_assisted_engine_times_out_gracefully() {
         SimDuration::from_secs(10),
         SimDuration::from_millis(2),
     );
-    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default())
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
     assert!(report.verification.is_correct());
     assert_eq!(report.pages_skipped_transfer(), 0);
     assert_eq!(report.stragglers, 0);
@@ -232,7 +242,9 @@ fn two_jvms_in_one_guest_both_assist() {
         SimDuration::from_secs(25),
         SimDuration::from_millis(2),
     );
-    let report = PrecopyEngine::new(MigrationConfig::javmm_default()).migrate(&mut vm, &mut clock);
+    let report = PrecopyEngine::new(MigrationConfig::javmm_default())
+        .migrate(&mut vm, &mut clock)
+        .expect("migration failed");
 
     assert!(
         report.verification.is_correct(),

@@ -23,6 +23,7 @@ fn migrate(collector: Collector, assisted: bool, seed: u64) -> ScenarioOutcome {
         SimDuration::from_secs(25),
         SimDuration::from_secs(10),
     ))
+    .expect("scenario failed")
 }
 
 const G1: Collector = Collector::G1 {

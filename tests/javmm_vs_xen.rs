@@ -23,6 +23,7 @@ fn migrate(spec: &WorkloadSpec, assisted: bool, seed: u64) -> ScenarioOutcome {
         SimDuration::from_secs(30),
         SimDuration::from_secs(20),
     ))
+    .expect("scenario failed")
 }
 
 #[test]

@@ -43,6 +43,7 @@ fn run(workload: WorkloadSpec, assisted: bool, seed: u64) -> MigrationReport {
         SimDuration::from_secs(20),
         SimDuration::from_secs(5),
     ))
+    .expect("scenario failed")
     .report
 }
 

@@ -22,6 +22,7 @@ fn recorded_run(seed: u64) -> ScenarioOutcome {
         ),
         Recorder::new(),
     )
+    .expect("scenario failed")
 }
 
 fn str_field<'a>(e: &'a Event, key: &str) -> Option<&'a str> {

@@ -22,6 +22,7 @@ fn run(young_mb: u64, assisted: bool) -> ScenarioOutcome {
         SimDuration::from_secs(25),
         SimDuration::from_secs(5),
     ))
+    .expect("scenario failed")
 }
 
 #[test]
