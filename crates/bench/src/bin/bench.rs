@@ -1,7 +1,18 @@
-//! `bench` — performance evidence for the pre-copy scan pipeline.
+//! `bench` — performance evidence for the pre-copy scan pipeline, plus
+//! the migration observatory's digest/compare subcommands.
 //!
 //! Usage:
 //!   bench [--scan-only] [--out PATH]
+//!   bench digest [--out-dir DIR] [--scan-slowdown FACTOR]
+//!   bench compare <old.json> <new.json>
+//!
+//! `bench digest` runs the fixed roster of recorded migrations and writes
+//! one `DIGEST_<scenario>.json` (plus a `.prom` Prometheus exposition) per
+//! scenario into `--out-dir` (default `results`). `--scan-slowdown 1.25`
+//! scales the engine's per-page scan CPU cost, seeding a deliberate
+//! scan-throughput regression for gate testing. `bench compare` diffs two
+//! digests under the built-in per-metric thresholds and exits 1 on
+//! regression (naming the metric) or 2 on a parse/schema error.
 //!
 //! Two measurements, both taken in the same run so they share a machine
 //! and a build:
@@ -159,8 +170,73 @@ fn time_scans(fixtures: &[Fixture], scan: fn(&Fixture) -> Tallies) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// Runs the digest roster, writing per-scenario JSON + Prometheus files.
+fn cmd_digest(args: &[String]) {
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    let scan_slowdown = args
+        .iter()
+        .position(|a| a == "--scan-slowdown")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<f64>().expect("--scan-slowdown takes a number"))
+        .unwrap_or(1.0);
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for scenario in javmm_bench::digests::scenarios() {
+        let (digest, prom) = javmm_bench::digests::run_digest_scenario(&scenario, scan_slowdown);
+        let json_path = format!("{out_dir}/DIGEST_{}.json", scenario.name);
+        let prom_path = format!("{out_dir}/DIGEST_{}.prom", scenario.name);
+        std::fs::write(&json_path, digest.to_json()).expect("write digest");
+        std::fs::write(&prom_path, prom).expect("write prometheus exposition");
+        eprintln!(
+            "{}: {} ({} findings) -> {json_path}",
+            scenario.name,
+            digest.outcome_kind,
+            digest.findings.len()
+        );
+    }
+}
+
+/// Diffs two digest files; exit 1 on regression, 2 on parse/schema error.
+fn cmd_compare(args: &[String]) {
+    let (old_path, new_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            eprintln!("usage: bench compare <old.json> <new.json>");
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old_json, new_json) = (read(old_path), read(new_path));
+    match migrate::digest::compare(&old_json, &new_json) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.has_regression() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("compare failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("digest") => return cmd_digest(&args[1..]),
+        Some("compare") => return cmd_compare(&args[1..]),
+        _ => {}
+    }
     let scan_only = args.iter().any(|a| a == "--scan-only");
     let out_path = args
         .iter()

@@ -8,6 +8,7 @@
 //! ≥3 seeds, 90% confidence intervals).
 
 pub mod ablations;
+pub mod digests;
 pub mod figs;
 pub mod opts;
 pub mod render;

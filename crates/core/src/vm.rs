@@ -208,6 +208,7 @@ impl MigratableVm for JavaVm {
 
     fn attach_telemetry(&mut self, recorder: simkit::Recorder) {
         self.kernel.attach_telemetry(recorder.clone());
+        self.port.attach_telemetry(recorder.clone());
         self.jvm.attach_telemetry(recorder);
     }
 

@@ -14,7 +14,7 @@
 
 use crate::coord::{CoordMsg, Lane};
 use simkit::faults::{insert_by_ready, LaneFaultState, MessageFate};
-use simkit::{DetRng, LaneFaults, SimDuration, SimTime};
+use simkit::{DetRng, LaneFaults, Recorder, SimDuration, SimTime, Subsystem};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -30,6 +30,7 @@ struct ChannelCore {
     daemon_seq: u64,
     lkm_seq: u64,
     faults: Option<LaneFaultState>,
+    telemetry: Recorder,
 }
 
 impl ChannelCore {
@@ -59,6 +60,11 @@ impl ChannelCore {
             &mut self.to_daemon
         };
         for _ in 0..copies {
+            self.telemetry.hist_dur(
+                Subsystem::Net,
+                "evtchn_delivery_ns",
+                ready.saturating_since(now),
+            );
             insert_by_ready(queue, ready, msg.clone());
         }
     }
@@ -94,6 +100,7 @@ pub fn channel_pair_with_latency(latency: SimDuration) -> (DaemonPort, LkmPort) 
         daemon_seq: 0,
         lkm_seq: 0,
         faults: None,
+        telemetry: Recorder::disabled(),
     }));
     (
         DaemonPort {
@@ -124,6 +131,13 @@ impl DaemonPort {
     /// stream so a plan replays identically regardless of traffic mix).
     pub fn install_faults(&self, faults: LaneFaults, rng: DetRng) {
         self.core.borrow_mut().faults = Some(LaneFaultState::new(faults, rng));
+    }
+
+    /// Attaches a flight recorder: each enqueued copy records its
+    /// send-to-ready delivery latency (including injected delay) into the
+    /// `net/evtchn_delivery_ns` histogram.
+    pub fn attach_telemetry(&self, recorder: Recorder) {
+        self.core.borrow_mut().telemetry = recorder;
     }
 }
 

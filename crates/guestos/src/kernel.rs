@@ -187,9 +187,11 @@ impl GuestKernel {
     }
 
     /// Attaches a telemetry recorder to the loaded LKM (no-op when no LKM
-    /// is loaded): state transitions, bitmap-update spans and walk counters
-    /// of subsequent migrations are recorded into it.
+    /// is loaded) and to the netlink bus: state transitions, bitmap-update
+    /// spans, walk counters and netlink delivery-latency histograms of
+    /// subsequent migrations are recorded into it.
     pub fn attach_telemetry(&mut self, recorder: simkit::Recorder) {
+        self.netlink.attach_telemetry(recorder.clone());
         if let Some(lkm) = &mut self.lkm {
             lkm.attach_telemetry(recorder);
         }

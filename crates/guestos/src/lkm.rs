@@ -197,6 +197,18 @@ impl LkmState {
             LkmState::Degraded => "DEGRADED",
         }
     }
+
+    /// Histogram name for time spent dwelling in this state before leaving
+    /// it (recorded on every outgoing transition).
+    pub fn dwell_metric(self) -> &'static str {
+        match self {
+            LkmState::Initialized => "dwell_initialized_ns",
+            LkmState::MigrationStarted => "dwell_migration_started_ns",
+            LkmState::EnteringLastIter => "dwell_entering_last_iter_ns",
+            LkmState::SuspensionReady => "dwell_suspension_ready_ns",
+            LkmState::Degraded => "dwell_degraded_ns",
+        }
+    }
 }
 
 /// Counters and timings the LKM accumulates across one migration.
@@ -250,6 +262,9 @@ pub struct Lkm {
     app_seq_seen: BTreeMap<Pid, u64>,
     stats: LkmStats,
     telemetry: Recorder,
+    /// When the current state was entered; feeds the per-state dwell-time
+    /// histograms.
+    state_since: SimTime,
 }
 
 impl Lkm {
@@ -271,6 +286,7 @@ impl Lkm {
                 app_seq_seen: BTreeMap::new(),
                 stats: LkmStats::default(),
                 telemetry: Recorder::disabled(),
+                state_since: SimTime::ZERO,
             },
             daemon_port,
         )
@@ -287,10 +303,17 @@ impl Lkm {
         self.state
     }
 
-    /// Moves to `to`, emitting a telemetry state-transition event.
+    /// Moves to `to`, emitting a telemetry state-transition event and a
+    /// dwell-time histogram sample for the state being left.
     fn set_state(&mut self, now: SimTime, to: LkmState) {
         let from = self.state;
         self.state = to;
+        self.telemetry.hist_dur(
+            Subsystem::Lkm,
+            from.dwell_metric(),
+            now.saturating_since(self.state_since),
+        );
+        self.state_since = now;
         self.telemetry.instant(
             now,
             Subsystem::Lkm,

@@ -15,7 +15,7 @@
 
 use crate::process::Pid;
 use simkit::faults::{insert_by_ready, LaneFaultState, MessageFate};
-use simkit::{DetRng, LaneFaults, SimDuration, SimTime};
+use simkit::{DetRng, LaneFaults, Recorder, SimDuration, SimTime, Subsystem};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -41,6 +41,7 @@ struct BusCore {
     /// Structured fault injection (drop/delay/duplicate) for the plan-driven
     /// harness; independent of `loss`.
     faults: Option<LaneFaultState>,
+    telemetry: Recorder,
 }
 
 impl BusCore {
@@ -121,6 +122,7 @@ impl NetlinkBus {
                 loss: None,
                 dropped: 0,
                 faults: None,
+                telemetry: Recorder::disabled(),
             })),
         }
     }
@@ -142,6 +144,13 @@ impl NetlinkBus {
     /// Messages dropped by legacy loss injection so far.
     pub fn dropped_count(&self) -> u64 {
         self.core.borrow().dropped
+    }
+
+    /// Attaches a flight recorder: every delivered copy (either direction)
+    /// records its send-to-ready latency into the
+    /// `net/netlink_delivery_ns` histogram.
+    pub fn attach_telemetry(&self, recorder: Recorder) {
+        self.core.borrow_mut().telemetry = recorder;
     }
 
     /// Subscribes a process to the multicast group, returning its socket.
@@ -227,6 +236,11 @@ impl NetlinkSocket {
         let ready = now + core.latency;
         if let Some((ready, copies)) = core.fate(ready) {
             for _ in 0..copies {
+                core.telemetry.hist_dur(
+                    Subsystem::Net,
+                    "netlink_delivery_ns",
+                    ready.saturating_since(now),
+                );
                 let at = core.to_kernel.partition_point(|&(r, _, _)| r <= ready);
                 core.to_kernel.insert(at, (ready, self.pid, msg.clone()));
             }
@@ -267,6 +281,13 @@ impl KernelNetlink {
             let Some((ready, copies)) = core.fate(base_ready) else {
                 continue;
             };
+            for _ in 0..copies {
+                core.telemetry.hist_dur(
+                    Subsystem::Net,
+                    "netlink_delivery_ns",
+                    ready.saturating_since(now),
+                );
+            }
             let queue = core.to_apps.get_mut(&sock).expect("sock key just listed");
             for _ in 0..copies {
                 insert_by_ready(queue, ready, msg.clone());

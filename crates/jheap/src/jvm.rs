@@ -84,6 +84,7 @@ pub struct JvmProcess {
     pending_shrunk: Vec<VaRange>,
     telemetry: Recorder,
     hold_span: Option<SpanId>,
+    hold_since: Option<SimTime>,
     gc_overrun: Option<GcOverrun>,
 }
 
@@ -145,6 +146,7 @@ impl JvmProcess {
             pending_shrunk: Vec::new(),
             telemetry: Recorder::disabled(),
             hold_span: None,
+            hold_since: None,
             gc_overrun: None,
         }
     }
@@ -219,6 +221,8 @@ impl JvmProcess {
             wait,
             vec![("enforced", enforced.into())],
         );
+        self.telemetry
+            .hist_dur(Subsystem::Jvm, "safepoint_reach_ns", wait);
         self.state = ExecState::ReachingSafepoint {
             remaining: wait,
             enforced,
@@ -253,6 +257,15 @@ impl JvmProcess {
                 ("garbage_collected", rec.garbage_collected.into()),
             ],
         );
+        self.telemetry.hist_dur(
+            Subsystem::Gc,
+            if enforced {
+                "enforced_gc_pause_ns"
+            } else {
+                "minor_gc_pause_ns"
+            },
+            duration,
+        );
         // Post-GC heap occupancy, sampled at the pause start instant.
         self.telemetry.gauge(
             now,
@@ -286,6 +299,7 @@ impl JvmProcess {
                         self.telemetry
                             .begin_span(now, Subsystem::Jvm, "safepoint_hold", vec![]),
                     );
+                self.hold_since = Some(now);
                 self.pending_shrunk.clear();
                 return;
             }
@@ -349,6 +363,13 @@ impl GuestApp for JvmProcess {
                 self.state = ExecState::Running;
                 if let Some(id) = self.hold_span.take() {
                     self.telemetry.end_span(now, id, vec![]);
+                }
+                if let Some(since) = self.hold_since.take() {
+                    self.telemetry.hist_dur(
+                        Subsystem::Jvm,
+                        "safepoint_hold_ns",
+                        now.saturating_since(since),
+                    );
                 }
             }
         }

@@ -1,0 +1,948 @@
+//! Post-run digests: schema-versioned JSON summaries and a cross-run
+//! regression gate.
+//!
+//! A [`RunDigest`] folds a [`MigrationReport`] (including its flight
+//! recorder snapshot) into a compact, byte-deterministic JSON document:
+//! phase and downtime attribution, skipped-vs-sent page accounting,
+//! histogram quantiles, scan throughput, fault attribution for degraded
+//! outcomes, and a findings list of rule-based anomalies. Digests are
+//! meant to be committed as baselines and diffed across runs: [`compare`]
+//! parses two digest documents (with the built-in minimal JSON reader — no
+//! external dependency) and applies per-metric regression thresholds.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use simkit::telemetry::export::escape_json;
+use simkit::Subsystem;
+
+use crate::report::{MigrationReport, StopReason};
+use crate::MigrationOutcome;
+
+/// Schema identifier embedded in (and required of) every digest document.
+pub const DIGEST_SCHEMA: &str = "javmm-run-digest-v1";
+
+/// Enforced-GC pauses longer than this are flagged as a `gc_overrun`
+/// finding (the paper's enforced minor GC completes well under a second).
+const GC_OVERRUN_BUDGET_NS: u64 = 2_000_000_000;
+
+/// Identity of the run a digest describes; supplied by the caller because
+/// the report itself does not know its scenario name or seed.
+#[derive(Debug, Clone)]
+pub struct DigestMeta {
+    /// Stable scenario name (used as the compare key).
+    pub name: String,
+    /// Workload label (e.g. `crypto`, `derby`).
+    pub workload: String,
+    /// Whether the run requested application assistance.
+    pub assisted: bool,
+    /// Root seed of the run.
+    pub seed: u64,
+}
+
+/// Summary of one histogram family carried into the digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistDigest {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Median (nearest-rank over log buckets).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// A rule-based anomaly surfaced by the digest analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `precopy_not_converging`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the triggering numbers.
+    pub detail: String,
+}
+
+/// The folded outcome of one migration run.
+#[derive(Debug, Clone)]
+pub struct RunDigest {
+    /// Run identity.
+    pub meta: DigestMeta,
+    /// `completed` or `degraded_vanilla`.
+    pub outcome_kind: &'static str,
+    /// Triggering fault name for degraded runs, `none` otherwise.
+    pub fault: &'static str,
+    /// Why live iteration stopped.
+    pub stop_reason: &'static str,
+    /// Wall-clock migration duration in nanoseconds.
+    pub total_duration_ns: u64,
+    /// Bytes put on the wire.
+    pub total_bytes: u64,
+    /// Migration daemon CPU time in nanoseconds.
+    pub cpu_time_ns: u64,
+    /// Iterations performed, including the stop-and-copy.
+    pub iterations: u32,
+    /// Assistants forcibly un-skipped by the LKM.
+    pub stragglers: u32,
+    /// Pages transferred.
+    pub pages_sent: u64,
+    /// Pages skipped on transfer-bit grounds (skip-over areas).
+    pub pages_skipped_transfer: u64,
+    /// Pages skipped because they were re-dirtied mid-iteration.
+    pub pages_skipped_dirty: u64,
+    /// Workload-perceived downtime in nanoseconds.
+    pub downtime_workload_ns: u64,
+    /// VM pause-to-resume downtime in nanoseconds.
+    pub downtime_vm_ns: u64,
+    /// Safepoint-reach time (not part of downtime).
+    pub safepoint_wait_ns: u64,
+    /// Enforced minor GC share of downtime.
+    pub enforced_gc_ns: u64,
+    /// Final transfer-bitmap update share of downtime.
+    pub final_update_ns: u64,
+    /// Stop-and-copy share of downtime.
+    pub last_iteration_ns: u64,
+    /// Destination resume share of downtime.
+    pub resume_ns: u64,
+    /// Pages examined by the pre-copy scanner (sends and skips alike).
+    pub pages_scanned: u64,
+    /// CPU charged to scanning, in nanoseconds.
+    pub scan_cpu_ns: u64,
+    /// Scan throughput: pages per CPU-second (0 when nothing was scanned).
+    pub scan_pages_per_cpu_sec: f64,
+    /// Histogram summaries keyed `subsystem/name`, sorted.
+    pub histograms: BTreeMap<String, HistDigest>,
+    /// Counter values keyed `subsystem/name`, sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Rule-based anomalies, in fixed rule order.
+    pub findings: Vec<Finding>,
+}
+
+fn stop_reason_name(r: StopReason) -> &'static str {
+    match r {
+        StopReason::MaxIterations => "max_iterations",
+        StopReason::TrafficCap => "traffic_cap",
+        StopReason::DirtyThreshold => "dirty_threshold",
+    }
+}
+
+impl RunDigest {
+    /// Folds `report` (and its telemetry snapshot) into a digest.
+    pub fn from_report(meta: DigestMeta, report: &MigrationReport) -> Self {
+        let (outcome_kind, fault) = match report.outcome {
+            MigrationOutcome::Completed => ("completed", "none"),
+            MigrationOutcome::DegradedVanilla { fault } => ("degraded_vanilla", fault.name()),
+        };
+        let t = &report.telemetry;
+        let pages_scanned = t.counter(Subsystem::Engine, "pages_scanned").unwrap_or(0);
+        let scan_cpu_ns = t.counter(Subsystem::Engine, "scan_cpu_ns").unwrap_or(0);
+        let scan_pages_per_cpu_sec = if scan_cpu_ns > 0 {
+            pages_scanned as f64 * 1e9 / scan_cpu_ns as f64
+        } else {
+            0.0
+        };
+        let histograms = t
+            .hists
+            .iter()
+            .map(|h| {
+                (
+                    format!("{}/{}", h.subsystem, h.name),
+                    HistDigest {
+                        count: h.hist.count(),
+                        min: h.hist.min(),
+                        max: h.hist.max(),
+                        sum: h.hist.sum(),
+                        p50: h.hist.quantile(0.50),
+                        p95: h.hist.quantile(0.95),
+                        p99: h.hist.quantile(0.99),
+                    },
+                )
+            })
+            .collect();
+        let counters = t
+            .counters
+            .iter()
+            .map(|c| (format!("{}/{}", c.subsystem, c.name), c.value))
+            .collect();
+
+        let mut digest = Self {
+            outcome_kind,
+            fault,
+            stop_reason: stop_reason_name(report.stop_reason),
+            total_duration_ns: report.total_duration.as_nanos(),
+            total_bytes: report.total_bytes,
+            cpu_time_ns: report.cpu_time.as_nanos(),
+            iterations: report.iteration_count(),
+            stragglers: report.stragglers,
+            pages_sent: report.pages_sent(),
+            pages_skipped_transfer: report.pages_skipped_transfer(),
+            pages_skipped_dirty: report
+                .iterations
+                .iter()
+                .map(|i| i.pages_skipped_dirty)
+                .sum(),
+            downtime_workload_ns: report.downtime.workload_downtime().as_nanos(),
+            downtime_vm_ns: report.downtime.vm_downtime().as_nanos(),
+            safepoint_wait_ns: report.downtime.safepoint_wait.as_nanos(),
+            enforced_gc_ns: report.downtime.enforced_gc.as_nanos(),
+            final_update_ns: report.downtime.final_update.as_nanos(),
+            last_iteration_ns: report.downtime.last_iteration.as_nanos(),
+            resume_ns: report.downtime.resume.as_nanos(),
+            pages_scanned,
+            scan_cpu_ns,
+            scan_pages_per_cpu_sec,
+            histograms,
+            counters,
+            findings: Vec::new(),
+            meta,
+        };
+        digest.findings = digest.analyze();
+        digest
+    }
+
+    /// Applies the anomaly rules, in fixed order so output is deterministic.
+    fn analyze(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if self.outcome_kind == "degraded_vanilla" {
+            findings.push(Finding {
+                rule: "degraded_vanilla",
+                detail: format!(
+                    "assisted protocol degraded to vanilla pre-copy (fault: {})",
+                    self.fault
+                ),
+            });
+        }
+        if self.stop_reason != "dirty_threshold" {
+            findings.push(Finding {
+                rule: "precopy_not_converging",
+                detail: format!(
+                    "live pre-copy never reached the dirty threshold (stopped by {} after {} iterations, {} bytes)",
+                    self.stop_reason, self.iterations, self.total_bytes
+                ),
+            });
+        }
+        if self.stragglers > 0 {
+            findings.push(Finding {
+                rule: "straggler_lane",
+                detail: format!(
+                    "{} assisting application(s) straggled and were forcibly un-skipped",
+                    self.stragglers
+                ),
+            });
+        }
+        if self.enforced_gc_ns > GC_OVERRUN_BUDGET_NS {
+            findings.push(Finding {
+                rule: "gc_overrun",
+                detail: format!(
+                    "enforced GC pause of {} ns exceeds the {} ns budget",
+                    self.enforced_gc_ns, GC_OVERRUN_BUDGET_NS
+                ),
+            });
+        }
+        if self.meta.assisted
+            && self.outcome_kind == "completed"
+            && self.pages_skipped_transfer == 0
+        {
+            findings.push(Finding {
+                rule: "zero_skip_run",
+                detail: "assisted run completed without skipping a single page on \
+                         transfer-bit grounds — assistance bought nothing"
+                    .to_string(),
+            });
+        }
+        findings
+    }
+
+    /// Serialises the digest as pretty-printed JSON. Field order is fixed
+    /// and all maps are sorted, so same-seed runs produce byte-identical
+    /// documents.
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"schema\": \"{DIGEST_SCHEMA}\",");
+        o.push_str("  \"scenario\": {\n");
+        let _ = writeln!(o, "    \"name\": \"{}\",", escape_json(&self.meta.name));
+        let _ = writeln!(
+            o,
+            "    \"workload\": \"{}\",",
+            escape_json(&self.meta.workload)
+        );
+        let _ = writeln!(o, "    \"assisted\": {},", self.meta.assisted);
+        let _ = writeln!(o, "    \"seed\": {}", self.meta.seed);
+        o.push_str("  },\n");
+        o.push_str("  \"outcome\": {\n");
+        let _ = writeln!(o, "    \"kind\": \"{}\",", self.outcome_kind);
+        let _ = writeln!(o, "    \"fault\": \"{}\",", self.fault);
+        let _ = writeln!(o, "    \"stop_reason\": \"{}\"", self.stop_reason);
+        o.push_str("  },\n");
+        o.push_str("  \"totals\": {\n");
+        let _ = writeln!(o, "    \"total_duration_ns\": {},", self.total_duration_ns);
+        let _ = writeln!(o, "    \"total_bytes\": {},", self.total_bytes);
+        let _ = writeln!(o, "    \"cpu_time_ns\": {},", self.cpu_time_ns);
+        let _ = writeln!(o, "    \"iterations\": {},", self.iterations);
+        let _ = writeln!(o, "    \"stragglers\": {}", self.stragglers);
+        o.push_str("  },\n");
+        o.push_str("  \"pages\": {\n");
+        let _ = writeln!(o, "    \"sent\": {},", self.pages_sent);
+        let _ = writeln!(
+            o,
+            "    \"skipped_transfer\": {},",
+            self.pages_skipped_transfer
+        );
+        let _ = writeln!(o, "    \"skipped_dirty\": {}", self.pages_skipped_dirty);
+        o.push_str("  },\n");
+        o.push_str("  \"downtime_ns\": {\n");
+        let _ = writeln!(o, "    \"workload\": {},", self.downtime_workload_ns);
+        let _ = writeln!(o, "    \"vm\": {},", self.downtime_vm_ns);
+        let _ = writeln!(o, "    \"safepoint_wait\": {},", self.safepoint_wait_ns);
+        let _ = writeln!(o, "    \"enforced_gc\": {},", self.enforced_gc_ns);
+        let _ = writeln!(o, "    \"final_update\": {},", self.final_update_ns);
+        let _ = writeln!(o, "    \"last_iteration\": {},", self.last_iteration_ns);
+        let _ = writeln!(o, "    \"resume\": {}", self.resume_ns);
+        o.push_str("  },\n");
+        o.push_str("  \"scan\": {\n");
+        let _ = writeln!(o, "    \"pages_scanned\": {},", self.pages_scanned);
+        let _ = writeln!(o, "    \"scan_cpu_ns\": {},", self.scan_cpu_ns);
+        let _ = writeln!(
+            o,
+            "    \"pages_per_cpu_sec\": {}",
+            fmt_f64(self.scan_pages_per_cpu_sec)
+        );
+        o.push_str("  },\n");
+        o.push_str("  \"histograms\": {\n");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape_json(key), h.count, h.min, h.max, h.sum, h.p50, h.p95, h.p99
+            );
+            o.push_str(if i + 1 < self.histograms.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        o.push_str("  },\n");
+        o.push_str("  \"counters\": {\n");
+        for (i, (key, v)) in self.counters.iter().enumerate() {
+            let _ = write!(o, "    \"{}\": {}", escape_json(key), v);
+            o.push_str(if i + 1 < self.counters.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        o.push_str("  },\n");
+        o.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    {{\"rule\": \"{}\", \"detail\": \"{}\"}}",
+                f.rule,
+                escape_json(&f.detail)
+            );
+            o.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        o.push_str("  ]\n");
+        o.push_str("}\n");
+        o
+    }
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (compare-side; no external dependency).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are `f64`; every quantity a digest carries
+/// is well below 2^53, so no precision is lost.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (keys sorted by `BTreeMap`).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, DigestError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(DigestError::parse(p.pos, "trailing garbage"));
+        }
+        Ok(v)
+    }
+
+    /// Walks `path` through nested objects.
+    pub fn get(&self, path: &[&str]) -> Option<&Json> {
+        let mut cur = self;
+        for key in path {
+            match cur {
+                Json::Obj(map) => cur = map.get(*key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from digest parsing or comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigestError {
+    /// The document is not valid JSON (byte offset, description).
+    Parse(usize, String),
+    /// The document parsed but is not a digest this code understands.
+    Schema(String),
+}
+
+impl DigestError {
+    fn parse(pos: usize, msg: &str) -> Self {
+        DigestError::Parse(pos, msg.to_string())
+    }
+}
+
+impl core::fmt::Display for DigestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DigestError::Parse(pos, msg) => write!(f, "JSON parse error at byte {pos}: {msg}"),
+            DigestError::Schema(msg) => write!(f, "digest schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DigestError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DigestError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DigestError::parse(
+                self.pos,
+                &format!("expected '{}'", b as char),
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, DigestError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(DigestError::parse(self.pos, &format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, DigestError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(DigestError::parse(self.pos, "expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DigestError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| DigestError::parse(self.pos, "unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| DigestError::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| DigestError::parse(self.pos, "bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs don't appear in digests;
+                            // replace rather than reject if one shows up.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(DigestError::parse(self.pos, "unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| core::str::from_utf8(s).ok())
+                        .ok_or_else(|| DigestError::parse(start, "invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, DigestError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DigestError::parse(start, "invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| DigestError::parse(start, "invalid number"))
+    }
+
+    fn array(&mut self) -> Result<Json, DigestError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(DigestError::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, DigestError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(DigestError::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-run comparison.
+// ---------------------------------------------------------------------------
+
+/// Which direction of change counts as a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// An increase beyond the threshold is a regression (durations, bytes).
+    HigherWorse,
+    /// A decrease beyond the threshold is a regression (throughputs).
+    LowerWorse,
+}
+
+struct CompareMetric {
+    path: &'static [&'static str],
+    direction: Direction,
+    threshold: f64,
+}
+
+/// The per-metric regression gate: JSON path, bad direction, and the
+/// relative-change threshold beyond which the change is a regression.
+const COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["totals", "total_duration_ns"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["totals", "total_bytes"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["totals", "cpu_time_ns"],
+        direction: Direction::HigherWorse,
+        threshold: 0.05,
+    },
+    CompareMetric {
+        path: &["downtime_ns", "workload"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["downtime_ns", "vm"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["pages", "sent"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["scan", "pages_per_cpu_sec"],
+        direction: Direction::LowerWorse,
+        threshold: 0.10,
+    },
+];
+
+/// One metric's old-vs-new comparison.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Dotted metric name (e.g. `scan.pages_per_cpu_sec`).
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed relative change (`(new - old) / old`); `0` when both are 0.
+    pub change: f64,
+    /// The gate's threshold for this metric.
+    pub threshold: f64,
+    /// Which direction is bad for this metric.
+    pub direction: Direction,
+    /// Whether the change trips the gate.
+    pub regressed: bool,
+}
+
+/// The result of comparing two digests.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Scenario name both digests describe.
+    pub scenario: String,
+    /// Outcome-kind change, if any (`old -> new`); always a regression.
+    pub outcome_changed: Option<(String, String)>,
+    /// Per-metric deltas in gate order.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl CompareReport {
+    /// Names of all regressed metrics (`outcome` first if it changed).
+    pub fn regressions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.outcome_changed.is_some() {
+            out.push("outcome.kind".to_string());
+        }
+        out.extend(
+            self.deltas
+                .iter()
+                .filter(|d| d.regressed)
+                .map(|d| d.metric.clone()),
+        );
+        out
+    }
+
+    /// Whether any gate tripped.
+    pub fn has_regression(&self) -> bool {
+        self.outcome_changed.is_some() || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Renders the comparison as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "scenario: {}", self.scenario);
+        if let Some((old, new)) = &self.outcome_changed {
+            let _ = writeln!(out, "  outcome.kind: {old} -> {new}  REGRESSION");
+        }
+        for d in &self.deltas {
+            let arrow = match d.direction {
+                Direction::HigherWorse => "<=",
+                Direction::LowerWorse => ">=",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {} -> {}  {:+.2}% (gate: {} {:+.0}%)  {}",
+                d.metric,
+                fmt_f64(d.old),
+                fmt_f64(d.new),
+                d.change * 100.0,
+                arrow,
+                match d.direction {
+                    Direction::HigherWorse => d.threshold * 100.0,
+                    Direction::LowerWorse => -d.threshold * 100.0,
+                },
+                if d.regressed { "REGRESSION" } else { "ok" },
+            );
+        }
+        let regs = self.regressions();
+        if regs.is_empty() {
+            out.push_str("verdict: OK\n");
+        } else {
+            let _ = writeln!(out, "verdict: REGRESSION in {}", regs.join(", "));
+        }
+        out
+    }
+}
+
+fn require_str<'a>(doc: &'a Json, path: &[&str]) -> Result<&'a str, DigestError> {
+    doc.get(path)
+        .and_then(Json::as_str)
+        .ok_or_else(|| DigestError::Schema(format!("missing string field {}", path.join("."))))
+}
+
+fn require_num(doc: &Json, path: &[&str]) -> Result<f64, DigestError> {
+    doc.get(path)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| DigestError::Schema(format!("missing numeric field {}", path.join("."))))
+}
+
+/// Compares two digest documents (baseline, candidate) under the built-in
+/// per-metric thresholds. Errors if either document fails to parse, is not
+/// schema `javmm-run-digest-v1`, or the two digests describe different
+/// scenarios.
+pub fn compare(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    let new = Json::parse(new_json)?;
+    for doc in [&old, &new] {
+        let schema = require_str(doc, &["schema"])?;
+        if schema != DIGEST_SCHEMA {
+            return Err(DigestError::Schema(format!(
+                "unsupported schema '{schema}' (want '{DIGEST_SCHEMA}')"
+            )));
+        }
+    }
+    let old_name = require_str(&old, &["scenario", "name"])?;
+    let new_name = require_str(&new, &["scenario", "name"])?;
+    if old_name != new_name {
+        return Err(DigestError::Schema(format!(
+            "digests describe different scenarios ('{old_name}' vs '{new_name}')"
+        )));
+    }
+    let old_kind = require_str(&old, &["outcome", "kind"])?;
+    let new_kind = require_str(&new, &["outcome", "kind"])?;
+    let outcome_changed = if old_kind != new_kind {
+        Some((old_kind.to_string(), new_kind.to_string()))
+    } else {
+        None
+    };
+    let mut deltas = Vec::with_capacity(COMPARE_METRICS.len());
+    for m in COMPARE_METRICS {
+        let old_v = require_num(&old, m.path)?;
+        let new_v = require_num(&new, m.path)?;
+        let change = if old_v != 0.0 {
+            (new_v - old_v) / old_v
+        } else if new_v == 0.0 {
+            0.0
+        } else {
+            // From zero to non-zero: infinite relative growth.
+            f64::INFINITY
+        };
+        let regressed = match m.direction {
+            Direction::HigherWorse => change > m.threshold,
+            Direction::LowerWorse => change < -m.threshold,
+        };
+        deltas.push(MetricDelta {
+            metric: m.path.join("."),
+            old: old_v,
+            new: new_v,
+            change,
+            threshold: m.threshold,
+            direction: m.direction,
+            regressed,
+        });
+    }
+    Ok(CompareReport {
+        scenario: old_name.to_string(),
+        outcome_changed,
+        deltas,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_json(name: &str, scan_pps: f64, cpu_ns: u64, kind: &str) -> String {
+        format!(
+            r#"{{
+              "schema": "javmm-run-digest-v1",
+              "scenario": {{"name": "{name}", "workload": "derby", "assisted": true, "seed": 3}},
+              "outcome": {{"kind": "{kind}", "fault": "none", "stop_reason": "dirty_threshold"}},
+              "totals": {{"total_duration_ns": 1000, "total_bytes": 2000, "cpu_time_ns": {cpu_ns}, "iterations": 5, "stragglers": 0}},
+              "pages": {{"sent": 100, "skipped_transfer": 10, "skipped_dirty": 5}},
+              "downtime_ns": {{"workload": 300, "vm": 200, "safepoint_wait": 0, "enforced_gc": 0, "final_update": 0, "last_iteration": 100, "resume": 100}},
+              "scan": {{"pages_scanned": 400, "scan_cpu_ns": 100, "pages_per_cpu_sec": {scan_pps}}},
+              "histograms": {{}},
+              "counters": {{}},
+              "findings": []
+            }}"#
+        )
+    }
+
+    #[test]
+    fn parser_round_trips_all_value_shapes() {
+        let doc = r#"{"a": [1, -2.5, 1e3], "b": {"c": "x\nyA"}, "d": null, "e": true}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(
+            v.get(&["a"]).unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Num(1000.0)])
+        );
+        assert_eq!(v.get(&["b", "c"]).and_then(Json::as_str), Some("x\nyA"));
+        assert_eq!(v.get(&["d"]), Some(&Json::Null));
+        assert_eq!(v.get(&["e"]), Some(&Json::Bool(true)));
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn identical_digests_compare_clean() {
+        let a = digest_json("derby", 4e9, 500, "completed");
+        let report = compare(&a, &a).unwrap();
+        assert!(!report.has_regression());
+        assert!(report.regressions().is_empty());
+        assert!(report.render().contains("verdict: OK"));
+    }
+
+    #[test]
+    fn scan_throughput_drop_trips_only_its_own_gate() {
+        let old = digest_json("derby", 4e9, 500, "completed");
+        // 20% throughput drop, 2.5% CPU growth: only the scan gate trips.
+        let new = digest_json("derby", 3.2e9, 512, "completed");
+        let report = compare(&old, &new).unwrap();
+        assert!(report.has_regression());
+        assert_eq!(report.regressions(), vec!["scan.pages_per_cpu_sec"]);
+        assert!(report.render().contains("scan.pages_per_cpu_sec"));
+    }
+
+    #[test]
+    fn outcome_kind_change_is_always_a_regression() {
+        let old = digest_json("derby", 4e9, 500, "completed");
+        let new = digest_json("derby", 4e9, 500, "degraded_vanilla");
+        let report = compare(&old, &new).unwrap();
+        assert!(report.has_regression());
+        assert_eq!(report.regressions()[0], "outcome.kind");
+    }
+
+    #[test]
+    fn mismatched_scenarios_and_schemas_are_errors() {
+        let a = digest_json("derby", 4e9, 500, "completed");
+        let b = digest_json("crypto", 4e9, 500, "completed");
+        assert!(matches!(compare(&a, &b), Err(DigestError::Schema(_))));
+        let bad = a.replace("javmm-run-digest-v1", "javmm-run-digest-v0");
+        assert!(matches!(compare(&a, &bad), Err(DigestError::Schema(_))));
+        assert!(matches!(
+            compare("not json", &a),
+            Err(DigestError::Parse(_, _))
+        ));
+    }
+}

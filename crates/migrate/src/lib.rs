@@ -23,6 +23,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod destination;
+pub mod digest;
 pub mod error;
 pub mod policy;
 pub mod postcopy;
@@ -36,6 +37,7 @@ pub use config::{
     StopPolicy,
 };
 pub use destination::{DestinationVm, VerifyReport};
+pub use digest::{compare, CompareReport, DigestMeta, RunDigest, DIGEST_SCHEMA};
 pub use error::{ConfigError, CoordPhase, MigrateError, MigrationOutcome};
 pub use policy::{choose_strategy, Decision, Strategy, WorkloadProbe};
 pub use postcopy::{PostcopyConfig, PostcopyEngine, PostcopyReport};

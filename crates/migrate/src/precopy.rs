@@ -93,6 +93,9 @@ struct CoordTrack {
     begin_deadline: Option<SimTime>,
     begin_wait: SimDuration,
     begin_attempts: u32,
+    /// When the (latest) `MigrationBegin` went out; anchors the
+    /// begin-ack round-trip histogram.
+    begin_sent_at: SimTime,
     ready_deadline: Option<SimTime>,
     ready_wait: SimDuration,
     ready_attempts: u32,
@@ -110,6 +113,10 @@ struct RunState {
     deferred_skips: Bitmap,
     cpu: SimDuration,
     wire_bytes: u64,
+    /// Pages examined by the word-granular scanner (sends and skips alike);
+    /// flushed to the `engine/pages_scanned` counter at snapshot time so
+    /// digests can derive scan throughput.
+    scan_pages: u64,
     ready: Option<(SimDuration, u32)>,
     recorder: Recorder,
     /// Whether the assisted protocol is still live. Starts as
@@ -187,6 +194,7 @@ impl PrecopyEngine {
             deferred_skips: Bitmap::new(npages),
             cpu: SimDuration::ZERO,
             wire_bytes: 0,
+            scan_pages: 0,
             ready: None,
             recorder,
             assist: self.config.assisted,
@@ -196,6 +204,7 @@ impl PrecopyEngine {
                 begin_deadline: None,
                 begin_wait: self.config.coord.begin_ack_timeout,
                 begin_attempts: 0,
+                begin_sent_at: t0,
                 ready_deadline: None,
                 ready_wait: self.config.coord.ready_timeout,
                 ready_attempts: 0,
@@ -270,6 +279,22 @@ impl PrecopyEngine {
                 Subsystem::Workload,
                 "ops_completed",
                 vm.ops_completed() as f64,
+            );
+            state
+                .recorder
+                .hist_dur(Subsystem::Engine, "iteration_duration_ns", stats.duration);
+            state
+                .recorder
+                .hist(Subsystem::Engine, "iteration_pages_sent", stats.pages_sent);
+            state.recorder.hist(
+                Subsystem::Engine,
+                "iteration_transfer_pps",
+                stats.transfer_rate_pps() as u64,
+            );
+            state.recorder.hist(
+                Subsystem::Engine,
+                "iteration_dirty_pages",
+                stats.pages_dirtied_during,
             );
             iterations.push(stats);
 
@@ -411,6 +436,35 @@ impl PrecopyEngine {
         // Freeze the flight recorder and derive the downtime breakdown from
         // its spans where they exist; the LKM-message / VM-query fallbacks
         // keep unrecorded runs reporting identically.
+        state
+            .recorder
+            .counter_add(Subsystem::Engine, "pages_scanned", state.scan_pages);
+        state.recorder.counter_add(
+            Subsystem::Engine,
+            "scan_cpu_ns",
+            (self.config.cpu_cost_per_page_scan * state.scan_pages).as_nanos(),
+        );
+        state.recorder.instant(
+            clock.now(),
+            Subsystem::Engine,
+            "migration_outcome",
+            vec![
+                (
+                    "kind",
+                    match state.degraded {
+                        Some(_) => "degraded_vanilla".into(),
+                        None => "completed".into(),
+                    },
+                ),
+                (
+                    "fault",
+                    match state.degraded {
+                        Some(fault) => fault.name().into(),
+                        None => "none".into(),
+                    },
+                ),
+            ],
+        );
         let telemetry = state.recorder.snapshot();
         let (msg_final_update, stragglers) = state.ready.unwrap_or((SimDuration::ZERO, 0));
         let final_update = telemetry
@@ -479,6 +533,12 @@ impl PrecopyEngine {
         state.degraded = Some(fault);
         if let Some(port) = port {
             port.send(now, CoordPayload::AbortAssist);
+            state.recorder.instant(
+                now,
+                Subsystem::Engine,
+                "abort_assist_sent",
+                vec![("fault", fault.name().into())],
+            );
         }
         state.timeline.push(now, EngineEvent::Degraded(fault));
         state.recorder.instant(
@@ -528,6 +588,7 @@ impl PrecopyEngine {
                     state.coord.begin_wait.as_secs_f64() * coord.retry_backoff,
                 );
                 port.send(now, CoordPayload::MigrationBegin);
+                state.coord.begin_sent_at = now;
                 state.coord.begin_deadline = Some(now + state.coord.begin_wait);
                 self.record_retry(state, now, "migration_begin", state.coord.begin_attempts);
             } else {
@@ -680,6 +741,7 @@ impl PrecopyEngine {
                     // A word with no sendable page consumes no link budget:
                     // retire all 64 pages in one step.
                     state.cpu += self.config.cpu_cost_per_page_scan * u64::from(w.count_ones());
+                    state.scan_pages += u64::from(w.count_ones());
                     skip_transfer += u64::from(skips_t.count_ones());
                     skip_dirty += u64::from(skips_d.count_ones());
                     state.deferred_skips.set_bits_in_word(wi, skips_t);
@@ -703,6 +765,7 @@ impl PrecopyEngine {
                     if below != 0 {
                         state.cpu +=
                             self.config.cpu_cost_per_page_scan * u64::from(below.count_ones());
+                        state.scan_pages += u64::from(below.count_ones());
                         skip_transfer += u64::from((below & skips_t).count_ones());
                         skip_dirty += u64::from((below & skips_d).count_ones());
                         state.deferred_skips.set_bits_in_word(wi, below & skips_t);
@@ -712,6 +775,7 @@ impl PrecopyEngine {
                     to_send.clear_bits_in_word(wi, 1u64 << bit);
                     cursor = pfn.0 + 1;
                     state.cpu += self.config.cpu_cost_per_page_scan;
+                    state.scan_pages += 1;
                     let (wire, cpu, class) = self.transmit_page(vm, state, pfn);
                     budget -= wire as i64;
                     cpu_budget = cpu_budget.saturating_sub(cpu);
@@ -734,6 +798,7 @@ impl PrecopyEngine {
                         if rest != 0 {
                             state.cpu +=
                                 self.config.cpu_cost_per_page_scan * u64::from(rest.count_ones());
+                            state.scan_pages += u64::from(rest.count_ones());
                             skip_transfer += u64::from((rest & skips_t).count_ones());
                             skip_dirty += u64::from((rest & skips_d).count_ones());
                             state.deferred_skips.set_bits_in_word(wi, rest & skips_t);
@@ -770,6 +835,15 @@ impl PrecopyEngine {
                     for msg in port.recv(clock.now()) {
                         match msg.payload {
                             CoordPayload::BeginAck => {
+                                // The LKM re-acks every (retried) begin; only
+                                // the first ack is a meaningful round-trip.
+                                if !state.coord.begin_acked {
+                                    state.recorder.hist_dur(
+                                        Subsystem::Engine,
+                                        "coord_begin_rtt_ns",
+                                        clock.now().saturating_since(state.coord.begin_sent_at),
+                                    );
+                                }
                                 state.coord.begin_acked = true;
                                 state.coord.begin_deadline = None;
                             }
@@ -777,6 +851,13 @@ impl PrecopyEngine {
                                 final_update,
                                 stragglers,
                             } => {
+                                if let Some(since) = state.coord.ready_since {
+                                    state.recorder.hist_dur(
+                                        Subsystem::Engine,
+                                        "coord_ready_rtt_ns",
+                                        clock.now().saturating_since(since),
+                                    );
+                                }
                                 state.ready = Some((final_update, stragglers));
                             }
                             _ => {}
@@ -840,6 +921,7 @@ impl PrecopyEngine {
         // bitmap entirely — everything pending goes on the wire.
         let pages_to_send = final_set.count_set();
         state.cpu += self.config.cpu_cost_per_page_scan * pages_to_send;
+        state.scan_pages += pages_to_send;
         let mut sendable = final_set;
         let skip_transfer = if state.assist {
             match vm.kernel().lkm() {

@@ -128,7 +128,9 @@ fn t_critical_90(df: u64) -> f64 {
 /// Uses the classic nearest-rank definition (`rank = ceil(p/100 * n)`), so
 /// the result is always an observed sample — appropriate for the small
 /// per-phase latency populations the telemetry span table summarises.
-/// Returns zero for an empty slice.
+/// Returns `f64::NAN` for an empty slice: a percentile of nothing is not a
+/// number, and `NAN` propagates loudly instead of masquerading as a real
+/// zero-latency observation.
 ///
 /// # Panics
 ///
@@ -142,11 +144,12 @@ fn t_critical_90(df: u64) -> f64 {
 /// let sorted = [1.0, 2.0, 3.0, 4.0];
 /// assert_eq!(percentile_nearest_rank(&sorted, 50.0), 2.0);
 /// assert_eq!(percentile_nearest_rank(&sorted, 95.0), 4.0);
+/// assert!(percentile_nearest_rank(&[], 95.0).is_nan());
 /// ```
 pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
     assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
     if sorted.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let n = sorted.len();
     let rank = ((p / 100.0) * n as f64).ceil() as usize;
@@ -328,8 +331,19 @@ mod tests {
         assert_eq!(percentile_nearest_rank(&sorted, 50.0), 30.0);
         assert_eq!(percentile_nearest_rank(&sorted, 95.0), 50.0);
         assert_eq!(percentile_nearest_rank(&sorted, 100.0), 50.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edge_cases() {
+        // Empty: NaN, not a fake zero observation.
+        assert!(percentile_nearest_rank(&[], 95.0).is_nan());
+        assert!(percentile_nearest_rank(&[], 100.0).is_nan());
+        // A single element is every percentile of itself.
+        assert_eq!(percentile_nearest_rank(&[7.5], 0.1), 7.5);
         assert_eq!(percentile_nearest_rank(&[7.5], 95.0), 7.5);
-        assert_eq!(percentile_nearest_rank(&[], 95.0), 0.0);
+        assert_eq!(percentile_nearest_rank(&[7.5], 100.0), 7.5);
+        // p = 100 always returns the maximum.
+        assert_eq!(percentile_nearest_rank(&[1.0, 2.0], 100.0), 2.0);
     }
 
     #[test]

@@ -74,7 +74,8 @@ fn fmt_us(ns: u64) -> String {
 
 /// Serialises the telemetry as JSON Lines: one record per line — events in
 /// sequence order, then spans by `(start, id)`, then counters, then gauge
-/// summaries. Byte-identical across same-seed runs.
+/// summaries, then histogram summaries. Byte-identical across same-seed
+/// runs.
 pub fn jsonl_to_string(t: &RunTelemetry) -> String {
     let mut out = String::new();
     for e in &t.events {
@@ -131,6 +132,21 @@ pub fn jsonl_to_string(t: &RunTelemetry) -> String {
             fmt_f64(g.min),
             fmt_f64(g.max),
             g.samples,
+        );
+    }
+    for h in &t.hists {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hist\",\"sub\":\"{}\",\"name\":\"{}\",\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.subsystem,
+            escape_json(h.name),
+            h.hist.count(),
+            h.hist.min(),
+            h.hist.max(),
+            h.hist.sum(),
+            h.hist.quantile(0.50),
+            h.hist.quantile(0.95),
+            h.hist.quantile(0.99),
         );
     }
     out
@@ -221,6 +237,51 @@ pub fn write_chrome_trace<W: Write>(t: &RunTelemetry, w: &mut W) -> io::Result<(
     w.write_all(chrome_trace_to_string(t).as_bytes())
 }
 
+/// Serialises the metrics registry in Prometheus text exposition format,
+/// for human `diff`ing across runs: counters as `javmm_counter`, gauges as
+/// `javmm_gauge` (last value), histograms as `javmm_hist_count/_sum`,
+/// quantile-labelled `javmm_hist` samples and `javmm_hist_max`. Ordering
+/// follows the registry's `(subsystem, name)` sort, so output is
+/// byte-deterministic.
+pub fn prometheus_to_string(t: &RunTelemetry) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE javmm_counter counter\n");
+    for c in &t.counters {
+        let _ = writeln!(
+            out,
+            "javmm_counter{{sub=\"{}\",name=\"{}\"}} {}",
+            c.subsystem,
+            escape_json(c.name),
+            c.value,
+        );
+    }
+    out.push_str("# TYPE javmm_gauge gauge\n");
+    for g in &t.gauges {
+        let _ = writeln!(
+            out,
+            "javmm_gauge{{sub=\"{}\",name=\"{}\"}} {}",
+            g.subsystem,
+            escape_json(g.name),
+            fmt_f64(g.last),
+        );
+    }
+    out.push_str("# TYPE javmm_hist summary\n");
+    for h in &t.hists {
+        let base = format!("sub=\"{}\",name=\"{}\"", h.subsystem, escape_json(h.name));
+        let _ = writeln!(out, "javmm_hist_count{{{base}}} {}", h.hist.count());
+        let _ = writeln!(out, "javmm_hist_sum{{{base}}} {}", h.hist.sum());
+        for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "javmm_hist{{{base},quantile=\"{label}\"}} {}",
+                h.hist.quantile(q),
+            );
+        }
+        let _ = writeln!(out, "javmm_hist_max{{{base}}} {}", h.hist.max());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +365,37 @@ mod tests {
         let b = sample();
         assert_eq!(jsonl_to_string(&a), jsonl_to_string(&b));
         assert_eq!(chrome_trace_to_string(&a), chrome_trace_to_string(&b));
+        assert_eq!(prometheus_to_string(&a), prometheus_to_string(&b));
+    }
+
+    fn sample_with_hist() -> RunTelemetry {
+        let rec = Recorder::new();
+        rec.counter_add(Subsystem::Lkm, "pages_walked", 42);
+        for v in [100u64, 200, 300] {
+            rec.hist(Subsystem::Engine, "iteration_pages_sent", v);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_appends_hist_lines_after_gauges() {
+        let text = jsonl_to_string(&sample_with_hist());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"counter\""));
+        assert!(lines[1].contains("\"type\":\"hist\""));
+        assert!(lines[1].contains("\"sub\":\"engine\""));
+        assert!(lines[1].contains("\"count\":3"));
+        assert!(lines[1].contains("\"sum\":600"));
+    }
+
+    #[test]
+    fn prometheus_exposition_names_every_metric_family() {
+        let text = prometheus_to_string(&sample_with_hist());
+        assert!(text.contains("javmm_counter{sub=\"lkm\",name=\"pages_walked\"} 42"));
+        assert!(text.contains("javmm_hist_count{sub=\"engine\",name=\"iteration_pages_sent\"} 3"));
+        assert!(text.contains("javmm_hist_sum{sub=\"engine\",name=\"iteration_pages_sent\"} 600"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("javmm_hist_max{sub=\"engine\",name=\"iteration_pages_sent\"}"));
     }
 }

@@ -1,0 +1,263 @@
+//! Deterministic log-bucketed latency histograms.
+//!
+//! HDR-style: values below 32 land in exact unit buckets; larger values
+//! are bucketed logarithmically with 16 sub-buckets per power of two,
+//! bounding the relative quantile error at 1/16 (6.25%). Bucket
+//! boundaries are fixed at compile time — no auto-resizing, no
+//! allocation-order dependence — so two runs that record the same value
+//! sequence produce byte-identical serialized histograms. That property
+//! is what lets digests of repeated simulation runs be compared with
+//! `cmp`.
+//!
+//! Recording is a pure function of the value (no RNG, no wall clock), so
+//! histograms are safe to record from simulation hot paths without
+//! perturbing determinism.
+
+use std::collections::BTreeMap;
+
+/// Number of exact unit buckets (values `0..LINEAR_MAX` map to bucket
+/// index = value).
+const LINEAR_MAX: u64 = 32;
+/// Sub-buckets per power of two in the logarithmic range.
+const SUB_BUCKETS: u32 = 16;
+
+/// A deterministic log-bucketed histogram of `u64` samples.
+///
+/// Typical use records durations in nanoseconds; any non-negative
+/// integer quantity (pages, bytes, counts) works the same way.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sparse bucket occupancy, keyed by bucket index.
+    buckets: BTreeMap<u16, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Maps a value to its bucket index.
+///
+/// Values `< 32` map to themselves. For `v >= 32` with
+/// `exp = floor(log2 v)`, the bucket is `32 + (exp-5)*16 + top-4-bits
+/// below the leading bit`. The mapping is monotone non-decreasing in
+/// `v`, and the largest possible index (for `u64::MAX`) is 975, so a
+/// `u16` key always suffices.
+fn bucket_index(v: u64) -> u16 {
+    if v < LINEAR_MAX {
+        return v as u16;
+    }
+    let exp = 63 - v.leading_zeros(); // >= 5
+    let sub = ((v >> (exp - 4)) & 0xF) as u16;
+    LINEAR_MAX as u16 + (exp as u16 - 5) * SUB_BUCKETS as u16 + sub
+}
+
+/// The inclusive upper bound of a bucket: the largest value that maps to
+/// this index. Used to answer quantile queries pessimistically (the true
+/// sample is never above the reported quantile's bucket bound).
+fn bucket_upper_bound(idx: u16) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_MAX {
+        return idx;
+    }
+    let oct = (idx - LINEAR_MAX) / SUB_BUCKETS as u64;
+    let sub = (idx - LINEAR_MAX) % SUB_BUCKETS as u64;
+    let exp = 5 + oct as u32;
+    let low = (1u64 << exp) + (sub << (exp - 4));
+    low + (1u64 << (exp - 4)) - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `(0, 1]`.
+    ///
+    /// Walks cumulative bucket counts to the sample of rank
+    /// `ceil(q * count)` and returns that bucket's upper bound, clamped
+    /// into `[min, max]` so exact extremes are reported exactly. Returns
+    /// 0 for an empty histogram. Relative error is bounded by the bucket
+    /// width: at most 1/16 above the true sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        // Every value below 32 has its own bucket, so quantiles are exact.
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_across_the_log_range() {
+        // Dense sweep through the first octaves, then octave-stepped
+        // probes up to the top of the u64 range.
+        let mut prev = bucket_index(0);
+        for v in 1..=4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "non-monotone at {v}");
+            prev = idx;
+        }
+        let mut v = 4096u64;
+        while v < u64::MAX / 4 {
+            for cand in [v, v + v / 16, v + v / 2, v * 2 - 1] {
+                let idx = bucket_index(cand);
+                assert!(idx >= prev, "non-monotone at {cand}");
+                prev = idx;
+            }
+            v *= 2;
+        }
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(63), 47);
+        assert_eq!(bucket_index(64), 48);
+        assert!(bucket_index(u64::MAX) <= 975);
+    }
+
+    #[test]
+    fn upper_bound_contains_its_own_bucket() {
+        for v in [0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= v, "upper bound {ub} below sample {v}");
+            assert_eq!(bucket_index(ub), idx, "upper bound escapes bucket of {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 37); // spread across many octaves
+        }
+        let p99 = h.quantile(0.99);
+        let exact = 9_900 * 37;
+        assert!(p99 >= exact, "quantile below true rank value");
+        assert!((p99 as f64) <= exact as f64 * 1.0626, "error above 1/16");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn identical_sequences_yield_identical_histograms() {
+        let feed = |h: &mut Histogram| {
+            for v in [5u64, 900, 32, 7_777_777, 0, 63, 64] {
+                h.record(v);
+            }
+        };
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 50, 5000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 60, 6000, 600_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

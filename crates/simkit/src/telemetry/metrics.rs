@@ -1,7 +1,8 @@
-//! Counter / gauge registry backing the recorder's metrics.
+//! Counter / gauge / histogram registry backing the recorder's metrics.
 
 use std::collections::BTreeMap;
 
+use super::hist::Histogram;
 use super::Subsystem;
 
 /// Final value of one monotone counter.
@@ -40,12 +41,25 @@ struct GaugeState {
     samples: u64,
 }
 
-/// The registry: monotone counters and last-value gauges, keyed by
-/// `(subsystem, name)`. BTreeMap keys give deterministic export order.
+/// Snapshot of one latency histogram over the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramValue {
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Histogram name, e.g. `"iteration_duration_ns"`.
+    pub name: &'static str,
+    /// The recorded distribution.
+    pub hist: Histogram,
+}
+
+/// The registry: monotone counters, last-value gauges and log-bucketed
+/// histograms, keyed by `(subsystem, name)`. BTreeMap keys give
+/// deterministic export order.
 #[derive(Debug, Default)]
 pub(crate) struct MetricsRegistry {
     counters: BTreeMap<(Subsystem, &'static str), u64>,
     gauges: BTreeMap<(Subsystem, &'static str), GaugeState>,
+    hists: BTreeMap<(Subsystem, &'static str), Histogram>,
 }
 
 impl MetricsRegistry {
@@ -70,6 +84,13 @@ impl MetricsRegistry {
             });
     }
 
+    pub(crate) fn hist_record(&mut self, subsystem: Subsystem, name: &'static str, value: u64) {
+        self.hists
+            .entry((subsystem, name))
+            .or_default()
+            .record(value);
+    }
+
     pub(crate) fn counter_values(&self) -> Vec<CounterValue> {
         self.counters
             .iter()
@@ -91,6 +112,17 @@ impl MetricsRegistry {
                 min: g.min,
                 max: g.max,
                 samples: g.samples,
+            })
+            .collect()
+    }
+
+    pub(crate) fn hist_values(&self) -> Vec<HistogramValue> {
+        self.hists
+            .iter()
+            .map(|(&(subsystem, name), hist)| HistogramValue {
+                subsystem,
+                name,
+                hist: hist.clone(),
             })
             .collect()
     }
@@ -124,5 +156,19 @@ mod tests {
         assert_eq!(g.min, 2.0);
         assert_eq!(g.max, 9.0);
         assert_eq!(g.samples, 4);
+    }
+
+    #[test]
+    fn hists_accumulate_and_sort() {
+        let mut reg = MetricsRegistry::default();
+        reg.hist_record(Subsystem::Net, "delivery_ns", 100);
+        reg.hist_record(Subsystem::Engine, "iter_ns", 7);
+        reg.hist_record(Subsystem::Net, "delivery_ns", 300);
+        let values = reg.hist_values();
+        assert_eq!(values.len(), 2);
+        // Engine < Net in the Subsystem ordering.
+        assert_eq!(values[0].name, "iter_ns");
+        assert_eq!(values[1].hist.count(), 2);
+        assert_eq!(values[1].hist.max(), 300);
     }
 }

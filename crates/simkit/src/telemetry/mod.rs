@@ -28,11 +28,13 @@
 //! byte-identical exports.
 
 pub mod export;
+pub mod hist;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 
-pub use metrics::{CounterValue, GaugeValue};
+pub use hist::Histogram;
+pub use metrics::{CounterValue, GaugeValue, HistogramValue};
 pub use recorder::{Event, EventKind, Recorder, RunTelemetry, Value};
 pub use span::{SpanId, SpanRecord, SpanTableRow};
 

@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::time::{SimDuration, SimTime};
 
-use super::metrics::{CounterValue, GaugeValue, MetricsRegistry};
+use super::metrics::{CounterValue, GaugeValue, HistogramValue, MetricsRegistry};
 use super::span::{build_span_table, SpanId, SpanRecord, SpanTableRow};
 use super::Subsystem;
 
@@ -265,6 +265,17 @@ impl Recorder {
         self.with_inner(|inner| inner.metrics.counter_add(subsystem, name, delta))
     }
 
+    /// Records one sample into a log-bucketed histogram (registry only —
+    /// no per-sample event, so hot paths stay cheap and deterministic).
+    pub fn hist(&self, subsystem: Subsystem, name: &'static str, value: u64) {
+        self.with_inner(|inner| inner.metrics.hist_record(subsystem, name, value))
+    }
+
+    /// Records a duration sample (in nanoseconds) into a histogram.
+    pub fn hist_dur(&self, subsystem: Subsystem, name: &'static str, dur: SimDuration) {
+        self.hist(subsystem, name, dur.as_nanos());
+    }
+
     /// Samples a gauge: records a gauge event and updates the registry.
     pub fn gauge(&self, at: SimTime, subsystem: Subsystem, name: &'static str, value: f64) {
         self.with_inner(|inner| {
@@ -320,6 +331,7 @@ impl Recorder {
                     spans,
                     counters: inner.metrics.counter_values(),
                     gauges: inner.metrics.gauge_values(),
+                    hists: inner.metrics.hist_values(),
                 }
             }
             None => RunTelemetry::default(),
@@ -340,6 +352,8 @@ pub struct RunTelemetry {
     pub counters: Vec<CounterValue>,
     /// Gauge summaries, sorted by `(subsystem, name)`.
     pub gauges: Vec<GaugeValue>,
+    /// Histogram snapshots, sorted by `(subsystem, name)`.
+    pub hists: Vec<HistogramValue>,
 }
 
 impl RunTelemetry {
@@ -378,6 +392,13 @@ impl RunTelemetry {
         self.gauges
             .iter()
             .find(|g| g.subsystem == subsystem && g.name == name)
+    }
+
+    /// Snapshot of a histogram, if it ever recorded a sample.
+    pub fn hist(&self, subsystem: Subsystem, name: &str) -> Option<&HistogramValue> {
+        self.hists
+            .iter()
+            .find(|h| h.subsystem == subsystem && h.name == name)
     }
 }
 
@@ -463,6 +484,28 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.events.len(), 2);
         assert_eq!(snap.counter(Subsystem::Jvm, "faults"), Some(5));
+    }
+
+    #[test]
+    fn hist_samples_land_in_the_registry_not_the_event_log() {
+        let rec = Recorder::new();
+        rec.hist(Subsystem::Engine, "iteration_pages_sent", 100);
+        rec.hist_dur(
+            Subsystem::Gc,
+            "enforced_gc_pause_ns",
+            SimDuration::from_millis(170),
+        );
+        rec.hist(Subsystem::Engine, "iteration_pages_sent", 300);
+        let snap = rec.snapshot();
+        assert!(snap.events.is_empty(), "histograms must not emit events");
+        let h = snap
+            .hist(Subsystem::Engine, "iteration_pages_sent")
+            .unwrap();
+        assert_eq!(h.hist.count(), 2);
+        assert_eq!(h.hist.min(), 100);
+        let g = snap.hist(Subsystem::Gc, "enforced_gc_pause_ns").unwrap();
+        assert_eq!(g.hist.max(), 170_000_000);
+        assert!(snap.hist(Subsystem::Net, "missing").is_none());
     }
 
     #[test]
