@@ -5,6 +5,13 @@
 //!   bench [--scan-only] [--out PATH]
 //!   bench digest [--out-dir DIR] [--scan-slowdown FACTOR]
 //!   bench compare <old.json> <new.json>
+//!   bench fleet [--roster NAME] [--seed N] [--out PATH]
+//!
+//! `bench fleet` drains one multi-VM roster (`solo`, `drain4` or
+//! `drain12`; default `drain12`) under every fleet scheduling policy and
+//! writes `BENCH_fleet.json` comparing total eviction time, aggregate
+//! downtime, wire bytes and SLA cost per policy. The document is
+//! deterministic for a fixed roster + seed.
 //!
 //! `bench digest` runs the fixed roster of recorded migrations and writes
 //! one `DIGEST_<scenario>.json` (plus a `.prom` Prometheus exposition) per
@@ -230,11 +237,48 @@ fn cmd_compare(args: &[String]) {
     }
 }
 
+/// Drains one roster under every fleet policy; writes the comparison.
+fn cmd_fleet(args: &[String]) {
+    let roster_name = args
+        .iter()
+        .position(|a| a == "--roster")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "drain12".to_string());
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<u64>().expect("--seed takes an integer"))
+        .unwrap_or(7);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let Some(host) = javmm_bench::fleet::roster_by_name(&roster_name, seed) else {
+        eprintln!("unknown roster {roster_name}; use solo, drain4 or drain12");
+        std::process::exit(2);
+    };
+    let runs = javmm_bench::fleet::run_policies(&host);
+    print!("{}", javmm_bench::fleet::render_table(&runs));
+    let json = javmm_bench::fleet::to_json(&host, &runs);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, json).expect("write fleet results");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("digest") => return cmd_digest(&args[1..]),
         Some("compare") => return cmd_compare(&args[1..]),
+        Some("fleet") => return cmd_fleet(&args[1..]),
         _ => {}
     }
     let scan_only = args.iter().any(|a| a == "--scan-only");

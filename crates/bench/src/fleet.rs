@@ -1,0 +1,131 @@
+//! `bench fleet` — policy comparison for whole-host drains.
+//!
+//! Runs one roster (see [`cluster::roster`]) under every [`FleetPolicy`]
+//! and folds the results into `BENCH_fleet.json`: per-policy total
+//! eviction time, aggregate downtime, wire bytes and SLA cost, plus each
+//! policy's eviction ratio against the FIFO baseline. Everything here is
+//! deterministic — same roster + same seed produce a byte-identical
+//! document — so CI diffs two fresh runs to prove it.
+
+use cluster::{roster, run_fleet, FleetPolicy};
+use javmm::host::HostSpec;
+use migrate::digest::FleetDigest;
+use std::fmt::Write as _;
+
+/// Looks up a roster by its CLI name.
+pub fn roster_by_name(name: &str, seed: u64) -> Option<HostSpec> {
+    match name {
+        "solo" => Some(roster::solo(seed)),
+        "drain4" => Some(roster::drain4(seed)),
+        "drain12" => Some(roster::drain12(seed)),
+        _ => None,
+    }
+}
+
+/// One policy's drain outcome.
+pub struct PolicyRun {
+    /// The ordering policy the drain ran under.
+    pub policy: FleetPolicy,
+    /// The drain's fleet digest.
+    pub digest: FleetDigest,
+}
+
+/// Drains `host` once per policy, in [`FleetPolicy::ALL`] order.
+pub fn run_policies(host: &HostSpec) -> Vec<PolicyRun> {
+    FleetPolicy::ALL
+        .iter()
+        .map(|&policy| PolicyRun {
+            policy,
+            digest: run_fleet(host, policy).expect("drain failed").digest,
+        })
+        .collect()
+}
+
+/// Renders the per-policy comparison as an aligned text table.
+pub fn render_table(runs: &[PolicyRun]) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "{:<7} {:>11} {:>16} {:>9} {:>9} {:>9} {:>13}",
+        "policy",
+        "eviction_s",
+        "agg_downtime_ms",
+        "total_MB",
+        "sla_cost",
+        "degraded",
+        "nonconverged"
+    );
+    for run in runs {
+        let d = &run.digest;
+        let _ = writeln!(
+            o,
+            "{:<7} {:>11.2} {:>16.1} {:>9.1} {:>9.2} {:>9} {:>13}",
+            run.policy.name(),
+            d.eviction_ns as f64 / 1e9,
+            d.aggregate_downtime_ns as f64 / 1e6,
+            d.total_bytes as f64 / 1e6,
+            d.sla_total.total(),
+            d.degraded,
+            d.nonconverged,
+        );
+    }
+    o
+}
+
+/// Serialises the comparison as the `BENCH_fleet.json` document. Rows are
+/// in [`FleetPolicy::ALL`] order and every number is computed from the
+/// deterministic digests, so the output is byte-stable across runs.
+pub fn to_json(host: &HostSpec, runs: &[PolicyRun]) -> String {
+    let fifo_eviction = runs
+        .iter()
+        .find(|r| r.policy == FleetPolicy::Fifo)
+        .map(|r| r.digest.eviction_ns)
+        .unwrap_or(0);
+    let mut o = String::new();
+    o.push_str("{\n");
+    o.push_str("  \"schema\": \"javmm-bench-fleet-v1\",\n");
+    let _ = writeln!(o, "  \"roster\": \"{}\",", host.name);
+    let _ = writeln!(o, "  \"seed\": {},", host.seed);
+    let _ = writeln!(o, "  \"tenants\": {},", host.tenants.len());
+    let _ = writeln!(
+        o,
+        "  \"uplink_bytes_per_sec\": {},",
+        host.uplink.bytes_per_sec()
+    );
+    let _ = writeln!(o, "  \"max_concurrent\": {},", host.max_concurrent);
+    o.push_str("  \"policies\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let d = &run.digest;
+        o.push_str("    {\n");
+        let _ = writeln!(o, "      \"policy\": \"{}\",", run.policy.name());
+        let _ = writeln!(o, "      \"eviction_ns\": {},", d.eviction_ns);
+        let _ = writeln!(
+            o,
+            "      \"eviction_vs_fifo\": {},",
+            if fifo_eviction > 0 {
+                format!("{:.4}", d.eviction_ns as f64 / fifo_eviction as f64)
+            } else {
+                "null".to_string()
+            }
+        );
+        let _ = writeln!(
+            o,
+            "      \"aggregate_downtime_ns\": {},",
+            d.aggregate_downtime_ns
+        );
+        let _ = writeln!(o, "      \"total_bytes\": {},", d.total_bytes);
+        let _ = writeln!(o, "      \"sla_cost\": {},", d.sla_total.total());
+        let _ = writeln!(o, "      \"sla_downtime\": {},", d.sla_total.downtime);
+        let _ = writeln!(o, "      \"sla_brownout\": {},", d.sla_total.brownout);
+        let _ = writeln!(o, "      \"sla_penalty\": {},", d.sla_total.penalty);
+        let _ = writeln!(o, "      \"degraded\": {},", d.degraded);
+        let _ = writeln!(o, "      \"nonconverged\": {}", d.nonconverged);
+        o.push_str(if i + 1 < runs.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    o.push_str("  ]\n}\n");
+    o
+}

@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod digests;
 pub mod figs;
+pub mod fleet;
 pub mod opts;
 pub mod render;
 pub mod runner;

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! `cluster` — fleet scheduling of concurrent live migrations.
+//!
+//! The paper migrates one VM; this crate drains a host of them. N guests
+//! run as independent deterministic simulations whose migrations share
+//! one uplink ([`netsim::SharedUplink`]) under weighted-fair arbitration.
+//! The scheduler ([`sched::run_fleet`]) interleaves the per-VM
+//! [`migrate::precopy::MigrationSession`]s conservatively (laggard
+//! first), applies admission control (a concurrency cap plus a per-tenant
+//! minimum-rate feasibility check, so no admitted pre-copy is starved out
+//! of convergence), and orders the queue with a pluggable
+//! [`policy::FleetPolicy`]: FIFO, smallest-working-set-first, or the
+//! cycle-aware deferral of Baruchi et al. Each drain folds into a
+//! byte-deterministic [`migrate::digest::FleetDigest`] with per-tenant
+//! SLA costs ([`migrate::sla`]).
+
+pub mod policy;
+pub mod roster;
+pub mod sched;
+
+pub use policy::FleetPolicy;
+pub use sched::{run_fleet, FleetOutcome};

@@ -1,0 +1,260 @@
+//! Shared drain rosters used by tests, the bench `fleet` subcommand and
+//! the `fleet_migration` example.
+//!
+//! Three tenant archetypes exercise the scheduler's decision space:
+//!
+//! * **light** — modest allocation, small working set; converges at any
+//!   reasonable share.
+//! * **heavy** — a large Old-generation working set rewritten at 40 MB/s;
+//!   converges comfortably alone on a gigabit uplink, slowly when sharing
+//!   with lights, and not at all below ~45 MB/s. Its `min_rate` is set so
+//!   admission control never lets two heavies (or a 12-way free-for-all)
+//!   split the link under it.
+//! * **cyclic** — a phased batch job alternating a write-heavy burst with
+//!   a near-idle trough (Baruchi's motivating shape); *when* it is
+//!   admitted decides whether its burst bytes hit the wire.
+//!
+//! Guests are 512 MiB (a trimmed kernel + page cache) so a 12-VM drain
+//! stays test-sized; all rates are scaled to that footprint.
+
+use guestos::kernel::GuestOsConfig;
+use javmm::host::{HostSpec, VmTenant};
+use javmm::vm::JavaVmConfig;
+use jheap::mutator::{MutatorProfile, Phase};
+use migrate::config::MigrationConfig;
+use migrate::sla::SlaModel;
+use simkit::units::{Bandwidth, MIB};
+use simkit::SimDuration;
+use workloads::catalog;
+use workloads::spec::{Category, WorkloadSpec};
+
+/// A 512 MiB guest with a trimmed resident OS (32 MiB kernel, 48 MiB page
+/// cache) — the fleet's standard small footprint.
+fn small_guest() -> GuestOsConfig {
+    GuestOsConfig {
+        kernel_bytes: 32 * MIB,
+        pagecache_bytes: 48 * MIB,
+        ..GuestOsConfig::sized(512 * MIB)
+    }
+}
+
+fn light_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "fleet-light",
+        description: "modest allocation, small working set",
+        category: Category::MediumAllocShortLived,
+        alloc_rate: 8e6,
+        eden_survival: 0.04,
+        from_survival: 0.2,
+        old_resident: 20 * MIB,
+        old_max: 64 * MIB,
+        old_ws_bytes: 8 * MIB,
+        old_write_rate: 2e6,
+        ops_per_sec: 40.0,
+        safepoint_max: SimDuration::from_millis(30),
+        default_young_max: 24 * MIB,
+        grow_below_interval: SimDuration::from_secs(4),
+        gc_cost_scale: 1.0,
+    }
+}
+
+fn heavy_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "fleet-heavy",
+        description: "large Old-generation working set rewritten fast",
+        category: Category::LowAllocLongLived,
+        alloc_rate: 5e6,
+        eden_survival: 0.1,
+        from_survival: 0.5,
+        old_resident: 176 * MIB,
+        old_max: 208 * MIB,
+        old_ws_bytes: 160 * MIB,
+        old_write_rate: 40e6,
+        ops_per_sec: 12.0,
+        safepoint_max: SimDuration::from_millis(50),
+        default_young_max: 16 * MIB,
+        grow_below_interval: SimDuration::from_secs(4),
+        gc_cost_scale: 1.0,
+    }
+}
+
+fn cyclic_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "fleet-cyclic",
+        description: "phased batch job: write burst then near-idle trough",
+        category: Category::MediumAllocShortLived,
+        alloc_rate: 4e6,
+        eden_survival: 0.05,
+        from_survival: 0.3,
+        old_resident: 80 * MIB,
+        old_max: 112 * MIB,
+        old_ws_bytes: 48 * MIB,
+        old_write_rate: 2e6,
+        ops_per_sec: 20.0,
+        safepoint_max: SimDuration::from_millis(30),
+        default_young_max: 16 * MIB,
+        grow_below_interval: SimDuration::from_secs(4),
+        gc_cost_scale: 1.0,
+    }
+}
+
+/// The cyclic archetype's phase pair: a hard write burst over the full
+/// working set, then a near-idle trough.
+fn burst_profile() -> MutatorProfile {
+    MutatorProfile {
+        alloc_rate: 6e6,
+        old_write_rate: 55e6,
+        old_ws_bytes: 48 * MIB,
+        ops_per_sec: 30.0,
+        eden_survival: 0.05,
+        from_survival: 0.3,
+        safepoint_max: SimDuration::from_millis(30),
+    }
+}
+
+fn trough_profile() -> MutatorProfile {
+    MutatorProfile {
+        alloc_rate: 2e6,
+        old_write_rate: 1e6,
+        old_ws_bytes: 8 * MIB,
+        ops_per_sec: 10.0,
+        eden_survival: 0.05,
+        from_survival: 0.3,
+        safepoint_max: SimDuration::from_millis(30),
+    }
+}
+
+/// A cyclic tenant's phase schedule. `lead` shifts the cycle so different
+/// tenants peak at different drain times (the first phase is trimmed).
+fn cycle_phases(lead: SimDuration) -> Vec<Phase> {
+    let burst = SimDuration::from_secs(6);
+    let trough = SimDuration::from_secs(6);
+    let mut phases = Vec::new();
+    if !lead.is_zero() {
+        phases.push(Phase {
+            duration: lead,
+            profile: trough_profile(),
+        });
+    }
+    phases.push(Phase {
+        duration: burst,
+        profile: burst_profile(),
+    });
+    phases.push(Phase {
+        duration: trough,
+        profile: trough_profile(),
+    });
+    phases
+}
+
+fn light(name: &str, seed: u64) -> VmTenant {
+    let mut vm = JavaVmConfig::paper(light_spec(), true, seed);
+    vm.os = small_guest();
+    VmTenant::new(name, vm, MigrationConfig::javmm_default())
+        .with_min_rate(Bandwidth::from_mbytes_per_sec(20.0))
+        .with_sla(SlaModel::default_web())
+}
+
+fn heavy(name: &str, seed: u64) -> VmTenant {
+    let mut vm = JavaVmConfig::paper(heavy_spec(), false, seed);
+    vm.os = small_guest();
+    VmTenant::new(name, vm, MigrationConfig::xen_default())
+        .with_weight(3.0)
+        .with_min_rate(Bandwidth::from_mbytes_per_sec(65.0))
+        .with_sla(SlaModel::default_batch())
+}
+
+fn cyclic(name: &str, seed: u64, lead: SimDuration) -> VmTenant {
+    let mut vm = JavaVmConfig::paper(cyclic_spec(), true, seed);
+    vm.os = small_guest();
+    let mut migration = MigrationConfig::javmm_default();
+    // A cyclic admitted mid-burst diverges until the trough arrives; give
+    // it the iteration budget to ride a full burst out instead of tripping
+    // the default cap and eating a long degraded stop-and-copy.
+    migration.stop.max_iterations = 60;
+    VmTenant::new(name, vm, migration)
+        .with_phases(cycle_phases(lead))
+        .with_min_rate(Bandwidth::from_mbytes_per_sec(20.0))
+        .with_sla(SlaModel::default_batch())
+}
+
+/// A one-VM roster reproducing the repo's `derby-assisted-seed3`
+/// precopy-equivalence golden: the paper's 2 GiB guest, the quick-scenario
+/// warmup/tail, a gigabit uplink and FIFO make the drain degenerate to
+/// exactly `run_scenario_recorded`.
+pub fn solo(seed: u64) -> HostSpec {
+    HostSpec::new("solo", seed).tenant(VmTenant::new(
+        format!("derby-assisted-seed{seed}"),
+        JavaVmConfig::paper(catalog::derby(), true, seed),
+        MigrationConfig::javmm_default(),
+    ))
+}
+
+/// A 4-VM drain small enough for examples and CI smoke runs: one of each
+/// archetype plus a second light, 8 s of warmup.
+pub fn drain4(seed: u64) -> HostSpec {
+    let mut host = HostSpec::new("drain4", seed)
+        .tenant(heavy("heavy-0", seed.wrapping_add(1)))
+        .tenant(light("light-0", seed.wrapping_add(2)))
+        .tenant(cyclic(
+            "cyclic-0",
+            seed.wrapping_add(3),
+            SimDuration::from_secs(1),
+        ))
+        .tenant(light("light-1", seed.wrapping_add(4)));
+    host.warmup = SimDuration::from_secs(8);
+    host.tail = SimDuration::from_secs(2);
+    host
+}
+
+/// The 12-VM evaluation roster, ordered adversarially for FIFO: both
+/// heavies lead the queue (a naive drain admits them together and they
+/// starve each other; admission control serializes them), and the cyclics
+/// sit where FIFO tends to reach them mid-burst.
+pub fn drain12(seed: u64) -> HostSpec {
+    let s = |k: u64| seed.wrapping_add(k);
+    let mut host = HostSpec::new("drain12", seed)
+        .tenant(heavy("heavy-0", s(1)))
+        .tenant(heavy("heavy-1", s(2)))
+        .tenant(cyclic("cyclic-0", s(3), SimDuration::from_secs(10)))
+        .tenant(light("light-0", s(4)))
+        .tenant(light("light-1", s(5)))
+        .tenant(cyclic("cyclic-1", s(6), SimDuration::from_secs(4)))
+        .tenant(light("light-2", s(7)))
+        .tenant(light("light-3", s(8)))
+        .tenant(cyclic("cyclic-2", s(9), SimDuration::from_secs(7)))
+        .tenant(light("light-4", s(10)))
+        .tenant(light("light-5", s(11)))
+        .tenant(light("light-6", s(12)));
+    host.warmup = SimDuration::from_secs(12);
+    host.tail = SimDuration::from_secs(2);
+    host
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosters_are_well_formed() {
+        assert_eq!(solo(3).tenants.len(), 1);
+        assert_eq!(drain4(7).tenants.len(), 4);
+        let d = drain12(7);
+        assert_eq!(d.tenants.len(), 12);
+        // Heavies must be infeasible pairwise under min-rate admission:
+        // two weight-3 subscribers split a gigabit link 62.5/62.5 MB/s,
+        // under the 65 MB/s floor.
+        let heavy = &d.tenants[0];
+        assert!(heavy.weight > 1.0);
+        assert!(2.0 * heavy.min_rate.bytes_per_sec() > d.uplink.bytes_per_sec());
+    }
+
+    #[test]
+    fn cycle_phases_respect_lead() {
+        let p = cycle_phases(SimDuration::from_secs(3));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].duration, SimDuration::from_secs(3));
+        // Leads shift the cycle; zero lead starts at the burst.
+        assert_eq!(cycle_phases(SimDuration::ZERO).len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! The fleet scheduler: a deterministic co-simulation of one host drain.
+//!
+//! N guests run as independent simulations, each on its own [`SimClock`];
+//! their migrations share one [`SharedUplink`]. The scheduler interleaves
+//! them *conservatively*: it always steps the in-flight migration with the
+//! smallest local clock (ties broken by roster slot), so no session ever
+//! consumes a bandwidth share that a lagging session's completion could
+//! retroactively have changed by more than one iteration. Re-rating is
+//! iteration-granular — each session's link is re-set to its current fair
+//! share immediately before its next iteration — which is exactly the
+//! granularity [`MigrationSession`] yields at.
+//!
+//! Determinism: every scheduling decision is a pure function of the roster
+//! (order, weights, min-rates), the policy, and guest-simulation state
+//! that is itself seed-deterministic. Same seed + same policy ⇒ the same
+//! admission sequence, the same shares, the same per-VM reports, and a
+//! byte-identical [`FleetDigest`].
+//!
+//! The one-VM degenerate case is load-bearing: a sole subscriber's share
+//! is its engine's own configured bandwidth (capacity, exactly), the
+//! scheduler never re-rates it, and the step loop reduces to
+//! [`PrecopyEngine::migrate_recorded`]'s — so a 1-VM FIFO drain reproduces
+//! the single-VM `precopy_equivalence` goldens bit for bit.
+//!
+//! [`PrecopyEngine::migrate_recorded`]: migrate::precopy::PrecopyEngine::migrate_recorded
+
+use javmm::host::{HostSpec, VmTenant};
+use javmm::vm::JavaVm;
+use migrate::digest::{
+    merge_histograms, DigestMeta, FleetDigest, FleetMeta, FleetVmEntry, RunDigest,
+};
+use migrate::error::MigrateError;
+use migrate::precopy::{MigrationSession, PrecopyEngine, SessionStep};
+use migrate::report::MigrationReport;
+use netsim::{SharedUplink, SubscriberId};
+use simkit::telemetry::{Recorder, Subsystem};
+use simkit::units::Bandwidth;
+use simkit::{SimClock, SimDuration, SimTime};
+
+use crate::policy::{cycle_average_rate, FleetPolicy};
+
+/// Everything one drain produces.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The byte-deterministic fleet digest.
+    pub digest: FleetDigest,
+    /// Per-VM migration reports, in roster order.
+    pub reports: Vec<MigrationReport>,
+}
+
+/// One guest's slot in the drain.
+struct Slot {
+    tenant: VmTenant,
+    vm: JavaVm,
+    clock: SimClock,
+    active: Option<Active>,
+    admitted_at: Option<SimTime>,
+    ended_at: Option<SimTime>,
+    report: Option<MigrationReport>,
+}
+
+struct Active {
+    session: MigrationSession,
+    sub: SubscriberId,
+    /// Rate last applied to the session's link; re-rating is skipped when
+    /// the share is unchanged so a sole subscriber's link state is never
+    /// touched (golden equivalence).
+    applied: Bandwidth,
+}
+
+impl Slot {
+    /// Runs the guest up to `target` fleet time (workloads keep executing
+    /// — and dirtying — while they wait for admission).
+    fn catch_up(&mut self, target: SimTime, tick: SimDuration) {
+        let lag = target.saturating_since(self.clock.now());
+        if !lag.is_zero() {
+            self.vm.run_for(&mut self.clock, lag, tick);
+        }
+    }
+}
+
+/// Runs one host drain under `policy`.
+///
+/// # Errors
+///
+/// Propagates the first [`MigrateError`] any tenant's engine raises
+/// (invalid config, missing LKM, exhausted coordination under the `Fail`
+/// fallback). Degraded-but-completed migrations are not errors; they show
+/// up in the digest's `degraded` count.
+///
+/// # Panics
+///
+/// Panics if the host has no tenants.
+pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, MigrateError> {
+    assert!(!host.tenants.is_empty(), "cannot drain an empty host");
+    let fleet_rec = Recorder::new();
+
+    // Boot and warm every guest on its own clock.
+    let mut slots: Vec<Slot> = host
+        .tenants
+        .iter()
+        .map(|tenant| {
+            let mut vm = tenant.launch();
+            let mut clock = SimClock::new();
+            vm.run_for(&mut clock, host.warmup, host.tick);
+            Slot {
+                tenant: tenant.clone(),
+                vm,
+                clock,
+                active: None,
+                admitted_at: None,
+                ended_at: None,
+                report: None,
+            }
+        })
+        .collect();
+
+    let drain_start = slots[0].clock.now();
+    fleet_rec.instant(
+        drain_start,
+        Subsystem::Fleet,
+        "drain_begin",
+        vec![
+            ("tenants", (slots.len() as u64).into()),
+            ("uplink_bps", host.uplink.bytes_per_sec().into()),
+            ("max_concurrent", u64::from(host.max_concurrent).into()),
+            ("min_rate_enforced", host.enforce_min_rate.into()),
+        ],
+    );
+
+    // Admission queue in the policy's static order. CycleAware re-picks
+    // dynamically from this queue at every admission opportunity.
+    let mut pending: Vec<usize> = (0..slots.len()).collect();
+    if policy == FleetPolicy::SmallestWorkingSetFirst {
+        pending.sort_by_key(|&i| {
+            let heap = slots[i].vm.jvm().heap();
+            (heap.young_committed() + heap.old_used(), i)
+        });
+    }
+
+    let mut uplink = SharedUplink::new(host.uplink);
+    let mut fleet_now = drain_start;
+
+    loop {
+        admit_all(
+            host,
+            policy,
+            &mut slots,
+            &mut pending,
+            &mut uplink,
+            fleet_now,
+            &fleet_rec,
+        )?;
+
+        // Step the laggard: the active session with the smallest local
+        // clock (ties broken by roster slot) — conservative co-simulation.
+        let Some(idx) = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active.is_some())
+            .min_by_key(|(i, s)| (s.clock.now(), *i))
+            .map(|(i, _)| i)
+        else {
+            debug_assert!(pending.is_empty(), "idle scheduler with pending tenants");
+            break;
+        };
+
+        let slot = &mut slots[idx];
+        let active = slot.active.as_mut().expect("laggard slot is active");
+        let share = uplink.share(active.sub);
+        if share != active.applied {
+            active.session.set_bandwidth(share);
+            active.applied = share;
+        }
+        if let SessionStep::Complete(report) = active.session.step(&mut slot.vm, &mut slot.clock)? {
+            let ended = slot.clock.now();
+            uplink.unsubscribe(active.sub);
+            slot.active = None;
+            slot.ended_at = Some(ended);
+            fleet_now = fleet_now.max(ended);
+
+            let admitted = slot.admitted_at.expect("completed slot was admitted");
+            fleet_rec.record_span(
+                admitted,
+                Subsystem::Fleet,
+                "migration",
+                ended.saturating_since(admitted),
+                vec![
+                    ("slot", (idx as u64).into()),
+                    ("bytes", report.total_bytes.into()),
+                ],
+            );
+            fleet_rec.hist_dur(
+                Subsystem::Fleet,
+                "migration_ns",
+                ended.saturating_since(admitted),
+            );
+            fleet_rec.hist_dur(
+                Subsystem::Fleet,
+                "downtime_ns",
+                report.downtime.workload_downtime(),
+            );
+            fleet_rec.counter_add(Subsystem::Fleet, "migrations_completed", 1);
+            fleet_rec.counter_add(Subsystem::Fleet, "bytes_total", report.total_bytes);
+            slot.report = Some(*report);
+        }
+    }
+
+    // Every tenant keeps serving from its destination for the tail.
+    for slot in &mut slots {
+        slot.vm.run_for(&mut slot.clock, host.tail, host.tick);
+        let now = slot.clock.now();
+        slot.vm.finish_analyzer(now);
+    }
+
+    let reports: Vec<MigrationReport> = slots
+        .iter_mut()
+        .map(|s| s.report.take().expect("every tenant migrated"))
+        .collect();
+
+    let fleet_snapshot = fleet_rec.snapshot();
+    let histograms = merge_histograms(
+        reports
+            .iter()
+            .map(|r| &r.telemetry)
+            .chain(std::iter::once(&fleet_snapshot)),
+    );
+    let vms = slots
+        .iter()
+        .zip(&reports)
+        .map(|(slot, report)| {
+            let meta = DigestMeta {
+                name: slot.tenant.name.clone(),
+                workload: slot.tenant.vm.workload.name.to_string(),
+                assisted: slot.tenant.vm.assisted,
+                seed: slot.tenant.vm.seed,
+            };
+            FleetVmEntry {
+                digest: RunDigest::from_report(meta, report),
+                admitted_at_ns: slot
+                    .admitted_at
+                    .expect("every tenant was admitted")
+                    .saturating_since(drain_start)
+                    .as_nanos(),
+                ended_at_ns: slot
+                    .ended_at
+                    .expect("every tenant finished")
+                    .saturating_since(drain_start)
+                    .as_nanos(),
+                sla: slot.tenant.sla.cost(report),
+            }
+        })
+        .collect();
+    let digest = FleetDigest::new(
+        FleetMeta {
+            name: host.name.clone(),
+            policy: policy.name().to_string(),
+            seed: host.seed,
+            uplink_bytes_per_sec: host.uplink.bytes_per_sec(),
+            max_concurrent: host.max_concurrent,
+        },
+        vms,
+        histograms,
+    );
+    Ok(FleetOutcome { digest, reports })
+}
+
+/// Admits tenants until the concurrency cap, the min-rate feasibility
+/// check, or head-of-line blocking stops us.
+#[allow(clippy::too_many_arguments)]
+fn admit_all(
+    host: &HostSpec,
+    policy: FleetPolicy,
+    slots: &mut [Slot],
+    pending: &mut Vec<usize>,
+    uplink: &mut SharedUplink,
+    fleet_now: SimTime,
+    fleet_rec: &Recorder,
+) -> Result<(), MigrateError> {
+    while !pending.is_empty() && uplink.active() < host.max_concurrent as usize {
+        // Pending guests are live: bring them up to fleet time so probes
+        // (and the eventual migration) see their true current state.
+        for &i in pending.iter() {
+            slots[i].catch_up(fleet_now, host.tick);
+        }
+
+        // Candidate order. The static policies consider only the queue
+        // head — head-of-line blocking is the price of a fixed order.
+        // CycleAware ranks the whole queue by peak ratio (deepest in its
+        // write-quiet trough first; steady workloads sit at exactly 1.0
+        // and tie back to queue order) and may admit *around* an
+        // infeasible candidate: a dynamic policy is not queue-bound. The
+        // signal is application-assisted, one level up from the paper's
+        // JVMTI agent — the guest's mutator reports its current dirty
+        // rate, and the tenant's declared cycle (or its steady spec)
+        // gives the average to compare against.
+        let order: Vec<usize> = match policy {
+            FleetPolicy::Fifo | FleetPolicy::SmallestWorkingSetFirst => vec![0],
+            FleetPolicy::CycleAware => {
+                let mut ranked: Vec<(f64, u64, usize)> = pending
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &i)| {
+                        let slot = &mut slots[i];
+                        let average = match &slot.tenant.phases {
+                            Some(phases) => cycle_average_rate(phases),
+                            None => {
+                                let w = &slot.tenant.vm.workload;
+                                (w.alloc_rate + w.old_write_rate).max(1.0)
+                            }
+                        };
+                        let heap = slot.vm.jvm().heap();
+                        let ws = heap.young_committed() + heap.old_used();
+                        (slot.vm.dirty_rate_hint() / average, ws, pos)
+                    })
+                    .collect();
+                // Ties on the peak ratio — every steady tenant sits at
+                // exactly 1.0 — break smallest-working-set-first, then by
+                // queue position.
+                ranked.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("peak ratios are finite")
+                        .then(a.1.cmp(&b.1))
+                        .then(a.2.cmp(&b.2))
+                });
+                ranked.into_iter().map(|(_, _, pos)| pos).collect()
+            }
+        };
+        let feasible_pos = order.into_iter().find(|&pos| {
+            let tenant = &slots[pending[pos]].tenant;
+            !host.enforce_min_rate
+                || uplink.can_admit(tenant.weight, tenant.min_rate)
+                // A drain must never deadlock: with nothing in flight the
+                // candidate gets the whole uplink, the best it will ever
+                // see.
+                || uplink.active() == 0
+        });
+        let Some(pos) = feasible_pos else {
+            // Every candidate the policy may pick is infeasible; capacity
+            // frees up when an active migration completes, and admission
+            // re-runs then.
+            break;
+        };
+        let idx = pending.remove(pos);
+
+        let slot = &mut slots[idx];
+        let sub = uplink.subscribe(slot.tenant.weight, slot.tenant.min_rate);
+        let engine = PrecopyEngine::new(slot.tenant.migration.clone());
+        let session = engine.begin(&mut slot.vm, &mut slot.clock, Recorder::new())?;
+        let applied = slot.tenant.migration.bandwidth;
+        slot.active = Some(Active {
+            session,
+            sub,
+            applied,
+        });
+        slot.admitted_at = Some(fleet_now);
+        fleet_rec.instant(
+            fleet_now,
+            Subsystem::Fleet,
+            "admit",
+            vec![
+                ("slot", (idx as u64).into()),
+                ("active", (uplink.active() as u64).into()),
+            ],
+        );
+        fleet_rec.hist_dur(
+            Subsystem::Fleet,
+            "queue_wait_ns",
+            fleet_now.saturating_since(SimTime::ZERO + host.warmup),
+        );
+    }
+    Ok(())
+}

@@ -36,11 +36,13 @@
 //! ```
 
 pub mod experiment;
+pub mod host;
 pub mod orchestrator;
 pub mod profiles;
 pub mod vm;
 
 pub use experiment::{across_seeds, summarize_across_seeds, Summary};
+pub use host::{HostSpec, VmTenant};
 pub use orchestrator::{run_scenario, ObservedHeap, Scenario, ScenarioOutcome};
 pub use profiles::{profile_heap, HeapProfile};
 pub use vm::{Collector, JavaVm, JavaVmConfig};

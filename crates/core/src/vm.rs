@@ -135,6 +135,15 @@ impl JavaVm {
         &self.jvm
     }
 
+    /// The workload's current dirty rate (allocation + Old-generation
+    /// rewriting), bytes/second — the application-assisted signal a
+    /// cycle-aware fleet scheduler consults before admitting this VM's
+    /// migration.
+    pub fn dirty_rate_hint(&mut self) -> f64 {
+        let profile = self.jvm.mutator_profile();
+        profile.alloc_rate + profile.old_write_rate
+    }
+
     /// The throughput analyzer.
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer

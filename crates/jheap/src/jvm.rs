@@ -182,6 +182,14 @@ impl JvmProcess {
         self.stats
     }
 
+    /// The mutator's current heap-usage profile — what a JVMTI agent
+    /// would report if an external scheduler asked "how hard are you
+    /// dirtying right now?". Phased mutators answer for the phase they
+    /// are in at this instant.
+    pub fn mutator_profile(&mut self) -> crate::mutator::MutatorProfile {
+        self.mutator.profile()
+    }
+
     /// Returns `true` while Java threads are held at the safepoint by the
     /// agent (suspension-ready, pre-resume).
     pub fn is_held(&self) -> bool {

@@ -368,6 +368,235 @@ fn fmt_f64(x: f64) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet digests: one document per host drain.
+// ---------------------------------------------------------------------------
+
+/// Schema identifier of fleet digest documents.
+pub const FLEET_DIGEST_SCHEMA: &str = "javmm-fleet-digest-v1";
+
+/// Identity of the host drain a fleet digest describes.
+#[derive(Debug, Clone)]
+pub struct FleetMeta {
+    /// Stable roster name (e.g. `drain12`).
+    pub name: String,
+    /// Ordering policy the scheduler ran (e.g. `fifo`).
+    pub policy: String,
+    /// Root seed of the drain.
+    pub seed: u64,
+    /// Shared uplink capacity in bytes/second.
+    pub uplink_bytes_per_sec: f64,
+    /// Admission-control concurrency cap.
+    pub max_concurrent: u32,
+}
+
+/// One VM's slice of a fleet digest: its full per-VM [`RunDigest`] plus
+/// the scheduling and SLA facts only the fleet knows.
+#[derive(Debug, Clone)]
+pub struct FleetVmEntry {
+    /// The per-VM digest, exactly as a dedicated-link run would produce it.
+    pub digest: RunDigest,
+    /// When the scheduler admitted (and began) this migration, in
+    /// nanoseconds since the drain started.
+    pub admitted_at_ns: u64,
+    /// When the migration completed, in nanoseconds since the drain
+    /// started.
+    pub ended_at_ns: u64,
+    /// SLA cost of this migration.
+    pub sla: crate::sla::SlaCost,
+}
+
+/// Merges raw per-VM histograms (keyed `subsystem/name`) into fleet-level
+/// summaries using [`Histogram::merge`] — statistically identical to
+/// having recorded every VM's samples into one fleet-wide recorder.
+///
+/// [`Histogram::merge`]: simkit::telemetry::hist::Histogram::merge
+pub fn merge_histograms<'a>(
+    telemetries: impl IntoIterator<Item = &'a simkit::telemetry::RunTelemetry>,
+) -> BTreeMap<String, HistDigest> {
+    let mut merged: BTreeMap<String, simkit::telemetry::hist::Histogram> = BTreeMap::new();
+    for t in telemetries {
+        for h in &t.hists {
+            merged
+                .entry(format!("{}/{}", h.subsystem, h.name))
+                .or_default()
+                .merge(&h.hist);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(key, h)| {
+            (
+                key,
+                HistDigest {
+                    count: h.count(),
+                    min: h.min(),
+                    max: h.max(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                },
+            )
+        })
+        .collect()
+}
+
+/// The folded outcome of one whole-host drain: per-VM rows in roster
+/// order, fleet totals, and merged histograms.
+#[derive(Debug, Clone)]
+pub struct FleetDigest {
+    /// Drain identity.
+    pub meta: FleetMeta,
+    /// Per-VM entries, in roster order.
+    pub vms: Vec<FleetVmEntry>,
+    /// Total eviction time: from drain start to the last migration's
+    /// completion, in nanoseconds.
+    pub eviction_ns: u64,
+    /// Sum of per-VM workload downtime, in nanoseconds.
+    pub aggregate_downtime_ns: u64,
+    /// Sum of per-VM wire bytes.
+    pub total_bytes: u64,
+    /// Sum of per-VM SLA costs.
+    pub sla_total: crate::sla::SlaCost,
+    /// VMs whose run degraded to vanilla pre-copy.
+    pub degraded: u32,
+    /// VMs whose live phase never reached the dirty threshold.
+    pub nonconverged: u32,
+    /// Fleet-level histogram summaries merged across all VMs.
+    pub histograms: BTreeMap<String, HistDigest>,
+}
+
+impl FleetDigest {
+    /// Assembles a fleet digest from per-VM entries (roster order) and the
+    /// pre-merged fleet histograms (see [`merge_histograms`]).
+    pub fn new(
+        meta: FleetMeta,
+        vms: Vec<FleetVmEntry>,
+        histograms: BTreeMap<String, HistDigest>,
+    ) -> Self {
+        let eviction_ns = vms.iter().map(|v| v.ended_at_ns).max().unwrap_or(0);
+        let aggregate_downtime_ns = vms.iter().map(|v| v.digest.downtime_workload_ns).sum();
+        let total_bytes = vms.iter().map(|v| v.digest.total_bytes).sum();
+        let mut sla_total = crate::sla::SlaCost::ZERO;
+        for v in &vms {
+            sla_total.add(&v.sla);
+        }
+        let degraded = vms
+            .iter()
+            .filter(|v| v.digest.outcome_kind != "completed")
+            .count() as u32;
+        let nonconverged = vms
+            .iter()
+            .filter(|v| v.digest.stop_reason != "dirty_threshold")
+            .count() as u32;
+        Self {
+            meta,
+            vms,
+            eviction_ns,
+            aggregate_downtime_ns,
+            total_bytes,
+            sla_total,
+            degraded,
+            nonconverged,
+            histograms,
+        }
+    }
+
+    /// Serialises the fleet digest as pretty-printed JSON. Field order is
+    /// fixed, rows are in roster order and maps sorted, so same seed +
+    /// same policy produce byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"schema\": \"{FLEET_DIGEST_SCHEMA}\",");
+        o.push_str("  \"drain\": {\n");
+        let _ = writeln!(o, "    \"name\": \"{}\",", escape_json(&self.meta.name));
+        let _ = writeln!(o, "    \"policy\": \"{}\",", escape_json(&self.meta.policy));
+        let _ = writeln!(o, "    \"seed\": {},", self.meta.seed);
+        let _ = writeln!(
+            o,
+            "    \"uplink_bytes_per_sec\": {},",
+            fmt_f64(self.meta.uplink_bytes_per_sec)
+        );
+        let _ = writeln!(o, "    \"max_concurrent\": {}", self.meta.max_concurrent);
+        o.push_str("  },\n");
+        o.push_str("  \"totals\": {\n");
+        let _ = writeln!(o, "    \"eviction_ns\": {},", self.eviction_ns);
+        let _ = writeln!(
+            o,
+            "    \"aggregate_downtime_ns\": {},",
+            self.aggregate_downtime_ns
+        );
+        let _ = writeln!(o, "    \"total_bytes\": {},", self.total_bytes);
+        let _ = writeln!(o, "    \"sla_cost\": {},", fmt_f64(self.sla_total.total()));
+        let _ = writeln!(
+            o,
+            "    \"sla_downtime\": {},",
+            fmt_f64(self.sla_total.downtime)
+        );
+        let _ = writeln!(
+            o,
+            "    \"sla_brownout\": {},",
+            fmt_f64(self.sla_total.brownout)
+        );
+        let _ = writeln!(
+            o,
+            "    \"sla_penalty\": {},",
+            fmt_f64(self.sla_total.penalty)
+        );
+        let _ = writeln!(o, "    \"degraded\": {},", self.degraded);
+        let _ = writeln!(o, "    \"nonconverged\": {}", self.nonconverged);
+        o.push_str("  },\n");
+        o.push_str("  \"vms\": [\n");
+        for (i, v) in self.vms.iter().enumerate() {
+            o.push_str("    {\n");
+            let _ = writeln!(
+                o,
+                "      \"name\": \"{}\",",
+                escape_json(&v.digest.meta.name)
+            );
+            let _ = writeln!(o, "      \"workload\": \"{}\",", v.digest.meta.workload);
+            let _ = writeln!(o, "      \"assisted\": {},", v.digest.meta.assisted);
+            let _ = writeln!(o, "      \"outcome\": \"{}\",", v.digest.outcome_kind);
+            let _ = writeln!(o, "      \"stop_reason\": \"{}\",", v.digest.stop_reason);
+            let _ = writeln!(o, "      \"admitted_at_ns\": {},", v.admitted_at_ns);
+            let _ = writeln!(o, "      \"ended_at_ns\": {},", v.ended_at_ns);
+            let _ = writeln!(o, "      \"migration_ns\": {},", v.digest.total_duration_ns);
+            let _ = writeln!(
+                o,
+                "      \"downtime_workload_ns\": {},",
+                v.digest.downtime_workload_ns
+            );
+            let _ = writeln!(o, "      \"iterations\": {},", v.digest.iterations);
+            let _ = writeln!(o, "      \"total_bytes\": {},", v.digest.total_bytes);
+            let _ = writeln!(o, "      \"sla_cost\": {}", fmt_f64(v.sla.total()));
+            o.push_str(if i + 1 < self.vms.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        o.push_str("  ],\n");
+        o.push_str("  \"histograms\": {\n");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape_json(key), h.count, h.min, h.max, h.sum, h.p50, h.p95, h.p99
+            );
+            o.push_str(if i + 1 < self.histograms.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        o.push_str("  }\n");
+        o.push_str("}\n");
+        o
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Minimal JSON reader (compare-side; no external dependency).
 // ---------------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ pub mod policy;
 pub mod postcopy;
 pub mod precopy;
 pub mod report;
+pub mod sla;
 pub mod vmhost;
 
 pub use checkpoint::{CheckpointConfig, CheckpointEngine, CheckpointReport};

@@ -198,4 +198,87 @@ mod tests {
         assert_eq!(d.strategy, Strategy::Precopy);
         assert!(d.precopy_downtime < SimDuration::from_millis(500));
     }
+
+    // -- Mid-run bandwidth drops (shared-link starvation) -------------------
+    //
+    // On a shared uplink a migration's share can collapse mid-drain when
+    // more VMs are admitted. The policy must be re-evaluated at the new
+    // share, and its estimates must behave sanely all the way down.
+
+    #[test]
+    fn bandwidth_drop_flips_precopy_to_javmm() {
+        // 50 MB/s of Young dirtying against a full gigabit link converges
+        // fine, and skipping the enforced GC wins.
+        let probe = WorkloadProbe {
+            alloc_rate: 50e6,
+            young_committed: 512 << 20,
+            ..base_probe()
+        };
+        let full = choose_strategy(&probe);
+        assert_eq!(full.strategy, Strategy::Precopy);
+
+        // The same workload at a 40 MB/s contended share can no longer
+        // outrun its own dirtying: the pre-copy residual saturates at the
+        // Young working set and the decision must flip to JAVMM.
+        let starved = WorkloadProbe {
+            bandwidth: Bandwidth::from_mbytes_per_sec(40.0),
+            ..probe
+        };
+        let drop = choose_strategy(&starved);
+        assert_eq!(drop.strategy, Strategy::Javmm);
+        assert!(
+            drop.precopy_downtime > SimDuration::from_secs(10),
+            "saturated residual must dominate the estimate, got {:?}",
+            drop.precopy_downtime
+        );
+        assert!(drop.javmm_downtime < SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn downtime_estimates_degrade_monotonically_with_bandwidth() {
+        // Halving the share over and over must never make either strategy
+        // look *better* — the adaptive policy relies on this to be stable
+        // under re-rating.
+        let mut last_precopy = SimDuration::ZERO;
+        let mut last_javmm = SimDuration::ZERO;
+        for div in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            let probe = WorkloadProbe {
+                bandwidth: Bandwidth::from_bytes_per_sec(
+                    Bandwidth::gigabit_ethernet().bytes_per_sec() / div,
+                ),
+                ..base_probe()
+            };
+            let d = choose_strategy(&probe);
+            assert!(
+                d.precopy_downtime >= last_precopy,
+                "pre-copy estimate improved when the link shrank by {div}x"
+            );
+            assert!(
+                d.javmm_downtime >= last_javmm,
+                "JAVMM estimate improved when the link shrank by {div}x"
+            );
+            last_precopy = d.precopy_downtime;
+            last_javmm = d.javmm_downtime;
+        }
+    }
+
+    #[test]
+    fn starvation_below_dirty_rate_saturates_both_estimates() {
+        // A 2 MB/s share under a 5 MB/s non-Young dirty rate: neither
+        // strategy converges, residuals cap at the working sets, and the
+        // estimates stay finite — exactly what admission control consults
+        // to refuse such a split in the first place.
+        let probe = WorkloadProbe {
+            bandwidth: Bandwidth::from_mbytes_per_sec(2.0),
+            ..base_probe()
+        };
+        let d = choose_strategy(&probe);
+        // Pre-copy must at least re-send the entire Young commit.
+        assert!(d.precopy_downtime >= probe.bandwidth.time_to_send(probe.young_committed));
+        // JAVMM still has to push the survivors and the capped non-Young
+        // working set through the starved pipe.
+        assert!(d.javmm_downtime >= probe.bandwidth.time_to_send(probe.expected_survivors));
+        // Even starved, shedding the Young generation keeps JAVMM ahead.
+        assert_eq!(d.strategy, Strategy::Javmm);
+    }
 }

@@ -166,12 +166,47 @@ impl PrecopyEngine {
     /// and events, and returns the frozen snapshot in
     /// [`MigrationReport::telemetry`]. The downtime breakdown is derived
     /// from the recorded spans where available.
+    ///
+    /// Implemented as [`PrecopyEngine::begin`] plus a [`MigrationSession::step`]
+    /// loop; a caller that needs to interleave several migrations (the fleet
+    /// scheduler) drives the session directly instead.
     pub fn migrate_recorded(
         &self,
         vm: &mut dyn MigratableVm,
         clock: &mut SimClock,
         recorder: Recorder,
     ) -> Result<MigrationReport, MigrateError> {
+        let mut session = self.begin(vm, clock, recorder)?;
+        loop {
+            if let SessionStep::Complete(report) = session.step(vm, clock)? {
+                return Ok(*report);
+            }
+        }
+    }
+
+    /// Starts a migration without running it: validates the configuration,
+    /// attaches telemetry and faults, enables the log-dirty mode and sends
+    /// `MigrationBegin` — everything [`PrecopyEngine::migrate_recorded`]
+    /// does before its first live iteration — and returns a resumable
+    /// [`MigrationSession`].
+    ///
+    /// Driving the session with [`MigrationSession::step`] until it reports
+    /// [`SessionStep::Complete`] is *exactly* equivalent to calling
+    /// [`PrecopyEngine::migrate_recorded`]: the split is pure code motion,
+    /// locked by the `precopy_equivalence` goldens. Between steps a caller
+    /// may re-rate the migration link ([`MigrationSession::set_bandwidth`]),
+    /// which is what lets the fleet scheduler arbitrate one shared uplink
+    /// across several concurrent sessions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PrecopyEngine::migrate`].
+    pub fn begin(
+        &self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+        recorder: Recorder,
+    ) -> Result<MigrationSession, MigrateError> {
         self.config.validate()?;
         let t0 = clock.now();
         let npages = vm.kernel().memory().page_count();
@@ -231,40 +266,130 @@ impl PrecopyEngine {
             state.coord.begin_deadline = Some(t0 + self.config.coord.begin_ack_timeout);
         }
 
-        let mut iterations: Vec<IterationStats> = Vec::new();
-        let mut to_send = Bitmap::new_all_set(npages);
-        let mut t_enter_last = None;
+        Ok(MigrationSession {
+            engine: self.clone(),
+            state,
+            port,
+            npages,
+            iterations: Vec::new(),
+            to_send: Bitmap::new_all_set(npages),
+            t_enter_last: None,
+            stop_reason: None,
+            finished: false,
+        })
+    }
+}
 
-        // Live pre-copy iterations.
-        let mut stop_reason = None;
-        loop {
-            let index = iterations.len() as u32 + 1;
-            let waiting = t_enter_last.is_some();
-            state
+/// What one [`MigrationSession::step`] call did.
+#[derive(Debug)]
+pub enum SessionStep {
+    /// One live pre-copy iteration ran; the migration continues. The
+    /// caller may inspect [`MigrationSession::iterations`] and re-rate the
+    /// link before the next step.
+    Yielded,
+    /// The migration finished this step (stop-and-copy, resume and
+    /// verification included); the session is spent.
+    Complete(Box<MigrationReport>),
+}
+
+/// An in-flight migration that yields control at every iteration boundary.
+///
+/// Produced by [`PrecopyEngine::begin`]; each [`MigrationSession::step`]
+/// runs exactly one live pre-copy iteration (plus the stop-and-copy epilogue
+/// on the final one). The session owns the migration link, so a scheduler
+/// co-simulating several VMs can call [`MigrationSession::set_bandwidth`]
+/// between steps to re-split a shared uplink — the new rate takes effect at
+/// the next iteration's first quantum, which is the conservative
+/// iteration-granular arbitration the fleet model documents.
+pub struct MigrationSession {
+    engine: PrecopyEngine,
+    state: RunState,
+    port: Option<DaemonPort>,
+    npages: u64,
+    iterations: Vec<IterationStats>,
+    to_send: Bitmap,
+    t_enter_last: Option<SimTime>,
+    stop_reason: Option<StopReason>,
+    finished: bool,
+}
+
+impl MigrationSession {
+    /// When the migration started (the clock at [`PrecopyEngine::begin`]).
+    pub fn started_at(&self) -> SimTime {
+        self.state.t0
+    }
+
+    /// Live iterations completed so far.
+    pub fn iterations(&self) -> &[IterationStats] {
+        &self.iterations
+    }
+
+    /// Wire bytes put on the link so far.
+    pub fn wire_bytes(&self) -> u64 {
+        self.state.wire_bytes
+    }
+
+    /// Whether the engine has notified the LKM and is waiting for
+    /// `ReadyToSuspend` (the paper's "second-last iteration").
+    pub fn is_waiting(&self) -> bool {
+        self.t_enter_last.is_some()
+    }
+
+    /// Re-rates the migration link. Takes effect at the next step; also
+    /// re-anchors the base bandwidth that scheduled link-degrade faults
+    /// scale from.
+    pub fn set_bandwidth(&mut self, bandwidth: Bandwidth) {
+        self.state.link.set_bandwidth(bandwidth);
+        self.state.base_bandwidth = bandwidth;
+    }
+
+    /// Runs one live pre-copy iteration; on the final one, runs the
+    /// stop-and-copy epilogue too and returns the finished report.
+    ///
+    /// # Panics
+    ///
+    /// If called again after [`SessionStep::Complete`] was returned.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PrecopyEngine::migrate`].
+    pub fn step(
+        &mut self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+    ) -> Result<SessionStep, MigrateError> {
+        assert!(
+            !self.finished,
+            "step called on a completed MigrationSession"
+        );
+        {
+            let index = self.iterations.len() as u32 + 1;
+            let waiting = self.t_enter_last.is_some();
+            self.state
                 .timeline
                 .push(clock.now(), EngineEvent::IterationStart { index });
-            state.recorder.instant(
+            self.state.recorder.instant(
                 clock.now(),
                 Subsystem::Engine,
                 "iteration_start",
                 vec![("index", index.into()), ("waiting", waiting.into())],
             );
-            let span = state.recorder.begin_span(
+            let span = self.state.recorder.begin_span(
                 clock.now(),
                 Subsystem::Engine,
                 "precopy_iteration",
                 vec![("index", index.into()), ("waiting", waiting.into())],
             );
-            let stats = self.run_live_iteration(
+            let stats = self.engine.run_live_iteration(
                 vm,
                 clock,
-                &mut state,
-                &mut to_send,
+                &mut self.state,
+                &mut self.to_send,
                 index,
-                port.as_ref(),
+                self.port.as_ref(),
                 waiting,
             )?;
-            state.recorder.end_span(
+            self.state.recorder.end_span(
                 clock.now(),
                 span,
                 vec![
@@ -274,33 +399,37 @@ impl PrecopyEngine {
                     ("skip_transfer", stats.pages_skipped_transfer.into()),
                 ],
             );
-            state.recorder.gauge(
+            self.state.recorder.gauge(
                 clock.now(),
                 Subsystem::Workload,
                 "ops_completed",
                 vm.ops_completed() as f64,
             );
-            state
-                .recorder
-                .hist_dur(Subsystem::Engine, "iteration_duration_ns", stats.duration);
-            state
+            self.state.recorder.hist_dur(
+                Subsystem::Engine,
+                "iteration_duration_ns",
+                stats.duration,
+            );
+            self.state
                 .recorder
                 .hist(Subsystem::Engine, "iteration_pages_sent", stats.pages_sent);
-            state.recorder.hist(
+            self.state.recorder.hist(
                 Subsystem::Engine,
                 "iteration_transfer_pps",
                 stats.transfer_rate_pps() as u64,
             );
-            state.recorder.hist(
+            self.state.recorder.hist(
                 Subsystem::Engine,
                 "iteration_dirty_pages",
                 stats.pages_dirtied_during,
             );
-            iterations.push(stats);
+            self.iterations.push(stats);
 
-            if let Some((fu, stragglers)) = state.ready {
-                state.timeline.push(clock.now(), EngineEvent::ReadyReceived);
-                state.recorder.instant(
+            if let Some((fu, stragglers)) = self.state.ready {
+                self.state
+                    .timeline
+                    .push(clock.now(), EngineEvent::ReadyReceived);
+                self.state.recorder.instant(
                     clock.now(),
                     Subsystem::Engine,
                     "ready_received",
@@ -309,62 +438,67 @@ impl PrecopyEngine {
                         ("stragglers", stragglers.into()),
                     ],
                 );
-                if stragglers > 0 && self.config.coord.degrade_on_stragglers {
+                if stragglers > 0 && self.engine.config.coord.degrade_on_stragglers {
                     // The LKM gave up on some assistants; instead of trusting
                     // its forcible un-skip, abandon assistance wholesale.
-                    self.degrade(
-                        &mut state,
-                        port.as_ref(),
+                    self.engine.degrade(
+                        &mut self.state,
+                        self.port.as_ref(),
                         clock.now(),
                         FaultKind::AgentStraggler,
                     );
                 }
-                break;
+                return self.finish(vm, clock);
             }
-            if waiting && !state.assist {
+            if waiting && !self.state.assist {
                 // Degraded while waiting for readiness: the stop policy
                 // already fired, so go straight to the stop-and-copy.
-                break;
+                return self.finish(vm, clock);
             }
             if !waiting {
-                let pending = self.pending_transferable(vm, state.assist);
-                let ram = npages * PAGE_SIZE;
-                let stop = if iterations.len() as u32 >= self.config.stop.max_iterations {
+                let pending = self.engine.pending_transferable(vm, self.state.assist);
+                let ram = self.npages * PAGE_SIZE;
+                let stop = if self.iterations.len() as u32 >= self.engine.config.stop.max_iterations
+                {
                     Some(StopReason::MaxIterations)
-                } else if state.wire_bytes as f64 > self.config.stop.max_factor * ram as f64 {
+                } else if self.state.wire_bytes as f64
+                    > self.engine.config.stop.max_factor * ram as f64
+                {
                     Some(StopReason::TrafficCap)
-                } else if pending <= self.config.stop.dirty_threshold_pages {
+                } else if pending <= self.engine.config.stop.dirty_threshold_pages {
                     Some(StopReason::DirtyThreshold)
                 } else {
                     None
                 };
                 if let Some(reason) = stop {
-                    stop_reason = Some(reason);
-                    state
+                    self.stop_reason = Some(reason);
+                    self.state
                         .timeline
                         .push(clock.now(), EngineEvent::StopCondition(reason));
-                    state.recorder.instant(
+                    self.state.recorder.instant(
                         clock.now(),
                         Subsystem::Engine,
                         "stop_condition",
                         vec![("reason", format!("{reason:?}").into())],
                     );
-                    match &port {
-                        Some(port) if state.assist => {
+                    match self.port.clone() {
+                        Some(port) if self.state.assist => {
                             port.send(clock.now(), CoordPayload::EnteringLastIter);
-                            state.timeline.push(clock.now(), EngineEvent::NotifiedLkm);
-                            state.recorder.instant(
+                            self.state
+                                .timeline
+                                .push(clock.now(), EngineEvent::NotifiedLkm);
+                            self.state.recorder.instant(
                                 clock.now(),
                                 Subsystem::Engine,
                                 "notified_lkm",
                                 vec![],
                             );
-                            t_enter_last = Some(clock.now());
-                            state.coord.ready_since = Some(clock.now());
-                            state.coord.ready_deadline =
-                                Some(clock.now() + self.config.coord.ready_timeout);
+                            self.t_enter_last = Some(clock.now());
+                            self.state.coord.ready_since = Some(clock.now());
+                            self.state.coord.ready_deadline =
+                                Some(clock.now() + self.engine.config.coord.ready_timeout);
                         }
-                        _ => break,
+                        _ => return self.finish(vm, clock),
                     }
                 }
             }
@@ -375,11 +509,28 @@ impl PrecopyEngine {
                 .memory_mut()
                 .dirty_log_mut()
                 .read_and_clear();
-            state.ever_dirtied.union_with(&snapshot);
+            self.state.ever_dirtied.union_with(&snapshot);
             // Pages of the previous set never reached (or re-dirty-skipped)
             // are dirty again by construction, so the snapshot covers them.
-            to_send = snapshot;
+            self.to_send = snapshot;
         }
+        Ok(SessionStep::Yielded)
+    }
+
+    /// The epilogue of the run: stop-and-copy, resume, verification and
+    /// report assembly — the tail of the original monolithic
+    /// `migrate_recorded`, unchanged.
+    fn finish(
+        &mut self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+    ) -> Result<SessionStep, MigrateError> {
+        self.finished = true;
+        let state = &mut self.state;
+        let to_send = std::mem::replace(&mut self.to_send, Bitmap::new(0));
+        let t_enter_last = self.t_enter_last;
+        let stop_reason = self.stop_reason;
+        let port = &self.port;
 
         // Stop-and-copy: pause the VM and send everything still pending.
         let t_pause = clock.now();
@@ -391,8 +542,13 @@ impl PrecopyEngine {
             state
                 .recorder
                 .begin_span(t_pause, Subsystem::Engine, "stop_and_copy", vec![]);
-        let last_stats =
-            self.run_stop_and_copy(vm, clock, &mut state, to_send, iterations.len() as u32 + 1);
+        let last_stats = self.engine.run_stop_and_copy(
+            vm,
+            clock,
+            state,
+            to_send,
+            self.iterations.len() as u32 + 1,
+        );
         let last_iter_duration = last_stats.duration;
         state.recorder.end_span(
             clock.now(),
@@ -402,7 +558,7 @@ impl PrecopyEngine {
                 ("bytes_sent", last_stats.bytes_sent.into()),
             ],
         );
-        iterations.push(last_stats);
+        self.iterations.push(last_stats);
 
         // Resume at the destination: log-dirty mode is over.
         vm.kernel_mut().memory_mut().dirty_log_mut().disable();
@@ -410,10 +566,10 @@ impl PrecopyEngine {
             clock.now(),
             Subsystem::Engine,
             "resume",
-            self.config.resume_time,
+            self.engine.config.resume_time,
             vec![],
         );
-        clock.advance(self.config.resume_time);
+        clock.advance(self.engine.config.resume_time);
         state.timeline.push(clock.now(), EngineEvent::Resumed);
         state
             .recorder
@@ -424,13 +580,13 @@ impl PrecopyEngine {
             "ops_completed",
             vm.ops_completed() as f64,
         );
-        if let Some(port) = &port {
+        if let Some(port) = port {
             port.send(clock.now(), CoordPayload::VmResumed);
         }
 
         // Verification against the paused source. A degraded run abandoned
         // its skip-over areas, so every page must match.
-        let skip_at_pause = self.skip_bitmap(vm, npages, state.assist);
+        let skip_at_pause = self.engine.skip_bitmap(vm, self.npages, state.assist);
         let verification = state.dest.verify(vm.kernel(), &skip_at_pause);
 
         // Freeze the flight recorder and derive the downtime breakdown from
@@ -442,7 +598,7 @@ impl PrecopyEngine {
         state.recorder.counter_add(
             Subsystem::Engine,
             "scan_cpu_ns",
-            (self.config.cpu_cost_per_page_scan * state.scan_pages).as_nanos(),
+            (self.engine.config.cpu_cost_per_page_scan * state.scan_pages).as_nanos(),
         );
         state.recorder.instant(
             clock.now(),
@@ -490,15 +646,15 @@ impl PrecopyEngine {
             None => SimDuration::ZERO,
         };
 
-        Ok(MigrationReport {
-            total_duration: clock.now().saturating_since(t0),
+        Ok(SessionStep::Complete(Box::new(MigrationReport {
+            total_duration: clock.now().saturating_since(state.t0),
             total_bytes: state.wire_bytes,
             downtime: DowntimeBreakdown {
                 safepoint_wait,
                 enforced_gc,
                 final_update,
                 last_iteration: last_iter_duration,
-                resume: self.config.resume_time,
+                resume: self.engine.config.resume_time,
             },
             cpu_time: state.cpu,
             verification,
@@ -508,14 +664,16 @@ impl PrecopyEngine {
                 Some(fault) => MigrationOutcome::DegradedVanilla { fault },
                 None => MigrationOutcome::Completed,
             },
-            timeline: state.timeline,
+            timeline: std::mem::replace(&mut state.timeline, simkit::trace::Trace::new()),
             lkm: vm.kernel().lkm().map(|l| l.stats().clone()),
             stragglers,
-            iterations,
+            iterations: std::mem::take(&mut self.iterations),
             telemetry,
-        })
+        })))
     }
+}
 
+impl PrecopyEngine {
     /// Abandons the assisted protocol: notify the LKM (`AbortAssist`, so it
     /// restores its transfer bitmap and releases held applications), stop
     /// consulting the transfer bitmap, and record the triggering fault.

@@ -5,10 +5,14 @@
 //! dirties faster than the link can carry it, pre-copy cannot converge.
 //! [`link::Link`] models the paper's gigabit Ethernet testbed as a
 //! rate-limited pipe with deterministic byte budgeting; [`compress`] models
-//! the per-page compression methods of the §6 extension.
+//! the per-page compression methods of the §6 extension; [`shared`] models
+//! one physical uplink arbitrated across many concurrent migrations for
+//! whole-host drains.
 
 pub mod compress;
 pub mod link;
+pub mod shared;
 
 pub use compress::Method as CompressionMethod;
 pub use link::{achieved_rate, Link, PAGE_HEADER_BYTES};
+pub use shared::{SharedUplink, SubscriberId};

@@ -33,6 +33,10 @@ pub const PAGE_HEADER_BYTES: u64 = 8;
 #[derive(Debug, Clone)]
 pub struct Link {
     bandwidth: Bandwidth,
+    /// The construction-time bandwidth, restored by [`Link::reset`] so a
+    /// reset link is indistinguishable from a freshly constructed one even
+    /// after mid-run [`Link::set_bandwidth`] calls.
+    base_bandwidth: Bandwidth,
     bytes_sent: u64,
     carry: f64,
     telemetry: Recorder,
@@ -45,6 +49,7 @@ impl Link {
     pub fn new(bandwidth: Bandwidth) -> Self {
         Self {
             bandwidth,
+            base_bandwidth: bandwidth,
             bytes_sent: 0,
             carry: 0.0,
             telemetry: Recorder::disabled(),
@@ -130,8 +135,13 @@ impl Link {
         self.bandwidth.time_to_send(bytes)
     }
 
-    /// Resets the traffic counter (e.g. between migrations).
+    /// Resets the link to its freshly constructed state (e.g. between
+    /// migrations): traffic counter, budget carry, utilization-window
+    /// sampling state, and any mid-run [`Link::set_bandwidth`] override are
+    /// all cleared — afterwards the link is indistinguishable from
+    /// `Link::new(bandwidth)` with the construction-time bandwidth.
     pub fn reset(&mut self) {
+        self.bandwidth = self.base_bandwidth;
         self.bytes_sent = 0;
         self.carry = 0.0;
         self.window_start = None;
@@ -181,6 +191,29 @@ mod tests {
         assert_eq!(link.bytes_sent(), 2000);
         link.reset();
         assert_eq!(link.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        // Dirty every piece of mutable state a run can touch: accumulate a
+        // fractional budget carry, traffic, utilization-window progress, and
+        // a mid-run bandwidth override.
+        let rate = Bandwidth::from_bytes_per_sec(3.0);
+        let mut used = Link::new(rate);
+        used.budget(SimDuration::from_millis(500)); // leaves carry = 0.5
+        used.record_send(1);
+        used.sample_utilization(SimTime::ZERO, SimDuration::from_millis(500), 1);
+        used.set_bandwidth(Bandwidth::from_bytes_per_sec(1000.0));
+        used.reset();
+
+        let mut fresh = Link::new(rate);
+        assert_eq!(used.bandwidth().bytes_per_sec(), rate.bytes_per_sec());
+        assert_eq!(used.bytes_sent(), fresh.bytes_sent());
+        // Identical budget sequences prove the carry (and bandwidth) match.
+        for _ in 0..7 {
+            let dt = SimDuration::from_millis(500);
+            assert_eq!(used.budget(dt), fresh.budget(dt));
+        }
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! A shared migration uplink arbitrated across concurrent subscribers.
+//!
+//! A host drain migrates many VMs over one physical NIC. [`SharedUplink`]
+//! models that pipe: subscribers (one per in-flight migration) register
+//! with a weight and a minimum-rate requirement, and the uplink splits its
+//! capacity into **weighted fair shares** — subscriber *i* gets
+//! `capacity · wᵢ / Σw`. The split is work-conserving: the active set
+//! always absorbs the full capacity, and shares are recomputed whenever a
+//! subscriber joins or leaves.
+//!
+//! Two consumption styles are supported:
+//!
+//! * **Share-based** (the fleet scheduler): each migration engine owns a
+//!   private [`Link`](crate::Link) re-rated to [`SharedUplink::share`]
+//!   whenever the active set changes. Arbitration is then
+//!   iteration-granular — conservative, and exactly reproducible.
+//! * **Tick-based**: [`SharedUplink::split_budget`] divides one quantum's
+//!   byte budget across all subscribers with per-subscriber fractional
+//!   carry, conserving every byte of `capacity · dt` over time.
+//!
+//! The minimum-rate requirement is what admission control checks: a
+//! pre-copy migration only converges while its share outruns the VM's
+//! dirty rate, so admitting one VM too many can starve *every* in-flight
+//! migration below convergence. [`SharedUplink::can_admit`] answers
+//! whether a candidate fits without pushing any active subscriber (or the
+//! candidate itself) under its declared minimum.
+//!
+//! Everything here is deterministic: subscriber order is registration
+//! order, shares are pure `f64` arithmetic on that order, and the carry
+//! accumulators evolve identically for identical call sequences.
+
+use crate::link::Link;
+use simkit::units::Bandwidth;
+use simkit::SimDuration;
+
+/// Identifies one subscriber of a [`SharedUplink`].
+///
+/// Ids are never reused within one uplink's lifetime, so a stale id of an
+/// unsubscribed migration cannot alias a later one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriberId(u64);
+
+#[derive(Debug, Clone)]
+struct Subscriber {
+    id: SubscriberId,
+    weight: f64,
+    min_rate: Bandwidth,
+    /// Fractional-byte residue for [`SharedUplink::split_budget`].
+    carry: f64,
+}
+
+/// A fixed-capacity uplink shared by concurrent migrations.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::shared::SharedUplink;
+/// use simkit::units::Bandwidth;
+///
+/// let mut up = SharedUplink::new(Bandwidth::from_mbytes_per_sec(120.0));
+/// let a = up.subscribe(1.0, Bandwidth::from_mbytes_per_sec(10.0));
+/// let b = up.subscribe(2.0, Bandwidth::from_mbytes_per_sec(10.0));
+/// assert_eq!(up.share(a).bytes_per_sec(), 40_000_000.0);
+/// assert_eq!(up.share(b).bytes_per_sec(), 80_000_000.0);
+/// up.unsubscribe(a);
+/// assert_eq!(up.share(b).bytes_per_sec(), 120_000_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedUplink {
+    capacity: Bandwidth,
+    subscribers: Vec<Subscriber>,
+    next_id: u64,
+}
+
+impl SharedUplink {
+    /// Creates an uplink with the given capacity.
+    pub fn new(capacity: Bandwidth) -> Self {
+        Self {
+            capacity,
+            subscribers: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The uplink's total capacity.
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// Number of active subscribers.
+    pub fn active(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Registers a subscriber with the given fair-share `weight` and
+    /// declared minimum convergence rate. Shares of existing subscribers
+    /// shrink accordingly.
+    ///
+    /// # Panics
+    ///
+    /// If `weight` is not strictly positive and finite.
+    pub fn subscribe(&mut self, weight: f64, min_rate: Bandwidth) -> SubscriberId {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "subscriber weight must be positive, got {weight}"
+        );
+        let id = SubscriberId(self.next_id);
+        self.next_id += 1;
+        self.subscribers.push(Subscriber {
+            id,
+            weight,
+            min_rate,
+            carry: 0.0,
+        });
+        id
+    }
+
+    /// Removes a subscriber (its migration finished or was aborted);
+    /// remaining shares grow accordingly. Unknown ids are ignored.
+    pub fn unsubscribe(&mut self, id: SubscriberId) {
+        self.subscribers.retain(|s| s.id != id);
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.subscribers.iter().map(|s| s.weight).sum()
+    }
+
+    /// The weighted fair share of subscriber `id`: `capacity · w / Σw`.
+    ///
+    /// A sole subscriber's share is *exactly* the capacity (no floating
+    /// point detour), which is what lets a 1-VM fleet reproduce the
+    /// dedicated-link goldens bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// If `id` is not an active subscriber.
+    pub fn share(&self, id: SubscriberId) -> Bandwidth {
+        let sub = self
+            .subscribers
+            .iter()
+            .find(|s| s.id == id)
+            .expect("share() of an inactive subscriber");
+        if self.subscribers.len() == 1 {
+            return self.capacity;
+        }
+        let fraction = sub.weight / self.total_weight();
+        Bandwidth::from_bytes_per_sec(self.capacity.bytes_per_sec() * fraction)
+    }
+
+    /// Whether a candidate with (`weight`, `min_rate`) can be admitted
+    /// without starving anyone: after the hypothetical join, every active
+    /// subscriber — and the candidate itself — must keep a share at or
+    /// above its declared minimum rate.
+    pub fn can_admit(&self, weight: f64, min_rate: Bandwidth) -> bool {
+        let total = self.total_weight() + weight;
+        let cap = self.capacity.bytes_per_sec();
+        if cap * (weight / total) < min_rate.bytes_per_sec() {
+            return false;
+        }
+        self.subscribers
+            .iter()
+            .all(|s| cap * (s.weight / total) >= s.min_rate.bytes_per_sec())
+    }
+
+    /// Splits one quantum's byte budget `capacity · dt` across all active
+    /// subscribers in registration order, carrying per-subscriber
+    /// fractional bytes so long runs conserve capacity exactly like a
+    /// dedicated [`Link`] would.
+    pub fn split_budget(&mut self, dt: SimDuration) -> Vec<(SubscriberId, u64)> {
+        let total = self.total_weight();
+        let cap = self.capacity.bytes_per_sec() * dt.as_secs_f64();
+        self.subscribers
+            .iter_mut()
+            .map(|s| {
+                let exact = cap * (s.weight / total) + s.carry;
+                let whole = exact as u64;
+                s.carry = exact - whole as f64;
+                (s.id, whole)
+            })
+            .collect()
+    }
+
+    /// A dedicated [`Link`] rated at subscriber `id`'s current share —
+    /// how the fleet scheduler hands each migration engine its slice of
+    /// the pipe.
+    pub fn link_for(&self, id: SubscriberId) -> Link {
+        Link::new(self.share(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::units::Bandwidth;
+
+    fn mb(x: f64) -> Bandwidth {
+        Bandwidth::from_mbytes_per_sec(x)
+    }
+
+    #[test]
+    fn sole_subscriber_gets_exact_capacity() {
+        let mut up = SharedUplink::new(Bandwidth::gigabit_ethernet());
+        let a = up.subscribe(3.0, mb(1.0));
+        assert_eq!(
+            up.share(a).bytes_per_sec(),
+            Bandwidth::gigabit_ethernet().bytes_per_sec(),
+            "single subscriber must see the undivided capacity"
+        );
+    }
+
+    #[test]
+    fn weighted_shares_sum_to_capacity() {
+        let mut up = SharedUplink::new(mb(120.0));
+        let ids = [
+            up.subscribe(1.0, mb(1.0)),
+            up.subscribe(2.0, mb(1.0)),
+            up.subscribe(3.0, mb(1.0)),
+        ];
+        let total: f64 = ids.iter().map(|&id| up.share(id).bytes_per_sec()).sum();
+        assert!((total - 120_000_000.0).abs() < 1.0, "shares sum {total}");
+        assert!(up.share(ids[2]).bytes_per_sec() > up.share(ids[0]).bytes_per_sec());
+    }
+
+    #[test]
+    fn admission_respects_min_rates() {
+        let mut up = SharedUplink::new(mb(100.0));
+        up.subscribe(1.0, mb(40.0));
+        // A second equal-weight subscriber would cut the first to 50 — fine
+        // for its 40 minimum but not for a candidate demanding 60.
+        assert!(up.can_admit(1.0, mb(40.0)));
+        assert!(!up.can_admit(1.0, mb(60.0)), "candidate starves itself");
+        // Three ways: 33.3 each — the incumbent's 40 minimum now breaks.
+        up.subscribe(1.0, mb(20.0));
+        assert!(!up.can_admit(1.0, mb(10.0)), "incumbent would starve");
+    }
+
+    #[test]
+    fn split_budget_conserves_capacity() {
+        let mut up = SharedUplink::new(Bandwidth::from_bytes_per_sec(1000.0));
+        up.subscribe(1.0, mb(0.001));
+        up.subscribe(2.0, mb(0.001));
+        up.subscribe(4.0, mb(0.001));
+        let mut totals = [0u64; 3];
+        for _ in 0..700 {
+            for (i, (_, b)) in up
+                .split_budget(SimDuration::from_millis(1))
+                .iter()
+                .enumerate()
+            {
+                totals[i] += b;
+            }
+        }
+        // 0.7 s at 1000 B/s = 700 bytes, split 1:2:4. Each subscriber may
+        // hold at most one fractional byte in its carry accumulator.
+        let sum = totals.iter().sum::<u64>();
+        assert!((697..=700).contains(&sum), "sum {sum}");
+        for (total, expect) in totals.iter().zip([100u64, 200, 400]) {
+            assert!(
+                expect - total <= 1,
+                "subscriber got {total}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut up = SharedUplink::new(mb(10.0));
+        let a = up.subscribe(1.0, mb(1.0));
+        up.unsubscribe(a);
+        let b = up.subscribe(1.0, mb(1.0));
+        assert_ne!(a, b);
+    }
+}

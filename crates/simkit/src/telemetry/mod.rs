@@ -56,17 +56,20 @@ pub enum Subsystem {
     Net,
     /// The application workload running inside the JVM.
     Workload,
+    /// The fleet scheduler arbitrating concurrent migrations on one host.
+    Fleet,
 }
 
 impl Subsystem {
     /// All subsystems, in swim-lane order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Engine,
         Subsystem::Lkm,
         Subsystem::Jvm,
         Subsystem::Gc,
         Subsystem::Net,
         Subsystem::Workload,
+        Subsystem::Fleet,
     ];
 
     /// Stable lower-case name used in exports.
@@ -78,6 +81,7 @@ impl Subsystem {
             Subsystem::Gc => "gc",
             Subsystem::Net => "net",
             Subsystem::Workload => "workload",
+            Subsystem::Fleet => "fleet",
         }
     }
 
@@ -90,6 +94,7 @@ impl Subsystem {
             Subsystem::Gc => 3,
             Subsystem::Net => 4,
             Subsystem::Workload => 5,
+            Subsystem::Fleet => 6,
         }
     }
 }

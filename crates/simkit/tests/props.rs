@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use simkit::stats::{SampleStats, TimeSeries};
+use simkit::telemetry::hist::Histogram;
 use simkit::{DetRng, SimDuration, SimTime};
 
 proptest! {
@@ -86,6 +87,51 @@ proptest! {
         for _ in 0..64 {
             let x = rng.range(lo, lo + width);
             prop_assert!((lo..lo + width).contains(&x));
+        }
+    }
+
+    /// Merging two histograms is indistinguishable from recording the
+    /// concatenated samples into one — the fleet digest relies on this to
+    /// aggregate per-VM histograms without keeping raw samples around.
+    #[test]
+    fn hist_merge_matches_concatenated_recording(
+        a in prop::collection::vec(0u64..(1 << 40), 0..64),
+        b in prop::collection::vec(0u64..(1 << 40), 0..64),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut concat = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            concat.record(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(&merged, &concat);
+        // Merge is order-insensitive…
+        let mut flipped = hb.clone();
+        flipped.merge(&ha);
+        prop_assert_eq!(&flipped, &concat);
+        // …the empty histogram is its identity…
+        let mut id = Histogram::new();
+        id.merge(&concat);
+        prop_assert_eq!(&id, &concat);
+        let mut id2 = concat.clone();
+        id2.merge(&Histogram::new());
+        prop_assert_eq!(&id2, &concat);
+        // …and summary statistics survive the union.
+        if concat.count() > 0 {
+            prop_assert_eq!(merged.min(), a.iter().chain(&b).copied().min().unwrap());
+            prop_assert_eq!(merged.max(), a.iter().chain(&b).copied().max().unwrap());
+            prop_assert_eq!(merged.sum(), a.iter().chain(&b).sum::<u64>());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile(q), concat.quantile(q));
+            }
         }
     }
 }
