@@ -5,13 +5,21 @@
 //!   bench [--scan-only] [--out PATH]
 //!   bench digest [--out-dir DIR] [--scan-slowdown FACTOR]
 //!   bench compare <old.json> <new.json>
-//!   bench fleet [--roster NAME] [--seed N] [--out PATH]
+//!   bench fleet [--roster NAME] [--seed N] [--out PATH] [--policy NAME]
+//!               [--digest-dir DIR] [--series-cap N]
 //!
-//! `bench fleet` drains one multi-VM roster (`solo`, `drain4` or
-//! `drain12`; default `drain12`) under every fleet scheduling policy and
-//! writes `BENCH_fleet.json` comparing total eviction time, aggregate
-//! downtime, wire bytes and SLA cost per policy. The document is
-//! deterministic for a fixed roster + seed.
+//! `bench fleet` drains one multi-VM roster (`solo`, `drain4`, `drain12`
+//! or `adversarial`; default `drain12`) under every fleet scheduling
+//! policy (or just `--policy`) and writes `BENCH_fleet.json` comparing
+//! total eviction time, aggregate downtime, wire bytes, SLA cost and
+//! workload-observatory detection accuracy per policy, plus the
+//! cycle-aware policy's detected-vs-declared eviction ratio. Per-VM rows
+//! stream to stderr as migrations complete. `--digest-dir` additionally
+//! writes each policy's full fleet digest (for baseline gating via
+//! `bench compare`, which dispatches on the digest's schema);
+//! `--series-cap` shrinks the observatory's sample ring — capping it
+//! below 16 blinds the detector, the seeded regression CI drills. The
+//! document is deterministic for a fixed roster + seed.
 //!
 //! `bench digest` runs the fixed roster of recorded migrations and writes
 //! one `DIGEST_<scenario>.json` (plus a `.prom` Prometheus exposition) per
@@ -223,7 +231,7 @@ fn cmd_compare(args: &[String]) {
         })
     };
     let (old_json, new_json) = (read(old_path), read(new_path));
-    match migrate::digest::compare(&old_json, &new_json) {
+    match migrate::digest::compare_any(&old_json, &new_json) {
         Ok(report) => {
             print!("{}", report.render());
             if report.has_regression() {
@@ -237,31 +245,54 @@ fn cmd_compare(args: &[String]) {
     }
 }
 
-/// Drains one roster under every fleet policy; writes the comparison.
+/// Drains one roster under every fleet policy (or one, with `--policy`);
+/// writes the comparison and optional per-policy fleet digests.
 fn cmd_fleet(args: &[String]) {
-    let roster_name = args
-        .iter()
-        .position(|a| a == "--roster")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "drain12".to_string());
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let roster_name = flag("--roster").unwrap_or_else(|| "drain12".to_string());
+    let seed = flag("--seed")
         .map(|s| s.parse::<u64>().expect("--seed takes an integer"))
         .unwrap_or(7);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
-    let Some(host) = javmm_bench::fleet::roster_by_name(&roster_name, seed) else {
-        eprintln!("unknown roster {roster_name}; use solo, drain4 or drain12");
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let digest_dir = flag("--digest-dir");
+    let series_cap =
+        flag("--series-cap").map(|s| s.parse::<usize>().expect("--series-cap takes an integer"));
+    let policies: Vec<cluster::FleetPolicy> = match flag("--policy") {
+        None => cluster::FleetPolicy::ALL.to_vec(),
+        Some(name) => match cluster::FleetPolicy::parse(&name) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("unknown policy {name}; use fifo, swsf, cycle or cycle-declared");
+                std::process::exit(2);
+            }
+        },
+    };
+    let Some(mut host) = javmm_bench::fleet::roster_by_name(&roster_name, seed) else {
+        eprintln!("unknown roster {roster_name}; use solo, drain4, drain12 or adversarial");
         std::process::exit(2);
     };
-    let runs = javmm_bench::fleet::run_policies(&host);
+    if let Some(cap) = series_cap {
+        // Regression drill: starve the observatory's sample ring (below
+        // 16 samples the detector refuses to certify anything).
+        host.sense_capacity = cap;
+    }
+    // Rows stream out of the scheduler in completion order; narrate them
+    // so long drains show progress instead of going dark.
+    let runs = javmm_bench::fleet::run_policies_with(&host, &policies, &mut |policy, entry| {
+        eprintln!(
+            "{}: {} done at {:.1}s (confident={} window_hit={:?})",
+            policy.name(),
+            entry.digest.meta.name,
+            entry.ended_at_ns as f64 / 1e9,
+            entry.detect_confident,
+            entry.window_hit,
+        );
+    });
     print!("{}", javmm_bench::fleet::render_table(&runs));
     let json = javmm_bench::fleet::to_json(&host, &runs);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
@@ -271,6 +302,18 @@ fn cmd_fleet(args: &[String]) {
     }
     std::fs::write(&out_path, json).expect("write fleet results");
     eprintln!("wrote {out_path}");
+    if let Some(dir) = digest_dir {
+        std::fs::create_dir_all(&dir).expect("create digest directory");
+        for run in &runs {
+            let path = format!(
+                "{dir}/DIGEST_fleet_{}_{}.json",
+                host.name,
+                run.policy.name()
+            );
+            std::fs::write(&path, run.digest.to_json()).expect("write fleet digest");
+            eprintln!("wrote {path}");
+        }
+    }
 }
 
 fn main() {

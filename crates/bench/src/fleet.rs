@@ -2,14 +2,19 @@
 //!
 //! Runs one roster (see [`cluster::roster`]) under every [`FleetPolicy`]
 //! and folds the results into `BENCH_fleet.json`: per-policy total
-//! eviction time, aggregate downtime, wire bytes and SLA cost, plus each
-//! policy's eviction ratio against the FIFO baseline. Everything here is
-//! deterministic — same roster + same seed produce a byte-identical
-//! document — so CI diffs two fresh runs to prove it.
+//! eviction time, aggregate downtime, wire bytes, SLA cost and workload
+//! observatory accuracy (confident estimates, window-hit rate, period
+//! accuracy), plus each policy's eviction ratio against the FIFO
+//! baseline and a detected-vs-declared comparison of the cycle-aware
+//! policy against its declared-hint oracle. Per-VM rows stream out of
+//! the scheduler as each migration completes (the digest never needs
+//! every report in memory at once), and everything is deterministic —
+//! same roster + same seed produce a byte-identical document — so CI
+//! diffs two fresh runs to prove it.
 
-use cluster::{roster, run_fleet, FleetPolicy};
+use cluster::{roster, run_fleet_streamed, FleetPolicy, FleetRowSink};
 use javmm::host::HostSpec;
-use migrate::digest::FleetDigest;
+use migrate::digest::{FleetDigest, FleetVmEntry};
 use std::fmt::Write as _;
 
 /// Looks up a roster by its CLI name.
@@ -18,6 +23,7 @@ pub fn roster_by_name(name: &str, seed: u64) -> Option<HostSpec> {
         "solo" => Some(roster::solo(seed)),
         "drain4" => Some(roster::drain4(seed)),
         "drain12" => Some(roster::drain12(seed)),
+        "adversarial" => Some(roster::adversarial(seed)),
         _ => None,
     }
 }
@@ -30,15 +36,38 @@ pub struct PolicyRun {
     pub digest: FleetDigest,
 }
 
-/// Drains `host` once per policy, in [`FleetPolicy::ALL`] order.
-pub fn run_policies(host: &HostSpec) -> Vec<PolicyRun> {
-    FleetPolicy::ALL
+/// Adapter turning a closure into a [`FleetRowSink`].
+struct RowTap<'a>(&'a mut dyn FnMut(&FleetVmEntry));
+
+impl FleetRowSink for RowTap<'_> {
+    fn row(&mut self, entry: &FleetVmEntry) {
+        (self.0)(entry);
+    }
+}
+
+/// Drains `host` once per listed policy, streaming each completed VM's
+/// row to `on_row` as the drain produces it (completion order).
+pub fn run_policies_with(
+    host: &HostSpec,
+    policies: &[FleetPolicy],
+    on_row: &mut dyn FnMut(FleetPolicy, &FleetVmEntry),
+) -> Vec<PolicyRun> {
+    policies
         .iter()
-        .map(|&policy| PolicyRun {
-            policy,
-            digest: run_fleet(host, policy).expect("drain failed").digest,
+        .map(|&policy| {
+            let mut tap = |entry: &FleetVmEntry| on_row(policy, entry);
+            let mut sink = RowTap(&mut tap);
+            PolicyRun {
+                policy,
+                digest: run_fleet_streamed(host, policy, &mut sink).expect("drain failed"),
+            }
         })
         .collect()
+}
+
+/// Drains `host` once per policy, in [`FleetPolicy::ALL`] order.
+pub fn run_policies(host: &HostSpec) -> Vec<PolicyRun> {
+    run_policies_with(host, &FleetPolicy::ALL, &mut |_, _| {})
 }
 
 /// Renders the per-policy comparison as an aligned text table.
@@ -46,20 +75,23 @@ pub fn render_table(runs: &[PolicyRun]) -> String {
     let mut o = String::new();
     let _ = writeln!(
         o,
-        "{:<7} {:>11} {:>16} {:>9} {:>9} {:>9} {:>13}",
+        "{:<14} {:>11} {:>16} {:>9} {:>9} {:>9} {:>13} {:>9} {:>9} {:>11}",
         "policy",
         "eviction_s",
         "agg_downtime_ms",
         "total_MB",
         "sla_cost",
         "degraded",
-        "nonconverged"
+        "nonconverged",
+        "estimated",
+        "hit_rate",
+        "period_acc"
     );
     for run in runs {
         let d = &run.digest;
         let _ = writeln!(
             o,
-            "{:<7} {:>11.2} {:>16.1} {:>9.1} {:>9.2} {:>9} {:>13}",
+            "{:<14} {:>11.2} {:>16.1} {:>9.1} {:>9.2} {:>9} {:>13} {:>9} {:>9.2} {:>11.3}",
             run.policy.name(),
             d.eviction_ns as f64 / 1e9,
             d.aggregate_downtime_ns as f64 / 1e6,
@@ -67,13 +99,16 @@ pub fn render_table(runs: &[PolicyRun]) -> String {
             d.sla_total.total(),
             d.degraded,
             d.nonconverged,
+            d.detect.estimated,
+            d.detect.window_hit_rate,
+            d.detect.period_accuracy,
         );
     }
     o
 }
 
 /// Serialises the comparison as the `BENCH_fleet.json` document. Rows are
-/// in [`FleetPolicy::ALL`] order and every number is computed from the
+/// in the order the policies ran and every number is computed from the
 /// deterministic digests, so the output is byte-stable across runs.
 pub fn to_json(host: &HostSpec, runs: &[PolicyRun]) -> String {
     let fifo_eviction = runs
@@ -83,7 +118,7 @@ pub fn to_json(host: &HostSpec, runs: &[PolicyRun]) -> String {
         .unwrap_or(0);
     let mut o = String::new();
     o.push_str("{\n");
-    o.push_str("  \"schema\": \"javmm-bench-fleet-v1\",\n");
+    o.push_str("  \"schema\": \"javmm-bench-fleet-v2\",\n");
     let _ = writeln!(o, "  \"roster\": \"{}\",", host.name);
     let _ = writeln!(o, "  \"seed\": {},", host.seed);
     let _ = writeln!(o, "  \"tenants\": {},", host.tenants.len());
@@ -119,13 +154,66 @@ pub fn to_json(host: &HostSpec, runs: &[PolicyRun]) -> String {
         let _ = writeln!(o, "      \"sla_brownout\": {},", d.sla_total.brownout);
         let _ = writeln!(o, "      \"sla_penalty\": {},", d.sla_total.penalty);
         let _ = writeln!(o, "      \"degraded\": {},", d.degraded);
-        let _ = writeln!(o, "      \"nonconverged\": {}", d.nonconverged);
+        let _ = writeln!(o, "      \"nonconverged\": {},", d.nonconverged);
+        o.push_str("      \"detect\": {\n");
+        let _ = writeln!(o, "        \"estimated\": {},", d.detect.estimated);
+        let _ = writeln!(
+            o,
+            "        \"cyclic_declared\": {},",
+            d.detect.cyclic_declared
+        );
+        let _ = writeln!(
+            o,
+            "        \"window_hit_rate\": {},",
+            d.detect.window_hit_rate
+        );
+        let _ = writeln!(
+            o,
+            "        \"mean_confidence\": {},",
+            d.detect.mean_confidence
+        );
+        let _ = writeln!(
+            o,
+            "        \"period_accuracy\": {}",
+            d.detect.period_accuracy
+        );
+        o.push_str("      }\n");
         o.push_str(if i + 1 < runs.len() {
             "    },\n"
         } else {
             "    }\n"
         });
     }
-    o.push_str("  ]\n}\n");
+    o.push_str("  ],\n");
+    // The observatory's headline number: how much the cycle-aware policy
+    // scheduled on *detected* estimates costs (or saves) relative to the
+    // same deferral computed from the tenants' *declared* phase cycles.
+    let cycle = runs.iter().find(|r| r.policy == FleetPolicy::CycleAware);
+    let declared = runs.iter().find(|r| r.policy == FleetPolicy::CycleDeclared);
+    match (cycle, declared) {
+        (Some(c), Some(d)) if d.digest.eviction_ns > 0 => {
+            o.push_str("  \"detected_vs_declared\": {\n");
+            let _ = writeln!(o, "    \"detected_eviction_ns\": {},", c.digest.eviction_ns);
+            let _ = writeln!(o, "    \"declared_eviction_ns\": {},", d.digest.eviction_ns);
+            let _ = writeln!(
+                o,
+                "    \"eviction_ratio\": {:.4},",
+                c.digest.eviction_ns as f64 / d.digest.eviction_ns as f64
+            );
+            let _ = writeln!(
+                o,
+                "    \"window_hit_rate\": {},",
+                c.digest.detect.window_hit_rate
+            );
+            let _ = writeln!(
+                o,
+                "    \"period_accuracy\": {}",
+                c.digest.detect.period_accuracy
+            );
+            o.push_str("  }\n");
+        }
+        _ => o.push_str("  \"detected_vs_declared\": null\n"),
+    }
+    o.push_str("}\n");
     o
 }

@@ -1,0 +1,438 @@
+//! Online workload-cycle detection over sensed dirty-rate series.
+//!
+//! The paper's thesis is that migration improves when the hypervisor can
+//! *observe* the application; Baruchi et al. ("Exploiting Workload Cycles
+//! for Orchestration of Virtual Machine Live Migrations in Clouds")
+//! showed that the workload cycles worth timing a migration around can be
+//! recovered from observed behavior alone — no tenant declaration
+//! required. This module is that recovery: a deterministic detector over
+//! the bounded dirty-rate rings the scheduler senses per pending VM
+//! ([`simkit::telemetry::series::SampleSeries`]), emitting a
+//! [`WorkloadEstimate`] the cycle-aware policy can schedule on.
+//!
+//! The detector is two-stage:
+//!
+//! 1. **Autocorrelation sweep.** For every candidate lag `L` in
+//!    `[MIN_LAG, n/2]` samples, the normalized autocorrelation
+//!    `r(L) = Σ (x_i - m)(x_{i+L} - m) / ((n-L)·σ²)` is computed; the
+//!    best lag wins (ties to the smallest lag, so harmonics never beat
+//!    the fundamental's first strong peak from below). Only lags past
+//!    the autocorrelation's first below-zero dip are eligible — a real
+//!    cycle anti-correlates at its half-period before peaking at the
+//!    period, while a ramp or half-seen cycle decays monotonically and
+//!    must not be mistaken for a fast cycle.
+//! 2. **Spectral-peak fallback.** When the best autocorrelation is weak,
+//!    a Goertzel-style single-bin DFT power is evaluated at each
+//!    candidate period and the sharpest peak's share of total candidate
+//!    power is used instead — square-ish cycles with drifting phase that
+//!    smear the autocorrelation still concentrate spectral power near
+//!    the true period.
+//!
+//! Confidence combines the peak strength with a *coverage* factor that
+//! requires the window to span several full periods: one period observed
+//! proves nothing, three earn full marks. Aperiodic or steady signals
+//! come back as `None` / near-zero confidence, and the policy falls back
+//! to smallest-working-set ordering — the detector degrades, it never
+//! guesses.
+//!
+//! Everything here is pure `f64` arithmetic over the ring — no RNG, no
+//! wall clock — so estimates are byte-deterministic across runs.
+
+use simkit::telemetry::series::SampleSeries;
+
+/// Fewest samples the detector will look at. At the scheduler's 500 ms
+/// sensing cadence this is 8 s of history.
+pub const MIN_SAMPLES: usize = 16;
+
+/// Shortest candidate period, in samples (2 s at the default cadence);
+/// anything faster is noise relative to migration timescales.
+pub const MIN_LAG: usize = 4;
+
+/// Coefficient-of-variation floor below which a signal is flat: there is
+/// no cycle to detect in a steady workload, only noise to overfit.
+const MIN_CV2: f64 = 0.05;
+
+/// Autocorrelation peak below which the spectral fallback is consulted.
+const WEAK_PEAK: f64 = 0.35;
+
+/// Confidence at or above which the scheduler trusts an estimate enough
+/// to schedule on it; below, the policy degrades to working-set order.
+pub const CONFIDENCE_GATE: f64 = 0.45;
+
+/// One detected workload cycle: the observatory's output record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEstimate {
+    /// Detected cycle period, nanoseconds.
+    pub period_ns: u64,
+    /// Position within the cycle at the newest sample, nanoseconds from
+    /// the cycle's fold origin (`[0, period_ns)`).
+    pub phase_ns: u64,
+    /// How much to trust this estimate, `[0, 1]`.
+    pub confidence: f64,
+    /// The next predicted below-average dirty window, absolute simulated
+    /// nanoseconds `[start, end)`. Starts at the query instant when the
+    /// workload is already inside its trough.
+    pub predicted_low_dirty_window: (u64, u64),
+    /// Per-bin mean rates over one folded period (bin width = cadence).
+    folded: Vec<f64>,
+    /// Mean of the retained window the fold was computed from.
+    mean: f64,
+    /// Instant of the oldest retained sample: the fold's time origin.
+    origin_ns: u64,
+    /// Sample cadence, nanoseconds (bin width).
+    cadence_ns: u64,
+}
+
+impl WorkloadEstimate {
+    /// Predicted dirty rate at `at_ns` relative to the workload's own
+    /// mean: below 1.0 means the folded cycle expects a trough there,
+    /// above means a peak. This is the score the cycle-aware policy
+    /// ranks pending tenants by.
+    pub fn rate_ratio_at(&self, at_ns: u64) -> f64 {
+        if self.mean <= 0.0 || self.folded.is_empty() {
+            return 1.0;
+        }
+        self.folded[self.bin_at(at_ns)] / self.mean
+    }
+
+    /// Whether `at_ns` falls inside the folded cycle's below-average
+    /// region.
+    pub fn in_low_window(&self, at_ns: u64) -> bool {
+        self.rate_ratio_at(at_ns) < 1.0
+    }
+
+    fn bin_at(&self, at_ns: u64) -> usize {
+        let lag = self.folded.len() as u64;
+        ((at_ns.saturating_sub(self.origin_ns) / self.cadence_ns) % lag) as usize
+    }
+}
+
+/// Runs the detector over a sensed series.
+///
+/// `now_ns` anchors the predicted low-dirty window: the returned window
+/// is the first trough at or after that instant. Returns `None` when the
+/// ring holds fewer than [`MIN_SAMPLES`] samples, its cadence is
+/// irregular (`cadence_ns == 0`), or the signal is too flat to carry a
+/// cycle — callers treat `None` as confidence zero.
+pub fn detect(series: &SampleSeries, now_ns: u64) -> Option<WorkloadEstimate> {
+    let cadence = series.cadence_ns();
+    let x: Vec<f64> = series.values().collect();
+    let n = x.len();
+    if cadence == 0 || n < MIN_SAMPLES {
+        return None;
+    }
+
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var <= f64::EPSILON || var / (mean * mean).max(f64::EPSILON) < MIN_CV2 {
+        return None; // steady workload: nothing to time a migration around
+    }
+
+    // Stage 1: normalized autocorrelation sweep, smallest winning lag.
+    //
+    // A genuine cycle's autocorrelation first *dips* below zero (the
+    // anti-phase half-period) before peaking again at the period. A
+    // merely slowly-varying signal — the long lead trough of a cycle the
+    // window has not yet covered, a ramp, a one-off step — decays
+    // monotonically from lag zero instead, and an ungated sweep would
+    // hand its largest small-lag value over as a phantom 2 s cycle at
+    // full coverage. So the sweep only considers peak candidates after
+    // the first below-zero dip; no dip, no autocorrelation peak.
+    let max_lag = n / 2;
+    let r_at = |lag: usize| {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += (x[i] - mean) * (x[i + lag] - mean);
+        }
+        acc / ((n - lag) as f64 * var)
+    };
+    let dip = (1..=max_lag).find(|&lag| r_at(lag) < 0.0);
+    let mut best_lag = MIN_LAG;
+    let mut best_r = f64::NEG_INFINITY;
+    if let Some(dip) = dip {
+        for lag in (dip + 1).max(MIN_LAG)..=max_lag {
+            let r = r_at(lag);
+            if r > best_r {
+                best_r = r;
+                best_lag = lag;
+            }
+        }
+    }
+
+    let mut strength = best_r.clamp(0.0, 1.0);
+    if best_r < WEAK_PEAK {
+        // Stage 2: single-bin DFT power per candidate period; the peak's
+        // share of total candidate power stands in for the correlation.
+        let mut powers: Vec<(usize, f64)> = Vec::with_capacity(max_lag + 1 - MIN_LAG);
+        let mut total = 0.0;
+        for lag in MIN_LAG..=max_lag {
+            let w = std::f64::consts::TAU / lag as f64;
+            let (mut re, mut im) = (0.0, 0.0);
+            for (i, v) in x.iter().enumerate() {
+                let centered = v - mean;
+                re += centered * (w * i as f64).cos();
+                im += centered * (w * i as f64).sin();
+            }
+            let p = re * re + im * im;
+            powers.push((lag, p));
+            total += p;
+        }
+        if total > 0.0 {
+            let &(spec_lag, spec_p) = powers
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("powers are finite"))
+                .expect("candidate lags are non-empty");
+            let spec_strength = (spec_p / total).clamp(0.0, 1.0);
+            if spec_strength > strength {
+                strength = spec_strength;
+                best_lag = spec_lag;
+            }
+        }
+    }
+
+    // Coverage: one observed period proves nothing, three earn full
+    // confidence. This is what keeps a half-seen "cycle" from being
+    // trusted — a drifting or shifted workload re-earns trust slowly.
+    let periods = n as f64 / best_lag as f64;
+    let coverage = ((periods - 1.0) / 2.0).clamp(0.0, 1.0);
+    let confidence = strength * coverage;
+
+    // Fold the window modulo the winning lag into per-bin means. Bins are
+    // anchored to the oldest retained sample so the fold (and everything
+    // derived from it) is a pure function of the ring's contents.
+    let origin_ns = series.start_ns();
+    let mut folded = vec![0.0; best_lag];
+    let mut counts = vec![0u32; best_lag];
+    for (i, v) in x.iter().enumerate() {
+        folded[i % best_lag] += v;
+        counts[i % best_lag] += 1;
+    }
+    for (f, c) in folded.iter_mut().zip(&counts) {
+        *f /= (*c).max(1) as f64;
+    }
+
+    // The predicted low-dirty window: the longest circular run of
+    // below-mean bins, projected to the first occurrence at/after now_ns.
+    let low: Vec<bool> = folded.iter().map(|&f| f < mean).collect();
+    let (run_start, run_len) = longest_circular_run(&low);
+    let period_ns = best_lag as u64 * cadence;
+    let est = WorkloadEstimate {
+        period_ns,
+        phase_ns: (now_ns.saturating_sub(origin_ns)) % period_ns,
+        confidence,
+        predicted_low_dirty_window: (0, 0),
+        folded,
+        mean,
+        origin_ns,
+        cadence_ns: cadence,
+    };
+    let window = if run_len == 0 {
+        (now_ns, now_ns)
+    } else {
+        let lag = best_lag as u64;
+        let now_idx = now_ns.saturating_sub(origin_ns) / cadence;
+        let pos = now_idx % lag;
+        let (a, len) = (run_start as u64, run_len as u64);
+        // Distance (in bins) from the current position to the run start;
+        // 0 when we are already inside the run.
+        let into_run = (pos + lag - a) % lag;
+        let start_idx = if into_run < len {
+            now_idx // already inside the trough
+        } else {
+            now_idx + ((a + lag - pos) % lag)
+        };
+        let remaining = if into_run < len { len - into_run } else { len };
+        (
+            origin_ns + start_idx * cadence,
+            origin_ns + (start_idx + remaining) * cadence,
+        )
+    };
+    Some(WorkloadEstimate {
+        predicted_low_dirty_window: window,
+        ..est
+    })
+}
+
+/// Longest run of `true` in a circular boolean sequence: `(start, len)`.
+/// Ties go to the smallest start index; all-false yields `(0, 0)`.
+fn longest_circular_run(flags: &[bool]) -> (usize, usize) {
+    let n = flags.len();
+    if n == 0 || flags.iter().all(|&f| !f) {
+        return (0, 0);
+    }
+    if flags.iter().all(|&f| f) {
+        return (0, n);
+    }
+    let mut best = (0usize, 0usize);
+    let mut i = 0;
+    while i < n {
+        if flags[i] && !flags[(i + n - 1) % n] {
+            // Run starts here; walk it (possibly wrapping).
+            let mut len = 0;
+            while len < n && flags[(i + len) % n] {
+                len += 1;
+            }
+            if len > best.1 {
+                best = (i, len);
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAD: u64 = 500_000_000; // 500 ms in ns
+
+    fn series_from(values: &[f64]) -> SampleSeries {
+        let mut s = SampleSeries::new(CAD, 256);
+        for (i, &v) in values.iter().enumerate() {
+            s.push(i as u64 * CAD, v);
+        }
+        s
+    }
+
+    /// 12-sample period: 6 high, 6 low — the cyclic roster's shape.
+    fn square_wave(cycles: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            out.extend(std::iter::repeat_n(60e6, 6));
+            out.extend(std::iter::repeat_n(3e6, 6));
+        }
+        out
+    }
+
+    #[test]
+    fn square_wave_detects_period_with_high_confidence() {
+        let s = series_from(&square_wave(4)); // 48 samples = 4 periods
+        let now = 47 * CAD;
+        let est = detect(&s, now).expect("clear cycle must be detected");
+        assert_eq!(est.period_ns, 12 * CAD, "period is 12 samples");
+        assert!(
+            est.confidence >= CONFIDENCE_GATE,
+            "4 observed periods must clear the gate, got {}",
+            est.confidence
+        );
+        // The predicted window is a real trough: every instant inside it
+        // folds to a below-mean bin.
+        let (ws, we) = est.predicted_low_dirty_window;
+        assert!(we > ws, "window must be non-empty");
+        assert!(ws >= now, "window must not start in the past");
+        let mut t = ws;
+        while t < we {
+            assert!(est.in_low_window(t), "t={t} inside window must be low");
+            t += CAD;
+        }
+    }
+
+    #[test]
+    fn short_series_and_irregular_cadence_yield_none() {
+        let s = series_from(&square_wave(1)[..12]);
+        assert!(detect(&s, 0).is_none(), "12 samples < MIN_SAMPLES");
+        let mut irregular = SampleSeries::new(0, 64);
+        for (i, v) in square_wave(4).into_iter().enumerate() {
+            irregular.push(i as u64, v);
+        }
+        assert!(detect(&irregular, 0).is_none(), "event series undetectable");
+    }
+
+    #[test]
+    fn steady_signal_yields_none() {
+        let s = series_from(&vec![20e6; 64]);
+        assert!(detect(&s, 0).is_none(), "flat signal has no cycle");
+        // Small jitter around a mean is still flat by CV².
+        let jitter: Vec<f64> = (0..64).map(|i| 20e6 + (i % 2) as f64 * 1e5).collect();
+        assert!(detect(&series_from(&jitter), 0).is_none());
+    }
+
+    #[test]
+    fn drifting_period_lowers_confidence_below_clean_cycle() {
+        // Burst/trough pairs whose width grows every repetition: 4,5,6,7,8
+        // samples per half-phase — no stable period.
+        let mut drifting = Vec::new();
+        for w in 4..=8usize {
+            drifting.extend(std::iter::repeat_n(60e6, w));
+            drifting.extend(std::iter::repeat_n(3e6, w));
+        }
+        let drift_conf = detect(&series_from(&drifting), 0)
+            .map(|e| e.confidence)
+            .unwrap_or(0.0);
+        let clean_conf = detect(&series_from(&square_wave(5)), 0)
+            .expect("clean cycle detected")
+            .confidence;
+        assert!(
+            drift_conf < clean_conf,
+            "drift ({drift_conf}) must trust less than clean ({clean_conf})"
+        );
+    }
+
+    #[test]
+    fn aperiodic_signal_stays_below_the_gate() {
+        // Deterministic irregular on/off pattern with no repeating lag.
+        let widths = [3usize, 9, 4, 11, 2, 8, 5, 12, 3, 7];
+        let mut vals = Vec::new();
+        for (k, &w) in widths.iter().enumerate() {
+            let level = if k % 2 == 0 { 55e6 } else { 2e6 };
+            vals.extend(std::iter::repeat_n(level, w));
+        }
+        let conf = detect(&series_from(&vals), 0)
+            .map(|e| e.confidence)
+            .unwrap_or(0.0);
+        assert!(
+            conf < CONFIDENCE_GATE,
+            "aperiodic signal must not clear the gate, got {conf}"
+        );
+    }
+
+    #[test]
+    fn half_seen_cycle_step_is_not_trusted() {
+        // Twenty trough samples then six burst samples: the lead trough
+        // of a cycle much longer than the window. The autocorrelation of
+        // a step decays monotonically — without dip-gating the sweep
+        // would report a confident phantom 2 s cycle here.
+        let mut vals = vec![2e6; 20];
+        vals.extend(std::iter::repeat_n(60e6, 6));
+        let conf = detect(&series_from(&vals), 0)
+            .map(|e| e.confidence)
+            .unwrap_or(0.0);
+        assert!(
+            conf < CONFIDENCE_GATE,
+            "a step is not a cycle; got confidence {conf}"
+        );
+    }
+
+    #[test]
+    fn one_observed_period_earns_no_confidence() {
+        // 16 samples of an 8-sample cycle: exactly two periods -> coverage
+        // (2-1)/2 = 0.5; a single period would be 0.
+        let mut vals = Vec::new();
+        for _ in 0..2 {
+            vals.extend(std::iter::repeat_n(60e6, 4));
+            vals.extend(std::iter::repeat_n(3e6, 4));
+        }
+        let est = detect(&series_from(&vals), 0).expect("two periods detected");
+        assert!(est.confidence <= 0.55, "coverage must cap early trust");
+    }
+
+    #[test]
+    fn estimates_are_byte_deterministic() {
+        let a = detect(&series_from(&square_wave(4)), 5 * CAD).unwrap();
+        let b = detect(&series_from(&square_wave(4)), 5 * CAD).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    }
+
+    #[test]
+    fn longest_circular_run_handles_wrap() {
+        assert_eq!(longest_circular_run(&[true, false, true, true]), (2, 3));
+        assert_eq!(longest_circular_run(&[false, false, false]), (0, 0));
+        assert_eq!(longest_circular_run(&[true, true]), (0, 2));
+        assert_eq!(
+            longest_circular_run(&[false, true, true, false, true]),
+            (1, 2)
+        );
+    }
+}

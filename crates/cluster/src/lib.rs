@@ -14,9 +14,11 @@
 //! byte-deterministic [`migrate::digest::FleetDigest`] with per-tenant
 //! SLA costs ([`migrate::sla`]).
 
+pub mod detect;
 pub mod policy;
 pub mod roster;
 pub mod sched;
 
+pub use detect::{detect, WorkloadEstimate};
 pub use policy::FleetPolicy;
-pub use sched::{run_fleet, FleetOutcome};
+pub use sched::{run_fleet, run_fleet_streamed, FleetOutcome, FleetRowSink};

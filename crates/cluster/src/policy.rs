@@ -1,6 +1,6 @@
 //! Ordering policies: who migrates next when uplink capacity frees up.
 //!
-//! All three policies are deterministic functions of the roster and the
+//! All policies are deterministic functions of the roster and the
 //! simulated guests' own state — no wall clock, no randomness — so a drain
 //! under any policy is exactly reproducible from its seed.
 //!
@@ -9,15 +9,22 @@
 //! * [`FleetPolicy::SmallestWorkingSetFirst`] probes each tenant's heap
 //!   once at drain start and admits ascending by resident working set —
 //!   the live-migration analogue of shortest-job-first.
-//! * [`FleetPolicy::CycleAware`] defers tenants whose dirty rate is at a
-//!   peak of their own cycle, after Baruchi et al. ("Improving virtual
-//!   machine live migration via application-level workload analysis"),
-//!   who showed that migrating a VM during its write-quiet phase can cut
-//!   transferred bytes by a third or more. Tenants that *declare* their
-//!   phase cycle answer exactly (the application-assisted route — the
-//!   same philosophy as the paper's JVMTI agent, one level up); tenants
-//!   that don't are probed black-box via a windowed dirty-rate EMA
-//!   ([`DirtyRateProbe`]), which is Baruchi's original inference.
+//! * [`FleetPolicy::CycleAware`] defers tenants the *workload
+//!   observatory* ([`crate::detect`]) predicts are at a dirty-rate peak
+//!   of their own detected cycle, after Baruchi et al., who showed that
+//!   migrating a VM during its write-quiet phase can cut transferred
+//!   bytes by a third or more. The policy sees only what the scheduler
+//!   *senses* — the per-VM dirty-rate ring and the estimates the
+//!   detector derives from it. Estimates below
+//!   [`crate::detect::CONFIDENCE_GATE`] score exactly 1.0, where the
+//!   working-set tie-break takes over: when the detector is unsure the
+//!   policy *is* smallest-working-set-first, never a guess.
+//! * [`FleetPolicy::CycleDeclared`] is the oracle the observatory is
+//!   measured against: the same peak-ratio deferral computed from the
+//!   tenant's *declared* phase cycle (the application-assisted route —
+//!   the same philosophy as the paper's JVMTI agent, one level up).
+//!   Real tenants never provide this; it exists so `detect` accuracy has
+//!   a ground-truth run to be compared with.
 
 /// An ordering policy for the fleet scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,16 +33,20 @@ pub enum FleetPolicy {
     Fifo,
     /// One-time working-set probe at drain start, ascending.
     SmallestWorkingSetFirst,
-    /// Defer tenants whose dirty rate is above their own running average.
+    /// Defer tenants whose *detected* cycle predicts a dirty peak now.
     CycleAware,
+    /// Defer tenants whose *declared* cycle says they are at a peak —
+    /// the ground-truth oracle for detected-vs-declared accuracy.
+    CycleDeclared,
 }
 
 impl FleetPolicy {
     /// Every policy, in the order benches and tables report them.
-    pub const ALL: [FleetPolicy; 3] = [
+    pub const ALL: [FleetPolicy; 4] = [
         FleetPolicy::Fifo,
         FleetPolicy::SmallestWorkingSetFirst,
         FleetPolicy::CycleAware,
+        FleetPolicy::CycleDeclared,
     ];
 
     /// Stable name used in digests, files and CLI flags.
@@ -44,6 +55,7 @@ impl FleetPolicy {
             FleetPolicy::Fifo => "fifo",
             FleetPolicy::SmallestWorkingSetFirst => "swsf",
             FleetPolicy::CycleAware => "cycle",
+            FleetPolicy::CycleDeclared => "cycle-declared",
         }
     }
 
@@ -53,14 +65,15 @@ impl FleetPolicy {
             "fifo" => Some(FleetPolicy::Fifo),
             "swsf" | "smallest-working-set-first" => Some(FleetPolicy::SmallestWorkingSetFirst),
             "cycle" | "cycle-aware" => Some(FleetPolicy::CycleAware),
+            "cycle-declared" | "declared" => Some(FleetPolicy::CycleDeclared),
             _ => None,
         }
     }
 }
 
 /// Time-weighted average dirty rate of a declared phase cycle — the
-/// denominator of the application-assisted peak ratio: a tenant whose
-/// *current* phase dirties faster than this average is at a peak.
+/// denominator of the declared peak ratio, and the threshold below which
+/// an instant counts as a declared trough for window-hit accounting.
 pub fn cycle_average_rate(phases: &[jheap::mutator::Phase]) -> f64 {
     let total: f64 = phases.iter().map(|p| p.duration.as_secs_f64()).sum();
     if total <= 0.0 {
@@ -73,65 +86,6 @@ pub fn cycle_average_rate(phases: &[jheap::mutator::Phase]) -> f64 {
     (weighted / total).max(1.0)
 }
 
-/// Per-tenant dirty-rate tracking behind [`FleetPolicy::CycleAware`].
-///
-/// The scheduler samples each pending guest's cumulative written-page
-/// counter at every admission opportunity; the ratio of the latest window
-/// rate to an exponential moving average says whether the tenant is
-/// currently above (peak) or below (trough) its own typical dirtying.
-#[derive(Debug, Clone)]
-pub struct DirtyRateProbe {
-    /// EMA of observed dirty rates, bytes/second. Seeded from the
-    /// workload's declared write rates so the first real window compares
-    /// against a sane prior instead of zero.
-    pub ema: f64,
-    /// Most recent window's rate, bytes/second.
-    pub last_rate: f64,
-    /// Cumulative pages written at the last sample.
-    pub last_pages_written: u64,
-    /// When the last sample was taken, nanoseconds of guest time.
-    pub last_sampled_ns: u64,
-}
-
-/// EMA smoothing factor: one third new observation, two thirds history —
-/// responsive enough to see a phase flip within one probe window, inert
-/// enough not to chase a single noisy sample.
-const EMA_ALPHA: f64 = 1.0 / 3.0;
-
-impl DirtyRateProbe {
-    /// A probe seeded with a prior rate (the workload's declared
-    /// allocation + old-generation write rate).
-    pub fn with_prior(prior_rate: f64, pages_written: u64, now_ns: u64) -> Self {
-        Self {
-            ema: prior_rate.max(1.0),
-            last_rate: prior_rate.max(1.0),
-            last_pages_written: pages_written,
-            last_sampled_ns: now_ns,
-        }
-    }
-
-    /// Folds a new cumulative sample in; no-op when no time has passed.
-    pub fn sample(&mut self, pages_written: u64, now_ns: u64, page_size: u64) {
-        let dt_ns = now_ns.saturating_sub(self.last_sampled_ns);
-        if dt_ns == 0 {
-            return;
-        }
-        let bytes = pages_written.saturating_sub(self.last_pages_written) * page_size;
-        let rate = bytes as f64 * 1e9 / dt_ns as f64;
-        self.last_rate = rate;
-        self.ema = EMA_ALPHA * rate + (1.0 - EMA_ALPHA) * self.ema;
-        self.last_pages_written = pages_written;
-        self.last_sampled_ns = now_ns;
-    }
-
-    /// How the latest window compares to the tenant's own typical rate:
-    /// above 1.0 means a dirtying peak (defer), below means a trough
-    /// (migrate now).
-    pub fn peak_ratio(&self) -> f64 {
-        self.last_rate / self.ema.max(1.0)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +95,10 @@ mod tests {
         for p in FleetPolicy::ALL {
             assert_eq!(FleetPolicy::parse(p.name()), Some(p));
         }
+        assert_eq!(
+            FleetPolicy::parse("declared"),
+            Some(FleetPolicy::CycleDeclared)
+        );
         assert_eq!(FleetPolicy::parse("lifo"), None);
     }
 
@@ -169,25 +127,5 @@ mod tests {
         // (100e6 * 2 + 20e6 * 6) / 8 = 40e6.
         let avg = cycle_average_rate(&phases);
         assert!((avg - 40e6).abs() < 1.0, "got {avg}");
-    }
-
-    #[test]
-    fn probe_flags_peaks_and_troughs() {
-        // Prior of 10 MB/s; a window writing at ~40 MB/s is a peak.
-        let mut p = DirtyRateProbe::with_prior(10e6, 0, 0);
-        p.sample(10_000, 1_000_000_000, 4096); // 40.96 MB over 1 s
-        assert!(p.peak_ratio() > 1.0, "burst window must read as a peak");
-        // A near-idle window afterwards is a trough.
-        p.sample(10_100, 2_000_000_000, 4096);
-        assert!(p.peak_ratio() < 1.0, "quiet window must read as a trough");
-    }
-
-    #[test]
-    fn probe_ignores_zero_width_windows() {
-        let mut p = DirtyRateProbe::with_prior(5e6, 100, 50);
-        let before = p.clone();
-        p.sample(999, 50, 4096);
-        assert_eq!(p.peak_ratio(), before.peak_ratio());
-        assert_eq!(p.last_pages_written, before.last_pages_written);
     }
 }

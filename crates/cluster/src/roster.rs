@@ -24,7 +24,7 @@ use jheap::mutator::{MutatorProfile, Phase};
 use migrate::config::MigrationConfig;
 use migrate::sla::SlaModel;
 use simkit::units::{Bandwidth, MIB};
-use simkit::SimDuration;
+use simkit::{FaultPlan, PhaseShift, SimDuration};
 use workloads::catalog;
 use workloads::spec::{Category, WorkloadSpec};
 
@@ -147,6 +147,48 @@ fn cycle_phases(lead: SimDuration) -> Vec<Phase> {
     phases
 }
 
+/// A "drifting" tenant: burst/trough pairs whose widths nearly double
+/// each pair (2, 4, 7, 11 s), so the instantaneous period stretches from
+/// 4 s to 22 s across one long super-cycle. No single lag survives the
+/// stretch, so the detector must report low confidence rather than lock
+/// onto a phantom period.
+fn drifting_phases() -> Vec<Phase> {
+    [2u64, 4, 7, 11]
+        .iter()
+        .flat_map(|&secs| {
+            [
+                Phase {
+                    duration: SimDuration::from_secs(secs),
+                    profile: burst_profile(),
+                },
+                Phase {
+                    duration: SimDuration::from_secs(secs),
+                    profile: trough_profile(),
+                },
+            ]
+        })
+        .collect()
+}
+
+/// An aperiodic tenant: irregular burst/trough widths with no repeating
+/// structure inside the sensing window. The honest answer is "no cycle";
+/// a detector that claims one here is hallucinating.
+fn aperiodic_phases() -> Vec<Phase> {
+    let widths = [3u64, 9, 4, 11, 2, 8, 5, 12, 3, 7];
+    widths
+        .iter()
+        .enumerate()
+        .map(|(i, &secs)| Phase {
+            duration: SimDuration::from_secs(secs),
+            profile: if i % 2 == 0 {
+                burst_profile()
+            } else {
+                trough_profile()
+            },
+        })
+        .collect()
+}
+
 fn light(name: &str, seed: u64) -> VmTenant {
     let mut vm = JavaVmConfig::paper(light_spec(), true, seed);
     vm.os = small_guest();
@@ -174,6 +216,54 @@ fn cyclic(name: &str, seed: u64, lead: SimDuration) -> VmTenant {
     migration.stop.max_iterations = 60;
     VmTenant::new(name, vm, migration)
         .with_phases(cycle_phases(lead))
+        .with_min_rate(Bandwidth::from_mbytes_per_sec(20.0))
+        .with_sla(SlaModel::default_batch())
+}
+
+/// A tenant whose cycle drifts: each burst/trough pair is wider than the
+/// last, so no stable period exists for the detector to lock onto.
+fn drifting(name: &str, seed: u64) -> VmTenant {
+    let mut vm = JavaVmConfig::paper(cyclic_spec(), true, seed);
+    vm.os = small_guest();
+    let mut migration = MigrationConfig::javmm_default();
+    migration.stop.max_iterations = 60;
+    VmTenant::new(name, vm, migration)
+        .with_phases(drifting_phases())
+        .with_min_rate(Bandwidth::from_mbytes_per_sec(20.0))
+        .with_sla(SlaModel::default_batch())
+}
+
+/// A tenant with no periodic structure at all: irregular burst widths
+/// that never repeat within the sensing window.
+fn aperiodic(name: &str, seed: u64) -> VmTenant {
+    let mut vm = JavaVmConfig::paper(cyclic_spec(), true, seed);
+    vm.os = small_guest();
+    let mut migration = MigrationConfig::javmm_default();
+    migration.stop.max_iterations = 60;
+    VmTenant::new(name, vm, migration)
+        .with_phases(aperiodic_phases())
+        .with_min_rate(Bandwidth::from_mbytes_per_sec(20.0))
+        .with_sla(SlaModel::default_batch())
+}
+
+/// A tenant that looks perfectly cyclic during warmup, then shifts phase
+/// mid-drain (a [`PhaseShift`] fault jumps its mutator 3 s forward after
+/// 20 s of running time). Whatever phase the detector measured before the
+/// shift is wrong afterwards — the drill for estimate staleness.
+fn shifty(name: &str, seed: u64) -> VmTenant {
+    let mut vm = JavaVmConfig::paper(cyclic_spec(), true, seed);
+    vm.os = small_guest();
+    let mut migration = MigrationConfig::javmm_default();
+    migration.stop.max_iterations = 60;
+    migration.faults = FaultPlan {
+        phase_shift: Some(PhaseShift {
+            after: SimDuration::from_secs(20),
+            jump: SimDuration::from_secs(3),
+        }),
+        ..FaultPlan::none()
+    };
+    VmTenant::new(name, vm, migration)
+        .with_phases(cycle_phases(SimDuration::ZERO))
         .with_min_rate(Bandwidth::from_mbytes_per_sec(20.0))
         .with_sla(SlaModel::default_batch())
 }
@@ -226,6 +316,29 @@ pub fn drain12(seed: u64) -> HostSpec {
         .tenant(light("light-4", s(10)))
         .tenant(light("light-5", s(11)))
         .tenant(light("light-6", s(12)));
+    // Warm long enough that the observatory can cover two full cycles of
+    // the longest-lead cyclic (22 s) by the time the drain reaches it:
+    // the detector needs the period within half its sensing window.
+    host.warmup = SimDuration::from_secs(24);
+    host.tail = SimDuration::from_secs(2);
+    host
+}
+
+/// The 6-VM adversarial roster: three tenants engineered to defeat naive
+/// cycle detection (drifting period, no period, mid-drain phase shift)
+/// alongside a heavy and two lights. A detector that stays honest here —
+/// low confidence on the adversaries, so the cycle-aware policy degrades
+/// to its working-set fallback — never does worse than `swsf`; a detector
+/// that hallucinates periods schedules the adversaries into their bursts.
+pub fn adversarial(seed: u64) -> HostSpec {
+    let s = |k: u64| seed.wrapping_add(k);
+    let mut host = HostSpec::new("adversarial", seed)
+        .tenant(heavy("heavy-0", s(1)))
+        .tenant(drifting("drifting-0", s(2)))
+        .tenant(light("light-0", s(3)))
+        .tenant(aperiodic("aperiodic-0", s(4)))
+        .tenant(shifty("shifty-0", s(5)))
+        .tenant(light("light-1", s(6)));
     host.warmup = SimDuration::from_secs(12);
     host.tail = SimDuration::from_secs(2);
     host
@@ -247,6 +360,22 @@ mod tests {
         let heavy = &d.tenants[0];
         assert!(heavy.weight > 1.0);
         assert!(2.0 * heavy.min_rate.bytes_per_sec() > d.uplink.bytes_per_sec());
+    }
+
+    #[test]
+    fn adversarial_roster_is_well_formed() {
+        let host = adversarial(7);
+        assert_eq!(host.tenants.len(), 6);
+        // The shifty tenant carries the phase-shift fault; the other
+        // adversaries rely on phase structure alone.
+        let shifty = &host.tenants[4];
+        assert!(shifty.migration.faults.phase_shift.is_some());
+        assert!(host.tenants[1].migration.faults.phase_shift.is_none());
+        // Drifting widths grow; aperiodic widths never repeat a pair.
+        let drift = host.tenants[1].phases.as_ref().unwrap();
+        assert!(drift.windows(2).any(|w| w[0].duration != w[1].duration));
+        let aper = host.tenants[3].phases.as_ref().unwrap();
+        assert_eq!(aper.len(), 10);
     }
 
     #[test]

@@ -10,33 +10,51 @@
 //! share immediately before its next iteration — which is exactly the
 //! granularity [`MigrationSession`] yields at.
 //!
+//! # The workload observatory
+//!
+//! While a tenant waits for admission the scheduler *senses* it: every
+//! [`HostSpec::sense_cadence`] of guest time it reads the JVM's cumulative
+//! page-write counter and pushes the delta, as pages/second, into a
+//! bounded per-tenant [`SampleSeries`]. The cycle detector
+//! ([`crate::detect`]) turns that ring into a [`WorkloadEstimate`] on
+//! demand — no declared hints involved — and the cycle-aware policy
+//! schedules on what was *detected*, falling back to
+//! smallest-working-set-first whenever confidence is below
+//! [`CONFIDENCE_GATE`]. Each admission records the estimate (period,
+//! confidence, declared ground truth, window hit) so the fleet digest can
+//! score detection accuracy after the fact.
+//!
 //! Determinism: every scheduling decision is a pure function of the roster
 //! (order, weights, min-rates), the policy, and guest-simulation state
-//! that is itself seed-deterministic. Same seed + same policy ⇒ the same
-//! admission sequence, the same shares, the same per-VM reports, and a
-//! byte-identical [`FleetDigest`].
+//! that is itself seed-deterministic. Sensing is a pure read of guest
+//! counters on a fixed cadence, so it never perturbs a run. Same seed +
+//! same policy ⇒ the same admission sequence, the same estimates, the same
+//! per-VM reports, and a byte-identical [`FleetDigest`].
 //!
 //! The one-VM degenerate case is load-bearing: a sole subscriber's share
 //! is its engine's own configured bandwidth (capacity, exactly), the
 //! scheduler never re-rates it, and the step loop reduces to
 //! [`PrecopyEngine::migrate_recorded`]'s — so a 1-VM FIFO drain reproduces
-//! the single-VM `precopy_equivalence` goldens bit for bit.
+//! the single-VM `precopy_equivalence` goldens bit for bit (the sensing
+//! cadence divides the warmup, so the chunked warmup issues the identical
+//! tick sequence).
 //!
 //! [`PrecopyEngine::migrate_recorded`]: migrate::precopy::PrecopyEngine::migrate_recorded
+//! [`SampleSeries`]: simkit::telemetry::SampleSeries
+//! [`CONFIDENCE_GATE`]: crate::detect::CONFIDENCE_GATE
 
 use javmm::host::{HostSpec, VmTenant};
 use javmm::vm::JavaVm;
-use migrate::digest::{
-    merge_histograms, DigestMeta, FleetDigest, FleetMeta, FleetVmEntry, RunDigest,
-};
+use migrate::digest::{DigestMeta, FleetDigest, FleetMeta, FleetVmEntry, HistMerger, RunDigest};
 use migrate::error::MigrateError;
 use migrate::precopy::{MigrationSession, PrecopyEngine, SessionStep};
 use migrate::report::MigrationReport;
 use netsim::{SharedUplink, SubscriberId};
-use simkit::telemetry::{Recorder, Subsystem};
+use simkit::telemetry::{Recorder, SampleSeries, Subsystem};
 use simkit::units::Bandwidth;
 use simkit::{SimClock, SimDuration, SimTime};
 
+use crate::detect::{detect, CONFIDENCE_GATE};
 use crate::policy::{cycle_average_rate, FleetPolicy};
 
 /// Everything one drain produces.
@@ -48,6 +66,18 @@ pub struct FleetOutcome {
     pub reports: Vec<MigrationReport>,
 }
 
+/// Receives per-VM digest rows as migrations complete.
+///
+/// A streamed drain ([`run_fleet_streamed`]) folds each tenant into its
+/// [`FleetVmEntry`] the moment its migration (plus tail) finishes, hands
+/// the row to the sink, and drops the heavy report — so a long drain's
+/// memory is bounded by the in-flight set, not the roster. Rows arrive in
+/// *completion* order; the final digest still lists them in roster order.
+pub trait FleetRowSink {
+    /// Called once per tenant, in completion order.
+    fn row(&mut self, entry: &FleetVmEntry);
+}
+
 /// One guest's slot in the drain.
 struct Slot {
     tenant: VmTenant,
@@ -56,6 +86,18 @@ struct Slot {
     active: Option<Active>,
     admitted_at: Option<SimTime>,
     ended_at: Option<SimTime>,
+    /// The dirty-rate sensor: pages/second sampled on the sense cadence
+    /// while the tenant waits for admission.
+    sensor: SampleSeries,
+    sensor_last_pages: u64,
+    sensor_next_at: SimTime,
+    /// Detection facts frozen at admission (digest fields).
+    detected_period_ns: u64,
+    detected_confidence: f64,
+    detect_confident: bool,
+    declared_period_ns: u64,
+    window_hit: Option<bool>,
+    entry: Option<FleetVmEntry>,
     report: Option<MigrationReport>,
 }
 
@@ -70,11 +112,23 @@ struct Active {
 
 impl Slot {
     /// Runs the guest up to `target` fleet time (workloads keep executing
-    /// — and dirtying — while they wait for admission).
-    fn catch_up(&mut self, target: SimTime, tick: SimDuration) {
-        let lag = target.saturating_since(self.clock.now());
-        if !lag.is_zero() {
-            self.vm.run_for(&mut self.clock, lag, tick);
+    /// — and dirtying — while they wait for admission), sampling the
+    /// page-write rate into the sensor at every cadence crossing.
+    fn catch_up(&mut self, target: SimTime, tick: SimDuration, cadence: SimDuration) {
+        while self.clock.now() < target {
+            let until = self.sensor_next_at.min(target);
+            let lag = until.saturating_since(self.clock.now());
+            if !lag.is_zero() {
+                self.vm.run_for(&mut self.clock, lag, tick);
+            }
+            if self.clock.now() >= self.sensor_next_at {
+                let now = self.clock.now();
+                let pages = self.vm.jvm().stats().pages_written;
+                let rate = (pages - self.sensor_last_pages) as f64 / cadence.as_secs_f64();
+                self.sensor.push(now.as_nanos(), rate);
+                self.sensor_last_pages = pages;
+                self.sensor_next_at = now + cadence;
+            }
         }
     }
 }
@@ -90,28 +144,77 @@ impl Slot {
 ///
 /// # Panics
 ///
-/// Panics if the host has no tenants.
+/// Panics if the host has no tenants, or if the sense cadence is zero or
+/// not a multiple of the guest tick.
 pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, MigrateError> {
-    assert!(!host.tenants.is_empty(), "cannot drain an empty host");
-    let fleet_rec = Recorder::new();
+    let (digest, reports) = drain(host, policy, None, true)?;
+    Ok(FleetOutcome { digest, reports })
+}
 
-    // Boot and warm every guest on its own clock.
+/// Like [`run_fleet`], but streams each per-VM row to `sink` as its
+/// migration completes and drops the heavy reports instead of holding
+/// every one in memory for the whole drain. Produces a digest
+/// byte-identical to [`run_fleet`]'s.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`].
+pub fn run_fleet_streamed(
+    host: &HostSpec,
+    policy: FleetPolicy,
+    sink: &mut dyn FleetRowSink,
+) -> Result<FleetDigest, MigrateError> {
+    let (digest, _) = drain(host, policy, Some(sink), false)?;
+    Ok(digest)
+}
+
+fn drain(
+    host: &HostSpec,
+    policy: FleetPolicy,
+    mut sink: Option<&mut dyn FleetRowSink>,
+    keep_reports: bool,
+) -> Result<(FleetDigest, Vec<MigrationReport>), MigrateError> {
+    assert!(!host.tenants.is_empty(), "cannot drain an empty host");
+    assert!(
+        !host.sense_cadence.is_zero() && host.sense_cadence.as_nanos().is_multiple_of(host.tick.as_nanos()),
+        "sense cadence must be a nonzero multiple of the guest tick"
+    );
+    let fleet_rec = Recorder::new();
+    let cadence = host.sense_cadence;
+
+    // Boot and warm every guest on its own clock; warming runs through the
+    // sensing loop, so each tenant's dirty-rate ring covers the warmup.
     let mut slots: Vec<Slot> = host
         .tenants
         .iter()
         .map(|tenant| {
             let mut vm = tenant.launch();
-            let mut clock = SimClock::new();
-            vm.run_for(&mut clock, host.warmup, host.tick);
-            Slot {
+            // Arm only the phase-shift fault at boot: its countdown must
+            // span warmup and queueing, where the sensor watches. The
+            // engine re-installs the identical value at migration start,
+            // which is a no-op (a fired shift stays fired). Other fault
+            // lanes keep their migration-start semantics.
+            vm.set_phase_shift(tenant.migration.faults.phase_shift);
+            let mut slot = Slot {
                 tenant: tenant.clone(),
                 vm,
-                clock,
+                clock: SimClock::new(),
                 active: None,
                 admitted_at: None,
                 ended_at: None,
+                sensor: SampleSeries::new(cadence.as_nanos(), host.sense_capacity),
+                sensor_last_pages: 0,
+                sensor_next_at: SimTime::ZERO + cadence,
+                detected_period_ns: 0,
+                detected_confidence: 0.0,
+                detect_confident: false,
+                declared_period_ns: 0,
+                window_hit: None,
+                entry: None,
                 report: None,
-            }
+            };
+            slot.catch_up(SimTime::ZERO + host.warmup, host.tick, cadence);
+            slot
         })
         .collect();
 
@@ -128,8 +231,8 @@ pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, M
         ],
     );
 
-    // Admission queue in the policy's static order. CycleAware re-picks
-    // dynamically from this queue at every admission opportunity.
+    // Admission queue in the policy's static order. The cycle policies
+    // re-rank dynamically from this queue at every admission opportunity.
     let mut pending: Vec<usize> = (0..slots.len()).collect();
     if policy == FleetPolicy::SmallestWorkingSetFirst {
         pending.sort_by_key(|&i| {
@@ -140,6 +243,7 @@ pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, M
 
     let mut uplink = SharedUplink::new(host.uplink);
     let mut fleet_now = drain_start;
+    let mut merger = HistMerger::new();
 
     loop {
         admit_all(
@@ -202,54 +306,46 @@ pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, M
             );
             fleet_rec.counter_add(Subsystem::Fleet, "migrations_completed", 1);
             fleet_rec.counter_add(Subsystem::Fleet, "bytes_total", report.total_bytes);
-            slot.report = Some(*report);
-        }
-    }
 
-    // Every tenant keeps serving from its destination for the tail.
-    for slot in &mut slots {
-        slot.vm.run_for(&mut slot.clock, host.tail, host.tick);
-        let now = slot.clock.now();
-        slot.vm.finish_analyzer(now);
-    }
-
-    let reports: Vec<MigrationReport> = slots
-        .iter_mut()
-        .map(|s| s.report.take().expect("every tenant migrated"))
-        .collect();
-
-    let fleet_snapshot = fleet_rec.snapshot();
-    let histograms = merge_histograms(
-        reports
-            .iter()
-            .map(|r| &r.telemetry)
-            .chain(std::iter::once(&fleet_snapshot)),
-    );
-    let vms = slots
-        .iter()
-        .zip(&reports)
-        .map(|(slot, report)| {
+            // Fold this tenant now, not at drain end: its tail runs on its
+            // own clock, its row streams to the sink, its histograms merge
+            // into bounded state, and the heavy report can drop.
+            slot.vm.run_for(&mut slot.clock, host.tail, host.tick);
+            let tail_end = slot.clock.now();
+            slot.vm.finish_analyzer(tail_end);
             let meta = DigestMeta {
                 name: slot.tenant.name.clone(),
                 workload: slot.tenant.vm.workload.name.to_string(),
                 assisted: slot.tenant.vm.assisted,
                 seed: slot.tenant.vm.seed,
             };
-            FleetVmEntry {
-                digest: RunDigest::from_report(meta, report),
-                admitted_at_ns: slot
-                    .admitted_at
-                    .expect("every tenant was admitted")
-                    .saturating_since(drain_start)
-                    .as_nanos(),
-                ended_at_ns: slot
-                    .ended_at
-                    .expect("every tenant finished")
-                    .saturating_since(drain_start)
-                    .as_nanos(),
-                sla: slot.tenant.sla.cost(report),
+            let entry = FleetVmEntry {
+                digest: RunDigest::from_report(meta, &report),
+                admitted_at_ns: admitted.saturating_since(drain_start).as_nanos(),
+                ended_at_ns: ended.saturating_since(drain_start).as_nanos(),
+                detected_period_ns: slot.detected_period_ns,
+                detected_confidence: slot.detected_confidence,
+                detect_confident: slot.detect_confident,
+                declared_period_ns: slot.declared_period_ns,
+                window_hit: slot.window_hit,
+                sla: slot.tenant.sla.cost(&report),
+            };
+            merger.add(&report.telemetry);
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.row(&entry);
             }
-        })
+            slot.entry = Some(entry);
+            if keep_reports {
+                slot.report = Some(*report);
+            }
+        }
+    }
+
+    merger.add(&fleet_rec.snapshot());
+    let histograms = merger.finish();
+    let vms: Vec<FleetVmEntry> = slots
+        .iter_mut()
+        .map(|s| s.entry.take().expect("every tenant migrated"))
         .collect();
     let digest = FleetDigest::new(
         FleetMeta {
@@ -262,7 +358,15 @@ pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, M
         vms,
         histograms,
     );
-    Ok(FleetOutcome { digest, reports })
+    let reports: Vec<MigrationReport> = if keep_reports {
+        slots
+            .iter_mut()
+            .map(|s| s.report.take().expect("every tenant migrated"))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok((digest, reports))
 }
 
 /// Admits tenants until the concurrency cap, the min-rate feasibility
@@ -278,25 +382,59 @@ fn admit_all(
     fleet_rec: &Recorder,
 ) -> Result<(), MigrateError> {
     while !pending.is_empty() && uplink.active() < host.max_concurrent as usize {
-        // Pending guests are live: bring them up to fleet time so probes
-        // (and the eventual migration) see their true current state.
+        // Pending guests are live: bring them up to fleet time so the
+        // sensors (and the eventual migration) see their true current
+        // state.
         for &i in pending.iter() {
-            slots[i].catch_up(fleet_now, host.tick);
+            slots[i].catch_up(fleet_now, host.tick, host.sense_cadence);
         }
 
         // Candidate order. The static policies consider only the queue
-        // head — head-of-line blocking is the price of a fixed order.
-        // CycleAware ranks the whole queue by peak ratio (deepest in its
-        // write-quiet trough first; steady workloads sit at exactly 1.0
-        // and tie back to queue order) and may admit *around* an
-        // infeasible candidate: a dynamic policy is not queue-bound. The
-        // signal is application-assisted, one level up from the paper's
-        // JVMTI agent — the guest's mutator reports its current dirty
-        // rate, and the tenant's declared cycle (or its steady spec)
-        // gives the average to compare against.
+        // head — head-of-line blocking is the price of a fixed order. The
+        // cycle policies rank the whole queue by peak ratio (deepest in
+        // its write-quiet trough first) and may admit *around* an
+        // infeasible candidate: a dynamic policy is not queue-bound.
+        //
+        // CycleAware sees only what the observatory senses: the detected
+        // estimate's rate ratio at this instant, when the detector clears
+        // the confidence gate. Below the gate a tenant scores exactly 1.0
+        // — the same score every steady workload gets — so the ranking
+        // degrades to the working-set tie-break and the policy *is*
+        // smallest-working-set-first until the detector is sure.
+        //
+        // CycleDeclared is the oracle: the declared dirty-rate hint over
+        // the declared cycle average (the application-assisted route, one
+        // level up from the paper's JVMTI agent). It exists so detection
+        // accuracy has a ground-truth run to be measured against.
         let order: Vec<usize> = match policy {
             FleetPolicy::Fifo | FleetPolicy::SmallestWorkingSetFirst => vec![0],
             FleetPolicy::CycleAware => {
+                let mut ranked: Vec<(f64, u64, usize)> = pending
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &i)| {
+                        let slot = &slots[i];
+                        let now_ns = slot.clock.now().as_nanos();
+                        let score = match detect(&slot.sensor, now_ns) {
+                            Some(est) if est.confidence >= CONFIDENCE_GATE => {
+                                est.rate_ratio_at(now_ns)
+                            }
+                            _ => 1.0,
+                        };
+                        let heap = slot.vm.jvm().heap();
+                        let ws = heap.young_committed() + heap.old_used();
+                        (score, ws, pos)
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("rate ratios are finite")
+                        .then(a.1.cmp(&b.1))
+                        .then(a.2.cmp(&b.2))
+                });
+                ranked.into_iter().map(|(_, _, pos)| pos).collect()
+            }
+            FleetPolicy::CycleDeclared => {
                 let mut ranked: Vec<(f64, u64, usize)> = pending
                     .iter()
                     .enumerate()
@@ -344,6 +482,33 @@ fn admit_all(
         let idx = pending.remove(pos);
 
         let slot = &mut slots[idx];
+        // Freeze the observatory's view of this tenant at its admission
+        // instant: the estimate the digest scores, and — when a declared
+        // cycle exists as ground truth — whether a gate-clearing estimate
+        // landed the admission below the declared cycle-average dirty
+        // rate (a window hit). Every policy records this, so detected
+        // accuracy is comparable across policies.
+        let now_ns = slot.clock.now().as_nanos();
+        let estimate = detect(&slot.sensor, now_ns);
+        slot.detected_period_ns = estimate.as_ref().map_or(0, |e| e.period_ns);
+        slot.detected_confidence = estimate.as_ref().map_or(0.0, |e| e.confidence);
+        slot.detect_confident = estimate
+            .as_ref()
+            .is_some_and(|e| e.confidence >= CONFIDENCE_GATE);
+        slot.declared_period_ns = slot
+            .tenant
+            .phases
+            .as_ref()
+            .map_or(0, |ph| ph.iter().map(|p| p.duration.as_nanos()).sum());
+        let confident = slot.detect_confident;
+        slot.window_hit = match &slot.tenant.phases {
+            Some(phases) => {
+                let declared_now = slot.vm.dirty_rate_hint();
+                Some(confident && declared_now <= cycle_average_rate(phases))
+            }
+            None => None,
+        };
+
         let sub = uplink.subscribe(slot.tenant.weight, slot.tenant.min_rate);
         let engine = PrecopyEngine::new(slot.tenant.migration.clone());
         let session = engine.begin(&mut slot.vm, &mut slot.clock, Recorder::new())?;
@@ -362,6 +527,27 @@ fn admit_all(
                 ("slot", (idx as u64).into()),
                 ("active", (uplink.active() as u64).into()),
             ],
+        );
+        // First-class estimate telemetry: an instant per admission and a
+        // confidence gauge. Gauges and instants are excluded from the
+        // merged fleet histograms, so these stay digest-safe.
+        fleet_rec.instant(
+            fleet_now,
+            Subsystem::Fleet,
+            "workload_estimate",
+            vec![
+                ("slot", (idx as u64).into()),
+                ("period_ns", slot.detected_period_ns.into()),
+                ("confidence", slot.detected_confidence.into()),
+                ("confident", slot.detect_confident.into()),
+                ("declared_period_ns", slot.declared_period_ns.into()),
+            ],
+        );
+        fleet_rec.gauge(
+            fleet_now,
+            Subsystem::Fleet,
+            "detect_confidence",
+            slot.detected_confidence,
         );
         fleet_rec.hist_dur(
             Subsystem::Fleet,

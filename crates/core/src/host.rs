@@ -123,6 +123,16 @@ pub struct HostSpec {
     pub tail: SimDuration,
     /// Guest tick outside of migration.
     pub tick: SimDuration,
+    /// Dirty-rate sensing cadence: the scheduler samples every queued
+    /// tenant's page-write rate once per this much guest time. Must be a
+    /// multiple of `tick` so sensing never changes the guest's stepping.
+    pub sense_cadence: SimDuration,
+    /// Ring capacity of each tenant's dirty-rate sample series. The cycle
+    /// detector needs at least 16 retained samples and roughly two full
+    /// workload periods in the window to produce a confident estimate;
+    /// shrinking this below that deliberately blinds the observatory
+    /// (used by regression drills).
+    pub sense_capacity: usize,
 }
 
 impl HostSpec {
@@ -140,6 +150,8 @@ impl HostSpec {
             warmup: SimDuration::from_secs(20),
             tail: SimDuration::from_secs(5),
             tick: SimDuration::from_millis(2),
+            sense_cadence: SimDuration::from_millis(500),
+            sense_capacity: 256,
         }
     }
 

@@ -144,6 +144,16 @@ impl JavaVm {
         profile.alloc_rate + profile.old_write_rate
     }
 
+    /// Arms (or disarms) a one-shot workload phase shift without touching
+    /// any other fault lane. The fleet scheduler installs this at boot so
+    /// the shift's countdown spans warmup and queueing; the full
+    /// [`MigratableVm::install_faults`] at migration start re-installs the
+    /// identical value, which [`JvmProcess::set_phase_shift`] treats as a
+    /// no-op (a fired shift stays fired).
+    pub fn set_phase_shift(&mut self, shift: Option<simkit::PhaseShift>) {
+        self.jvm.set_phase_shift(shift);
+    }
+
     /// The throughput analyzer.
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer
@@ -237,6 +247,7 @@ impl MigratableVm for JavaVm {
         }
         self.jvm.set_agent_stall(plan.agent_stall);
         self.jvm.set_gc_overrun(plan.gc_overrun);
+        self.jvm.set_phase_shift(plan.phase_shift);
     }
 }
 

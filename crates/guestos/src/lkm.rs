@@ -518,6 +518,10 @@ impl Lkm {
             .counter_add(Subsystem::Lkm, "pages_walked", walked);
         self.telemetry
             .counter_add(Subsystem::Lkm, "bits_cleared", cleared);
+        // Walk sizes as an ordered series (cadence 0: update-driven) — the
+        // LKM-side feed of the workload observatory.
+        self.telemetry
+            .series_push(Subsystem::Lkm, "walk_pages", 0, 128, now, walked as f64);
         self.telemetry.record_span(
             now,
             Subsystem::Lkm,
@@ -648,6 +652,8 @@ impl Lkm {
         self.stats.peak_cache_bytes = self.stats.peak_cache_bytes.max(self.cache_bytes());
         self.telemetry
             .counter_add(Subsystem::Lkm, "pages_walked", walked);
+        self.telemetry
+            .series_push(Subsystem::Lkm, "walk_pages", 0, 128, now, walked as f64);
         self.telemetry.record_span(
             now,
             Subsystem::Lkm,

@@ -22,7 +22,9 @@ use guestos::app::GuestApp;
 use guestos::kernel::{GuestKernel, WriteOutcome};
 use guestos::process::Pid;
 use simkit::telemetry::SpanId;
-use simkit::{DetRng, GcOverrun, Recorder, SimDuration, SimTime, StallPoint, Subsystem};
+use simkit::{
+    DetRng, GcOverrun, PhaseShift, Recorder, SimDuration, SimTime, StallPoint, Subsystem,
+};
 use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
 
 /// Cost of one log-dirty (shadow paging) fault.
@@ -36,6 +38,14 @@ const ALLOC_SAFEPOINT: SimDuration = SimDuration::from_millis(2);
 
 /// JIT recompilation keeps touching the code cache at a trickle.
 const CODE_WRITE_RATE: f64 = 0.2e6;
+
+/// Cadence of the dirty-rate telemetry series: one sample per 500 ms of
+/// guest time, an exact multiple of every driver tick in the tree so the
+/// sample instants are identical whatever quantum the host steps with.
+const DIRTY_SAMPLE_CADENCE: SimDuration = SimDuration::from_millis(500);
+
+/// Ring capacity of the dirty-rate series (64 s of history at the cadence).
+const DIRTY_SAMPLE_CAPACITY: usize = 128;
 
 #[derive(Debug, Clone, Copy)]
 enum ExecState {
@@ -86,6 +96,10 @@ pub struct JvmProcess {
     hold_span: Option<SpanId>,
     hold_since: Option<SimTime>,
     gc_overrun: Option<GcOverrun>,
+    phase_shift: Option<PhaseShift>,
+    phase_shift_elapsed: SimDuration,
+    phase_shift_fired: bool,
+    dirty_sample: Option<(SimTime, u64)>,
 }
 
 impl JvmProcess {
@@ -148,6 +162,10 @@ impl JvmProcess {
             hold_span: None,
             hold_since: None,
             gc_overrun: None,
+            phase_shift: None,
+            phase_shift_elapsed: SimDuration::ZERO,
+            phase_shift_fired: false,
+            dirty_sample: None,
         }
     }
 
@@ -165,11 +183,28 @@ impl JvmProcess {
         self.gc_overrun = overrun;
     }
 
+    /// Arms a one-shot workload phase shift (fault injection): after
+    /// `shift.after` of mutator running time the phase clock jumps forward
+    /// by `shift.jump` in a single step. Re-installing an identical shift
+    /// is idempotent — a shift that already fired stays fired — so faults
+    /// can be (re)applied at migration start without double-firing.
+    pub fn set_phase_shift(&mut self, shift: Option<PhaseShift>) {
+        if self.phase_shift != shift {
+            self.phase_shift_elapsed = SimDuration::ZERO;
+            self.phase_shift_fired = false;
+        }
+        self.phase_shift = shift;
+    }
+
     /// Attaches a telemetry recorder: GC pauses become `Gc` spans,
     /// safepoint holds become `Jvm` spans, heap occupancy is sampled as
-    /// gauges and log-dirty faults are counted.
+    /// gauges, log-dirty faults are counted and the page-dirtying rate is
+    /// sampled into a bounded [`simkit::telemetry::SampleSeries`]. The
+    /// dirty-rate baseline resets here, so the series starts at the
+    /// attach instant (migration begin) in every run shape.
     pub fn attach_telemetry(&mut self, recorder: Recorder) {
         self.telemetry = recorder;
+        self.dirty_sample = None;
     }
 
     /// The heap (for profiling and tests).
@@ -319,6 +354,16 @@ impl JvmProcess {
     /// Runs the mutator for `slice`, returning the time actually consumed.
     fn run_mutator(&mut self, kernel: &mut GuestKernel, slice: SimDuration) -> SimDuration {
         self.mutator.advance_time(slice);
+        if let Some(shift) = self.phase_shift {
+            if !self.phase_shift_fired {
+                self.phase_shift_elapsed += slice;
+                if self.phase_shift_elapsed >= shift.after {
+                    // One-shot: the workload's phase clock jumps forward.
+                    self.mutator.advance_time(shift.jump);
+                    self.phase_shift_fired = true;
+                }
+            }
+        }
         let profile = self.mutator.profile();
         let secs = slice.as_secs_f64();
 
@@ -361,6 +406,27 @@ impl GuestApp for JvmProcess {
     }
 
     fn advance(&mut self, now: SimTime, dt: SimDuration, kernel: &mut GuestKernel) {
+        // Feed the dirty-rate series: a pure read of the write counters,
+        // sampled on a fixed guest-time cadence, so it cannot perturb the
+        // simulation however often the host steps us.
+        match self.dirty_sample {
+            None => self.dirty_sample = Some((now, self.stats.pages_written)),
+            Some((since, pages)) if now.saturating_since(since) >= DIRTY_SAMPLE_CADENCE => {
+                let window = now.saturating_since(since);
+                let rate = (self.stats.pages_written - pages) as f64 / window.as_secs_f64();
+                self.telemetry.series_push(
+                    Subsystem::Jvm,
+                    "dirty_rate_pps",
+                    DIRTY_SAMPLE_CADENCE.as_nanos(),
+                    DIRTY_SAMPLE_CAPACITY,
+                    now,
+                    rate,
+                );
+                self.dirty_sample = Some((now, self.stats.pages_written));
+            }
+            Some(_) => {}
+        }
+
         // Service the agent first: queries are answered promptly and an
         // enforced-GC request is picked up at the next quantum boundary.
         if let Some(agent) = &mut self.agent {

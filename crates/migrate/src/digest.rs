@@ -20,7 +20,8 @@ use crate::report::{MigrationReport, StopReason};
 use crate::MigrationOutcome;
 
 /// Schema identifier embedded in (and required of) every digest document.
-pub const DIGEST_SCHEMA: &str = "javmm-run-digest-v1";
+/// v2 added the `series` section (workload-observatory sample rings).
+pub const DIGEST_SCHEMA: &str = "javmm-run-digest-v2";
 
 /// Enforced-GC pauses longer than this are flagged as a `gc_overrun`
 /// finding (the paper's enforced minor GC completes well under a second).
@@ -57,6 +58,26 @@ pub struct HistDigest {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+}
+
+/// Summary of one sample series (a bounded telemetry ring) carried into
+/// the digest: the retained window's shape, not its raw samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesDigest {
+    /// Samples retained in the ring.
+    pub count: u64,
+    /// Samples evicted by the ring bound.
+    pub dropped: u64,
+    /// Sampling cadence in nanoseconds (0 for event-driven series).
+    pub cadence_ns: u64,
+    /// Mean of the retained samples.
+    pub mean: f64,
+    /// Most recent sample.
+    pub last: f64,
+    /// Median of the retained samples (nearest rank).
+    pub p50: f64,
+    /// 95th percentile of the retained samples.
+    pub p95: f64,
 }
 
 /// A rule-based anomaly surfaced by the digest analyzer.
@@ -117,6 +138,8 @@ pub struct RunDigest {
     pub scan_pages_per_cpu_sec: f64,
     /// Histogram summaries keyed `subsystem/name`, sorted.
     pub histograms: BTreeMap<String, HistDigest>,
+    /// Sample-series summaries keyed `subsystem/name`, sorted.
+    pub series: BTreeMap<String, SeriesDigest>,
     /// Counter values keyed `subsystem/name`, sorted.
     pub counters: BTreeMap<String, u64>,
     /// Rule-based anomalies, in fixed rule order.
@@ -164,6 +187,24 @@ impl RunDigest {
                 )
             })
             .collect();
+        let series = t
+            .series
+            .iter()
+            .map(|s| {
+                (
+                    format!("{}/{}", s.subsystem, s.name),
+                    SeriesDigest {
+                        count: s.series.len() as u64,
+                        dropped: s.series.dropped(),
+                        cadence_ns: s.series.cadence_ns(),
+                        mean: s.series.mean(),
+                        last: s.series.last().unwrap_or(f64::NAN),
+                        p50: s.series.quantile(0.50),
+                        p95: s.series.quantile(0.95),
+                    },
+                )
+            })
+            .collect();
         let counters = t
             .counters
             .iter()
@@ -197,6 +238,7 @@ impl RunDigest {
             scan_cpu_ns,
             scan_pages_per_cpu_sec,
             histograms,
+            series,
             counters,
             findings: Vec::new(),
             meta,
@@ -328,6 +370,27 @@ impl RunDigest {
             });
         }
         o.push_str("  },\n");
+        o.push_str("  \"series\": {\n");
+        for (i, (key, s)) in self.series.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    \"{}\": {{\"count\": {}, \"dropped\": {}, \"cadence_ns\": {}, \"mean\": {}, \"last\": {}, \"p50\": {}, \"p95\": {}}}",
+                escape_json(key),
+                s.count,
+                s.dropped,
+                s.cadence_ns,
+                fmt_f64(s.mean),
+                fmt_f64(s.last),
+                fmt_f64(s.p50),
+                fmt_f64(s.p95)
+            );
+            o.push_str(if i + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        o.push_str("  },\n");
         o.push_str("  \"counters\": {\n");
         for (i, (key, v)) in self.counters.iter().enumerate() {
             let _ = write!(o, "    \"{}\": {}", escape_json(key), v);
@@ -372,7 +435,9 @@ fn fmt_f64(x: f64) -> String {
 // ---------------------------------------------------------------------------
 
 /// Schema identifier of fleet digest documents.
-pub const FLEET_DIGEST_SCHEMA: &str = "javmm-fleet-digest-v1";
+/// v2 added per-VM detection fields and the drain-level `detect` block
+/// (workload-observatory accuracy accounting).
+pub const FLEET_DIGEST_SCHEMA: &str = "javmm-fleet-digest-v2";
 
 /// Identity of the host drain a fleet digest describes.
 #[derive(Debug, Clone)]
@@ -401,44 +466,148 @@ pub struct FleetVmEntry {
     /// When the migration completed, in nanoseconds since the drain
     /// started.
     pub ended_at_ns: u64,
+    /// Cycle period the workload observatory detected at admission, in
+    /// nanoseconds; 0 when the detector produced no estimate.
+    pub detected_period_ns: u64,
+    /// Detector confidence at admission (0 when no estimate).
+    pub detected_confidence: f64,
+    /// Whether the estimate cleared the scheduler's confidence gate.
+    pub detect_confident: bool,
+    /// The tenant's declared cycle period in nanoseconds; 0 for steady
+    /// tenants with no declared phases.
+    pub declared_period_ns: u64,
+    /// For tenants with a declared cycle: whether a gate-clearing estimate
+    /// placed this admission below the declared cycle-average dirty rate
+    /// (a window hit). `None` for steady tenants — they have no windows.
+    pub window_hit: Option<bool>,
     /// SLA cost of this migration.
     pub sla: crate::sla::SlaCost,
 }
 
-/// Merges raw per-VM histograms (keyed `subsystem/name`) into fleet-level
-/// summaries using [`Histogram::merge`] — statistically identical to
-/// having recorded every VM's samples into one fleet-wide recorder.
+/// Incremental histogram merger for streamed drains: telemetry snapshots
+/// fold in one at a time — as each VM's migration completes — and the
+/// merged state is a bounded set of log-bucket histograms, not the
+/// snapshots themselves. Bucket-wise merging is commutative, so folding in
+/// completion order produces the same summaries as folding in roster
+/// order ([`Histogram::merge`]).
 ///
 /// [`Histogram::merge`]: simkit::telemetry::hist::Histogram::merge
-pub fn merge_histograms<'a>(
-    telemetries: impl IntoIterator<Item = &'a simkit::telemetry::RunTelemetry>,
-) -> BTreeMap<String, HistDigest> {
-    let mut merged: BTreeMap<String, simkit::telemetry::hist::Histogram> = BTreeMap::new();
-    for t in telemetries {
+#[derive(Debug, Default)]
+pub struct HistMerger {
+    merged: BTreeMap<String, simkit::telemetry::hist::Histogram>,
+}
+
+impl HistMerger {
+    /// An empty merger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one telemetry snapshot's histograms into the merged state.
+    pub fn add(&mut self, t: &simkit::telemetry::RunTelemetry) {
         for h in &t.hists {
-            merged
+            self.merged
                 .entry(format!("{}/{}", h.subsystem, h.name))
                 .or_default()
                 .merge(&h.hist);
         }
     }
-    merged
-        .into_iter()
-        .map(|(key, h)| {
-            (
-                key,
-                HistDigest {
-                    count: h.count(),
-                    min: h.min(),
-                    max: h.max(),
-                    sum: h.sum(),
-                    p50: h.quantile(0.50),
-                    p95: h.quantile(0.95),
-                    p99: h.quantile(0.99),
-                },
-            )
-        })
-        .collect()
+
+    /// Finishes the merge into per-family digest summaries.
+    pub fn finish(self) -> BTreeMap<String, HistDigest> {
+        self.merged
+            .into_iter()
+            .map(|(key, h)| {
+                (
+                    key,
+                    HistDigest {
+                        count: h.count(),
+                        min: h.min(),
+                        max: h.max(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Merges raw per-VM histograms (keyed `subsystem/name`) into fleet-level
+/// summaries — statistically identical to having recorded every VM's
+/// samples into one fleet-wide recorder. Batch form of [`HistMerger`].
+pub fn merge_histograms<'a>(
+    telemetries: impl IntoIterator<Item = &'a simkit::telemetry::RunTelemetry>,
+) -> BTreeMap<String, HistDigest> {
+    let mut merger = HistMerger::new();
+    for t in telemetries {
+        merger.add(t);
+    }
+    merger.finish()
+}
+
+/// Drain-level detection-accuracy accounting: how well the workload
+/// observatory's online estimates tracked the declared ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDetect {
+    /// VMs admitted with a gate-clearing estimate.
+    pub estimated: u32,
+    /// VMs whose tenant declared a phase cycle (the only ground truth).
+    pub cyclic_declared: u32,
+    /// Cyclic VMs whose admission was a window hit.
+    pub window_hits: u32,
+    /// `window_hits / cyclic_declared`; 1.0 when no tenant is cyclic (an
+    /// all-steady roster has no windows to miss).
+    pub window_hit_rate: f64,
+    /// Mean detector confidence across all VMs (0 counts for no-estimate).
+    pub mean_confidence: f64,
+    /// Mean relative period accuracy `1 - |detected - declared| /
+    /// declared` over cyclic VMs with a gate-clearing estimate, clamped at
+    /// 0; 1.0 when no such VM exists.
+    pub period_accuracy: f64,
+}
+
+impl FleetDetect {
+    /// Folds the per-VM detection fields into drain-level accounting.
+    pub fn from_vms(vms: &[FleetVmEntry]) -> Self {
+        let estimated = vms.iter().filter(|v| v.detect_confident).count() as u32;
+        let cyclic: Vec<&FleetVmEntry> = vms.iter().filter(|v| v.declared_period_ns > 0).collect();
+        let window_hits = cyclic.iter().filter(|v| v.window_hit == Some(true)).count() as u32;
+        let window_hit_rate = if cyclic.is_empty() {
+            1.0
+        } else {
+            f64::from(window_hits) / cyclic.len() as f64
+        };
+        let mean_confidence = if vms.is_empty() {
+            0.0
+        } else {
+            vms.iter().map(|v| v.detected_confidence).sum::<f64>() / vms.len() as f64
+        };
+        let accuracies: Vec<f64> = cyclic
+            .iter()
+            .filter(|v| v.detect_confident)
+            .map(|v| {
+                let declared = v.declared_period_ns as f64;
+                let err = (v.detected_period_ns as f64 - declared).abs() / declared;
+                (1.0 - err).max(0.0)
+            })
+            .collect();
+        let period_accuracy = if accuracies.is_empty() {
+            1.0
+        } else {
+            accuracies.iter().sum::<f64>() / accuracies.len() as f64
+        };
+        Self {
+            estimated,
+            cyclic_declared: cyclic.len() as u32,
+            window_hits,
+            window_hit_rate,
+            mean_confidence,
+            period_accuracy,
+        }
+    }
 }
 
 /// The folded outcome of one whole-host drain: per-VM rows in roster
@@ -462,6 +631,8 @@ pub struct FleetDigest {
     pub degraded: u32,
     /// VMs whose live phase never reached the dirty threshold.
     pub nonconverged: u32,
+    /// Workload-observatory accuracy accounting.
+    pub detect: FleetDetect,
     /// Fleet-level histogram summaries merged across all VMs.
     pub histograms: BTreeMap<String, HistDigest>,
 }
@@ -489,6 +660,7 @@ impl FleetDigest {
             .iter()
             .filter(|v| v.digest.stop_reason != "dirty_threshold")
             .count() as u32;
+        let detect = FleetDetect::from_vms(&vms);
         Self {
             meta,
             vms,
@@ -498,6 +670,7 @@ impl FleetDigest {
             sla_total,
             degraded,
             nonconverged,
+            detect,
             histograms,
         }
     }
@@ -547,6 +720,30 @@ impl FleetDigest {
         let _ = writeln!(o, "    \"degraded\": {},", self.degraded);
         let _ = writeln!(o, "    \"nonconverged\": {}", self.nonconverged);
         o.push_str("  },\n");
+        o.push_str("  \"detect\": {\n");
+        let _ = writeln!(o, "    \"estimated\": {},", self.detect.estimated);
+        let _ = writeln!(
+            o,
+            "    \"cyclic_declared\": {},",
+            self.detect.cyclic_declared
+        );
+        let _ = writeln!(o, "    \"window_hits\": {},", self.detect.window_hits);
+        let _ = writeln!(
+            o,
+            "    \"window_hit_rate\": {},",
+            fmt_f64(self.detect.window_hit_rate)
+        );
+        let _ = writeln!(
+            o,
+            "    \"mean_confidence\": {},",
+            fmt_f64(self.detect.mean_confidence)
+        );
+        let _ = writeln!(
+            o,
+            "    \"period_accuracy\": {}",
+            fmt_f64(self.detect.period_accuracy)
+        );
+        o.push_str("  },\n");
         o.push_str("  \"vms\": [\n");
         for (i, v) in self.vms.iter().enumerate() {
             o.push_str("    {\n");
@@ -569,6 +766,22 @@ impl FleetDigest {
             );
             let _ = writeln!(o, "      \"iterations\": {},", v.digest.iterations);
             let _ = writeln!(o, "      \"total_bytes\": {},", v.digest.total_bytes);
+            let _ = writeln!(o, "      \"detected_period_ns\": {},", v.detected_period_ns);
+            let _ = writeln!(
+                o,
+                "      \"detected_confidence\": {},",
+                fmt_f64(v.detected_confidence)
+            );
+            let _ = writeln!(o, "      \"detect_confident\": {},", v.detect_confident);
+            let _ = writeln!(o, "      \"declared_period_ns\": {},", v.declared_period_ns);
+            let _ = writeln!(
+                o,
+                "      \"window_hit\": {},",
+                match v.window_hit {
+                    Some(h) => h.to_string(),
+                    None => "null".to_string(),
+                }
+            );
             let _ = writeln!(o, "      \"sla_cost\": {}", fmt_f64(v.sla.total()));
             o.push_str(if i + 1 < self.vms.len() {
                 "    },\n"
@@ -1064,10 +1277,23 @@ pub fn compare(old_json: &str, new_json: &str) -> Result<CompareReport, DigestEr
     } else {
         None
     };
-    let mut deltas = Vec::with_capacity(COMPARE_METRICS.len());
-    for m in COMPARE_METRICS {
-        let old_v = require_num(&old, m.path)?;
-        let new_v = require_num(&new, m.path)?;
+    let deltas = metric_deltas(&old, &new, COMPARE_METRICS)?;
+    Ok(CompareReport {
+        scenario: old_name.to_string(),
+        outcome_changed,
+        deltas,
+    })
+}
+
+fn metric_deltas(
+    old: &Json,
+    new: &Json,
+    metrics: &[CompareMetric],
+) -> Result<Vec<MetricDelta>, DigestError> {
+    let mut deltas = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let old_v = require_num(old, m.path)?;
+        let new_v = require_num(new, m.path)?;
         let change = if old_v != 0.0 {
             (new_v - old_v) / old_v
         } else if new_v == 0.0 {
@@ -1090,11 +1316,110 @@ pub fn compare(old_json: &str, new_json: &str) -> Result<CompareReport, DigestEr
             regressed,
         });
     }
+    Ok(deltas)
+}
+
+/// The fleet-digest regression gate. Alongside the drain's raw outcomes
+/// it gates the workload observatory's detection quality: a drop in
+/// `detect.window_hit_rate`, `detect.mean_confidence` or
+/// `detect.period_accuracy` is a regression even when eviction time holds.
+const FLEET_COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["totals", "eviction_ns"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["totals", "aggregate_downtime_ns"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["totals", "total_bytes"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["totals", "sla_cost"],
+        direction: Direction::HigherWorse,
+        threshold: 0.15,
+    },
+    CompareMetric {
+        path: &["totals", "degraded"],
+        direction: Direction::HigherWorse,
+        threshold: 0.0,
+    },
+    CompareMetric {
+        path: &["totals", "nonconverged"],
+        direction: Direction::HigherWorse,
+        threshold: 0.0,
+    },
+    CompareMetric {
+        path: &["detect", "window_hit_rate"],
+        direction: Direction::LowerWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["detect", "mean_confidence"],
+        direction: Direction::LowerWorse,
+        threshold: 0.25,
+    },
+    CompareMetric {
+        path: &["detect", "period_accuracy"],
+        direction: Direction::LowerWorse,
+        threshold: 0.10,
+    },
+];
+
+/// Compares two *fleet* digest documents (baseline, candidate) under the
+/// fleet regression gate. Errors if either document fails to parse, is
+/// not schema `javmm-fleet-digest-v2`, or the two digests describe
+/// different drains or policies.
+pub fn compare_fleet(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    let new = Json::parse(new_json)?;
+    for doc in [&old, &new] {
+        let schema = require_str(doc, &["schema"])?;
+        if schema != FLEET_DIGEST_SCHEMA {
+            return Err(DigestError::Schema(format!(
+                "unsupported schema '{schema}' (want '{FLEET_DIGEST_SCHEMA}')"
+            )));
+        }
+    }
+    let old_name = require_str(&old, &["drain", "name"])?;
+    let new_name = require_str(&new, &["drain", "name"])?;
+    if old_name != new_name {
+        return Err(DigestError::Schema(format!(
+            "digests describe different drains ('{old_name}' vs '{new_name}')"
+        )));
+    }
+    let old_policy = require_str(&old, &["drain", "policy"])?;
+    let new_policy = require_str(&new, &["drain", "policy"])?;
+    if old_policy != new_policy {
+        return Err(DigestError::Schema(format!(
+            "digests describe different policies ('{old_policy}' vs '{new_policy}')"
+        )));
+    }
+    let deltas = metric_deltas(&old, &new, FLEET_COMPARE_METRICS)?;
     Ok(CompareReport {
-        scenario: old_name.to_string(),
-        outcome_changed,
+        scenario: format!("{old_name}/{old_policy}"),
+        outcome_changed: None,
         deltas,
     })
+}
+
+/// Compares two digest documents of either schema, dispatching on the
+/// baseline's `schema` field: run digests go through [`compare`], fleet
+/// digests through [`compare_fleet`].
+pub fn compare_any(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    match require_str(&old, &["schema"])? {
+        s if s == DIGEST_SCHEMA => compare(old_json, new_json),
+        s if s == FLEET_DIGEST_SCHEMA => compare_fleet(old_json, new_json),
+        s => Err(DigestError::Schema(format!(
+            "unsupported schema '{s}' (want '{DIGEST_SCHEMA}' or '{FLEET_DIGEST_SCHEMA}')"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1104,7 +1429,7 @@ mod tests {
     fn digest_json(name: &str, scan_pps: f64, cpu_ns: u64, kind: &str) -> String {
         format!(
             r#"{{
-              "schema": "javmm-run-digest-v1",
+              "schema": "javmm-run-digest-v2",
               "scenario": {{"name": "{name}", "workload": "derby", "assisted": true, "seed": 3}},
               "outcome": {{"kind": "{kind}", "fault": "none", "stop_reason": "dirty_threshold"}},
               "totals": {{"total_duration_ns": 1000, "total_bytes": 2000, "cpu_time_ns": {cpu_ns}, "iterations": 5, "stragglers": 0}},
@@ -1162,12 +1487,63 @@ mod tests {
         assert_eq!(report.regressions()[0], "outcome.kind");
     }
 
+    fn fleet_json(policy: &str, eviction_ns: u64, hit_rate: f64) -> String {
+        format!(
+            r#"{{
+              "schema": "javmm-fleet-digest-v2",
+              "drain": {{"name": "drain4", "policy": "{policy}", "seed": 7, "uplink_bytes_per_sec": 125000000, "max_concurrent": 3}},
+              "totals": {{"eviction_ns": {eviction_ns}, "aggregate_downtime_ns": 900, "total_bytes": 5000, "sla_cost": 10.0, "sla_downtime": 4.0, "sla_brownout": 3.0, "sla_penalty": 3.0, "degraded": 0, "nonconverged": 0}},
+              "detect": {{"estimated": 2, "cyclic_declared": 2, "window_hits": 2, "window_hit_rate": {hit_rate}, "mean_confidence": 0.6, "period_accuracy": 0.95}},
+              "vms": [],
+              "histograms": {{}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn fleet_compare_gates_detection_quality() {
+        let old = fleet_json("cycle", 1000, 1.0);
+        let same = compare_fleet(&old, &old).unwrap();
+        assert!(!same.has_regression());
+        // Halving the window-hit rate trips only the detect gate.
+        let worse = fleet_json("cycle", 1000, 0.5);
+        let report = compare_fleet(&old, &worse).unwrap();
+        assert_eq!(report.regressions(), vec!["detect.window_hit_rate"]);
+        assert!(report.render().contains("detect.window_hit_rate"));
+        // Mismatched policies are an error, not a comparison.
+        let fifo = fleet_json("fifo", 1000, 1.0);
+        assert!(matches!(
+            compare_fleet(&old, &fifo),
+            Err(DigestError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn compare_any_dispatches_on_schema() {
+        let run = digest_json("derby", 4e9, 500, "completed");
+        assert!(!compare_any(&run, &run).unwrap().has_regression());
+        let fleet = fleet_json("cycle", 1000, 1.0);
+        assert!(!compare_any(&fleet, &fleet).unwrap().has_regression());
+        assert!(matches!(
+            compare_any(&run, &fleet),
+            Err(DigestError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_detect_accounting_handles_steady_rosters() {
+        let detect = FleetDetect::from_vms(&[]);
+        assert_eq!(detect.cyclic_declared, 0);
+        assert_eq!(detect.window_hit_rate, 1.0);
+        assert_eq!(detect.period_accuracy, 1.0);
+    }
+
     #[test]
     fn mismatched_scenarios_and_schemas_are_errors() {
         let a = digest_json("derby", 4e9, 500, "completed");
         let b = digest_json("crypto", 4e9, 500, "completed");
         assert!(matches!(compare(&a, &b), Err(DigestError::Schema(_))));
-        let bad = a.replace("javmm-run-digest-v1", "javmm-run-digest-v0");
+        let bad = a.replace("javmm-run-digest-v2", "javmm-run-digest-v0");
         assert!(matches!(compare(&a, &bad), Err(DigestError::Schema(_))));
         assert!(matches!(
             compare("not json", &a),

@@ -423,6 +423,17 @@ impl MigrationSession {
                 "iteration_dirty_pages",
                 stats.pages_dirtied_during,
             );
+            // Per-iteration dirty counts as an ordered series (cadence 0:
+            // iteration-driven, not clocked) — the engine-side feed of the
+            // workload observatory.
+            self.state.recorder.series_push(
+                Subsystem::Engine,
+                "iteration_dirty_pages",
+                0,
+                128,
+                clock.now(),
+                stats.pages_dirtied_during as f64,
+            );
             self.iterations.push(stats);
 
             if let Some((fu, stragglers)) = self.state.ready {

@@ -116,6 +116,20 @@ pub struct LinkDegrade {
     pub factor: f64,
 }
 
+/// The application's workload cycle jumps phase mid-run: after `after`
+/// of mutator running time, the phase clock is advanced by `jump` in one
+/// step. Models a tenant whose periodic behavior shifts (a batch job
+/// rescheduled, a cache flushed) — exactly the adversary an online cycle
+/// detector must notice and distrust instead of scheduling on a stale
+/// estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseShift {
+    /// Mutator running time before the shift fires.
+    pub after: SimDuration,
+    /// How far the phase clock jumps when it does.
+    pub jump: SimDuration,
+}
+
 /// A complete, seeded fault plan for one migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -132,6 +146,8 @@ pub struct FaultPlan {
     pub gc_overrun: Option<GcOverrun>,
     /// Degrade the migration link mid-iteration.
     pub link: Option<LinkDegrade>,
+    /// Jump the workload's phase clock mid-run.
+    pub phase_shift: Option<PhaseShift>,
 }
 
 impl FaultPlan {
@@ -145,6 +161,7 @@ impl FaultPlan {
             agent_stall: None,
             gc_overrun: None,
             link: None,
+            phase_shift: None,
         }
     }
 
@@ -155,6 +172,7 @@ impl FaultPlan {
             || self.agent_stall.is_some()
             || self.gc_overrun.is_some()
             || self.link.is_some()
+            || self.phase_shift.is_some()
     }
 
     /// Returns whether all probabilities are well-formed.

@@ -31,7 +31,9 @@ pub mod trace;
 pub mod units;
 
 pub use clock::SimClock;
-pub use faults::{FaultKind, FaultPlan, GcOverrun, LaneFaults, LinkDegrade, StallPoint};
+pub use faults::{
+    FaultKind, FaultPlan, GcOverrun, LaneFaults, LinkDegrade, PhaseShift, StallPoint,
+};
 pub use rng::DetRng;
 pub use telemetry::{Recorder, RunTelemetry, Subsystem};
 pub use time::{SimDuration, SimTime};

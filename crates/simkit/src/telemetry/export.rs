@@ -74,8 +74,8 @@ fn fmt_us(ns: u64) -> String {
 
 /// Serialises the telemetry as JSON Lines: one record per line — events in
 /// sequence order, then spans by `(start, id)`, then counters, then gauge
-/// summaries, then histogram summaries. Byte-identical across same-seed
-/// runs.
+/// summaries, then histogram summaries, then bounded-series summaries.
+/// Byte-identical across same-seed runs.
 pub fn jsonl_to_string(t: &RunTelemetry) -> String {
     let mut out = String::new();
     for e in &t.events {
@@ -147,6 +147,22 @@ pub fn jsonl_to_string(t: &RunTelemetry) -> String {
             h.hist.quantile(0.50),
             h.hist.quantile(0.95),
             h.hist.quantile(0.99),
+        );
+    }
+    for s in &t.series {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"series\",\"sub\":\"{}\",\"name\":\"{}\",\"count\":{},\"dropped\":{},\"cadence_ns\":{},\"first_ns\":{},\"mean\":{},\"last\":{},\"p50\":{},\"p95\":{}}}",
+            s.subsystem,
+            escape_json(s.name),
+            s.series.len(),
+            s.series.dropped(),
+            s.series.cadence_ns(),
+            s.series.first_ns(),
+            fmt_f64(s.series.mean()),
+            fmt_f64(s.series.last().unwrap_or(f64::NAN)),
+            fmt_f64(s.series.quantile(0.50)),
+            fmt_f64(s.series.quantile(0.95)),
         );
     }
     out
@@ -240,9 +256,10 @@ pub fn write_chrome_trace<W: Write>(t: &RunTelemetry, w: &mut W) -> io::Result<(
 /// Serialises the metrics registry in Prometheus text exposition format,
 /// for human `diff`ing across runs: counters as `javmm_counter`, gauges as
 /// `javmm_gauge` (last value), histograms as `javmm_hist_count/_sum`,
-/// quantile-labelled `javmm_hist` samples and `javmm_hist_max`. Ordering
-/// follows the registry's `(subsystem, name)` sort, so output is
-/// byte-deterministic.
+/// quantile-labelled `javmm_hist` samples and `javmm_hist_max`, and
+/// bounded series as `javmm_series_count/_mean/_last` plus
+/// quantile-labelled `javmm_series` samples. Ordering follows the
+/// registry's `(subsystem, name)` sort, so output is byte-deterministic.
 pub fn prometheus_to_string(t: &RunTelemetry) -> String {
     let mut out = String::new();
     out.push_str("# TYPE javmm_counter counter\n");
@@ -278,6 +295,28 @@ pub fn prometheus_to_string(t: &RunTelemetry) -> String {
             );
         }
         let _ = writeln!(out, "javmm_hist_max{{{base}}} {}", h.hist.max());
+    }
+    out.push_str("# TYPE javmm_series gauge\n");
+    for s in &t.series {
+        let base = format!("sub=\"{}\",name=\"{}\"", s.subsystem, escape_json(s.name));
+        let _ = writeln!(out, "javmm_series_count{{{base}}} {}", s.series.len());
+        let _ = writeln!(
+            out,
+            "javmm_series_mean{{{base}}} {}",
+            fmt_f64(s.series.mean())
+        );
+        let _ = writeln!(
+            out,
+            "javmm_series_last{{{base}}} {}",
+            fmt_f64(s.series.last().unwrap_or(f64::NAN)),
+        );
+        for (label, q) in [("0.5", 0.50), ("0.95", 0.95)] {
+            let _ = writeln!(
+                out,
+                "javmm_series{{{base},quantile=\"{label}\"}} {}",
+                fmt_f64(s.series.quantile(q)),
+            );
+        }
     }
     out
 }
@@ -397,5 +436,63 @@ mod tests {
         assert!(text.contains("javmm_hist_sum{sub=\"engine\",name=\"iteration_pages_sent\"} 600"));
         assert!(text.contains("quantile=\"0.99\""));
         assert!(text.contains("javmm_hist_max{sub=\"engine\",name=\"iteration_pages_sent\"}"));
+        assert!(text.contains("# TYPE javmm_series gauge"));
+    }
+
+    fn sample_with_series() -> RunTelemetry {
+        let rec = Recorder::new();
+        for (i, v) in [40.0, 10.0, 30.0, 20.0].iter().enumerate() {
+            rec.series_push(
+                Subsystem::Jvm,
+                "dirty_rate_bps",
+                500_000_000,
+                3,
+                SimTime::from_nanos(i as u64 * 500_000_000),
+                *v,
+            );
+        }
+        rec.series_push(
+            Subsystem::Engine,
+            "iteration_dirty_pages",
+            0,
+            8,
+            SimTime::from_nanos(1),
+            77.0,
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_appends_series_lines_after_hists() {
+        let text = jsonl_to_string(&sample_with_series());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Engine sorts before Jvm; the single-sample series reports its
+        // one observation as every quantile.
+        assert!(lines[0].contains("\"type\":\"series\""));
+        assert!(lines[0].contains("\"sub\":\"engine\""));
+        assert!(lines[0].contains("\"count\":1"));
+        assert!(lines[0].contains("\"p50\":77") && lines[0].contains("\"p95\":77"));
+        // The Jvm ring (capacity 3) dropped the first sample; summaries
+        // are over the sorted retained window [10,20,30].
+        assert!(lines[1].contains("\"sub\":\"jvm\""));
+        assert!(lines[1].contains("\"count\":3") && lines[1].contains("\"dropped\":1"));
+        assert!(lines[1].contains("\"cadence_ns\":500000000"));
+        assert!(lines[1].contains("\"last\":20") && lines[1].contains("\"p50\":20"));
+        assert!(lines[1].contains("\"p95\":30"));
+    }
+
+    #[test]
+    fn prometheus_exports_series_family() {
+        let text = prometheus_to_string(&sample_with_series());
+        assert!(text.contains("javmm_series_count{sub=\"jvm\",name=\"dirty_rate_bps\"} 3"));
+        assert!(text.contains("javmm_series_mean{sub=\"jvm\",name=\"dirty_rate_bps\"} 20"));
+        assert!(text.contains("javmm_series_last{sub=\"jvm\",name=\"dirty_rate_bps\"} 20"));
+        assert!(
+            text.contains("javmm_series{sub=\"jvm\",name=\"dirty_rate_bps\",quantile=\"0.95\"} 30")
+        );
+        assert!(
+            text.contains("javmm_series_count{sub=\"engine\",name=\"iteration_dirty_pages\"} 1")
+        );
     }
 }

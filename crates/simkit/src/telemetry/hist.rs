@@ -118,10 +118,14 @@ impl Histogram {
     ///
     /// Walks cumulative bucket counts to the sample of rank
     /// `ceil(q * count)` and returns that bucket's upper bound, clamped
-    /// into `[min, max]` so exact extremes are reported exactly. Returns
-    /// 0 for an empty histogram. Relative error is bounded by the bucket
+    /// into `[min, max]` so exact extremes are reported exactly — in
+    /// particular, a single-sample histogram reports that sample for
+    /// every quantile, matching
+    /// [`crate::stats::percentile_nearest_rank`]'s contract. Returns 0
+    /// for an empty histogram. Relative error is bounded by the bucket
     /// width: at most 1/16 above the true sample.
     pub fn quantile(&self, q: f64) -> u64 {
+        debug_assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
         if self.count == 0 {
             return 0;
         }
@@ -219,6 +223,17 @@ mod tests {
         let exact = 9_900 * 37;
         assert!(p99 >= exact, "quantile below true rank value");
         assert!((p99 as f64) <= exact as f64 * 1.0626, "error above 1/16");
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile_of_itself() {
+        // A lone sample in a log bucket must not be reported as the
+        // bucket's upper bound: the [min, max] clamp pins it exactly.
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_003);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use super::hist::Histogram;
+use super::series::{SampleSeries, SeriesValue};
 use super::Subsystem;
 
 /// Final value of one monotone counter.
@@ -52,14 +53,15 @@ pub struct HistogramValue {
     pub hist: Histogram,
 }
 
-/// The registry: monotone counters, last-value gauges and log-bucketed
-/// histograms, keyed by `(subsystem, name)`. BTreeMap keys give
-/// deterministic export order.
+/// The registry: monotone counters, last-value gauges, log-bucketed
+/// histograms and bounded sample rings, keyed by `(subsystem, name)`.
+/// BTreeMap keys give deterministic export order.
 #[derive(Debug, Default)]
 pub(crate) struct MetricsRegistry {
     counters: BTreeMap<(Subsystem, &'static str), u64>,
     gauges: BTreeMap<(Subsystem, &'static str), GaugeState>,
     hists: BTreeMap<(Subsystem, &'static str), Histogram>,
+    series: BTreeMap<(Subsystem, &'static str), SampleSeries>,
 }
 
 impl MetricsRegistry {
@@ -89,6 +91,25 @@ impl MetricsRegistry {
             .entry((subsystem, name))
             .or_default()
             .record(value);
+    }
+
+    /// Pushes one sample into a bounded series ring, creating the ring
+    /// with `(cadence_ns, capacity)` on first touch. Later pushes keep the
+    /// creation-time geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn series_push(
+        &mut self,
+        subsystem: Subsystem,
+        name: &'static str,
+        cadence_ns: u64,
+        capacity: usize,
+        at_ns: u64,
+        value: f64,
+    ) {
+        self.series
+            .entry((subsystem, name))
+            .or_insert_with(|| SampleSeries::new(cadence_ns, capacity))
+            .push(at_ns, value);
     }
 
     pub(crate) fn counter_values(&self) -> Vec<CounterValue> {
@@ -126,6 +147,17 @@ impl MetricsRegistry {
             })
             .collect()
     }
+
+    pub(crate) fn series_values(&self) -> Vec<SeriesValue> {
+        self.series
+            .iter()
+            .map(|(&(subsystem, name), series)| SeriesValue {
+                subsystem,
+                name,
+                series: series.clone(),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +188,25 @@ mod tests {
         assert_eq!(g.min, 2.0);
         assert_eq!(g.max, 9.0);
         assert_eq!(g.samples, 4);
+    }
+
+    #[test]
+    fn series_ring_keeps_creation_geometry_and_sorts() {
+        let mut reg = MetricsRegistry::default();
+        reg.series_push(Subsystem::Jvm, "dirty_rate_bps", 500, 2, 0, 1.0);
+        reg.series_push(Subsystem::Engine, "iteration_dirty_pages", 0, 4, 10, 9.0);
+        // Geometry args after creation are ignored; ring capacity stays 2.
+        reg.series_push(Subsystem::Jvm, "dirty_rate_bps", 999, 99, 500, 2.0);
+        reg.series_push(Subsystem::Jvm, "dirty_rate_bps", 999, 99, 1000, 3.0);
+        let values = reg.series_values();
+        assert_eq!(values.len(), 2);
+        // Engine < Jvm in the Subsystem ordering.
+        assert_eq!(values[0].name, "iteration_dirty_pages");
+        let jvm = &values[1].series;
+        assert_eq!(jvm.capacity(), 2);
+        assert_eq!(jvm.cadence_ns(), 500);
+        assert_eq!(jvm.values().collect::<Vec<_>>(), vec![2.0, 3.0]);
+        assert_eq!(jvm.dropped(), 1);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!   minor GCs, safepoint holds and stop-and-copy
 //!   ([`Recorder::begin_span`] / [`Recorder::end_span`], or
 //!   [`Recorder::record_span`] for costs computed after the fact);
-//! - **metrics** — monotonically accumulating counters and last-value
-//!   gauges ([`Recorder::counter_add`], [`Recorder::gauge`]).
+//! - **metrics** — monotonically accumulating counters, last-value
+//!   gauges and bounded sample rings ([`Recorder::counter_add`],
+//!   [`Recorder::gauge`], [`Recorder::series_push`]).
 //!
 //! A [`Recorder`] is a cheap clonable handle; [`Recorder::disabled`] yields
 //! a no-op recorder so instrumented code pays a single branch when
@@ -31,11 +32,13 @@ pub mod export;
 pub mod hist;
 pub mod metrics;
 pub mod recorder;
+pub mod series;
 pub mod span;
 
 pub use hist::Histogram;
 pub use metrics::{CounterValue, GaugeValue, HistogramValue};
 pub use recorder::{Event, EventKind, Recorder, RunTelemetry, Value};
+pub use series::{SampleSeries, SeriesValue};
 pub use span::{SpanId, SpanRecord, SpanTableRow};
 
 /// The layer of the stack an event originates from.

@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 use crate::time::{SimDuration, SimTime};
 
 use super::metrics::{CounterValue, GaugeValue, HistogramValue, MetricsRegistry};
+use super::series::SeriesValue;
 use super::span::{build_span_table, SpanId, SpanRecord, SpanTableRow};
 use super::Subsystem;
 
@@ -276,6 +277,27 @@ impl Recorder {
         self.hist(subsystem, name, dur.as_nanos());
     }
 
+    /// Pushes one sample into a bounded series ring (registry only — like
+    /// [`Recorder::hist`], no per-sample event, so sensing hot paths in
+    /// the engine, JVM and LKM stay cheap). The ring is created with
+    /// `(cadence_ns, capacity)` on first touch; pass `cadence_ns == 0`
+    /// for irregular per-event series.
+    pub fn series_push(
+        &self,
+        subsystem: Subsystem,
+        name: &'static str,
+        cadence_ns: u64,
+        capacity: usize,
+        at: SimTime,
+        value: f64,
+    ) {
+        self.with_inner(|inner| {
+            inner
+                .metrics
+                .series_push(subsystem, name, cadence_ns, capacity, at.as_nanos(), value)
+        })
+    }
+
     /// Samples a gauge: records a gauge event and updates the registry.
     pub fn gauge(&self, at: SimTime, subsystem: Subsystem, name: &'static str, value: f64) {
         self.with_inner(|inner| {
@@ -332,6 +354,7 @@ impl Recorder {
                     counters: inner.metrics.counter_values(),
                     gauges: inner.metrics.gauge_values(),
                     hists: inner.metrics.hist_values(),
+                    series: inner.metrics.series_values(),
                 }
             }
             None => RunTelemetry::default(),
@@ -354,6 +377,8 @@ pub struct RunTelemetry {
     pub gauges: Vec<GaugeValue>,
     /// Histogram snapshots, sorted by `(subsystem, name)`.
     pub hists: Vec<HistogramValue>,
+    /// Bounded series snapshots, sorted by `(subsystem, name)`.
+    pub series: Vec<SeriesValue>,
 }
 
 impl RunTelemetry {
@@ -399,6 +424,13 @@ impl RunTelemetry {
         self.hists
             .iter()
             .find(|h| h.subsystem == subsystem && h.name == name)
+    }
+
+    /// Snapshot of a bounded series, if it ever received a sample.
+    pub fn series(&self, subsystem: Subsystem, name: &str) -> Option<&SeriesValue> {
+        self.series
+            .iter()
+            .find(|s| s.subsystem == subsystem && s.name == name)
     }
 }
 
@@ -506,6 +538,32 @@ mod tests {
         let g = snap.hist(Subsystem::Gc, "enforced_gc_pause_ns").unwrap();
         assert_eq!(g.hist.max(), 170_000_000);
         assert!(snap.hist(Subsystem::Net, "missing").is_none());
+    }
+
+    #[test]
+    fn series_samples_land_in_the_registry_not_the_event_log() {
+        let rec = Recorder::new();
+        rec.series_push(Subsystem::Jvm, "dirty_rate_bps", 500_000_000, 4, t(1), 10.0);
+        rec.series_push(
+            Subsystem::Jvm,
+            "dirty_rate_bps",
+            500_000_000,
+            4,
+            t(501),
+            30.0,
+        );
+        let snap = rec.snapshot();
+        assert!(snap.events.is_empty(), "series must not emit events");
+        let s = &snap
+            .series(Subsystem::Jvm, "dirty_rate_bps")
+            .unwrap()
+            .series;
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some(30.0));
+        assert!(snap.series(Subsystem::Engine, "missing").is_none());
+        let none = Recorder::disabled();
+        none.series_push(Subsystem::Jvm, "dirty_rate_bps", 0, 4, t(1), 1.0);
+        assert!(none.snapshot().series.is_empty());
     }
 
     #[test]

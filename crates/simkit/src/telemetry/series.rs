@@ -1,0 +1,242 @@
+//! Bounded per-instrument sample rings: the observatory's raw material.
+//!
+//! A [`SampleSeries`] is a fixed-capacity ring of `f64` samples kept in
+//! arrival order. Hot paths push one sample per sensing interval (or per
+//! event, for irregular series) straight into the metrics registry — no
+//! per-sample event records, so the cost model of [`super::recorder`]'s
+//! counters and histograms carries over unchanged. The fleet scheduler's
+//! cycle detector consumes uniform-cadence rings; the engine and LKM feed
+//! irregular per-event rings (`cadence_ns == 0`) that exist purely for
+//! post-hoc inspection in the JSONL / Prometheus exports and the digest.
+//!
+//! Determinism: a series is a pure function of the pushed `(time, value)`
+//! sequence. Eviction is strictly oldest-first, summaries sort a copy of
+//! the retained window, and no wall clock or RNG is involved — so two
+//! same-seed runs export byte-identical series records.
+
+use std::collections::VecDeque;
+
+use crate::stats::percentile_nearest_rank;
+
+use super::Subsystem;
+
+/// A bounded ring of time-ordered `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::telemetry::series::SampleSeries;
+///
+/// let mut s = SampleSeries::new(1_000, 4);
+/// for (i, v) in [5.0, 1.0, 9.0, 3.0, 7.0].iter().enumerate() {
+///     s.push(i as u64 * 1_000, *v);
+/// }
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.dropped(), 1); // the 5.0 fell off the front
+/// assert_eq!(s.last(), Some(7.0));
+/// assert_eq!(s.quantile(0.5), 3.0); // sorted copy: [1,3,7,9] -> rank 2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSeries {
+    cadence_ns: u64,
+    capacity: usize,
+    first_ns: u64,
+    pushed: u64,
+    values: VecDeque<f64>,
+}
+
+impl SampleSeries {
+    /// Creates an empty series.
+    ///
+    /// `cadence_ns` is the nominal spacing between samples (0 for
+    /// irregular per-event series); `capacity` bounds the retained window
+    /// and must be non-zero.
+    pub fn new(cadence_ns: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "series capacity must be positive");
+        Self {
+            cadence_ns,
+            capacity,
+            first_ns: 0,
+            pushed: 0,
+            values: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one sample taken at simulated instant `at_ns`, evicting the
+    /// oldest retained sample when the ring is full.
+    pub fn push(&mut self, at_ns: u64, value: f64) {
+        if self.pushed == 0 {
+            self.first_ns = at_ns;
+        }
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(value);
+        self.pushed += 1;
+    }
+
+    /// Nominal sample spacing in nanoseconds (0: irregular).
+    pub fn cadence_ns(&self) -> u64 {
+        self.cadence_ns
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Instant of the very first pushed sample (0 when empty).
+    pub fn first_ns(&self) -> u64 {
+        self.first_ns
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no sample was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total samples ever pushed (retained + evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Samples evicted off the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.values.len() as u64
+    }
+
+    /// Instant of the oldest *retained* sample, assuming uniform cadence.
+    ///
+    /// For irregular series (`cadence_ns == 0`) this collapses to
+    /// [`SampleSeries::first_ns`].
+    pub fn start_ns(&self) -> u64 {
+        self.first_ns + self.dropped() * self.cadence_ns
+    }
+
+    /// The retained samples, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<f64> {
+        self.values.back().copied()
+    }
+
+    /// Mean of the retained window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Nearest-rank quantile of the retained window, `q` in `(0, 1]`.
+    ///
+    /// The ring is in *time* order, but [`percentile_nearest_rank`]
+    /// requires an ascending-*sorted* sample — passing the raw window
+    /// would return whatever value happens to sit at the rank position,
+    /// which is only coincidentally right for single-sample series. This
+    /// sorts a copy first, so a single sample is every quantile of itself
+    /// and the empty series propagates `NAN` (exported as `null`) instead
+    /// of a fake observation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "series quantile must be in (0, 1]");
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted: Vec<f64> = self.values.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("series samples are finite"));
+        percentile_nearest_rank(&sorted, q * 100.0)
+    }
+}
+
+/// Snapshot of one named series, as exposed by
+/// [`super::RunTelemetry::series`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesValue {
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Series name, e.g. `"dirty_rate_bps"`.
+    pub name: &'static str,
+    /// The retained sample window.
+    pub series: SampleSeries,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let mut s = SampleSeries::new(500, 3);
+        for (t, v) in [(0u64, 1.0), (500, 2.0), (1000, 3.0), (1500, 4.0)] {
+            s.push(t, v);
+        }
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.pushed(), 4);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.first_ns(), 0);
+        assert_eq!(s.start_ns(), 500, "oldest retained sample moved up");
+    }
+
+    #[test]
+    fn empty_series_summaries_are_inert() {
+        let s = SampleSeries::new(0, 8);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.last(), None);
+        assert!(s.quantile(0.5).is_nan(), "no samples -> NaN, not 0");
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile_of_itself() {
+        let mut s = SampleSeries::new(0, 8);
+        s.push(42, 7.5);
+        assert_eq!(s.quantile(0.01), 7.5);
+        assert_eq!(s.quantile(0.5), 7.5);
+        assert_eq!(s.quantile(0.95), 7.5);
+        assert_eq!(s.quantile(1.0), 7.5);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.last(), Some(7.5));
+    }
+
+    #[test]
+    fn quantile_sorts_the_time_ordered_window() {
+        let mut s = SampleSeries::new(0, 8);
+        // Descending arrival order: the raw ring is maximally unsorted.
+        for (i, v) in [9.0, 7.0, 5.0, 3.0, 1.0].iter().enumerate() {
+            s.push(i as u64, *v);
+        }
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(0.95), 9.0);
+        assert_eq!(s.quantile(1.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "series quantile must be in (0, 1]")]
+    fn quantile_rejects_out_of_range_q() {
+        let mut s = SampleSeries::new(0, 2);
+        s.push(0, 1.0);
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn identical_push_sequences_are_identical() {
+        let feed = |s: &mut SampleSeries| {
+            for i in 0..10u64 {
+                s.push(i * 250, (i % 3) as f64);
+            }
+        };
+        let mut a = SampleSeries::new(250, 4);
+        let mut b = SampleSeries::new(250, 4);
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a, b);
+    }
+}
