@@ -6,7 +6,7 @@
 //!   bench digest [--out-dir DIR] [--scan-slowdown FACTOR]
 //!   bench compare <old.json> <new.json>
 //!   bench fleet [--roster NAME] [--seed N] [--out PATH] [--policy NAME]
-//!               [--digest-dir DIR] [--series-cap N]
+//!               [--digest-dir DIR] [--series-cap N] [--scan-workers N]
 //!
 //! `bench fleet` drains one multi-VM roster (`solo`, `drain4`, `drain12`
 //! or `adversarial`; default `drain12`) under every fleet scheduling
@@ -18,8 +18,11 @@
 //! writes each policy's full fleet digest (for baseline gating via
 //! `bench compare`, which dispatches on the digest's schema);
 //! `--series-cap` shrinks the observatory's sample ring — capping it
-//! below 16 blinds the detector, the seeded regression CI drills. The
-//! document is deterministic for a fixed roster + seed.
+//! below 16 blinds the detector, the seeded regression CI drills.
+//! `--scan-workers N` runs every per-VM migration session on an N-worker
+//! scan pool — the sharded pipeline is bit-identical to the serial one,
+//! so the document does not change, which `tests/parallel_determinism.rs`
+//! locks. The document is deterministic for a fixed roster + seed.
 //!
 //! `bench digest` runs the fixed roster of recorded migrations and writes
 //! one `DIGEST_<scenario>.json` (plus a `.prom` Prometheus exposition) per
@@ -27,36 +30,95 @@
 //! scales the engine's per-page scan CPU cost, seeding a deliberate
 //! scan-throughput regression for gate testing. `bench compare` diffs two
 //! digests under the built-in per-metric thresholds and exits 1 on
-//! regression (naming the metric) or 2 on a parse/schema error.
+//! regression (naming the metric) or 2 on a parse/schema error. It also
+//! understands `BENCH_precopy.json` v2 documents, gating the harness's
+//! parallel efficiency (`JAVMM_SERIALIZE_POOL=1` seeds that drill).
 //!
-//! Two measurements, both taken in the same run so they share a machine
-//! and a build:
+//! The default (no subcommand) run writes `BENCH_precopy.json` (schema
+//! `javmm-bench-precopy-v2`; override the path with `--out`), all
+//! measurements taken in the same run so they share a machine and a build:
 //!
 //! 1. **Scan microbenchmark** — classifies the same page sets with the
 //!    word-granular pipeline the engine now uses and with a per-bit
 //!    reference that replicates the seed engine's scan loop
-//!    (`next_set_at` / `clear` / per-PFN bitmap queries). Both kernels
-//!    must produce identical tallies; the JSON records pages/second for
-//!    each and the speedup.
-//! 2. **Harness wall-clock** — renders the Figure 10 grid serially and
-//!    through the parallel cell runner, asserts the outputs are
-//!    byte-identical, and records both times plus the worker count.
+//!    (`next_set_at` / `clear` / per-PFN bitmap queries); both must
+//!    produce identical tallies. On top, the sharded classify kernel runs
+//!    at 1/2/4/8 shards: every sharded tally must match the serial word
+//!    scan exactly, and each row reports the measured per-shard costs.
+//! 2. **Allocation micro-bench** — a counting global allocator measures
+//!    the scan hot path with a fresh `ScanScratch` per walk vs the
+//!    persistent per-session arena the engine actually uses; the arena
+//!    must allocate strictly less (steady state: nothing).
+//! 3. **Harness scaling** — a roster of independent end-to-end migration
+//!    cells runs serially (measuring per-cell cost), then through
+//!    `runner::par_map_workers` at 1/2/4/8 workers. Every row's output
+//!    must be byte-identical to the serial pass. Because wall-clock
+//!    speedup is bounded by the machine (CI containers are often
+//!    single-core), each row also reports a **modeled** makespan: greedy
+//!    earliest-free-worker list scheduling of the measured per-cell
+//!    serial costs — deterministic given the measurements, and what the
+//!    `harness.parallel_speedup` gate uses (`speedup_basis` says so).
 //!    Skipped under `--scan-only` (the CI smoke mode).
 //!
-//! Results land in `BENCH_precopy.json` (override with `--out`).
+//! Worker counts honour `JAVMM_BENCH_WORKERS` (oversubscription allowed,
+//! with a warning when the request exceeds the hardware) and
+//! `JAVMM_SERIALIZE_POOL=1` (everything collapses to one worker and the
+//! modeled speedup honestly reports ~1.0 — the seeded gate drill).
 
-use javmm_bench::{figs, runner, FigOpts};
+use javmm::orchestrator::{run_scenario, Scenario};
+use javmm::vm::JavaVmConfig;
+use javmm_bench::runner;
+use migrate::config::MigrationConfig;
+use migrate::scanpool::{classify_range, shard_range, ScanScratch, WordClass, CHUNK_WORDS};
 use simkit::rng::DetRng;
 use simkit::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use vmem::{Bitmap, Pfn};
+use workloads::spec::WorkloadSpec;
 
 /// Pages per synthetic VM: 2 GiB of 4 KiB pages, the paper's VM size.
 const NPAGES: u64 = 524_288;
 /// Timed repetitions per scan kernel.
 const REPS: u32 = 40;
+/// Walks per arm of the allocation micro-bench.
+const ALLOC_REPS: u32 = 32;
+/// Words walked per allocation-bench rep (64 chunks).
+const ALLOC_WORDS: usize = 64 * CHUNK_WORDS;
+/// Seeds per (workload, mode) harness cell group.
+const HARNESS_SEEDS: u64 = 3;
 
-#[derive(PartialEq, Eq, Debug)]
+// ---------------------------------------------------------------------------
+// Counting allocator: the evidence behind the "no steady-state allocation"
+// claim on `ScanScratch`. One relaxed atomic bump per alloc/realloc; the
+// delta across a region is its allocation count.
+// ---------------------------------------------------------------------------
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[derive(PartialEq, Eq, Debug, Default)]
 struct Tallies {
     sends: u64,
     skip_dirty: u64,
@@ -121,12 +183,7 @@ impl Fixture {
 fn per_bit_scan(fix: &Fixture) -> Tallies {
     let mut to_send = fix.to_send.clone();
     let mut deferred = Bitmap::new(NPAGES);
-    let mut t = Tallies {
-        sends: 0,
-        skip_dirty: 0,
-        skip_transfer: 0,
-        deferred: 0,
-    };
+    let mut t = Tallies::default();
     let mut cursor = 0u64;
     while let Some(pfn) = to_send.next_set_at(cursor) {
         cursor = pfn.0 + 1;
@@ -151,12 +208,7 @@ fn per_bit_scan(fix: &Fixture) -> Tallies {
 fn word_scan(fix: &Fixture) -> Tallies {
     let mut to_send = fix.to_send.clone();
     let mut deferred = Bitmap::new(NPAGES);
-    let mut t = Tallies {
-        sends: 0,
-        skip_dirty: 0,
-        skip_transfer: 0,
-        deferred: 0,
-    };
+    let mut t = Tallies::default();
     for wi in 0..to_send.word_count() {
         let w = to_send.words()[wi];
         if w == 0 {
@@ -184,6 +236,288 @@ fn time_scans(fixtures: &[Fixture], scan: fn(&Fixture) -> Tallies) -> f64 {
     }
     start.elapsed().as_secs_f64()
 }
+
+// ---------------------------------------------------------------------------
+// Sharded raw-scan rows.
+// ---------------------------------------------------------------------------
+
+struct ShardRow {
+    shards: usize,
+    /// CPU actually spent classifying all shards (serial sum).
+    wall_secs: f64,
+    /// Makespan if the shards ran concurrently: the slowest shard. Shards
+    /// are independent and near-equal, so this is the pool's lower bound.
+    modeled_secs: f64,
+}
+
+/// Times the classify kernel shard-by-shard at each shard count, asserting
+/// every sharded tally equal to the serial word scan (the merge is a sum
+/// over a partition, so any divergence is a bug, not noise).
+fn sharded_scan_rows(fixtures: &[Fixture]) -> Vec<ShardRow> {
+    let mut rows = Vec::new();
+    let mut out: Vec<WordClass> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let mut shard_secs = vec![0.0f64; shards];
+        for fix in fixtures {
+            let len = fix.to_send.word_count();
+            out.clear();
+            out.resize(len, WordClass::default());
+            for _ in 0..REPS {
+                for (i, secs) in shard_secs.iter_mut().enumerate() {
+                    let r = shard_range(len, shards, i);
+                    let t0 = Instant::now();
+                    classify_range(
+                        &mut out[r.clone()],
+                        &fix.to_send.words()[r.clone()],
+                        &fix.dirty.words()[r.clone()],
+                        Some(&fix.transfer.words()[r]),
+                    );
+                    *secs += t0.elapsed().as_secs_f64();
+                }
+                std::hint::black_box(&out);
+            }
+            let mut t = Tallies::default();
+            for c in &out {
+                t.sends += u64::from(c.sends.count_ones());
+                t.skip_dirty += u64::from(c.skips_dirty.count_ones());
+                t.skip_transfer += u64::from(c.skips_transfer.count_ones());
+            }
+            t.deferred = t.skip_transfer;
+            assert_eq!(
+                t,
+                word_scan(fix),
+                "sharded scan diverged at {shards} shards on {}",
+                fix.name
+            );
+        }
+        rows.push(ShardRow {
+            shards,
+            wall_secs: shard_secs.iter().sum(),
+            modeled_secs: shard_secs.iter().cloned().fold(0.0, f64::max),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Allocation micro-bench.
+// ---------------------------------------------------------------------------
+
+/// Deterministic word soup (splitmix64) for the allocation walks.
+fn soup(seed: u64, len: usize) -> Vec<u64> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Counts allocations for the same chunked walk done two ways: a fresh
+/// `ScanScratch` per walk (what a naive per-iteration implementation
+/// would do) vs one persistent arena recycled across walks (what the
+/// engine does). Returns `(fresh_allocs, arena_allocs)`.
+fn alloc_microbench() -> (u64, u64) {
+    let ts = soup(31, ALLOC_WORDS);
+    let d = soup(32, ALLOC_WORDS);
+    let t = soup(33, ALLOC_WORDS);
+    let walk = |scratch: &mut ScanScratch| {
+        scratch.begin_quantum();
+        for wi in 0..ALLOC_WORDS {
+            scratch.ensure(wi, &ts, &d, Some(&t));
+            std::hint::black_box(scratch.class_at(wi));
+        }
+    };
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    for _ in 0..ALLOC_REPS {
+        let mut scratch = ScanScratch::new(1);
+        walk(&mut scratch);
+        walk(&mut scratch); // second quantum: the prefetch-armed shape
+    }
+    let fresh = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+
+    let mut scratch = ScanScratch::new(1);
+    walk(&mut scratch);
+    walk(&mut scratch); // warm the arenas into their steady-state capacity
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    for _ in 0..ALLOC_REPS {
+        walk(&mut scratch);
+    }
+    let arena = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+    (fresh, arena)
+}
+
+// ---------------------------------------------------------------------------
+// Harness scaling rows.
+// ---------------------------------------------------------------------------
+
+struct HarnessJob {
+    widx: usize,
+    assisted: bool,
+    seed: u64,
+}
+
+/// One end-to-end migration cell: warm up, migrate, render the report
+/// facts that must not depend on who ran the cell or how the scan pool
+/// was sized. The returned string is the byte-identity contract.
+fn run_cell(w: &WorkloadSpec, job: &HarnessJob, shard_workers: usize) -> String {
+    let vm = JavaVmConfig::paper(w.clone(), job.assisted, job.seed);
+    let mut migration = if job.assisted {
+        MigrationConfig::javmm_default()
+    } else {
+        MigrationConfig::xen_default()
+    };
+    migration.scan_workers = shard_workers;
+    let o = run_scenario(&Scenario::quick(
+        vm,
+        migration,
+        SimDuration::from_secs(10),
+        SimDuration::from_secs(3),
+    ))
+    .expect("harness cell failed");
+    format!(
+        "{}/{}/seed{}: bytes={} dur_ns={} cpu_ns={} down_ns={} iters={}",
+        w.name,
+        if job.assisted { "javmm" } else { "xen" },
+        job.seed,
+        o.report.total_bytes,
+        o.report.total_duration.as_nanos(),
+        o.report.cpu_time.as_nanos(),
+        o.report.downtime.workload_downtime().as_nanos(),
+        o.report.iteration_count(),
+    )
+}
+
+/// Greedy earliest-free-worker list scheduling of independent cells with
+/// the measured per-cell costs, in input order: the makespan `workers`
+/// identical machines would reach. For independent jobs this is monotone
+/// non-increasing in the worker count (no precedence anomalies), which is
+/// what makes the 1→2→4→8 scaling assertion sound.
+fn makespan(costs: &[f64], workers: usize) -> f64 {
+    let mut free = vec![0.0f64; workers.max(1)];
+    for &c in costs {
+        let idx = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite cost"))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        free[idx] += c;
+    }
+    free.iter().cloned().fold(0.0, f64::max)
+}
+
+struct HarnessRow {
+    workers: usize,
+    cell_workers: usize,
+    shard_workers: usize,
+    wall_secs: f64,
+    modeled_secs: f64,
+}
+
+struct HarnessResult {
+    cells: usize,
+    serial_secs: f64,
+    rows: Vec<HarnessRow>,
+    parallel_speedup: f64,
+}
+
+/// Runs the harness roster serially (measuring per-cell costs), then at
+/// each worker count, asserting byte-identical outputs every time.
+fn run_harness(plan: &runner::WorkerPlan) -> HarnessResult {
+    let workloads = [
+        workloads::catalog::derby(),
+        workloads::catalog::crypto(),
+        workloads::catalog::scimark(),
+        workloads::catalog::mpeg(),
+    ];
+    let jobs: Vec<HarnessJob> = (0..workloads.len())
+        .flat_map(|widx| {
+            [false, true].into_iter().flat_map(move |assisted| {
+                (1..=HARNESS_SEEDS).map(move |seed| HarnessJob {
+                    widx,
+                    assisted,
+                    seed,
+                })
+            })
+        })
+        .collect();
+
+    // Serial pass: the reference outputs and the per-cell cost vector the
+    // makespan model schedules.
+    let mut costs = Vec::with_capacity(jobs.len());
+    let mut reference = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        let t0 = Instant::now();
+        reference.push(run_cell(&workloads[job.widx], job, 1));
+        costs.push(t0.elapsed().as_secs_f64());
+    }
+    let serial_secs: f64 = costs.iter().sum();
+    eprintln!("harness: {} cells serial in {serial_secs:.1}s", jobs.len());
+
+    let mut worker_counts = vec![1usize, 2, 4, 8];
+    if !worker_counts.contains(&plan.effective) {
+        worker_counts.push(plan.effective);
+        worker_counts.sort_unstable();
+    }
+    let mut rows = Vec::new();
+    for &w in &worker_counts {
+        let (cell_workers, shard_workers) = if plan.serialized {
+            (1, 1)
+        } else {
+            runner::split_workers(w, jobs.len())
+        };
+        let (wall_secs, outputs) = if w == 1 {
+            (serial_secs, None)
+        } else {
+            let t0 = Instant::now();
+            let outs = runner::par_map_workers(cell_workers, &jobs, |job| {
+                run_cell(&workloads[job.widx], job, shard_workers)
+            });
+            (t0.elapsed().as_secs_f64(), Some(outs))
+        };
+        if let Some(outs) = outputs {
+            assert_eq!(
+                outs, reference,
+                "harness output diverged from serial at {w} workers"
+            );
+        }
+        let modeled_workers = if plan.serialized { 1 } else { w };
+        let modeled_secs = makespan(&costs, modeled_workers);
+        eprintln!(
+            "harness: {w} workers wall {wall_secs:.1}s, modeled {modeled_secs:.1}s \
+             ({:.2}x), outputs byte-identical",
+            serial_secs / modeled_secs
+        );
+        rows.push(HarnessRow {
+            workers: w,
+            cell_workers,
+            shard_workers,
+            wall_secs,
+            modeled_secs,
+        });
+    }
+
+    let parallel_speedup = rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .map(|r| serial_secs / r.modeled_secs)
+        .expect("the 4-worker row is always present");
+    HarnessResult {
+        cells: jobs.len(),
+        serial_secs,
+        rows,
+        parallel_speedup,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
 
 /// Runs the digest roster, writing per-scenario JSON + Prometheus files.
 fn cmd_digest(args: &[String]) {
@@ -262,6 +596,8 @@ fn cmd_fleet(args: &[String]) {
     let digest_dir = flag("--digest-dir");
     let series_cap =
         flag("--series-cap").map(|s| s.parse::<usize>().expect("--series-cap takes an integer"));
+    let scan_workers = flag("--scan-workers")
+        .map(|s| s.parse::<usize>().expect("--scan-workers takes an integer"));
     let policies: Vec<cluster::FleetPolicy> = match flag("--policy") {
         None => cluster::FleetPolicy::ALL.to_vec(),
         Some(name) => match cluster::FleetPolicy::parse(&name) {
@@ -280,6 +616,11 @@ fn cmd_fleet(args: &[String]) {
         // Regression drill: starve the observatory's sample ring (below
         // 16 samples the detector refuses to certify anything).
         host.sense_capacity = cap;
+    }
+    if let Some(workers) = scan_workers {
+        // Pooled per-VM scanning: changes wall-clock only, never the
+        // digest (tests/parallel_determinism.rs locks that).
+        host.scan_workers = workers.max(1);
     }
     // Rows stream out of the scheduler in completion order; narrate them
     // so long drains show progress instead of going dark.
@@ -316,6 +657,14 @@ fn cmd_fleet(args: &[String]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// JSON assembly.
+// ---------------------------------------------------------------------------
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -331,6 +680,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_precopy.json".to_string());
+
+    let plan = runner::worker_plan();
+    eprintln!(
+        "workers: requested={} effective={} available={} source={} capped={} serialized={}",
+        json_opt_usize(plan.requested),
+        plan.effective,
+        plan.available,
+        plan.source,
+        plan.capped,
+        plan.serialized
+    );
 
     // -- Scan microbenchmark ------------------------------------------------
     let fixtures = [Fixture::first_iter(9), Fixture::later_iter(5)];
@@ -353,46 +713,107 @@ fn main() {
         "scan: per-bit {bit_rate:.3e} pages/s, word {word_rate:.3e} pages/s, \
          speedup {scan_speedup:.1}x over {total_pages} pages"
     );
-
-    // -- Harness wall-clock -------------------------------------------------
-    let harness_json = if scan_only {
-        "null".to_string()
-    } else {
-        let mut opts = FigOpts::quick();
-        opts.warmup = SimDuration::from_secs(20);
-        opts.tail = SimDuration::from_secs(10);
-        opts.parallel = false;
-        let t0 = Instant::now();
-        let serial_out = figs::fig10::run(&opts);
-        let serial_secs = t0.elapsed().as_secs_f64();
-        opts.parallel = true;
-        let t1 = Instant::now();
-        let parallel_out = figs::fig10::run(&opts);
-        let parallel_secs = t1.elapsed().as_secs_f64();
-        assert_eq!(
-            serial_out, parallel_out,
-            "parallel harness output diverged from serial"
-        );
-        let workers = runner::worker_count();
+    let shard_rows = sharded_scan_rows(&fixtures);
+    let shard_base = shard_rows[0].modeled_secs;
+    for r in &shard_rows {
         eprintln!(
-            "harness: fig10 serial {serial_secs:.1}s, parallel {parallel_secs:.1}s \
-             ({workers} workers), outputs byte-identical"
+            "scan: {} shards wall {:.4}s, modeled {:.4}s ({:.2}x), tallies identical",
+            r.shards,
+            r.wall_secs,
+            r.modeled_secs,
+            shard_base / r.modeled_secs
         );
-        format!(
-            "{{\n    \"workers\": {workers},\n    \"serial_secs\": {serial_secs:.3},\n    \
-             \"parallel_secs\": {parallel_secs:.3},\n    \"speedup\": {:.3},\n    \
-             \"outputs_identical\": true\n  }}",
-            serial_secs / parallel_secs
-        )
+    }
+
+    // -- Allocation micro-bench ---------------------------------------------
+    let (fresh_allocs, arena_allocs) = alloc_microbench();
+    assert!(
+        arena_allocs < fresh_allocs,
+        "persistent arena must allocate less than fresh scratch \
+         ({arena_allocs} vs {fresh_allocs})"
+    );
+    eprintln!(
+        "alloc: fresh scratch {fresh_allocs} allocs over {ALLOC_REPS} walks, \
+         persistent arena {arena_allocs}"
+    );
+
+    // -- Harness scaling ----------------------------------------------------
+    let harness = if scan_only {
+        None
+    } else {
+        Some(run_harness(&plan))
     };
 
-    let json = format!(
-        "{{\n  \"schema\": \"javmm-bench-precopy-v1\",\n  \"scan\": {{\n    \
-         \"pages_per_rep\": {pages_per_rep},\n    \"reps\": {REPS},\n    \
+    // -- JSON ---------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"javmm-bench-precopy-v2\",\n");
+    json.push_str(&format!(
+        "  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \
+         \"available_parallelism\": {},\n    \"source\": \"{}\",\n    \
+         \"capped\": {},\n    \"serialized_pool\": {}\n  }},\n",
+        json_opt_usize(plan.requested),
+        plan.effective,
+        plan.available,
+        plan.source,
+        plan.capped,
+        plan.serialized
+    ));
+    json.push_str(&format!(
+        "  \"scan\": {{\n    \"pages_per_rep\": {pages_per_rep},\n    \"reps\": {REPS},\n    \
          \"per_bit_pages_per_sec\": {bit_rate:.0},\n    \
          \"word_pages_per_sec\": {word_rate:.0},\n    \
-         \"speedup\": {scan_speedup:.2}\n  }},\n  \"harness\": {harness_json}\n}}\n"
-    );
+         \"speedup\": {scan_speedup:.2},\n    \"sharded\": [\n"
+    ));
+    for (i, r) in shard_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"shards\": {}, \"wall_secs\": {:.6}, \"modeled_secs\": {:.6}, \
+             \"modeled_speedup\": {:.3}}}{}\n",
+            r.shards,
+            r.wall_secs,
+            r.modeled_secs,
+            shard_base / r.modeled_secs,
+            if i + 1 < shard_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str(&format!(
+        "  \"alloc\": {{\n    \"walks\": {ALLOC_REPS},\n    \
+         \"words_per_walk\": {ALLOC_WORDS},\n    \
+         \"fresh_scratch_allocs\": {fresh_allocs},\n    \
+         \"persistent_arena_allocs\": {arena_allocs},\n    \"reduction\": {:.1}\n  }},\n",
+        fresh_allocs as f64 / (arena_allocs.max(1)) as f64
+    ));
+    match &harness {
+        None => json.push_str("  \"harness\": null\n"),
+        Some(h) => {
+            json.push_str(&format!(
+                "  \"harness\": {{\n    \"cells\": {},\n    \"speedup_basis\": \"modeled\",\n    \
+                 \"serial_secs\": {:.3},\n    \"rows\": [\n",
+                h.cells, h.serial_secs
+            ));
+            for (i, r) in h.rows.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"workers\": {}, \"cell_workers\": {}, \"shard_workers\": {}, \
+                     \"wall_secs\": {:.3}, \"modeled_secs\": {:.3}, \
+                     \"modeled_speedup\": {:.3}, \"outputs_identical\": true}}{}\n",
+                    r.workers,
+                    r.cell_workers,
+                    r.shard_workers,
+                    r.wall_secs,
+                    r.modeled_secs,
+                    h.serial_secs / r.modeled_secs,
+                    if i + 1 < h.rows.len() { "," } else { "" }
+                ));
+            }
+            json.push_str(&format!(
+                "    ],\n    \"parallel_speedup\": {:.3},\n    \
+                 \"outputs_identical\": true\n  }}\n",
+                h.parallel_speedup
+            ));
+        }
+    }
+    json.push_str("}\n");
+
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output directory");
@@ -401,9 +822,33 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark results");
     println!("{json}");
     eprintln!("wrote {out_path}");
+
     assert!(
         scan_speedup >= 2.0,
         "word-granular scan must be at least 2x the per-bit reference \
          (measured {scan_speedup:.2}x)"
     );
+    if let Some(h) = &harness {
+        if !plan.serialized {
+            // The scaling contract: >=1.7x modeled speedup at 4 workers
+            // and monotone non-degrading 1->2->4->8 scaling. A
+            // serialized-pool build skips these asserts — its job is to
+            // fail the `bench compare` gate, which needs the JSON above.
+            let mut prev = 0.0f64;
+            for r in &h.rows {
+                let s = h.serial_secs / r.modeled_secs;
+                assert!(
+                    s + 1e-6 >= prev,
+                    "modeled speedup degraded from {prev:.3}x to {s:.3}x at {} workers",
+                    r.workers
+                );
+                prev = s;
+            }
+            assert!(
+                h.parallel_speedup >= 1.7,
+                "modeled 4-worker speedup {:.2}x below the 1.7x floor",
+                h.parallel_speedup
+            );
+        }
+    }
 }

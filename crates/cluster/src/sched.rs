@@ -176,7 +176,11 @@ fn drain(
 ) -> Result<(FleetDigest, Vec<MigrationReport>), MigrateError> {
     assert!(!host.tenants.is_empty(), "cannot drain an empty host");
     assert!(
-        !host.sense_cadence.is_zero() && host.sense_cadence.as_nanos().is_multiple_of(host.tick.as_nanos()),
+        !host.sense_cadence.is_zero()
+            && host
+                .sense_cadence
+                .as_nanos()
+                .is_multiple_of(host.tick.as_nanos()),
         "sense cadence must be a nonzero multiple of the guest tick"
     );
     let fleet_rec = Recorder::new();
@@ -510,7 +514,15 @@ fn admit_all(
         };
 
         let sub = uplink.subscribe(slot.tenant.weight, slot.tenant.min_rate);
-        let engine = PrecopyEngine::new(slot.tenant.migration.clone());
+        let mut migration = slot.tenant.migration.clone();
+        if host.scan_workers > 1 {
+            // Host-wide scan pool: every admitted session shards its scan
+            // across the host's workers. Bit-identical to inline scanning,
+            // so pooled and serial drains produce the same digest bytes
+            // (locked by tests/parallel_determinism.rs).
+            migration.scan_workers = host.scan_workers;
+        }
+        let engine = PrecopyEngine::new(migration);
         let session = engine.begin(&mut slot.vm, &mut slot.clock, Recorder::new())?;
         let applied = slot.tenant.migration.bandwidth;
         slot.active = Some(Active {

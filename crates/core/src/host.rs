@@ -133,6 +133,12 @@ pub struct HostSpec {
     /// shrinking this below that deliberately blinds the observatory
     /// (used by regression drills).
     pub sense_capacity: usize,
+    /// Scan-pool workers each admitted migration session runs with; `1`
+    /// keeps every per-VM scan inline. Overrides the per-tenant
+    /// `migration.scan_workers` at admission, and — because the sharded
+    /// pipeline is bit-identical to the serial path — never changes a
+    /// drain's digest, only its wall-clock.
+    pub scan_workers: usize,
 }
 
 impl HostSpec {
@@ -152,7 +158,14 @@ impl HostSpec {
             tick: SimDuration::from_millis(2),
             sense_cadence: SimDuration::from_millis(500),
             sense_capacity: 256,
+            scan_workers: 1,
         }
+    }
+
+    /// Sets the per-session scan-pool worker count.
+    pub fn scan_workers(mut self, workers: usize) -> Self {
+        self.scan_workers = workers;
+        self
     }
 
     /// Appends a tenant (roster order is admission order under FIFO).

@@ -1242,10 +1242,17 @@ fn require_str<'a>(doc: &'a Json, path: &[&str]) -> Result<&'a str, DigestError>
         .ok_or_else(|| DigestError::Schema(format!("missing string field {}", path.join("."))))
 }
 
-fn require_num(doc: &Json, path: &[&str]) -> Result<f64, DigestError> {
-    doc.get(path)
-        .and_then(Json::as_f64)
-        .ok_or_else(|| DigestError::Schema(format!("missing numeric field {}", path.join("."))))
+/// Numeric gate-field reader. Also accepts booleans (`true` = 1, `false`
+/// = 0), so gates can watch flags like `harness.outputs_identical`: with
+/// `LowerWorse` and threshold 0, a `true -> false` flip is a `-100%`
+/// change and trips the gate.
+fn require_gate_num(doc: &Json, path: &[&str]) -> Result<f64, DigestError> {
+    match doc.get(path) {
+        Some(Json::Bool(b)) => Ok(if *b { 1.0 } else { 0.0 }),
+        other => other
+            .and_then(Json::as_f64)
+            .ok_or_else(|| DigestError::Schema(format!("missing gate field {}", path.join(".")))),
+    }
 }
 
 /// Compares two digest documents (baseline, candidate) under the built-in
@@ -1292,8 +1299,8 @@ fn metric_deltas(
 ) -> Result<Vec<MetricDelta>, DigestError> {
     let mut deltas = Vec::with_capacity(metrics.len());
     for m in metrics {
-        let old_v = require_num(old, m.path)?;
-        let new_v = require_num(new, m.path)?;
+        let old_v = require_gate_num(old, m.path)?;
+        let new_v = require_gate_num(new, m.path)?;
         let change = if old_v != 0.0 {
             (new_v - old_v) / old_v
         } else if new_v == 0.0 {
@@ -1408,16 +1415,72 @@ pub fn compare_fleet(old_json: &str, new_json: &str) -> Result<CompareReport, Di
     })
 }
 
+/// Schema tag of `BENCH_precopy.json` v2 documents (written by the
+/// `bench` binary, gated by [`compare_precopy_bench`]).
+pub const BENCH_PRECOPY_SCHEMA: &str = "javmm-bench-precopy-v2";
+
+/// The pre-copy benchmark regression gate. `harness.parallel_speedup` is
+/// the *modeled* 4-worker makespan speedup (`speedup_basis` in the
+/// document says so) — a drop past 35% means the multi-core pipeline
+/// degenerated (the seeded `JAVMM_SERIALIZE_POOL=1` drill collapses it to
+/// ~1.0 and must trip exactly this metric). `scan.speedup` guards the
+/// word-granular kernel against returning to per-bit costs, and
+/// `harness.outputs_identical` is a boolean tripwire: any `true -> false`
+/// flip (parallel output diverging from serial) is a regression outright.
+const BENCH_COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["harness", "parallel_speedup"],
+        direction: Direction::LowerWorse,
+        threshold: 0.35,
+    },
+    CompareMetric {
+        path: &["scan", "speedup"],
+        direction: Direction::LowerWorse,
+        threshold: 0.50,
+    },
+    CompareMetric {
+        path: &["harness", "outputs_identical"],
+        direction: Direction::LowerWorse,
+        threshold: 0.0,
+    },
+];
+
+/// Compares two pre-copy benchmark documents (baseline, candidate) under
+/// the parallel-efficiency gate. Errors if either document fails to
+/// parse, is not schema `javmm-bench-precopy-v2`, or was produced with
+/// `--scan-only` (its `harness` is `null`, so there is nothing to gate).
+pub fn compare_precopy_bench(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    let new = Json::parse(new_json)?;
+    for doc in [&old, &new] {
+        let schema = require_str(doc, &["schema"])?;
+        if schema != BENCH_PRECOPY_SCHEMA {
+            return Err(DigestError::Schema(format!(
+                "unsupported schema '{schema}' (want '{BENCH_PRECOPY_SCHEMA}')"
+            )));
+        }
+    }
+    let deltas = metric_deltas(&old, &new, BENCH_COMPARE_METRICS)?;
+    Ok(CompareReport {
+        scenario: "precopy-bench".to_string(),
+        outcome_changed: None,
+        deltas,
+    })
+}
+
 /// Compares two digest documents of either schema, dispatching on the
 /// baseline's `schema` field: run digests go through [`compare`], fleet
-/// digests through [`compare_fleet`].
+/// digests through [`compare_fleet`], pre-copy benchmark documents
+/// through [`compare_precopy_bench`].
 pub fn compare_any(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
     let old = Json::parse(old_json)?;
     match require_str(&old, &["schema"])? {
         s if s == DIGEST_SCHEMA => compare(old_json, new_json),
         s if s == FLEET_DIGEST_SCHEMA => compare_fleet(old_json, new_json),
+        s if s == BENCH_PRECOPY_SCHEMA => compare_precopy_bench(old_json, new_json),
         s => Err(DigestError::Schema(format!(
-            "unsupported schema '{s}' (want '{DIGEST_SCHEMA}' or '{FLEET_DIGEST_SCHEMA}')"
+            "unsupported schema '{s}' (want '{DIGEST_SCHEMA}', '{FLEET_DIGEST_SCHEMA}' \
+             or '{BENCH_PRECOPY_SCHEMA}')"
         ))),
     }
 }
@@ -1524,8 +1587,46 @@ mod tests {
         assert!(!compare_any(&run, &run).unwrap().has_regression());
         let fleet = fleet_json("cycle", 1000, 1.0);
         assert!(!compare_any(&fleet, &fleet).unwrap().has_regression());
+        let bench = bench_json(3.4, true);
+        assert!(!compare_any(&bench, &bench).unwrap().has_regression());
         assert!(matches!(
             compare_any(&run, &fleet),
+            Err(DigestError::Schema(_))
+        ));
+    }
+
+    fn bench_json(parallel_speedup: f64, outputs_identical: bool) -> String {
+        format!(
+            r#"{{
+              "schema": "javmm-bench-precopy-v2",
+              "workers": {{"requested": null, "effective": 4, "available_parallelism": 4, "source": "detected", "capped": false, "serialized_pool": false}},
+              "scan": {{"pages_per_rep": 800000, "reps": 40, "per_bit_pages_per_sec": 100000000, "word_pages_per_sec": 900000000, "speedup": 9.0, "sharded": []}},
+              "alloc": {{"walks": 32, "words_per_walk": 4096, "fresh_scratch_allocs": 200, "persistent_arena_allocs": 0, "reduction": 200.0}},
+              "harness": {{"cells": 24, "speedup_basis": "modeled", "serial_secs": 40.0, "rows": [], "parallel_speedup": {parallel_speedup}, "outputs_identical": {outputs_identical}}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn bench_compare_gates_parallel_efficiency() {
+        let good = bench_json(3.4, true);
+        assert!(!compare_precopy_bench(&good, &good)
+            .unwrap()
+            .has_regression());
+        // A serialized-pool build collapses the modeled speedup to ~1.0:
+        // the gate must trip and name the speedup metric.
+        let serialized = bench_json(1.0, true);
+        let report = compare_precopy_bench(&good, &serialized).unwrap();
+        assert_eq!(report.regressions(), vec!["harness.parallel_speedup"]);
+        assert!(report.render().contains("harness.parallel_speedup"));
+        // Losing byte-identity is a regression outright (bool gate).
+        let diverged = bench_json(3.4, false);
+        let report = compare_precopy_bench(&good, &diverged).unwrap();
+        assert_eq!(report.regressions(), vec!["harness.outputs_identical"]);
+        // A --scan-only document (harness null) cannot be gated.
+        let scan_only = good.replace(r#""harness": {"cells": 24"#, r#""ignored": {"cells": 24"#);
+        assert!(matches!(
+            compare_precopy_bench(&good, &scan_only),
             Err(DigestError::Schema(_))
         ));
     }

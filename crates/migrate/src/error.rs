@@ -29,6 +29,8 @@ pub enum ConfigError {
     /// The fault plan is self-contradictory (e.g. a negative link factor
     /// or an out-of-range probability).
     InvalidFaultPlan,
+    /// The scan pool needs at least one worker.
+    ZeroScanWorkers,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -41,6 +43,7 @@ impl core::fmt::Display for ConfigError {
             Self::ZeroCoordTimeout => "coordination timeouts must be non-zero",
             Self::BackoffBelowOne => "retry backoff multiplier must be >= 1",
             Self::InvalidFaultPlan => "fault plan is invalid",
+            Self::ZeroScanWorkers => "scan pool needs at least one worker",
         };
         f.write_str(msg)
     }

@@ -29,6 +29,7 @@ pub mod policy;
 pub mod postcopy;
 pub mod precopy;
 pub mod report;
+pub mod scanpool;
 pub mod sla;
 pub mod vmhost;
 

@@ -51,6 +51,7 @@ use crate::config::{CompressionPolicy, FallbackPolicy, MigrationConfig};
 use crate::destination::DestinationVm;
 use crate::error::{CoordPhase, MigrateError, MigrationOutcome};
 use crate::report::{DowntimeBreakdown, EngineEvent, IterationStats, MigrationReport, StopReason};
+use crate::scanpool::{ScanPool, ScanScratch};
 use crate::vmhost::MigratableVm;
 use guestos::coord::CoordPayload;
 use guestos::lkm::DaemonPort;
@@ -130,6 +131,25 @@ struct RunState {
     /// Pending link-degrade fault, consumed when its time arrives.
     link_plan: Option<LinkDegrade>,
     base_bandwidth: Bandwidth,
+}
+
+/// Running totals of one live iteration, shared by its scan quanta.
+#[derive(Debug, Default)]
+struct IterTally {
+    cursor: u64,
+    sent: u64,
+    bytes: u64,
+    skip_dirty: u64,
+    skip_transfer: u64,
+}
+
+/// Why a scan quantum stopped consuming the snapshot.
+enum ScanExit {
+    /// Link or CPU budget exhausted; the guest gets its execution slice.
+    Budget,
+    /// No set bit at or after the cursor: the snapshot is drained (refresh
+    /// in waiting mode, otherwise the iteration is over).
+    Drained,
 }
 
 impl PrecopyEngine {
@@ -273,6 +293,7 @@ impl PrecopyEngine {
             npages,
             iterations: Vec::new(),
             to_send: Bitmap::new_all_set(npages),
+            scratch: ScanScratch::new(self.config.scan_workers),
             t_enter_last: None,
             stop_reason: None,
             finished: false,
@@ -308,6 +329,10 @@ pub struct MigrationSession {
     npages: u64,
     iterations: Vec<IterationStats>,
     to_send: Bitmap,
+    /// Reusable chunk buffers, staging arenas and per-worker counters for
+    /// the sharded scan pipeline; recycled across iterations so the scan
+    /// hot path performs no steady-state allocation.
+    scratch: ScanScratch,
     t_enter_last: Option<SimTime>,
     stop_reason: Option<StopReason>,
     finished: bool,
@@ -385,6 +410,7 @@ impl MigrationSession {
                 clock,
                 &mut self.state,
                 &mut self.to_send,
+                &mut self.scratch,
                 index,
                 self.port.as_ref(),
                 waiting,
@@ -603,6 +629,7 @@ impl MigrationSession {
         // Freeze the flight recorder and derive the downtime breakdown from
         // its spans where they exist; the LKM-message / VM-query fallbacks
         // keep unrecorded runs reporting identically.
+        self.scratch.flush_telemetry(&state.recorder);
         state
             .recorder
             .counter_add(Subsystem::Engine, "pages_scanned", state.scan_pages);
@@ -841,10 +868,14 @@ impl PrecopyEngine {
     /// the LKM reports readiness — or when the coordination machinery gives
     /// up and degrades the run.
     ///
-    /// Scanning is word-granular (see the module docs): each step classifies
-    /// 64 pages with three word operations, retires send-free words
-    /// wholesale, and walks only the sendable pages bit by bit so the link
+    /// Scanning is word-granular and chunk-pipelined (see the module docs
+    /// and [`crate::scanpool`]): words are classified a chunk at a time —
+    /// sharded across the scan pool and double-buffered so the next chunk
+    /// classifies while this one's pages go on the wire — then retired
+    /// send-free words wholesale and sendable pages bit by bit, so the link
     /// budget cuts off at exactly the same page as a per-bit scan would.
+    /// Chunks never outlive a quantum, so every classification the walk
+    /// consumes equals what a per-word read would return at that moment.
     #[allow(clippy::too_many_arguments)]
     fn run_live_iteration(
         &self,
@@ -852,141 +883,64 @@ impl PrecopyEngine {
         clock: &mut SimClock,
         state: &mut RunState,
         to_send: &mut Bitmap,
+        scratch: &mut ScanScratch,
         index: u32,
         port: Option<&DaemonPort>,
         waiting: bool,
     ) -> Result<IterationStats, MigrateError> {
         let start = clock.now();
         let pages_to_send = to_send.count_set();
-        let mut cursor = 0u64;
-        let mut sent = 0u64;
-        let mut bytes = 0u64;
-        let mut skip_dirty = 0u64;
-        let mut skip_transfer = 0u64;
+        let mut tally = IterTally::default();
         let mut quanta = 0u64;
 
         'outer: loop {
             // Send a quantum's worth of pages.
             let q_start = clock.now();
-            let q_bytes = bytes;
+            let q_bytes = tally.bytes;
             let mut budget = state.link.budget(self.config.quantum) as i64;
             let mut cpu_budget = self.config.quantum;
-            'scan: while budget > 0 && !cpu_budget.is_zero() {
-                let Some(first) = to_send.next_set_at(cursor) else {
-                    if waiting && state.assist {
-                        // Snapshot drained but the guest is still preparing:
-                        // pick up newly dirtied pages under the same
-                        // iteration box.
-                        let snap = vm
-                            .kernel_mut()
-                            .memory_mut()
-                            .dirty_log_mut()
-                            .read_and_clear();
-                        state.ever_dirtied.union_with(&snap);
-                        *to_send = snap;
-                        cursor = 0;
-                        if to_send.all_clear() {
-                            break 'scan;
+            // The guest ran since the last quantum: every classified chunk
+            // is stale. Re-arm the prefetch from last quantum's walk rate.
+            scratch.begin_quantum();
+            loop {
+                match self.scan_quantum(
+                    &*vm,
+                    state,
+                    to_send,
+                    scratch,
+                    &mut tally,
+                    &mut budget,
+                    &mut cpu_budget,
+                ) {
+                    ScanExit::Budget => break,
+                    ScanExit::Drained => {
+                        if waiting && state.assist {
+                            // Snapshot drained but the guest is still
+                            // preparing: pick up newly dirtied pages under
+                            // the same iteration box.
+                            let snap = vm
+                                .kernel_mut()
+                                .memory_mut()
+                                .dirty_log_mut()
+                                .read_and_clear();
+                            state.ever_dirtied.union_with(&snap);
+                            *to_send = snap;
+                            tally.cursor = 0;
+                            scratch.invalidate();
+                            if to_send.all_clear() {
+                                break;
+                            }
+                            continue;
                         }
-                        continue 'scan;
-                    }
-                    // Credit the partial quantum's traffic before leaving.
-                    state
-                        .link
-                        .sample_utilization(q_start, SimDuration::ZERO, bytes - q_bytes);
-                    break 'outer;
-                };
-                let wi = (first.0 / 64) as usize;
-                // Processed pages always leave the snapshot, so the whole
-                // word is still-pending work; whatever the scanner never
-                // reaches is the leftover the stop-and-copy inherits.
-                let w = to_send.words()[wi];
-                let (d, t) = self.scan_words(vm, wi, state.assist);
-                let skips_t = w & !t;
-                let skips_d = w & t & d;
-                let sends = w & t & !d;
-
-                if sends == 0 {
-                    // A word with no sendable page consumes no link budget:
-                    // retire all 64 pages in one step.
-                    state.cpu += self.config.cpu_cost_per_page_scan * u64::from(w.count_ones());
-                    state.scan_pages += u64::from(w.count_ones());
-                    skip_transfer += u64::from(skips_t.count_ones());
-                    skip_dirty += u64::from(skips_d.count_ones());
-                    state.deferred_skips.set_bits_in_word(wi, skips_t);
-                    to_send.clear_bits_in_word(wi, w);
-                    cursor = (wi as u64 + 1) * 64;
-                    continue 'scan;
-                }
-
-                // The word contains sends: walk them in PFN order, retiring
-                // the budget-free skips between consecutive sends in bulk
-                // and batching the traffic/CPU accounting for the word run.
-                let mut pending_sends = sends;
-                let mut word_wire = 0u64;
-                let mut word_cpu = SimDuration::ZERO;
-                let mut class_bytes = [0u64; PageClass::ALL.len()];
-                loop {
-                    let bit = u64::from(pending_sends.trailing_zeros());
-                    // Unprocessed pages below the send are skips (earlier
-                    // sends were already cleared from the snapshot).
-                    let below = to_send.words()[wi] & ((1u64 << bit) - 1);
-                    if below != 0 {
-                        state.cpu +=
-                            self.config.cpu_cost_per_page_scan * u64::from(below.count_ones());
-                        state.scan_pages += u64::from(below.count_ones());
-                        skip_transfer += u64::from((below & skips_t).count_ones());
-                        skip_dirty += u64::from((below & skips_d).count_ones());
-                        state.deferred_skips.set_bits_in_word(wi, below & skips_t);
-                        to_send.clear_bits_in_word(wi, below);
-                    }
-                    let pfn = Pfn(wi as u64 * 64 + bit);
-                    to_send.clear_bits_in_word(wi, 1u64 << bit);
-                    cursor = pfn.0 + 1;
-                    state.cpu += self.config.cpu_cost_per_page_scan;
-                    state.scan_pages += 1;
-                    let (wire, cpu, class) = self.transmit_page(vm, state, pfn);
-                    budget -= wire as i64;
-                    cpu_budget = cpu_budget.saturating_sub(cpu);
-                    bytes += wire;
-                    sent += 1;
-                    word_wire += wire;
-                    class_bytes[class.index()] += wire;
-                    word_cpu += cpu
-                        + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
-                    pending_sends &= pending_sends - 1;
-                    if budget <= 0 || cpu_budget.is_zero() {
-                        // Budget cut off mid-word: the unreached pages (skips
-                        // included) stay in the snapshot for the next quantum,
-                        // exactly as a per-bit scan would leave them.
-                        break;
-                    }
-                    if pending_sends == 0 {
-                        // Trailing skips after the last send are budget-free.
-                        let rest = to_send.words()[wi];
-                        if rest != 0 {
-                            state.cpu +=
-                                self.config.cpu_cost_per_page_scan * u64::from(rest.count_ones());
-                            state.scan_pages += u64::from(rest.count_ones());
-                            skip_transfer += u64::from((rest & skips_t).count_ones());
-                            skip_dirty += u64::from((rest & skips_d).count_ones());
-                            state.deferred_skips.set_bits_in_word(wi, rest & skips_t);
-                            to_send.clear_bits_in_word(wi, rest);
-                        }
-                        cursor = (wi as u64 + 1) * 64;
-                        break;
+                        // Credit the partial quantum's traffic before leaving.
+                        state.link.sample_utilization(
+                            q_start,
+                            SimDuration::ZERO,
+                            tally.bytes - q_bytes,
+                        );
+                        break 'outer;
                     }
                 }
-                // Flush the word run's batched accounting.
-                state.link.record_send(word_wire);
-                state.wire_bytes += word_wire;
-                for class in PageClass::ALL {
-                    let b = class_bytes[class.index()];
-                    if b != 0 {
-                        state.by_class.add(class, b);
-                    }
-                }
-                state.cpu += word_cpu;
             }
 
             // Let the guest run for the quantum.
@@ -994,7 +948,7 @@ impl PrecopyEngine {
             clock.advance(self.config.quantum);
             state
                 .link
-                .sample_utilization(q_start, self.config.quantum, bytes - q_bytes);
+                .sample_utilization(q_start, self.config.quantum, tally.bytes - q_bytes);
             quanta += 1;
 
             self.apply_link_plan(state, clock.now())?;
@@ -1051,12 +1005,141 @@ impl PrecopyEngine {
             start,
             duration: clock.now().saturating_since(start),
             pages_to_send,
-            pages_sent: sent,
-            bytes_sent: bytes,
-            pages_skipped_dirty: skip_dirty,
-            pages_skipped_transfer: skip_transfer,
+            pages_sent: tally.sent,
+            bytes_sent: tally.bytes,
+            pages_skipped_dirty: tally.skip_dirty,
+            pages_skipped_transfer: tally.skip_transfer,
             pages_dirtied_during: vm.kernel().memory().dirty_log().dirty_count(),
         })
+    }
+
+    /// The scan half of one quantum: consume classified chunks, retiring
+    /// send-free words wholesale and walking sendable pages in PFN order,
+    /// until a budget runs out ([`ScanExit::Budget`]) or the snapshot has
+    /// no set bit at or after the cursor ([`ScanExit::Drained`]). The body
+    /// is the word walk of the serial scanner verbatim — only the source of
+    /// the per-word classification changed, from two bitmap reads to the
+    /// chunk pipeline — so every report field and budget cutoff is
+    /// bit-identical to the serial path at any worker count.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_quantum(
+        &self,
+        vm: &dyn MigratableVm,
+        state: &mut RunState,
+        to_send: &mut Bitmap,
+        scratch: &mut ScanScratch,
+        tally: &mut IterTally,
+        budget: &mut i64,
+        cpu_budget: &mut SimDuration,
+    ) -> ScanExit {
+        while *budget > 0 && !cpu_budget.is_zero() {
+            let Some(first) = to_send.next_set_at(tally.cursor) else {
+                return ScanExit::Drained;
+            };
+            let wi = (first.0 / 64) as usize;
+            // Processed pages always leave the snapshot, so the whole
+            // word is still-pending work; whatever the scanner never
+            // reaches is the leftover the stop-and-copy inherits.
+            let w = to_send.words()[wi];
+            {
+                let kernel = vm.kernel();
+                let d_words = kernel.memory().dirty_log().peek_ref().words();
+                let t_words = if state.assist {
+                    kernel
+                        .lkm()
+                        .map(|l| l.transfer_bitmap().as_bitmap().words())
+                } else {
+                    None
+                };
+                scratch.ensure(wi, to_send.words(), d_words, t_words);
+            }
+            let wc = scratch.class_at(wi);
+            let skips_t = wc.skips_transfer;
+            let skips_d = wc.skips_dirty;
+            let sends = wc.sends;
+
+            if sends == 0 {
+                // A word with no sendable page consumes no link budget:
+                // retire all 64 pages in one step.
+                state.cpu += self.config.cpu_cost_per_page_scan * u64::from(w.count_ones());
+                state.scan_pages += u64::from(w.count_ones());
+                tally.skip_transfer += u64::from(skips_t.count_ones());
+                tally.skip_dirty += u64::from(skips_d.count_ones());
+                state.deferred_skips.set_bits_in_word(wi, skips_t);
+                to_send.clear_bits_in_word(wi, w);
+                tally.cursor = (wi as u64 + 1) * 64;
+                continue;
+            }
+
+            // The word contains sends: walk them in PFN order, retiring
+            // the budget-free skips between consecutive sends in bulk
+            // and batching the traffic/CPU accounting for the word run.
+            let mut pending_sends = sends;
+            let mut word_wire = 0u64;
+            let mut word_cpu = SimDuration::ZERO;
+            let mut class_bytes = [0u64; PageClass::ALL.len()];
+            loop {
+                let bit = u64::from(pending_sends.trailing_zeros());
+                // Unprocessed pages below the send are skips (earlier
+                // sends were already cleared from the snapshot).
+                let below = to_send.words()[wi] & ((1u64 << bit) - 1);
+                if below != 0 {
+                    state.cpu += self.config.cpu_cost_per_page_scan * u64::from(below.count_ones());
+                    state.scan_pages += u64::from(below.count_ones());
+                    tally.skip_transfer += u64::from((below & skips_t).count_ones());
+                    tally.skip_dirty += u64::from((below & skips_d).count_ones());
+                    state.deferred_skips.set_bits_in_word(wi, below & skips_t);
+                    to_send.clear_bits_in_word(wi, below);
+                }
+                let pfn = Pfn(wi as u64 * 64 + bit);
+                to_send.clear_bits_in_word(wi, 1u64 << bit);
+                tally.cursor = pfn.0 + 1;
+                state.cpu += self.config.cpu_cost_per_page_scan;
+                state.scan_pages += 1;
+                let (wire, cpu, class) = self.transmit_page(vm, state, pfn);
+                *budget -= wire as i64;
+                *cpu_budget = cpu_budget.saturating_sub(cpu);
+                tally.bytes += wire;
+                tally.sent += 1;
+                word_wire += wire;
+                class_bytes[class.index()] += wire;
+                word_cpu +=
+                    cpu + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
+                pending_sends &= pending_sends - 1;
+                if *budget <= 0 || cpu_budget.is_zero() {
+                    // Budget cut off mid-word: the unreached pages (skips
+                    // included) stay in the snapshot for the next quantum,
+                    // exactly as a per-bit scan would leave them.
+                    break;
+                }
+                if pending_sends == 0 {
+                    // Trailing skips after the last send are budget-free.
+                    let rest = to_send.words()[wi];
+                    if rest != 0 {
+                        state.cpu +=
+                            self.config.cpu_cost_per_page_scan * u64::from(rest.count_ones());
+                        state.scan_pages += u64::from(rest.count_ones());
+                        tally.skip_transfer += u64::from((rest & skips_t).count_ones());
+                        tally.skip_dirty += u64::from((rest & skips_d).count_ones());
+                        state.deferred_skips.set_bits_in_word(wi, rest & skips_t);
+                        to_send.clear_bits_in_word(wi, rest);
+                    }
+                    tally.cursor = (wi as u64 + 1) * 64;
+                    break;
+                }
+            }
+            // Flush the word run's batched accounting.
+            state.link.record_send(word_wire);
+            state.wire_bytes += word_wire;
+            for class in PageClass::ALL {
+                let b = class_bytes[class.index()];
+                if b != 0 {
+                    state.by_class.add(class, b);
+                }
+            }
+            state.cpu += word_cpu;
+        }
+        ScanExit::Budget
     }
 
     /// The stop-and-copy: VM paused, remaining pages pushed at line rate.
@@ -1096,7 +1179,10 @@ impl PrecopyEngine {
             match vm.kernel().lkm() {
                 Some(lkm) => {
                     let tb = lkm.transfer_bitmap().as_bitmap();
-                    let skipped = sendable.count_and_not(tb);
+                    // The skip count is a popcount fold — sharded by region
+                    // across the scan pool, exact by partition additivity.
+                    let skipped = ScanPool::new(self.config.scan_workers)
+                        .sum_shards(sendable.word_count(), |r| sendable.count_and_not_in(tb, r));
                     sendable.intersect_with(tb);
                     skipped
                 }
@@ -1156,23 +1242,6 @@ impl PrecopyEngine {
         }
     }
 
-    /// Copies the dirty-log and transfer-bitmap words covering word `wi` of
-    /// the scan. A cleared transfer bit means skip; a missing LKM, vanilla
-    /// migration, or a degraded run behaves as all-transfer.
-    fn scan_words(&self, vm: &dyn MigratableVm, wi: usize, assist: bool) -> (u64, u64) {
-        let kernel = vm.kernel();
-        let d = kernel.memory().dirty_log().peek_ref().words()[wi];
-        let t = if !assist {
-            u64::MAX
-        } else {
-            match kernel.lkm() {
-                Some(lkm) => lkm.transfer_bitmap().as_bitmap().words()[wi],
-                None => u64::MAX,
-            }
-        };
-        (d, t)
-    }
-
     /// Computes the wire cost of one page and stores it at the destination.
     ///
     /// Traffic and CPU accounting are left to the caller, which batches
@@ -1215,8 +1284,15 @@ impl PrecopyEngine {
             return log.dirty_count();
         }
         match vm.kernel().lkm() {
-            // One allocation-free word-AND popcount over both bitmaps.
-            Some(lkm) => log.peek_ref().count_and(lkm.transfer_bitmap().as_bitmap()),
+            // An allocation-free word-AND popcount over both bitmaps,
+            // sharded by region across the scan pool (the partial popcounts
+            // sum exactly, so the sharded fold equals the serial one).
+            Some(lkm) => {
+                let dirty = log.peek_ref();
+                let tb = lkm.transfer_bitmap().as_bitmap();
+                ScanPool::new(self.config.scan_workers)
+                    .sum_shards(dirty.word_count(), |r| dirty.count_and_in(tb, r))
+            }
             None => log.dirty_count(),
         }
     }

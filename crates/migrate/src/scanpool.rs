@@ -1,0 +1,574 @@
+//! Sharded, double-buffered scan/classify pipeline for the pre-copy engine.
+//!
+//! The word-granular scanner (see [`crate::precopy`]) classifies every
+//! snapshot word into sends and skips from three inputs: the iteration
+//! snapshot `ts`, the hypervisor dirty log `d` and the LKM transfer bitmap
+//! `t`. That classification is a pure function of the three words — which
+//! makes it shardable by bitmap region and overlappable with the link
+//! transfer, *without* changing a single reported byte:
+//!
+//! * **Sharding.** [`ScanPool::classify_chunk`] and [`ScanPool::sum_shards`]
+//!   split a word range into contiguous near-equal shards, run them on
+//!   scoped worker threads and merge in shard (= input) order. Popcounts
+//!   are sums over a partition and classification writes disjoint output
+//!   slices, so the result is identical to the serial left-to-right pass
+//!   for *any* shard count — the property `tests/bitmap_words.rs` proptests.
+//!
+//! * **Overlap.** The engine walks classified chunks ([`ChunkBuf`]) instead
+//!   of reading the bitmaps per word. While the engine thread transmits the
+//!   pages of the *current* chunk, a pipeline thread classifies the *next*
+//!   one from pre-staged word copies ([`ScanScratch::ensure`]) — the
+//!   double-buffered scan↔transfer overlap. The guest only runs between
+//!   quanta, so within a quantum the staged words equal what per-word reads
+//!   would return; chunks are discarded at every quantum boundary (and at
+//!   waiting-mode snapshot refreshes), so a chunk never carries stale words
+//!   across a guest execution slice.
+//!
+//! * **Determinism.** Which chunks get classified, and every telemetry
+//!   count, is decided by walk history alone — identical at every worker
+//!   count. The pool only changes *who* does the work: with one worker the
+//!   same chunks are classified inline at the same decision points. Totals
+//!   merge through [`simkit::telemetry::ShardLedger`], whose per-worker
+//!   cells fold worker-count-independently.
+//!
+//! Setting `JAVMM_SERIALIZE_POOL=1` forces every pool inline regardless of
+//! the configured worker count — the CI drill that proves the parallel
+//! regression gate actually fires.
+
+use simkit::telemetry::ShardLedger;
+use simkit::{Recorder, Subsystem};
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Words per classified chunk (4096 pages). Small enough that the work
+/// discarded at a quantum boundary is negligible next to the quantum's page
+/// transfers, large enough that a sparse-sweep quantum crosses several
+/// chunks and keeps the prefetch pipeline busy.
+pub const CHUNK_WORDS: usize = 64;
+
+/// Minimum words per shard before the pool spawns threads; below this the
+/// fixed cost of a thread outweighs the classify/popcount work and the pool
+/// runs the range inline. The *values* computed are identical either way —
+/// this gate is a pure scheduling decision.
+pub const MIN_SHARD_WORDS: usize = 2048;
+
+/// Counter names the scan pipeline accumulates into its [`ShardLedger`];
+/// flushed under [`Subsystem::Engine`] when the run finishes.
+pub const LEDGER_COUNTERS: &[&str] = &[
+    "scan_chunks",
+    "scan_words_classified",
+    "scan_words_prefetched",
+];
+pub(crate) const ROW_CHUNKS: usize = 0;
+pub(crate) const ROW_WORDS: usize = 1;
+pub(crate) const ROW_PREFETCH: usize = 2;
+
+/// Whether `JAVMM_SERIALIZE_POOL` forces every scan pool inline (cached on
+/// first use). Used by the CI seeded drill: a serialized build must fail
+/// the bench parallel-efficiency gate.
+pub fn pool_serialized() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var("JAVMM_SERIALIZE_POOL")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// One snapshot word, classified: the three disjoint masks the walk needs.
+/// `sends | skips_transfer | skips_dirty` reassembles the snapshot word.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WordClass {
+    /// `ts & t & !d` — pages to put on the wire.
+    pub sends: u64,
+    /// `ts & !t` — pages the LKM's transfer bitmap vetoes (deferred skips).
+    pub skips_transfer: u64,
+    /// `ts & t & d` — pages already re-dirtied (Xen's redundancy skip).
+    pub skips_dirty: u64,
+}
+
+/// Classifies a word range element-wise: `out[i]` from `ts[i]`, `d[i]` and
+/// `t[i]` (`None` behaves as all-ones — vanilla/degraded runs transfer
+/// everything the dirty log allows). The serial reference the sharded path
+/// must match bit-for-bit.
+pub fn classify_range(out: &mut [WordClass], ts: &[u64], d: &[u64], t: Option<&[u64]>) {
+    debug_assert_eq!(out.len(), ts.len());
+    debug_assert_eq!(out.len(), d.len());
+    for (i, slot) in out.iter_mut().enumerate() {
+        let w = ts[i];
+        let dw = d[i];
+        let tw = t.map_or(u64::MAX, |t| t[i]);
+        slot.skips_transfer = w & !tw;
+        slot.skips_dirty = w & tw & dw;
+        slot.sends = w & tw & !dw;
+    }
+}
+
+/// The contiguous word range shard `i` of `shards` covers in `0..len`:
+/// near-equal sizes, earlier shards take the remainder. The shards
+/// partition the range, which is what makes every sharded fold exact.
+pub fn shard_range(len: usize, shards: usize, i: usize) -> Range<usize> {
+    debug_assert!(i < shards);
+    let base = len / shards;
+    let extra = len % shards;
+    let start = i * base + i.min(extra);
+    let size = base + usize::from(i < extra);
+    start..start + size
+}
+
+/// A pool of scan workers. Stateless apart from its size: shard work is
+/// carried by scoped threads (borrowing the caller's slices) or, for the
+/// prefetch pipeline, by an owned-buffer handoff thread — there are no
+/// long-lived worker threads to keep in sync with the simulation.
+#[derive(Debug, Clone)]
+pub struct ScanPool {
+    workers: usize,
+}
+
+impl ScanPool {
+    /// A pool with (at least one) `requested` workers;
+    /// `JAVMM_SERIALIZE_POOL` collapses any request to one.
+    pub fn new(requested: usize) -> Self {
+        let workers = if pool_serialized() {
+            1
+        } else {
+            requested.max(1)
+        };
+        ScanPool { workers }
+    }
+
+    /// Worker count after the serialize override.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// How many shards a range of `len` words is worth: the full worker
+    /// count when every shard clears [`MIN_SHARD_WORDS`], else one.
+    fn effective_shards(&self, len: usize) -> usize {
+        if self.workers > 1 && len >= self.workers * MIN_SHARD_WORDS {
+            self.workers
+        } else {
+            1
+        }
+    }
+
+    /// Folds `f` over the shard ranges of `0..len` and sums the results —
+    /// the parallel skeleton behind `pending_transferable` and the
+    /// stop-and-copy skip count. Addition over `u64` is associative and
+    /// commutative, so the sum equals the serial `f(0..len)` exactly.
+    pub fn sum_shards<F>(&self, len: usize, f: F) -> u64
+    where
+        F: Fn(Range<usize>) -> u64 + Sync,
+    {
+        let shards = self.effective_shards(len);
+        if shards <= 1 {
+            return f(0..len);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..shards)
+                .map(|i| {
+                    let r = shard_range(len, shards, i);
+                    s.spawn(move || f(r))
+                })
+                .collect();
+            let mut total = f(shard_range(len, shards, 0));
+            for h in handles {
+                total += h.join().expect("scan shard panicked");
+            }
+            total
+        })
+    }
+
+    /// Classifies one chunk, sharded across the pool when large enough.
+    /// Workers write disjoint `out` shards (input order is the merge), and
+    /// each bumps its own [`ShardLedger`] cell so the folded word total is
+    /// worker-count-independent.
+    pub fn classify_chunk(
+        &self,
+        out: &mut [WordClass],
+        ts: &[u64],
+        d: &[u64],
+        t: Option<&[u64]>,
+        ledger: &mut ShardLedger,
+    ) {
+        let len = out.len();
+        let shards = self.effective_shards(len);
+        if shards <= 1 {
+            classify_range(out, ts, d, t);
+            ledger.add(0, ROW_WORDS, len as u64);
+            return;
+        }
+        std::thread::scope(|s| {
+            let mut rest = out;
+            let mut rows = ledger.rows_mut();
+            let mut handles = Vec::with_capacity(shards - 1);
+            for i in 0..shards {
+                let r = shard_range(len, shards, i);
+                let (shard_out, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let row = rows.next().expect("ledger narrower than pool");
+                let ts_s = &ts[r.clone()];
+                let d_s = &d[r.clone()];
+                let t_s = t.map(|t| &t[r.clone()]);
+                if i == 0 {
+                    // The engine thread takes the first shard itself.
+                    classify_range(shard_out, ts_s, d_s, t_s);
+                    row[ROW_WORDS] += r.len() as u64;
+                } else {
+                    handles.push(s.spawn(move || {
+                        classify_range(shard_out, ts_s, d_s, t_s);
+                        row[ROW_WORDS] += r.len() as u64;
+                    }));
+                }
+            }
+            for h in handles {
+                h.join().expect("scan shard panicked");
+            }
+        });
+    }
+}
+
+/// A classified chunk: `classes[i]` covers snapshot word `start + i`.
+/// `len == 0` means invalid; the backing vector keeps its capacity across
+/// invalidations so steady-state scanning allocates nothing.
+#[derive(Debug, Default)]
+struct ChunkBuf {
+    start: usize,
+    len: usize,
+    classes: Vec<WordClass>,
+}
+
+impl ChunkBuf {
+    fn covers(&self, wi: usize) -> bool {
+        self.len > 0 && wi >= self.start && wi < self.start + self.len
+    }
+}
+
+/// Owned buffers handed to a prefetch thread and recovered on join: the
+/// staged input words plus the output chunk. Ownership transfer (instead of
+/// borrows) is what lets the classification run while the engine thread
+/// keeps full mutable access to the snapshot and the run state.
+struct ChunkStorage {
+    start: usize,
+    len: usize,
+    ts: Vec<u64>,
+    d: Vec<u64>,
+    t: Vec<u64>,
+    t_present: bool,
+    classes: Vec<WordClass>,
+}
+
+/// Reusable per-session scan state: the double-buffered chunk pair, the
+/// staging arenas for prefetch handoff, the in-flight prefetch handle and
+/// the per-worker telemetry ledger. One instance lives on each
+/// [`MigrationSession`](crate::precopy::MigrationSession) and is recycled
+/// across iterations — the scan hot path performs no steady-state
+/// allocation (locked by the bench's allocation micro-bench).
+pub struct ScanScratch {
+    pool: ScanPool,
+    cur: ChunkBuf,
+    next: ChunkBuf,
+    stage_ts: Vec<u64>,
+    stage_d: Vec<u64>,
+    stage_t: Vec<u64>,
+    inflight: Option<std::thread::JoinHandle<ChunkStorage>>,
+    ledger: ShardLedger,
+    /// Distinct chunks the walk entered this quantum; > 1 means the scan is
+    /// sweeping faster than one chunk per quantum, which arms the prefetch
+    /// for the next quantum. Pure walk history — identical at every worker
+    /// count, so the classified-word counters are too.
+    chunks_entered: u64,
+    prefetch_armed: bool,
+}
+
+impl std::fmt::Debug for ScanScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanScratch")
+            .field("pool", &self.pool)
+            .field("prefetch_armed", &self.prefetch_armed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScanScratch {
+    /// Scratch for a pool of `workers`.
+    pub fn new(workers: usize) -> Self {
+        let pool = ScanPool::new(workers);
+        let ledger = ShardLedger::new(LEDGER_COUNTERS, pool.workers());
+        ScanScratch {
+            pool,
+            cur: ChunkBuf::default(),
+            next: ChunkBuf::default(),
+            stage_ts: Vec::new(),
+            stage_d: Vec::new(),
+            stage_t: Vec::new(),
+            inflight: None,
+            ledger,
+            chunks_entered: 0,
+            prefetch_armed: false,
+        }
+    }
+
+    /// The pool this scratch schedules on.
+    pub fn pool(&self) -> &ScanPool {
+        &self.pool
+    }
+
+    /// Joins a finished prefetch (if any) and adopts its chunk as `next`.
+    fn absorb_inflight(&mut self) {
+        if let Some(handle) = self.inflight.take() {
+            let storage = handle.join().expect("prefetch classifier panicked");
+            self.next.start = storage.start;
+            self.next.len = storage.len;
+            self.next.classes = storage.classes;
+            self.stage_ts = storage.ts;
+            self.stage_d = storage.d;
+            self.stage_t = storage.t;
+        }
+    }
+
+    /// Drops all classified state (buffer capacity is retained). Required
+    /// whenever the inputs may have changed under the chunks: at every
+    /// quantum boundary (the guest ran) and at waiting-mode snapshot
+    /// refreshes (the snapshot was replaced).
+    pub fn invalidate(&mut self) {
+        self.absorb_inflight();
+        self.cur.len = 0;
+        self.next.len = 0;
+    }
+
+    /// Quantum-boundary bookkeeping: invalidate, and arm the prefetch for
+    /// the coming quantum iff the previous one crossed chunk boundaries.
+    pub fn begin_quantum(&mut self) {
+        self.invalidate();
+        self.prefetch_armed = self.chunks_entered > 1;
+        self.chunks_entered = 0;
+    }
+
+    /// Makes the chunk covering word `wi` current, classifying it (and,
+    /// when armed, prefetching its successor on a pipeline thread) from
+    /// this quantum's frozen inputs. `ts`/`d`/`t` are the snapshot, dirty
+    /// and transfer words; `t: None` means assistance is off.
+    pub fn ensure(&mut self, wi: usize, ts: &[u64], d: &[u64], t: Option<&[u64]>) {
+        if self.cur.covers(wi) {
+            return;
+        }
+        self.chunks_entered += 1;
+        self.absorb_inflight();
+        if self.next.covers(wi) {
+            std::mem::swap(&mut self.cur, &mut self.next);
+            self.next.len = 0;
+        } else {
+            self.next.len = 0;
+            let len = CHUNK_WORDS.min(ts.len() - wi);
+            self.cur.start = wi;
+            self.cur.len = len;
+            self.cur.classes.clear();
+            self.cur.classes.resize(len, WordClass::default());
+            let r = wi..wi + len;
+            self.pool.classify_chunk(
+                &mut self.cur.classes,
+                &ts[r.clone()],
+                &d[r.clone()],
+                t.map(|t| &t[r]),
+                &mut self.ledger,
+            );
+            self.ledger.add(0, ROW_CHUNKS, 1);
+        }
+        if self.prefetch_armed {
+            self.prefetch(ts, d, t);
+        }
+    }
+
+    /// Starts classifying the chunk after `cur`. The decision, the staged
+    /// range and the counter bumps are identical at every worker count;
+    /// only the execution differs — inline with one worker, on a handoff
+    /// thread (overlapping the engine's transmit walk) otherwise.
+    fn prefetch(&mut self, ts: &[u64], d: &[u64], t: Option<&[u64]>) {
+        let start = self.cur.start + self.cur.len;
+        if start >= ts.len() {
+            return;
+        }
+        let len = CHUNK_WORDS.min(ts.len() - start);
+        let r = start..start + len;
+        self.ledger.add(0, ROW_CHUNKS, 1);
+        self.ledger.add(0, ROW_WORDS, len as u64);
+        self.ledger.add(0, ROW_PREFETCH, len as u64);
+        if self.pool.workers() > 1 {
+            self.stage_ts.clear();
+            self.stage_ts.extend_from_slice(&ts[r.clone()]);
+            self.stage_d.clear();
+            self.stage_d.extend_from_slice(&d[r.clone()]);
+            self.stage_t.clear();
+            if let Some(t) = t {
+                self.stage_t.extend_from_slice(&t[r]);
+            }
+            let mut classes = std::mem::take(&mut self.next.classes);
+            classes.clear();
+            classes.resize(len, WordClass::default());
+            let mut storage = ChunkStorage {
+                start,
+                len,
+                ts: std::mem::take(&mut self.stage_ts),
+                d: std::mem::take(&mut self.stage_d),
+                t: std::mem::take(&mut self.stage_t),
+                t_present: t.is_some(),
+                classes,
+            };
+            self.next.len = 0;
+            self.inflight = Some(std::thread::spawn(move || {
+                let t = storage.t_present.then_some(storage.t.as_slice());
+                classify_range(&mut storage.classes, &storage.ts, &storage.d, t);
+                storage
+            }));
+        } else {
+            self.next.start = start;
+            self.next.len = len;
+            self.next.classes.clear();
+            self.next.classes.resize(len, WordClass::default());
+            classify_range(
+                &mut self.next.classes,
+                &ts[r.clone()],
+                &d[r.clone()],
+                t.map(|t| &t[r]),
+            );
+        }
+    }
+
+    /// The classification of word `wi`, which must be covered by the
+    /// current chunk (callers go through [`ScanScratch::ensure`] first).
+    pub fn class_at(&self, wi: usize) -> WordClass {
+        debug_assert!(self.cur.covers(wi));
+        self.cur.classes[wi - self.cur.start]
+    }
+
+    /// Folds the per-worker counters into `recorder` (deterministic worker
+    /// order) and resets them; called once when the run finishes.
+    pub fn flush_telemetry(&mut self, recorder: &Recorder) {
+        self.absorb_inflight();
+        self.ledger.flush(recorder, Subsystem::Engine);
+    }
+}
+
+impl Drop for ScanScratch {
+    fn drop(&mut self) {
+        // Never leak a detached classifier past the session's lifetime.
+        self.absorb_inflight();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seed: u64, len: usize) -> Vec<u64> {
+        // Cheap deterministic word soup (splitmix64).
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_input() {
+        for &(len, shards) in &[(0usize, 1usize), (1, 4), (63, 3), (8192, 4), (1000, 7)] {
+            let mut next = 0;
+            for i in 0..shards {
+                let r = shard_range(len, shards, i);
+                assert_eq!(
+                    r.start, next,
+                    "gap/overlap at shard {i} of {shards} over {len}"
+                );
+                next = r.end;
+            }
+            assert_eq!(next, len);
+        }
+    }
+
+    #[test]
+    fn sharded_classify_matches_serial_reference() {
+        let len = 4 * MIN_SHARD_WORDS; // big enough to actually thread
+        let ts = words(1, len);
+        let d = words(2, len);
+        let t = words(3, len);
+
+        let mut serial = vec![WordClass::default(); len];
+        classify_range(&mut serial, &ts, &d, Some(&t));
+
+        let pool = ScanPool::new(4);
+        let mut ledger = ShardLedger::new(LEDGER_COUNTERS, pool.workers());
+        let mut sharded = vec![WordClass::default(); len];
+        pool.classify_chunk(&mut sharded, &ts, &d, Some(&t), &mut ledger);
+
+        assert_eq!(serial, sharded);
+        assert_eq!(ledger.total(ROW_WORDS), len as u64);
+    }
+
+    #[test]
+    fn sum_shards_matches_serial_fold() {
+        let len = 4 * MIN_SHARD_WORDS;
+        let a = words(7, len);
+        let b = words(8, len);
+        let f = |r: Range<usize>| -> u64 {
+            a[r.clone()]
+                .iter()
+                .zip(&b[r])
+                .map(|(x, y)| (x & y).count_ones() as u64)
+                .sum()
+        };
+        let serial = f(0..len);
+        for workers in [1usize, 2, 3, 4, 8] {
+            assert_eq!(ScanPool::new(workers).sum_shards(len, f), serial);
+        }
+    }
+
+    #[test]
+    fn word_class_masks_partition_the_snapshot_word() {
+        let ts = words(11, 256);
+        let d = words(12, 256);
+        let t = words(13, 256);
+        let mut out = vec![WordClass::default(); 256];
+        classify_range(&mut out, &ts, &d, Some(&t));
+        for (i, c) in out.iter().enumerate() {
+            assert_eq!(c.sends | c.skips_transfer | c.skips_dirty, ts[i]);
+            assert_eq!(c.sends & c.skips_transfer, 0);
+            assert_eq!(c.sends & c.skips_dirty, 0);
+            assert_eq!(c.skips_transfer & c.skips_dirty, 0);
+        }
+    }
+
+    #[test]
+    fn scratch_pipeline_matches_direct_reads_across_worker_counts() {
+        let nwords = 3 * CHUNK_WORDS + 17;
+        let ts = words(21, nwords);
+        let d = words(22, nwords);
+        let t = words(23, nwords);
+
+        let mut reference = vec![WordClass::default(); nwords];
+        classify_range(&mut reference, &ts, &d, Some(&t));
+
+        for workers in [1usize, 2, 4] {
+            let mut scratch = ScanScratch::new(workers);
+            // Two "quanta", the second armed for prefetch by the first
+            // having crossed chunks.
+            scratch.begin_quantum();
+            for (wi, want) in reference.iter().enumerate() {
+                scratch.ensure(wi, &ts, &d, Some(&t));
+                assert_eq!(scratch.class_at(wi), *want, "worker={workers} wi={wi}");
+            }
+            scratch.begin_quantum();
+            assert!(scratch.prefetch_armed);
+            for wi in (0..nwords).step_by(3) {
+                scratch.ensure(wi, &ts, &d, Some(&t));
+                assert_eq!(scratch.class_at(wi), reference[wi]);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-worker counter cells with a deterministic merge.
+//!
+//! The parallel scan pipeline wants each worker to bump counters without
+//! taking the recorder lock on the hot path, and — more importantly —
+//! wants the merged totals to be *identical no matter how many workers
+//! ran*. A [`ShardLedger`] is a fixed table of counter names × worker
+//! cells: workers get disjoint `&mut [u64]` rows (hand them out via
+//! [`ShardLedger::rows_mut`] inside a scoped-thread block), and
+//! [`ShardLedger::flush`] folds the cells in worker order into plain
+//! totals before handing them to [`Recorder::counter_add`].
+//!
+//! Because counter addition over `u64` is commutative and associative,
+//! the totals depend only on *what work was done*, not on which worker
+//! did it or in what order — which is exactly the worker-count
+//! independence the digest byte-identity contract needs.
+
+use super::Recorder;
+use super::Subsystem;
+
+/// Fixed-shape table of per-worker counter cells.
+///
+/// Rows are counter names (fixed at construction), columns are workers.
+/// The backing storage is one flat `Vec<u64>` laid out worker-major so a
+/// single worker's cells are one contiguous chunk — that is what lets
+/// `rows_mut` return disjoint mutable slices without unsafe code.
+#[derive(Debug)]
+pub struct ShardLedger {
+    names: &'static [&'static str],
+    workers: usize,
+    /// worker-major: `cells[w * names.len() + n]`.
+    cells: Vec<u64>,
+}
+
+impl ShardLedger {
+    /// Creates a ledger for `workers` workers over the given counter
+    /// names. All cells start at zero.
+    pub fn new(names: &'static [&'static str], workers: usize) -> Self {
+        let workers = workers.max(1);
+        ShardLedger {
+            names,
+            workers,
+            cells: vec![0; names.len() * workers],
+        }
+    }
+
+    /// Number of worker columns.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Counter names, in row order (the order `rows_mut` slices use).
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Hands out one disjoint mutable cell-slice per worker, in worker
+    /// order. Each slice has `names().len()` entries indexed by counter
+    /// row. Intended for `std::thread::scope`: move one slice into each
+    /// worker closure.
+    pub fn rows_mut(&mut self) -> std::slice::ChunksMut<'_, u64> {
+        self.cells.chunks_mut(self.names.len().max(1))
+    }
+
+    /// Cell accessor for the single-worker / inline path.
+    pub fn add(&mut self, worker: usize, row: usize, delta: u64) {
+        let idx = worker * self.names.len() + row;
+        self.cells[idx] += delta;
+    }
+
+    /// Merged total for one counter row, folding cells in worker order.
+    pub fn total(&self, row: usize) -> u64 {
+        (0..self.workers)
+            .map(|w| self.cells[w * self.names.len() + row])
+            .sum()
+    }
+
+    /// Resets every cell to zero (arena reuse between iterations).
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+    }
+
+    /// Folds each row across workers (worker order, deterministic) and
+    /// adds any non-zero total to `recorder` under `subsystem`. Clears
+    /// the ledger afterwards so it can be reused.
+    ///
+    /// Zero totals are skipped so a ledger that saw no work leaves the
+    /// recorder untouched — runs that never enter the parallel path stay
+    /// byte-identical to runs recorded before the ledger existed.
+    pub fn flush(&mut self, recorder: &Recorder, subsystem: Subsystem) {
+        for (row, name) in self.names.iter().enumerate() {
+            let total = self.total(row);
+            if total > 0 {
+                recorder.counter_add(subsystem, name, total);
+            }
+        }
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: &[&str] = &["alpha", "beta"];
+
+    #[test]
+    fn totals_are_worker_count_independent() {
+        // The same work split across 1 and 4 workers merges identically.
+        let mut one = ShardLedger::new(NAMES, 1);
+        one.add(0, 0, 10);
+        one.add(0, 1, 7);
+
+        let mut four = ShardLedger::new(NAMES, 4);
+        four.add(0, 0, 3);
+        four.add(1, 0, 4);
+        four.add(3, 0, 3);
+        four.add(2, 1, 7);
+
+        assert_eq!(one.total(0), four.total(0));
+        assert_eq!(one.total(1), four.total(1));
+    }
+
+    #[test]
+    fn rows_mut_hands_out_disjoint_worker_slices() {
+        let mut ledger = ShardLedger::new(NAMES, 3);
+        for (w, row) in ledger.rows_mut().enumerate() {
+            assert_eq!(row.len(), NAMES.len());
+            row[0] = (w as u64 + 1) * 2;
+            row[1] = w as u64;
+        }
+        assert_eq!(ledger.total(0), 2 + 4 + 6);
+        assert_eq!(ledger.total(1), 1 + 2);
+    }
+
+    #[test]
+    fn flush_skips_zero_totals_and_clears() {
+        let recorder = Recorder::disabled();
+        let mut ledger = ShardLedger::new(NAMES, 2);
+        ledger.add(1, 1, 5);
+        ledger.flush(&recorder, Subsystem::Engine);
+        assert_eq!(ledger.total(0), 0);
+        assert_eq!(ledger.total(1), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The multi-core scan pipeline's determinism contract, end to end.
+//!
+//! `tests/precopy_equivalence.rs` locks the engine to its per-bit goldens;
+//! this file locks the *worker-count independence* on top: the digest a
+//! migration produces — totals, downtime decomposition, histograms and
+//! every telemetry counter, including the per-worker scan-ledger merges —
+//! must be byte-for-byte identical whether the dirty-bitmap scan runs
+//! inline or sharded across any pool size. Same for a pooled fleet drain.
+//!
+//! Why this holds (the short form of DESIGN.md §13): classification is a
+//! pure function of bitmaps frozen within each scan quantum, shards
+//! partition the word index space, the merge reads shard results back in
+//! word order on the engine thread, and all state mutation stays serial.
+//! Workers only ever change *who* computes a word class, never what it is
+//! or the order it is consumed in.
+
+use cluster::{roster, run_fleet, FleetPolicy};
+use javmm::orchestrator::{run_scenario_recorded, Scenario};
+use javmm::vm::JavaVmConfig;
+use migrate::config::MigrationConfig;
+use migrate::digest::{DigestMeta, RunDigest};
+use simkit::telemetry::Recorder;
+use simkit::SimDuration;
+use workloads::catalog;
+
+/// Runs one recorded quick scenario and renders its digest JSON.
+fn digest_with_workers(workload: &str, assisted: bool, seed: u64, scan_workers: usize) -> String {
+    let spec = match workload {
+        "derby" => catalog::derby(),
+        "crypto" => catalog::crypto(),
+        other => panic!("unknown workload {other}"),
+    };
+    let mut migration = if assisted {
+        MigrationConfig::javmm_default()
+    } else {
+        MigrationConfig::xen_default()
+    };
+    migration.scan_workers = scan_workers;
+    let outcome = run_scenario_recorded(
+        &Scenario::quick(
+            JavaVmConfig::paper(spec, assisted, seed),
+            migration,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+        ),
+        Recorder::new(),
+    )
+    .expect("scenario failed");
+    RunDigest::from_report(
+        DigestMeta {
+            name: format!("{workload}-w{scan_workers}"),
+            workload: workload.to_string(),
+            assisted,
+            seed,
+        },
+        &outcome.report,
+    )
+    .to_json()
+}
+
+/// The tentpole acceptance: the full digest — bytes, iterations, downtime
+/// split, histograms, and the scan-ledger counters that are literally
+/// merged from per-worker cells — is identical at every pool size.
+#[test]
+fn run_digest_is_byte_identical_at_any_worker_count() {
+    for (workload, assisted, seed) in [("derby", true, 3u64), ("crypto", false, 9u64)] {
+        let serial = digest_with_workers(workload, assisted, seed, 1);
+        for workers in [2usize, 3, 8] {
+            let pooled = digest_with_workers(workload, assisted, seed, workers);
+            // The digest name embeds the worker count; strip it so the
+            // comparison covers everything that must not depend on it.
+            let serial_body = serial.replace(&format!("{workload}-w1"), "X");
+            let pooled_body = pooled.replace(&format!("{workload}-w{workers}"), "X");
+            assert_eq!(
+                pooled_body, serial_body,
+                "{workload} digest diverged at {workers} scan workers"
+            );
+        }
+    }
+}
+
+/// The pooled digest still carries the scan-ledger counters (they are
+/// merged across workers, not dropped), and they are non-zero: the
+/// equality above is not vacuous.
+#[test]
+fn pooled_digest_reports_merged_scan_counters() {
+    let pooled = digest_with_workers("derby", true, 3, 4);
+    for counter in ["engine/scan_chunks", "engine/scan_words_classified"] {
+        let needle = format!("\"{counter}\"");
+        assert!(
+            pooled.contains(&needle),
+            "digest must carry the merged counter {counter}"
+        );
+        let value = pooled
+            .split(&needle)
+            .nth(1)
+            .map(|rest| rest.trim_start_matches([':', ' ']))
+            .and_then(|v| {
+                let digits: String = v.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse::<u64>().ok()
+            })
+            .unwrap_or_else(|| panic!("counter {counter} must be numeric"));
+        assert!(value > 0, "merged counter {counter} must be non-zero");
+    }
+}
+
+/// A whole fleet drain with per-VM pooled scanning matches the serial
+/// drain byte for byte — the host-level `scan_workers` override changes
+/// wall-clock only, never the document.
+#[test]
+fn pooled_fleet_drain_matches_serial_digest() {
+    for policy in [FleetPolicy::Fifo, FleetPolicy::CycleAware] {
+        let serial = run_fleet(&roster::drain4(7), policy)
+            .expect("drain failed")
+            .digest
+            .to_json();
+        let pooled = run_fleet(&roster::drain4(7).scan_workers(4), policy)
+            .expect("drain failed")
+            .digest
+            .to_json();
+        assert_eq!(
+            pooled,
+            serial,
+            "{} drain digest diverged under pooled scanning",
+            policy.name()
+        );
+    }
+}
