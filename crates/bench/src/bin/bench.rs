@@ -7,6 +7,19 @@
 //!   bench compare <old.json> <new.json>
 //!   bench fleet [--roster NAME] [--seed N] [--out PATH] [--policy NAME]
 //!               [--digest-dir DIR] [--series-cap N] [--scan-workers N]
+//!   bench evacuate [--seed N] [--out PATH] [--policy NAME]
+//!                  [--pin-placement DEST]
+//!
+//! `bench evacuate` drains the 48-VM four-rack evacuation fleet onto the
+//! 56-slot destination pool across the contended core switch, once per
+//! placement policy (SLA-cost-aware, greedy headroom, seeded random), and
+//! writes `BENCH_evacuate.json` comparing fleet eviction time, aggregate
+//! downtime, wire bytes, SLA cost and per-destination placement counts,
+//! plus the SLA policy's cost/eviction ratios against random placement.
+//! `--pin-placement DEST` is the CI drill: placement is disabled, every
+//! VM lands on destination index DEST, and the document records the
+//! crippled run under all three placement keys so `bench compare` trips
+//! its `placements.sla.eviction_ns` gate.
 //!
 //! `bench fleet` drains one multi-VM roster (`solo`, `drain4`, `drain12`
 //! or `adversarial`; default `drain12`) under every fleet scheduling
@@ -657,6 +670,69 @@ fn cmd_fleet(args: &[String]) {
     }
 }
 
+/// Evacuates the 48-VM four-rack fleet once per placement policy (or once
+/// with every VM pinned to one destination — the CI drill); writes the
+/// placement comparison document.
+fn cmd_evacuate(args: &[String]) {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seed = flag("--seed")
+        .map(|s| s.parse::<u64>().expect("--seed takes an integer"))
+        .unwrap_or(7);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_evacuate.json".to_string());
+    let policy = match flag("--policy") {
+        None => cluster::FleetPolicy::CycleAware,
+        Some(name) => match cluster::FleetPolicy::parse(&name) {
+            Some(p) => p,
+            None => {
+                eprintln!("unknown policy {name}; use fifo, swsf, cycle or cycle-declared");
+                std::process::exit(2);
+            }
+        },
+    };
+    let pin = flag("--pin-placement").map(|s| {
+        s.parse::<usize>()
+            .expect("--pin-placement takes a destination index")
+    });
+    let narrate = |run: &javmm_bench::evacuate::PlacementRun| {
+        eprintln!(
+            "{}: eviction {:.1}s, sla cost {:.2}, {} nonconverged",
+            run.placement.name(),
+            run.eviction_ns as f64 / 1e9,
+            run.sla_cost,
+            run.nonconverged,
+        );
+    };
+    let runs = match pin {
+        Some(d) => {
+            // Placement-disabled drill: every VM lands on destination `d`,
+            // funnelling the fleet through one ingress. The single crippled
+            // run is stamped into all three placement keys so the gated
+            // `placements.sla.*` metrics describe it.
+            let plan =
+                javmm_bench::evacuate::evacuate48_plan(seed, cluster::PlacementPolicy::Pinned(d));
+            let out = cluster::evacuate(&plan, policy).expect("pinned evacuation failed");
+            let run = javmm_bench::evacuate::reduce(&plan, &out);
+            narrate(&run);
+            vec![run.clone(), run.clone(), run]
+        }
+        None => javmm_bench::evacuate::run_placements(seed, policy, &mut |run| narrate(run)),
+    };
+    print!("{}", javmm_bench::evacuate::render_table(&runs));
+    let json = javmm_bench::evacuate::to_json(seed, policy, &runs);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, json).expect("write evacuation results");
+    eprintln!("wrote {out_path}");
+}
+
 // ---------------------------------------------------------------------------
 // JSON assembly.
 // ---------------------------------------------------------------------------
@@ -671,6 +747,7 @@ fn main() {
         Some("digest") => return cmd_digest(&args[1..]),
         Some("compare") => return cmd_compare(&args[1..]),
         Some("fleet") => return cmd_fleet(&args[1..]),
+        Some("evacuate") => return cmd_evacuate(&args[1..]),
         _ => {}
     }
     let scan_only = args.iter().any(|a| a == "--scan-only");

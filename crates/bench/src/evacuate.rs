@@ -1,0 +1,225 @@
+//! `bench evacuate` — placement comparison for multi-host evacuations.
+//!
+//! Runs the 48-VM, four-rack evacuation fleet (see
+//! [`cluster::roster::evacuate48`]) over the contended topology once per
+//! placement policy — SLA-cost-aware, greedy headroom, and seeded random
+//! — and folds the results into `BENCH_evacuate.json`: per-placement
+//! fleet eviction time, aggregate downtime, wire bytes, SLA cost and
+//! per-destination placement counts, plus the SLA policy's cost and
+//! eviction ratios against random placement (the headline: cost-aware
+//! placement must keep tenants that cannot afford the WAN off it).
+//! Everything is deterministic — same plan + same seed produce a
+//! byte-identical document — and the `--pin-placement` drill pins every
+//! VM onto one destination, funnelling the fleet through a single ingress
+//! so the `placements.sla.eviction_ns` gate trips.
+
+use cluster::{evacuate, roster, EvacOutcome, EvacuationPlan, FleetPolicy, PlacementPolicy};
+use std::fmt::Write as _;
+
+/// The placement policies the benchmark compares, in run (and JSON key)
+/// order. Random forks its streams from the plan seed.
+pub fn compared_placements(seed: u64) -> [PlacementPolicy; 3] {
+    [
+        PlacementPolicy::SlaAware,
+        PlacementPolicy::Greedy,
+        PlacementPolicy::Random(seed),
+    ]
+}
+
+/// The standard evacuation plan: four 12-VM racks onto the 56-slot
+/// destination pool across the contended core.
+pub fn evacuate48_plan(seed: u64, placement: PlacementPolicy) -> EvacuationPlan {
+    EvacuationPlan::new("evacuate48", roster::evacuate48(seed))
+        .destinations(roster::evacuate_destinations())
+        .core(roster::evacuate_core())
+        .placement(placement)
+}
+
+/// One placement policy's evacuation outcome, reduced to the numbers the
+/// benchmark compares.
+#[derive(Debug, Clone)]
+pub struct PlacementRun {
+    /// The placement policy the evacuation ran under.
+    pub placement: PlacementPolicy,
+    /// Fleet-wide eviction time (first drain start to last migration end).
+    pub eviction_ns: u64,
+    /// Summed workload downtime across every VM.
+    pub aggregate_downtime_ns: u64,
+    /// Total bytes across every migration.
+    pub total_bytes: u64,
+    /// Summed SLA cost (downtime + brownout + penalties).
+    pub sla_cost: f64,
+    /// Migrations that fell back to vanilla pre-copy.
+    pub degraded: u64,
+    /// Migrations stopped by the iteration cap instead of convergence.
+    pub nonconverged: u64,
+    /// VMs placed per destination, in destination-pool order.
+    pub dest_counts: Vec<(String, u64)>,
+}
+
+/// Reduces one evacuation outcome against its plan.
+pub fn reduce(plan: &EvacuationPlan, out: &EvacOutcome) -> PlacementRun {
+    let mut dest_counts: Vec<(String, u64)> = plan
+        .destinations
+        .iter()
+        .map(|d| (d.name.clone(), 0))
+        .collect();
+    for p in &out.placements {
+        if let Some(d) = p.dest {
+            dest_counts[d].1 += 1;
+        }
+    }
+    PlacementRun {
+        placement: plan.placement,
+        eviction_ns: out.eviction_ns,
+        aggregate_downtime_ns: out.hosts.iter().map(|h| h.aggregate_downtime_ns).sum(),
+        total_bytes: out.hosts.iter().map(|h| h.total_bytes).sum(),
+        sla_cost: out.sla_total.total(),
+        degraded: out.hosts.iter().map(|h| u64::from(h.degraded)).sum(),
+        nonconverged: out.hosts.iter().map(|h| u64::from(h.nonconverged)).sum(),
+        dest_counts,
+    }
+}
+
+/// Runs the evacuation once per placement policy under `policy`
+/// (admission order), calling `on_done` after each run.
+pub fn run_placements(
+    seed: u64,
+    policy: FleetPolicy,
+    on_done: &mut dyn FnMut(&PlacementRun),
+) -> Vec<PlacementRun> {
+    compared_placements(seed)
+        .into_iter()
+        .map(|placement| {
+            let plan = evacuate48_plan(seed, placement);
+            let out = evacuate(&plan, policy).expect("evacuation failed");
+            let run = reduce(&plan, &out);
+            on_done(&run);
+            run
+        })
+        .collect()
+}
+
+/// Renders the per-placement comparison as an aligned text table.
+pub fn render_table(runs: &[PlacementRun]) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "{:<8} {:>11} {:>16} {:>9} {:>9} {:>9} {:>13}  dest_counts",
+        "place",
+        "eviction_s",
+        "agg_downtime_ms",
+        "total_MB",
+        "sla_cost",
+        "degraded",
+        "nonconverged"
+    );
+    for run in runs {
+        let counts = run
+            .dest_counts
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            o,
+            "{:<8} {:>11.2} {:>16.1} {:>9.1} {:>9.2} {:>9} {:>13}  {counts}",
+            run.placement.name(),
+            run.eviction_ns as f64 / 1e9,
+            run.aggregate_downtime_ns as f64 / 1e6,
+            run.total_bytes as f64 / 1e6,
+            run.sla_cost,
+            run.degraded,
+            run.nonconverged,
+        );
+    }
+    o
+}
+
+fn write_placement(o: &mut String, key: &str, run: &PlacementRun, last: bool) {
+    let _ = writeln!(o, "    \"{key}\": {{");
+    let _ = writeln!(o, "      \"placement\": \"{}\",", run.placement.name());
+    let _ = writeln!(o, "      \"eviction_ns\": {},", run.eviction_ns);
+    let _ = writeln!(
+        o,
+        "      \"aggregate_downtime_ns\": {},",
+        run.aggregate_downtime_ns
+    );
+    let _ = writeln!(o, "      \"total_bytes\": {},", run.total_bytes);
+    let _ = writeln!(o, "      \"sla_cost\": {},", run.sla_cost);
+    let _ = writeln!(o, "      \"degraded\": {},", run.degraded);
+    let _ = writeln!(o, "      \"nonconverged\": {},", run.nonconverged);
+    o.push_str("      \"dest_counts\": {");
+    for (i, (name, count)) in run.dest_counts.iter().enumerate() {
+        let _ = write!(
+            o,
+            "\"{name}\": {count}{}",
+            if i + 1 < run.dest_counts.len() {
+                ", "
+            } else {
+                ""
+            }
+        );
+    }
+    o.push_str("}\n");
+    o.push_str(if last { "    }\n" } else { "    },\n" });
+}
+
+/// Serialises the comparison as the `BENCH_evacuate.json` document.
+/// `runs` must be in [`compared_placements`] order (sla, greedy, random);
+/// the pin drill passes the same pinned run three times, so the gated
+/// `placements.sla.*` metrics describe the crippled evacuation.
+pub fn to_json(seed: u64, policy: FleetPolicy, runs: &[PlacementRun]) -> String {
+    assert_eq!(runs.len(), 3, "sla, greedy and random runs expected");
+    let (sla, random) = (&runs[0], &runs[2]);
+    let plan = evacuate48_plan(seed, PlacementPolicy::SlaAware);
+    let mut o = String::new();
+    o.push_str("{\n");
+    o.push_str("  \"schema\": \"javmm-bench-evacuate-v1\",\n");
+    let _ = writeln!(o, "  \"plan\": \"{}\",", plan.name);
+    let _ = writeln!(o, "  \"seed\": {seed},");
+    let _ = writeln!(o, "  \"policy\": \"{}\",", policy.name());
+    let _ = writeln!(o, "  \"sources\": {},", plan.sources.len());
+    let _ = writeln!(o, "  \"tenants\": {},", plan.population());
+    let core = plan.core.as_ref().expect("evacuate48 has a core switch");
+    let _ = writeln!(
+        o,
+        "  \"core_bytes_per_sec\": {},",
+        core.bandwidth.bytes_per_sec()
+    );
+    o.push_str("  \"destinations\": [\n");
+    for (i, d) in plan.destinations.iter().enumerate() {
+        let _ =
+            writeln!(
+            o,
+            "    {{\"name\": \"{}\", \"slots\": {}, \"ingress_bytes_per_sec\": {}, \"wan\": {}}}{}",
+            d.name,
+            d.slots,
+            d.ingress.bytes_per_sec(),
+            d.wan,
+            if i + 1 < plan.destinations.len() { "," } else { "" }
+        );
+    }
+    o.push_str("  ],\n");
+    o.push_str("  \"placements\": {\n");
+    write_placement(&mut o, "sla", &runs[0], false);
+    write_placement(&mut o, "greedy", &runs[1], false);
+    write_placement(&mut o, "random", &runs[2], true);
+    o.push_str("  },\n");
+    // The headline ratios: SLA-aware placement against random. Cost below
+    // 1.0 is the policy earning its keep; the compare gate watches both.
+    o.push_str("  \"sla_vs_random\": {\n");
+    let _ = writeln!(
+        o,
+        "    \"sla_cost_ratio\": {:.4},",
+        sla.sla_cost / random.sla_cost
+    );
+    let _ = writeln!(
+        o,
+        "    \"eviction_ratio\": {:.4}",
+        sla.eviction_ns as f64 / random.eviction_ns as f64
+    );
+    o.push_str("  }\n");
+    o.push_str("}\n");
+    o
+}

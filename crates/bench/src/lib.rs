@@ -9,6 +9,7 @@
 
 pub mod ablations;
 pub mod digests;
+pub mod evacuate;
 pub mod figs;
 pub mod fleet;
 pub mod opts;

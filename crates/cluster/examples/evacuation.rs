@@ -1,0 +1,47 @@
+//! The README's evacuation walkthrough: drain the 48-VM, four-rack
+//! fleet onto the standard destination pool under each placement
+//! policy and print where everyone landed.
+//!
+//! ```console
+//! $ cargo run --release -p cluster --example evacuation
+//! ```
+
+use cluster::{evacuate, roster, EvacuationPlan, FleetPolicy, PlacementPolicy};
+
+fn main() {
+    for placement in [
+        PlacementPolicy::SlaAware,
+        PlacementPolicy::Greedy,
+        PlacementPolicy::Random(7),
+    ] {
+        let plan = EvacuationPlan::new("evacuate48", roster::evacuate48(7))
+            .destinations(roster::evacuate_destinations())
+            .core(roster::evacuate_core())
+            .placement(placement);
+        let out = evacuate(&plan, FleetPolicy::CycleAware).expect("evacuation failed");
+
+        let mut counts: Vec<(String, usize)> = plan
+            .destinations
+            .iter()
+            .map(|d| (d.name.clone(), 0))
+            .collect();
+        for p in &out.placements {
+            if let Some(d) = p.dest {
+                counts[d].1 += 1;
+            }
+        }
+        let counts = counts
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:>8}: evicted {} VMs in {:.1}s, SLA cost {:.1}  [{}]",
+            placement.name(),
+            out.placements.len(),
+            out.eviction_ns as f64 / 1e9,
+            out.sla_total.total(),
+            counts,
+        );
+    }
+}

@@ -1,0 +1,896 @@
+//! The event-driven evacuation core: drain hosts H₁..Hₙ onto destinations
+//! D₁..Dₘ over topology T.
+//!
+//! This is the cluster-scale generalisation of the single-host drain. Each
+//! guest still runs as an independent simulation on its own [`SimClock`];
+//! what changed is *how the scheduler finds the next session to step*. The
+//! old core re-scanned every active session per iteration (O(active) per
+//! step). This core keeps a binary heap of session-ready times keyed by
+//! `(SimTime, VmId)`: pop the minimum, step that session once, push it
+//! back at its new clock. O(log active) per step, and the key order makes
+//! tie-breaking explicit — equal clocks resolve by `VmId` (host-major,
+//! then roster slot), exactly the tie order the scan used.
+//!
+//! # Why the heap is equivalent to the laggard scan
+//!
+//! The scan picked `min_by_key((clock, slot))` over active sessions. The
+//! heap pops the same minimum provided every active session has exactly
+//! one entry carrying its *current* clock. That invariant holds by
+//! construction: an entry is pushed at admission (with the post-`begin`
+//! clock) and re-pushed after every yielded step (with the post-step
+//! clock); nothing else advances an active session's clock — the
+//! catch-up/sensing path only ever touches *pending* slots, and a
+//! completed session leaves the heap by simply not being re-pushed. So
+//! pop-min ≡ scan-min at every iteration, and the event-driven drain is
+//! byte-identical to the stepped baseline (locked by
+//! `tests/evacuation.rs` against the committed drain12 digest).
+//!
+//! Admission, sensing, re-rating and per-VM digest folding are untouched;
+//! they moved here from `cluster::sched` verbatim. The admission sweep
+//! runs once at drain start and again after every completion — the only
+//! two moments its outcome can change, since feasibility is a function of
+//! link subscriptions alone, and the fleet clock only advances on
+//! completion.
+//!
+//! # Topology and placement
+//!
+//! Flows ride a [`Topology`] instead of a bare uplink: the source host's
+//! NIC, an optional contended core switch, and — when the plan has
+//! destinations — the chosen destination's ingress NIC. A flow's rate is
+//! its bottleneck hop's fair share; over the degenerate one-host,
+//! no-core, no-destination topology that *is* the NIC share bit for bit,
+//! which is how [`run_fleet`](crate::sched::run_fleet) stays a thin
+//! adapter over this core without moving a single digest byte.
+//! Destinations are chosen at admission by the plan's
+//! [`PlacementPolicy`](crate::place::PlacementPolicy) and consumed
+//! permanently (a placed VM stays placed).
+//!
+//! A drain must never deadlock, and an evacuation must never deadlock on
+//! placement either: [`EvacuationPlan::validate`] requires destination
+//! slots for the whole evacuating population, so whenever the fabric goes
+//! idle there is both a feasible path (the idle-path clause) and a free
+//! slot — every pending VM is eventually admitted, and the event loop
+//! terminates.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use javmm::host::HostSpec;
+use javmm::vm::JavaVm;
+use migrate::digest::{DigestMeta, FleetDigest, FleetMeta, FleetVmEntry, HistMerger, RunDigest};
+use migrate::error::{ConfigError, MigrateError};
+use migrate::precopy::{MigrationSession, PrecopyEngine, SessionStep};
+use migrate::report::MigrationReport;
+use migrate::sla::SlaCost;
+use netsim::topology::{LinkSpec, Topology};
+use netsim::FlowId;
+use simkit::telemetry::{Recorder, SampleSeries, Subsystem};
+use simkit::units::Bandwidth;
+use simkit::{SimClock, SimDuration, SimTime};
+
+use crate::detect::{detect, CONFIDENCE_GATE};
+use crate::place::{self, DestState, PlacementPolicy};
+use crate::policy::{cycle_average_rate, FleetPolicy};
+use crate::sched::FleetRowSink;
+
+pub use javmm::host::DestSpec;
+
+/// Identifies one VM in an evacuation: host index, then roster slot.
+///
+/// The derived order is the event queue's tie-break — sessions whose
+/// clocks collide step in host-major, then roster order, the same order
+/// the single-host laggard scan used for its slot tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId {
+    /// Index into the plan's source hosts.
+    pub host: u32,
+    /// Roster slot within that host.
+    pub slot: u32,
+}
+
+/// The scheduler's ready queue: session wake-ups ordered by
+/// `(SimTime, VmId)`, minimum first.
+///
+/// Public so the tie-order invariant is testable in isolation (see the
+/// proptest in `tests/evacuation.rs`): popping never reorders entries
+/// with equal times away from `VmId` order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, VmId)>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `vm` to step when the fleet reaches `at`.
+    pub fn push(&mut self, at: SimTime, vm: VmId) {
+        self.heap.push(Reverse((at, vm)));
+    }
+
+    /// The earliest entry: smallest time, ties by smallest `VmId`.
+    pub fn pop(&mut self) -> Option<(SimTime, VmId)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A whole evacuation: which hosts drain, where their VMs may land, and
+/// what fabric the traffic crosses.
+#[derive(Debug, Clone)]
+pub struct EvacuationPlan {
+    /// Plan name, used in bench output.
+    pub name: String,
+    /// Hosts being drained, each a complete single-host drain problem.
+    pub sources: Vec<HostSpec>,
+    /// Destination pool; empty means "drain into the void" (the
+    /// degenerate single-host mode, where only the egress NIC exists).
+    pub destinations: Vec<DestSpec>,
+    /// The core switch every flow crosses, or `None` for an uncontended
+    /// fabric (and always `None` in degenerate mode).
+    pub core: Option<LinkSpec>,
+    /// How destinations are chosen at admission.
+    pub placement: PlacementPolicy,
+}
+
+impl EvacuationPlan {
+    /// A destination-less plan draining `sources` with greedy placement
+    /// (irrelevant until destinations are added).
+    pub fn new(name: impl Into<String>, sources: Vec<HostSpec>) -> Self {
+        Self {
+            name: name.into(),
+            sources,
+            destinations: Vec::new(),
+            core: None,
+            placement: PlacementPolicy::Greedy,
+        }
+    }
+
+    /// The degenerate plan [`run_fleet`](crate::sched::run_fleet) adapts
+    /// through: one source, no destinations, no core switch.
+    pub fn single_host(host: HostSpec) -> Self {
+        Self::new(host.name.clone(), vec![host])
+    }
+
+    /// Adds the destination pool.
+    pub fn destinations(mut self, destinations: Vec<DestSpec>) -> Self {
+        self.destinations = destinations;
+        self
+    }
+
+    /// Adds a contended core switch.
+    pub fn core(mut self, core: LinkSpec) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Total VMs across all source hosts.
+    pub fn population(&self) -> usize {
+        self.sources.iter().map(|h| h.tenants.len()).sum()
+    }
+
+    /// Checks the whole plan: every source host's invariants
+    /// ([`HostSpec::validate`]), every destination's, and — when a
+    /// destination pool exists — that its slots can hold the entire
+    /// evacuating population (otherwise the drain would deadlock with
+    /// unplaceable VMs).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sources.is_empty() {
+            return Err(ConfigError::EmptyRoster);
+        }
+        for host in &self.sources {
+            host.validate()?;
+        }
+        for dest in &self.destinations {
+            dest.validate()?;
+        }
+        if !self.destinations.is_empty() {
+            let slots: u64 = self.destinations.iter().map(|d| u64::from(d.slots)).sum();
+            if slots < self.population() as u64 {
+                return Err(ConfigError::InsufficientDestinationCapacity);
+            }
+        }
+        Ok(())
+    }
+
+    /// The fabric this plan's flows cross.
+    fn topology(&self) -> Topology {
+        Topology::new(
+            self.sources
+                .iter()
+                .map(|h| LinkSpec::lan(h.name.clone(), h.uplink))
+                .collect(),
+            self.core.clone(),
+            self.destinations
+                .iter()
+                .map(|d| {
+                    if d.wan {
+                        LinkSpec::wan(d.name.clone(), d.ingress)
+                    } else {
+                        LinkSpec::lan(d.name.clone(), d.ingress)
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Where one VM ended up, in fleet-wide admission order.
+#[derive(Debug, Clone)]
+pub struct VmPlacement {
+    /// Source host index in the plan.
+    pub source: usize,
+    /// Roster slot on the source host.
+    pub slot: usize,
+    /// Tenant name.
+    pub vm: String,
+    /// Destination index, `None` in degenerate (destination-less) mode.
+    pub dest: Option<usize>,
+    /// Destination name, `None` in degenerate mode.
+    pub dest_name: Option<String>,
+}
+
+/// Everything one evacuation produces.
+#[derive(Debug)]
+pub struct EvacOutcome {
+    /// One byte-deterministic digest per source host, in plan order.
+    pub hosts: Vec<FleetDigest>,
+    /// Placement decisions in fleet-wide admission order.
+    pub placements: Vec<VmPlacement>,
+    /// Fleet-wide eviction time: from the earliest host's drain start to
+    /// the last migration's end, in nanoseconds.
+    pub eviction_ns: u64,
+    /// Summed SLA cost across every migrated VM.
+    pub sla_total: SlaCost,
+    /// Per-VM reports in roster order, one vector per source host (empty
+    /// when streamed).
+    pub reports: Vec<Vec<MigrationReport>>,
+}
+
+/// Runs an evacuation under `policy` (the per-host admission-order
+/// policy; destination choice is the plan's placement policy).
+///
+/// # Errors
+///
+/// An invalid plan ([`EvacuationPlan::validate`]) or the first
+/// [`MigrateError`] any tenant's engine raises.
+pub fn evacuate(plan: &EvacuationPlan, policy: FleetPolicy) -> Result<EvacOutcome, MigrateError> {
+    drain_evacuation(plan, policy, None, true)
+}
+
+/// Like [`evacuate`], but streams per-VM digest rows to `sink` in
+/// completion order and drops the heavy reports.
+///
+/// # Errors
+///
+/// Same as [`evacuate`].
+pub fn evacuate_streamed(
+    plan: &EvacuationPlan,
+    policy: FleetPolicy,
+    sink: &mut dyn FleetRowSink,
+) -> Result<EvacOutcome, MigrateError> {
+    drain_evacuation(plan, policy, Some(sink), false)
+}
+
+/// One guest's slot in the drain.
+struct Slot {
+    tenant: javmm::host::VmTenant,
+    vm: JavaVm,
+    clock: SimClock,
+    active: Option<Active>,
+    admitted_at: Option<SimTime>,
+    /// The dirty-rate sensor: pages/second sampled on the sense cadence
+    /// while the tenant waits for admission.
+    sensor: SampleSeries,
+    sensor_last_pages: u64,
+    sensor_next_at: SimTime,
+    /// Detection facts frozen at admission (digest fields).
+    detected_period_ns: u64,
+    detected_confidence: f64,
+    detect_confident: bool,
+    declared_period_ns: u64,
+    window_hit: Option<bool>,
+    entry: Option<FleetVmEntry>,
+    report: Option<MigrationReport>,
+}
+
+struct Active {
+    session: MigrationSession,
+    flow: FlowId,
+    /// Rate last applied to the session's link; re-rating is skipped when
+    /// the flow rate is unchanged so a sole subscriber's link state is
+    /// never touched (golden equivalence).
+    applied: Bandwidth,
+}
+
+impl Slot {
+    /// Runs the guest up to `target` fleet time (workloads keep executing
+    /// — and dirtying — while they wait for admission), sampling the
+    /// page-write rate into the sensor at every cadence crossing.
+    fn catch_up(&mut self, target: SimTime, tick: SimDuration, cadence: SimDuration) {
+        while self.clock.now() < target {
+            let until = self.sensor_next_at.min(target);
+            let lag = until.saturating_since(self.clock.now());
+            if !lag.is_zero() {
+                self.vm.run_for(&mut self.clock, lag, tick);
+            }
+            if self.clock.now() >= self.sensor_next_at {
+                let now = self.clock.now();
+                let pages = self.vm.jvm().stats().pages_written;
+                let rate = (pages - self.sensor_last_pages) as f64 / cadence.as_secs_f64();
+                self.sensor.push(now.as_nanos(), rate);
+                self.sensor_last_pages = pages;
+                self.sensor_next_at = now + cadence;
+            }
+        }
+    }
+}
+
+/// One source host's drain state.
+struct HostState {
+    spec: HostSpec,
+    slots: Vec<Slot>,
+    /// Admission queue in the policy's static order.
+    pending: Vec<usize>,
+    drain_start: SimTime,
+    rec: Recorder,
+    merger: HistMerger,
+}
+
+pub(crate) fn drain_evacuation(
+    plan: &EvacuationPlan,
+    policy: FleetPolicy,
+    mut sink: Option<&mut dyn FleetRowSink>,
+    keep_reports: bool,
+) -> Result<EvacOutcome, MigrateError> {
+    plan.validate().map_err(MigrateError::Config)?;
+    let mut topo = plan.topology();
+    let mut dests: Vec<DestState> = plan
+        .destinations
+        .iter()
+        .cloned()
+        .map(DestState::new)
+        .collect();
+
+    // Boot every host: warm its guests on their own clocks, stamp its
+    // drain-begin instant, seed its admission queue.
+    let mut hosts: Vec<HostState> = plan
+        .sources
+        .iter()
+        .map(|spec| boot_host(spec, policy))
+        .collect();
+
+    // The fleet-wide clock: admissions are stamped with it, and it only
+    // advances when a migration completes. Starts at the latest host's
+    // drain start (for one host: its drain start, as before).
+    let mut fleet_now = hosts
+        .iter()
+        .map(|h| h.drain_start)
+        .max()
+        .expect("validated plan has sources");
+    let global_start = hosts
+        .iter()
+        .map(|h| h.drain_start)
+        .min()
+        .expect("validated plan has sources");
+
+    let mut queue = EventQueue::new();
+    let mut placements: Vec<VmPlacement> = Vec::new();
+    let mut sla_total = SlaCost::ZERO;
+    let mut last_end = global_start;
+
+    // Initial admission sweep, hosts in plan order.
+    for (h, host) in hosts.iter_mut().enumerate() {
+        admit_host(
+            plan,
+            policy,
+            h,
+            host,
+            &mut topo,
+            &mut dests,
+            fleet_now,
+            &mut placements,
+            &mut queue,
+        )?;
+    }
+
+    while let Some((_, vmid)) = queue.pop() {
+        let host = &mut hosts[vmid.host as usize];
+        let slot = &mut host.slots[vmid.slot as usize];
+        let active = slot.active.as_mut().expect("queued session is active");
+
+        // Re-rate to the flow's current bottleneck share; skipped when
+        // unchanged so a sole subscriber's link is never touched.
+        let share = topo.flow_rate(active.flow);
+        if share != active.applied {
+            active.session.set_bandwidth(share);
+            active.applied = share;
+        }
+        match active.session.step(&mut slot.vm, &mut slot.clock)? {
+            SessionStep::Complete(report) => {
+                let ended = slot.clock.now();
+                topo.close_flow(active.flow);
+                slot.active = None;
+                fleet_now = fleet_now.max(ended);
+                last_end = last_end.max(ended);
+
+                let admitted = slot.admitted_at.expect("completed slot was admitted");
+                host.rec.record_span(
+                    admitted,
+                    Subsystem::Fleet,
+                    "migration",
+                    ended.saturating_since(admitted),
+                    vec![
+                        ("slot", u64::from(vmid.slot).into()),
+                        ("bytes", report.total_bytes.into()),
+                    ],
+                );
+                host.rec.hist_dur(
+                    Subsystem::Fleet,
+                    "migration_ns",
+                    ended.saturating_since(admitted),
+                );
+                host.rec.hist_dur(
+                    Subsystem::Fleet,
+                    "downtime_ns",
+                    report.downtime.workload_downtime(),
+                );
+                host.rec
+                    .counter_add(Subsystem::Fleet, "migrations_completed", 1);
+                host.rec
+                    .counter_add(Subsystem::Fleet, "bytes_total", report.total_bytes);
+
+                // Fold this tenant now, not at drain end: its tail runs on
+                // its own clock, its row streams to the sink, its
+                // histograms merge into bounded state, and the heavy
+                // report can drop.
+                slot.vm
+                    .run_for(&mut slot.clock, host.spec.tail, host.spec.tick);
+                let tail_end = slot.clock.now();
+                slot.vm.finish_analyzer(tail_end);
+                let meta = DigestMeta {
+                    name: slot.tenant.name.clone(),
+                    workload: slot.tenant.vm.workload.name.to_string(),
+                    assisted: slot.tenant.vm.assisted,
+                    seed: slot.tenant.vm.seed,
+                };
+                let entry = FleetVmEntry {
+                    digest: RunDigest::from_report(meta, &report),
+                    admitted_at_ns: admitted.saturating_since(host.drain_start).as_nanos(),
+                    ended_at_ns: ended.saturating_since(host.drain_start).as_nanos(),
+                    detected_period_ns: slot.detected_period_ns,
+                    detected_confidence: slot.detected_confidence,
+                    detect_confident: slot.detect_confident,
+                    declared_period_ns: slot.declared_period_ns,
+                    window_hit: slot.window_hit,
+                    sla: slot.tenant.sla.cost(&report),
+                };
+                sla_total.add(&entry.sla);
+                host.merger.add(&report.telemetry);
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.row(&entry);
+                }
+                slot.entry = Some(entry);
+                if keep_reports {
+                    slot.report = Some(*report);
+                }
+
+                // A completion is the only event that can unblock
+                // admission anywhere: it freed a concurrency slot on this
+                // host and link capacity on every hop its flow crossed.
+                for (h, host) in hosts.iter_mut().enumerate() {
+                    admit_host(
+                        plan,
+                        policy,
+                        h,
+                        host,
+                        &mut topo,
+                        &mut dests,
+                        fleet_now,
+                        &mut placements,
+                        &mut queue,
+                    )?;
+                }
+            }
+            _ => queue.push(slot.clock.now(), vmid),
+        }
+    }
+    for host in &hosts {
+        debug_assert!(
+            host.pending.is_empty(),
+            "idle scheduler with pending tenants on {}",
+            host.spec.name
+        );
+    }
+
+    let mut digests = Vec::with_capacity(hosts.len());
+    let mut reports = Vec::with_capacity(hosts.len());
+    for (host, spec) in hosts.iter_mut().zip(&plan.sources) {
+        host.merger.add(&host.rec.snapshot());
+        let histograms = std::mem::replace(&mut host.merger, HistMerger::new()).finish();
+        let vms: Vec<FleetVmEntry> = host
+            .slots
+            .iter_mut()
+            .map(|s| s.entry.take().expect("every tenant migrated"))
+            .collect();
+        digests.push(FleetDigest::new(
+            FleetMeta {
+                name: spec.name.clone(),
+                policy: policy.name().to_string(),
+                seed: spec.seed,
+                uplink_bytes_per_sec: spec.uplink.bytes_per_sec(),
+                max_concurrent: spec.max_concurrent,
+            },
+            vms,
+            histograms,
+        ));
+        reports.push(if keep_reports {
+            host.slots
+                .iter_mut()
+                .map(|s| s.report.take().expect("every tenant migrated"))
+                .collect()
+        } else {
+            Vec::new()
+        });
+    }
+    Ok(EvacOutcome {
+        hosts: digests,
+        placements,
+        eviction_ns: last_end.saturating_since(global_start).as_nanos(),
+        sla_total,
+        reports,
+    })
+}
+
+/// Boots one host: launches and warms every guest through the sensing
+/// loop, stamps the drain-begin instant, seeds the admission queue in the
+/// policy's static order.
+fn boot_host(spec: &HostSpec, policy: FleetPolicy) -> HostState {
+    let rec = Recorder::new();
+    let cadence = spec.sense_cadence;
+    let slots: Vec<Slot> = spec
+        .tenants
+        .iter()
+        .map(|tenant| {
+            let mut vm = tenant.launch();
+            // Arm only the phase-shift fault at boot: its countdown must
+            // span warmup and queueing, where the sensor watches. The
+            // engine re-installs the identical value at migration start,
+            // which is a no-op (a fired shift stays fired). Other fault
+            // lanes keep their migration-start semantics.
+            vm.set_phase_shift(tenant.migration.faults.phase_shift);
+            let mut slot = Slot {
+                tenant: tenant.clone(),
+                vm,
+                clock: SimClock::new(),
+                active: None,
+                admitted_at: None,
+                sensor: SampleSeries::new(cadence.as_nanos(), spec.sense_capacity),
+                sensor_last_pages: 0,
+                sensor_next_at: SimTime::ZERO + cadence,
+                detected_period_ns: 0,
+                detected_confidence: 0.0,
+                detect_confident: false,
+                declared_period_ns: 0,
+                window_hit: None,
+                entry: None,
+                report: None,
+            };
+            slot.catch_up(SimTime::ZERO + spec.warmup, spec.tick, cadence);
+            slot
+        })
+        .collect();
+
+    let drain_start = slots[0].clock.now();
+    rec.instant(
+        drain_start,
+        Subsystem::Fleet,
+        "drain_begin",
+        vec![
+            ("tenants", (slots.len() as u64).into()),
+            ("uplink_bps", spec.uplink.bytes_per_sec().into()),
+            ("max_concurrent", u64::from(spec.max_concurrent).into()),
+            ("min_rate_enforced", spec.enforce_min_rate.into()),
+        ],
+    );
+
+    let mut pending: Vec<usize> = (0..slots.len()).collect();
+    if policy == FleetPolicy::SmallestWorkingSetFirst {
+        pending.sort_by_key(|&i| {
+            let heap = slots[i].vm.jvm().heap();
+            (heap.young_committed() + heap.old_used(), i)
+        });
+    }
+
+    HostState {
+        spec: spec.clone(),
+        slots,
+        pending,
+        drain_start,
+        rec,
+        merger: HistMerger::new(),
+    }
+}
+
+/// Ranks the pending queue for the next admission, exactly as the
+/// single-host scheduler did.
+///
+/// The static policies consider only the queue head — head-of-line
+/// blocking is the price of a fixed order. The cycle policies rank the
+/// whole queue by peak ratio (deepest in its write-quiet trough first)
+/// and may admit *around* an infeasible candidate: a dynamic policy is
+/// not queue-bound.
+///
+/// CycleAware sees only what the observatory senses: the detected
+/// estimate's rate ratio at this instant, when the detector clears the
+/// confidence gate. Below the gate a tenant scores exactly 1.0 — the same
+/// score every steady workload gets — so the ranking degrades to the
+/// working-set tie-break and the policy *is* smallest-working-set-first
+/// until the detector is sure.
+///
+/// CycleDeclared is the oracle: the declared dirty-rate hint over the
+/// declared cycle average (the application-assisted route, one level up
+/// from the paper's JVMTI agent). It exists so detection accuracy has a
+/// ground-truth run to be measured against.
+fn rank_candidates(policy: FleetPolicy, slots: &mut [Slot], pending: &[usize]) -> Vec<usize> {
+    match policy {
+        FleetPolicy::Fifo | FleetPolicy::SmallestWorkingSetFirst => vec![0],
+        FleetPolicy::CycleAware => {
+            let mut ranked: Vec<(f64, u64, usize)> = pending
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let slot = &slots[i];
+                    let now_ns = slot.clock.now().as_nanos();
+                    let score = match detect(&slot.sensor, now_ns) {
+                        Some(est) if est.confidence >= CONFIDENCE_GATE => est.rate_ratio_at(now_ns),
+                        _ => 1.0,
+                    };
+                    let heap = slot.vm.jvm().heap();
+                    let ws = heap.young_committed() + heap.old_used();
+                    (score, ws, pos)
+                })
+                .collect();
+            ranked.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("rate ratios are finite")
+                    .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
+            });
+            ranked.into_iter().map(|(_, _, pos)| pos).collect()
+        }
+        FleetPolicy::CycleDeclared => {
+            let mut ranked: Vec<(f64, u64, usize)> = pending
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let slot = &mut slots[i];
+                    let average = match &slot.tenant.phases {
+                        Some(phases) => cycle_average_rate(phases),
+                        None => {
+                            let w = &slot.tenant.vm.workload;
+                            (w.alloc_rate + w.old_write_rate).max(1.0)
+                        }
+                    };
+                    let heap = slot.vm.jvm().heap();
+                    let ws = heap.young_committed() + heap.old_used();
+                    (slot.vm.dirty_rate_hint() / average, ws, pos)
+                })
+                .collect();
+            // Ties on the peak ratio — every steady tenant sits at
+            // exactly 1.0 — break smallest-working-set-first, then by
+            // queue position.
+            ranked.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("peak ratios are finite")
+                    .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
+            });
+            ranked.into_iter().map(|(_, _, pos)| pos).collect()
+        }
+    }
+}
+
+/// Admits tenants on host `h` until the concurrency cap, path
+/// feasibility, or placement capacity stops us; every admission schedules
+/// the new session on the event queue.
+#[allow(clippy::too_many_arguments)]
+fn admit_host(
+    plan: &EvacuationPlan,
+    policy: FleetPolicy,
+    h: usize,
+    host: &mut HostState,
+    topo: &mut Topology,
+    dests: &mut [DestState],
+    fleet_now: SimTime,
+    placements: &mut Vec<VmPlacement>,
+    queue: &mut EventQueue,
+) -> Result<(), MigrateError> {
+    let spec = &host.spec;
+    while !host.pending.is_empty() && topo.host_active(h) < spec.max_concurrent as usize {
+        // Pending guests are live: bring them up to fleet time so the
+        // sensors (and the eventual migration) see their true current
+        // state.
+        for &i in host.pending.iter() {
+            host.slots[i].catch_up(fleet_now, spec.tick, spec.sense_cadence);
+        }
+
+        let order = rank_candidates(policy, &mut host.slots, &host.pending);
+
+        // A candidate is admissible when its whole path is feasible (or
+        // idle — a drain must never deadlock: with nothing in flight the
+        // candidate gets the best path it will ever see) *and*, when the
+        // plan has destinations, placement finds it a home. Placement
+        // folds the per-destination path checks into its own feasibility
+        // filter.
+        let mut chosen: Option<(usize, Option<usize>)> = None;
+        for pos in order {
+            let slot = &host.slots[host.pending[pos]];
+            let tenant = &slot.tenant;
+            if dests.is_empty() {
+                let ok = !spec.enforce_min_rate
+                    || topo.can_admit(h, None, tenant.weight, tenant.min_rate)
+                    || topo.path_idle(h, None);
+                if ok {
+                    chosen = Some((pos, None));
+                    break;
+                }
+            } else {
+                let heap = slot.vm.jvm().heap();
+                let ws = heap.young_committed() + heap.old_used();
+                if let Some(d) = place::choose(
+                    plan.placement,
+                    topo,
+                    dests,
+                    h,
+                    tenant,
+                    ws,
+                    spec.enforce_min_rate,
+                    placements.len() as u64,
+                ) {
+                    chosen = Some((pos, Some(d)));
+                    break;
+                }
+            }
+        }
+        let Some((pos, dst)) = chosen else {
+            // Every candidate the policy may pick is infeasible; capacity
+            // frees up when an active migration completes, and admission
+            // re-runs then.
+            break;
+        };
+        let idx = host.pending.remove(pos);
+
+        let slot = &mut host.slots[idx];
+        // Freeze the observatory's view of this tenant at its admission
+        // instant: the estimate the digest scores, and — when a declared
+        // cycle exists as ground truth — whether a gate-clearing estimate
+        // landed the admission below the declared cycle-average dirty
+        // rate (a window hit). Every policy records this, so detected
+        // accuracy is comparable across policies.
+        let now_ns = slot.clock.now().as_nanos();
+        let estimate = detect(&slot.sensor, now_ns);
+        slot.detected_period_ns = estimate.as_ref().map_or(0, |e| e.period_ns);
+        slot.detected_confidence = estimate.as_ref().map_or(0.0, |e| e.confidence);
+        slot.detect_confident = estimate
+            .as_ref()
+            .is_some_and(|e| e.confidence >= CONFIDENCE_GATE);
+        slot.declared_period_ns = slot
+            .tenant
+            .phases
+            .as_ref()
+            .map_or(0, |ph| ph.iter().map(|p| p.duration.as_nanos()).sum());
+        let confident = slot.detect_confident;
+        slot.window_hit = match &slot.tenant.phases {
+            Some(phases) => {
+                let declared_now = slot.vm.dirty_rate_hint();
+                Some(confident && declared_now <= cycle_average_rate(phases))
+            }
+            None => None,
+        };
+
+        let flow = topo.open_flow(h, dst, slot.tenant.weight, slot.tenant.min_rate);
+        if let Some(d) = dst {
+            dests[d].occupy();
+        }
+        placements.push(VmPlacement {
+            source: h,
+            slot: idx,
+            vm: slot.tenant.name.clone(),
+            dest: dst,
+            dest_name: dst.map(|d| dests[d].spec.name.clone()),
+        });
+        let mut migration = slot.tenant.migration.clone();
+        if spec.scan_workers > 1 {
+            // Host-wide scan pool: every admitted session shards its scan
+            // across the host's workers. Bit-identical to inline scanning,
+            // so pooled and serial drains produce the same digest bytes
+            // (locked by tests/parallel_determinism.rs).
+            migration.scan_workers = spec.scan_workers;
+        }
+        let engine = PrecopyEngine::new(migration);
+        let session = engine.begin(&mut slot.vm, &mut slot.clock, Recorder::new())?;
+        let applied = slot.tenant.migration.bandwidth;
+        slot.active = Some(Active {
+            session,
+            flow,
+            applied,
+        });
+        slot.admitted_at = Some(fleet_now);
+        host.rec.instant(
+            fleet_now,
+            Subsystem::Fleet,
+            "admit",
+            vec![
+                ("slot", (idx as u64).into()),
+                ("active", (topo.host_active(h) as u64).into()),
+            ],
+        );
+        // First-class estimate telemetry: an instant per admission and a
+        // confidence gauge. Gauges and instants are excluded from the
+        // merged fleet histograms, so these stay digest-safe — as is the
+        // placement instant, emitted only when a destination pool exists.
+        host.rec.instant(
+            fleet_now,
+            Subsystem::Fleet,
+            "workload_estimate",
+            vec![
+                ("slot", (idx as u64).into()),
+                ("period_ns", slot.detected_period_ns.into()),
+                ("confidence", slot.detected_confidence.into()),
+                ("confident", slot.detect_confident.into()),
+                ("declared_period_ns", slot.declared_period_ns.into()),
+            ],
+        );
+        host.rec.gauge(
+            fleet_now,
+            Subsystem::Fleet,
+            "detect_confidence",
+            slot.detected_confidence,
+        );
+        if let Some(d) = dst {
+            host.rec.instant(
+                fleet_now,
+                Subsystem::Fleet,
+                "placement",
+                vec![("slot", (idx as u64).into()), ("dest", (d as u64).into())],
+            );
+        }
+        host.rec.hist_dur(
+            Subsystem::Fleet,
+            "queue_wait_ns",
+            fleet_now.saturating_since(SimTime::ZERO + spec.warmup),
+        );
+        // Schedule the new session at its post-begin clock: from here on
+        // it owns exactly one queue entry until it completes.
+        queue.push(
+            slot.clock.now(),
+            VmId {
+                host: h as u32,
+                slot: idx as u32,
+            },
+        );
+    }
+    Ok(())
+}

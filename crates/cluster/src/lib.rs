@@ -1,24 +1,38 @@
 #![warn(missing_docs)]
 //! `cluster` — fleet scheduling of concurrent live migrations.
 //!
-//! The paper migrates one VM; this crate drains a host of them. N guests
-//! run as independent deterministic simulations whose migrations share
-//! one uplink ([`netsim::SharedUplink`]) under weighted-fair arbitration.
-//! The scheduler ([`sched::run_fleet`]) interleaves the per-VM
-//! [`migrate::precopy::MigrationSession`]s conservatively (laggard
-//! first), applies admission control (a concurrency cap plus a per-tenant
-//! minimum-rate feasibility check, so no admitted pre-copy is starved out
-//! of convergence), and orders the queue with a pluggable
-//! [`policy::FleetPolicy`]: FIFO, smallest-working-set-first, or the
-//! cycle-aware deferral of Baruchi et al. Each drain folds into a
-//! byte-deterministic [`migrate::digest::FleetDigest`] with per-tenant
-//! SLA costs ([`migrate::sla`]).
+//! The paper migrates one VM; this crate evacuates whole hosts of them.
+//! N guests run as independent deterministic simulations whose migrations
+//! cross a shared [`netsim::topology::Topology`] (per-host NICs, an
+//! optional contended core switch, destination ingress links) under
+//! weighted-fair arbitration. The event-driven core
+//! ([`evac::evacuate`]) interleaves the per-VM
+//! [`migrate::precopy::MigrationSession`]s conservatively — a binary heap
+//! of session-ready times keyed by `(SimTime, VmId)` pops the laggard —
+//! applies admission control (a concurrency cap plus per-hop minimum-rate
+//! feasibility, so no admitted pre-copy is starved out of convergence),
+//! orders each host's queue with a pluggable [`policy::FleetPolicy`]
+//! (FIFO, smallest-working-set-first, or the cycle-aware deferral of
+//! Baruchi et al.), and places each admitted VM on a destination with a
+//! pluggable [`place::PlacementPolicy`] (greedy headroom or SLA-cost
+//! aware). Each host's drain folds into a byte-deterministic
+//! [`migrate::digest::FleetDigest`] with per-tenant SLA costs
+//! ([`migrate::sla`]); [`sched::run_fleet`] remains the single-host entry
+//! point, a thin bit-compatible adapter over the degenerate
+//! one-host/no-destination plan.
 
 pub mod detect;
+pub mod evac;
+pub mod place;
 pub mod policy;
 pub mod roster;
 pub mod sched;
 
 pub use detect::{detect, WorkloadEstimate};
+pub use evac::{
+    evacuate, evacuate_streamed, DestSpec, EvacOutcome, EvacuationPlan, EventQueue, VmId,
+    VmPlacement,
+};
+pub use place::{DestState, PlacementPolicy};
 pub use policy::FleetPolicy;
 pub use sched::{run_fleet, run_fleet_streamed, FleetOutcome, FleetRowSink};

@@ -344,6 +344,68 @@ pub fn adversarial(seed: u64) -> HostSpec {
     host
 }
 
+/// One rack of the evacuation fleet: a heavy, two cyclics peaking at
+/// different times, and nine lights — light-leaning so four racks drain
+/// in bench-sized time, with enough heavies fleet-wide to contend the
+/// core switch and enough cyclics to keep admission order interesting.
+fn rack(rack: usize, seed: u64) -> HostSpec {
+    let s = |k: u64| seed.wrapping_add(100 * rack as u64 + k);
+    let n = |stem: &str, i: usize| format!("{stem}-r{rack}-{i}");
+    let mut host = HostSpec::new(format!("rack{rack}"), seed.wrapping_add(rack as u64))
+        .tenant(heavy(&n("heavy", 0), s(1)))
+        .tenant(cyclic(
+            &n("cyclic", 0),
+            s(2),
+            SimDuration::from_secs(1 + 2 * rack as u64),
+        ))
+        .tenant(light(&n("light", 0), s(3)))
+        .tenant(light(&n("light", 1), s(4)))
+        .tenant(light(&n("light", 2), s(5)))
+        .tenant(cyclic(
+            &n("cyclic", 1),
+            s(6),
+            SimDuration::from_secs(4 + rack as u64),
+        ))
+        .tenant(light(&n("light", 3), s(7)))
+        .tenant(light(&n("light", 4), s(8)))
+        .tenant(light(&n("light", 5), s(9)))
+        .tenant(light(&n("light", 6), s(10)))
+        .tenant(light(&n("light", 7), s(11)))
+        .tenant(light(&n("light", 8), s(12)));
+    host.warmup = SimDuration::from_secs(8);
+    host.tail = SimDuration::from_secs(2);
+    host
+}
+
+/// The 48-VM evacuation fleet: four 12-VM racks.
+pub fn evacuate48(seed: u64) -> Vec<HostSpec> {
+    (0..4).map(|r| rack(r, seed)).collect()
+}
+
+/// The destination pool for [`evacuate48`]: 72 slots across one WAN edge
+/// site and three LAN racks. The LAN racks alone can hold the whole
+/// 48-VM fleet, so using the 40 MB/s WAN site is a *choice*: random
+/// placement spreads onto it blindly and pays in brownout and eviction
+/// time; SLA-aware placement only sends tenants that can afford the slow
+/// path.
+pub fn evacuate_destinations() -> Vec<javmm::host::DestSpec> {
+    use javmm::host::DestSpec;
+    vec![
+        DestSpec::new("edge-wan", 20)
+            .with_ingress(Bandwidth::from_mbytes_per_sec(40.0))
+            .with_wan(),
+        DestSpec::new("rack-d1", 20).with_ingress(Bandwidth::from_mbytes_per_sec(125.0)),
+        DestSpec::new("rack-d2", 20).with_ingress(Bandwidth::from_mbytes_per_sec(125.0)),
+        DestSpec::new("rack-d3", 12),
+    ]
+}
+
+/// The core switch for [`evacuate48`]: 300 MB/s shared by four gigabit
+/// host NICs, so a naive all-at-once drain contends the fabric core.
+pub fn evacuate_core() -> netsim::topology::LinkSpec {
+    netsim::topology::LinkSpec::lan("core", Bandwidth::from_mbytes_per_sec(300.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +438,32 @@ mod tests {
         assert!(drift.windows(2).any(|w| w[0].duration != w[1].duration));
         let aper = host.tenants[3].phases.as_ref().unwrap();
         assert_eq!(aper.len(), 10);
+    }
+
+    #[test]
+    fn evacuation_fleet_is_well_formed() {
+        let sources = evacuate48(7);
+        assert_eq!(sources.len(), 4);
+        let population: usize = sources.iter().map(|h| h.tenants.len()).sum();
+        assert_eq!(population, 48);
+        let dests = evacuate_destinations();
+        let slots: u64 = dests.iter().map(|d| u64::from(d.slots)).sum();
+        assert!(
+            slots >= population as u64,
+            "{slots} slots for {population} VMs"
+        );
+        // The WAN edge site must actually be the slow path for the SLA
+        // policy to route around.
+        assert!(dests[0].wan);
+        assert!(dests[0].ingress < dests[1].ingress);
+        // Names must be unique fleet-wide (digests key on them).
+        let mut names: Vec<&str> = sources
+            .iter()
+            .flat_map(|h| h.tenants.iter().map(|t| t.name.as_str()))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 48);
     }
 
     #[test]

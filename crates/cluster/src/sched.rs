@@ -1,61 +1,40 @@
-//! The fleet scheduler: a deterministic co-simulation of one host drain.
+//! The single-host drain API: a thin adapter over the event-driven
+//! evacuation core ([`crate::evac`]).
 //!
-//! N guests run as independent simulations, each on its own [`SimClock`];
-//! their migrations share one [`SharedUplink`]. The scheduler interleaves
-//! them *conservatively*: it always steps the in-flight migration with the
-//! smallest local clock (ties broken by roster slot), so no session ever
-//! consumes a bandwidth share that a lagging session's completion could
-//! retroactively have changed by more than one iteration. Re-rating is
-//! iteration-granular — each session's link is re-set to its current fair
-//! share immediately before its next iteration — which is exactly the
-//! granularity [`MigrationSession`] yields at.
+//! Historically this module owned the whole drain loop — N guests on
+//! their own [`SimClock`](simkit::SimClock)s, migrations sharing one
+//! uplink, a laggard-first scan picking the next session to step. That
+//! machinery now lives in [`crate::evac`], generalised to many hosts, a
+//! contended [`Topology`](netsim::topology::Topology), and destination
+//! placement; [`run_fleet`] simply wraps the host in the *degenerate*
+//! evacuation plan — one source, no destinations, no core switch — where
+//! the topology collapses to the host's NIC and the event-driven core is
+//! provably step-for-step identical to the old scan (see the module docs
+//! of [`crate::evac`] for the argument, and `tests/evacuation.rs` for the
+//! byte-identity lock against the committed drain digests).
 //!
-//! # The workload observatory
+//! Everything documented here still holds of a drain run through this
+//! adapter:
 //!
-//! While a tenant waits for admission the scheduler *senses* it: every
-//! [`HostSpec::sense_cadence`] of guest time it reads the JVM's cumulative
-//! page-write counter and pushes the delta, as pages/second, into a
-//! bounded per-tenant [`SampleSeries`]. The cycle detector
-//! ([`crate::detect`]) turns that ring into a [`WorkloadEstimate`] on
-//! demand — no declared hints involved — and the cycle-aware policy
-//! schedules on what was *detected*, falling back to
-//! smallest-working-set-first whenever confidence is below
-//! [`CONFIDENCE_GATE`]. Each admission records the estimate (period,
-//! confidence, declared ground truth, window hit) so the fleet digest can
-//! score detection accuracy after the fact.
-//!
-//! Determinism: every scheduling decision is a pure function of the roster
-//! (order, weights, min-rates), the policy, and guest-simulation state
-//! that is itself seed-deterministic. Sensing is a pure read of guest
-//! counters on a fixed cadence, so it never perturbs a run. Same seed +
-//! same policy ⇒ the same admission sequence, the same estimates, the same
-//! per-VM reports, and a byte-identical [`FleetDigest`].
-//!
-//! The one-VM degenerate case is load-bearing: a sole subscriber's share
-//! is its engine's own configured bandwidth (capacity, exactly), the
-//! scheduler never re-rates it, and the step loop reduces to
-//! [`PrecopyEngine::migrate_recorded`]'s — so a 1-VM FIFO drain reproduces
-//! the single-VM `precopy_equivalence` goldens bit for bit (the sensing
-//! cadence divides the warmup, so the chunked warmup issues the identical
-//! tick sequence).
-//!
-//! [`PrecopyEngine::migrate_recorded`]: migrate::precopy::PrecopyEngine::migrate_recorded
-//! [`SampleSeries`]: simkit::telemetry::SampleSeries
-//! [`CONFIDENCE_GATE`]: crate::detect::CONFIDENCE_GATE
+//! * **Conservative interleaving** — the in-flight session with the
+//!   smallest local clock steps next, ties broken by roster slot.
+//! * **The workload observatory** — pending tenants are sensed on
+//!   [`HostSpec::sense_cadence`] and the cycle policies schedule on what
+//!   was *detected*, falling back to smallest-working-set-first below the
+//!   confidence gate.
+//! * **Determinism** — same seed + same policy ⇒ a byte-identical
+//!   [`FleetDigest`].
+//! * **The one-VM degenerate case** — a sole subscriber's share is its
+//!   engine's own configured bandwidth exactly, so a 1-VM FIFO drain
+//!   reproduces the single-VM `precopy_equivalence` goldens bit for bit.
 
-use javmm::host::{HostSpec, VmTenant};
-use javmm::vm::JavaVm;
-use migrate::digest::{DigestMeta, FleetDigest, FleetMeta, FleetVmEntry, HistMerger, RunDigest};
+use javmm::host::HostSpec;
+use migrate::digest::{FleetDigest, FleetVmEntry};
 use migrate::error::MigrateError;
-use migrate::precopy::{MigrationSession, PrecopyEngine, SessionStep};
 use migrate::report::MigrationReport;
-use netsim::{SharedUplink, SubscriberId};
-use simkit::telemetry::{Recorder, SampleSeries, Subsystem};
-use simkit::units::Bandwidth;
-use simkit::{SimClock, SimDuration, SimTime};
 
-use crate::detect::{detect, CONFIDENCE_GATE};
-use crate::policy::{cycle_average_rate, FleetPolicy};
+use crate::evac::{drain_evacuation, EvacuationPlan};
+use crate::policy::FleetPolicy;
 
 /// Everything one drain produces.
 #[derive(Debug)]
@@ -78,77 +57,27 @@ pub trait FleetRowSink {
     fn row(&mut self, entry: &FleetVmEntry);
 }
 
-/// One guest's slot in the drain.
-struct Slot {
-    tenant: VmTenant,
-    vm: JavaVm,
-    clock: SimClock,
-    active: Option<Active>,
-    admitted_at: Option<SimTime>,
-    ended_at: Option<SimTime>,
-    /// The dirty-rate sensor: pages/second sampled on the sense cadence
-    /// while the tenant waits for admission.
-    sensor: SampleSeries,
-    sensor_last_pages: u64,
-    sensor_next_at: SimTime,
-    /// Detection facts frozen at admission (digest fields).
-    detected_period_ns: u64,
-    detected_confidence: f64,
-    detect_confident: bool,
-    declared_period_ns: u64,
-    window_hit: Option<bool>,
-    entry: Option<FleetVmEntry>,
-    report: Option<MigrationReport>,
-}
-
-struct Active {
-    session: MigrationSession,
-    sub: SubscriberId,
-    /// Rate last applied to the session's link; re-rating is skipped when
-    /// the share is unchanged so a sole subscriber's link state is never
-    /// touched (golden equivalence).
-    applied: Bandwidth,
-}
-
-impl Slot {
-    /// Runs the guest up to `target` fleet time (workloads keep executing
-    /// — and dirtying — while they wait for admission), sampling the
-    /// page-write rate into the sensor at every cadence crossing.
-    fn catch_up(&mut self, target: SimTime, tick: SimDuration, cadence: SimDuration) {
-        while self.clock.now() < target {
-            let until = self.sensor_next_at.min(target);
-            let lag = until.saturating_since(self.clock.now());
-            if !lag.is_zero() {
-                self.vm.run_for(&mut self.clock, lag, tick);
-            }
-            if self.clock.now() >= self.sensor_next_at {
-                let now = self.clock.now();
-                let pages = self.vm.jvm().stats().pages_written;
-                let rate = (pages - self.sensor_last_pages) as f64 / cadence.as_secs_f64();
-                self.sensor.push(now.as_nanos(), rate);
-                self.sensor_last_pages = pages;
-                self.sensor_next_at = now + cadence;
-            }
-        }
-    }
-}
-
 /// Runs one host drain under `policy`.
+///
+/// Equivalent to evacuating the host under
+/// [`EvacuationPlan::single_host`]; kept as the stable single-host entry
+/// point, byte-identical to the pre-evacuation scheduler.
 ///
 /// # Errors
 ///
-/// Propagates the first [`MigrateError`] any tenant's engine raises
-/// (invalid config, missing LKM, exhausted coordination under the `Fail`
-/// fallback). Degraded-but-completed migrations are not errors; they show
-/// up in the digest's `degraded` count.
-///
-/// # Panics
-///
-/// Panics if the host has no tenants, or if the sense cadence is zero or
-/// not a multiple of the guest tick.
+/// An invalid host spec ([`HostSpec::validate`]) surfaces as
+/// [`MigrateError::Config`]; otherwise propagates the first
+/// [`MigrateError`] any tenant's engine raises (missing LKM, exhausted
+/// coordination under the `Fail` fallback). Degraded-but-completed
+/// migrations are not errors; they show up in the digest's `degraded`
+/// count.
 pub fn run_fleet(host: &HostSpec, policy: FleetPolicy) -> Result<FleetOutcome, MigrateError> {
-    let (digest, reports) = drain(host, policy, None, true)?;
-    Ok(FleetOutcome { digest, reports })
+    let plan = EvacuationPlan::single_host(host.clone());
+    let mut out = drain_evacuation(&plan, policy, None, true)?;
+    Ok(FleetOutcome {
+        digest: out.hosts.remove(0),
+        reports: out.reports.remove(0),
+    })
 }
 
 /// Like [`run_fleet`], but streams each per-VM row to `sink` as its
@@ -164,408 +93,7 @@ pub fn run_fleet_streamed(
     policy: FleetPolicy,
     sink: &mut dyn FleetRowSink,
 ) -> Result<FleetDigest, MigrateError> {
-    let (digest, _) = drain(host, policy, Some(sink), false)?;
-    Ok(digest)
-}
-
-fn drain(
-    host: &HostSpec,
-    policy: FleetPolicy,
-    mut sink: Option<&mut dyn FleetRowSink>,
-    keep_reports: bool,
-) -> Result<(FleetDigest, Vec<MigrationReport>), MigrateError> {
-    assert!(!host.tenants.is_empty(), "cannot drain an empty host");
-    assert!(
-        !host.sense_cadence.is_zero()
-            && host
-                .sense_cadence
-                .as_nanos()
-                .is_multiple_of(host.tick.as_nanos()),
-        "sense cadence must be a nonzero multiple of the guest tick"
-    );
-    let fleet_rec = Recorder::new();
-    let cadence = host.sense_cadence;
-
-    // Boot and warm every guest on its own clock; warming runs through the
-    // sensing loop, so each tenant's dirty-rate ring covers the warmup.
-    let mut slots: Vec<Slot> = host
-        .tenants
-        .iter()
-        .map(|tenant| {
-            let mut vm = tenant.launch();
-            // Arm only the phase-shift fault at boot: its countdown must
-            // span warmup and queueing, where the sensor watches. The
-            // engine re-installs the identical value at migration start,
-            // which is a no-op (a fired shift stays fired). Other fault
-            // lanes keep their migration-start semantics.
-            vm.set_phase_shift(tenant.migration.faults.phase_shift);
-            let mut slot = Slot {
-                tenant: tenant.clone(),
-                vm,
-                clock: SimClock::new(),
-                active: None,
-                admitted_at: None,
-                ended_at: None,
-                sensor: SampleSeries::new(cadence.as_nanos(), host.sense_capacity),
-                sensor_last_pages: 0,
-                sensor_next_at: SimTime::ZERO + cadence,
-                detected_period_ns: 0,
-                detected_confidence: 0.0,
-                detect_confident: false,
-                declared_period_ns: 0,
-                window_hit: None,
-                entry: None,
-                report: None,
-            };
-            slot.catch_up(SimTime::ZERO + host.warmup, host.tick, cadence);
-            slot
-        })
-        .collect();
-
-    let drain_start = slots[0].clock.now();
-    fleet_rec.instant(
-        drain_start,
-        Subsystem::Fleet,
-        "drain_begin",
-        vec![
-            ("tenants", (slots.len() as u64).into()),
-            ("uplink_bps", host.uplink.bytes_per_sec().into()),
-            ("max_concurrent", u64::from(host.max_concurrent).into()),
-            ("min_rate_enforced", host.enforce_min_rate.into()),
-        ],
-    );
-
-    // Admission queue in the policy's static order. The cycle policies
-    // re-rank dynamically from this queue at every admission opportunity.
-    let mut pending: Vec<usize> = (0..slots.len()).collect();
-    if policy == FleetPolicy::SmallestWorkingSetFirst {
-        pending.sort_by_key(|&i| {
-            let heap = slots[i].vm.jvm().heap();
-            (heap.young_committed() + heap.old_used(), i)
-        });
-    }
-
-    let mut uplink = SharedUplink::new(host.uplink);
-    let mut fleet_now = drain_start;
-    let mut merger = HistMerger::new();
-
-    loop {
-        admit_all(
-            host,
-            policy,
-            &mut slots,
-            &mut pending,
-            &mut uplink,
-            fleet_now,
-            &fleet_rec,
-        )?;
-
-        // Step the laggard: the active session with the smallest local
-        // clock (ties broken by roster slot) — conservative co-simulation.
-        let Some(idx) = slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.active.is_some())
-            .min_by_key(|(i, s)| (s.clock.now(), *i))
-            .map(|(i, _)| i)
-        else {
-            debug_assert!(pending.is_empty(), "idle scheduler with pending tenants");
-            break;
-        };
-
-        let slot = &mut slots[idx];
-        let active = slot.active.as_mut().expect("laggard slot is active");
-        let share = uplink.share(active.sub);
-        if share != active.applied {
-            active.session.set_bandwidth(share);
-            active.applied = share;
-        }
-        if let SessionStep::Complete(report) = active.session.step(&mut slot.vm, &mut slot.clock)? {
-            let ended = slot.clock.now();
-            uplink.unsubscribe(active.sub);
-            slot.active = None;
-            slot.ended_at = Some(ended);
-            fleet_now = fleet_now.max(ended);
-
-            let admitted = slot.admitted_at.expect("completed slot was admitted");
-            fleet_rec.record_span(
-                admitted,
-                Subsystem::Fleet,
-                "migration",
-                ended.saturating_since(admitted),
-                vec![
-                    ("slot", (idx as u64).into()),
-                    ("bytes", report.total_bytes.into()),
-                ],
-            );
-            fleet_rec.hist_dur(
-                Subsystem::Fleet,
-                "migration_ns",
-                ended.saturating_since(admitted),
-            );
-            fleet_rec.hist_dur(
-                Subsystem::Fleet,
-                "downtime_ns",
-                report.downtime.workload_downtime(),
-            );
-            fleet_rec.counter_add(Subsystem::Fleet, "migrations_completed", 1);
-            fleet_rec.counter_add(Subsystem::Fleet, "bytes_total", report.total_bytes);
-
-            // Fold this tenant now, not at drain end: its tail runs on its
-            // own clock, its row streams to the sink, its histograms merge
-            // into bounded state, and the heavy report can drop.
-            slot.vm.run_for(&mut slot.clock, host.tail, host.tick);
-            let tail_end = slot.clock.now();
-            slot.vm.finish_analyzer(tail_end);
-            let meta = DigestMeta {
-                name: slot.tenant.name.clone(),
-                workload: slot.tenant.vm.workload.name.to_string(),
-                assisted: slot.tenant.vm.assisted,
-                seed: slot.tenant.vm.seed,
-            };
-            let entry = FleetVmEntry {
-                digest: RunDigest::from_report(meta, &report),
-                admitted_at_ns: admitted.saturating_since(drain_start).as_nanos(),
-                ended_at_ns: ended.saturating_since(drain_start).as_nanos(),
-                detected_period_ns: slot.detected_period_ns,
-                detected_confidence: slot.detected_confidence,
-                detect_confident: slot.detect_confident,
-                declared_period_ns: slot.declared_period_ns,
-                window_hit: slot.window_hit,
-                sla: slot.tenant.sla.cost(&report),
-            };
-            merger.add(&report.telemetry);
-            if let Some(sink) = sink.as_deref_mut() {
-                sink.row(&entry);
-            }
-            slot.entry = Some(entry);
-            if keep_reports {
-                slot.report = Some(*report);
-            }
-        }
-    }
-
-    merger.add(&fleet_rec.snapshot());
-    let histograms = merger.finish();
-    let vms: Vec<FleetVmEntry> = slots
-        .iter_mut()
-        .map(|s| s.entry.take().expect("every tenant migrated"))
-        .collect();
-    let digest = FleetDigest::new(
-        FleetMeta {
-            name: host.name.clone(),
-            policy: policy.name().to_string(),
-            seed: host.seed,
-            uplink_bytes_per_sec: host.uplink.bytes_per_sec(),
-            max_concurrent: host.max_concurrent,
-        },
-        vms,
-        histograms,
-    );
-    let reports: Vec<MigrationReport> = if keep_reports {
-        slots
-            .iter_mut()
-            .map(|s| s.report.take().expect("every tenant migrated"))
-            .collect()
-    } else {
-        Vec::new()
-    };
-    Ok((digest, reports))
-}
-
-/// Admits tenants until the concurrency cap, the min-rate feasibility
-/// check, or head-of-line blocking stops us.
-#[allow(clippy::too_many_arguments)]
-fn admit_all(
-    host: &HostSpec,
-    policy: FleetPolicy,
-    slots: &mut [Slot],
-    pending: &mut Vec<usize>,
-    uplink: &mut SharedUplink,
-    fleet_now: SimTime,
-    fleet_rec: &Recorder,
-) -> Result<(), MigrateError> {
-    while !pending.is_empty() && uplink.active() < host.max_concurrent as usize {
-        // Pending guests are live: bring them up to fleet time so the
-        // sensors (and the eventual migration) see their true current
-        // state.
-        for &i in pending.iter() {
-            slots[i].catch_up(fleet_now, host.tick, host.sense_cadence);
-        }
-
-        // Candidate order. The static policies consider only the queue
-        // head — head-of-line blocking is the price of a fixed order. The
-        // cycle policies rank the whole queue by peak ratio (deepest in
-        // its write-quiet trough first) and may admit *around* an
-        // infeasible candidate: a dynamic policy is not queue-bound.
-        //
-        // CycleAware sees only what the observatory senses: the detected
-        // estimate's rate ratio at this instant, when the detector clears
-        // the confidence gate. Below the gate a tenant scores exactly 1.0
-        // — the same score every steady workload gets — so the ranking
-        // degrades to the working-set tie-break and the policy *is*
-        // smallest-working-set-first until the detector is sure.
-        //
-        // CycleDeclared is the oracle: the declared dirty-rate hint over
-        // the declared cycle average (the application-assisted route, one
-        // level up from the paper's JVMTI agent). It exists so detection
-        // accuracy has a ground-truth run to be measured against.
-        let order: Vec<usize> = match policy {
-            FleetPolicy::Fifo | FleetPolicy::SmallestWorkingSetFirst => vec![0],
-            FleetPolicy::CycleAware => {
-                let mut ranked: Vec<(f64, u64, usize)> = pending
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, &i)| {
-                        let slot = &slots[i];
-                        let now_ns = slot.clock.now().as_nanos();
-                        let score = match detect(&slot.sensor, now_ns) {
-                            Some(est) if est.confidence >= CONFIDENCE_GATE => {
-                                est.rate_ratio_at(now_ns)
-                            }
-                            _ => 1.0,
-                        };
-                        let heap = slot.vm.jvm().heap();
-                        let ws = heap.young_committed() + heap.old_used();
-                        (score, ws, pos)
-                    })
-                    .collect();
-                ranked.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .expect("rate ratios are finite")
-                        .then(a.1.cmp(&b.1))
-                        .then(a.2.cmp(&b.2))
-                });
-                ranked.into_iter().map(|(_, _, pos)| pos).collect()
-            }
-            FleetPolicy::CycleDeclared => {
-                let mut ranked: Vec<(f64, u64, usize)> = pending
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, &i)| {
-                        let slot = &mut slots[i];
-                        let average = match &slot.tenant.phases {
-                            Some(phases) => cycle_average_rate(phases),
-                            None => {
-                                let w = &slot.tenant.vm.workload;
-                                (w.alloc_rate + w.old_write_rate).max(1.0)
-                            }
-                        };
-                        let heap = slot.vm.jvm().heap();
-                        let ws = heap.young_committed() + heap.old_used();
-                        (slot.vm.dirty_rate_hint() / average, ws, pos)
-                    })
-                    .collect();
-                // Ties on the peak ratio — every steady tenant sits at
-                // exactly 1.0 — break smallest-working-set-first, then by
-                // queue position.
-                ranked.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .expect("peak ratios are finite")
-                        .then(a.1.cmp(&b.1))
-                        .then(a.2.cmp(&b.2))
-                });
-                ranked.into_iter().map(|(_, _, pos)| pos).collect()
-            }
-        };
-        let feasible_pos = order.into_iter().find(|&pos| {
-            let tenant = &slots[pending[pos]].tenant;
-            !host.enforce_min_rate
-                || uplink.can_admit(tenant.weight, tenant.min_rate)
-                // A drain must never deadlock: with nothing in flight the
-                // candidate gets the whole uplink, the best it will ever
-                // see.
-                || uplink.active() == 0
-        });
-        let Some(pos) = feasible_pos else {
-            // Every candidate the policy may pick is infeasible; capacity
-            // frees up when an active migration completes, and admission
-            // re-runs then.
-            break;
-        };
-        let idx = pending.remove(pos);
-
-        let slot = &mut slots[idx];
-        // Freeze the observatory's view of this tenant at its admission
-        // instant: the estimate the digest scores, and — when a declared
-        // cycle exists as ground truth — whether a gate-clearing estimate
-        // landed the admission below the declared cycle-average dirty
-        // rate (a window hit). Every policy records this, so detected
-        // accuracy is comparable across policies.
-        let now_ns = slot.clock.now().as_nanos();
-        let estimate = detect(&slot.sensor, now_ns);
-        slot.detected_period_ns = estimate.as_ref().map_or(0, |e| e.period_ns);
-        slot.detected_confidence = estimate.as_ref().map_or(0.0, |e| e.confidence);
-        slot.detect_confident = estimate
-            .as_ref()
-            .is_some_and(|e| e.confidence >= CONFIDENCE_GATE);
-        slot.declared_period_ns = slot
-            .tenant
-            .phases
-            .as_ref()
-            .map_or(0, |ph| ph.iter().map(|p| p.duration.as_nanos()).sum());
-        let confident = slot.detect_confident;
-        slot.window_hit = match &slot.tenant.phases {
-            Some(phases) => {
-                let declared_now = slot.vm.dirty_rate_hint();
-                Some(confident && declared_now <= cycle_average_rate(phases))
-            }
-            None => None,
-        };
-
-        let sub = uplink.subscribe(slot.tenant.weight, slot.tenant.min_rate);
-        let mut migration = slot.tenant.migration.clone();
-        if host.scan_workers > 1 {
-            // Host-wide scan pool: every admitted session shards its scan
-            // across the host's workers. Bit-identical to inline scanning,
-            // so pooled and serial drains produce the same digest bytes
-            // (locked by tests/parallel_determinism.rs).
-            migration.scan_workers = host.scan_workers;
-        }
-        let engine = PrecopyEngine::new(migration);
-        let session = engine.begin(&mut slot.vm, &mut slot.clock, Recorder::new())?;
-        let applied = slot.tenant.migration.bandwidth;
-        slot.active = Some(Active {
-            session,
-            sub,
-            applied,
-        });
-        slot.admitted_at = Some(fleet_now);
-        fleet_rec.instant(
-            fleet_now,
-            Subsystem::Fleet,
-            "admit",
-            vec![
-                ("slot", (idx as u64).into()),
-                ("active", (uplink.active() as u64).into()),
-            ],
-        );
-        // First-class estimate telemetry: an instant per admission and a
-        // confidence gauge. Gauges and instants are excluded from the
-        // merged fleet histograms, so these stay digest-safe.
-        fleet_rec.instant(
-            fleet_now,
-            Subsystem::Fleet,
-            "workload_estimate",
-            vec![
-                ("slot", (idx as u64).into()),
-                ("period_ns", slot.detected_period_ns.into()),
-                ("confidence", slot.detected_confidence.into()),
-                ("confident", slot.detect_confident.into()),
-                ("declared_period_ns", slot.declared_period_ns.into()),
-            ],
-        );
-        fleet_rec.gauge(
-            fleet_now,
-            Subsystem::Fleet,
-            "detect_confidence",
-            slot.detected_confidence,
-        );
-        fleet_rec.hist_dur(
-            Subsystem::Fleet,
-            "queue_wait_ns",
-            fleet_now.saturating_since(SimTime::ZERO + host.warmup),
-        );
-    }
-    Ok(())
+    let plan = EvacuationPlan::single_host(host.clone());
+    let mut out = drain_evacuation(&plan, policy, Some(sink), false)?;
+    Ok(out.hosts.remove(0))
 }

@@ -15,6 +15,7 @@
 use crate::vm::{JavaVm, JavaVmConfig};
 use jheap::mutator::{Phase, PhasedMutator};
 use migrate::config::MigrationConfig;
+use migrate::error::ConfigError;
 use migrate::sla::SlaModel;
 use simkit::units::Bandwidth;
 use simkit::SimDuration;
@@ -173,6 +174,208 @@ impl HostSpec {
         self.tenants.push(tenant);
         self
     }
+
+    /// A validating builder with the same defaults as [`HostSpec::new`].
+    /// Prefer it for hand-assembled drains: it rejects a bad spec once, at
+    /// build time, instead of letting the scheduler panic mid-drain.
+    pub fn builder(name: impl Into<String>, seed: u64) -> HostSpecBuilder {
+        HostSpecBuilder {
+            spec: Self::new(name, seed),
+        }
+    }
+
+    /// Checks every invariant the fleet scheduler relies on. This is the
+    /// *single* home of host validation: [`HostSpecBuilder::build`] calls
+    /// it, and the scheduler re-checks it on entry instead of asserting
+    /// piecemeal.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant: an empty roster, a non-positive
+    /// uplink, a zero concurrency cap or tick, a sensing cadence that is
+    /// not a non-zero multiple of the tick, a scan pool without workers,
+    /// or a tenant with a non-positive weight or min-rate floor.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tenants.is_empty() {
+            return Err(ConfigError::EmptyRoster);
+        }
+        if self.max_concurrent == 0 {
+            return Err(ConfigError::ZeroConcurrency);
+        }
+        if self.tick.is_zero() {
+            return Err(ConfigError::ZeroTick);
+        }
+        if self.sense_cadence.is_zero()
+            || !self
+                .sense_cadence
+                .as_nanos()
+                .is_multiple_of(self.tick.as_nanos())
+        {
+            return Err(ConfigError::SenseCadenceMisaligned);
+        }
+        if self.scan_workers == 0 {
+            return Err(ConfigError::ZeroScanWorkers);
+        }
+        // `Bandwidth` is positive by construction, so uplink and min-rate
+        // floors need no re-check here; weights are plain f64s and do.
+        for tenant in &self.tenants {
+            if !(tenant.weight.is_finite() && tenant.weight > 0.0) {
+                return Err(ConfigError::NonPositiveWeight);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`HostSpec`] and validates it once at the end, mirroring
+/// `MigrationConfig`'s builder.
+///
+/// # Examples
+///
+/// ```
+/// use javmm::host::HostSpec;
+/// use simkit::units::Bandwidth;
+///
+/// let err = HostSpec::builder("empty", 1)
+///     .uplink(Bandwidth::gigabit_ethernet())
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(format!("{err}"), "host drain needs at least one tenant");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostSpecBuilder {
+    spec: HostSpec,
+}
+
+impl HostSpecBuilder {
+    /// Appends a tenant (roster order is admission order under FIFO).
+    pub fn tenant(mut self, tenant: VmTenant) -> Self {
+        self.spec.tenants.push(tenant);
+        self
+    }
+
+    /// Sets the shared uplink capacity.
+    pub fn uplink(mut self, uplink: Bandwidth) -> Self {
+        self.spec.uplink = uplink;
+        self
+    }
+
+    /// Sets the in-flight migration cap.
+    pub fn max_concurrent(mut self, cap: u32) -> Self {
+        self.spec.max_concurrent = cap;
+        self
+    }
+
+    /// Enables or disables min-rate admission control.
+    pub fn enforce_min_rate(mut self, enforce: bool) -> Self {
+        self.spec.enforce_min_rate = enforce;
+        self
+    }
+
+    /// Sets the pre-drain warmup.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.spec.warmup = warmup;
+        self
+    }
+
+    /// Sets the post-migration per-VM tail.
+    pub fn tail(mut self, tail: SimDuration) -> Self {
+        self.spec.tail = tail;
+        self
+    }
+
+    /// Sets the guest tick.
+    pub fn tick(mut self, tick: SimDuration) -> Self {
+        self.spec.tick = tick;
+        self
+    }
+
+    /// Sets the dirty-rate sensing cadence.
+    pub fn sense_cadence(mut self, cadence: SimDuration) -> Self {
+        self.spec.sense_cadence = cadence;
+        self
+    }
+
+    /// Sets the sensing ring capacity.
+    pub fn sense_capacity(mut self, capacity: usize) -> Self {
+        self.spec.sense_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-session scan-pool worker count.
+    pub fn scan_workers(mut self, workers: usize) -> Self {
+        self.spec.scan_workers = workers;
+        self
+    }
+
+    /// Validates the assembled spec and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`HostSpec::validate`] rejects.
+    pub fn build(self) -> Result<HostSpec, ConfigError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// A destination host an evacuation may place VMs onto: its ingress NIC
+/// and how many incoming VMs it can hold.
+///
+/// Destinations are capacity, not simulation: a placed VM's migration
+/// traffic contends on the destination's ingress link (and the core
+/// switch in between), and the VM permanently occupies one slot once
+/// placed — evacuations move VMs *off* sources, they never re-balance
+/// destinations.
+#[derive(Debug, Clone)]
+pub struct DestSpec {
+    /// Stable destination name, surfaced in placement reports.
+    pub name: String,
+    /// Ingress NIC capacity.
+    pub ingress: Bandwidth,
+    /// How many incoming VMs this host can hold.
+    pub slots: u32,
+    /// Whether the path to this host crosses a WAN (a slow, long-haul
+    /// last resort for placement).
+    pub wan: bool,
+}
+
+impl DestSpec {
+    /// A LAN destination with a gigabit ingress NIC.
+    pub fn new(name: impl Into<String>, slots: u32) -> Self {
+        Self {
+            name: name.into(),
+            ingress: Bandwidth::gigabit_ethernet(),
+            slots,
+            wan: false,
+        }
+    }
+
+    /// Sets the ingress NIC capacity.
+    pub fn with_ingress(mut self, ingress: Bandwidth) -> Self {
+        self.ingress = ingress;
+        self
+    }
+
+    /// Marks the destination as WAN-attached.
+    pub fn with_wan(mut self) -> Self {
+        self.wan = true;
+        self
+    }
+
+    /// Checks the destination's own invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroDestinationSlots`] for a slotless host (the
+    /// ingress NIC needs no check — [`Bandwidth`] is positive by
+    /// construction).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.slots == 0 {
+            return Err(ConfigError::ZeroDestinationSlots);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +420,74 @@ mod tests {
         let vm = t.launch();
         // The phased mutator is live: the VM boots and runs.
         assert_eq!(vm.jvm().heap().young_used(), 0);
+    }
+
+    #[test]
+    fn builder_validates_every_scheduler_invariant() {
+        let tenant = || {
+            VmTenant::new(
+                "t",
+                JavaVmConfig::paper(catalog::derby(), true, 1),
+                MigrationConfig::javmm_default(),
+            )
+        };
+        assert_eq!(
+            HostSpec::builder("h", 1).build().unwrap_err(),
+            ConfigError::EmptyRoster
+        );
+        assert_eq!(
+            HostSpec::builder("h", 1)
+                .tenant(tenant())
+                .max_concurrent(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroConcurrency
+        );
+        assert_eq!(
+            HostSpec::builder("h", 1)
+                .tenant(tenant())
+                .sense_cadence(SimDuration::from_millis(3))
+                .build()
+                .unwrap_err(),
+            ConfigError::SenseCadenceMisaligned,
+            "cadence must align to the 2 ms tick"
+        );
+        assert_eq!(
+            HostSpec::builder("h", 1)
+                .tenant(tenant())
+                .scan_workers(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroScanWorkers
+        );
+        assert_eq!(
+            HostSpec::builder("h", 1)
+                .tenant(tenant().with_weight(0.0))
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositiveWeight
+        );
+        let ok = HostSpec::builder("h", 1)
+            .tenant(tenant())
+            .warmup(SimDuration::from_secs(4))
+            .tail(SimDuration::from_secs(1))
+            .build()
+            .expect("valid spec");
+        assert_eq!(ok.warmup, SimDuration::from_secs(4));
+        ok.validate().expect("built specs stay valid");
+    }
+
+    #[test]
+    fn dest_spec_validates_slots_and_ingress() {
+        assert_eq!(
+            DestSpec::new("d", 0).validate().unwrap_err(),
+            ConfigError::ZeroDestinationSlots
+        );
+        let wan = DestSpec::new("edge", 8)
+            .with_ingress(Bandwidth::from_mbytes_per_sec(40.0))
+            .with_wan();
+        assert!(wan.wan);
+        wan.validate().expect("valid destination");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! extension does it inside a cache server.
 //!
 //! Concrete applications own a [`crate::netlink::NetlinkSocket`] and
-//! exchange [`crate::messages`] with the LKM from inside their
+//! exchange [`crate::coord::CoordMsg`] envelopes with the LKM from inside their
 //! [`GuestApp::advance`]; the orchestrator only needs this object-safe
 //! trait to drive them.
 

@@ -9,14 +9,10 @@
 //! per-direction sequence number stamped by the transport at send time, an
 //! optional sender deadline, the source [`Lane`], and a [`CoordPayload`]
 //! covering the full vocabulary of Figure 4 plus the abort handshake of the
-//! degradation ladder.
-//!
-//! The legacy enums remain in [`crate::messages`] for one release; `From`
-//! impls below let existing senders pass them anywhere an
-//! `impl Into<CoordMsg>` is accepted. Receivers should match on
-//! [`CoordMsg::payload`].
+//! degradation ladder. Senders pass a [`CoordPayload`] (or a ready-made
+//! `CoordMsg`) anywhere an `impl Into<CoordMsg>` is accepted; receivers
+//! match on [`CoordMsg::payload`].
 
-use crate::messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
 use simkit::{SimDuration, SimTime};
 use vmem::VaRange;
 
@@ -169,104 +165,13 @@ impl CoordPayload {
     }
 }
 
-// ---- compat layer: legacy per-direction enums → envelope --------------
-//
-// Kept for one release so downstream senders keep compiling; receivers have
-// all moved to `CoordMsg`. Not marked deprecated yet: the workspace builds
-// with `-D warnings` and the legacy enums are still used by tests pinned to
-// the old surface.
-
-impl From<DaemonToLkm> for CoordPayload {
-    fn from(m: DaemonToLkm) -> Self {
-        match m {
-            DaemonToLkm::MigrationBegin => CoordPayload::MigrationBegin,
-            DaemonToLkm::EnteringLastIter => CoordPayload::EnteringLastIter,
-            DaemonToLkm::VmResumed => CoordPayload::VmResumed,
-        }
-    }
-}
-
-impl From<LkmToDaemon> for CoordPayload {
-    fn from(m: LkmToDaemon) -> Self {
-        match m {
-            LkmToDaemon::ReadyToSuspend {
-                final_update,
-                stragglers,
-            } => CoordPayload::ReadyToSuspend {
-                final_update,
-                stragglers,
-            },
-        }
-    }
-}
-
-impl From<LkmToApp> for CoordPayload {
-    fn from(m: LkmToApp) -> Self {
-        match m {
-            LkmToApp::QuerySkipOver => CoordPayload::QuerySkipOver,
-            LkmToApp::PrepareSuspension => CoordPayload::PrepareSuspension,
-            LkmToApp::VmResumed => CoordPayload::VmResumed,
-        }
-    }
-}
-
-impl From<AppToLkm> for CoordPayload {
-    fn from(m: AppToLkm) -> Self {
-        match m {
-            AppToLkm::SkipOverAreas(areas) => CoordPayload::SkipOverAreas(areas),
-            AppToLkm::AreaShrunk { left } => CoordPayload::AreaShrunk { left },
-            AppToLkm::SuspensionReady { areas, must_send } => {
-                CoordPayload::SuspensionReady { areas, must_send }
-            }
-        }
-    }
-}
-
-impl From<DaemonToLkm> for CoordMsg {
-    fn from(m: DaemonToLkm) -> Self {
-        CoordMsg::new(m.into())
-    }
-}
-
-impl From<LkmToDaemon> for CoordMsg {
-    fn from(m: LkmToDaemon) -> Self {
-        CoordMsg::new(m.into())
-    }
-}
-
-impl From<LkmToApp> for CoordMsg {
-    fn from(m: LkmToApp) -> Self {
-        CoordMsg::new(m.into())
-    }
-}
-
-impl From<AppToLkm> for CoordMsg {
-    fn from(m: AppToLkm) -> Self {
-        CoordMsg::new(m.into())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vmem::Vaddr;
 
     #[test]
-    fn compat_layer_maps_every_legacy_variant() {
-        assert_eq!(
-            CoordPayload::from(DaemonToLkm::MigrationBegin),
-            CoordPayload::MigrationBegin
-        );
-        assert_eq!(
-            CoordPayload::from(LkmToApp::VmResumed),
-            CoordPayload::VmResumed
-        );
-        let areas = vec![VaRange::new(Vaddr(0), Vaddr(4096))];
-        assert_eq!(
-            CoordPayload::from(AppToLkm::SkipOverAreas(areas.clone())),
-            CoordPayload::SkipOverAreas(areas)
-        );
-        let m: CoordMsg = LkmToDaemon::ReadyToSuspend {
+    fn payload_envelope_roundtrip() {
+        let m: CoordMsg = CoordPayload::ReadyToSuspend {
             final_update: SimDuration::from_micros(250),
             stragglers: 1,
         }

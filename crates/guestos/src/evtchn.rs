@@ -175,7 +175,6 @@ fn drain_ready(queue: &mut VecDeque<(SimTime, CoordMsg)>, now: SimTime) -> Vec<C
 mod tests {
     use super::*;
     use crate::coord::CoordPayload;
-    use crate::messages::{DaemonToLkm, LkmToDaemon};
 
     fn t(us: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_micros(us)
@@ -184,7 +183,7 @@ mod tests {
     #[test]
     fn bidirectional_delivery() {
         let (daemon, lkm) = channel_pair();
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
         assert!(lkm.recv(t(0)).is_empty(), "latency not yet elapsed");
         let got = lkm.recv(t(20));
         assert_eq!(got.len(), 1);
@@ -192,7 +191,7 @@ mod tests {
         assert_eq!(got[0].lane, Lane::Evtchn);
         lkm.send(
             t(30),
-            LkmToDaemon::ReadyToSuspend {
+            CoordPayload::ReadyToSuspend {
                 final_update: SimDuration::from_micros(250),
                 stragglers: 0,
             },
@@ -203,8 +202,8 @@ mod tests {
     #[test]
     fn order_and_seq_preserved() {
         let (daemon, lkm) = channel_pair_with_latency(SimDuration::ZERO);
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
-        daemon.send(t(0), DaemonToLkm::EnteringLastIter);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
+        daemon.send(t(0), CoordPayload::EnteringLastIter);
         let got = lkm.recv(t(0));
         assert_eq!(
             got.iter().map(|m| m.payload.clone()).collect::<Vec<_>>(),
@@ -223,7 +222,7 @@ mod tests {
             },
             DetRng::new(1),
         );
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
         assert!(lkm.recv(t(10)).is_empty());
     }
 
@@ -237,7 +236,7 @@ mod tests {
             },
             DetRng::new(1),
         );
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
         let got = lkm.recv(t(10));
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].seq, got[1].seq);
@@ -255,9 +254,9 @@ mod tests {
             },
             DetRng::new(3),
         );
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
         daemon.install_faults(LaneFaults::NONE, DetRng::new(0));
-        daemon.send(t(1), DaemonToLkm::EnteringLastIter);
+        daemon.send(t(1), CoordPayload::EnteringLastIter);
         let got = lkm.recv(t(20_000));
         assert_eq!(got.len(), 2);
         // The delayed MigrationBegin (seq 1) arrives after seq 2.

@@ -24,7 +24,6 @@ pub mod evtchn;
 pub mod frames;
 pub mod kernel;
 pub mod lkm;
-pub mod messages;
 pub mod netlink;
 pub mod process;
 pub mod procfs;
@@ -33,7 +32,6 @@ pub use app::GuestApp;
 pub use coord::{CoordMsg, CoordPayload, Lane, COORD_VERSION};
 pub use kernel::{GuestKernel, GuestOsConfig, WriteOutcome};
 pub use lkm::{DaemonPort, Lkm, LkmConfig, LkmConfigBuilder, LkmConfigError, LkmState, LkmStats};
-pub use messages::{AppToLkm, DaemonToLkm, LkmToApp, LkmToDaemon};
 pub use netlink::{NetlinkBus, NetlinkSocket};
 pub use process::{Pid, Process};
 pub use procfs::{parse_ranges, ProcSkipOverEntry, ProcWriteError};

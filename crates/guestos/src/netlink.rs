@@ -325,7 +325,6 @@ impl KernelNetlink {
 mod tests {
     use super::*;
     use crate::coord::CoordPayload;
-    use crate::messages::{AppToLkm, LkmToApp};
 
     fn t(ms: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_millis(ms)
@@ -340,7 +339,8 @@ mod tests {
         let bus = NetlinkBus::new();
         let a = bus.subscribe(Pid(1));
         let b = bus.subscribe(Pid(2));
-        bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
+        bus.kernel_end()
+            .multicast(t(0), CoordPayload::QuerySkipOver);
         assert_eq!(payloads(a.recv(t(1))), vec![CoordPayload::QuerySkipOver]);
         assert_eq!(payloads(b.recv(t(1))), vec![CoordPayload::QuerySkipOver]);
         assert!(a.recv(t(2)).is_empty(), "message consumed");
@@ -350,7 +350,7 @@ mod tests {
     fn latency_delays_delivery() {
         let bus = NetlinkBus::with_latency(SimDuration::from_millis(5));
         let sock = bus.subscribe(Pid(1));
-        bus.kernel_end().multicast(t(0), LkmToApp::VmResumed);
+        bus.kernel_end().multicast(t(0), CoordPayload::VmResumed);
         assert!(sock.recv(t(4)).is_empty());
         assert_eq!(sock.recv(t(5)).len(), 1);
     }
@@ -360,7 +360,7 @@ mod tests {
         let bus = NetlinkBus::new();
         let sock = bus.subscribe(Pid(42));
         let kernel = bus.kernel_end();
-        sock.send(t(0), AppToLkm::SkipOverAreas(vec![]));
+        sock.send(t(0), CoordPayload::SkipOverAreas(vec![]));
         let got = kernel.recv(t(1));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, Pid(42));
@@ -377,7 +377,8 @@ mod tests {
         drop(sock);
         assert_eq!(bus.subscriber_count(), 0);
         // Multicasting to nobody is fine.
-        bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
+        bus.kernel_end()
+            .multicast(t(0), CoordPayload::QuerySkipOver);
     }
 
     #[test]
@@ -385,8 +386,8 @@ mod tests {
         let bus = NetlinkBus::new();
         let sock = bus.subscribe(Pid(1));
         let kernel = bus.kernel_end();
-        kernel.multicast(t(0), LkmToApp::QuerySkipOver);
-        kernel.multicast(t(0), LkmToApp::PrepareSuspension);
+        kernel.multicast(t(0), CoordPayload::QuerySkipOver);
+        kernel.multicast(t(0), CoordPayload::PrepareSuspension);
         assert_eq!(
             payloads(sock.recv(t(1))),
             vec![CoordPayload::QuerySkipOver, CoordPayload::PrepareSuspension]
@@ -404,7 +405,8 @@ mod tests {
             },
             DetRng::new(9),
         );
-        bus.kernel_end().multicast(t(0), LkmToApp::QuerySkipOver);
+        bus.kernel_end()
+            .multicast(t(0), CoordPayload::QuerySkipOver);
         assert!(sock.recv(t(10)).is_empty());
     }
 
@@ -420,7 +422,7 @@ mod tests {
             DetRng::new(9),
         );
         bus.kernel_end()
-            .multicast(t(0), LkmToApp::PrepareSuspension);
+            .multicast(t(0), CoordPayload::PrepareSuspension);
         let got = sock.recv(t(10));
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].seq, got[1].seq);

@@ -14,7 +14,7 @@
 //! than guess — and the accepted ranges are handed to the LKM exactly as a
 //! netlink `SkipOverAreas` reply would be.
 
-use crate::messages::AppToLkm;
+use crate::coord::CoordPayload;
 use crate::netlink::NetlinkSocket;
 use simkit::SimTime;
 use vmem::{VaRange, Vaddr};
@@ -98,7 +98,7 @@ pub fn write_skip_over(
     let text = format_ranges(ranges);
     let parsed = parse_ranges(&text)?;
     let n = parsed.len();
-    sock.send(now, AppToLkm::SkipOverAreas(parsed));
+    sock.send(now, CoordPayload::SkipOverAreas(parsed));
     Ok(n)
 }
 
@@ -124,7 +124,7 @@ impl ProcSkipOverEntry {
     pub fn write(&self, now: SimTime, text: &str) -> Result<usize, ProcWriteError> {
         let ranges = parse_ranges(text)?;
         let n = ranges.len();
-        self.sock.send(now, AppToLkm::SkipOverAreas(ranges));
+        self.sock.send(now, CoordPayload::SkipOverAreas(ranges));
         Ok(n)
     }
 }

@@ -7,7 +7,6 @@
 use guestos::coord::{CoordMsg, CoordPayload};
 use guestos::kernel::{GuestKernel, GuestOsConfig};
 use guestos::lkm::{LkmConfig, LkmState};
-use guestos::messages::{AppToLkm, DaemonToLkm};
 use simkit::{DetRng, SimDuration, SimTime};
 use vmem::{PageClass, VaRange, Vaddr, VmSpec, PAGE_SIZE};
 
@@ -46,7 +45,7 @@ fn full_protocol_happy_path() {
     let sock = g.subscribe_netlink(pid);
 
     // Migration begins.
-    daemon.send(t(0), DaemonToLkm::MigrationBegin);
+    daemon.send(t(0), CoordPayload::MigrationBegin);
     g.service_lkm(t(1));
     assert_eq!(g.lkm().unwrap().state(), LkmState::MigrationStarted);
     assert_eq!(payloads(sock.recv(t(2))), vec![CoordPayload::QuerySkipOver]);
@@ -54,7 +53,7 @@ fn full_protocol_happy_path() {
     assert_eq!(payloads(daemon.recv(t(2))), vec![CoordPayload::BeginAck]);
 
     // App reports its skip-over area; first bitmap update clears 32 bits.
-    sock.send(t(2), AppToLkm::SkipOverAreas(vec![area]));
+    sock.send(t(2), CoordPayload::SkipOverAreas(vec![area]));
     g.service_lkm(t(3));
     let lkm = g.lkm().unwrap();
     assert_eq!(lkm.stats().first_update_pages, 32);
@@ -63,7 +62,7 @@ fn full_protocol_happy_path() {
     assert!(!g.lkm().unwrap().should_transfer(skipped_pfn));
 
     // Entering last iteration: app is asked to prepare.
-    daemon.send(t(10), DaemonToLkm::EnteringLastIter);
+    daemon.send(t(10), CoordPayload::EnteringLastIter);
     g.service_lkm(t(11));
     assert_eq!(
         payloads(sock.recv(t(12))),
@@ -76,7 +75,7 @@ fn full_protocol_happy_path() {
     let survivors = pages(0x100, 4);
     sock.send(
         t(12),
-        AppToLkm::SuspensionReady {
+        CoordPayload::SuspensionReady {
             areas: vec![area],
             must_send: vec![survivors],
         },
@@ -106,7 +105,7 @@ fn full_protocol_happy_path() {
     );
 
     // VM resumes: LKM resets for the next migration.
-    daemon.send(t(20), DaemonToLkm::VmResumed);
+    daemon.send(t(20), CoordPayload::VmResumed);
     g.service_lkm(t(21));
     let lkm = g.lkm().unwrap();
     assert_eq!(lkm.state(), LkmState::Initialized);
@@ -124,10 +123,10 @@ fn shrink_is_applied_immediately_and_expansion_deferred() {
     let daemon = g.load_lkm(LkmConfig::default());
     let sock = g.subscribe_netlink(pid);
 
-    daemon.send(t(0), DaemonToLkm::MigrationBegin);
+    daemon.send(t(0), CoordPayload::MigrationBegin);
     g.service_lkm(t(1));
     sock.recv(t(2));
-    sock.send(t(2), AppToLkm::SkipOverAreas(vec![area]));
+    sock.send(t(2), CoordPayload::SkipOverAreas(vec![area]));
     g.service_lkm(t(3));
     assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), 16);
 
@@ -139,7 +138,7 @@ fn shrink_is_applied_immediately_and_expansion_deferred() {
     g.unmap_free(pid, leaving);
     sock.send(
         t(3),
-        AppToLkm::AreaShrunk {
+        CoordPayload::AreaShrunk {
             left: vec![leaving],
         },
     );
@@ -167,13 +166,13 @@ fn shrink_is_applied_immediately_and_expansion_deferred() {
     // [0x200, 0x218) but pages [0x20a, 0x210) were freed and stay unmapped,
     // so the walk finds 8 newly mapped expansion pages (6 of which reuse
     // the frames freed by the shrink).
-    daemon.send(t(6), DaemonToLkm::EnteringLastIter);
+    daemon.send(t(6), CoordPayload::EnteringLastIter);
     g.service_lkm(t(7));
     sock.recv(t(8));
     let grown = VaRange::new(Vaddr(0x200 * PAGE_SIZE), expansion.end());
     sock.send(
         t(8),
-        AppToLkm::SuspensionReady {
+        CoordPayload::SuspensionReady {
             areas: vec![grown],
             must_send: vec![],
         },
@@ -203,21 +202,21 @@ fn straggler_is_unskipped_after_timeout() {
     let sock_good = g.subscribe_netlink(pid_good);
     let sock_bad = g.subscribe_netlink(pid_bad);
 
-    daemon.send(t(0), DaemonToLkm::MigrationBegin);
+    daemon.send(t(0), CoordPayload::MigrationBegin);
     g.service_lkm(t(1));
     sock_good.recv(t(2));
     sock_bad.recv(t(2));
-    sock_good.send(t(2), AppToLkm::SkipOverAreas(vec![area_good]));
-    sock_bad.send(t(2), AppToLkm::SkipOverAreas(vec![area_bad]));
+    sock_good.send(t(2), CoordPayload::SkipOverAreas(vec![area_good]));
+    sock_bad.send(t(2), CoordPayload::SkipOverAreas(vec![area_bad]));
     g.service_lkm(t(3));
     assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), 16);
 
-    daemon.send(t(10), DaemonToLkm::EnteringLastIter);
+    daemon.send(t(10), CoordPayload::EnteringLastIter);
     g.service_lkm(t(11));
     // Only the good app replies.
     sock_good.send(
         t(12),
-        AppToLkm::SuspensionReady {
+        CoordPayload::SuspensionReady {
             areas: vec![area_good],
             must_send: vec![],
         },
@@ -263,10 +262,10 @@ fn rewalk_final_update_recomputes_from_page_tables() {
     });
     let sock = g.subscribe_netlink(pid);
 
-    daemon.send(t(0), DaemonToLkm::MigrationBegin);
+    daemon.send(t(0), CoordPayload::MigrationBegin);
     g.service_lkm(t(1));
     sock.recv(t(2));
-    sock.send(t(2), AppToLkm::SkipOverAreas(vec![area]));
+    sock.send(t(2), CoordPayload::SkipOverAreas(vec![area]));
     g.service_lkm(t(3));
     assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), 16);
 
@@ -274,7 +273,7 @@ fn rewalk_final_update_recomputes_from_page_tables() {
     g.unmap_free(pid, pages(0x300 + 12, 4));
     sock.send(
         t(3),
-        AppToLkm::AreaShrunk {
+        CoordPayload::AreaShrunk {
             left: vec![pages(0x300 + 12, 4)],
         },
     );
@@ -287,12 +286,12 @@ fn rewalk_final_update_recomputes_from_page_tables() {
 
     // Final update re-walks: 12 pages still mapped get skipped, the 4
     // freed frames regain their transfer bits.
-    daemon.send(t(5), DaemonToLkm::EnteringLastIter);
+    daemon.send(t(5), CoordPayload::EnteringLastIter);
     g.service_lkm(t(6));
     sock.recv(t(7));
     sock.send(
         t(7),
-        AppToLkm::SuspensionReady {
+        CoordPayload::SuspensionReady {
             areas: vec![pages(0x300, 12)],
             must_send: vec![],
         },
@@ -322,10 +321,10 @@ fn lkm_memory_footprint_is_small() {
         .unwrap();
     let daemon = g.load_lkm(LkmConfig::default());
     let sock = g.subscribe_netlink(pid);
-    daemon.send(t(0), DaemonToLkm::MigrationBegin);
+    daemon.send(t(0), CoordPayload::MigrationBegin);
     g.service_lkm(t(1));
     sock.recv(t(2));
-    sock.send(t(2), AppToLkm::SkipOverAreas(vec![area]));
+    sock.send(t(2), CoordPayload::SkipOverAreas(vec![area]));
     g.service_lkm(t(3));
     let lkm = g.lkm().unwrap();
     assert_eq!(lkm.stats().first_update_pages, npages);
@@ -350,7 +349,7 @@ fn proc_entry_registers_skip_over_areas() {
     let daemon = g.load_lkm(LkmConfig::default());
     let proc_entry = ProcSkipOverEntry::open(g.subscribe_netlink(pid));
 
-    daemon.send(t(0), DaemonToLkm::MigrationBegin);
+    daemon.send(t(0), CoordPayload::MigrationBegin);
     g.service_lkm(t(1));
     // The application writes its areas to /proc instead of replying on
     // netlink (§3.3.2).

@@ -7,7 +7,7 @@
 
 use guestos::kernel::{GuestKernel, GuestOsConfig};
 use guestos::lkm::LkmConfig;
-use guestos::messages::{AppToLkm, DaemonToLkm};
+use guestos::CoordPayload;
 use proptest::prelude::*;
 use simkit::{DetRng, SimDuration, SimTime};
 use vmem::{PageClass, VaRange, Vaddr, VmSpec, PAGE_SIZE};
@@ -56,10 +56,10 @@ proptest! {
         }
         let mut step = 0u64;
 
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
         let now = tick(&mut step, &mut g);
         sock.recv(now);
-        sock.send(now, AppToLkm::SkipOverAreas(vec![area]));
+        sock.send(now, CoordPayload::SkipOverAreas(vec![area]));
         tick(&mut step, &mut g);
         prop_assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), area_pages);
 
@@ -75,7 +75,7 @@ proptest! {
             // Free the frames, then notify the shrink (deallocation order).
             g.unmap_free(pid, cut);
             let now = tick(&mut step, &mut g);
-            sock.send(now, AppToLkm::AreaShrunk { left: vec![cut] });
+            sock.send(now, CoordPayload::AreaShrunk { left: vec![cut] });
             tick(&mut step, &mut g);
             for i in start..end {
                 in_area[i as usize] = false;
@@ -90,7 +90,7 @@ proptest! {
 
         // Finish the protocol: every still-skipped page must belong to the
         // remaining area; the reset clears everything.
-        daemon.send(t(step + 1), DaemonToLkm::EnteringLastIter);
+        daemon.send(t(step + 1), CoordPayload::EnteringLastIter);
         tick(&mut step, &mut g);
         tick(&mut step, &mut g);
         let remaining: Vec<VaRange> = in_area
@@ -107,7 +107,7 @@ proptest! {
         let now = tick(&mut step, &mut g);
         sock.send(
             now,
-            AppToLkm::SuspensionReady {
+            CoordPayload::SuspensionReady {
                 areas: remaining,
                 must_send: vec![],
             },
@@ -117,7 +117,7 @@ proptest! {
         let expect: u64 = in_area.iter().filter(|&&x| x).count() as u64;
         prop_assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), expect);
 
-        daemon.send(t(step + 1), DaemonToLkm::VmResumed);
+        daemon.send(t(step + 1), CoordPayload::VmResumed);
         tick(&mut step, &mut g);
         tick(&mut step, &mut g);
         prop_assert_eq!(g.lkm().unwrap().transfer_bitmap().skip_count(), 0);
@@ -142,12 +142,12 @@ proptest! {
         let daemon = g.load_lkm(LkmConfig::default());
         let sock = g.subscribe_netlink(pid);
 
-        daemon.send(t(0), DaemonToLkm::MigrationBegin);
+        daemon.send(t(0), CoordPayload::MigrationBegin);
         g.service_lkm(t(1));
         sock.recv(t(1));
-        sock.send(t(1), AppToLkm::SkipOverAreas(vec![area]));
+        sock.send(t(1), CoordPayload::SkipOverAreas(vec![area]));
         g.service_lkm(t(2));
-        daemon.send(t(2), DaemonToLkm::EnteringLastIter);
+        daemon.send(t(2), CoordPayload::EnteringLastIter);
         g.service_lkm(t(3));
         sock.recv(t(3));
         let live = VaRange::new(
@@ -156,7 +156,7 @@ proptest! {
         );
         sock.send(
             t(3),
-            AppToLkm::SuspensionReady {
+            CoordPayload::SuspensionReady {
                 areas: vec![area],
                 must_send: vec![live],
             },

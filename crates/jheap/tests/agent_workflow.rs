@@ -4,7 +4,7 @@
 use guestos::app::GuestApp;
 use guestos::kernel::{GuestKernel, GuestOsConfig};
 use guestos::lkm::{LkmConfig, LkmState};
-use guestos::messages::DaemonToLkm;
+use guestos::CoordPayload;
 use jheap::config::JvmConfig;
 use jheap::gc::GcKind;
 use jheap::jvm::JvmProcess;
@@ -55,7 +55,7 @@ fn enforced_gc_holds_threads_until_resume() {
     let mut now = run(&mut kernel, &mut jvm, SimTime::ZERO, 3000);
 
     // Migration begins: the agent answers the skip-over query.
-    port.send(now, DaemonToLkm::MigrationBegin);
+    port.send(now, CoordPayload::MigrationBegin);
     now = run(&mut kernel, &mut jvm, now, 20);
     assert_eq!(kernel.lkm().unwrap().state(), LkmState::MigrationStarted);
     assert!(
@@ -65,7 +65,7 @@ fn enforced_gc_holds_threads_until_resume() {
 
     // Entering the last iteration: the agent runs the enforced GC and then
     // holds the Java threads at the safepoint.
-    port.send(now, DaemonToLkm::EnteringLastIter);
+    port.send(now, CoordPayload::EnteringLastIter);
     now = run(&mut kernel, &mut jvm, now, 3000);
     assert_eq!(kernel.lkm().unwrap().state(), LkmState::SuspensionReady);
     assert!(jvm.is_held(), "threads must stay at the safepoint");
@@ -83,7 +83,7 @@ fn enforced_gc_holds_threads_until_resume() {
     );
 
     // Resumption releases the safepoint and work continues.
-    port.send(now, DaemonToLkm::VmResumed);
+    port.send(now, CoordPayload::VmResumed);
     now = run(&mut kernel, &mut jvm, now, 1000);
     let _ = now;
     assert!(!jvm.is_held());
@@ -115,9 +115,9 @@ fn unassisted_jvm_never_holds() {
         DetRng::new(2),
     );
     let mut now = SimTime::ZERO;
-    port.send(now, DaemonToLkm::MigrationBegin);
+    port.send(now, CoordPayload::MigrationBegin);
     now = run(&mut kernel, &mut jvm, now, 50);
-    port.send(now, DaemonToLkm::EnteringLastIter);
+    port.send(now, CoordPayload::EnteringLastIter);
     now = run(&mut kernel, &mut jvm, now, 500);
     let _ = now;
     // No agent subscribed: the LKM proceeds without waiting on anyone.

@@ -15,8 +15,8 @@
 //! inflating the replication stream.
 
 use crate::vmhost::MigratableVm;
-use guestos::messages::DaemonToLkm;
-use netsim::{Link, PAGE_HEADER_BYTES};
+use guestos::CoordPayload;
+use netsim::{Capacity, Link, PAGE_HEADER_BYTES};
 use simkit::units::Bandwidth;
 use simkit::{SimClock, SimDuration};
 use vmem::{Pfn, PAGE_SIZE};
@@ -102,12 +102,31 @@ impl CheckpointEngine {
         Self { config }
     }
 
-    /// Replicates `vm` for the configured number of epochs.
+    /// Replicates `vm` for the configured number of epochs over a
+    /// dedicated replication NIC at the configured bandwidth.
     ///
     /// # Panics
     ///
     /// Panics if assistance is requested but the guest has no LKM.
     pub fn replicate(&self, vm: &mut dyn MigratableVm, clock: &mut SimClock) -> CheckpointReport {
+        self.replicate_over(vm, clock, &mut Link::new(self.config.bandwidth))
+    }
+
+    /// Replicates `vm`, metering the replication stream through `pipe` —
+    /// any [`Capacity`], so a checkpoint stream can share an uplink with
+    /// live migrations instead of assuming a private NIC. The pipe's
+    /// current rate decides how much backlog one epoch absorbs and how
+    /// long the guest throttles when the stream falls behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if assistance is requested but the guest has no LKM.
+    pub fn replicate_over(
+        &self,
+        vm: &mut dyn MigratableVm,
+        clock: &mut SimClock,
+        pipe: &mut dyn Capacity,
+    ) -> CheckpointReport {
         let t0 = clock.now();
         let port = if self.config.assisted {
             Some(
@@ -122,10 +141,9 @@ impl CheckpointEngine {
         if let Some(port) = &port {
             // Protection begins: the LKM queries applications and performs
             // the first bitmap update, as for a migration.
-            port.send(clock.now(), DaemonToLkm::MigrationBegin);
+            port.send(clock.now(), CoordPayload::MigrationBegin);
         }
 
-        let mut link = Link::new(self.config.bandwidth);
         let mut epochs = Vec::with_capacity(self.config.epochs as usize);
         let mut backlog_bytes = 0u64;
 
@@ -162,12 +180,12 @@ impl CheckpointEngine {
             // (Remus throttles the guest when the link falls behind).
             let bytes = pages * (PAGE_SIZE + PAGE_HEADER_BYTES);
             backlog_bytes += bytes;
-            link.record_send(bytes);
-            let capacity = self.config.bandwidth.bytes_in(self.config.interval);
+            pipe.record_send(bytes);
+            let capacity = pipe.rate().bytes_in(self.config.interval);
             let backlog_wait = if backlog_bytes > capacity {
                 let excess = backlog_bytes - capacity;
                 backlog_bytes = capacity;
-                let wait = self.config.bandwidth.time_to_send(excess);
+                let wait = pipe.time_to_send(excess);
                 clock.advance(wait);
                 wait
             } else {

@@ -1468,19 +1468,101 @@ pub fn compare_precopy_bench(old_json: &str, new_json: &str) -> Result<CompareRe
     })
 }
 
+/// Schema tag of `BENCH_evacuate.json` documents (written by the `bench`
+/// binary's `evacuate` subcommand, gated by [`compare_evacuate`]).
+pub const BENCH_EVACUATE_SCHEMA: &str = "javmm-bench-evacuate-v1";
+
+/// The evacuation benchmark regression gate. It watches the SLA-aware
+/// placement's headline outcomes — `placements.sla.eviction_ns` is the
+/// drill metric: disabling placement (pinning every VM onto one
+/// destination) funnels the whole fleet through a single ingress and
+/// blows eviction time past the 10% gate. The `sla_vs_random` ratios
+/// additionally pin the policy's *advantage*: SLA-aware placement losing
+/// its cost edge over random placement is a regression even if absolute
+/// numbers hold.
+const EVACUATE_COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["placements", "sla", "eviction_ns"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["placements", "sla", "aggregate_downtime_ns"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["placements", "sla", "total_bytes"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["placements", "sla", "sla_cost"],
+        direction: Direction::HigherWorse,
+        threshold: 0.15,
+    },
+    CompareMetric {
+        path: &["placements", "sla", "degraded"],
+        direction: Direction::HigherWorse,
+        threshold: 0.0,
+    },
+    CompareMetric {
+        path: &["sla_vs_random", "sla_cost_ratio"],
+        direction: Direction::HigherWorse,
+        threshold: 0.05,
+    },
+    CompareMetric {
+        path: &["sla_vs_random", "eviction_ratio"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+];
+
+/// Compares two evacuation benchmark documents (baseline, candidate)
+/// under the placement regression gate. Errors if either document fails
+/// to parse, is not schema `javmm-bench-evacuate-v1`, or the two
+/// documents describe different evacuation plans.
+pub fn compare_evacuate(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    let new = Json::parse(new_json)?;
+    for doc in [&old, &new] {
+        let schema = require_str(doc, &["schema"])?;
+        if schema != BENCH_EVACUATE_SCHEMA {
+            return Err(DigestError::Schema(format!(
+                "unsupported schema '{schema}' (want '{BENCH_EVACUATE_SCHEMA}')"
+            )));
+        }
+    }
+    let old_name = require_str(&old, &["plan"])?;
+    let new_name = require_str(&new, &["plan"])?;
+    if old_name != new_name {
+        return Err(DigestError::Schema(format!(
+            "documents describe different evacuation plans ('{old_name}' vs '{new_name}')"
+        )));
+    }
+    let deltas = metric_deltas(&old, &new, EVACUATE_COMPARE_METRICS)?;
+    Ok(CompareReport {
+        scenario: old_name.to_string(),
+        outcome_changed: None,
+        deltas,
+    })
+}
+
 /// Compares two digest documents of either schema, dispatching on the
 /// baseline's `schema` field: run digests go through [`compare`], fleet
 /// digests through [`compare_fleet`], pre-copy benchmark documents
-/// through [`compare_precopy_bench`].
+/// through [`compare_precopy_bench`], evacuation benchmark documents
+/// through [`compare_evacuate`].
 pub fn compare_any(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
     let old = Json::parse(old_json)?;
     match require_str(&old, &["schema"])? {
         s if s == DIGEST_SCHEMA => compare(old_json, new_json),
         s if s == FLEET_DIGEST_SCHEMA => compare_fleet(old_json, new_json),
         s if s == BENCH_PRECOPY_SCHEMA => compare_precopy_bench(old_json, new_json),
+        s if s == BENCH_EVACUATE_SCHEMA => compare_evacuate(old_json, new_json),
         s => Err(DigestError::Schema(format!(
-            "unsupported schema '{s}' (want '{DIGEST_SCHEMA}', '{FLEET_DIGEST_SCHEMA}' \
-             or '{BENCH_PRECOPY_SCHEMA}')"
+            "unsupported schema '{s}' (want '{DIGEST_SCHEMA}', '{FLEET_DIGEST_SCHEMA}', \
+             '{BENCH_PRECOPY_SCHEMA}' or '{BENCH_EVACUATE_SCHEMA}')"
         ))),
     }
 }
@@ -1561,6 +1643,44 @@ mod tests {
               "histograms": {{}}
             }}"#
         )
+    }
+
+    fn evacuate_json(eviction_ns: u64, cost_ratio: f64) -> String {
+        format!(
+            r#"{{
+              "schema": "javmm-bench-evacuate-v1",
+              "plan": "evacuate48",
+              "placements": {{
+                "sla": {{"eviction_ns": {eviction_ns}, "aggregate_downtime_ns": 900, "total_bytes": 5000, "sla_cost": 10.0, "degraded": 0, "nonconverged": 0}},
+                "greedy": {{"eviction_ns": 1100, "aggregate_downtime_ns": 950, "total_bytes": 5100, "sla_cost": 11.0, "degraded": 0, "nonconverged": 0}},
+                "random": {{"eviction_ns": 1200, "aggregate_downtime_ns": 980, "total_bytes": 5200, "sla_cost": 12.0, "degraded": 0, "nonconverged": 0}}
+              }},
+              "sla_vs_random": {{"sla_cost_ratio": {cost_ratio}, "eviction_ratio": 0.9}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn evacuate_compare_gates_placement_outcomes() {
+        let old = evacuate_json(1000, 0.83);
+        let report = compare_evacuate(&old, &old).unwrap();
+        assert!(!report.has_regression());
+        // The pin drill funnels the fleet through one ingress: eviction
+        // time explodes and the gate must name exactly that metric.
+        let pinned = evacuate_json(4000, 0.83);
+        let report = compare_evacuate(&old, &pinned).unwrap();
+        assert!(report.has_regression());
+        assert!(report
+            .regressions()
+            .contains(&"placements.sla.eviction_ns".to_string()));
+        // Losing the cost edge over random placement is its own gate.
+        let edgeless = evacuate_json(1000, 1.0);
+        let report = compare_evacuate(&old, &edgeless).unwrap();
+        assert!(report
+            .regressions()
+            .contains(&"sla_vs_random.sla_cost_ratio".to_string()));
+        // compare_any dispatches on the schema tag.
+        assert!(compare_any(&old, &old).is_ok());
     }
 
     #[test]

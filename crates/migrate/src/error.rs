@@ -31,6 +31,22 @@ pub enum ConfigError {
     InvalidFaultPlan,
     /// The scan pool needs at least one worker.
     ZeroScanWorkers,
+    /// A host drain needs at least one tenant.
+    EmptyRoster,
+    /// The guest tick must be non-zero.
+    ZeroTick,
+    /// The dirty-rate sensing cadence must be a non-zero multiple of the
+    /// guest tick (sensing must never change the guest's stepping).
+    SenseCadenceMisaligned,
+    /// Admission control needs room for at least one in-flight migration.
+    ZeroConcurrency,
+    /// A tenant's fair-share weight must be positive and finite.
+    NonPositiveWeight,
+    /// A destination host must offer at least one placement slot.
+    ZeroDestinationSlots,
+    /// The destination pool is smaller than the evacuating VM population,
+    /// so some VM could never be placed and the drain would deadlock.
+    InsufficientDestinationCapacity,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -44,6 +60,17 @@ impl core::fmt::Display for ConfigError {
             Self::BackoffBelowOne => "retry backoff multiplier must be >= 1",
             Self::InvalidFaultPlan => "fault plan is invalid",
             Self::ZeroScanWorkers => "scan pool needs at least one worker",
+            Self::EmptyRoster => "host drain needs at least one tenant",
+            Self::ZeroTick => "guest tick must be non-zero",
+            Self::SenseCadenceMisaligned => {
+                "sense cadence must be a non-zero multiple of the guest tick"
+            }
+            Self::ZeroConcurrency => "admission control needs max_concurrent >= 1",
+            Self::NonPositiveWeight => "tenant fair-share weight must be positive and finite",
+            Self::ZeroDestinationSlots => "destination host needs at least one slot",
+            Self::InsufficientDestinationCapacity => {
+                "destination slots cannot hold the evacuating VM population"
+            }
         };
         f.write_str(msg)
     }

@@ -1,0 +1,161 @@
+//! The common bandwidth-accounting contract of every rate-limited pipe.
+//!
+//! Two kinds of pipe carry migration traffic: a dedicated [`Link`] (one
+//! engine, one rate) and a [`SharedUplink`] (one physical NIC arbitrated
+//! across concurrent migrations). Both meter bytes the same way — a rate,
+//! a per-quantum byte budget with sub-byte carry, and cumulative traffic
+//! accounting — but historically each implemented it privately, and every
+//! consumer had to know which one it held. [`Capacity`] is the shared
+//! contract: the engine's transfer loops, the checkpoint writer and the
+//! post-copy fetcher all meter through it, so they no longer special-case
+//! the pipe they ride.
+//!
+//! The budget arithmetic is deliberately centralised in [`carry_budget`]:
+//! a byte budget is `rate · dt + carry` truncated to whole bytes, with the
+//! fraction carried to the next quantum. The *operation order* of that
+//! expression is load-bearing — digests are byte-deterministic because
+//! every pipe computes it identically — so both implementations call the
+//! one helper instead of re-deriving it.
+
+use crate::link::Link;
+use crate::shared::SharedUplink;
+use simkit::units::Bandwidth;
+use simkit::SimDuration;
+
+/// One quantum's whole-byte budget at `rate`, with sub-byte residue
+/// carried in `carry` so long runs never systematically under-use a pipe.
+///
+/// Exactly `rate · dt + carry`, truncated; the fractional remainder is
+/// written back. Every [`Capacity`] implementation must meter through
+/// this helper — the f64 operation order decides digest bytes.
+pub fn carry_budget(rate: Bandwidth, dt: SimDuration, carry: &mut f64) -> u64 {
+    let exact = rate.bytes_per_sec() * dt.as_secs_f64() + *carry;
+    let whole = exact as u64;
+    *carry = exact - whole as f64;
+    whole
+}
+
+/// A rate-limited pipe that meters migration bytes.
+///
+/// Implemented by [`Link`] (a dedicated point-to-point pipe) and
+/// [`SharedUplink`] (aggregate accounting over the whole shared NIC).
+/// Consumers that only *meter* — ask for budgets, account sends, convert
+/// bytes to time — take `&mut impl Capacity` and work with either.
+pub trait Capacity {
+    /// The pipe's current rate.
+    fn rate(&self) -> Bandwidth;
+
+    /// Re-rates the pipe mid-run (fault injection, fair-share re-rating).
+    fn set_rate(&mut self, rate: Bandwidth);
+
+    /// Whole bytes that may be sent during `dt` (sub-byte residue carries
+    /// to the next call).
+    fn budget(&mut self, dt: SimDuration) -> u64;
+
+    /// Accounts `bytes` as sent.
+    fn record_send(&mut self, bytes: u64);
+
+    /// Total bytes sent over the pipe's lifetime.
+    fn bytes_sent(&self) -> u64;
+
+    /// Time the pipe needs to drain `bytes` at its current rate.
+    fn time_to_send(&self, bytes: u64) -> SimDuration {
+        self.rate().time_to_send(bytes)
+    }
+}
+
+impl Capacity for Link {
+    fn rate(&self) -> Bandwidth {
+        self.bandwidth()
+    }
+
+    fn set_rate(&mut self, rate: Bandwidth) {
+        self.set_bandwidth(rate);
+    }
+
+    fn budget(&mut self, dt: SimDuration) -> u64 {
+        Link::budget(self, dt)
+    }
+
+    fn record_send(&mut self, bytes: u64) {
+        Link::record_send(self, bytes);
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        Link::bytes_sent(self)
+    }
+
+    fn time_to_send(&self, bytes: u64) -> SimDuration {
+        Link::time_to_send(self, bytes)
+    }
+}
+
+/// Aggregate accounting over the whole shared pipe: the rate is the
+/// uplink's total capacity and budgets drain it undivided. Per-subscriber
+/// arbitration ([`SharedUplink::share`], [`SharedUplink::split_budget`])
+/// sits on top and is untouched by this view.
+impl Capacity for SharedUplink {
+    fn rate(&self) -> Bandwidth {
+        self.capacity()
+    }
+
+    fn set_rate(&mut self, rate: Bandwidth) {
+        self.set_capacity(rate);
+    }
+
+    fn budget(&mut self, dt: SimDuration) -> u64 {
+        self.aggregate_budget(dt)
+    }
+
+    fn record_send(&mut self, bytes: u64) {
+        self.record_aggregate_send(bytes);
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.aggregate_bytes_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter<C: Capacity>(pipe: &mut C, quanta: u32, dt: SimDuration) -> u64 {
+        let mut sent = 0;
+        for _ in 0..quanta {
+            let b = pipe.budget(dt);
+            pipe.record_send(b);
+            sent += b;
+        }
+        assert_eq!(pipe.bytes_sent(), sent);
+        sent
+    }
+
+    #[test]
+    fn link_and_uplink_meter_identically_through_the_trait() {
+        // Same rate, same quanta: a dedicated link and a sole-tenant shared
+        // uplink must hand out byte-for-byte identical budgets.
+        let rate = Bandwidth::from_bytes_per_sec(333.0);
+        let dt = SimDuration::from_millis(700);
+        let link_total = meter(&mut Link::new(rate), 13, dt);
+        let uplink_total = meter(&mut SharedUplink::new(rate), 13, dt);
+        assert_eq!(link_total, uplink_total);
+    }
+
+    #[test]
+    fn carry_budget_conserves_bytes() {
+        let rate = Bandwidth::from_bytes_per_sec(3.0);
+        let mut carry = 0.0;
+        let total: u64 = (0..10)
+            .map(|_| carry_budget(rate, SimDuration::from_millis(500), &mut carry))
+            .sum();
+        assert_eq!(total, 15, "5 s at 3 B/s");
+    }
+
+    #[test]
+    fn trait_time_to_send_matches_rate() {
+        let link = Link::new(Bandwidth::from_bytes_per_sec(100.0));
+        let via_trait = Capacity::time_to_send(&link, 250);
+        assert_eq!(via_trait, SimDuration::from_millis(2500));
+    }
+}

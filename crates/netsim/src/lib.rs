@@ -7,12 +7,19 @@
 //! rate-limited pipe with deterministic byte budgeting; [`compress`] models
 //! the per-page compression methods of the §6 extension; [`shared`] models
 //! one physical uplink arbitrated across many concurrent migrations for
-//! whole-host drains.
+//! whole-host drains. [`capacity::Capacity`] is the accounting contract
+//! both pipes share, and [`topology`] composes them into a multi-host
+//! fabric — per-host NICs feeding a contended core switch feeding
+//! destination NICs — for cluster-wide evacuations.
 
+pub mod capacity;
 pub mod compress;
 pub mod link;
 pub mod shared;
+pub mod topology;
 
+pub use capacity::{carry_budget, Capacity};
 pub use compress::Method as CompressionMethod;
 pub use link::{achieved_rate, Link, PAGE_HEADER_BYTES};
 pub use shared::{SharedUplink, SubscriberId};
+pub use topology::{FlowId, LinkSpec, Topology};

@@ -114,10 +114,7 @@ impl Link {
     /// Sub-byte residue carries over to the next call so long runs do not
     /// systematically under-use the link.
     pub fn budget(&mut self, dt: SimDuration) -> u64 {
-        let exact = self.bandwidth.bytes_per_sec() * dt.as_secs_f64() + self.carry;
-        let whole = exact as u64;
-        self.carry = exact - whole as f64;
-        whole
+        crate::capacity::carry_budget(self.bandwidth, dt, &mut self.carry)
     }
 
     /// Accounts `bytes` as sent.

@@ -70,6 +70,12 @@ pub struct SharedUplink {
     capacity: Bandwidth,
     subscribers: Vec<Subscriber>,
     next_id: u64,
+    /// Fractional-byte residue for the aggregate, whole-pipe view of the
+    /// uplink ([`Capacity::budget`](crate::Capacity)); the per-subscriber
+    /// carries used by [`SharedUplink::split_budget`] are independent.
+    agg_carry: f64,
+    /// Total bytes accounted through the aggregate view.
+    agg_bytes_sent: u64,
 }
 
 impl SharedUplink {
@@ -79,12 +85,38 @@ impl SharedUplink {
             capacity,
             subscribers: Vec::new(),
             next_id: 0,
+            agg_carry: 0.0,
+            agg_bytes_sent: 0,
         }
     }
 
     /// The uplink's total capacity.
     pub fn capacity(&self) -> Bandwidth {
         self.capacity
+    }
+
+    /// Re-rates the whole pipe mid-run (e.g. a WAN link degrading); all
+    /// subscriber shares scale from the next [`SharedUplink::share`] call.
+    pub fn set_capacity(&mut self, capacity: Bandwidth) {
+        self.capacity = capacity;
+    }
+
+    /// One quantum's whole-byte budget for the pipe as a whole, undivided
+    /// by subscriber arbitration. This is the uplink's
+    /// [`Capacity`](crate::Capacity) view; it shares the carry arithmetic
+    /// of [`Link::budget`] so both pipes meter identically.
+    pub fn aggregate_budget(&mut self, dt: SimDuration) -> u64 {
+        crate::capacity::carry_budget(self.capacity, dt, &mut self.agg_carry)
+    }
+
+    /// Accounts `bytes` against the aggregate traffic counter.
+    pub fn record_aggregate_send(&mut self, bytes: u64) {
+        self.agg_bytes_sent += bytes;
+    }
+
+    /// Total bytes accounted through the aggregate view.
+    pub fn aggregate_bytes_sent(&self) -> u64 {
+        self.agg_bytes_sent
     }
 
     /// Number of active subscribers.
@@ -121,7 +153,9 @@ impl SharedUplink {
         self.subscribers.retain(|s| s.id != id);
     }
 
-    fn total_weight(&self) -> f64 {
+    /// Sum of all active subscriber weights (0 when idle). Placement
+    /// scoring uses this for hypothetical post-join share estimates.
+    pub fn total_weight(&self) -> f64 {
         self.subscribers.iter().map(|s| s.weight).sum()
     }
 

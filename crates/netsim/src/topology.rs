@@ -1,0 +1,457 @@
+//! A multi-host migration fabric: per-host NICs, a contended core switch,
+//! and destination NICs.
+//!
+//! A whole-rack evacuation pushes many hosts' migration traffic through
+//! shared infrastructure at once. [`Topology`] models the three hops that
+//! traffic crosses — the source host's egress NIC, an optional core
+//! switch shared by *all* hosts, and the destination host's ingress NIC —
+//! each as an independent [`SharedUplink`] with the same weighted-fair
+//! arbitration a single-host drain uses. A migration is a [`FlowId`]:
+//! opening it subscribes the flow to every hop on its path, and its
+//! end-to-end rate is the minimum of its per-hop fair shares (the
+//! bottleneck hop binds, exactly as max-min fairness would for a single
+//! congested resource on the path).
+//!
+//! The degenerate topology — one source host, no core switch, no
+//! destination NICs — is a single `SharedUplink` wearing a new name:
+//! a flow's rate *is* its egress share, bit for bit, because the
+//! minimum over one operand returns that operand unchanged. That identity
+//! is what keeps the single-host drain digests byte-stable under the
+//! evacuation-core redesign (see `cluster::evac`).
+//!
+//! Hops that are not part of the topology are *absent*, never "infinitely
+//! fast": an absent core switch contributes no share to minimise over and
+//! no subscription to arbitrate, so it cannot perturb the arithmetic of
+//! the hops that do exist.
+
+use crate::shared::{SharedUplink, SubscriberId};
+use simkit::units::Bandwidth;
+
+/// Describes one physical link of the fabric: a name for reporting, its
+/// capacity, and whether it is a WAN path (slow, long-haul — placement
+/// policies may treat WAN destinations as a last resort).
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Human-readable name, surfaced in bench output.
+    pub name: String,
+    /// Link capacity.
+    pub bandwidth: Bandwidth,
+    /// Whether the link crosses a WAN (descriptive; the rate model is the
+    /// capacity itself).
+    pub wan: bool,
+}
+
+impl LinkSpec {
+    /// A LAN link with the given name and capacity.
+    pub fn lan(name: impl Into<String>, bandwidth: Bandwidth) -> Self {
+        Self {
+            name: name.into(),
+            bandwidth,
+            wan: false,
+        }
+    }
+
+    /// A WAN link with the given name and capacity.
+    pub fn wan(name: impl Into<String>, bandwidth: Bandwidth) -> Self {
+        Self {
+            name: name.into(),
+            bandwidth,
+            wan: true,
+        }
+    }
+}
+
+/// Identifies one end-to-end migration flow across a [`Topology`].
+///
+/// Ids are never reused within one topology's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(usize);
+
+#[derive(Debug, Clone)]
+struct FlowPath {
+    src: usize,
+    dst: Option<usize>,
+    egress_sub: SubscriberId,
+    core_sub: Option<SubscriberId>,
+    ingress_sub: Option<SubscriberId>,
+}
+
+/// The migration fabric: per-source egress NICs, an optional shared core
+/// switch, and per-destination ingress NICs.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::topology::{LinkSpec, Topology};
+/// use simkit::units::Bandwidth;
+///
+/// // Two source hosts drain through a contended core into one destination.
+/// let mut topo = Topology::new(
+///     vec![
+///         LinkSpec::lan("src0", Bandwidth::from_mbytes_per_sec(125.0)),
+///         LinkSpec::lan("src1", Bandwidth::from_mbytes_per_sec(125.0)),
+///     ],
+///     Some(LinkSpec::lan("core", Bandwidth::from_mbytes_per_sec(150.0))),
+///     vec![LinkSpec::lan("dst0", Bandwidth::from_mbytes_per_sec(500.0))],
+/// );
+/// let min = Bandwidth::from_mbytes_per_sec(10.0);
+/// let a = topo.open_flow(0, Some(0), 1.0, min);
+/// let b = topo.open_flow(1, Some(0), 1.0, min);
+/// // Each flow gets its full NIC egress but only half the core switch.
+/// assert_eq!(topo.flow_rate(a).bytes_per_sec(), 75_000_000.0);
+/// topo.close_flow(a);
+/// assert_eq!(topo.flow_rate(b).bytes_per_sec(), 125_000_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    egress_specs: Vec<LinkSpec>,
+    core_spec: Option<LinkSpec>,
+    ingress_specs: Vec<LinkSpec>,
+    egress: Vec<SharedUplink>,
+    core: Option<SharedUplink>,
+    ingress: Vec<SharedUplink>,
+    flows: Vec<Option<FlowPath>>,
+}
+
+impl Topology {
+    /// Builds a fabric from link specs: one egress NIC per source host, an
+    /// optional core switch every flow crosses, and one ingress NIC per
+    /// destination host.
+    ///
+    /// # Panics
+    ///
+    /// If `egress` is empty.
+    pub fn new(egress: Vec<LinkSpec>, core: Option<LinkSpec>, ingress: Vec<LinkSpec>) -> Self {
+        assert!(!egress.is_empty(), "topology needs at least one source NIC");
+        let mk = |s: &LinkSpec| SharedUplink::new(s.bandwidth);
+        Self {
+            egress: egress.iter().map(mk).collect(),
+            core: core.as_ref().map(mk),
+            ingress: ingress.iter().map(mk).collect(),
+            egress_specs: egress,
+            core_spec: core,
+            ingress_specs: ingress,
+            flows: Vec::new(),
+        }
+    }
+
+    /// The degenerate single-host fabric: one egress NIC, no core switch,
+    /// no destination NICs. A flow's end-to-end rate over this topology is
+    /// its egress fair share *exactly* — the identity the single-host
+    /// drain adapter relies on for byte-stable digests.
+    pub fn single_uplink(capacity: Bandwidth) -> Self {
+        Self::new(vec![LinkSpec::lan("uplink", capacity)], None, Vec::new())
+    }
+
+    /// Number of source-host egress NICs.
+    pub fn sources(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Number of destination-host ingress NICs.
+    pub fn destinations(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Spec of source host `src`'s egress NIC.
+    pub fn egress_spec(&self, src: usize) -> &LinkSpec {
+        &self.egress_specs[src]
+    }
+
+    /// Spec of destination host `dst`'s ingress NIC.
+    pub fn ingress_spec(&self, dst: usize) -> &LinkSpec {
+        &self.ingress_specs[dst]
+    }
+
+    /// Spec of the core switch, if the fabric has one.
+    pub fn core_spec(&self) -> Option<&LinkSpec> {
+        self.core_spec.as_ref()
+    }
+
+    /// In-flight flows leaving source host `src` (its egress subscriber
+    /// count) — the per-host concurrency the admission loop throttles on.
+    pub fn host_active(&self, src: usize) -> usize {
+        self.egress[src].active()
+    }
+
+    /// Opens an end-to-end flow from source host `src` to destination
+    /// `dst` (or to nowhere in particular on a destination-less fabric),
+    /// subscribing it to every hop on its path with fair-share `weight`
+    /// and declared minimum `min_rate`.
+    ///
+    /// # Panics
+    ///
+    /// If `src`/`dst` are out of range, or `dst` is `None` while the
+    /// fabric has destination NICs (a placed evacuation must name one).
+    pub fn open_flow(
+        &mut self,
+        src: usize,
+        dst: Option<usize>,
+        weight: f64,
+        min_rate: Bandwidth,
+    ) -> FlowId {
+        assert!(
+            dst.is_some() || self.ingress.is_empty(),
+            "flows over a fabric with destination NICs must name a destination"
+        );
+        let egress_sub = self.egress[src].subscribe(weight, min_rate);
+        let core_sub = self.core.as_mut().map(|c| c.subscribe(weight, min_rate));
+        let ingress_sub = dst.map(|d| self.ingress[d].subscribe(weight, min_rate));
+        let id = FlowId(self.flows.len());
+        self.flows.push(Some(FlowPath {
+            src,
+            dst,
+            egress_sub,
+            core_sub,
+            ingress_sub,
+        }));
+        id
+    }
+
+    /// Closes a flow (its migration finished or aborted), releasing its
+    /// subscription on every hop. Closing an already-closed flow panics —
+    /// that is a scheduler accounting bug, not a recoverable state.
+    pub fn close_flow(&mut self, flow: FlowId) {
+        let path = self.flows[flow.0]
+            .take()
+            .expect("close_flow() of an already-closed flow");
+        self.egress[path.src].unsubscribe(path.egress_sub);
+        if let (Some(core), Some(sub)) = (self.core.as_mut(), path.core_sub) {
+            core.unsubscribe(sub);
+        }
+        if let (Some(d), Some(sub)) = (path.dst, path.ingress_sub) {
+            self.ingress[d].unsubscribe(sub);
+        }
+    }
+
+    /// The flow's end-to-end rate: the minimum of its fair shares on every
+    /// hop along the path. The bottleneck hop's share is returned
+    /// *unchanged* — in particular, over a single-hop path the result is
+    /// the egress share bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// If the flow is closed.
+    pub fn flow_rate(&self, flow: FlowId) -> Bandwidth {
+        let path = self.flows[flow.0]
+            .as_ref()
+            .expect("flow_rate() of a closed flow");
+        let mut rate = self.egress[path.src].share(path.egress_sub);
+        if let (Some(core), Some(sub)) = (self.core.as_ref(), path.core_sub) {
+            let share = core.share(sub);
+            if share.bytes_per_sec() < rate.bytes_per_sec() {
+                rate = share;
+            }
+        }
+        if let (Some(d), Some(sub)) = (path.dst, path.ingress_sub) {
+            let share = self.ingress[d].share(sub);
+            if share.bytes_per_sec() < rate.bytes_per_sec() {
+                rate = share;
+            }
+        }
+        rate
+    }
+
+    /// Whether a candidate flow `src → dst` with (`weight`, `min_rate`)
+    /// can join without starving any subscriber on any hop of its path
+    /// below its declared minimum ([`SharedUplink::can_admit`] per hop).
+    pub fn can_admit(
+        &self,
+        src: usize,
+        dst: Option<usize>,
+        weight: f64,
+        min_rate: Bandwidth,
+    ) -> bool {
+        if !self.egress[src].can_admit(weight, min_rate) {
+            return false;
+        }
+        if let Some(core) = self.core.as_ref() {
+            if !core.can_admit(weight, min_rate) {
+                return false;
+            }
+        }
+        if let Some(d) = dst {
+            if !self.ingress[d].can_admit(weight, min_rate) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether every hop on the path `src → dst` is idle. The admission
+    /// loop's deadlock-avoidance clause: a VM whose minimum rate no share
+    /// could ever satisfy is still admitted once its whole path is quiet,
+    /// generalising the single-uplink `active() == 0` escape hatch.
+    pub fn path_idle(&self, src: usize, dst: Option<usize>) -> bool {
+        if self.egress[src].active() != 0 {
+            return false;
+        }
+        if let Some(core) = self.core.as_ref() {
+            if core.active() != 0 {
+                return false;
+            }
+        }
+        if let Some(d) = dst {
+            if self.ingress[d].active() != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The rate a candidate flow would get if admitted now: the minimum
+    /// over its path of each hop's hypothetical post-join share
+    /// `capacity · w / (Σw + w)`. Placement policies use this to score
+    /// destinations; it is an estimate of the *initial* rate only (shares
+    /// re-balance as flows come and go).
+    pub fn predicted_rate(&self, src: usize, dst: Option<usize>, weight: f64) -> Bandwidth {
+        let post_join = |up: &SharedUplink| {
+            let total = up.total_weight() + weight;
+            up.capacity().bytes_per_sec() * (weight / total)
+        };
+        let mut rate = post_join(&self.egress[src]);
+        if let Some(core) = self.core.as_ref() {
+            rate = rate.min(post_join(core));
+        }
+        if let Some(d) = dst {
+            rate = rate.min(post_join(&self.ingress[d]));
+        }
+        Bandwidth::from_bytes_per_sec(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(x: f64) -> Bandwidth {
+        Bandwidth::from_mbytes_per_sec(x)
+    }
+
+    #[test]
+    fn degenerate_topology_is_the_shared_uplink_bit_for_bit() {
+        // The identity the drain adapter depends on: a flow over the
+        // single-uplink fabric rates exactly like a SharedUplink subscriber.
+        let cap = Bandwidth::gigabit_ethernet();
+        let mut topo = Topology::single_uplink(cap);
+        let mut up = SharedUplink::new(cap);
+
+        let fa = topo.open_flow(0, None, 1.0, mb(10.0));
+        let sa = up.subscribe(1.0, mb(10.0));
+        assert_eq!(
+            topo.flow_rate(fa).bytes_per_sec(),
+            up.share(sa).bytes_per_sec()
+        );
+        assert_eq!(
+            topo.flow_rate(fa).bytes_per_sec(),
+            cap.bytes_per_sec(),
+            "sole flow sees undivided capacity, no float detour"
+        );
+
+        let fb = topo.open_flow(0, None, 3.0, mb(10.0));
+        let sb = up.subscribe(3.0, mb(10.0));
+        assert_eq!(
+            topo.flow_rate(fa).bytes_per_sec(),
+            up.share(sa).bytes_per_sec()
+        );
+        assert_eq!(
+            topo.flow_rate(fb).bytes_per_sec(),
+            up.share(sb).bytes_per_sec()
+        );
+
+        assert_eq!(
+            topo.can_admit(0, None, 2.0, mb(300.0)),
+            up.can_admit(2.0, mb(300.0))
+        );
+        assert!(!topo.path_idle(0, None));
+        topo.close_flow(fa);
+        topo.close_flow(fb);
+        assert!(topo.path_idle(0, None));
+    }
+
+    #[test]
+    fn bottleneck_hop_binds_flow_rate() {
+        let mut topo = Topology::new(
+            vec![LinkSpec::lan("src", mb(125.0))],
+            Some(LinkSpec::lan("core", mb(500.0))),
+            vec![
+                LinkSpec::lan("fast", mb(125.0)),
+                LinkSpec::wan("slow", mb(40.0)),
+            ],
+        );
+        let fast = topo.open_flow(0, Some(0), 1.0, mb(1.0));
+        assert_eq!(
+            topo.flow_rate(fast).bytes_per_sec(),
+            mb(125.0).bytes_per_sec()
+        );
+        topo.close_flow(fast);
+        let slow = topo.open_flow(0, Some(1), 1.0, mb(1.0));
+        assert_eq!(
+            topo.flow_rate(slow).bytes_per_sec(),
+            mb(40.0).bytes_per_sec(),
+            "WAN ingress is the bottleneck"
+        );
+    }
+
+    #[test]
+    fn core_contention_shares_across_hosts() {
+        let mut topo = Topology::new(
+            vec![
+                LinkSpec::lan("src0", mb(125.0)),
+                LinkSpec::lan("src1", mb(125.0)),
+            ],
+            Some(LinkSpec::lan("core", mb(150.0))),
+            vec![LinkSpec::lan("dst", mb(1000.0))],
+        );
+        let a = topo.open_flow(0, Some(0), 1.0, mb(1.0));
+        let b = topo.open_flow(1, Some(0), 2.0, mb(1.0));
+        // Each host's NIC is otherwise idle; the 150 MB/s core splits 1:2.
+        assert_eq!(topo.flow_rate(a).bytes_per_sec(), mb(50.0).bytes_per_sec());
+        assert_eq!(topo.flow_rate(b).bytes_per_sec(), mb(100.0).bytes_per_sec());
+        topo.close_flow(a);
+        assert_eq!(
+            topo.flow_rate(b).bytes_per_sec(),
+            mb(125.0).bytes_per_sec(),
+            "after the peer leaves, the NIC binds, not the core"
+        );
+    }
+
+    #[test]
+    fn admission_checks_every_hop() {
+        let mut topo = Topology::new(
+            vec![LinkSpec::lan("src", mb(125.0))],
+            None,
+            vec![LinkSpec::wan("wan", mb(40.0))],
+        );
+        // Feasible on the NIC, infeasible on the WAN ingress.
+        assert!(!topo.can_admit(0, Some(0), 1.0, mb(65.0)));
+        assert!(topo.can_admit(0, Some(0), 1.0, mb(20.0)));
+        let f = topo.open_flow(0, Some(0), 1.0, mb(20.0));
+        assert!(!topo.path_idle(0, Some(0)));
+        topo.close_flow(f);
+        assert!(topo.path_idle(0, Some(0)));
+    }
+
+    #[test]
+    fn predicted_rate_is_hypothetical_post_join_minimum() {
+        let mut topo = Topology::new(
+            vec![LinkSpec::lan("src", mb(100.0))],
+            None,
+            vec![LinkSpec::lan("dst", mb(300.0))],
+        );
+        let _f = topo.open_flow(0, Some(0), 1.0, mb(1.0));
+        // Joining with weight 1 against an incumbent of weight 1: half the
+        // 100 MB/s NIC, a third of nothing on the roomy ingress.
+        let r = topo.predicted_rate(0, Some(0), 1.0);
+        assert_eq!(r.bytes_per_sec(), mb(50.0).bytes_per_sec());
+    }
+
+    #[test]
+    fn flow_ids_are_never_reused() {
+        let mut topo = Topology::single_uplink(mb(100.0));
+        let a = topo.open_flow(0, None, 1.0, mb(1.0));
+        topo.close_flow(a);
+        let b = topo.open_flow(0, None, 1.0, mb(1.0));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! The event-driven evacuation core: adapter byte-identity against the
+//! committed stepped-scheduler digests, whole-evacuation determinism,
+//! placement behaviour over the topology, and the event queue's tie
+//! order.
+
+use cluster::{
+    evacuate, roster, run_fleet, EvacuationPlan, EventQueue, FleetPolicy, PlacementPolicy, VmId,
+};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+/// A two-rack plan small enough for debug-mode CI: two `drain4` hosts
+/// (tenants renamed fleet-unique) onto the standard destination pool.
+fn small_plan(placement: PlacementPolicy) -> EvacuationPlan {
+    let mut h0 = roster::drain4(7);
+    h0.name = "rack-a".to_string();
+    let mut h1 = roster::drain4(11);
+    h1.name = "rack-b".to_string();
+    for t in h1.tenants.iter_mut() {
+        t.name = format!("{}-b", t.name);
+    }
+    EvacuationPlan::new("small", vec![h0, h1])
+        .destinations(roster::evacuate_destinations())
+        .core(roster::evacuate_core())
+        .placement(placement)
+}
+
+/// The tentpole contract: `run_fleet` is now a thin adapter over the
+/// event-driven evacuation core, and under the degenerate one-host,
+/// no-destination plan it must reproduce the committed stepped-scheduler
+/// digest *byte for byte* — same admissions, same interleaving, same
+/// telemetry fold, same JSON.
+#[test]
+fn event_driven_drain_matches_committed_stepped_digest() {
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/DIGEST_fleet_drain12_cycle.json"
+    ))
+    .expect("committed drain12 digest");
+    let out = run_fleet(&roster::drain12(7), FleetPolicy::CycleAware).expect("drain12 failed");
+    assert_eq!(
+        out.digest.to_json(),
+        committed,
+        "event-driven drain diverged from the committed stepped baseline"
+    );
+}
+
+#[test]
+fn evacuation_is_deterministic() {
+    let plan = small_plan(PlacementPolicy::SlaAware);
+    let a = evacuate(&plan, FleetPolicy::CycleAware).expect("evacuation failed");
+    let b = evacuate(&plan, FleetPolicy::CycleAware).expect("evacuation failed");
+    assert_eq!(a.eviction_ns, b.eviction_ns);
+    assert_eq!(a.hosts.len(), b.hosts.len());
+    for (x, y) in a.hosts.iter().zip(&b.hosts) {
+        assert_eq!(x.to_json(), y.to_json(), "host digest bytes diverged");
+    }
+    assert_eq!(a.placements.len(), b.placements.len());
+    for (x, y) in a.placements.iter().zip(&b.placements) {
+        assert_eq!((x.source, x.slot, x.dest), (y.source, y.slot, y.dest));
+        assert_eq!(x.dest_name, y.dest_name);
+    }
+}
+
+#[test]
+fn every_vm_is_placed_within_slot_capacity() {
+    let plan = small_plan(PlacementPolicy::Random(7));
+    let out = evacuate(&plan, FleetPolicy::Fifo).expect("evacuation failed");
+    assert_eq!(out.placements.len(), plan.population());
+    let mut counts = vec![0u32; plan.destinations.len()];
+    for p in &out.placements {
+        let d = p.dest.expect("a plan with destinations places every VM");
+        assert_eq!(
+            plan.destinations[d].name,
+            *p.dest_name
+                .as_ref()
+                .expect("placed VM has a destination name")
+        );
+        counts[d] += 1;
+    }
+    for (d, spec) in plan.destinations.iter().enumerate() {
+        assert!(
+            counts[d] <= spec.slots,
+            "{} placed {} VMs into {} slots",
+            spec.name,
+            counts[d],
+            spec.slots
+        );
+    }
+    // Per-host digests still fold every tenant.
+    let folded: usize = out.hosts.iter().map(|h| h.vms.len()).sum();
+    assert_eq!(folded, plan.population());
+}
+
+/// Funnelling the whole fleet through the 40 MB/s WAN ingress (the
+/// placement-disabled drill) must cost strictly more eviction time than
+/// letting the SLA-aware policy spread over the LAN racks.
+#[test]
+fn pinning_the_fleet_through_one_ingress_is_strictly_worse() {
+    let sla = evacuate(&small_plan(PlacementPolicy::SlaAware), FleetPolicy::Fifo)
+        .expect("evacuation failed");
+    let pinned = evacuate(&small_plan(PlacementPolicy::Pinned(0)), FleetPolicy::Fifo)
+        .expect("evacuation failed");
+    assert!(
+        pinned.eviction_ns > sla.eviction_ns,
+        "pinned {} ns should exceed sla {} ns",
+        pinned.eviction_ns,
+        sla.eviction_ns
+    );
+    assert!(pinned.sla_total.total() > sla.sla_total.total());
+}
+
+#[test]
+fn invalid_plans_are_rejected_up_front() {
+    use migrate::error::{ConfigError, MigrateError};
+    // No sources at all.
+    let empty = EvacuationPlan::new("empty", vec![]);
+    assert_eq!(
+        evacuate(&empty, FleetPolicy::Fifo).unwrap_err(),
+        MigrateError::Config(ConfigError::EmptyRoster)
+    );
+    // Destination pool smaller than the evacuating population.
+    let starved =
+        small_plan(PlacementPolicy::Greedy).destinations(vec![cluster::DestSpec::new("tiny", 3)]);
+    assert_eq!(
+        evacuate(&starved, FleetPolicy::Fifo).unwrap_err(),
+        MigrateError::Config(ConfigError::InsufficientDestinationCapacity)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scheduler's heap never reorders ties: popping yields entries
+    /// sorted by `(SimTime, VmId)` with equal times resolved in host-major,
+    /// then slot order — exactly the laggard scan's tie-break. Times are
+    /// drawn from a tiny range so collisions are the norm, not the edge
+    /// case.
+    fn event_queue_pops_in_time_then_vmid_order(
+        entries in prop::collection::vec((0u64..8, 0u32..4, 0u32..4), 1..64),
+    ) {
+        let mut queue = EventQueue::new();
+        let mut expect: Vec<(SimTime, VmId)> = entries
+            .iter()
+            .map(|&(t, host, slot)| {
+                (SimTime::ZERO + SimDuration::from_nanos(t), VmId { host, slot })
+            })
+            .collect();
+        for &(at, vm) in &expect {
+            queue.push(at, vm);
+        }
+        expect.sort();
+        prop_assert_eq!(queue.len(), expect.len());
+        let mut popped = Vec::with_capacity(expect.len());
+        while let Some(e) = queue.pop() {
+            popped.push(e);
+        }
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// Interleaving pushes and pops preserves the invariant the drain
+    /// relies on: every pop returns the minimum of everything currently
+    /// queued.
+    fn event_queue_pop_is_always_the_current_minimum(
+        ops in prop::collection::vec((any::<bool>(), 0u64..8, 0u32..4, 0u32..4), 1..64),
+    ) {
+        let mut queue = EventQueue::new();
+        let mut model: Vec<(SimTime, VmId)> = Vec::new();
+        for (push, t, host, slot) in ops {
+            if push {
+                let e = (SimTime::ZERO + SimDuration::from_nanos(t), VmId { host, slot });
+                queue.push(e.0, e.1);
+                model.push(e);
+            } else {
+                model.sort();
+                let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                prop_assert_eq!(queue.pop(), want);
+            }
+        }
+    }
+}

@@ -50,7 +50,12 @@ fn recorder_covers_every_layer_in_causal_order() {
     assert!(t.enabled, "run was recorded");
 
     // Every instrumented subsystem shows up in the event stream or spans.
+    // Fleet is the exception: it only speaks during multi-VM drains, which
+    // tests/fleet.rs and tests/evacuation.rs record separately.
     for sub in Subsystem::ALL {
+        if sub == Subsystem::Fleet {
+            continue;
+        }
         let seen = t.events.iter().any(|e| e.subsystem == sub)
             || t.spans.iter().any(|s| s.subsystem == sub);
         assert!(seen, "subsystem {sub} produced no telemetry");
