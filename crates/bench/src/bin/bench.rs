@@ -698,6 +698,9 @@ fn cmd_evacuate(args: &[String]) {
         s.parse::<usize>()
             .expect("--pin-placement takes a destination index")
     });
+    let eta_out = flag("--eta-out");
+    let trace_out = flag("--trace-out");
+    let freeze_eta = args.iter().any(|a| a == "--freeze-eta");
     let narrate = |run: &javmm_bench::evacuate::PlacementRun| {
         eprintln!(
             "{}: eviction {:.1}s, sla cost {:.2}, {} nonconverged",
@@ -707,30 +710,76 @@ fn cmd_evacuate(args: &[String]) {
             run.nonconverged,
         );
     };
-    let runs = match pin {
+    let (runs, observed) = match pin {
         Some(d) => {
             // Placement-disabled drill: every VM lands on destination `d`,
             // funnelling the fleet through one ingress. The single crippled
             // run is stamped into all three placement keys so the gated
             // `placements.sla.*` metrics describe it.
             let plan =
-                javmm_bench::evacuate::evacuate48_plan(seed, cluster::PlacementPolicy::Pinned(d));
+                javmm_bench::evacuate::evacuate48_plan(seed, cluster::PlacementPolicy::Pinned(d))
+                    .freeze_eta(freeze_eta);
             let out = cluster::evacuate(&plan, policy).expect("pinned evacuation failed");
             let run = javmm_bench::evacuate::reduce(&plan, &out);
             narrate(&run);
-            vec![run.clone(), run.clone(), run]
+            (vec![run.clone(), run.clone(), run], out)
         }
-        None => javmm_bench::evacuate::run_placements(seed, policy, &mut |run| narrate(run)),
+        None => {
+            javmm_bench::evacuate::run_placements_observed(seed, policy, freeze_eta, &mut |run| {
+                narrate(run)
+            })
+        }
     };
     print!("{}", javmm_bench::evacuate::render_table(&runs));
-    let json = javmm_bench::evacuate::to_json(seed, policy, &runs);
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
+    let write_out = |path: &str, contents: String, what: &str| {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output directory");
+            }
         }
+        std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {what}: {e}"));
+        eprintln!("wrote {path}");
+    };
+    write_out(
+        &out_path,
+        javmm_bench::evacuate::to_json(seed, policy, &runs),
+        "evacuation results",
+    );
+    let m = &observed.mission;
+    eprintln!(
+        "eta: {} predictions over {} vms, p50 {:.3} p90 {:.3} drift {:+.3}; {} findings",
+        m.eta.predictions,
+        m.eta.vms,
+        m.eta.p50_abs_err,
+        m.eta.p90_abs_err,
+        m.eta.drift,
+        m.findings.len(),
+    );
+    if let Some(path) = eta_out {
+        write_out(
+            &path,
+            javmm_bench::evacuate::eta_to_json(seed, policy, freeze_eta, &observed),
+            "eta calibration document",
+        );
     }
-    std::fs::write(&out_path, json).expect("write evacuation results");
-    eprintln!("wrote {out_path}");
+    if let Some(prefix) = trace_out {
+        use simkit::telemetry::causal;
+        write_out(
+            &format!("{prefix}.trace.json"),
+            causal::chrome_trace_to_string(&m.causal),
+            "causal Chrome trace",
+        );
+        write_out(
+            &format!("{prefix}.causal.jsonl"),
+            causal::jsonl_to_string(&m.causal),
+            "causal JSONL log",
+        );
+        write_out(
+            &format!("{prefix}.pipes.prom"),
+            javmm_bench::evacuate::pipes_to_prometheus(&observed),
+            "pipe utilization exposition",
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

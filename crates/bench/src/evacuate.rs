@@ -14,6 +14,7 @@
 //! so the `placements.sla.eviction_ns` gate trips.
 
 use cluster::{evacuate, roster, EvacOutcome, EvacuationPlan, FleetPolicy, PlacementPolicy};
+use simkit::telemetry::export::{pipes_prometheus_to_string, PipeSeriesView};
 use std::fmt::Write as _;
 
 /// The placement policies the benchmark compares, in run (and JSON key)
@@ -88,16 +89,41 @@ pub fn run_placements(
     policy: FleetPolicy,
     on_done: &mut dyn FnMut(&PlacementRun),
 ) -> Vec<PlacementRun> {
-    compared_placements(seed)
+    run_placements_observed(seed, policy, false, on_done).0
+}
+
+/// [`run_placements`], keeping the SLA-aware run's full outcome — its
+/// mission-control readout (causal log, pipe timelines, ETA calibration,
+/// watchdog findings) feeds the observability artifacts. `freeze_eta`
+/// pins that run's ETA to the admission-time projection: the CI drill
+/// that must blow the `eta.p90_abs_err` gate. Mission control never
+/// touches a recorder, so the placement comparison stays byte-identical
+/// either way.
+pub fn run_placements_observed(
+    seed: u64,
+    policy: FleetPolicy,
+    freeze_eta: bool,
+    on_done: &mut dyn FnMut(&PlacementRun),
+) -> (Vec<PlacementRun>, EvacOutcome) {
+    let mut observed = None;
+    let runs = compared_placements(seed)
         .into_iter()
         .map(|placement| {
-            let plan = evacuate48_plan(seed, placement);
+            let sla = matches!(placement, PlacementPolicy::SlaAware);
+            let mut plan = evacuate48_plan(seed, placement);
+            if sla {
+                plan = plan.freeze_eta(freeze_eta);
+            }
             let out = evacuate(&plan, policy).expect("evacuation failed");
             let run = reduce(&plan, &out);
             on_done(&run);
+            if sla {
+                observed = Some(out);
+            }
             run
         })
-        .collect()
+        .collect();
+    (runs, observed.expect("SLA-aware run always present"))
 }
 
 /// Renders the per-placement comparison as an aligned text table.
@@ -222,4 +248,108 @@ pub fn to_json(seed: u64, policy: FleetPolicy, runs: &[PlacementRun]) -> String 
     o.push_str("  }\n");
     o.push_str("}\n");
     o
+}
+
+fn json_opt_score(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |s| format!("{s:.4}"))
+}
+
+fn json_opt_str(v: Option<&str>) -> String {
+    v.map_or_else(
+        || "null".to_string(),
+        |s| format!("\"{}\"", simkit::telemetry::export::escape_json(s)),
+    )
+}
+
+/// Serialises the SLA-aware run's mission-control readout as the
+/// `BENCH_evacuate_eta.json` companion document (schema
+/// `javmm-bench-evacuate-eta-v1`): ETA calibration quality, watchdog
+/// findings, per-pipe utilization summaries, and per-VM placement
+/// rationale (chosen score vs runner-up). Kept separate from
+/// `BENCH_evacuate.json` so that document stays byte-identical; the
+/// `eta.p90_abs_err` and `findings.total` gates watch this one.
+pub fn eta_to_json(seed: u64, policy: FleetPolicy, frozen: bool, out: &EvacOutcome) -> String {
+    let m = &out.mission;
+    let mut o = String::new();
+    o.push_str("{\n");
+    o.push_str("  \"schema\": \"javmm-bench-evacuate-eta-v1\",\n");
+    o.push_str("  \"plan\": \"evacuate48\",\n");
+    let _ = writeln!(o, "  \"seed\": {seed},");
+    let _ = writeln!(o, "  \"policy\": \"{}\",", policy.name());
+    let _ = writeln!(o, "  \"frozen\": {frozen},");
+    let _ = writeln!(o, "  \"causal_events\": {},", m.causal.len());
+    o.push_str("  \"eta\": {\n");
+    let _ = writeln!(o, "    \"vms\": {},", m.eta.vms);
+    let _ = writeln!(o, "    \"predictions\": {},", m.eta.predictions);
+    let _ = writeln!(o, "    \"p50_abs_err\": {:.4},", m.eta.p50_abs_err);
+    let _ = writeln!(o, "    \"p90_abs_err\": {:.4},", m.eta.p90_abs_err);
+    let _ = writeln!(o, "    \"drift\": {:.4}", m.eta.drift);
+    o.push_str("  },\n");
+    o.push_str("  \"findings\": {\n");
+    let _ = writeln!(o, "    \"total\": {},", m.findings.len());
+    o.push_str("    \"rows\": [");
+    for (i, f) in m.findings.iter().enumerate() {
+        let _ = write!(
+            o,
+            "\n      {{\"rule\": \"{}\", \"subject\": \"{}\", \"at_ns\": {}, \"causal\": {}, \"detail\": \"{}\"}}{}",
+            f.rule,
+            simkit::telemetry::export::escape_json(&f.subject),
+            f.at_ns,
+            f.causal.0,
+            simkit::telemetry::export::escape_json(&f.detail),
+            if i + 1 < m.findings.len() { "," } else { "\n    " }
+        );
+    }
+    o.push_str("]\n");
+    o.push_str("  },\n");
+    o.push_str("  \"pipes\": [\n");
+    let pipes = m.pipes.pipes();
+    for (i, p) in pipes.iter().enumerate() {
+        let _ = writeln!(
+            o,
+            "    {{\"name\": \"{}\", \"samples\": {}, \"utilization_mean\": {:.4}, \"utilization_p95\": {:.4}, \"queued_demand_mean\": {:.0}, \"queued_demand_p95\": {:.0}}}{}",
+            simkit::telemetry::export::escape_json(&p.name),
+            p.utilization.len(),
+            p.utilization.mean(),
+            p.utilization.quantile(0.95),
+            p.queued_demand.mean(),
+            p.queued_demand.quantile(0.95),
+            if i + 1 < pipes.len() { "," } else { "" }
+        );
+    }
+    o.push_str("  ],\n");
+    o.push_str("  \"placements\": [\n");
+    for (i, p) in out.placements.iter().enumerate() {
+        let _ = writeln!(
+            o,
+            "    {{\"vm\": \"{}\", \"dest\": {}, \"chosen_score\": {}, \"runner_up\": {}, \"runner_up_score\": {}}}{}",
+            simkit::telemetry::export::escape_json(&p.vm),
+            json_opt_str(p.dest_name.as_deref()),
+            json_opt_score(p.chosen_score),
+            json_opt_str(p.runner_up.as_deref()),
+            json_opt_score(p.runner_up_score),
+            if i + 1 < out.placements.len() { "," } else { "" }
+        );
+    }
+    o.push_str("  ]\n");
+    o.push_str("}\n");
+    o
+}
+
+/// Renders the SLA-aware run's pipe timelines in Prometheus exposition
+/// format (the `javmm_pipe_*` families), one `pipe` label per topology
+/// pipe in topology order.
+pub fn pipes_to_prometheus(out: &EvacOutcome) -> String {
+    let views: Vec<PipeSeriesView<'_>> = out
+        .mission
+        .pipes
+        .pipes()
+        .iter()
+        .map(|p| PipeSeriesView {
+            name: &p.name,
+            utilization: &p.utilization,
+            queued_demand: &p.queued_demand,
+        })
+        .collect();
+    pipes_prometheus_to_string(&views)
 }

@@ -101,6 +101,24 @@ impl WorkloadEstimate {
         self.rate_ratio_at(at_ns) < 1.0
     }
 
+    /// Nanoseconds from `at_ns` until the next below-average bin begins:
+    /// zero when `at_ns` is already inside one. Scans the folded period
+    /// at cadence granularity; a fold with no low bin (flat workload)
+    /// also yields zero — there is no trough worth waiting for.
+    pub fn ns_until_low_window(&self, at_ns: u64) -> u64 {
+        if self.in_low_window(at_ns) {
+            return 0;
+        }
+        let bins = self.folded.len() as u64;
+        for k in 1..bins {
+            let dt = k * self.cadence_ns;
+            if self.in_low_window(at_ns + dt) {
+                return dt;
+            }
+        }
+        0
+    }
+
     fn bin_at(&self, at_ns: u64) -> usize {
         let lag = self.folded.len() as u64;
         ((at_ns.saturating_sub(self.origin_ns) / self.cadence_ns) % lag) as usize

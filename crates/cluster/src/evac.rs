@@ -63,12 +63,13 @@ use migrate::precopy::{MigrationSession, PrecopyEngine, SessionStep};
 use migrate::report::MigrationReport;
 use migrate::sla::SlaCost;
 use netsim::topology::{LinkSpec, Topology};
-use netsim::FlowId;
-use simkit::telemetry::{Recorder, SampleSeries, Subsystem};
+use netsim::{FlowId, PipeTimelines};
+use simkit::telemetry::{CausalId, CausalKind, CausalLog, Recorder, SampleSeries, Subsystem};
 use simkit::units::Bandwidth;
 use simkit::{SimClock, SimDuration, SimTime};
 
-use crate::detect::{detect, CONFIDENCE_GATE};
+use crate::detect::{detect, WorkloadEstimate, CONFIDENCE_GATE};
+use crate::eta::{self, EtaSummary, EtaTracker, Watchdog, WatchdogFinding, WIRE_PAGE_BYTES};
 use crate::place::{self, DestState, PlacementPolicy};
 use crate::policy::{cycle_average_rate, FleetPolicy};
 use crate::sched::FleetRowSink;
@@ -142,6 +143,27 @@ pub struct EvacuationPlan {
     pub core: Option<LinkSpec>,
     /// How destinations are chosen at admission.
     pub placement: PlacementPolicy,
+    /// CI drill switch: when set, the ETA estimator re-serves each VM's
+    /// admission-time projection at every wakeup instead of re-projecting,
+    /// so the calibration numbers in the eta digest degrade and the gate
+    /// must trip. Never affects the drain itself.
+    pub freeze_eta: bool,
+    /// Seeded mid-drain core degrade, or `None` for a fault-free fabric.
+    /// Inert on a core-less plan.
+    pub core_fault: Option<CoreFault>,
+}
+
+/// A seeded mid-drain degrade of the plan's core switch: `after` into the
+/// drain (measured from the earliest host's drain start), the core's rate
+/// is multiplied by `factor`. In-flight flows see the new bottleneck at
+/// their next wakeup through the ordinary re-grant path — no special
+/// casing, and `None` changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreFault {
+    /// Delay from the earliest drain start to the degrade.
+    pub after: SimDuration,
+    /// Multiplier applied to the core's rate (e.g. `0.25`).
+    pub factor: f64,
 }
 
 impl EvacuationPlan {
@@ -154,6 +176,8 @@ impl EvacuationPlan {
             destinations: Vec::new(),
             core: None,
             placement: PlacementPolicy::Greedy,
+            freeze_eta: false,
+            core_fault: None,
         }
     }
 
@@ -178,6 +202,18 @@ impl EvacuationPlan {
     /// Sets the placement policy.
     pub fn placement(mut self, placement: PlacementPolicy) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Freezes ETA projections at admission (the CI calibration drill).
+    pub fn freeze_eta(mut self, freeze: bool) -> Self {
+        self.freeze_eta = freeze;
+        self
+    }
+
+    /// Seeds a mid-drain core degrade.
+    pub fn core_fault(mut self, fault: CoreFault) -> Self {
+        self.core_fault = Some(fault);
         self
     }
 
@@ -249,6 +285,14 @@ pub struct VmPlacement {
     pub dest: Option<usize>,
     /// Destination name, `None` in degenerate mode.
     pub dest_name: Option<String>,
+    /// The chosen destination's estimated SLA cost at decision time
+    /// ([`place::sla_score`], lower is better); `None` in degenerate mode.
+    pub chosen_score: Option<f64>,
+    /// Name of the cheapest feasible alternative at decision time, when
+    /// another candidate existed.
+    pub runner_up: Option<String>,
+    /// The runner-up's estimated SLA cost.
+    pub runner_up_score: Option<f64>,
 }
 
 /// Everything one evacuation produces.
@@ -266,6 +310,26 @@ pub struct EvacOutcome {
     /// Per-VM reports in roster order, one vector per source host (empty
     /// when streamed).
     pub reports: Vec<Vec<MigrationReport>>,
+    /// The drain's mission-control record: the causal flow trace, pipe
+    /// timelines, ETA calibration and watchdog findings. Derived state
+    /// only — nothing in here feeds the host digests, so the committed
+    /// digest baselines are untouched by its existence.
+    pub mission: MissionControl,
+}
+
+/// Observability record of one evacuation: everything mission control
+/// needs to replay *why* the drain unfolded the way it did.
+#[derive(Debug)]
+pub struct MissionControl {
+    /// The causal event log: admissions, placements, wakeups, re-grants,
+    /// completions, faults and findings, chained parent→child.
+    pub causal: CausalLog,
+    /// Per-pipe utilization and queued-demand timelines.
+    pub pipes: PipeTimelines,
+    /// ETA calibration summary (the CI-gated numbers).
+    pub eta: EtaSummary,
+    /// SLO watchdog findings, in firing order.
+    pub findings: Vec<WatchdogFinding>,
 }
 
 /// Runs an evacuation under `policy` (the per-host admission-order
@@ -313,6 +377,17 @@ struct Slot {
     window_hit: Option<bool>,
     entry: Option<FleetVmEntry>,
     report: Option<MigrationReport>,
+    /// Working set measured at admission; the ETA projection's remaining
+    /// bytes until the first iteration reports a real dirty set.
+    ws_bytes: u64,
+    /// The observatory estimate frozen at admission, for the ETA
+    /// projection's dirty-rate model.
+    estimate: Option<WorkloadEstimate>,
+    /// Index into the mission's ETA tracker and watchdog registries;
+    /// `usize::MAX` until admitted.
+    mission_vm: usize,
+    /// The VM's newest causal event, parent of whatever happens next.
+    last_causal: Option<CausalId>,
 }
 
 struct Active {
@@ -358,6 +433,45 @@ struct HostState {
     merger: HistMerger,
 }
 
+/// Ring capacity of each pipe timeline: enough to retain a whole 48-VM
+/// evacuation's wakeup-driven samples.
+const PIPE_SERIES_CAP: usize = 4096;
+
+/// The drain's live mission-control state. All of it is *derived*: it
+/// observes the drain without feeding anything back into scheduling,
+/// re-rating or the recorders, which is what keeps the committed digest
+/// baselines byte-identical.
+struct Mission {
+    causal: CausalLog,
+    pipes: PipeTimelines,
+    eta: EtaTracker,
+    watchdog: Watchdog,
+    /// Instant of the newest pipe sample; `None` before the first wakeup.
+    last_sample_at: Option<SimTime>,
+    /// Pending core degrade as `(trigger instant, factor)`; consumed when
+    /// it fires.
+    core_fault: Option<(SimTime, f64)>,
+    /// Per-host drain-root causal events, parents of every admission.
+    host_roots: Vec<CausalId>,
+}
+
+impl Mission {
+    /// Emits a causal `finding` event for every watchdog finding appended
+    /// since `from`, parented on the wakeup that observed it.
+    fn emit_findings_since(&mut self, from: usize) {
+        for i in from..self.watchdog.findings().len() {
+            let f = &self.watchdog.findings()[i];
+            self.causal.emit(
+                f.at_ns,
+                CausalKind::Finding,
+                Some(f.causal),
+                f.subject.clone(),
+                vec![("rule", f.rule.to_string()), ("evidence", f.detail.clone())],
+            );
+        }
+    }
+}
+
 pub(crate) fn drain_evacuation(
     plan: &EvacuationPlan,
     policy: FleetPolicy,
@@ -400,6 +514,30 @@ pub(crate) fn drain_evacuation(
     let mut sla_total = SlaCost::ZERO;
     let mut last_end = global_start;
 
+    let mut mission = Mission {
+        causal: CausalLog::new(),
+        pipes: PipeTimelines::for_topology(&topo, PIPE_SERIES_CAP),
+        eta: EtaTracker::new(plan.freeze_eta),
+        watchdog: Watchdog::new(),
+        last_sample_at: None,
+        core_fault: plan
+            .core_fault
+            .as_ref()
+            .map(|f| (global_start + f.after, f.factor)),
+        host_roots: Vec::with_capacity(hosts.len()),
+    };
+    // Root every host's causal chain at its drain-begin instant.
+    for host in &hosts {
+        let root = mission.causal.emit(
+            host.drain_start.as_nanos(),
+            CausalKind::Drain,
+            None,
+            host.spec.name.clone(),
+            vec![("tenants", host.slots.len().to_string())],
+        );
+        mission.host_roots.push(root);
+    }
+
     // Initial admission sweep, hosts in plan order.
     for (h, host) in hosts.iter_mut().enumerate() {
         admit_host(
@@ -412,21 +550,197 @@ pub(crate) fn drain_evacuation(
             fleet_now,
             &mut placements,
             &mut queue,
+            &mut mission,
         )?;
     }
 
-    while let Some((_, vmid)) = queue.pop() {
+    while let Some((at, vmid)) = queue.pop() {
+        // A seeded core degrade fires at the first wakeup past its
+        // trigger; in-flight flows pick the new bottleneck up through the
+        // ordinary re-grant below.
+        if let Some((trigger, factor)) = mission.core_fault {
+            if at >= trigger {
+                mission.core_fault = None;
+                if let Some(base) = topo.core_rate() {
+                    let degraded = Bandwidth::from_bytes_per_sec(base.bytes_per_sec() * factor);
+                    topo.set_core_rate(degraded);
+                    let core_name = plan
+                        .core
+                        .as_ref()
+                        .map_or_else(|| "core".to_string(), |c| c.name.clone());
+                    mission.causal.emit(
+                        at.as_nanos(),
+                        CausalKind::Fault,
+                        None,
+                        core_name,
+                        vec![
+                            ("fault", "core_degrade".to_string()),
+                            ("factor", format!("{factor}")),
+                            ("rate_bps", format!("{:.0}", degraded.bytes_per_sec())),
+                        ],
+                    );
+                }
+            }
+        }
+
         let host = &mut hosts[vmid.host as usize];
         let slot = &mut host.slots[vmid.slot as usize];
         let active = slot.active.as_mut().expect("queued session is active");
+        let at_ns = at.as_nanos();
 
         // Re-rate to the flow's current bottleneck share; skipped when
         // unchanged so a sole subscriber's link is never touched.
         let share = topo.flow_rate(active.flow);
+
+        // Project this VM's landing from its current state: remaining
+        // work is the newest iteration's re-dirty set (the working set
+        // before the first iteration reports one), the dirty-rate model
+        // is the observatory estimate when it cleared the confidence gate
+        // (sensed mean modulated by the cycle's ratio at this instant),
+        // else the freshest observed per-iteration rate.
+        let iters = active.session.iterations();
+        // Measured protocol shrink, from the newest completed iterations:
+        // wire bytes per to-send page (compression and within-iteration
+        // skips) and the dirty->send survival ratio (transfer-bitmap
+        // consultation and re-dirty coalescing shrink the dirty set before
+        // it reaches the wire). Projecting raw dirty bytes without these
+        // runs 2-3x late.
+        let wire_per_page = match iters.last() {
+            Some(last) if last.pages_to_send > 0 => {
+                last.bytes_sent as f64 / last.pages_to_send as f64
+            }
+            _ => WIRE_PAGE_BYTES,
+        };
+        let survival = match iters.len() {
+            n if n >= 2 && iters[n - 2].pages_dirtied_during > 0 => {
+                (iters[n - 1].pages_to_send as f64 / iters[n - 2].pages_dirtied_during as f64)
+                    .clamp(0.05, 1.0)
+            }
+            // One completed iteration: no dirty->send pair yet, so borrow
+            // that iteration's own sent fraction — the transfer-bitmap
+            // skip rate is roughly stationary across iterations.
+            1 if iters[0].pages_to_send > 0 => {
+                (iters[0].pages_sent as f64 / iters[0].pages_to_send as f64).clamp(0.05, 1.0)
+            }
+            // No measurement yet (admission): fall back to the fleet
+            // prior rather than charging the full raw dirty rate.
+            _ => eta::ADMISSION_SHRINK_PRIOR,
+        };
+        // The session's own pending set (the dirty snapshot intersected
+        // with the transfer bitmap) is the exact next transfer set — no
+        // estimate needed. Before the first iteration that set is the
+        // whole address space minus whatever the daemon has already
+        // marked skippable.
+        let remaining_bytes =
+            active.session.pending_transferable_pages(&slot.vm) as f64 * wire_per_page;
+        let est = if slot.detect_confident {
+            slot.estimate.as_ref()
+        } else {
+            None
+        };
+        let dirty_pps = match (est, iters.last()) {
+            (Some(est), _) => slot.sensor.mean() * est.rate_ratio_at(at_ns),
+            (None, Some(last)) if !last.duration.is_zero() => {
+                last.pages_dirtied_during as f64 / last.duration.as_secs_f64()
+            }
+            _ => slot.sensor.mean(),
+        };
+        let dirty_bps = dirty_pps * WIRE_PAGE_BYTES;
+        let max_iters = slot.tenant.migration.stop.max_iterations;
+        let iters_left = max_iters.saturating_sub(iters.len() as u32);
+        // The ETA dirty term wants the mean rate the projection should
+        // modulate: the observatory mean when a confident cycle estimate
+        // exists (the projection applies the cycle's ratio itself), else
+        // the freshest per-iteration rate — the long-run sensor mean
+        // still remembers the first iteration's cold-start dirtying and
+        // runs hot for workloads that have settled.
+        let eta_mean_pps = match (est, iters.last()) {
+            (None, Some(last)) if !last.duration.is_zero() => {
+                last.pages_dirtied_during as f64 / last.duration.as_secs_f64()
+            }
+            _ => slot.sensor.mean(),
+        };
+        let eta_dirty_bps = eta_mean_pps * survival * wire_per_page;
+        // The live-phase drain plus the structural epilogue the config
+        // promises: the resume pause is paid by every migration and is
+        // invisible to the byte-rate model. Cohort calibration in the
+        // tracker covers what remains (readiness wait, final-set copy).
+        let eta_secs = eta::project_eta_cycle_secs(
+            remaining_bytes,
+            share.bytes_per_sec(),
+            eta_dirty_bps,
+            est,
+            at_ns,
+            iters_left,
+        ) + slot.tenant.migration.resume_time.as_secs_f64();
+        let predicted = mission.eta.record(slot.mission_vm, at_ns, eta_secs);
+
+        let mut detail = vec![
+            ("granted_bps", format!("{:.0}", share.bytes_per_sec())),
+            ("wire_bytes", active.session.wire_bytes().to_string()),
+            ("remaining_bytes", format!("{remaining_bytes:.0}")),
+            ("dirty_bps", format!("{dirty_bps:.0}")),
+            ("eta_dirty_bps", format!("{eta_dirty_bps:.0}")),
+            ("eta_secs", format!("{eta_secs:.3}")),
+            ("survival", format!("{survival:.3}")),
+            ("iterations", iters.len().to_string()),
+        ];
+        if let Some(p) = predicted {
+            detail.push(("predicted_end_ns", p.to_string()));
+        }
+        let wake = mission.causal.emit(
+            at_ns,
+            CausalKind::Wakeup,
+            slot.last_causal,
+            mission.eta.vm_name(slot.mission_vm).to_string(),
+            detail,
+        );
+        slot.last_causal = Some(wake);
+
+        let before = mission.watchdog.findings().len();
+        mission.watchdog.observe_vm(
+            slot.mission_vm,
+            at_ns,
+            wake,
+            active.session.wire_bytes(),
+            dirty_bps,
+            share.bytes_per_sec(),
+            iters.len(),
+            iters_left,
+            max_iters,
+        );
+        mission.emit_findings_since(before);
+
         if share != active.applied {
+            mission.causal.emit(
+                at_ns,
+                CausalKind::Regrant,
+                Some(wake),
+                mission.eta.vm_name(slot.mission_vm).to_string(),
+                vec![
+                    ("old_bps", format!("{:.0}", active.applied.bytes_per_sec())),
+                    ("new_bps", format!("{:.0}", share.bytes_per_sec())),
+                ],
+            );
             active.session.set_bandwidth(share);
             active.applied = share;
         }
+
+        // Sample every pipe over the window since the previous wakeup and
+        // run the saturation rule over the fresh samples. Wakeup times are
+        // monotone (the queue pops minima), so windows never overlap.
+        match mission.last_sample_at {
+            None => mission.last_sample_at = Some(at),
+            Some(prev) if at > prev => {
+                topo.sample_pipes(at, at.saturating_since(prev), &mut mission.pipes);
+                mission.last_sample_at = Some(at);
+                let before = mission.watchdog.findings().len();
+                mission.watchdog.observe_pipes(at_ns, wake, &mission.pipes);
+                mission.emit_findings_since(before);
+            }
+            Some(_) => {}
+        }
+
         match active.session.step(&mut slot.vm, &mut slot.clock)? {
             SessionStep::Complete(report) => {
                 let ended = slot.clock.now();
@@ -434,6 +748,22 @@ pub(crate) fn drain_evacuation(
                 slot.active = None;
                 fleet_now = fleet_now.max(ended);
                 last_end = last_end.max(ended);
+
+                mission.eta.complete(slot.mission_vm, ended.as_nanos());
+                let done = mission.causal.emit(
+                    ended.as_nanos(),
+                    CausalKind::Complete,
+                    slot.last_causal,
+                    mission.eta.vm_name(slot.mission_vm).to_string(),
+                    vec![
+                        ("bytes", report.total_bytes.to_string()),
+                        (
+                            "downtime_ns",
+                            report.downtime.workload_downtime().as_nanos().to_string(),
+                        ),
+                    ],
+                );
+                slot.last_causal = Some(done);
 
                 let admitted = slot.admitted_at.expect("completed slot was admitted");
                 host.rec.record_span(
@@ -510,6 +840,7 @@ pub(crate) fn drain_evacuation(
                         fleet_now,
                         &mut placements,
                         &mut queue,
+                        &mut mission,
                     )?;
                 }
             }
@@ -560,6 +891,12 @@ pub(crate) fn drain_evacuation(
         eviction_ns: last_end.saturating_since(global_start).as_nanos(),
         sla_total,
         reports,
+        mission: MissionControl {
+            causal: mission.causal,
+            pipes: mission.pipes,
+            eta: mission.eta.summary(),
+            findings: mission.watchdog.into_findings(),
+        },
     })
 }
 
@@ -596,6 +933,10 @@ fn boot_host(spec: &HostSpec, policy: FleetPolicy) -> HostState {
                 window_hit: None,
                 entry: None,
                 report: None,
+                ws_bytes: 0,
+                estimate: None,
+                mission_vm: usize::MAX,
+                last_causal: None,
             };
             slot.catch_up(SimTime::ZERO + spec.warmup, spec.tick, cadence);
             slot
@@ -726,6 +1067,7 @@ fn admit_host(
     fleet_now: SimTime,
     placements: &mut Vec<VmPlacement>,
     queue: &mut EventQueue,
+    mission: &mut Mission,
 ) -> Result<(), MigrateError> {
     let spec = &host.spec;
     while !host.pending.is_empty() && topo.host_active(h) < spec.max_concurrent as usize {
@@ -809,10 +1151,70 @@ fn admit_host(
             }
             None => None,
         };
+        slot.estimate = estimate;
+
+        // Mission control: working set for the first ETA projection, the
+        // causal admit record rooted on the host's drain event, and — when
+        // a destination was chosen — the placement rationale, scored
+        // *before* the flow opens so it reflects the decision instant.
+        let heap = slot.vm.jvm().heap();
+        slot.ws_bytes = heap.young_committed() + heap.old_used();
+        let vm_label = format!("{}/{}", spec.name, slot.tenant.name);
+        slot.mission_vm = mission.eta.admit(&vm_label, slot.tenant.vm.workload.name);
+        mission.watchdog.admit(&vm_label);
+        let admit_id = mission.causal.emit(
+            fleet_now.as_nanos(),
+            CausalKind::Admit,
+            Some(mission.host_roots[h]),
+            vm_label.clone(),
+            vec![
+                ("ws_bytes", slot.ws_bytes.to_string()),
+                (
+                    "min_rate_bps",
+                    format!("{:.0}", slot.tenant.min_rate.bytes_per_sec()),
+                ),
+                (
+                    "detect_confidence",
+                    format!("{:.3}", slot.detected_confidence),
+                ),
+            ],
+        );
+        slot.last_causal = Some(admit_id);
+        let rationale = dst.map(|d| {
+            place::rationale(
+                topo,
+                dests,
+                h,
+                &slot.tenant,
+                slot.ws_bytes,
+                spec.enforce_min_rate,
+                d,
+            )
+        });
 
         let flow = topo.open_flow(h, dst, slot.tenant.weight, slot.tenant.min_rate);
         if let Some(d) = dst {
             dests[d].occupy();
+        }
+        if let (Some(d), Some(r)) = (dst, rationale.as_ref()) {
+            let mut detail = vec![
+                ("dest", dests[d].spec.name.clone()),
+                ("policy", plan.placement.name().to_string()),
+                ("score", format!("{:.3}", r.chosen_score)),
+                ("candidates", r.candidates.to_string()),
+            ];
+            if let (Some(ru), Some(rs)) = (r.runner_up, r.runner_up_score) {
+                detail.push(("runner_up", dests[ru].spec.name.clone()));
+                detail.push(("runner_up_score", format!("{rs:.3}")));
+            }
+            let place_id = mission.causal.emit(
+                fleet_now.as_nanos(),
+                CausalKind::Placement,
+                Some(admit_id),
+                vm_label,
+                detail,
+            );
+            slot.last_causal = Some(place_id);
         }
         placements.push(VmPlacement {
             source: h,
@@ -820,6 +1222,11 @@ fn admit_host(
             vm: slot.tenant.name.clone(),
             dest: dst,
             dest_name: dst.map(|d| dests[d].spec.name.clone()),
+            chosen_score: rationale.as_ref().map(|r| r.chosen_score),
+            runner_up: rationale
+                .as_ref()
+                .and_then(|r| r.runner_up.map(|ru| dests[ru].spec.name.clone())),
+            runner_up_score: rationale.as_ref().and_then(|r| r.runner_up_score),
         });
         let mut migration = slot.tenant.migration.clone();
         if spec.scan_workers > 1 {

@@ -22,6 +22,7 @@
 //! one-host/no-destination plan.
 
 pub mod detect;
+pub mod eta;
 pub mod evac;
 pub mod place;
 pub mod policy;
@@ -29,9 +30,10 @@ pub mod roster;
 pub mod sched;
 
 pub use detect::{detect, WorkloadEstimate};
+pub use eta::{EtaSummary, EtaTracker, Watchdog, WatchdogFinding};
 pub use evac::{
-    evacuate, evacuate_streamed, DestSpec, EvacOutcome, EvacuationPlan, EventQueue, VmId,
-    VmPlacement,
+    evacuate, evacuate_streamed, CoreFault, DestSpec, EvacOutcome, EvacuationPlan, EventQueue,
+    MissionControl, VmId, VmPlacement,
 };
 pub use place::{DestState, PlacementPolicy};
 pub use policy::FleetPolicy;

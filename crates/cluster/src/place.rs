@@ -146,17 +146,7 @@ pub fn choose(
     if let PlacementPolicy::Pinned(d) = policy {
         return Some(d.min(dests.len().saturating_sub(1)));
     }
-    let feasible: Vec<usize> = dests
-        .iter()
-        .enumerate()
-        .filter(|(d, state)| {
-            state.free_slots > 0
-                && (!enforce_min_rate
-                    || topo.can_admit(src, Some(*d), tenant.weight, tenant.min_rate)
-                    || topo.path_idle(src, Some(*d)))
-        })
-        .map(|(d, _)| d)
-        .collect();
+    let feasible = feasible_dests(topo, dests, src, tenant, enforce_min_rate);
     if feasible.is_empty() {
         return None;
     }
@@ -186,6 +176,86 @@ pub fn choose(
             Some(feasible[pick])
         }
         PlacementPolicy::Pinned(_) => unreachable!("handled above"),
+    }
+}
+
+/// The destinations `tenant` could currently land on: a free slot, and
+/// (when minimum rates are enforced) either admissible without starving
+/// anyone or an idle path. Shared by [`choose`] and [`rationale`] so the
+/// decision and its explanation can never see different candidate sets.
+fn feasible_dests(
+    topo: &Topology,
+    dests: &[DestState],
+    src: usize,
+    tenant: &VmTenant,
+    enforce_min_rate: bool,
+) -> Vec<usize> {
+    dests
+        .iter()
+        .enumerate()
+        .filter(|(d, state)| {
+            state.free_slots > 0
+                && (!enforce_min_rate
+                    || topo.can_admit(src, Some(*d), tenant.weight, tenant.min_rate)
+                    || topo.path_idle(src, Some(*d)))
+        })
+        .map(|(d, _)| d)
+        .collect()
+}
+
+/// Why a placement decision went the way it did: the chosen candidate's
+/// estimated SLA cost against the best alternative's.
+///
+/// Reporting only — [`choose`] already made the decision; this re-scores
+/// the same feasible set with [`sla_score`] so every policy's pick (even
+/// greedy or random ones) is explained on a common scale. Lower is
+/// better.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementRationale {
+    /// Estimated SLA cost of the chosen destination.
+    pub chosen_score: f64,
+    /// The cheapest feasible alternative, if any other candidate existed.
+    pub runner_up: Option<usize>,
+    /// The runner-up's estimated SLA cost.
+    pub runner_up_score: Option<f64>,
+    /// How many destinations were feasible when the decision was made.
+    pub candidates: usize,
+}
+
+/// Scores the decision [`choose`] just made: `chosen`'s [`sla_score`]
+/// plus the best-scored feasible alternative. Pure and side-effect free —
+/// it must be called *before* the chosen destination's slot is occupied
+/// or the flow opened, while the topology still reflects the decision
+/// instant.
+pub fn rationale(
+    topo: &Topology,
+    dests: &[DestState],
+    src: usize,
+    tenant: &VmTenant,
+    ws_bytes: u64,
+    enforce_min_rate: bool,
+    chosen: usize,
+) -> PlacementRationale {
+    let score = |d: usize| {
+        let rate = topo.predicted_rate(src, Some(d), tenant.weight);
+        sla_score(&tenant.sla, ws_bytes, rate.bytes_per_sec())
+    };
+    let feasible = feasible_dests(topo, dests, src, tenant, enforce_min_rate);
+    let runner_up = feasible
+        .iter()
+        .copied()
+        .filter(|&d| d != chosen)
+        .min_by(|&a, &b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .expect("sla scores are finite")
+                .then(a.cmp(&b))
+        });
+    PlacementRationale {
+        chosen_score: score(chosen),
+        runner_up,
+        runner_up_score: runner_up.map(score),
+        candidates: feasible.len(),
     }
 }
 
@@ -395,5 +465,26 @@ mod tests {
         let fast = sla_score(&sla, 100 << 20, 125e6);
         let slow = sla_score(&sla, 100 << 20, 40e6);
         assert!(slow > fast, "slow {slow} must cost more than fast {fast}");
+    }
+
+    #[test]
+    fn rationale_explains_any_policy_on_the_sla_scale() {
+        let (topo, dests) = pool();
+        let t = tenant();
+        let ws = 100u64 << 20;
+        let chosen = choose(PlacementPolicy::SlaAware, &topo, &dests, 0, &t, ws, true, 0)
+            .expect("pool has feasible destinations");
+        let r = rationale(&topo, &dests, 0, &t, ws, true, chosen);
+        assert_eq!(r.candidates, 3);
+        assert_eq!(r.runner_up, Some(2), "the other 125 MB/s rack is next-best");
+        assert!(
+            r.chosen_score <= r.runner_up_score.unwrap(),
+            "the sla-aware winner must also win the rationale's scale"
+        );
+        // A pinned pick onto the WAN is explained as strictly worse than
+        // the LAN runner-up — the score gap the drill asserts on.
+        let pinned = rationale(&topo, &dests, 0, &t, ws, true, 0);
+        assert!(pinned.chosen_score > pinned.runner_up_score.unwrap());
+        assert_eq!(pinned.runner_up, Some(1));
     }
 }

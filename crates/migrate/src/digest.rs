@@ -1548,11 +1548,73 @@ pub fn compare_evacuate(old_json: &str, new_json: &str) -> Result<CompareReport,
     })
 }
 
+/// Schema tag of `BENCH_evacuate_eta.json` documents: the evacuation
+/// benchmark's mission-control companion (ETA calibration and watchdog
+/// findings), written by the `bench` binary's `evacuate` subcommand and
+/// gated by [`compare_evacuate_eta`].
+pub const BENCH_EVACUATE_ETA_SCHEMA: &str = "javmm-bench-evacuate-eta-v1";
+
+/// The ETA-calibration regression gate. `eta.p90_abs_err` is the headline
+/// and the drill metric: the frozen-ETA drill (`bench evacuate
+/// --freeze-eta`) disables re-projection, calibration error explodes, and
+/// the gate must name exactly this metric. `findings.total` is a
+/// tripwire: a fault-free baseline holds zero findings, so *any* finding
+/// in a candidate run (the zero-to-nonzero case reports as infinite
+/// growth) trips it.
+const EVACUATE_ETA_COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["eta", "p90_abs_err"],
+        direction: Direction::HigherWorse,
+        threshold: 0.25,
+    },
+    CompareMetric {
+        path: &["eta", "p50_abs_err"],
+        direction: Direction::HigherWorse,
+        threshold: 0.50,
+    },
+    CompareMetric {
+        path: &["findings", "total"],
+        direction: Direction::HigherWorse,
+        threshold: 0.0,
+    },
+];
+
+/// Compares two evacuation ETA-calibration documents (baseline,
+/// candidate) under the calibration gate. Errors if either document fails
+/// to parse, is not schema `javmm-bench-evacuate-eta-v1`, or the two
+/// documents describe different evacuation plans.
+pub fn compare_evacuate_eta(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    let new = Json::parse(new_json)?;
+    for doc in [&old, &new] {
+        let schema = require_str(doc, &["schema"])?;
+        if schema != BENCH_EVACUATE_ETA_SCHEMA {
+            return Err(DigestError::Schema(format!(
+                "unsupported schema '{schema}' (want '{BENCH_EVACUATE_ETA_SCHEMA}')"
+            )));
+        }
+    }
+    let old_name = require_str(&old, &["plan"])?;
+    let new_name = require_str(&new, &["plan"])?;
+    if old_name != new_name {
+        return Err(DigestError::Schema(format!(
+            "documents describe different evacuation plans ('{old_name}' vs '{new_name}')"
+        )));
+    }
+    let deltas = metric_deltas(&old, &new, EVACUATE_ETA_COMPARE_METRICS)?;
+    Ok(CompareReport {
+        scenario: format!("{old_name}/eta"),
+        outcome_changed: None,
+        deltas,
+    })
+}
+
 /// Compares two digest documents of either schema, dispatching on the
 /// baseline's `schema` field: run digests go through [`compare`], fleet
 /// digests through [`compare_fleet`], pre-copy benchmark documents
 /// through [`compare_precopy_bench`], evacuation benchmark documents
-/// through [`compare_evacuate`].
+/// through [`compare_evacuate`], ETA-calibration documents through
+/// [`compare_evacuate_eta`].
 pub fn compare_any(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
     let old = Json::parse(old_json)?;
     match require_str(&old, &["schema"])? {
@@ -1560,9 +1622,11 @@ pub fn compare_any(old_json: &str, new_json: &str) -> Result<CompareReport, Dige
         s if s == FLEET_DIGEST_SCHEMA => compare_fleet(old_json, new_json),
         s if s == BENCH_PRECOPY_SCHEMA => compare_precopy_bench(old_json, new_json),
         s if s == BENCH_EVACUATE_SCHEMA => compare_evacuate(old_json, new_json),
+        s if s == BENCH_EVACUATE_ETA_SCHEMA => compare_evacuate_eta(old_json, new_json),
         s => Err(DigestError::Schema(format!(
             "unsupported schema '{s}' (want '{DIGEST_SCHEMA}', '{FLEET_DIGEST_SCHEMA}', \
-             '{BENCH_PRECOPY_SCHEMA}' or '{BENCH_EVACUATE_SCHEMA}')"
+             '{BENCH_PRECOPY_SCHEMA}', '{BENCH_EVACUATE_SCHEMA}' or \
+             '{BENCH_EVACUATE_ETA_SCHEMA}')"
         ))),
     }
 }
@@ -1681,6 +1745,45 @@ mod tests {
             .contains(&"sla_vs_random.sla_cost_ratio".to_string()));
         // compare_any dispatches on the schema tag.
         assert!(compare_any(&old, &old).is_ok());
+    }
+
+    fn eta_json(p90: f64, findings: u64) -> String {
+        format!(
+            r#"{{
+              "schema": "javmm-bench-evacuate-eta-v1",
+              "plan": "evacuate48",
+              "eta": {{"vms": 48, "predictions": 300, "p50_abs_err": 0.05, "p90_abs_err": {p90}, "drift": 0.01}},
+              "findings": {{"total": {findings}}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn evacuate_eta_compare_gates_calibration() {
+        let old = eta_json(0.2, 0);
+        let report = compare_evacuate_eta(&old, &old).unwrap();
+        assert!(!report.has_regression());
+        // The frozen-ETA drill stops re-projection: the admission-time
+        // guess goes stale and the gate must name the p90 metric.
+        let frozen = eta_json(2.0, 0);
+        let report = compare_evacuate_eta(&old, &frozen).unwrap();
+        assert!(report.has_regression());
+        assert!(report
+            .regressions()
+            .contains(&"eta.p90_abs_err".to_string()));
+        assert!(report.render().contains("eta.p90_abs_err"));
+        // Watchdog findings on a fault-free plan are a regression outright.
+        let noisy = eta_json(0.2, 2);
+        let report = compare_evacuate_eta(&old, &noisy).unwrap();
+        assert_eq!(report.regressions(), vec!["findings.total"]);
+        // compare_any dispatches on the schema tag.
+        assert!(!compare_any(&old, &old).unwrap().has_regression());
+        // Mismatched plans are an error, not a comparison.
+        let other = old.replace("evacuate48", "evacuate12");
+        assert!(matches!(
+            compare_evacuate_eta(&old, &other),
+            Err(DigestError::Schema(_))
+        ));
     }
 
     #[test]

@@ -354,10 +354,36 @@ impl MigrationSession {
         self.state.wire_bytes
     }
 
+    /// Total guest pages the migration covers (the first iteration's
+    /// transfer set before any skips).
+    pub fn npages(&self) -> u64 {
+        self.npages
+    }
+
     /// Whether the engine has notified the LKM and is waiting for
     /// `ReadyToSuspend` (the paper's "second-last iteration").
     pub fn is_waiting(&self) -> bool {
         self.t_enter_last.is_some()
+    }
+
+    /// Pages queued for the next live iteration that would actually ship:
+    /// the dirty snapshot taken at the end of the last [`Self::step`],
+    /// intersected with the LKM's transfer bitmap when assistance is
+    /// active. This is the session's own view of its remaining transfer
+    /// set — the number an ETA projection should drain, as opposed to the
+    /// raw dirtied count, which includes pages the assisted protocol will
+    /// skip.
+    pub fn pending_transferable_pages(&self, vm: &dyn MigratableVm) -> u64 {
+        if !self.state.assist {
+            return self.to_send.count_set();
+        }
+        match vm.kernel().lkm() {
+            Some(lkm) => {
+                let tb = lkm.transfer_bitmap().as_bitmap();
+                self.to_send.count_and(tb)
+            }
+            None => self.to_send.count_set(),
+        }
     }
 
     /// Re-rates the migration link. Takes effect at the next step; also

@@ -20,7 +20,7 @@
 use crate::link::Link;
 use crate::shared::SharedUplink;
 use simkit::units::Bandwidth;
-use simkit::SimDuration;
+use simkit::{SimDuration, SimTime};
 
 /// One quantum's whole-byte budget at `rate`, with sub-byte residue
 /// carried in `carry` so long runs never systematically under-use a pipe.
@@ -33,6 +33,19 @@ pub fn carry_budget(rate: Bandwidth, dt: SimDuration, carry: &mut f64) -> u64 {
     let whole = exact as u64;
     *carry = exact - whole as f64;
     whole
+}
+
+/// The fraction of `rate · dt` consumed by `sent` bytes, clamped to
+/// `[0, 1]` (0 when the window carries no capacity). The one utilization
+/// formula every [`Capacity`] implementation reports through, so pipe
+/// timelines are comparable across pipe kinds.
+pub fn utilization_fraction(rate: Bandwidth, dt: SimDuration, sent: u64) -> f64 {
+    let capacity = rate.bytes_per_sec() * dt.as_secs_f64();
+    if capacity > 0.0 {
+        (sent as f64 / capacity).min(1.0)
+    } else {
+        0.0
+    }
 }
 
 /// A rate-limited pipe that meters migration bytes.
@@ -62,6 +75,20 @@ pub trait Capacity {
     fn time_to_send(&self, bytes: u64) -> SimDuration {
         self.rate().time_to_send(bytes)
     }
+
+    /// Accounts the utilization of the quantum `[at, at + dt)` during
+    /// which `sent` bytes went out, returning the fraction of the pipe's
+    /// capacity consumed (clamped to `[0, 1]`).
+    ///
+    /// Lifted from the [`Link`] utilization gauge so every pipe of a
+    /// [`Topology`](crate::topology::Topology) — source NICs, the
+    /// contended core, destination ingress, WAN — reports through one
+    /// formula. The default is stateless; [`Link`] additionally feeds its
+    /// windowed telemetry gauge.
+    fn sample_utilization(&mut self, at: SimTime, dt: SimDuration, sent: u64) -> f64 {
+        let _ = at;
+        utilization_fraction(self.rate(), dt, sent)
+    }
 }
 
 impl Capacity for Link {
@@ -87,6 +114,11 @@ impl Capacity for Link {
 
     fn time_to_send(&self, bytes: u64) -> SimDuration {
         Link::time_to_send(self, bytes)
+    }
+
+    fn sample_utilization(&mut self, at: SimTime, dt: SimDuration, sent: u64) -> f64 {
+        Link::sample_utilization(self, at, dt, sent);
+        utilization_fraction(self.bandwidth(), dt, sent)
     }
 }
 
@@ -157,5 +189,32 @@ mod tests {
         let link = Link::new(Bandwidth::from_bytes_per_sec(100.0));
         let via_trait = Capacity::time_to_send(&link, 250);
         assert_eq!(via_trait, SimDuration::from_millis(2500));
+    }
+
+    #[test]
+    fn sample_utilization_is_uniform_across_pipe_kinds() {
+        // 1000 B/s over 1 s with 250 bytes sent: a quarter utilized, the
+        // same answer from a dedicated link and a shared uplink.
+        let rate = Bandwidth::from_bytes_per_sec(1000.0);
+        let dt = SimDuration::from_secs(1);
+        let mut link = Link::new(rate);
+        let mut up = SharedUplink::new(rate);
+        assert_eq!(
+            Capacity::sample_utilization(&mut link, SimTime::ZERO, dt, 250),
+            0.25
+        );
+        assert_eq!(
+            Capacity::sample_utilization(&mut up, SimTime::ZERO, dt, 250),
+            0.25
+        );
+        // Oversubscribed windows clamp; empty windows report idle.
+        assert_eq!(
+            Capacity::sample_utilization(&mut up, SimTime::ZERO, dt, 9_999),
+            1.0
+        );
+        assert_eq!(
+            Capacity::sample_utilization(&mut up, SimTime::ZERO, SimDuration::ZERO, 10),
+            0.0
+        );
     }
 }

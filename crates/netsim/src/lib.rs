@@ -18,8 +18,8 @@ pub mod link;
 pub mod shared;
 pub mod topology;
 
-pub use capacity::{carry_budget, Capacity};
+pub use capacity::{carry_budget, utilization_fraction, Capacity};
 pub use compress::Method as CompressionMethod;
 pub use link::{achieved_rate, Link, PAGE_HEADER_BYTES};
 pub use shared::{SharedUplink, SubscriberId};
-pub use topology::{FlowId, LinkSpec, Topology};
+pub use topology::{FlowId, LinkSpec, PipeTimeline, PipeTimelines, Topology};

@@ -159,6 +159,18 @@ impl SharedUplink {
         self.subscribers.iter().map(|s| s.weight).sum()
     }
 
+    /// Aggregate declared minimum-rate demand subscribed on the pipe, in
+    /// bytes/second: the floor the active set needs to keep every
+    /// pre-copy converging. Pipe timelines sample this next to
+    /// utilization — demand near (or past) capacity is the admission
+    /// pressure the SLO watchdog watches for.
+    pub fn queued_demand(&self) -> f64 {
+        self.subscribers
+            .iter()
+            .map(|s| s.min_rate.bytes_per_sec())
+            .sum()
+    }
+
     /// The weighted fair share of subscriber `id`: `capacity · w / Σw`.
     ///
     /// A sole subscriber's share is *exactly* the capacity (no floating

@@ -24,8 +24,11 @@
 //! no subscription to arbitrate, so it cannot perturb the arithmetic of
 //! the hops that do exist.
 
+use crate::capacity::Capacity;
 use crate::shared::{SharedUplink, SubscriberId};
+use simkit::telemetry::SampleSeries;
 use simkit::units::Bandwidth;
+use simkit::{SimDuration, SimTime};
 
 /// Describes one physical link of the fabric: a name for reporting, its
 /// capacity, and whether it is a WAN path (slow, long-haul — placement
@@ -318,6 +321,131 @@ impl Topology {
         }
         Bandwidth::from_bytes_per_sec(rate)
     }
+
+    /// The core switch's *current* rate (it may have been re-rated
+    /// mid-run), or `None` on a core-less fabric.
+    pub fn core_rate(&self) -> Option<Bandwidth> {
+        self.core.as_ref().map(|c| c.capacity())
+    }
+
+    /// Re-rates the core switch mid-run (fault injection: a degraded
+    /// inter-rack trunk). Every in-flight flow crossing the core sees the
+    /// new rate from its next [`Topology::flow_rate`] re-grant — the
+    /// existing re-rating path, no special casing. Returns whether the
+    /// fabric had a core to re-rate.
+    pub fn set_core_rate(&mut self, rate: Bandwidth) -> bool {
+        match self.core.as_mut() {
+            Some(core) => {
+                core.set_rate(rate);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Samples every pipe of the fabric into `out` (built by
+    /// [`PipeTimelines::for_topology`]): utilization over the window
+    /// `[at - dt, at)` from the rates currently granted to open flows
+    /// (each flow's end-to-end rate is attributed to every hop it
+    /// crosses), and the aggregate minimum-rate demand subscribed on the
+    /// pipe. Pure arithmetic over existing state — sampling never
+    /// perturbs shares, budgets or carries.
+    pub fn sample_pipes(&mut self, at: SimTime, dt: SimDuration, out: &mut PipeTimelines) {
+        let mut egress_bps = vec![0.0f64; self.egress.len()];
+        let mut core_bps = 0.0f64;
+        let mut ingress_bps = vec![0.0f64; self.ingress.len()];
+        for i in 0..self.flows.len() {
+            let Some((src, dst, crosses_core)) = self.flows[i]
+                .as_ref()
+                .map(|p| (p.src, p.dst, p.core_sub.is_some()))
+            else {
+                continue;
+            };
+            let rate = self.flow_rate(FlowId(i)).bytes_per_sec();
+            egress_bps[src] += rate;
+            if crosses_core {
+                core_bps += rate;
+            }
+            if let Some(d) = dst {
+                ingress_bps[d] += rate;
+            }
+        }
+        let secs = dt.as_secs_f64();
+        let mut k = 0;
+        let mut push = |pipe: &mut SharedUplink, demand_bps: f64, out: &mut PipeTimelines| {
+            let sent = (demand_bps * secs) as u64;
+            let util = pipe.sample_utilization(at, dt, sent);
+            let p = &mut out.pipes[k];
+            p.utilization.push(at.as_nanos(), util);
+            p.queued_demand.push(at.as_nanos(), pipe.queued_demand());
+            p.last_capacity_bps = pipe.capacity().bytes_per_sec();
+            k += 1;
+        };
+        for (i, pipe) in self.egress.iter_mut().enumerate() {
+            push(pipe, egress_bps[i], out);
+        }
+        if let Some(core) = self.core.as_mut() {
+            push(core, core_bps, out);
+        }
+        for (i, pipe) in self.ingress.iter_mut().enumerate() {
+            push(pipe, ingress_bps[i], out);
+        }
+    }
+}
+
+/// One pipe's bounded observation rings, tagged by pipe name.
+#[derive(Debug, Clone)]
+pub struct PipeTimeline {
+    /// The pipe's [`LinkSpec`] name (host name, core name, ...).
+    pub name: String,
+    /// Whether the pipe is a WAN link.
+    pub wan: bool,
+    /// Utilization samples in `[0, 1]`.
+    pub utilization: SampleSeries,
+    /// Aggregate subscribed minimum-rate demand, bytes/second.
+    pub queued_demand: SampleSeries,
+    /// The pipe's capacity at the most recent sample, bytes/second
+    /// (0 until first sampled). Mid-run re-rates — a degraded core — show
+    /// up here, which is what lets the saturation watchdog compare the
+    /// subscribed demand against the capacity that *currently* holds.
+    pub last_capacity_bps: f64,
+}
+
+/// Per-pipe utilization and queued-demand timelines for a whole fabric:
+/// source NICs, the core switch (when present), then destination ingress
+/// NICs, in [`Topology`] order. Fed by [`Topology::sample_pipes`];
+/// consumed by the SLO watchdog, the Prometheus pipe families and the
+/// evacuation digest.
+#[derive(Debug, Clone)]
+pub struct PipeTimelines {
+    pipes: Vec<PipeTimeline>,
+}
+
+impl PipeTimelines {
+    /// Builds empty rings for every pipe of `topo`. `capacity` bounds
+    /// each ring; samples arrive on the evacuation's sampling cadence but
+    /// are recorded as irregular series (wakeups, not a wall timer, drive
+    /// sampling).
+    pub fn for_topology(topo: &Topology, capacity: usize) -> Self {
+        let mk = |spec: &LinkSpec| PipeTimeline {
+            name: spec.name.clone(),
+            wan: spec.wan,
+            utilization: SampleSeries::new(0, capacity),
+            queued_demand: SampleSeries::new(0, capacity),
+            last_capacity_bps: 0.0,
+        };
+        let mut pipes: Vec<PipeTimeline> = topo.egress_specs.iter().map(mk).collect();
+        if let Some(core) = topo.core_spec.as_ref() {
+            pipes.push(mk(core));
+        }
+        pipes.extend(topo.ingress_specs.iter().map(mk));
+        Self { pipes }
+    }
+
+    /// The per-pipe timelines, in topology order.
+    pub fn pipes(&self) -> &[PipeTimeline] {
+        &self.pipes
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +572,67 @@ mod tests {
         // 100 MB/s NIC, a third of nothing on the roomy ingress.
         let r = topo.predicted_rate(0, Some(0), 1.0);
         assert_eq!(r.bytes_per_sec(), mb(50.0).bytes_per_sec());
+    }
+
+    #[test]
+    fn pipe_timelines_sample_every_hop_in_topology_order() {
+        let mut topo = Topology::new(
+            vec![
+                LinkSpec::lan("src0", mb(125.0)),
+                LinkSpec::lan("src1", mb(125.0)),
+            ],
+            Some(LinkSpec::lan("core", mb(150.0))),
+            vec![LinkSpec::wan("wan-dst", mb(40.0))],
+        );
+        let mut pipes = PipeTimelines::for_topology(&topo, 16);
+        assert_eq!(
+            pipes
+                .pipes()
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["src0", "src1", "core", "wan-dst"],
+        );
+        assert!(pipes.pipes()[3].wan && !pipes.pipes()[2].wan);
+
+        let _a = topo.open_flow(0, Some(0), 1.0, mb(10.0));
+        let _b = topo.open_flow(1, Some(0), 1.0, mb(10.0));
+        let at = SimTime::ZERO + SimDuration::from_millis(250);
+        topo.sample_pipes(at, SimDuration::from_millis(250), &mut pipes);
+
+        // Both flows bottleneck on the 40 MB/s WAN ingress (20 each):
+        // the ingress is saturated, the NICs and core are not.
+        let p = pipes.pipes();
+        assert!((p[3].utilization.last().unwrap() - 1.0).abs() < 1e-9);
+        assert!((p[0].utilization.last().unwrap() - 20.0 / 125.0).abs() < 1e-9);
+        assert!((p[2].utilization.last().unwrap() - 40.0 / 150.0).abs() < 1e-9);
+        // Queued demand is the subscribed min-rate floor per pipe.
+        assert_eq!(p[0].queued_demand.last(), Some(10_000_000.0));
+        assert_eq!(p[2].queued_demand.last(), Some(20_000_000.0));
+        assert_eq!(p[3].queued_demand.last(), Some(20_000_000.0));
+    }
+
+    #[test]
+    fn core_re_rate_degrades_in_flight_flows() {
+        let mut topo = Topology::new(
+            vec![LinkSpec::lan("src", mb(125.0))],
+            Some(LinkSpec::lan("core", mb(150.0))),
+            vec![LinkSpec::lan("dst", mb(1000.0))],
+        );
+        let f = topo.open_flow(0, Some(0), 1.0, mb(1.0));
+        assert_eq!(topo.flow_rate(f).bytes_per_sec(), mb(125.0).bytes_per_sec());
+        assert!(topo.set_core_rate(mb(30.0)));
+        assert_eq!(
+            topo.core_rate().unwrap().bytes_per_sec(),
+            mb(30.0).bytes_per_sec()
+        );
+        assert_eq!(
+            topo.flow_rate(f).bytes_per_sec(),
+            mb(30.0).bytes_per_sec(),
+            "degraded core becomes the bottleneck at the next re-grant"
+        );
+        let mut coreless = Topology::single_uplink(mb(100.0));
+        assert!(!coreless.set_core_rate(mb(1.0)));
     }
 
     #[test]

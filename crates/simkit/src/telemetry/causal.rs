@@ -1,0 +1,370 @@
+//! Causal event log: the orchestration audit trail.
+//!
+//! The flight recorder ([`super::recorder`]) answers *what happened
+//! inside one migration*; this module answers *why the orchestrator did
+//! what it did across a whole evacuation*. Each [`CausalEvent`] is a
+//! timestamped record with a sequential id and an optional parent id, so
+//! a VM's admission, its placement decision (with the scored candidates),
+//! every session wakeup, every bandwidth re-grant, its completion and any
+//! watchdog finding chain into one connected tree. The log exports as
+//! deterministic JSONL (one record per line, machine-diffable) and as
+//! Chrome trace-event JSON whose flow arrows (`ph:"s"`/`ph:"f"`) render
+//! the whole evacuation as one connected timeline in Perfetto.
+//!
+//! Determinism: ids are allocated sequentially by the log, timestamps
+//! come from the simulated clock, and detail fields are ordered
+//! key/value pairs — two same-seed evacuations produce byte-identical
+//! exports.
+
+use std::fmt::Write as _;
+
+use super::export::escape_json;
+
+/// Identifier of one [`CausalEvent`], unique within its [`CausalLog`].
+///
+/// Ids are allocated sequentially starting at 1, so a parent's id is
+/// always smaller than every child's — the log is topologically sorted
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CausalId(pub u64);
+
+impl std::fmt::Display for CausalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What kind of orchestration decision a [`CausalEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalKind {
+    /// A host began draining: the root of every per-VM chain on it.
+    Drain,
+    /// A VM was admitted into the in-flight set.
+    Admit,
+    /// A destination was chosen for an admitted VM.
+    Placement,
+    /// An in-flight session woke up and stepped.
+    Wakeup,
+    /// A wakeup observed a changed fair share and re-granted bandwidth.
+    Regrant,
+    /// A migration (plus tail) finished.
+    Complete,
+    /// The SLO watchdog raised a finding.
+    Finding,
+    /// A seeded fault fired (e.g. a mid-drain core degrade).
+    Fault,
+}
+
+impl CausalKind {
+    /// Stable lower-case name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CausalKind::Drain => "drain",
+            CausalKind::Admit => "admit",
+            CausalKind::Placement => "placement",
+            CausalKind::Wakeup => "wakeup",
+            CausalKind::Regrant => "regrant",
+            CausalKind::Complete => "complete",
+            CausalKind::Finding => "finding",
+            CausalKind::Fault => "fault",
+        }
+    }
+}
+
+impl std::fmt::Display for CausalKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One orchestration decision, linked to the decision that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalEvent {
+    /// This event's id (sequential, 1-based).
+    pub id: CausalId,
+    /// The event that caused this one (e.g. a wakeup's admission).
+    pub parent: Option<CausalId>,
+    /// Simulated instant of the decision.
+    pub at_ns: u64,
+    /// The decision kind.
+    pub kind: CausalKind,
+    /// What the decision is about: a VM (`"host/tenant"`) or a pipe name.
+    pub subject: String,
+    /// Ordered key/value detail (scores, shares, rule names) — ordered so
+    /// exports are byte-deterministic.
+    pub detail: Vec<(&'static str, String)>,
+}
+
+/// An append-only log of [`CausalEvent`]s with sequential id allocation.
+#[derive(Debug, Clone, Default)]
+pub struct CausalLog {
+    events: Vec<CausalEvent>,
+    next: u64,
+}
+
+impl CausalLog {
+    /// Creates an empty log; the first emitted event gets id 1.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            next: 1,
+        }
+    }
+
+    /// Appends one event and returns its id (to be threaded as the parent
+    /// of whatever it causes).
+    pub fn emit(
+        &mut self,
+        at_ns: u64,
+        kind: CausalKind,
+        parent: Option<CausalId>,
+        subject: impl Into<String>,
+        detail: Vec<(&'static str, String)>,
+    ) -> CausalId {
+        let id = CausalId(self.next);
+        self.next += 1;
+        self.events.push(CausalEvent {
+            id,
+            parent,
+            at_ns,
+            kind,
+            subject: subject.into(),
+            detail,
+        });
+        id
+    }
+
+    /// The recorded events, in emission (= id) order.
+    pub fn events(&self) -> &[CausalEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn fmt_detail(detail: &[(&'static str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in detail.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Serialises the log as JSON Lines: one record per event, in id order.
+/// Byte-identical across same-seed runs.
+pub fn jsonl_to_string(log: &CausalLog) -> String {
+    let mut out = String::new();
+    for e in log.events() {
+        let parent = match e.parent {
+            Some(p) => format!("{}", p.0),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "{{\"type\":\"causal\",\"id\":{},\"parent\":{},\"at_ns\":{},\"kind\":\"{}\",\"subject\":\"{}\"",
+            e.id.0,
+            parent,
+            e.at_ns,
+            e.kind,
+            escape_json(&e.subject),
+        );
+        if !e.detail.is_empty() {
+            let _ = write!(out, ",\"detail\":{}", fmt_detail(&e.detail));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Microseconds with fixed 3-decimal nanosecond precision (Chrome `ts`).
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Serialises the log in Chrome trace-event format: one lane per subject
+/// (first-appearance order), each event a 1 µs `X` slice named by its
+/// kind, and a `ph:"s"` / `ph:"f"` flow pair per parent link so Perfetto
+/// draws the causal arrows. Byte-identical across same-seed runs.
+pub fn chrome_trace_to_string(log: &CausalLog) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+    // Lane per subject, in first-appearance order.
+    let mut subjects: Vec<&str> = Vec::new();
+    let mut lanes: Vec<usize> = Vec::with_capacity(log.len());
+    for e in log.events() {
+        let lane = match subjects.iter().position(|s| *s == e.subject.as_str()) {
+            Some(i) => i,
+            None => {
+                subjects.push(e.subject.as_str());
+                subjects.len() - 1
+            }
+        };
+        lanes.push(lane);
+    }
+    for (tid, subject) in subjects.iter().enumerate() {
+        push(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape_json(subject),
+        );
+    }
+    for (e, &tid) in log.events().iter().zip(&lanes) {
+        push(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"causal\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":1.000,\"args\":{{\"id\":\"{}\",\"parent\":\"{}\"",
+            e.kind,
+            tid,
+            fmt_us(e.at_ns),
+            e.id,
+            match e.parent {
+                Some(p) => format!("{p}"),
+                None => "none".to_string(),
+            },
+        );
+        for (k, v) in &e.detail {
+            let _ = write!(out, ",\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("}}");
+    }
+    // Flow arrows: one s/f pair per parent link, bound by the child's id.
+    for (e, &tid) in log.events().iter().zip(&lanes) {
+        let Some(parent) = e.parent else { continue };
+        let p = &log.events()[(parent.0 - 1) as usize];
+        debug_assert_eq!(p.id, parent, "causal ids are sequential");
+        let p_tid = lanes[(parent.0 - 1) as usize];
+        push(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"causal\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            e.id.0,
+            p_tid,
+            fmt_us(p.at_ns),
+        );
+        push(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"causal\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            e.id.0,
+            tid,
+            fmt_us(e.at_ns),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CausalLog {
+        let mut log = CausalLog::new();
+        let admit = log.emit(
+            1_500,
+            CausalKind::Admit,
+            None,
+            "rack-a/derby-0",
+            vec![("ws_bytes", "1048576".to_string())],
+        );
+        let place = log.emit(
+            1_500,
+            CausalKind::Placement,
+            Some(admit),
+            "rack-a/derby-0",
+            vec![
+                ("dest", "lan-1".to_string()),
+                ("score", "12.5".to_string()),
+                ("runner_up", "wan-0".to_string()),
+            ],
+        );
+        log.emit(
+            2_000_000,
+            CausalKind::Wakeup,
+            Some(admit),
+            "rack-a/derby-0",
+            vec![],
+        );
+        log.emit(
+            3_000_000,
+            CausalKind::Finding,
+            Some(place),
+            "core",
+            vec![("rule", "pipe_saturation".to_string())],
+        );
+        log
+    }
+
+    #[test]
+    fn ids_are_sequential_and_parents_precede_children() {
+        let log = sample();
+        for (i, e) in log.events().iter().enumerate() {
+            assert_eq!(e.id.0, i as u64 + 1);
+            if let Some(p) = e.parent {
+                assert!(p.0 < e.id.0, "parent {} >= child {}", p.0, e.id.0);
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_has_one_connected_record_per_event() {
+        let text = jsonl_to_string(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"parent\":null"));
+        assert!(lines[0].contains("\"kind\":\"admit\""));
+        assert!(lines[1].contains("\"parent\":1") && lines[1].contains("\"kind\":\"placement\""));
+        assert!(lines[1].contains("\"score\":\"12.5\""));
+        assert!(lines[3].contains("\"subject\":\"core\""));
+        assert!(lines[3].contains("\"rule\":\"pipe_saturation\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_draws_flow_arrows() {
+        let text = chrome_trace_to_string(&sample());
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        // One lane per subject, in first-appearance order.
+        assert!(text.contains("\"tid\":0,\"args\":{\"name\":\"rack-a/derby-0\"}"));
+        assert!(text.contains("\"tid\":1,\"args\":{\"name\":\"core\"}"));
+        // Every event renders as a slice; every parent link as an s/f pair.
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 4);
+        assert_eq!(text.matches("\"ph\":\"s\"").count(), 3);
+        assert_eq!(text.matches("\"ph\":\"f\"").count(), 3);
+        // The admission at 1500 ns renders at microsecond 1.500.
+        assert!(text.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        assert_eq!(jsonl_to_string(&sample()), jsonl_to_string(&sample()));
+        assert_eq!(
+            chrome_trace_to_string(&sample()),
+            chrome_trace_to_string(&sample())
+        );
+    }
+}

@@ -321,6 +321,62 @@ pub fn prometheus_to_string(t: &RunTelemetry) -> String {
     out
 }
 
+/// Borrowed view of one network pipe's sampled timelines, for Prometheus
+/// export. `simkit` cannot see the network simulator's topology types, so
+/// callers (the bench harness, integration tests) construct these views
+/// over whatever owns the series and pass them in pipe order.
+pub struct PipeSeriesView<'a> {
+    /// Pipe name as labelled in the topology (e.g. `core`, `rack-a:ingress`).
+    pub name: &'a str,
+    /// Bounded utilization-fraction series (`0.0..=1.0` per sample).
+    pub utilization: &'a super::SampleSeries,
+    /// Bounded queued-demand series (bytes/sec of admitted minimum rates).
+    pub queued_demand: &'a super::SampleSeries,
+}
+
+fn pipe_family<'a>(
+    out: &mut String,
+    family: &str,
+    pipes: &'a [PipeSeriesView<'a>],
+    pick: &dyn Fn(&'a PipeSeriesView<'a>) -> &'a super::SampleSeries,
+) {
+    let _ = writeln!(out, "# TYPE {family} gauge");
+    for p in pipes {
+        let series = pick(p);
+        let base = format!("pipe=\"{}\"", escape_json(p.name));
+        let _ = writeln!(
+            out,
+            "{family}{{{base}}} {}",
+            fmt_f64(series.last().unwrap_or(f64::NAN)),
+        );
+        let _ = writeln!(out, "{family}_mean{{{base}}} {}", fmt_f64(series.mean()));
+        for (label, q) in [("0.5", 0.50), ("0.95", 0.95)] {
+            let _ = writeln!(
+                out,
+                "{family}{{{base},quantile=\"{label}\"}} {}",
+                fmt_f64(series.quantile(q)),
+            );
+        }
+    }
+}
+
+/// Serialises per-pipe utilization and queued-demand timelines in
+/// Prometheus text exposition format: the `javmm_pipe_utilization` and
+/// `javmm_pipe_queued_demand` gauge families, each with a `pipe`-labelled
+/// latest sample, a `_mean` over the retained window, and
+/// quantile-labelled summaries. Pipes are emitted in caller order, so two
+/// same-seed runs produce byte-identical expositions.
+pub fn pipes_prometheus_to_string(pipes: &[PipeSeriesView<'_>]) -> String {
+    let mut out = String::new();
+    pipe_family(&mut out, "javmm_pipe_utilization", pipes, &|p| {
+        p.utilization
+    });
+    pipe_family(&mut out, "javmm_pipe_queued_demand", pipes, &|p| {
+        p.queued_demand
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +536,39 @@ mod tests {
         assert!(lines[1].contains("\"cadence_ns\":500000000"));
         assert!(lines[1].contains("\"last\":20") && lines[1].contains("\"p50\":20"));
         assert!(lines[1].contains("\"p95\":30"));
+    }
+
+    #[test]
+    fn pipe_exposition_is_labelled_and_deterministic() {
+        use crate::telemetry::SampleSeries;
+        let mut util = SampleSeries::new(0, 8);
+        let mut demand = SampleSeries::new(0, 8);
+        for (i, (u, d)) in [(0.5, 1e8), (0.75, 2e8), (1.0, 1.5e8)].iter().enumerate() {
+            util.push(i as u64 * 1_000, *u);
+            demand.push(i as u64 * 1_000, *d);
+        }
+        let views = [PipeSeriesView {
+            name: "core",
+            utilization: &util,
+            queued_demand: &demand,
+        }];
+        let text = pipes_prometheus_to_string(&views);
+        assert!(text.contains("# TYPE javmm_pipe_utilization gauge"));
+        assert!(text.contains("# TYPE javmm_pipe_queued_demand gauge"));
+        assert!(text.contains("javmm_pipe_utilization{pipe=\"core\"} 1"));
+        assert!(text.contains("javmm_pipe_utilization_mean{pipe=\"core\"} 0.75"));
+        assert!(text.contains("javmm_pipe_utilization{pipe=\"core\",quantile=\"0.95\"} 1"));
+        assert!(text.contains("javmm_pipe_queued_demand{pipe=\"core\"} 150000000"));
+        assert_eq!(text, pipes_prometheus_to_string(&views));
+        // Empty series expose as null samples, never a panic.
+        let empty = SampleSeries::new(0, 2);
+        let bare = [PipeSeriesView {
+            name: "idle",
+            utilization: &empty,
+            queued_demand: &empty,
+        }];
+        assert!(pipes_prometheus_to_string(&bare)
+            .contains("javmm_pipe_utilization{pipe=\"idle\"} null"));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! numbers from the recorder itself, so two same-seed runs produce
 //! byte-identical exports.
 
+pub mod causal;
 pub mod export;
 pub mod hist;
 pub mod metrics;
@@ -36,6 +37,7 @@ pub mod series;
 pub mod shard;
 pub mod span;
 
+pub use causal::{CausalEvent, CausalId, CausalKind, CausalLog};
 pub use hist::Histogram;
 pub use metrics::{CounterValue, GaugeValue, HistogramValue};
 pub use recorder::{Event, EventKind, Recorder, RunTelemetry, Value};

@@ -4,7 +4,8 @@
 //! order.
 
 use cluster::{
-    evacuate, roster, run_fleet, EvacuationPlan, EventQueue, FleetPolicy, PlacementPolicy, VmId,
+    evacuate, roster, run_fleet, CoreFault, EvacuationPlan, EventQueue, FleetPolicy,
+    PlacementPolicy, VmId,
 };
 use proptest::prelude::*;
 use simkit::{SimDuration, SimTime};
@@ -126,6 +127,60 @@ fn invalid_plans_are_rejected_up_front() {
         evacuate(&starved, FleetPolicy::Fifo).unwrap_err(),
         MigrateError::Config(ConfigError::InsufficientDestinationCapacity)
     );
+}
+
+/// Mission control is observability, not control: a fault-free drain
+/// yields zero watchdog findings and re-running it leaves the host
+/// digests byte-identical, while a mid-drain core degrade surfaces as a
+/// `pipe_saturation` finding that names the core pipe and links back to
+/// a causal wakeup event.
+#[test]
+fn watchdog_flags_a_mid_drain_core_degrade() {
+    let clean = evacuate(
+        &small_plan(PlacementPolicy::SlaAware),
+        FleetPolicy::CycleAware,
+    )
+    .expect("fault-free evacuation");
+    assert!(
+        clean.mission.findings.is_empty(),
+        "fault-free drain must yield zero findings, got {:?}",
+        clean.mission.findings
+    );
+
+    let faulted_plan = small_plan(PlacementPolicy::SlaAware).core_fault(CoreFault {
+        after: SimDuration::from_secs(4),
+        factor: 0.1,
+    });
+    let faulted = evacuate(&faulted_plan, FleetPolicy::CycleAware).expect("faulted evacuation");
+    let finding = faulted
+        .mission
+        .findings
+        .iter()
+        .find(|f| f.rule == "pipe_saturation")
+        .unwrap_or_else(|| {
+            panic!(
+                "core degrade must trip pipe_saturation, got {:?}",
+                faulted.mission.findings
+            )
+        });
+    assert_eq!(
+        finding.subject, "core",
+        "the finding names the degraded pipe"
+    );
+    let causal = faulted
+        .mission
+        .causal
+        .events()
+        .iter()
+        .find(|e| e.id == finding.causal)
+        .expect("the finding's causal id resolves in the flow trace");
+    assert!(matches!(causal.kind, simkit::telemetry::CausalKind::Wakeup));
+
+    // The faulted drain's digests stay deterministic too.
+    let again = evacuate(&faulted_plan, FleetPolicy::CycleAware).expect("faulted evacuation");
+    for (x, y) in faulted.hosts.iter().zip(&again.hosts) {
+        assert_eq!(x.to_json(), y.to_json(), "faulted digest bytes diverged");
+    }
 }
 
 proptest! {
