@@ -9,6 +9,19 @@
 //!               [--digest-dir DIR] [--series-cap N] [--scan-workers N]
 //!   bench evacuate [--seed N] [--out PATH] [--policy NAME]
 //!                  [--pin-placement DEST]
+//!   bench cold [--out PATH] [--delta-cache N] [--cold-fraction F[,F..]]
+//!              [--warmup-secs S]
+//!
+//! `bench cold` migrates the cold-heavy cacheapp roster twice per guest —
+//! with the cold assist off (baseline) and with defer + delta on — and
+//! writes `BENCH_cold.json` (schema `javmm-bench-cold-v1`) recording the
+//! roster-wide savings ratios: total sent bytes, stop-and-copy bytes and
+//! the XBZRLE wire discount, plus page-for-page destination verification.
+//! `--cold-fraction` overrides the long-tail ladder (default
+//! `0.0,0.2,0.4,0.6,0.8` of the cache held by the rarely-written resident
+//! set); `--delta-cache 1` is the CI drill — a one-entry delta page cache
+//! evicts every prior page version before it can be reused, collapsing
+//! `delta.saved_bytes_ratio` so `bench compare` must fail naming it.
 //!
 //! `bench evacuate` drains the 48-VM four-rack evacuation fleet onto the
 //! 56-slot destination pool across the contended core switch, once per
@@ -782,6 +795,56 @@ fn cmd_evacuate(args: &[String]) {
     }
 }
 
+/// Runs the cold-heavy cacheapp roster baseline-vs-assist and writes
+/// `BENCH_cold.json`.
+fn cmd_cold(args: &[String]) {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_cold.json".to_string());
+    let delta_cache = flag("--delta-cache")
+        .map(|s| s.parse::<u64>().expect("--delta-cache takes an integer"))
+        .unwrap_or(javmm_bench::cold::COLD_DELTA_CACHE_PAGES);
+    let ladder: Vec<f64> = match flag("--cold-fraction") {
+        None => javmm_bench::cold::COLD_LADDER.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                let f = s
+                    .trim()
+                    .parse::<f64>()
+                    .expect("--cold-fraction takes comma-separated fractions");
+                assert!(
+                    (0.0..=0.9).contains(&f),
+                    "--cold-fraction entries must be within 0.0..=0.9"
+                );
+                f
+            })
+            .collect(),
+    };
+    let warmup_secs = flag("--warmup-secs")
+        .map(|s| s.parse::<u64>().expect("--warmup-secs takes an integer"))
+        .unwrap_or(20);
+    let result = javmm_bench::cold::run_roster(
+        &ladder,
+        delta_cache,
+        SimDuration::from_secs(warmup_secs),
+        |line| eprintln!("{line}"),
+    );
+    eprint!("{}", javmm_bench::cold::render_table(&result));
+    let json = javmm_bench::cold::to_json(&result);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, json).expect("write cold benchmark document");
+    eprintln!("wrote {out_path}");
+}
+
 // ---------------------------------------------------------------------------
 // JSON assembly.
 // ---------------------------------------------------------------------------
@@ -797,6 +860,7 @@ fn main() {
         Some("compare") => return cmd_compare(&args[1..]),
         Some("fleet") => return cmd_fleet(&args[1..]),
         Some("evacuate") => return cmd_evacuate(&args[1..]),
+        Some("cold") => return cmd_cold(&args[1..]),
         _ => {}
     }
     let scan_only = args.iter().any(|a| a == "--scan-only");

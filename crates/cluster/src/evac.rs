@@ -62,7 +62,7 @@ use migrate::error::{ConfigError, MigrateError};
 use migrate::precopy::{MigrationSession, PrecopyEngine, SessionStep};
 use migrate::report::MigrationReport;
 use migrate::sla::SlaCost;
-use netsim::topology::{LinkSpec, Topology};
+use netsim::topology::{LinkSpec, PipeSel, Topology};
 use netsim::{FlowId, PipeTimelines};
 use simkit::telemetry::{CausalId, CausalKind, CausalLog, Recorder, SampleSeries, Subsystem};
 use simkit::units::Bandwidth;
@@ -148,21 +148,38 @@ pub struct EvacuationPlan {
     /// so the calibration numbers in the eta digest degrade and the gate
     /// must trip. Never affects the drain itself.
     pub freeze_eta: bool,
-    /// Seeded mid-drain core degrade, or `None` for a fault-free fabric.
-    /// Inert on a core-less plan.
-    pub core_fault: Option<CoreFault>,
+    /// Seeded mid-drain pipe degrades, in schedule order. Empty for a
+    /// fault-free fabric; entries naming pipes the fabric does not have
+    /// (no core, NIC index out of range) are inert.
+    pub pipe_faults: Vec<PipeFault>,
 }
 
-/// A seeded mid-drain degrade of the plan's core switch: `after` into the
-/// drain (measured from the earliest host's drain start), the core's rate
-/// is multiplied by `factor`. In-flight flows see the new bottleneck at
-/// their next wakeup through the ordinary re-grant path — no special
-/// casing, and `None` changes nothing.
+/// A seeded mid-drain degrade of the plan's core switch: the historical
+/// special case of [`PipeFault`], kept as the convenience spelling for
+/// the most common drill. [`EvacuationPlan::core_fault`] converts it to a
+/// [`PipeFault`] on [`PipeSel::Core`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreFault {
     /// Delay from the earliest drain start to the degrade.
     pub after: SimDuration,
     /// Multiplier applied to the core's rate (e.g. `0.25`).
+    pub factor: f64,
+}
+
+/// A seeded mid-drain degrade of one fabric pipe — a source NIC, the core
+/// trunk, or a destination ingress NIC (WAN or LAN): `after` into the
+/// drain (measured from the earliest host's drain start), the selected
+/// pipe's rate is multiplied by `factor`. In-flight flows crossing the
+/// pipe see the new bottleneck at their next wakeup through the ordinary
+/// re-grant path — no special casing, and an empty schedule changes
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeFault {
+    /// Which pipe of the plan's topology degrades.
+    pub pipe: PipeSel,
+    /// Delay from the earliest drain start to the degrade.
+    pub after: SimDuration,
+    /// Multiplier applied to the pipe's rate (e.g. `0.25`).
     pub factor: f64,
 }
 
@@ -177,7 +194,7 @@ impl EvacuationPlan {
             core: None,
             placement: PlacementPolicy::Greedy,
             freeze_eta: false,
-            core_fault: None,
+            pipe_faults: Vec::new(),
         }
     }
 
@@ -211,9 +228,19 @@ impl EvacuationPlan {
         self
     }
 
-    /// Seeds a mid-drain core degrade.
-    pub fn core_fault(mut self, fault: CoreFault) -> Self {
-        self.core_fault = Some(fault);
+    /// Seeds a mid-drain core degrade (sugar for a [`PipeFault`] on
+    /// [`PipeSel::Core`]).
+    pub fn core_fault(self, fault: CoreFault) -> Self {
+        self.pipe_fault(PipeFault {
+            pipe: PipeSel::Core,
+            after: fault.after,
+            factor: fault.factor,
+        })
+    }
+
+    /// Appends a mid-drain pipe degrade to the fault schedule.
+    pub fn pipe_fault(mut self, fault: PipeFault) -> Self {
+        self.pipe_faults.push(fault);
         self
     }
 
@@ -448,9 +475,9 @@ struct Mission {
     watchdog: Watchdog,
     /// Instant of the newest pipe sample; `None` before the first wakeup.
     last_sample_at: Option<SimTime>,
-    /// Pending core degrade as `(trigger instant, factor)`; consumed when
-    /// it fires.
-    core_fault: Option<(SimTime, f64)>,
+    /// Pending pipe degrades as `(trigger instant, pipe, factor)`, in
+    /// schedule order; each is consumed when it fires.
+    pipe_faults: Vec<(SimTime, PipeSel, f64)>,
     /// Per-host drain-root causal events, parents of every admission.
     host_roots: Vec<CausalId>,
 }
@@ -520,10 +547,11 @@ pub(crate) fn drain_evacuation(
         eta: EtaTracker::new(plan.freeze_eta),
         watchdog: Watchdog::new(),
         last_sample_at: None,
-        core_fault: plan
-            .core_fault
-            .as_ref()
-            .map(|f| (global_start + f.after, f.factor)),
+        pipe_faults: plan
+            .pipe_faults
+            .iter()
+            .map(|f| (global_start + f.after, f.pipe, f.factor))
+            .collect(),
         host_roots: Vec::with_capacity(hosts.len()),
     };
     // Root every host's causal chain at its drain-begin instant.
@@ -555,32 +583,39 @@ pub(crate) fn drain_evacuation(
     }
 
     while let Some((at, vmid)) = queue.pop() {
-        // A seeded core degrade fires at the first wakeup past its
-        // trigger; in-flight flows pick the new bottleneck up through the
-        // ordinary re-grant below.
-        if let Some((trigger, factor)) = mission.core_fault {
-            if at >= trigger {
-                mission.core_fault = None;
-                if let Some(base) = topo.core_rate() {
-                    let degraded = Bandwidth::from_bytes_per_sec(base.bytes_per_sec() * factor);
-                    topo.set_core_rate(degraded);
-                    let core_name = plan
-                        .core
-                        .as_ref()
-                        .map_or_else(|| "core".to_string(), |c| c.name.clone());
-                    mission.causal.emit(
-                        at.as_nanos(),
-                        CausalKind::Fault,
-                        None,
-                        core_name,
-                        vec![
-                            ("fault", "core_degrade".to_string()),
-                            ("factor", format!("{factor}")),
-                            ("rate_bps", format!("{:.0}", degraded.bytes_per_sec())),
-                        ],
-                    );
-                }
-            }
+        // Seeded pipe degrades fire at the first wakeup past their
+        // trigger, in schedule order; in-flight flows pick the new
+        // bottleneck up through the ordinary re-grant below. A fault on a
+        // pipe the fabric does not have is consumed silently.
+        while let Some(idx) = mission.pipe_faults.iter().position(|(t, _, _)| at >= *t) {
+            let (_, pipe, factor) = mission.pipe_faults.remove(idx);
+            let Some(base) = topo.pipe_rate(pipe) else {
+                continue;
+            };
+            let degraded = Bandwidth::from_bytes_per_sec(base.bytes_per_sec() * factor);
+            topo.set_pipe_rate(pipe, degraded);
+            let pipe_name = topo
+                .pipe_name(pipe)
+                .map_or_else(|| pipe.label(), str::to_string);
+            // The historical core drill keeps its causal tag; NIC and
+            // ingress degrades get the generic one.
+            let tag = if pipe == PipeSel::Core {
+                "core_degrade"
+            } else {
+                "pipe_degrade"
+            };
+            mission.causal.emit(
+                at.as_nanos(),
+                CausalKind::Fault,
+                None,
+                pipe_name,
+                vec![
+                    ("fault", tag.to_string()),
+                    ("pipe", pipe.label()),
+                    ("factor", format!("{factor}")),
+                    ("rate_bps", format!("{:.0}", degraded.bytes_per_sec())),
+                ],
+            );
         }
 
         let host = &mut hosts[vmid.host as usize];

@@ -33,8 +33,9 @@ pub use detect::{detect, WorkloadEstimate};
 pub use eta::{EtaSummary, EtaTracker, Watchdog, WatchdogFinding};
 pub use evac::{
     evacuate, evacuate_streamed, CoreFault, DestSpec, EvacOutcome, EvacuationPlan, EventQueue,
-    MissionControl, VmId, VmPlacement,
+    MissionControl, PipeFault, VmId, VmPlacement,
 };
+pub use netsim::PipeSel;
 pub use place::{DestState, PlacementPolicy};
 pub use policy::FleetPolicy;
 pub use sched::{run_fleet, run_fleet_streamed, FleetOutcome, FleetRowSink};

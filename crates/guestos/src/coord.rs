@@ -98,6 +98,11 @@ pub enum CoordPayload {
     /// The VM has resumed at the destination (daemon → LKM on evtchn, and
     /// relayed LKM → applications on netlink).
     VmResumed,
+    /// The daemon's cold-page assist is enabled: the LKM should query
+    /// applications for their cold-region maps and build the cold bitmap.
+    /// Only sent when the engine's cold assist is configured on — a
+    /// zero-config migration never emits this payload.
+    QueryColdMap,
 
     // ---- LKM → daemon (evtchn) ----
     /// Acknowledges [`CoordPayload::MigrationBegin`]; lets the daemon
@@ -119,6 +124,10 @@ pub enum CoordPayload {
     /// "Prepare for VM suspension, then report your current skip-over
     /// areas." For JAVMM the preparation is the enforced minor GC.
     PrepareSuspension,
+    /// "Report your cold regions" — live-but-rarely-written VA ranges the
+    /// engine may defer or delta-compress. Only multicast after a
+    /// [`CoordPayload::QueryColdMap`] from the daemon.
+    QueryColdRegions,
 
     // ---- applications → LKM (netlink) ----
     /// Reply to [`CoordPayload::QuerySkipOver`]: the application's
@@ -144,6 +153,12 @@ pub enum CoordPayload {
         /// their transfer bits.
         must_send: Vec<VaRange>,
     },
+    /// Reply to [`CoordPayload::QueryColdRegions`]: VA ranges the
+    /// application believes are live but cold (written rarely enough that
+    /// deferring or delta-compressing them is profitable). Unlike skip-over
+    /// areas these pages *must* reach the destination; coldness only
+    /// changes how they ride the link.
+    ColdRegions(Vec<VaRange>),
 }
 
 impl CoordPayload {
@@ -154,13 +169,16 @@ impl CoordPayload {
             CoordPayload::EnteringLastIter => "entering_last_iter",
             CoordPayload::AbortAssist => "abort_assist",
             CoordPayload::VmResumed => "vm_resumed",
+            CoordPayload::QueryColdMap => "query_cold_map",
             CoordPayload::BeginAck => "begin_ack",
             CoordPayload::ReadyToSuspend { .. } => "ready_to_suspend",
             CoordPayload::QuerySkipOver => "query_skip_over",
             CoordPayload::PrepareSuspension => "prepare_suspension",
+            CoordPayload::QueryColdRegions => "query_cold_regions",
             CoordPayload::SkipOverAreas(_) => "skip_over_areas",
             CoordPayload::AreaShrunk { .. } => "area_shrunk",
             CoordPayload::SuspensionReady { .. } => "suspension_ready",
+            CoordPayload::ColdRegions(_) => "cold_regions",
         }
     }
 }
@@ -203,6 +221,9 @@ mod tests {
             CoordPayload::BeginAck.name(),
             CoordPayload::QuerySkipOver.name(),
             CoordPayload::PrepareSuspension.name(),
+            CoordPayload::QueryColdMap.name(),
+            CoordPayload::QueryColdRegions.name(),
+            CoordPayload::ColdRegions(vec![]).name(),
         ];
         let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

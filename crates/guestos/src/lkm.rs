@@ -31,7 +31,7 @@ use crate::process::{Pid, Process};
 use simkit::{Recorder, SimDuration, SimTime, Subsystem};
 use std::collections::BTreeMap;
 use vmem::addr::subtract_ranges;
-use vmem::{Pfn, PfnCache, TransferBitmap, VaRange};
+use vmem::{Bitmap, Pfn, PfnCache, TransferBitmap, VaRange};
 
 pub use crate::evtchn::DaemonPort;
 
@@ -228,6 +228,8 @@ pub struct LkmStats {
     pub shrink_events: u64,
     /// Pages un-skipped by shrink notifications.
     pub shrink_pages: u64,
+    /// Pages marked cold in the cold bitmap (cold-assist migrations only).
+    pub cold_map_pages: u64,
     /// Applications that missed the suspension-prep deadline.
     pub stragglers: u32,
     /// Peak PFN-cache footprint in bytes.
@@ -249,7 +251,12 @@ struct AppRecord {
 pub struct Lkm {
     config: LkmConfig,
     state: LkmState,
+    npages: u64,
     transfer: TransferBitmap,
+    /// PFNs applications reported as live-but-cold. `None` until the daemon
+    /// asks for a cold map ([`CoordPayload::QueryColdMap`]), so migrations
+    /// without the cold assist never allocate or touch it.
+    cold: Option<Bitmap>,
     apps: BTreeMap<Pid, AppRecord>,
     netlink: KernelNetlink,
     port: LkmPort,
@@ -276,7 +283,9 @@ impl Lkm {
             Self {
                 config,
                 state: LkmState::Initialized,
+                npages,
                 transfer: TransferBitmap::new(npages),
+                cold: None,
                 apps: BTreeMap::new(),
                 netlink,
                 port: lkm_port,
@@ -333,6 +342,13 @@ impl Lkm {
         &self.transfer
     }
 
+    /// Returns the cold bitmap, if the daemon asked for one and at least
+    /// one application has replied. Pages marked here are live-but-cold:
+    /// the engine may defer or delta-encode them, never skip them.
+    pub fn cold_bitmap(&self) -> Option<&Bitmap> {
+        self.cold.as_ref()
+    }
+
     /// Returns the stats accumulated for the current/most recent migration.
     pub fn stats(&self) -> &LkmStats {
         &self.stats
@@ -341,7 +357,9 @@ impl Lkm {
     /// Returns the memory footprint of the LKM's data structures: transfer
     /// bitmap plus all PFN caches (the paper reports ≤1 MiB total).
     pub fn memory_footprint(&self) -> u64 {
-        self.transfer.byte_size() + self.apps.values().map(|a| a.cache.byte_size()).sum::<u64>()
+        self.transfer.byte_size()
+            + self.cold.as_ref().map_or(0, Bitmap::byte_size)
+            + self.apps.values().map(|a| a.cache.byte_size()).sum::<u64>()
     }
 
     /// Drains and processes all pending daemon and application messages.
@@ -375,6 +393,7 @@ impl Lkm {
                     self.set_state(now, LkmState::MigrationStarted);
                     self.stats = LkmStats::default();
                     self.pending_final_update = SimDuration::ZERO;
+                    self.cold = None;
                     for rec in self.apps.values_mut() {
                         rec.suspension_ready = false;
                         rec.straggler = false;
@@ -409,6 +428,18 @@ impl Lkm {
                 }
                 _ => {}
             },
+            CoordPayload::QueryColdMap => {
+                // Idempotent: re-querying costs one multicast and replies
+                // only re-set already-set cold bits, so daemon retries need
+                // no special casing beyond the seq gate.
+                let tracking = matches!(
+                    self.state,
+                    LkmState::MigrationStarted | LkmState::EnteringLastIter
+                );
+                if fresh && tracking {
+                    self.netlink.multicast(now, CoordPayload::QueryColdRegions);
+                }
+            }
             CoordPayload::AbortAssist => {
                 if fresh && self.state != LkmState::Degraded {
                     self.abort_assist(now);
@@ -468,6 +499,15 @@ impl Lkm {
             CoordPayload::SuspensionReady { areas, must_send } => {
                 if self.state == LkmState::EnteringLastIter {
                     self.final_update_for(now, pid, &areas, &must_send, procs);
+                }
+            }
+            CoordPayload::ColdRegions(areas) => {
+                let tracking = matches!(
+                    self.state,
+                    LkmState::MigrationStarted | LkmState::EnteringLastIter
+                );
+                if tracking {
+                    self.cold_update(now, pid, &areas, procs);
                 }
             }
             other => {
@@ -531,6 +571,57 @@ impl Lkm {
                 ("pid", pid.0.into()),
                 ("walked", walked.into()),
                 ("cleared", cleared.into()),
+            ],
+        );
+    }
+
+    /// Cold-map update: translate an application's cold VA ranges into PFNs
+    /// and set their bits in the cold bitmap. Unlike the transfer bitmap the
+    /// cold map never suppresses a transfer — the engine only reads it to
+    /// reschedule or delta-encode pages — so a stale entry is a lost
+    /// optimisation, not a correctness hazard, and no shrink bookkeeping or
+    /// PFN caching is needed.
+    fn cold_update(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        areas: &[VaRange],
+        procs: &mut BTreeMap<Pid, Process>,
+    ) {
+        let Some(proc) = procs.get_mut(&pid) else {
+            return;
+        };
+        let npages = self.npages;
+        let cold = self.cold.get_or_insert_with(|| Bitmap::new(npages));
+        let mut walked = 0u64;
+        let mut marked = 0u64;
+        for area in areas {
+            let aligned = area.align_inward();
+            if aligned.is_empty() {
+                continue;
+            }
+            for (_vpn, pfn) in proc.page_table.walk_range(aligned) {
+                walked += 1;
+                if cold.set(pfn) {
+                    marked += 1;
+                }
+            }
+        }
+        let cost = self.parallel_cost(walked, marked);
+        self.stats.cold_map_pages += marked;
+        self.telemetry
+            .counter_add(Subsystem::Lkm, "cold_pages_walked", walked);
+        self.telemetry
+            .counter_add(Subsystem::Lkm, "cold_bits_set", marked);
+        self.telemetry.record_span(
+            now,
+            Subsystem::Lkm,
+            "cold_map_update",
+            cost,
+            vec![
+                ("pid", pid.0.into()),
+                ("walked", walked.into()),
+                ("marked", marked.into()),
             ],
         );
     }
@@ -765,6 +856,7 @@ impl Lkm {
     fn abort_assist(&mut self, now: SimTime) {
         let restored = self.transfer.skip_count();
         self.transfer.reset();
+        self.cold = None;
         for rec in self.apps.values_mut() {
             rec.cache.clear();
             rec.areas.clear();
@@ -785,6 +877,7 @@ impl Lkm {
     fn reset_after_migration(&mut self, now: SimTime) {
         self.set_state(now, LkmState::Initialized);
         self.transfer.reset();
+        self.cold = None;
         for rec in self.apps.values_mut() {
             rec.areas.clear();
             rec.cache.clear();

@@ -6,6 +6,8 @@
 //!
 //! * `QuerySkipOver` → reply with the Young generation's committed VA
 //!   ranges (Eden + both survivor spaces);
+//! * `QueryColdRegions` → reply with the heap's live-but-cold Old-gen
+//!   ranges (only ever asked when the daemon's cold assist is enabled);
 //! * Young-generation shrink (a GC-end event) → immediate `AreaShrunk`;
 //! * `PrepareSuspension` → request an enforced minor GC; when it finishes —
 //!   with Java threads still paused at the safepoint — reply
@@ -104,6 +106,13 @@ impl JavmmAgent {
                     }
                     self.sock
                         .send(now, CoordPayload::SkipOverAreas(heap.young_ranges()));
+                }
+                CoordPayload::QueryColdRegions => {
+                    if self.aborted || self.stalled_before(1) {
+                        continue;
+                    }
+                    self.sock
+                        .send(now, CoordPayload::ColdRegions(heap.cold_ranges()));
                 }
                 CoordPayload::PrepareSuspension => {
                     if self.aborted || self.stalled_before(2) {

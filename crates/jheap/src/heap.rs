@@ -25,6 +25,18 @@ use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
 /// Fraction of the Old generation still live when a full GC runs.
 const FULL_GC_LIVE_FRACTION: f64 = 0.6;
 
+/// Granularity of Old-generation access tracking: one epoch slot per
+/// 2 MiB region (512 pages). Coarse enough that the tracker is a few
+/// hundred slots for a 1 GiB Old generation, fine enough that a hot
+/// working set does not smear warmth over the whole generation.
+const COLD_REGION_BYTES: u64 = 2 * 1024 * 1024;
+
+/// A region that has gone this many GC epochs without a write is cold.
+/// Two epochs ≈ two minor-GC intervals — long enough that transient
+/// promotion bursts don't flap a region hot, short enough that the map
+/// is populated within the warmup of every scenario in the tree.
+const COLD_EPOCH_THRESHOLD: u64 = 2;
+
 /// The heap of one JVM.
 #[derive(Debug)]
 pub struct JvmHeap {
@@ -41,6 +53,14 @@ pub struct JvmHeap {
     from_is_s0: bool,
     last_gc_at: Option<SimTime>,
     gc_log: GcLog,
+    /// Access-tracking epoch: bumped on every minor GC (decay), so region
+    /// warmth ages out in GC time, not wall time.
+    epoch: u64,
+    /// Last-write epoch per [`COLD_REGION_BYTES`] region of the Old
+    /// generation, indexed from `va::OLD_BASE`. Pure bookkeeping: marking
+    /// touches draws no randomness and issues no kernel calls, so tracking
+    /// is always on and cannot perturb any existing run.
+    region_epochs: Vec<u64>,
 }
 
 impl JvmHeap {
@@ -64,6 +84,8 @@ impl JvmHeap {
             from_is_s0: true,
             last_gc_at: None,
             gc_log: GcLog::new(),
+            epoch: 0,
+            region_epochs: Vec::new(),
             config,
         };
 
@@ -103,6 +125,7 @@ impl JvmHeap {
             PageClass::HeapOld,
         );
         heap.old_used = heap.config.old_resident;
+        heap.touch_old(0, resident);
 
         // Young generation: committed but not yet written.
         heap.commit(kernel, va::EDEN_BASE, 0, eden, PageClass::HeapYoung);
@@ -213,6 +236,7 @@ impl JvmHeap {
             let page = rng.below(window_pages);
             let va = Vaddr(va::OLD_BASE + page * PAGE_SIZE);
             out.merge(kernel.write_range(self.pid, VaRange::from_len(va, 1), PageClass::HeapOld));
+            self.touch_old(page * PAGE_SIZE, page * PAGE_SIZE + PAGE_SIZE);
         }
         out
     }
@@ -234,6 +258,11 @@ impl JvmHeap {
         let eden_before = self.eden_used;
         let from_before = self.from_used;
         let young_committed = self.young_committed();
+
+        // Decay first: every region's warmth ages by one epoch, and
+        // anything this collection itself writes (promotion, compaction)
+        // re-marks at the new epoch.
+        self.epoch += 1;
 
         // Live data: Eden survivors go to To; From survivors are promoted.
         let jitter = rng.jitter(0.08);
@@ -307,6 +336,7 @@ impl JvmHeap {
             VaRange::from_len(Vaddr(va::OLD_BASE), page_align_up(live.max(PAGE_SIZE))),
             PageClass::HeapOld,
         ));
+        self.touch_old(0, page_align_up(live.max(PAGE_SIZE)));
         self.old_used = live;
         self.config.gc_costs.full_base
             + SimDuration::from_secs_f64(before as f64 * self.config.gc_costs.full_cost_per_byte)
@@ -326,6 +356,7 @@ impl JvmHeap {
             Vaddr(va::OLD_BASE + self.old_used),
             Vaddr(va::OLD_BASE + new_used),
         );
+        self.touch_old(self.old_used, new_used);
         self.old_used = new_used;
         kernel.write_range(self.pid, range, PageClass::HeapOld)
     }
@@ -409,6 +440,56 @@ impl JvmHeap {
                 class,
             )
             .expect("guest out of frames while committing JVM memory");
+    }
+
+    /// Marks the Old-generation byte offsets `[start, end)` as written in
+    /// the current epoch.
+    fn touch_old(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let first = (start / COLD_REGION_BYTES) as usize;
+        let last = (end - 1) / COLD_REGION_BYTES;
+        let last = last as usize;
+        if self.region_epochs.len() <= last {
+            self.region_epochs.resize(last + 1, self.epoch);
+        }
+        for slot in &mut self.region_epochs[first..=last] {
+            *slot = self.epoch;
+        }
+    }
+
+    /// The Old-generation regions that are live but cold: committed, below
+    /// `old_used`, and unwritten for at least [`COLD_EPOCH_THRESHOLD`] GC
+    /// epochs. Adjacent cold regions coalesce into one VA range; the tail
+    /// range is clipped to the page-aligned end of the used Old generation.
+    ///
+    /// Reading the map is pure — no randomness, no kernel calls — so the
+    /// agent can export it on any protocol cadence without perturbing the
+    /// simulation.
+    pub fn cold_ranges(&self) -> Vec<VaRange> {
+        let used = page_align_up(self.old_used.max(1));
+        let used_regions = used.div_ceil(COLD_REGION_BYTES) as usize;
+        let n = used_regions.min(self.region_epochs.len());
+        let mut out = Vec::new();
+        let mut run_start: Option<u64> = None;
+        for i in 0..=n {
+            let cold =
+                i < n && self.epoch.saturating_sub(self.region_epochs[i]) >= COLD_EPOCH_THRESHOLD;
+            match (cold, run_start) {
+                (true, None) => run_start = Some(i as u64 * COLD_REGION_BYTES),
+                (false, Some(start)) => {
+                    let end = (i as u64 * COLD_REGION_BYTES).min(used);
+                    out.push(VaRange::new(
+                        Vaddr(va::OLD_BASE + start),
+                        Vaddr(va::OLD_BASE + end),
+                    ));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        out
     }
 
     fn base_of_from_space(&self) -> u64 {
@@ -656,6 +737,64 @@ mod tests {
         let _ = peak;
         assert!(full_seen, "a full GC should have been charged");
         assert!(dropped, "a full GC must reclaim Old-generation space");
+    }
+
+    #[test]
+    fn cold_ranges_empty_until_epochs_decay() {
+        let (mut kernel, mut heap) = setup(128 * MIB);
+        let mut rng = DetRng::new(9);
+        let profile = MutatorProfile::quiet();
+        // Everything was just written at launch: nothing is cold yet.
+        assert!(heap.cold_ranges().is_empty());
+        // Age the heap two epochs with a tiny hot working set.
+        for i in 0..2 {
+            heap.bump_eden(&mut kernel, MIB);
+            heap.write_old_ws(&mut kernel, &mut rng, 64 * 1024, 2 * 1024 * 1024);
+            heap.perform_minor_gc(
+                &mut kernel,
+                &mut rng,
+                &profile,
+                t(10 * (i + 1)),
+                GcKind::Minor,
+            );
+        }
+        heap.write_old_ws(&mut kernel, &mut rng, 64 * 1024, 2 * 1024 * 1024);
+        let cold = heap.cold_ranges();
+        assert!(!cold.is_empty(), "the untouched Old tail must go cold");
+        // The hot working-set window (first region) stays warm.
+        assert!(
+            cold.iter()
+                .all(|r| r.start().0 >= va::OLD_BASE + 2 * 1024 * 1024),
+            "hot window must not be reported cold: {cold:?}"
+        );
+        // Cold ranges lie inside the used Old generation.
+        let used_end = va::OLD_BASE + page_align_up(heap.old_used());
+        assert!(cold.iter().all(|r| r.end().0 <= used_end));
+    }
+
+    #[test]
+    fn full_gc_rewarms_the_compacted_prefix() {
+        let (mut kernel, mut heap) = setup(128 * MIB);
+        let mut rng = DetRng::new(9);
+        let profile = MutatorProfile::quiet();
+        for i in 0..3 {
+            heap.bump_eden(&mut kernel, MIB);
+            heap.perform_minor_gc(
+                &mut kernel,
+                &mut rng,
+                &profile,
+                t(10 * (i + 1)),
+                GcKind::Minor,
+            );
+        }
+        assert!(!heap.cold_ranges().is_empty(), "aged heap has cold regions");
+        let mut writes = WriteOutcome::default();
+        heap.perform_full_gc(&mut kernel, &mut writes);
+        // Compaction rewrote the surviving prefix in the current epoch.
+        assert!(
+            heap.cold_ranges().is_empty(),
+            "compaction re-warms the prefix"
+        );
     }
 
     #[test]

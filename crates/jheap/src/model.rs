@@ -77,6 +77,17 @@ pub trait HeapModel: core::fmt::Debug {
 
     /// Size of the JIT code cache (for background recompilation writes).
     fn codecache_bytes(&self) -> u64;
+
+    /// The heap's live-but-cold VA ranges: committed, reachable data that
+    /// has not been written for several GC epochs. The migration engine may
+    /// defer these pages or delta-compress their re-dirtied versions; unlike
+    /// [`HeapModel::young_ranges`] they must still reach the destination.
+    ///
+    /// Collectors without access tracking report none (the default), which
+    /// degrades the cold assist to a no-op rather than a protocol error.
+    fn cold_ranges(&self) -> Vec<VaRange> {
+        Vec::new()
+    }
 }
 
 impl HeapModel for crate::heap::JvmHeap {
@@ -143,5 +154,9 @@ impl HeapModel for crate::heap::JvmHeap {
 
     fn codecache_bytes(&self) -> u64 {
         self.config().codecache
+    }
+
+    fn cold_ranges(&self) -> Vec<VaRange> {
+        crate::heap::JvmHeap::cold_ranges(self)
     }
 }

@@ -8,6 +8,7 @@
 //! ([`MigrationConfig::xen_default`], [`MigrationConfig::javmm_default`]) or
 //! the validating [`MigrationConfig::builder`].
 
+use crate::assist::ColdAssistConfig;
 use crate::error::ConfigError;
 use netsim::CompressionMethod;
 use simkit::units::Bandwidth;
@@ -135,6 +136,9 @@ pub struct MigrationConfig {
     /// knob only changes who does the classification work, never what it
     /// computes.
     pub scan_workers: usize,
+    /// The cold-page assist (defer / delta actions). Off by default; the
+    /// zero-config path is locked byte-identical by the inertness goldens.
+    pub cold: ColdAssistConfig,
     /// Coordination timeouts and retries.
     pub coord: CoordPolicy,
     /// Behaviour when coordination fails for good.
@@ -159,6 +163,7 @@ impl MigrationConfig {
             cpu_cost_per_byte: 1.1e-9,
             cpu_cost_per_page_scan: SimDuration::from_nanos(250),
             scan_workers: 1,
+            cold: ColdAssistConfig::off(),
             coord: CoordPolicy::default(),
             fallback: FallbackPolicy::default(),
             faults: FaultPlan::none(),
@@ -207,6 +212,7 @@ impl MigrationConfig {
         if self.scan_workers == 0 {
             return Err(ConfigError::ZeroScanWorkers);
         }
+        self.cold.validate(self.assisted)?;
         Ok(())
     }
 }
@@ -263,6 +269,12 @@ impl MigrationConfigBuilder {
     /// Sets the scan-pool worker count (0 is rejected at build time).
     pub fn scan_workers(mut self, workers: usize) -> Self {
         self.config.scan_workers = workers;
+        self
+    }
+
+    /// Configures the cold-page assist (enabling it requires `assisted`).
+    pub fn cold(mut self, cold: ColdAssistConfig) -> Self {
+        self.config.cold = cold;
         self
     }
 

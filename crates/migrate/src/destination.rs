@@ -52,6 +52,15 @@ impl DestinationVm {
         self.pages[pfn.0 as usize]
     }
 
+    /// `true` once a written version of `pfn` has been received — the
+    /// XBZRLE gate: a re-send may be delta-encoded only against a prior
+    /// version that actually crossed the wire. Pristine receptions
+    /// (version 0) do not count; they are indistinguishable from the
+    /// destination's own zero-fill.
+    pub fn has_received(&self, pfn: Pfn) -> bool {
+        self.pages[pfn.0 as usize].version != 0
+    }
+
     /// Compares destination contents against the paused source.
     ///
     /// `skip_at_pause` holds a set bit for every page whose transfer bit was

@@ -23,6 +23,12 @@ use crate::MigrationOutcome;
 /// v2 added the `series` section (workload-observatory sample rings).
 pub const DIGEST_SCHEMA: &str = "javmm-run-digest-v2";
 
+/// Schema identifier of run digests carrying a `cold` section. Emitted
+/// *only* when the run's report has a cold-assist summary, so every
+/// digest produced with the subsystem disabled stays byte-identical to
+/// its committed v2 baseline. [`compare`] accepts both ids.
+pub const DIGEST_SCHEMA_V3: &str = "javmm-run-digest-v3";
+
 /// Enforced-GC pauses longer than this are flagged as a `gc_overrun`
 /// finding (the paper's enforced minor GC completes well under a second).
 const GC_OVERRUN_BUDGET_NS: u64 = 2_000_000_000;
@@ -78,6 +84,40 @@ pub struct SeriesDigest {
     pub p50: f64,
     /// 95th percentile of the retained samples.
     pub p95: f64,
+}
+
+/// The cold-assist section of a v3 digest: what the defer and delta
+/// actions did, straight off the report's [`crate::assist::ColdReport`]
+/// plus its derived ratios (frozen into the document so gates read them
+/// without re-deriving).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdDigest {
+    /// Pages ever classified cold.
+    pub pages: u64,
+    /// Pages split out of hot snapshots into the bulk stream.
+    pub deferred_pages: u64,
+    /// Deferred pages actually shipped by the bulk stream.
+    pub deferred_sent_pages: u64,
+    /// Wire bytes the bulk stream shipped.
+    pub deferred_sent_bytes: u64,
+    /// Deferred pages still pending when the VM paused.
+    pub pending_at_pause: u64,
+    /// Delta-cache hits that produced a delta cheaper than the full page.
+    pub delta_hits: u64,
+    /// Delta-cache misses (first sends).
+    pub delta_misses: u64,
+    /// Hits whose encoding fell back to the full page.
+    pub delta_fallbacks: u64,
+    /// Cache evictions forced by the capacity bound.
+    pub delta_overflows: u64,
+    /// Wire bytes of the pages sent as deltas.
+    pub delta_wire_bytes: u64,
+    /// What those same pages would have cost sent whole.
+    pub delta_full_bytes: u64,
+    /// `1 - wire/full` over delta-sent pages.
+    pub delta_saved_bytes_ratio: f64,
+    /// Consults finding a prior version, over all consults.
+    pub delta_cache_hit_rate: f64,
 }
 
 /// A rule-based anomaly surfaced by the digest analyzer.
@@ -142,6 +182,9 @@ pub struct RunDigest {
     pub series: BTreeMap<String, SeriesDigest>,
     /// Counter values keyed `subsystem/name`, sorted.
     pub counters: BTreeMap<String, u64>,
+    /// Cold-assist summary; `None` (and absent from the JSON, keeping the
+    /// v2 schema) unless the run had the subsystem enabled.
+    pub cold: Option<ColdDigest>,
     /// Rule-based anomalies, in fixed rule order.
     pub findings: Vec<Finding>,
 }
@@ -240,6 +283,21 @@ impl RunDigest {
             histograms,
             series,
             counters,
+            cold: report.cold.map(|c| ColdDigest {
+                pages: c.cold_pages,
+                deferred_pages: c.deferred_pages,
+                deferred_sent_pages: c.deferred_sent_pages,
+                deferred_sent_bytes: c.deferred_sent_bytes,
+                pending_at_pause: c.pending_at_pause,
+                delta_hits: c.delta_hits,
+                delta_misses: c.delta_misses,
+                delta_fallbacks: c.delta_fallbacks,
+                delta_overflows: c.delta_overflows,
+                delta_wire_bytes: c.delta_wire_bytes,
+                delta_full_bytes: c.delta_full_bytes,
+                delta_saved_bytes_ratio: c.saved_bytes_ratio(),
+                delta_cache_hit_rate: c.cache_hit_rate(),
+            }),
             findings: Vec::new(),
             meta,
         };
@@ -306,7 +364,12 @@ impl RunDigest {
     pub fn to_json(&self) -> String {
         let mut o = String::new();
         o.push_str("{\n");
-        let _ = writeln!(o, "  \"schema\": \"{DIGEST_SCHEMA}\",");
+        let schema = if self.cold.is_some() {
+            DIGEST_SCHEMA_V3
+        } else {
+            DIGEST_SCHEMA
+        };
+        let _ = writeln!(o, "  \"schema\": \"{schema}\",");
         o.push_str("  \"scenario\": {\n");
         let _ = writeln!(o, "    \"name\": \"{}\",", escape_json(&self.meta.name));
         let _ = writeln!(
@@ -356,6 +419,35 @@ impl RunDigest {
             fmt_f64(self.scan_pages_per_cpu_sec)
         );
         o.push_str("  },\n");
+        if let Some(c) = &self.cold {
+            o.push_str("  \"cold\": {\n");
+            let _ = writeln!(o, "    \"pages\": {},", c.pages);
+            o.push_str("    \"deferred\": {\n");
+            let _ = writeln!(o, "      \"pages\": {},", c.deferred_pages);
+            let _ = writeln!(o, "      \"sent_pages\": {},", c.deferred_sent_pages);
+            let _ = writeln!(o, "      \"sent_bytes\": {},", c.deferred_sent_bytes);
+            let _ = writeln!(o, "      \"pending_at_pause\": {}", c.pending_at_pause);
+            o.push_str("    },\n");
+            o.push_str("    \"delta\": {\n");
+            let _ = writeln!(o, "      \"hits\": {},", c.delta_hits);
+            let _ = writeln!(o, "      \"misses\": {},", c.delta_misses);
+            let _ = writeln!(o, "      \"fallbacks\": {},", c.delta_fallbacks);
+            let _ = writeln!(o, "      \"overflows\": {},", c.delta_overflows);
+            let _ = writeln!(o, "      \"wire_bytes\": {},", c.delta_wire_bytes);
+            let _ = writeln!(o, "      \"full_bytes\": {},", c.delta_full_bytes);
+            let _ = writeln!(
+                o,
+                "      \"saved_bytes_ratio\": {},",
+                fmt_f64(c.delta_saved_bytes_ratio)
+            );
+            let _ = writeln!(
+                o,
+                "      \"cache_hit_rate\": {}",
+                fmt_f64(c.delta_cache_hit_rate)
+            );
+            o.push_str("    }\n");
+            o.push_str("  },\n");
+        }
         o.push_str("  \"histograms\": {\n");
         for (i, (key, h)) in self.histograms.iter().enumerate() {
             let _ = write!(
@@ -1264,9 +1356,9 @@ pub fn compare(old_json: &str, new_json: &str) -> Result<CompareReport, DigestEr
     let new = Json::parse(new_json)?;
     for doc in [&old, &new] {
         let schema = require_str(doc, &["schema"])?;
-        if schema != DIGEST_SCHEMA {
+        if schema != DIGEST_SCHEMA && schema != DIGEST_SCHEMA_V3 {
             return Err(DigestError::Schema(format!(
-                "unsupported schema '{schema}' (want '{DIGEST_SCHEMA}')"
+                "unsupported schema '{schema}' (want '{DIGEST_SCHEMA}' or '{DIGEST_SCHEMA_V3}')"
             )));
         }
     }
@@ -1284,13 +1376,49 @@ pub fn compare(old_json: &str, new_json: &str) -> Result<CompareReport, DigestEr
     } else {
         None
     };
-    let deltas = metric_deltas(&old, &new, COMPARE_METRICS)?;
+    let mut deltas = metric_deltas(&old, &new, COMPARE_METRICS)?;
+    // Cold-assist gates apply only when both digests carry the section;
+    // a one-sided section means the subsystem was toggled between the
+    // runs, which no threshold can meaningfully judge.
+    match (old.get(&["cold"]).is_some(), new.get(&["cold"]).is_some()) {
+        (true, true) => deltas.extend(metric_deltas(&old, &new, COLD_COMPARE_METRICS)?),
+        (false, false) => {}
+        (old_has, _) => {
+            return Err(DigestError::Schema(format!(
+                "cold section present only in the {} digest — compare runs with the \
+                 cold assist configured identically",
+                if old_has { "baseline" } else { "candidate" }
+            )));
+        }
+    }
     Ok(CompareReport {
         scenario: old_name.to_string(),
         outcome_changed,
         deltas,
     })
 }
+
+/// The cold-assist regression gate, applied on top of [`COMPARE_METRICS`]
+/// when both digests are v3. `cold.delta.saved_bytes_ratio` is the drill
+/// metric: shrinking the delta page cache to one entry destroys the XOR
+/// codec's savings and must trip exactly this gate.
+const COLD_COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["cold", "delta", "saved_bytes_ratio"],
+        direction: Direction::LowerWorse,
+        threshold: 0.05,
+    },
+    CompareMetric {
+        path: &["cold", "delta", "cache_hit_rate"],
+        direction: Direction::LowerWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["cold", "deferred", "sent_bytes"],
+        direction: Direction::HigherWorse,
+        threshold: 0.10,
+    },
+];
 
 fn metric_deltas(
     old: &Json,
@@ -1609,24 +1737,105 @@ pub fn compare_evacuate_eta(old_json: &str, new_json: &str) -> Result<CompareRep
     })
 }
 
-/// Compares two digest documents of either schema, dispatching on the
-/// baseline's `schema` field: run digests go through [`compare`], fleet
-/// digests through [`compare_fleet`], pre-copy benchmark documents
-/// through [`compare_precopy_bench`], evacuation benchmark documents
-/// through [`compare_evacuate`], ETA-calibration documents through
-/// [`compare_evacuate_eta`].
+/// Schema tag of `BENCH_cold.json` documents (written by the `bench`
+/// binary's `cold` subcommand, gated by [`compare_cold_bench`]).
+pub const BENCH_COLD_SCHEMA: &str = "javmm-bench-cold-v1";
+
+/// The cold-assist benchmark regression gate. The headline savings ratios
+/// (total and last-iteration bytes, assist vs no-assist baseline over the
+/// cold-heavy roster) must not shrink, `delta.saved_bytes_ratio` is the
+/// CI drill metric (a one-entry delta cache collapses it), and
+/// `harness.verified` is a boolean tripwire — any destination digest
+/// mismatch is a regression outright.
+const COLD_BENCH_COMPARE_METRICS: &[CompareMetric] = &[
+    CompareMetric {
+        path: &["savings", "total_bytes_ratio"],
+        direction: Direction::LowerWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["savings", "last_iter_bytes_ratio"],
+        direction: Direction::LowerWorse,
+        threshold: 0.10,
+    },
+    CompareMetric {
+        path: &["delta", "saved_bytes_ratio"],
+        direction: Direction::LowerWorse,
+        threshold: 0.05,
+    },
+    CompareMetric {
+        path: &["harness", "verified"],
+        direction: Direction::LowerWorse,
+        threshold: 0.0,
+    },
+];
+
+/// Compares two cold-assist benchmark documents (baseline, candidate)
+/// under the savings gate. Errors if either document fails to parse, is
+/// not schema `javmm-bench-cold-v1`, or the two documents describe
+/// different rosters.
+pub fn compare_cold_bench(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
+    let old = Json::parse(old_json)?;
+    let new = Json::parse(new_json)?;
+    for doc in [&old, &new] {
+        let schema = require_str(doc, &["schema"])?;
+        if schema != BENCH_COLD_SCHEMA {
+            return Err(DigestError::Schema(format!(
+                "unsupported schema '{schema}' (want '{BENCH_COLD_SCHEMA}')"
+            )));
+        }
+    }
+    let old_name = require_str(&old, &["roster"])?;
+    let new_name = require_str(&new, &["roster"])?;
+    if old_name != new_name {
+        return Err(DigestError::Schema(format!(
+            "documents describe different rosters ('{old_name}' vs '{new_name}')"
+        )));
+    }
+    let deltas = metric_deltas(&old, &new, COLD_BENCH_COMPARE_METRICS)?;
+    Ok(CompareReport {
+        scenario: old_name.to_string(),
+        outcome_changed: None,
+        deltas,
+    })
+}
+
+/// Every schema id [`compare_any`] can dispatch on, in dispatch order.
+pub const KNOWN_SCHEMAS: &[&str] = &[
+    DIGEST_SCHEMA,
+    DIGEST_SCHEMA_V3,
+    FLEET_DIGEST_SCHEMA,
+    BENCH_PRECOPY_SCHEMA,
+    BENCH_EVACUATE_SCHEMA,
+    BENCH_EVACUATE_ETA_SCHEMA,
+    BENCH_COLD_SCHEMA,
+];
+
+/// Compares two digest documents of any known schema, dispatching on the
+/// baseline's `schema` field: run digests (v2 and v3) go through
+/// [`compare`], fleet digests through [`compare_fleet`], pre-copy
+/// benchmark documents through [`compare_precopy_bench`], evacuation
+/// benchmark documents through [`compare_evacuate`], ETA-calibration
+/// documents through [`compare_evacuate_eta`], cold-assist benchmark
+/// documents through [`compare_cold_bench`]. An unknown schema errors
+/// with the full list of known ids ([`KNOWN_SCHEMAS`]), so a digest
+/// produced by a newer (or misspelled) writer is diagnosable at a glance.
 pub fn compare_any(old_json: &str, new_json: &str) -> Result<CompareReport, DigestError> {
     let old = Json::parse(old_json)?;
     match require_str(&old, &["schema"])? {
-        s if s == DIGEST_SCHEMA => compare(old_json, new_json),
+        s if s == DIGEST_SCHEMA || s == DIGEST_SCHEMA_V3 => compare(old_json, new_json),
         s if s == FLEET_DIGEST_SCHEMA => compare_fleet(old_json, new_json),
         s if s == BENCH_PRECOPY_SCHEMA => compare_precopy_bench(old_json, new_json),
         s if s == BENCH_EVACUATE_SCHEMA => compare_evacuate(old_json, new_json),
         s if s == BENCH_EVACUATE_ETA_SCHEMA => compare_evacuate_eta(old_json, new_json),
+        s if s == BENCH_COLD_SCHEMA => compare_cold_bench(old_json, new_json),
         s => Err(DigestError::Schema(format!(
-            "unsupported schema '{s}' (want '{DIGEST_SCHEMA}', '{FLEET_DIGEST_SCHEMA}', \
-             '{BENCH_PRECOPY_SCHEMA}', '{BENCH_EVACUATE_SCHEMA}' or \
-             '{BENCH_EVACUATE_ETA_SCHEMA}')"
+            "unsupported schema '{s}' (known schemas: {})",
+            KNOWN_SCHEMAS
+                .iter()
+                .map(|k| format!("'{k}'"))
+                .collect::<Vec<_>>()
+                .join(", ")
         ))),
     }
 }
@@ -1814,6 +2023,99 @@ mod tests {
         assert!(!compare_any(&bench, &bench).unwrap().has_regression());
         assert!(matches!(
             compare_any(&run, &fleet),
+            Err(DigestError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn compare_any_unknown_schema_lists_known_ids() {
+        let bogus = r#"{"schema": "javmm-made-up-v9"}"#;
+        let err = match compare_any(bogus, bogus) {
+            Err(DigestError::Schema(msg)) => msg,
+            other => panic!("expected a schema error, got {other:?}"),
+        };
+        assert!(err.contains("javmm-made-up-v9"), "{err}");
+        for id in KNOWN_SCHEMAS {
+            assert!(err.contains(id), "error must list '{id}': {err}");
+        }
+    }
+
+    fn cold_digest_json(name: &str, saved_ratio: f64, hit_rate: f64, sent_bytes: u64) -> String {
+        digest_json(name, 4e9, 500, "completed")
+            .replace("javmm-run-digest-v2", "javmm-run-digest-v3")
+            .replace(
+                "\"histograms\": {}",
+                &format!(
+                    r#""cold": {{
+                      "pages": 5000,
+                      "deferred": {{"pages": 5000, "sent_pages": 4800, "sent_bytes": {sent_bytes}, "pending_at_pause": 200}},
+                      "delta": {{"hits": 900, "misses": 4800, "fallbacks": 20, "overflows": 0, "wire_bytes": 290000, "full_bytes": 3790000, "saved_bytes_ratio": {saved_ratio}, "cache_hit_rate": {hit_rate}}}
+                    }},
+                    "histograms": {{}}"#
+                ),
+            )
+    }
+
+    #[test]
+    fn cold_section_adds_gates_to_compare() {
+        let old = cold_digest_json("derby", 0.9, 0.16, 1_000_000);
+        assert!(!compare(&old, &old).unwrap().has_regression());
+        assert!(!compare_any(&old, &old).unwrap().has_regression());
+        // The cache-shrink drill collapses the codec's savings: the gate
+        // must name the delta ratio.
+        let thrashed = cold_digest_json("derby", 0.05, 0.01, 1_000_000);
+        let report = compare(&old, &thrashed).unwrap();
+        assert!(report.has_regression());
+        let regs = report.regressions();
+        assert!(
+            regs.contains(&"cold.delta.saved_bytes_ratio".to_string()),
+            "{regs:?}"
+        );
+        // A one-sided cold section is a config mismatch, not a comparison.
+        let plain = digest_json("derby", 4e9, 500, "completed");
+        assert!(matches!(compare(&old, &plain), Err(DigestError::Schema(_))));
+        assert!(matches!(compare(&plain, &old), Err(DigestError::Schema(_))));
+    }
+
+    fn cold_bench_json(total_ratio: f64, last_ratio: f64, saved: f64, verified: bool) -> String {
+        format!(
+            r#"{{
+              "schema": "javmm-bench-cold-v1",
+              "roster": "cold5",
+              "savings": {{"total_bytes_ratio": {total_ratio}, "last_iter_bytes_ratio": {last_ratio}}},
+              "delta": {{"saved_bytes_ratio": {saved}}},
+              "harness": {{"verified": {verified}}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn cold_bench_compare_gates_savings() {
+        let old = cold_bench_json(0.3, 0.5, 0.9, true);
+        assert!(!compare_cold_bench(&old, &old).unwrap().has_regression());
+        assert!(!compare_any(&old, &old).unwrap().has_regression());
+        // The one-entry-cache drill: delta savings collapse, the gate must
+        // name delta.saved_bytes_ratio.
+        let drilled = cold_bench_json(0.25, 0.45, 0.05, true);
+        let report = compare_cold_bench(&old, &drilled).unwrap();
+        assert!(report.has_regression());
+        assert!(
+            report
+                .regressions()
+                .contains(&"delta.saved_bytes_ratio".to_string()),
+            "{:?}",
+            report.regressions()
+        );
+        // A verification failure is a regression outright.
+        let unverified = cold_bench_json(0.3, 0.5, 0.9, false);
+        let report = compare_cold_bench(&old, &unverified).unwrap();
+        assert!(report
+            .regressions()
+            .contains(&"harness.verified".to_string()));
+        // Mismatched rosters are an error, not a comparison.
+        let other = old.replace("cold5", "cold9");
+        assert!(matches!(
+            compare_cold_bench(&old, &other),
             Err(DigestError::Schema(_))
         ));
     }

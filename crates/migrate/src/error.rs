@@ -31,6 +31,11 @@ pub enum ConfigError {
     InvalidFaultPlan,
     /// The scan pool needs at least one worker.
     ZeroScanWorkers,
+    /// The cold assist needs the assisted protocol: the cold-region map
+    /// arrives through the LKM.
+    ColdRequiresAssist,
+    /// The delta action needs a page cache of at least one entry.
+    ZeroDeltaCache,
     /// A host drain needs at least one tenant.
     EmptyRoster,
     /// The guest tick must be non-zero.
@@ -60,6 +65,8 @@ impl core::fmt::Display for ConfigError {
             Self::BackoffBelowOne => "retry backoff multiplier must be >= 1",
             Self::InvalidFaultPlan => "fault plan is invalid",
             Self::ZeroScanWorkers => "scan pool needs at least one worker",
+            Self::ColdRequiresAssist => "cold assist requires the assisted protocol",
+            Self::ZeroDeltaCache => "delta page cache needs at least one entry",
             Self::EmptyRoster => "host drain needs at least one tenant",
             Self::ZeroTick => "guest tick must be non-zero",
             Self::SenseCadenceMisaligned => {

@@ -20,6 +20,7 @@
 //! [`error::MigrateError`]. Deterministic fault injection is configured
 //! through the [`simkit::FaultPlan`] carried by the config.
 
+pub mod assist;
 pub mod checkpoint;
 pub mod config;
 pub mod destination;
@@ -33,6 +34,7 @@ pub mod scanpool;
 pub mod sla;
 pub mod vmhost;
 
+pub use assist::{ColdAssistConfig, ColdReport};
 pub use checkpoint::{CheckpointConfig, CheckpointEngine, CheckpointReport};
 pub use config::{
     CompressionPolicy, CoordPolicy, FallbackPolicy, MigrationConfig, MigrationConfigBuilder,
@@ -41,7 +43,7 @@ pub use config::{
 pub use destination::{DestinationVm, VerifyReport};
 pub use digest::{compare, CompareReport, DigestMeta, RunDigest, DIGEST_SCHEMA};
 pub use error::{ConfigError, CoordPhase, MigrateError, MigrationOutcome};
-pub use policy::{choose_strategy, Decision, Strategy, WorkloadProbe};
+pub use policy::{choose_strategy, AssistAction, Decision, Strategy, WorkloadProbe};
 pub use postcopy::{PostcopyConfig, PostcopyEngine, PostcopyReport};
 pub use precopy::PrecopyEngine;
 pub use report::{

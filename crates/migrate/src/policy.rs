@@ -9,8 +9,54 @@
 //! both strategies from observable workload characteristics and pick the
 //! smaller.
 
+use crate::assist::ColdAssistConfig;
 use simkit::units::Bandwidth;
 use simkit::SimDuration;
+
+/// What an assisted migration does with a page the application flagged.
+///
+/// The paper's protocol has a single action — *skip* garbage-collectable
+/// pages outright. The cold-page assist adds two weaker ones for pages
+/// that must still arrive but rarely change: *defer* them to a
+/// low-priority bulk stream that yields to hot iterations, and send
+/// re-dirtied ones as an XBZRLE-style *delta* against the version the
+/// destination already holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssistAction {
+    /// Drop the page entirely; the destination reconstructs it (skip-over
+    /// areas: garbage, free lists, evictable cache).
+    Skip,
+    /// Ship the page once, late, in the cold bulk stream.
+    Defer,
+    /// Ship a run-length-of-XOR delta when a prior version was already
+    /// sent ([`crate::assist::delta`]).
+    Delta,
+}
+
+impl AssistAction {
+    /// Stable lower-case name for telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Skip => "skip",
+            Self::Defer => "defer",
+            Self::Delta => "delta",
+        }
+    }
+
+    /// The actions an assisted run with `cold` enables, in the order the
+    /// engine applies them. `Skip` is always available — it is the paper's
+    /// baseline protocol; the cold actions join it per the config.
+    pub fn enabled(cold: &ColdAssistConfig) -> Vec<AssistAction> {
+        let mut actions = vec![Self::Skip];
+        if cold.defer {
+            actions.push(Self::Defer);
+        }
+        if cold.delta {
+            actions.push(Self::Delta);
+        }
+        actions
+    }
+}
 
 /// Observable characteristics of the candidate VM's workload.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +202,23 @@ mod tests {
             bandwidth: Bandwidth::gigabit_ethernet(),
             resume_time: SimDuration::from_millis(170),
         }
+    }
+
+    #[test]
+    fn assist_actions_follow_config() {
+        assert_eq!(
+            AssistAction::enabled(&ColdAssistConfig::off()),
+            vec![AssistAction::Skip]
+        );
+        let full = AssistAction::enabled(&ColdAssistConfig::full());
+        assert_eq!(
+            full,
+            vec![AssistAction::Skip, AssistAction::Defer, AssistAction::Delta]
+        );
+        assert_eq!(
+            full.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            vec!["skip", "defer", "delta"]
+        );
     }
 
     #[test]

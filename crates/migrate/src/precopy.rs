@@ -47,6 +47,8 @@
 //! traffic/CPU accounting are batched per word run; only the pages actually
 //! transferred are visited individually.
 
+use crate::assist::delta::{DeltaOutcome, DELTA_CPU_PER_PAGE};
+use crate::assist::ColdState;
 use crate::config::{CompressionPolicy, FallbackPolicy, MigrationConfig};
 use crate::destination::DestinationVm;
 use crate::error::{CoordPhase, MigrateError, MigrationOutcome};
@@ -126,6 +128,9 @@ struct RunState {
     assist: bool,
     /// The fault that degraded the run, if any.
     degraded: Option<FaultKind>,
+    /// Cold-page assist state; `None` unless the config enables it, so the
+    /// zero-config path allocates and records nothing.
+    cold: Option<ColdState>,
     coord: CoordTrack,
     t0: SimTime,
     /// Pending link-degrade fault, consumed when its time arrives.
@@ -254,6 +259,7 @@ impl PrecopyEngine {
             recorder,
             assist: self.config.assisted,
             degraded: None,
+            cold: None,
             coord: CoordTrack {
                 begin_acked: !self.config.assisted,
                 begin_deadline: None,
@@ -284,6 +290,19 @@ impl PrecopyEngine {
         if let Some(port) = &port {
             port.send(clock.now(), CoordPayload::MigrationBegin);
             state.coord.begin_deadline = Some(t0 + self.config.coord.begin_ack_timeout);
+            if self.config.cold.enabled() {
+                state.cold = Some(ColdState::new(npages, &self.config.cold));
+                port.send(clock.now(), CoordPayload::QueryColdMap);
+                state.recorder.instant(
+                    clock.now(),
+                    Subsystem::Engine,
+                    "query_cold_map",
+                    vec![
+                        ("defer", self.config.cold.defer.into()),
+                        ("delta", self.config.cold.delta.into()),
+                    ],
+                );
+            }
         }
 
         Ok(MigrationSession {
@@ -374,15 +393,22 @@ impl MigrationSession {
     /// raw dirtied count, which includes pages the assisted protocol will
     /// skip.
     pub fn pending_transferable_pages(&self, vm: &dyn MigratableVm) -> u64 {
+        // Cold pages split out of the snapshot still have to ship (deferred
+        // bulk stream or stop-and-copy), so the backlog counts as pending.
+        let cold_backlog = self
+            .state
+            .cold
+            .as_ref()
+            .map_or(0, |c| c.pending.count_set());
         if !self.state.assist {
-            return self.to_send.count_set();
+            return self.to_send.count_set() + cold_backlog;
         }
         match vm.kernel().lkm() {
             Some(lkm) => {
                 let tb = lkm.transfer_bitmap().as_bitmap();
-                self.to_send.count_and(tb)
+                self.to_send.count_and(tb) + cold_backlog
             }
-            None => self.to_send.count_set(),
+            None => self.to_send.count_set() + cold_backlog,
         }
     }
 
@@ -528,7 +554,15 @@ impl MigrationSession {
                     > self.engine.config.stop.max_factor * ram as f64
                 {
                     Some(StopReason::TrafficCap)
-                } else if pending <= self.engine.config.stop.dirty_threshold_pages {
+                } else if pending <= self.engine.config.stop.dirty_threshold_pages
+                    && self
+                        .state
+                        .cold
+                        .as_ref()
+                        .is_none_or(|c| c.pending.all_clear())
+                {
+                    // Convergence also requires the cold bulk stream to have
+                    // drained: deferred pages are still unsent state.
                     Some(StopReason::DirtyThreshold)
                 } else {
                     None
@@ -576,6 +610,7 @@ impl MigrationSession {
             // Pages of the previous set never reached (or re-dirty-skipped)
             // are dirty again by construction, so the snapshot covers them.
             self.to_send = snapshot;
+            self.engine.split_cold(&mut self.state, &mut self.to_send);
         }
         Ok(SessionStep::Yielded)
     }
@@ -664,6 +699,58 @@ impl MigrationSession {
             "scan_cpu_ns",
             (self.engine.config.cpu_cost_per_page_scan * state.scan_pages).as_nanos(),
         );
+        if let Some(cold) = state.cold.as_mut() {
+            cold.report.cold_pages = cold.map.count_set();
+            let r = cold.report;
+            let rec = &state.recorder;
+            rec.counter_add(Subsystem::Engine, "cold_pages", r.cold_pages);
+            rec.counter_add(Subsystem::Engine, "cold_deferred_pages", r.deferred_pages);
+            rec.counter_add(
+                Subsystem::Engine,
+                "cold_deferred_sent_pages",
+                r.deferred_sent_pages,
+            );
+            rec.counter_add(
+                Subsystem::Engine,
+                "cold_deferred_sent_bytes",
+                r.deferred_sent_bytes,
+            );
+            rec.counter_add(
+                Subsystem::Engine,
+                "cold_pending_at_pause",
+                r.pending_at_pause,
+            );
+            rec.counter_add(Subsystem::Engine, "delta_cache_hits", r.delta_hits);
+            rec.counter_add(Subsystem::Engine, "delta_cache_misses", r.delta_misses);
+            rec.counter_add(
+                Subsystem::Engine,
+                "delta_cache_fallbacks",
+                r.delta_fallbacks,
+            );
+            rec.counter_add(
+                Subsystem::Engine,
+                "delta_cache_overflows",
+                r.delta_overflows,
+            );
+            rec.counter_add(Subsystem::Engine, "delta_wire_bytes", r.delta_wire_bytes);
+            rec.counter_add(Subsystem::Engine, "delta_full_bytes", r.delta_full_bytes);
+            rec.hist(
+                Subsystem::Engine,
+                "delta_saved_bytes_permille",
+                (r.saved_bytes_ratio() * 1000.0) as u64,
+            );
+            rec.instant(
+                clock.now(),
+                Subsystem::Engine,
+                "delta_cache_outcome",
+                vec![
+                    ("hits", r.delta_hits.into()),
+                    ("misses", r.delta_misses.into()),
+                    ("fallbacks", r.delta_fallbacks.into()),
+                    ("overflows", r.delta_overflows.into()),
+                ],
+            );
+        }
         state.recorder.instant(
             clock.now(),
             Subsystem::Engine,
@@ -729,6 +816,7 @@ impl MigrationSession {
                 None => MigrationOutcome::Completed,
             },
             timeline: std::mem::replace(&mut state.timeline, simkit::trace::Trace::new()),
+            cold: state.cold.take().map(|c| c.report),
             lkm: vm.kernel().lkm().map(|l| l.stats().clone()),
             stragglers,
             iterations: std::mem::take(&mut self.iterations),
@@ -753,6 +841,13 @@ impl PrecopyEngine {
         }
         state.assist = false;
         state.degraded = Some(fault);
+        if let Some(cold) = state.cold.as_mut() {
+            // Deferred cold pages were split out of earlier snapshots and
+            // never sent; they may no longer be dirty, so park them with the
+            // deferred skips for re-examination at the stop-and-copy.
+            state.deferred_skips.union_with(&cold.pending);
+            cold.pending.clear_all();
+        }
         if let Some(port) = port {
             port.send(now, CoordPayload::AbortAssist);
             state.recorder.instant(
@@ -951,12 +1046,35 @@ impl PrecopyEngine {
                                 .read_and_clear();
                             state.ever_dirtied.union_with(&snap);
                             *to_send = snap;
+                            self.split_cold(state, to_send);
                             tally.cursor = 0;
                             scratch.invalidate();
                             if to_send.all_clear() {
+                                // No hot work left: hand the rest of the
+                                // quantum to the cold bulk stream.
+                                self.drain_cold_quantum(
+                                    &*vm,
+                                    state,
+                                    &mut tally,
+                                    &mut budget,
+                                    &mut cpu_budget,
+                                );
                                 break;
                             }
                             continue;
+                        }
+                        // Hot snapshot drained: the cold bulk stream may
+                        // spend whatever budget the hot pages left over.
+                        if !self.drain_cold_quantum(
+                            &*vm,
+                            state,
+                            &mut tally,
+                            &mut budget,
+                            &mut cpu_budget,
+                        ) {
+                            // Cold backlog outlived the quantum: let the
+                            // guest run and keep the iteration going.
+                            break;
                         }
                         // Credit the partial quantum's traffic before leaving.
                         state.link.sample_utilization(
@@ -978,6 +1096,7 @@ impl PrecopyEngine {
             quanta += 1;
 
             self.apply_link_plan(state, clock.now())?;
+            self.adopt_cold(&*vm, state, to_send);
 
             if let Some(port) = port {
                 if state.assist && state.ready.is_none() {
@@ -1189,6 +1308,14 @@ impl PrecopyEngine {
         state.ever_dirtied.union_with(&final_set);
         final_set.union_with(&leftover);
         final_set.union_with(&state.deferred_skips);
+        if let Some(cold) = state.cold.as_mut() {
+            // The cold backlog never shipped live: it rides the
+            // stop-and-copy (as deltas where the cache holds a prior
+            // version).
+            cold.report.pending_at_pause = cold.pending.count_set();
+            final_set.union_with(&cold.pending);
+            cold.pending.clear_all();
+        }
         if self.config.last_iter_considers_all_dirtied {
             final_set.union_with(&state.ever_dirtied);
         }
@@ -1280,11 +1407,163 @@ impl PrecopyEngine {
     ) -> (u64, SimDuration, PageClass) {
         let page = vm.kernel().memory().page(pfn);
         let method = self.method_for(page.class);
-        let body = method.compressed_size(PAGE_SIZE, page.class.compression_ratio());
+        let full_body = method.compressed_size(PAGE_SIZE, page.class.compression_ratio());
+        let mut body = full_body;
+        let mut cpu = method.cpu_cost(PAGE_SIZE);
+        // XBZRLE delta action: a *re-send* — a page whose prior version the
+        // destination already holds — may ship as a run-length-encoded XOR
+        // against the version in the delta page cache. First sends (the
+        // bulk copy) run no codec; they only prime the cache, so a cached
+        // entry always means the destination can decode against it.
+        if state.assist {
+            if let Some(cold) = state.cold.as_mut() {
+                if let Some(cache) = cold.delta.as_mut() {
+                    if state.dest.has_received(pfn) {
+                        let (outcome, overflow) = cache.consult(pfn, page.version, full_body);
+                        if overflow {
+                            cold.report.delta_overflows += 1;
+                        }
+                        cpu += DELTA_CPU_PER_PAGE;
+                        match outcome {
+                            DeltaOutcome::Miss => cold.report.delta_misses += 1,
+                            DeltaOutcome::Fallback => cold.report.delta_fallbacks += 1,
+                            DeltaOutcome::Delta { body: delta_body } => {
+                                cold.report.delta_hits += 1;
+                                cold.report.delta_wire_bytes += delta_body + PAGE_HEADER_BYTES;
+                                cold.report.delta_full_bytes += full_body + PAGE_HEADER_BYTES;
+                                body = delta_body;
+                            }
+                        }
+                    } else if cache.prime(pfn, page.version) {
+                        cold.report.delta_overflows += 1;
+                    }
+                }
+            }
+        }
         let wire = body + PAGE_HEADER_BYTES;
-        let cpu = method.cpu_cost(PAGE_SIZE);
         state.dest.receive(pfn, page);
         (wire, cpu, page.class)
+    }
+
+    /// Splits a fresh hot snapshot against the accumulated cold map: cold
+    /// dirty pages leave the snapshot for the deferred backlog (the defer
+    /// action); hot pages stay. No-op unless deferral is configured.
+    fn split_cold(&self, state: &mut RunState, to_send: &mut Bitmap) {
+        if !state.assist {
+            return;
+        }
+        let Some(cold) = state.cold.as_mut() else {
+            return;
+        };
+        if !cold.defer {
+            return;
+        }
+        let mut moved = cold.map.clone();
+        moved.intersect_with(to_send);
+        let n = moved.count_set();
+        if n > 0 {
+            cold.report.deferred_pages += n;
+            cold.pending.union_with(&moved);
+            to_send.subtract(&moved);
+        }
+    }
+
+    /// Folds the LKM's latest cold-region map into the engine's classifier.
+    /// Newly cold pages are masked out of the live hot snapshot into the
+    /// deferred backlog when the defer action is on; the delta action keys
+    /// off the accumulated map alone. The LKM map only ever grows during a
+    /// migration, so a popcount guard makes the no-change case free.
+    fn adopt_cold(&self, vm: &dyn MigratableVm, state: &mut RunState, to_send: &mut Bitmap) {
+        if !state.assist || state.cold.is_none() {
+            return;
+        }
+        let Some(lkm_cold) = vm.kernel().lkm().and_then(|l| l.cold_bitmap()) else {
+            return;
+        };
+        let total = lkm_cold.count_set();
+        let cold = state.cold.as_mut().expect("cold state");
+        if total == cold.adopted_bits {
+            return;
+        }
+        cold.adopted_bits = total;
+        let mut added = lkm_cold.clone();
+        added.subtract(&cold.map);
+        cold.map.union_with(&added);
+        if cold.defer {
+            added.intersect_with(to_send);
+            let moved = added.count_set();
+            if moved > 0 {
+                cold.report.deferred_pages += moved;
+                cold.pending.union_with(&added);
+                to_send.subtract(&added);
+            }
+        }
+    }
+
+    /// Drains the deferred cold backlog through the remaining quantum
+    /// budget — the low-priority bulk stream. Runs only once the hot
+    /// snapshot is empty, so hot iterations always take precedence.
+    /// Returns `true` when no cold work remains (or none exists).
+    fn drain_cold_quantum(
+        &self,
+        vm: &dyn MigratableVm,
+        state: &mut RunState,
+        tally: &mut IterTally,
+        budget: &mut i64,
+        cpu_budget: &mut SimDuration,
+    ) -> bool {
+        if !state.assist || state.cold.as_ref().is_none_or(|c| !c.defer) {
+            return true;
+        }
+        let mut cursor = 0u64;
+        loop {
+            if *budget <= 0 || cpu_budget.is_zero() {
+                return state
+                    .cold
+                    .as_ref()
+                    .is_none_or(|c| c.pending.next_set_at(cursor).is_none());
+            }
+            let Some(pfn) = state
+                .cold
+                .as_ref()
+                .and_then(|c| c.pending.next_set_at(cursor))
+            else {
+                return true;
+            };
+            cursor = pfn.0 + 1;
+            state.cold.as_mut().expect("cold state").pending.clear(pfn);
+            state.cpu += self.config.cpu_cost_per_page_scan;
+            state.scan_pages += 1;
+            // A cold page re-dirtied since it was deferred rides the next
+            // dirty snapshot instead (Xen's skip-if-redirtied, applied to
+            // the bulk stream).
+            if vm.kernel().memory().dirty_log().peek_ref().get(pfn) {
+                tally.skip_dirty += 1;
+                continue;
+            }
+            // Respect the transfer bitmap: a deferred page inside a
+            // skip-over area is the application's to drop, not ours.
+            if let Some(lkm) = vm.kernel().lkm() {
+                if !lkm.transfer_bitmap().as_bitmap().get(pfn) {
+                    tally.skip_transfer += 1;
+                    state.deferred_skips.set(pfn);
+                    continue;
+                }
+            }
+            let (wire, cpu, class) = self.transmit_page(vm, state, pfn);
+            *budget -= wire as i64;
+            *cpu_budget = cpu_budget.saturating_sub(cpu);
+            tally.bytes += wire;
+            tally.sent += 1;
+            state.link.record_send(wire);
+            state.wire_bytes += wire;
+            state.by_class.add(class, wire);
+            state.cpu +=
+                cpu + SimDuration::from_secs_f64(wire as f64 * self.config.cpu_cost_per_byte);
+            let cold = state.cold.as_mut().expect("cold state");
+            cold.report.deferred_sent_pages += 1;
+            cold.report.deferred_sent_bytes += wire;
+        }
     }
 
     fn method_for(&self, class: PageClass) -> CompressionMethod {

@@ -1,5 +1,6 @@
 //! Migration reports: per-iteration statistics and end-to-end metrics.
 
+use crate::assist::ColdReport;
 use crate::destination::VerifyReport;
 use crate::error::MigrationOutcome;
 use guestos::lkm::LkmStats;
@@ -194,6 +195,10 @@ pub struct MigrationReport {
     pub outcome: MigrationOutcome,
     /// Timestamped engine events.
     pub timeline: Trace<EngineEvent>,
+    /// What the cold-page assist did. `None` unless the run was configured
+    /// with [`crate::assist::ColdAssistConfig`] enabled — the digest only
+    /// emits its cold section (and bumps its schema) when this is present.
+    pub cold: Option<ColdReport>,
     /// LKM statistics (assisted runs only).
     pub lkm: Option<LkmStats>,
     /// Stragglers forcibly un-skipped (assisted runs only).

@@ -137,6 +137,7 @@ mod tests {
             stop_reason: StopReason::DirtyThreshold,
             outcome: MigrationOutcome::Completed,
             timeline: simkit::trace::Trace::new(),
+            cold: None,
             lkm: None,
             stragglers: 0,
             telemetry: Recorder::disabled().snapshot(),

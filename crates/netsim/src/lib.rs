@@ -22,4 +22,4 @@ pub use capacity::{carry_budget, utilization_fraction, Capacity};
 pub use compress::Method as CompressionMethod;
 pub use link::{achieved_rate, Link, PAGE_HEADER_BYTES};
 pub use shared::{SharedUplink, SubscriberId};
-pub use topology::{FlowId, LinkSpec, PipeTimeline, PipeTimelines, Topology};
+pub use topology::{FlowId, LinkSpec, PipeSel, PipeTimeline, PipeTimelines, Topology};

@@ -70,6 +70,32 @@ impl LinkSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId(usize);
 
+/// Selects one pipe of a [`Topology`] — a source-host egress NIC, the
+/// core trunk, or a destination-host ingress NIC. Mid-run re-rating
+/// ([`Topology::set_pipe_rate`]) and fault schedules address pipes with
+/// this selector rather than special-casing the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipeSel {
+    /// Source host `i`'s egress NIC.
+    Egress(usize),
+    /// The core switch every inter-rack flow crosses.
+    Core,
+    /// Destination host `i`'s ingress NIC.
+    Ingress(usize),
+}
+
+impl PipeSel {
+    /// Short stable label for digests and causal traces (`egress3`,
+    /// `core`, `ingress12`).
+    pub fn label(self) -> String {
+        match self {
+            Self::Egress(i) => format!("egress{i}"),
+            Self::Core => "core".to_string(),
+            Self::Ingress(i) => format!("ingress{i}"),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct FlowPath {
     src: usize,
@@ -325,7 +351,7 @@ impl Topology {
     /// The core switch's *current* rate (it may have been re-rated
     /// mid-run), or `None` on a core-less fabric.
     pub fn core_rate(&self) -> Option<Bandwidth> {
-        self.core.as_ref().map(|c| c.capacity())
+        self.pipe_rate(PipeSel::Core)
     }
 
     /// Re-rates the core switch mid-run (fault injection: a degraded
@@ -334,12 +360,55 @@ impl Topology {
     /// existing re-rating path, no special casing. Returns whether the
     /// fabric had a core to re-rate.
     pub fn set_core_rate(&mut self, rate: Bandwidth) -> bool {
-        match self.core.as_mut() {
-            Some(core) => {
-                core.set_rate(rate);
+        self.set_pipe_rate(PipeSel::Core, rate)
+    }
+
+    /// The selected pipe's *current* capacity, or `None` when the fabric
+    /// has no such pipe (no core, or the NIC index is out of range).
+    pub fn pipe_rate(&self, pipe: PipeSel) -> Option<Bandwidth> {
+        self.pipe_at(pipe).map(SharedUplink::capacity)
+    }
+
+    /// Re-rates any pipe of the fabric mid-run — a source NIC, the core
+    /// trunk, or a destination ingress NIC. Fault injection over the whole
+    /// fabric rides this: every in-flight flow crossing the pipe sees the
+    /// new rate at its next [`Topology::flow_rate`] re-grant, exactly like
+    /// [`Topology::set_core_rate`] (which this generalizes). Returns
+    /// whether the fabric had the selected pipe.
+    pub fn set_pipe_rate(&mut self, pipe: PipeSel, rate: Bandwidth) -> bool {
+        match self.pipe_at_mut(pipe) {
+            Some(p) => {
+                p.set_rate(rate);
                 true
             }
             None => false,
+        }
+    }
+
+    fn pipe_at(&self, pipe: PipeSel) -> Option<&SharedUplink> {
+        match pipe {
+            PipeSel::Egress(i) => self.egress.get(i),
+            PipeSel::Core => self.core.as_ref(),
+            PipeSel::Ingress(i) => self.ingress.get(i),
+        }
+    }
+
+    fn pipe_at_mut(&mut self, pipe: PipeSel) -> Option<&mut SharedUplink> {
+        match pipe {
+            PipeSel::Egress(i) => self.egress.get_mut(i),
+            PipeSel::Core => self.core.as_mut(),
+            PipeSel::Ingress(i) => self.ingress.get_mut(i),
+        }
+    }
+
+    /// The selected pipe's [`LinkSpec`] name, or `None` when the fabric
+    /// has no such pipe. Fault narration uses this so a seeded degrade
+    /// names the link it hit.
+    pub fn pipe_name(&self, pipe: PipeSel) -> Option<&str> {
+        match pipe {
+            PipeSel::Egress(i) => self.egress_specs.get(i).map(|s| s.name.as_str()),
+            PipeSel::Core => self.core_spec.as_ref().map(|s| s.name.as_str()),
+            PipeSel::Ingress(i) => self.ingress_specs.get(i).map(|s| s.name.as_str()),
         }
     }
 

@@ -19,6 +19,11 @@ use vmem::{PageClass, VaRange, Vaddr, PAGE_SIZE};
 /// VA base of the cache region.
 const CACHE_BASE: u64 = 0x7e00_0000_0000;
 
+/// Share of churn writes that land in the cold band (when one is
+/// configured): the long tail of resident entries that are read-mostly but
+/// occasionally updated, re-dirtying an already-transferred page.
+const COLD_TOUCH_CHANCE: f64 = 0.1;
+
 /// Configuration of the cache application.
 #[derive(Debug, Clone)]
 pub struct CacheAppConfig {
@@ -35,6 +40,14 @@ pub struct CacheAppConfig {
     pub miss_penalty: f64,
     /// Seconds to refill the purged region to full warmth.
     pub refill_secs: f64,
+    /// Fraction of the cache held by the long-tail resident set: entries
+    /// that stay live (they must migrate) but are updated only rarely. The
+    /// band sits at the head of the region, is reported as a cold region
+    /// when the cold assist queries for one, and receives
+    /// [`COLD_TOUCH_CHANCE`] of the churn. `0.0` (the default) disables the
+    /// band without changing a single rng draw. Clamped so the band never
+    /// overlaps the skip-over tail.
+    pub cold_fraction: f64,
 }
 
 impl Default for CacheAppConfig {
@@ -46,6 +59,7 @@ impl Default for CacheAppConfig {
             ops_per_sec: 10_000.0,
             miss_penalty: 0.3,
             refill_secs: 30.0,
+            cold_fraction: 0.0,
         }
     }
 }
@@ -107,6 +121,20 @@ impl CacheApp {
         self.purged
     }
 
+    /// Pages in the cold band (the long-tail resident set), clamped to the
+    /// head so coldness never overlaps the skip-over tail.
+    fn cold_pages(&self) -> u64 {
+        let total = self.region.page_count();
+        let tail_start = self.tail_range().start().vpn() - self.region.start().vpn();
+        (((total as f64) * self.config.cold_fraction.clamp(0.0, 1.0)) as u64).min(tail_start)
+    }
+
+    /// The cold band: live-but-rarely-updated entries at the head of the
+    /// cache. Empty when `cold_fraction` is zero.
+    pub fn cold_range(&self) -> VaRange {
+        VaRange::from_len(self.region.start(), self.cold_pages() * PAGE_SIZE)
+    }
+
     /// Current warmth factor in `[1 - miss_penalty, 1]`.
     fn warmth(&self, now: SimTime) -> f64 {
         let Some(resumed) = self.resumed_at else {
@@ -139,6 +167,12 @@ impl CacheApp {
                         },
                     );
                 }
+                CoordPayload::QueryColdRegions => {
+                    let cold = self.cold_range();
+                    if !cold.is_empty() {
+                        sock.send(now, CoordPayload::ColdRegions(vec![cold]));
+                    }
+                }
                 CoordPayload::VmResumed => {
                     self.resumed_at = Some(now);
                 }
@@ -164,13 +198,23 @@ impl GuestApp for CacheApp {
         self.write_carry = bytes - (pages * PAGE_SIZE) as f64;
         let total_pages = self.region.page_count();
         let tail_start_page = self.tail_range().start().vpn() - self.region.start().vpn();
+        let cold_pages = self.cold_pages();
+        // The `cold_pages > 0` guards short-circuit before touching the rng,
+        // so a zero cold fraction consumes exactly the historical draws.
         for _ in 0..pages {
             let page = if self.purged && self.resumed_at.is_none() {
                 // Between purge and resume: only the compact head is
                 // touched, keeping the tail empty as the paper requires.
-                self.rng.below(tail_start_page.max(1))
+                if cold_pages > 0 && self.rng.chance(COLD_TOUCH_CHANCE) {
+                    self.rng.below(cold_pages)
+                } else {
+                    cold_pages + self.rng.below((tail_start_page - cold_pages).max(1))
+                }
+            } else if cold_pages > 0 && self.rng.chance(COLD_TOUCH_CHANCE) {
+                // Long-tail update: re-dirty a resident cold entry.
+                self.rng.below(cold_pages)
             } else if self.rng.chance(0.8) {
-                self.rng.below(tail_start_page.max(1))
+                cold_pages + self.rng.below((tail_start_page - cold_pages).max(1))
             } else {
                 tail_start_page + self.rng.below((total_pages - tail_start_page).max(1))
             };
@@ -236,6 +280,52 @@ mod tests {
             DetRng::new(3),
         );
         assert_eq!(app.tail_range().len(), 32 * MIB);
+    }
+
+    #[test]
+    fn cold_range_defaults_empty_and_clamps_to_head() {
+        let mut kernel = boot();
+        let app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        assert!(app.cold_range().is_empty());
+
+        let mut kernel = boot();
+        let app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                skip_fraction: 0.5,
+                cold_fraction: 0.8,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        // 0.8 of the cache would reach into the skip-over tail; the band is
+        // clamped to the 32 MiB head.
+        assert_eq!(app.cold_range().len(), 32 * MIB);
+        assert_eq!(app.cold_range().start().0, CACHE_BASE);
+
+        let mut kernel = boot();
+        let app = CacheApp::launch(
+            &mut kernel,
+            CacheAppConfig {
+                cache_bytes: 64 * MIB,
+                skip_fraction: 0.1,
+                cold_fraction: 0.25,
+                ..CacheAppConfig::default()
+            },
+            false,
+            DetRng::new(3),
+        );
+        assert_eq!(app.cold_range().len(), 16 * MIB);
     }
 
     #[test]

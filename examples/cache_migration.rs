@@ -32,6 +32,7 @@ fn main() {
             ops_per_sec: 10_000.0,
             miss_penalty: 0.3,
             refill_secs: 30.0,
+            cold_fraction: 0.0,
         },
         true, // assists in migration
         DetRng::new(11),

@@ -4,8 +4,8 @@
 //! order.
 
 use cluster::{
-    evacuate, roster, run_fleet, CoreFault, EvacuationPlan, EventQueue, FleetPolicy,
-    PlacementPolicy, VmId,
+    evacuate, roster, run_fleet, CoreFault, EvacuationPlan, EventQueue, FleetPolicy, PipeFault,
+    PipeSel, PlacementPolicy, VmId,
 };
 use proptest::prelude::*;
 use simkit::{SimDuration, SimTime};
@@ -180,6 +180,79 @@ fn watchdog_flags_a_mid_drain_core_degrade() {
     let again = evacuate(&faulted_plan, FleetPolicy::CycleAware).expect("faulted evacuation");
     for (x, y) in faulted.hosts.iter().zip(&again.hosts) {
         assert_eq!(x.to_json(), y.to_json(), "faulted digest bytes diverged");
+    }
+}
+
+/// The generalised fault schedule reaches every pipe of the fabric, not
+/// just the core: a seeded degrade of a source NIC surfaces as a
+/// `pipe_saturation` finding naming that host's egress pipe, the causal
+/// fault event carries the generic `pipe_degrade` tag with the pipe
+/// selector label, and a fault naming a pipe the fabric does not have is
+/// consumed without a trace.
+#[test]
+fn pipe_fault_schedule_degrades_a_source_nic() {
+    let faulted_plan = small_plan(PlacementPolicy::SlaAware).pipe_fault(PipeFault {
+        pipe: PipeSel::Egress(0),
+        after: SimDuration::from_secs(4),
+        factor: 0.1,
+    });
+    let faulted = evacuate(&faulted_plan, FleetPolicy::CycleAware).expect("faulted evacuation");
+    let finding = faulted
+        .mission
+        .findings
+        .iter()
+        .find(|f| f.rule == "pipe_saturation")
+        .unwrap_or_else(|| {
+            panic!(
+                "NIC degrade must trip pipe_saturation, got {:?}",
+                faulted.mission.findings
+            )
+        });
+    assert_eq!(
+        finding.subject, "rack-a",
+        "the finding names the degraded egress pipe"
+    );
+    let fault_event = faulted
+        .mission
+        .causal
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, simkit::telemetry::CausalKind::Fault))
+        .expect("the seeded degrade leaves a causal fault event");
+    assert_eq!(fault_event.subject, "rack-a");
+    assert!(
+        fault_event
+            .detail
+            .iter()
+            .any(|(k, v)| *k == "fault" && v == "pipe_degrade"),
+        "non-core degrades carry the generic tag, got {:?}",
+        fault_event.detail
+    );
+    assert!(
+        fault_event
+            .detail
+            .iter()
+            .any(|(k, v)| *k == "pipe" && v == "egress0"),
+        "the fault event records the pipe selector, got {:?}",
+        fault_event.detail
+    );
+
+    // A fault against a pipe this fabric does not have is inert: the run
+    // matches the fault-free drain byte for byte.
+    let clean = evacuate(
+        &small_plan(PlacementPolicy::SlaAware),
+        FleetPolicy::CycleAware,
+    )
+    .expect("fault-free evacuation");
+    let inert_plan = small_plan(PlacementPolicy::SlaAware).pipe_fault(PipeFault {
+        pipe: PipeSel::Ingress(99),
+        after: SimDuration::from_secs(4),
+        factor: 0.1,
+    });
+    let inert = evacuate(&inert_plan, FleetPolicy::CycleAware).expect("inert-faulted evacuation");
+    assert_eq!(inert.mission.findings.len(), clean.mission.findings.len());
+    for (x, y) in inert.hosts.iter().zip(&clean.hosts) {
+        assert_eq!(x.to_json(), y.to_json(), "inert fault perturbed the drain");
     }
 }
 
